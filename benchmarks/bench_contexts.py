@@ -1,0 +1,88 @@
+"""CTX — parameter-context ablation (Sentinel's consumption modes).
+
+The same bursty cross-site stream is run through ``a ; b`` under every
+parameter context.  Expected shape (the classic Snoop result, here on
+distributed timestamps):
+
+* ``UNRESTRICTED`` detects every valid pair — quadratic in burst size;
+* ``RECENT`` and ``CHRONICLE`` detect one pair per terminator;
+* ``CONTINUOUS`` detects one pair per *initiator*;
+* ``CUMULATIVE`` detects one merged occurrence per terminator batch;
+* state retained in the initiator buffer is smallest for RECENT.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.contexts.policies import Context
+from repro.detection.detector import Detector
+from repro.time.timestamps import PrimitiveTimestamp
+
+from conftest import report, table
+
+BURSTS = 10
+BURST_SIZE = 6
+
+
+def make_stream(seed: int = 23):
+    """Bursts of initiators (site A) each closed by one terminator (B)."""
+    rng = random.Random(seed)
+    stream = []
+    g = 1
+    for _ in range(BURSTS):
+        for _ in range(BURST_SIZE):
+            stream.append(("a", PrimitiveTimestamp("siteA", g, g * 10 + rng.randint(0, 9))))
+            g += 1
+        g += 2
+        stream.append(("b", PrimitiveTimestamp("siteB", g, g * 10)))
+        g += 3
+    return stream
+
+
+def run_context(context: Context, stream) -> tuple[int, int]:
+    detector = Detector()
+    root = detector.register("a ; b", name="r", context=context)
+    for event_type, stamp in stream:
+        detector.feed_primitive(event_type, stamp)
+    buffered = len(getattr(root, "_firsts", []))
+    return len(detector.detections_of("r")), buffered
+
+
+def run_all(stream):
+    return {context: run_context(context, stream) for context in Context}
+
+
+def test_context_ablation(benchmark):
+    stream = make_stream()
+    results = benchmark(run_all, stream)
+
+    detections = {context: result[0] for context, result in results.items()}
+    buffered = {context: result[1] for context, result in results.items()}
+
+    # Shapes: the classic consumption-mode counts.
+    # Unrestricted: every earlier initiator pairs with every later
+    # terminator -> sum over terminators of all initiators so far.
+    assert detections[Context.UNRESTRICTED] == sum(
+        BURST_SIZE * k for k in range(1, BURSTS + 1)
+    )
+    assert detections[Context.RECENT] == BURSTS
+    assert detections[Context.CHRONICLE] == BURSTS
+    assert detections[Context.CUMULATIVE] == BURSTS
+    # Continuous: every initiator fires with its first terminator.
+    assert detections[Context.CONTINUOUS] == BURSTS * BURST_SIZE
+    # State: consuming contexts drain the buffer; recent keeps one.
+    assert buffered[Context.UNRESTRICTED] == BURSTS * BURST_SIZE
+    assert buffered[Context.RECENT] == 1
+    assert buffered[Context.CONTINUOUS] == 0
+    assert buffered[Context.CUMULATIVE] == 0
+
+    rows = [
+        [context.value, detections[context], buffered[context]]
+        for context in Context
+    ]
+    report(
+        f"CTX: context ablation on 'a ; b' "
+        f"({BURSTS} bursts × {BURST_SIZE} initiators)",
+        table(["context", "detections", "initiators retained"], rows),
+    )

@@ -1,0 +1,78 @@
+"""FIG1 — Figure 1: open and closed intervals of primitive timestamps.
+
+Regenerates the paper's interval picture for two cross-site stamps: the
+open interval occupies global granules ``{lo+2, ..., hi-2}`` and the
+closed interval ``{lo-1, ..., hi+1}``; sweeping the endpoint gap shows
+the open interval emptying below a four-granule separation while the
+closed interval never does.
+"""
+
+from __future__ import annotations
+
+from repro.time.intervals import (
+    ClosedInterval,
+    OpenInterval,
+    closed_global_span,
+    open_global_span,
+)
+from repro.time.timestamps import PrimitiveTimestamp
+
+from conftest import report, table
+
+
+def interval_membership_sweep(max_gap: int = 12) -> list[list[object]]:
+    """One row per endpoint gap: spans of both interval kinds."""
+    rows: list[list[object]] = []
+    for gap in range(1, max_gap + 1):
+        lo = PrimitiveTimestamp("siteA", 10, 100)
+        hi = PrimitiveTimestamp("siteB", 10 + gap, (10 + gap) * 10)
+        open_span = list(open_global_span(lo, hi))
+        closed_span = list(closed_global_span(lo, hi))
+        rows.append(
+            [
+                gap,
+                len(open_span),
+                f"{open_span[0]}..{open_span[-1]}" if open_span else "empty",
+                len(closed_span),
+                f"{closed_span[0]}..{closed_span[-1]}",
+            ]
+        )
+    return rows
+
+
+def membership_kernel() -> int:
+    """The timed kernel: classify 1k probes against both intervals."""
+    lo = PrimitiveTimestamp("siteA", 100, 1000)
+    hi = PrimitiveTimestamp("siteB", 140, 1400)
+    open_interval = OpenInterval(lo, hi)
+    closed_interval = ClosedInterval(lo, hi)
+    members = 0
+    for g in range(80, 160):
+        for d in range(10):
+            probe = PrimitiveTimestamp("siteC", g, g * 10 + d)
+            members += open_interval.contains(probe)
+            members += closed_interval.contains(probe)
+    return members
+
+
+def test_fig1_interval_structure(benchmark):
+    members = benchmark(membership_kernel)
+    # Paper shape: open = {102..138} (37 granules: one-granule margin past
+    # each endpoint), closed = {99..141} (43 granules: one beyond each).
+    assert members == 37 * 10 + 43 * 10
+
+    rows = interval_membership_sweep()
+    # Open interval empty until the gap exceeds 3 granules (Section 4.2's
+    # non-emptiness condition lo.global < hi.global - 3).
+    for row in rows:
+        gap, open_len = row[0], row[1]
+        assert (open_len == 0) == (gap <= 3)
+        assert row[3] == gap + 3  # closed span always gap+3 granules
+
+    report(
+        "FIG1: interval spans vs endpoint gap (cross-site, granules)",
+        table(
+            ["gap", "open_len", "open_span", "closed_len", "closed_span"],
+            rows,
+        ),
+    )

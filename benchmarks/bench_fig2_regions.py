@@ -1,0 +1,70 @@
+"""FIG2 — Figure 2: the site × global-time region grid.
+
+Regenerates the paper's grid for its reference stamp
+``T(e) = {(Site3, 8, 81), (Site6, 7, 72)}`` over eight sites: the
+`<` region before Line1, the weak band to Line2, the concurrency band
+between Line2 and Line3, the weak band to Line4, and the `>` region
+after it.  The assertions pin the line positions the paper's geometry
+implies; the kernel times a full grid classification.
+"""
+
+from __future__ import annotations
+
+from repro.time.composite import CompositeTimestamp
+from repro.time.regions import Region, classify_cell, region_lines, render_grid
+
+from conftest import report
+
+SITES = [f"Site{i}" for i in range(1, 9)]
+REFERENCE = CompositeTimestamp.from_triples([("Site3", 8, 81), ("Site6", 7, 72)])
+
+
+def classify_full_grid() -> dict[tuple[str, int], Region]:
+    return {
+        (site, g): classify_cell(site, g, REFERENCE, 10)
+        for site in SITES
+        for g in range(0, 14)
+    }
+
+
+def test_fig2_region_grid(benchmark):
+    grid = benchmark(classify_full_grid)
+
+    # Shape 1: every off-reference site sees the same four lines.
+    lines = {row.site: row for row in region_lines(REFERENCE, SITES, 10)}
+    others = [lines[s] for s in SITES if s not in ("Site3", "Site6")]
+    assert all(
+        (r.line1, r.line2, r.line3, r.line4)
+        == (others[0].line1, others[0].line2, others[0].line3, others[0].line4)
+        for r in others
+    )
+    # Shape 2: the paper's geometry — before global 6 everything is "<";
+    # the concurrency band spans globals 7..8; from 10 on everything is ">".
+    assert (others[0].line1, others[0].line2, others[0].line3, others[0].line4) == (
+        6, 7, 9, 10,
+    )
+    # Shape 3: all five region kinds are populated, bands included.
+    seen = set(grid.values())
+    assert {
+        Region.BEFORE,
+        Region.WEAK_BEFORE,
+        Region.CONCURRENT,
+        Region.WEAK_AFTER,
+        Region.AFTER,
+    } <= seen
+    # Shape 4: regions progress monotonically along every row.
+    order = {
+        Region.BEFORE: 0,
+        Region.WEAK_BEFORE: 1,
+        Region.CONCURRENT: 2,
+        Region.WEAK_AFTER: 3,
+        Region.AFTER: 4,
+    }
+    for site in SITES:
+        sequence = [order[grid[(site, g)]] for g in range(0, 14)]
+        assert sequence == sorted(sequence)
+
+    report(
+        "FIG2: region grid for T(e) = {(Site3,8,81), (Site6,7,72)}",
+        render_grid(REFERENCE, SITES, 10).splitlines(),
+    )

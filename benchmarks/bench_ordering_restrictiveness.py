@@ -1,0 +1,81 @@
+"""ORD-R — least-restrictedness of ``<_p`` (Section 5.1, requirement 3).
+
+The paper argues ``<_p`` (and its dual ``<_g``) are the *least
+restricted* valid orderings: every pair ordered by ``<_p2`` or ``<_p3``
+is ordered by ``<_p``, and strictly more pairs are ``<_p``-comparable.
+The benchmark measures comparability rates across universes of varying
+stamp width (constituents per composite) and asserts the containment
+pointwise, including on the paper's own two separating example pairs.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.analysis.metrics import comparability_rate
+from repro.analysis.universe import random_composite_universe
+from repro.time.orderings import (
+    ORDERINGS,
+    lt_p,
+    lt_p2,
+    lt_p3,
+    paper_example_pairs,
+)
+
+from conftest import report, table
+
+WIDTHS = [1, 2, 3, 5]
+UNIVERSE_SIZE = 40
+
+
+def rate_sweep():
+    rows = []
+    for width in WIDTHS:
+        rng = random.Random(1000 + width)
+        universe = random_composite_universe(
+            rng, UNIVERSE_SIZE, constituents=width
+        )
+        rates = {
+            name: comparability_rate(universe, ORDERINGS[name].predicate)
+            for name in ("lt_p", "lt_g", "lt_p1", "lt_p2", "lt_p3")
+        }
+        rows.append((width, universe, rates))
+    return rows
+
+
+def test_ordering_restrictiveness(benchmark):
+    rows = benchmark(rate_sweep)
+    printable = []
+    for width, universe, rates in rows:
+        printable.append(
+            [width]
+            + [f"{float(rates[name]):.3f}" for name in ("lt_p", "lt_g", "lt_p1", "lt_p2", "lt_p3")]
+        )
+        # Containment: <_p2 ⊆ <_p and <_p3 ⊆ <_p on every pair.
+        for a in universe:
+            for b in universe:
+                if lt_p2(a, b):
+                    assert lt_p(a, b)
+                if lt_p3(a, b):
+                    assert lt_p(a, b)
+        # Rates ordered accordingly (lt_p1 is an over-approximation).
+        assert rates["lt_p"] >= rates["lt_p2"]
+        assert rates["lt_p"] >= rates["lt_p3"]
+        assert rates["lt_p1"] >= rates["lt_p"]
+        assert rates["lt_p"] > Fraction(0)
+
+    # The paper's two example pairs strictly separate the orderings.
+    for name, t1, t2 in paper_example_pairs():
+        assert lt_p(t1, t2)
+        assert not ORDERINGS[name].predicate(t1, t2)
+
+    report(
+        "ORD-R: comparability rate by stamp width "
+        f"({UNIVERSE_SIZE}-stamp universes; <_p least restricted of the "
+        "valid orderings)",
+        table(
+            ["width", "lt_p", "lt_g", "lt_p1 (invalid)", "lt_p2", "lt_p3"],
+            printable,
+        ),
+    )

@@ -1,0 +1,83 @@
+"""ORD-V — validity of the candidate composite orderings (Section 5.1).
+
+The paper's central argument: among the candidate definitions of
+composite happen-before, only ``<_p``/``<_g`` (and the strictly more
+restricted ``<_p2``/``<_p3``) are irreflexive *and* transitive; the
+naive ``∃∃`` ordering ``<_p1`` and the Schwiderski [10] baseline are
+not.  The benchmark profiles all six on one random universe and asserts
+the paper's verdict for each.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.metrics import profile_ordering
+from repro.analysis.universe import random_composite_universe, random_primitive_universe
+from repro.baseline.schwiderski import (
+    SchwiderskiTimestamp,
+    known_transitivity_violation,
+    sch_happens_before,
+)
+from repro.time.orderings import ORDERINGS
+
+from conftest import report, table
+
+UNIVERSE_SIZE = 60
+
+
+def build_universes():
+    rng = random.Random(7)
+    composite = random_composite_universe(rng, UNIVERSE_SIZE)
+    baseline = [
+        SchwiderskiTimestamp(frozenset(random_primitive_universe(rng, rng.randint(1, 4))))
+        for _ in range(UNIVERSE_SIZE)
+    ]
+    return composite, baseline
+
+
+def profile_all():
+    composite, baseline = build_universes()
+    profiles = [
+        profile_ordering(spec.name, composite, spec.predicate)
+        for spec in ORDERINGS.values()
+    ]
+    profiles.append(
+        profile_ordering("schwiderski[10]", baseline, sch_happens_before)
+    )
+    return profiles
+
+
+def test_ordering_validity(benchmark):
+    profiles = benchmark(profile_all)
+    rows = []
+    for profile in profiles:
+        rows.append(
+            [
+                profile.name,
+                profile.irreflexivity_violations,
+                profile.transitivity_violations,
+                "valid" if profile.is_valid_partial_order else "INVALID",
+            ]
+        )
+
+    by_name = {p.name: p for p in profiles}
+    # Paper's verdicts.
+    for name in ("lt_p", "lt_g", "lt_p2", "lt_p3"):
+        assert by_name[name].is_valid_partial_order, name
+    assert not by_name["lt_p1"].is_valid_partial_order
+    assert not by_name["schwiderski[10]"].is_valid_partial_order
+
+    # The baseline's failure is witnessed by a concrete fixed triple too.
+    a, b, c = known_transitivity_violation()
+    assert sch_happens_before(a, b) and sch_happens_before(b, c)
+    assert not sch_happens_before(a, c)
+
+    report(
+        "ORD-V: strict-partial-order validity "
+        f"(random universe of {UNIVERSE_SIZE} composite stamps)",
+        table(
+            ["ordering", "irreflexivity_viol", "transitivity_viol", "verdict"],
+            rows,
+        ),
+    )

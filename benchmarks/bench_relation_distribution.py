@@ -1,0 +1,50 @@
+"""DIST — how decisive is the composite ordering in practice?
+
+Sweeps stamp width × time spread and tabulates the probability of each
+composite relation.  Expected shape:
+
+* width 1 (primitive stamps): zero incomparability — Proposition 4.2.3
+  guarantees exactly one of </>/~ for primitives;
+* incomparability appears at width ≥ 2 and grows with width — the price
+  of the "latest-set" representation;
+* widening the time spread raises the ordered fraction toward 1 for
+  every width — events far apart in granules always order.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.analysis.distribution import sweep_distributions
+
+from conftest import report, table
+
+
+def test_relation_distribution(benchmark):
+    rows = benchmark(sweep_distributions)
+    by_key = {(r.width, r.global_range): r for r in rows}
+
+    # Shape 1: primitives are never incomparable.
+    for global_range in (6, 20, 60):
+        assert by_key[(1, global_range)].incomparable == 0
+    # Shape 2: incomparability grows with width on tight spreads.
+    tight = [by_key[(width, 6)].incomparable for width in (1, 2, 3, 5)]
+    assert tight[0] == 0
+    assert tight[-1] > 0
+    assert tight == sorted(tight)
+    # Shape 3: spreading time restores decisiveness at every width.
+    for width in (1, 2, 3, 5):
+        ordered = [by_key[(width, g)].ordered for g in (6, 20, 60)]
+        assert ordered == sorted(ordered)
+        assert ordered[-1] > Fraction(4, 5)
+    # Shape 4: the three fractions partition the pairs.
+    for row in rows:
+        assert row.ordered + row.concurrent + row.incomparable == 1
+
+    report(
+        "DIST: composite-relation frequencies by stamp width × time spread",
+        table(
+            ["width", "granule range", "ordered", "concurrent", "incomparable"],
+            [row.as_row() for row in rows],
+        ),
+    )

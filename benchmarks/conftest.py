@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper (figure, worked
+example, theorem, or design-choice ablation) and times a representative
+kernel with pytest-benchmark.  Assertions encode the *shape* the paper
+reports, so ``pytest benchmarks/ --benchmark-only`` both measures and
+validates the reproduction; run with ``-s`` to see the regenerated
+tables.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def report(title: str, lines: list[str]) -> None:
+    """Print a regenerated artifact block (visible with pytest -s)."""
+    print(file=sys.stderr)
+    print(f"── {title} " + "─" * max(0, 60 - len(title)), file=sys.stderr)
+    for line in lines:
+        print(f"   {line}", file=sys.stderr)
+
+
+def table(headers: list[str], rows: list[list[object]]) -> list[str]:
+    """Format a small fixed-width table."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = ["  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))]
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(widths[i]) for i, c in enumerate(row)))
+    return lines

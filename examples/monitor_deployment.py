@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""A stabilized monitoring deployment over an unreliable-ordering network.
+
+Demonstrates the library's answer to the hardest distributed-CEP
+problem: detecting *non-occurrence* (``not``) and *cumulative windows*
+(``A*``) correctly when cross-site message delays reorder arrivals.
+
+Two deployments process the same workload:
+
+1. a naive deployment that evaluates events as they arrive — it signals
+   a "quiet interval" before the late-arriving blocker shows up;
+2. a :class:`StabilizedMonitor` — per-site heartbeats over FIFO channels
+   feed a watermark stabilizer, which releases events to the detector in
+   happen-before order: exact, at a measured latency cost.
+
+Run:  python examples/monitor_deployment.py
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro import Detector
+from repro.events.parser import parse_expression
+from repro.events.semantics import evaluate
+from repro.sim.monitor_site import StabilizedMonitor
+from repro.sim.network import UniformLatency
+from repro.sim.workloads import WorkloadEvent
+
+EXPRESSION = "not(alarm)[patrol_start, patrol_end]"
+
+
+def workload():
+    """Patrols with an alarm inside the second window."""
+    events = []
+    t = Fraction(1)
+    for round_index in range(4):
+        events.append(WorkloadEvent(t, "hq", "patrol_start", {"n": round_index}))
+        if round_index % 2 == 1:
+            events.append(
+                WorkloadEvent(t + 3, "field", "alarm", {"n": round_index})
+            )
+        events.append(WorkloadEvent(t + 6, "hq", "patrol_end", {"n": round_index}))
+        t += 10
+    return events
+
+
+def naive_run(events, seed: int):
+    """Arrival-order evaluation with heterogeneous per-event delays."""
+    rng = random.Random(seed)
+    detector = Detector()
+    detector.register(EXPRESSION, name="quiet")
+    arrivals = []
+    for event in events:
+        delay = Fraction(rng.randint(1, 400), 100)  # up to 4 s late
+        arrivals.append((event.time + delay, event))
+    arrivals.sort(key=lambda pair: pair[0])
+    from repro.time.timestamps import PrimitiveTimestamp
+
+    for _, event in arrivals:
+        granule = int(event.time / Fraction(1, 10))
+        detector.feed_primitive(
+            event.event_type,
+            PrimitiveTimestamp(event.site, granule, granule * 10),
+            dict(event.parameters),
+        )
+    return detector.detections_of("quiet")
+
+
+def stabilized_run(events, seed: int):
+    monitor = StabilizedMonitor(
+        ["hq", "field"],
+        seed=seed,
+        latency=UniformLatency(Fraction(1, 100), Fraction(4), random.Random(seed)),
+        heartbeat_granules=5,
+    )
+    monitor.register(EXPRESSION, name="quiet")
+    monitor.inject(events)
+    monitor.run()
+    return monitor
+
+
+def main() -> None:
+    print("=" * 64)
+    print("Stabilized monitoring: non-occurrence over a reordering network")
+    events = workload()
+    print(f"   workload: {len(events)} events, alarms inside 2 of 4 patrols")
+
+    naive = naive_run(events, seed=7)
+    print(f"   naive arrival-order evaluation: {len(naive)} 'quiet' detections "
+          f"(2 are real; late alarms arrived after the windows closed)")
+
+    monitor = stabilized_run(events, seed=7)
+    records = monitor.detections_of("quiet")
+    oracle = evaluate(parse_expression(EXPRESSION), monitor.history, label="quiet")
+    print(f"   stabilized monitor:             {len(records)} detections "
+          f"(oracle says {len(oracle)})")
+    exact = sorted(
+        repr(r.detection.occurrence.timestamp) for r in records
+    ) == sorted(repr(o.timestamp) for o in oracle)
+    print(f"   stabilized == oracle: {exact}")
+    if records:
+        mean_latency = sum((r.latency for r in records), Fraction(0)) / len(records)
+        print(f"   mean detection latency: {float(mean_latency):.2f} s "
+              f"(heartbeat every 0.5 s + network)")
+    assert exact
+    print("done")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Stock monitoring across two exchanges with ECA rules.
+
+The scenario the active-database literature loves: price events stream
+from two exchanges with independent (drifting but synchronized) clocks;
+composite events correlate movements *across* exchanges, where only the
+paper's distributed timestamp semantics can order occurrences:
+
+* ``crash_spread`` — a threshold breach on NYSE followed (in the
+  2g_g-restricted order) by a breach on LSE: a sequence across sites.
+* ``double_breach`` — breaches on both exchanges regardless of order.
+* ``calm_window``  — a NYSE breach with *no* LSE breach before the next
+  NYSE breach (the NOT operator).
+
+An ECA rule layer reacts to ``crash_spread`` detections: the condition
+checks the price spread carried in the merged parameters, the action
+writes an alert.  Run:  python examples/stock_monitor.py
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro import Context, Detector, RuleManager
+from repro.rules.eca import CouplingMode
+from repro.sim.cluster import DistributedSystem
+from repro.sim.workloads import stock_stream
+
+
+def run_market_detection() -> None:
+    print("=" * 64)
+    print("Distributed market: cross-exchange composite events")
+    system = DistributedSystem(["nyse", "lse"], seed=3)
+    system.set_home("ny_breach", "nyse")
+    system.set_home("lse_breach", "lse")
+    system.register("ny_breach ; lse_breach", name="crash_spread",
+                    context=Context.CHRONICLE)
+    system.register("ny_breach and lse_breach", name="double_breach",
+                    context=Context.CHRONICLE)
+    system.register("not(lse_breach)[ny_breach, ny_breach]", name="calm_window",
+                    context=Context.CHRONICLE)
+
+    # Generate correlated breach times: NYSE breaches, LSE follows ~0.4s
+    # later except when the market is calm.
+    rng = random.Random(9)
+    t = Fraction(1)
+    breaches = 0
+    for n in range(12):
+        system.raise_event("nyse", "ny_breach", at=t, parameters={"n": n})
+        if rng.random() < 0.7:
+            follow = t + Fraction(2, 5)
+            system.raise_event("lse", "lse_breach", at=follow,
+                               parameters={"n": n})
+            breaches += 1
+        t += Fraction(3, 2)
+    system.run()
+
+    print(f"   NYSE breaches: 12, LSE follow-ups: {breaches}")
+    for name in ("crash_spread", "double_breach", "calm_window"):
+        records = system.detections_of(name)
+        print(f"   {name:14s}: {len(records)} detections")
+    spread = system.detections_of("crash_spread")
+    if spread:
+        sample = spread[0].detection.occurrence
+        print(f"   first crash_spread timestamp: {sample.timestamp}")
+    print(f"   network: {system.message_stats()}")
+
+
+def run_rule_layer() -> None:
+    print("=" * 64)
+    print("ECA rules over a local detector (Sentinel style)")
+    detector = Detector(site="nyse")
+    manager = RuleManager(detector)
+    alerts: list[str] = []
+    audit: list[str] = []
+
+    manager.define(
+        "alert_on_spread",
+        "drop ; drop2",
+        condition=lambda d: (
+            d.occurrence.parameters["price"] < 95
+        ),
+        action=lambda d: alerts.append(
+            f"ALERT spread @ {d.occurrence.timestamp} "
+            f"price={d.occurrence.parameters['price']}"
+        ),
+        priority=10,
+    )
+    manager.define(
+        "audit_everything",
+        "drop ; drop2",
+        action=lambda d: audit.append("audited"),
+        coupling=CouplingMode.DEFERRED,
+        priority=1,
+    )
+
+    # Random-walk prices on one exchange; a drop event when price < 97.
+    rng = random.Random(5)
+    events = stock_stream(rng, ["nyse"], ["ACME"], ticks=60)
+    granule = 0
+    for event in events:
+        if event.event_type != "price":
+            continue
+        granule += 2
+        price = event.parameters["price"]
+        if price < 97:
+            from repro.time.timestamps import PrimitiveTimestamp
+
+            stamp = PrimitiveTimestamp("nyse", granule, granule * 10)
+            name = "drop" if price >= 94 else "drop2"
+            manager.raise_event(name, stamp, {"price": price})
+
+    print(f"   immediate alerts fired: {len(alerts)}")
+    for line in alerts[:3]:
+        print(f"     {line}")
+    print(f"   deferred audits queued: {manager.pending_deferred()}")
+    manager.flush()
+    print(f"   deferred audits executed at commit: {len(audit)}")
+
+
+def main() -> None:
+    run_market_detection()
+    run_rule_layer()
+    print("=" * 64)
+    print("done")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+"""repro — distributed composite-event semantics (Yang & Chakravarthy, ICDE 1999).
+
+A complete reproduction of *Formal Semantics of Composite Events for
+Distributed Environments*: the ``2g_g``-restricted time model, distributed
+primitive and composite timestamps with their partial orders, the ``Max``
+propagation operator, the full distributed Snoop/Sentinel operator set, an
+ECA rule layer, and a discrete-event simulator of the multi-site substrate.
+
+Quick tour::
+
+    from repro import DistributedSystem, Context
+
+    system = DistributedSystem(["ny", "ldn"], seed=1)
+    system.set_home("buy", "ny")
+    system.set_home("sell", "ldn")
+    system.register("buy ; sell", name="roundtrip", context=Context.CHRONICLE)
+    system.raise_event("ny", "buy", at=1)
+    system.raise_event("ldn", "sell", at=2)
+    system.run()
+    print(system.detections_of("roundtrip"))
+
+See ``examples/`` for runnable scenarios, ``DESIGN.md`` for the system
+inventory, and ``EXPERIMENTS.md`` for the paper-versus-measured record.
+"""
+
+from repro.contexts.policies import Context
+from repro.detection.coordinator import DistributedDetector, PlacementPolicy
+from repro.detection.detector import Detection, Detector
+from repro.events.expressions import (
+    And,
+    Aperiodic,
+    AperiodicStar,
+    Comparison,
+    EventExpression,
+    Filter,
+    Not,
+    Or,
+    Periodic,
+    PeriodicStar,
+    Plus,
+    Primitive,
+    Sequence,
+    Times,
+)
+from repro.events.occurrences import EventOccurrence, History
+from repro.events.parser import parse_expression
+from repro.events.semantics import evaluate
+from repro.events.types import EventClass, EventType, TypeRegistry
+from repro.detection.stabilizer import Stabilizer
+from repro.rules.eca import CouplingMode, Rule, RuleManager
+from repro.rules.language import load_rules
+from repro.sim.monitor import accuracy, latency_stats
+from repro.storage.log import EventLog
+from repro.sim.cluster import DetectionRecord, DistributedSystem
+from repro.sim.monitor_site import StabilizedMonitor
+from repro.time.clocks import ClockEnsemble, LocalClock, ReferenceClock
+from repro.time.composite import (
+    CompositeRelation,
+    CompositeTimestamp,
+    composite_relation,
+    max_of,
+    max_of_many,
+    max_set,
+)
+from repro.time.intervals import ClosedInterval, OpenInterval
+from repro.time.ticks import Granularity, TimeModel, TruncMode
+from repro.time.timestamps import PrimitiveTimestamp, Relation, relation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "And",
+    "Aperiodic",
+    "AperiodicStar",
+    "ClockEnsemble",
+    "ClosedInterval",
+    "CompositeRelation",
+    "CompositeTimestamp",
+    "Context",
+    "CouplingMode",
+    "Detection",
+    "DetectionRecord",
+    "Detector",
+    "DistributedDetector",
+    "DistributedSystem",
+    "Comparison",
+    "EventClass",
+    "EventExpression",
+    "EventLog",
+    "Filter",
+    "Times",
+    "EventOccurrence",
+    "EventType",
+    "Granularity",
+    "History",
+    "LocalClock",
+    "Not",
+    "OpenInterval",
+    "Or",
+    "Periodic",
+    "PeriodicStar",
+    "PlacementPolicy",
+    "Plus",
+    "Primitive",
+    "PrimitiveTimestamp",
+    "ReferenceClock",
+    "Relation",
+    "Rule",
+    "RuleManager",
+    "Sequence",
+    "StabilizedMonitor",
+    "Stabilizer",
+    "TimeModel",
+    "TruncMode",
+    "TypeRegistry",
+    "composite_relation",
+    "evaluate",
+    "max_of",
+    "max_of_many",
+    "max_set",
+    "parse_expression",
+    "relation",
+    "accuracy",
+    "latency_stats",
+    "load_rules",
+]

@@ -1,0 +1,67 @@
+"""Empirical verification of the paper's theorems and propositions.
+
+* :mod:`repro.analysis.universe` — reproducible random generators of
+  primitive and composite timestamps.
+* :mod:`repro.analysis.properties` — checkers for every numbered theorem
+  and proposition, returning violation lists (empty = property holds).
+* :mod:`repro.analysis.metrics` — comparability/violation statistics used
+  by the ordering benchmarks.
+"""
+
+from repro.analysis.universe import (
+    random_composite,
+    random_composite_universe,
+    random_primitive,
+    random_primitive_universe,
+)
+from repro.analysis.properties import (
+    PropertyReport,
+    check_all,
+    check_proposition_4_1,
+    check_proposition_4_2,
+    check_theorem_4_1,
+    check_theorem_5_1,
+    check_theorem_5_2,
+    check_theorem_5_3,
+    check_theorem_5_4,
+    theorem_5_3_counterexample,
+    theorem_5_4_counterexample,
+)
+from repro.analysis.distribution import (
+    RelationDistribution,
+    measure_distribution,
+    sweep_distributions,
+)
+from repro.analysis.metrics import (
+    OrderingProfile,
+    comparability_rate,
+    irreflexivity_violations,
+    profile_ordering,
+    transitivity_violations,
+)
+
+__all__ = [
+    "OrderingProfile",
+    "RelationDistribution",
+    "measure_distribution",
+    "sweep_distributions",
+    "PropertyReport",
+    "profile_ordering",
+    "theorem_5_4_counterexample",
+    "check_all",
+    "check_proposition_4_1",
+    "check_proposition_4_2",
+    "check_theorem_4_1",
+    "check_theorem_5_1",
+    "check_theorem_5_2",
+    "check_theorem_5_3",
+    "check_theorem_5_4",
+    "comparability_rate",
+    "irreflexivity_violations",
+    "random_composite",
+    "random_composite_universe",
+    "random_primitive",
+    "random_primitive_universe",
+    "theorem_5_3_counterexample",
+    "transitivity_violations",
+]

@@ -1,0 +1,95 @@
+"""Relation-distribution study: how decisive is the composite ordering?
+
+The paper's "least restricted" requirement exists because a partial
+order that leaves too many pairs undecided is useless for sequence
+detection.  This module measures, over controlled random universes, the
+probability of each composite relation — BEFORE/AFTER, CONCURRENT,
+INCOMPARABLE — as a function of:
+
+* **stamp width** — constituents per composite stamp (wider stamps are
+  harder to order: every triple of the later stamp needs a witness);
+* **time spread** — the global-granule range events land in (tighter
+  spreads produce more concurrency).
+
+The DIST benchmark regenerates the table; the headline observations are
+that incomparability appears only for width ≥ 2 (primitive stamps are
+never incomparable — Proposition 4.2.3) and grows with width, while
+spreading events over a longer horizon restores decisiveness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.analysis.universe import random_composite_universe
+from repro.time.composite import CompositeRelation, composite_relation
+
+
+@dataclass(frozen=True, slots=True)
+class RelationDistribution:
+    """Relative frequency of each composite relation over a universe."""
+
+    width: int
+    global_range: int
+    pairs: int
+    ordered: Fraction
+    concurrent: Fraction
+    incomparable: Fraction
+
+    def as_row(self) -> list[str]:
+        return [
+            str(self.width),
+            str(self.global_range),
+            f"{float(self.ordered):.3f}",
+            f"{float(self.concurrent):.3f}",
+            f"{float(self.incomparable):.3f}",
+        ]
+
+
+def measure_distribution(
+    width: int,
+    global_range: int,
+    universe_size: int = 40,
+    seed: int = 0,
+    sites: int = 4,
+) -> RelationDistribution:
+    """Sample a universe and tabulate the pairwise relation frequencies."""
+    rng = random.Random(seed)
+    universe = random_composite_universe(
+        rng,
+        universe_size,
+        sites=[f"s{i}" for i in range(1, sites + 1)],
+        constituents=width,
+        global_range=(0, global_range),
+    )
+    counts = {relation: 0 for relation in CompositeRelation}
+    pairs = 0
+    for i, a in enumerate(universe):
+        for b in universe[i + 1 :]:
+            counts[composite_relation(a, b)] += 1
+            pairs += 1
+    ordered = counts[CompositeRelation.BEFORE] + counts[CompositeRelation.AFTER]
+    return RelationDistribution(
+        width=width,
+        global_range=global_range,
+        pairs=pairs,
+        ordered=Fraction(ordered, pairs),
+        concurrent=Fraction(counts[CompositeRelation.CONCURRENT], pairs),
+        incomparable=Fraction(counts[CompositeRelation.INCOMPARABLE], pairs),
+    )
+
+
+def sweep_distributions(
+    widths: tuple[int, ...] = (1, 2, 3, 5),
+    global_ranges: tuple[int, ...] = (6, 20, 60),
+    universe_size: int = 40,
+    seed: int = 0,
+) -> list[RelationDistribution]:
+    """The DIST benchmark's full sweep."""
+    return [
+        measure_distribution(width, global_range, universe_size, seed)
+        for width in widths
+        for global_range in global_ranges
+    ]

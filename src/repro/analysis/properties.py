@@ -1,0 +1,312 @@
+"""Checkers for every numbered theorem and proposition in the paper.
+
+Each ``check_*`` function sweeps a sample (random universe or exhaustive
+small-domain enumeration) and returns a :class:`PropertyReport` whose
+``violations`` list is empty iff the property held on the sample.  The
+tests assert emptiness for the properties that are true; for the two
+claims we found to be *false as stated* — the left-to-right direction of
+Theorem 5.3, and Theorem 5.4 under the literal ``<_p`` reading of
+Definition 5.9 — dedicated functions expose minimal counterexamples, and
+the checkers verify the *corrected* statements (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.analysis.universe import (
+    random_composite_universe,
+    random_primitive_universe,
+)
+from repro.time.composite import (
+    CompositeTimestamp,
+    composite_concurrent,
+    composite_dominated_by,
+    composite_happens_before,
+    composite_weak_leq,
+    max_of,
+    max_of_cases,
+    max_set,
+)
+from repro.time.timestamps import (
+    PrimitiveTimestamp,
+    concurrent,
+    happens_before,
+    simultaneous,
+    weak_leq,
+)
+
+
+@dataclass
+class PropertyReport:
+    """Outcome of sweeping one property over a sample."""
+
+    name: str
+    checked: int
+    violations: list[Any] = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        return not self.violations
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "holds" if self.holds else f"{len(self.violations)} violations"
+        return f"{self.name}: {status} over {self.checked} checks"
+
+
+# --- Section 4: primitive timestamps ------------------------------------------
+
+
+def check_theorem_4_1(
+    stamps: Sequence[PrimitiveTimestamp],
+) -> PropertyReport:
+    """Theorem 4.1: primitive ``<`` is irreflexive and transitive."""
+    violations: list[Any] = []
+    checked = 0
+    for a in stamps:
+        checked += 1
+        if happens_before(a, a):
+            violations.append(("irreflexive", a))
+    for a in stamps:
+        for b in stamps:
+            if not happens_before(a, b):
+                continue
+            for c in stamps:
+                checked += 1
+                if happens_before(b, c) and not happens_before(a, c):
+                    violations.append(("transitive", a, b, c))
+    return PropertyReport("theorem 4.1 (primitive < strict partial order)", checked, violations)
+
+
+def check_proposition_4_1(
+    stamps: Sequence[PrimitiveTimestamp],
+) -> PropertyReport:
+    """Proposition 4.1: local/global coupling and concurrency spread.
+
+    1. ``local1 < local2 ⟹ global1 <= global2``;
+    2. ``local1 = local2 ⟹ global1 = global2``;
+    3. ``T1 ~ T2 ⟹ |global1 - global2| <= 1``.
+
+    Items 1-2 presume stamps generated under one granule ratio (as
+    :mod:`repro.analysis.universe` does).
+    """
+    violations: list[Any] = []
+    checked = 0
+    for a in stamps:
+        for b in stamps:
+            checked += 1
+            if a.local < b.local and not a.global_time <= b.global_time:
+                violations.append(("4.1.1", a, b))
+            if a.local == b.local and a.global_time != b.global_time:
+                violations.append(("4.1.2", a, b))
+            if concurrent(a, b) and abs(a.global_time - b.global_time) > 1:
+                violations.append(("4.1.3", a, b))
+    return PropertyReport("proposition 4.1 (local/global coupling)", checked, violations)
+
+
+def check_proposition_4_2(
+    stamps: Sequence[PrimitiveTimestamp],
+) -> PropertyReport:
+    """Proposition 4.2, items 1-10, checked pairwise/triple-wise.
+
+    The two *negative* claims of item 6 (concurrency is not a congruence
+    and not transitive) are existence statements about counterexamples,
+    not universally-quantified properties, so they are exercised by the
+    dedicated tests rather than swept here.
+    """
+    violations: list[Any] = []
+    checked = 0
+    for a in stamps:
+        for b in stamps:
+            checked += 1
+            # (1) asymmetry of <.
+            if happens_before(a, b) and happens_before(b, a):
+                violations.append(("4.2.1", a, b))
+            # (2) antisymmetry of ⪯ up to ~.
+            if weak_leq(a, b) and weak_leq(b, a) and not concurrent(a, b):
+                violations.append(("4.2.2", a, b))
+            # (3) exactly one of <, >, ~.
+            count = sum(
+                (happens_before(a, b), happens_before(b, a), concurrent(a, b))
+            )
+            if count != 1:
+                violations.append(("4.2.3", a, b))
+            # (4) totality of ⪯.
+            if not (weak_leq(a, b) or weak_leq(b, a)):
+                violations.append(("4.2.4", a, b))
+            # (5) same-site concurrency is simultaneity.
+            if concurrent(a, b) and a.site == b.site and not simultaneous(a, b):
+                violations.append(("4.2.5", a, b))
+            # (9) not < implies reverse ⪯.
+            if not happens_before(a, b) and not weak_leq(b, a):
+                violations.append(("4.2.9", a, b))
+            # (10) mutually unordered implies concurrent.
+            if (
+                not happens_before(a, b)
+                and not happens_before(b, a)
+                and not concurrent(a, b)
+            ):
+                violations.append(("4.2.10", a, b))
+    for a in stamps:
+        for b in stamps:
+            for c in stamps:
+                checked += 1
+                # (6) simultaneity is a congruence for <.
+                if simultaneous(a, b) and happens_before(a, c) and not happens_before(b, c):
+                    violations.append(("4.2.6", a, b, c))
+                # (7) a<b, b~c ⟹ a⪯c.
+                if happens_before(a, b) and concurrent(b, c) and not weak_leq(a, c):
+                    violations.append(("4.2.7", a, b, c))
+                # (8) a~b, b<c ⟹ a⪯c.
+                if concurrent(a, b) and happens_before(b, c) and not weak_leq(a, c):
+                    violations.append(("4.2.8", a, b, c))
+    return PropertyReport("proposition 4.2 (items 1-10)", checked, violations)
+
+
+# --- Section 5: composite timestamps -------------------------------------------
+
+
+def check_theorem_5_1(
+    universes: Sequence[Sequence[PrimitiveTimestamp]],
+) -> PropertyReport:
+    """Theorem 5.1: the max-set of any stamp set is pairwise concurrent."""
+    violations: list[Any] = []
+    checked = 0
+    for stamps in universes:
+        if not stamps:
+            continue
+        maxima = max_set(stamps)
+        for a in maxima:
+            for b in maxima:
+                checked += 1
+                if not concurrent(a, b):
+                    violations.append((sorted(map(str, stamps)), str(a), str(b)))
+    return PropertyReport("theorem 5.1 (max-set pairwise concurrent)", checked, violations)
+
+
+def check_theorem_5_2(
+    stamps: Sequence[CompositeTimestamp],
+) -> PropertyReport:
+    """Theorem 5.2: composite ``<_p`` is irreflexive and transitive."""
+    violations: list[Any] = []
+    checked = 0
+    for a in stamps:
+        checked += 1
+        if composite_happens_before(a, a):
+            violations.append(("irreflexive", a))
+    for a in stamps:
+        for b in stamps:
+            if not composite_happens_before(a, b):
+                continue
+            for c in stamps:
+                checked += 1
+                if composite_happens_before(b, c) and not composite_happens_before(a, c):
+                    violations.append(("transitive", a, b, c))
+    return PropertyReport("theorem 5.2 (composite <_p strict partial order)", checked, violations)
+
+
+def check_theorem_5_3(
+    stamps: Sequence[CompositeTimestamp],
+    corrected: bool = True,
+) -> PropertyReport:
+    """Theorem 5.3: ``T1 ⪯ T2 ⟺ T1 ~ T2 or T1 < T2``.
+
+    With ``corrected=True`` (default) only the right-to-left direction —
+    the one that is actually true — is checked.  With
+    ``corrected=False`` the paper's full equivalence is swept, and the
+    report's violations exhibit the failure of the left-to-right
+    direction (cf. :func:`theorem_5_3_counterexample`).
+    """
+    violations: list[Any] = []
+    checked = 0
+    for a in stamps:
+        for b in stamps:
+            checked += 1
+            rhs = composite_concurrent(a, b) or composite_happens_before(a, b)
+            lhs = composite_weak_leq(a, b)
+            if rhs and not lhs:
+                violations.append(("right-to-left", a, b))
+            if not corrected and lhs and not rhs:
+                violations.append(("left-to-right", a, b))
+    label = "theorem 5.3" + (" (corrected: ⇐ only)" if corrected else " (as stated)")
+    return PropertyReport(label, checked, violations)
+
+
+def theorem_5_3_counterexample() -> tuple[CompositeTimestamp, CompositeTimestamp]:
+    """A minimal counterexample to Theorem 5.3's left-to-right direction.
+
+    ``T1 = {(s1,5,50), (s4,6,65)}`` and ``T2 = {(s2,7,70), (s3,6,60)}``:
+    every pair satisfies the primitive ``⪯`` (so ``T1 ⪯ T2``), but the
+    pair ``(s1,5,50) < (s2,7,70)`` rules out ``T1 ~ T2`` while
+    ``(s3,6,60)`` has no ``T1`` element below it, ruling out
+    ``T1 <_p T2`` (and ``(s4,6,65)`` rules out ``T1 <_g T2`` as well).
+    """
+    t1 = CompositeTimestamp.from_triples([("s1", 5, 50), ("s4", 6, 65)])
+    t2 = CompositeTimestamp.from_triples([("s2", 7, 70), ("s3", 6, 60)])
+    return t1, t2
+
+
+def check_theorem_5_4(
+    stamps: Sequence[CompositeTimestamp],
+    ordering: Callable[[CompositeTimestamp, CompositeTimestamp], bool] = composite_dominated_by,
+) -> PropertyReport:
+    """Theorem 5.4: ``Max(T1, T2) = max(T1 ∪ T2)``.
+
+    The ``Max`` under test is Definition 5.9's case analysis with the
+    given ordering; with the domination ordering ``<_g`` (default) the
+    theorem holds, with the literal ``<_p`` it fails (see
+    :func:`theorem_5_4_counterexample`).
+    """
+    violations: list[Any] = []
+    checked = 0
+    for a in stamps:
+        for b in stamps:
+            checked += 1
+            via_cases = max_of_cases(a, b, ordering)
+            via_union = max_of(a, b)
+            if via_cases != via_union:
+                violations.append((a, b, via_cases, via_union))
+    name = f"theorem 5.4 (Max = max(union)) under {getattr(ordering, '__name__', ordering)}"
+    return PropertyReport(name, checked, violations)
+
+
+def theorem_5_4_counterexample() -> tuple[CompositeTimestamp, CompositeTimestamp]:
+    """Inputs where Definition 5.9 with literal ``<_p`` loses information.
+
+    ``T1 = {(s1,8,80)}`` and ``T2 = {(s2,6,60), (s3,7,70)}``:
+    ``T2 <_p T1`` holds via the witness ``(s2,6,60) < (s1,8,80)``, so the
+    literal case analysis returns ``T1`` — dropping ``(s3,7,70)``, which
+    is concurrent with ``(s1,8,80)`` and belongs to ``max(T1 ∪ T2)``.
+    """
+    t1 = CompositeTimestamp.from_triples([("s1", 8, 80)])
+    t2 = CompositeTimestamp.from_triples([("s2", 6, 60), ("s3", 7, 70)])
+    return t1, t2
+
+
+# --- sweep driver -----------------------------------------------------------------
+
+
+def check_all(
+    seed: int = 0,
+    primitive_count: int = 60,
+    composite_count: int = 40,
+    sets_count: int = 50,
+) -> list[PropertyReport]:
+    """Run every checker over fresh random universes; returns the reports."""
+    rng = random.Random(seed)
+    primitives = random_primitive_universe(rng, primitive_count)
+    composites = random_composite_universe(rng, composite_count)
+    stamp_sets = [
+        random_primitive_universe(rng, rng.randint(1, 6)) for _ in range(sets_count)
+    ]
+    return [
+        check_theorem_4_1(primitives[:30]),
+        check_proposition_4_1(primitives),
+        check_proposition_4_2(primitives[:30]),
+        check_theorem_5_1(stamp_sets),
+        check_theorem_5_2(composites),
+        check_theorem_5_3(composites),
+        check_theorem_5_4(composites),
+    ]

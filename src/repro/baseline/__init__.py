@@ -1,0 +1,26 @@
+"""Baseline semantics the paper compares against.
+
+Contains a reconstruction of the composite-event timestamp semantics of
+Schwiderski's dissertation ([10] in the paper), which the paper's Section
+5.1 refutes with a concrete counterexample.
+"""
+
+from repro.baseline.schwiderski import (
+    SchwiderskiTimestamp,
+    known_transitivity_violation,
+    paper_counterexample,
+    sch_concurrent,
+    sch_happens_before,
+    sch_join,
+    transitivity_violations,
+)
+
+__all__ = [
+    "SchwiderskiTimestamp",
+    "known_transitivity_violation",
+    "paper_counterexample",
+    "sch_concurrent",
+    "sch_happens_before",
+    "sch_join",
+    "transitivity_violations",
+]

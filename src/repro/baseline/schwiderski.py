@@ -1,0 +1,160 @@
+"""Reconstruction of the Schwiderski [10] composite-timestamp baseline.
+
+The paper's Section 2 and Section 5.1 contrast its semantics with
+Schwiderski's dissertation (*Monitoring the behaviour of distributed
+systems*, Cambridge, 1996):
+
+* [10] collects *all* constituent timestamps into a composite timestamp —
+  it does not enforce the "latest" (max-set) property;
+* [10]'s happen-before on timestamp sets is **not transitive** (the paper
+  exhibits the counterexample reproduced by :func:`paper_counterexample`),
+  so it is not a well-defined strict partial order;
+* [10]'s "joining" operators are conceptually the same as the paper's
+  ``Max`` but less precisely specified.
+
+The dissertation itself is not available, so this module is a documented
+best-effort reconstruction: timestamps are plain sets of primitive triples
+(no max-set), happen-before is the existential ordering ``∃t1 ∃t2: t1 <
+t2`` guarded by the absence of a reverse witness — the weakest reading
+consistent with the dissertation's informal description.  Whatever the
+exact original definition, the *property the paper attacks* — failure of
+transitivity — holds for this reconstruction, and the ordering-validity
+benchmark quantifies it next to the paper's ``<_p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import EmptyTimestampError
+from repro.time.timestamps import PrimitiveTimestamp, happens_before
+
+
+@dataclass(frozen=True)
+class SchwiderskiTimestamp:
+    """A [10]-style composite timestamp: *all* constituent triples.
+
+    Unlike :class:`repro.time.composite.CompositeTimestamp` there is no
+    max-set enforcement and no pairwise-concurrency invariant; dominated
+    triples accumulate as events propagate (the MAX benchmark measures the
+    resulting growth).
+    """
+
+    stamps: frozenset[PrimitiveTimestamp]
+
+    def __post_init__(self) -> None:
+        if not self.stamps:
+            raise EmptyTimestampError("a timestamp needs at least one triple")
+
+    @classmethod
+    def of(cls, *stamps: PrimitiveTimestamp) -> "SchwiderskiTimestamp":
+        """Build from constituent stamps — all of them are kept."""
+        return cls(frozenset(stamps))
+
+    @classmethod
+    def from_triples(
+        cls, triples: Iterable[tuple[str, int, int]]
+    ) -> "SchwiderskiTimestamp":
+        """Build from raw ``(site, global, local)`` triples."""
+        return cls(frozenset(PrimitiveTimestamp(*t) for t in triples))
+
+    def __iter__(self) -> Iterator[PrimitiveTimestamp]:
+        return iter(self.stamps)
+
+    def __len__(self) -> int:
+        return len(self.stamps)
+
+    def __lt__(self, other: "SchwiderskiTimestamp") -> bool:
+        return sch_happens_before(self, other)
+
+
+def sch_happens_before(t1: SchwiderskiTimestamp, t2: SchwiderskiTimestamp) -> bool:
+    """[10]-style happen-before: a forward witness and no backward witness.
+
+    ``T1 < T2`` iff some pair ``t1 < t2`` exists and no pair ``t2' < t1'``
+    does.  Irreflexive, but **not transitive** — the ordering-validity
+    benchmark finds violations on random universes, and the paper's own
+    counterexample is checked in the tests.
+    """
+    forward = any(happens_before(a, b) for a in t1.stamps for b in t2.stamps)
+    backward = any(happens_before(b, a) for a in t1.stamps for b in t2.stamps)
+    return forward and not backward
+
+
+def sch_concurrent(t1: SchwiderskiTimestamp, t2: SchwiderskiTimestamp) -> bool:
+    """[10]-style concurrency: unordered either way."""
+    return not sch_happens_before(t1, t2) and not sch_happens_before(t2, t1)
+
+
+def sch_join(t1: SchwiderskiTimestamp, t2: SchwiderskiTimestamp) -> SchwiderskiTimestamp:
+    """[10]-style joining: keep everything (no max-set pruning)."""
+    return SchwiderskiTimestamp(t1.stamps | t2.stamps)
+
+
+def paper_counterexample() -> tuple[
+    SchwiderskiTimestamp, SchwiderskiTimestamp, SchwiderskiTimestamp
+]:
+    """The Section 5.1 counterexample triple against [10]'s ordering.
+
+    ``T(e1) = {(site1,8,80),(site2,2,80)}``,
+    ``T(e2) = {(site1,9,90),(site2,8,80)}``,
+    ``T(e3) = {(site2,9,90)}``.
+
+    The paper states that under [10]'s definitions ``T(e1) ~ T(e2)`` and
+    ``T(e2) < T(e3)`` yet ``T(e1) ~ T(e3)`` — a transitivity-flavoured
+    failure that rules the ordering out as a strict partial order.  The
+    tests verify our reconstruction reproduces exactly this pattern.
+    """
+    t1 = SchwiderskiTimestamp.from_triples([("site1", 8, 80), ("site2", 2, 80)])
+    t2 = SchwiderskiTimestamp.from_triples([("site1", 9, 90), ("site2", 8, 80)])
+    t3 = SchwiderskiTimestamp.from_triples([("site2", 9, 90)])
+    return t1, t2, t3
+
+
+def transitivity_violations(
+    universe: list[SchwiderskiTimestamp],
+) -> list[tuple[SchwiderskiTimestamp, SchwiderskiTimestamp, SchwiderskiTimestamp]]:
+    """All ``(a, b, c)`` with ``a < b``, ``b < c`` but not ``a < c``.
+
+    Used by the ordering-validity benchmark to demonstrate, on random
+    universes, that the [10]-style ordering is not transitive while the
+    paper's ``<_p`` is.
+    """
+    violations = []
+    for a in universe:
+        for b in universe:
+            if not sch_happens_before(a, b):
+                continue
+            for c in universe:
+                if sch_happens_before(b, c) and not sch_happens_before(a, c):
+                    violations.append((a, b, c))
+    return violations
+
+
+def known_transitivity_violation() -> tuple[
+    SchwiderskiTimestamp, SchwiderskiTimestamp, SchwiderskiTimestamp
+]:
+    """A concrete transitivity violation of the reconstructed ordering.
+
+    ``a = {(s1,5,50)}``, ``b = {(s2,7,70), (s3,4,40)}``, ``c = {(s4,6,60)}``:
+    ``a < b`` (witness ``(s1,5,50) < (s2,7,70)``) and ``b < c`` (witness
+    ``(s3,4,40) < (s4,6,60)``) but ``a`` and ``c`` are concurrent — no
+    forward witness exists.  Used as a regression fixture alongside the
+    random-universe sweep.
+    """
+    a = SchwiderskiTimestamp.from_triples([("s1", 5, 50)])
+    b = SchwiderskiTimestamp.from_triples([("s2", 7, 70), ("s3", 4, 40)])
+    c = SchwiderskiTimestamp.from_triples([("s4", 6, 60)])
+    return a, b, c
+
+
+__all__ = [
+    "SchwiderskiTimestamp",
+    "known_transitivity_violation",
+    "paper_counterexample",
+    "sch_concurrent",
+    "sch_happens_before",
+    "sch_join",
+    "transitivity_violations",
+]

@@ -1,0 +1,238 @@
+"""Command-line interface for the repro toolkit.
+
+Subcommands::
+
+    repro parse  "<expression>"            pretty-print the Snoop AST
+    repro relate "<T1>" "<T2>"             classify two composite stamps
+    repro grid   "<T>" --sites ...         render the Figure-2 region grid
+    repro replay <trace> "<expr>" ...      detect a composite event on a trace
+    repro check  [--seed N]                run the theorem sweep
+
+Composite timestamps are written as semicolon-separated triples, e.g.
+``"site1,8,81; site2,7,72"``.  Exposed both as ``python -m repro.cli`` and
+as the ``repro`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.properties import check_all
+from repro.contexts.policies import Context
+from repro.errors import ReproError
+from repro.events.expressions import EventExpression
+from repro.events.parser import parse_expression
+from repro.sim.cluster import DistributedSystem
+from repro.sim.trace import load_trace
+from repro.time.composite import CompositeTimestamp, composite_relation
+from repro.time.regions import render_grid
+
+
+def parse_stamp(text: str) -> CompositeTimestamp:
+    """Parse ``"site,global,local; site,global,local"`` into a stamp."""
+    triples = []
+    for part in text.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        fields = [f.strip() for f in part.split(",")]
+        if len(fields) != 3:
+            raise ReproError(
+                f"a triple needs site,global,local — got {part!r}"
+            )
+        site, global_time, local = fields
+        triples.append((site, int(global_time), int(local)))
+    if not triples:
+        raise ReproError(f"no triples found in {text!r}")
+    return CompositeTimestamp.from_triples(triples)
+
+
+def _render_ast(expression: EventExpression, indent: int = 0) -> list[str]:
+    label = type(expression).__name__
+    if not expression.children():
+        return [" " * indent + f"{label}: {expression}"]
+    lines = [" " * indent + label]
+    for child in expression.children():
+        lines.extend(_render_ast(child, indent + 2))
+    return lines
+
+
+def cmd_parse(args: argparse.Namespace) -> int:
+    expression = parse_expression(args.expression)
+    print(f"expression: {expression}")
+    print(f"depth: {expression.depth()}")
+    print(f"primitive types: {', '.join(sorted(expression.primitive_types()))}")
+    for line in _render_ast(expression):
+        print(line)
+    return 0
+
+
+def cmd_simplify(args: argparse.Namespace) -> int:
+    from repro.events.rewrite import describe_rewrites, simplify
+
+    expression = parse_expression(args.expression)
+    simplified = simplify(expression)
+    trace = describe_rewrites(expression)
+    print(f"original:   {expression}")
+    print(f"simplified: {simplified}")
+    print(
+        f"laws fired: or-idempotence={trace.or_idempotence} "
+        f"unit-times={trace.unit_times} filter-fusion={trace.filter_fusion}"
+    )
+    return 0
+
+
+def cmd_relate(args: argparse.Namespace) -> int:
+    t1 = parse_stamp(args.first)
+    t2 = parse_stamp(args.second)
+    rel = composite_relation(t1, t2)
+    print(f"T1 = {t1}")
+    print(f"T2 = {t2}")
+    print(f"relation(T1, T2) = {rel.value}")
+    return 0
+
+
+def cmd_grid(args: argparse.Namespace) -> int:
+    reference = parse_stamp(args.stamp)
+    sites = args.sites if args.sites else sorted(
+        reference.sites() | {"other1", "other2"}
+    )
+    print(render_grid(reference, sites, ratio=args.ratio))
+    print()
+    print("legend: < before  - weak-before  ~ concurrent  + weak-after  "
+          "> after  * reference")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    sites = sorted(trace.sites())
+    system = DistributedSystem(sites, seed=args.seed)
+    for event_type in sorted(trace.types()):
+        # Home each type at the site that raises it most often.
+        counts: dict[str, int] = {}
+        for event in trace:
+            if event.event_type == event_type:
+                counts[event.site] = counts.get(event.site, 0) + 1
+        home = max(sorted(counts), key=lambda s: counts[s])
+        system.set_home(event_type, home)
+    system.register(
+        args.expression, name="query", context=Context[args.context.upper()]
+    )
+    system.inject(trace)
+    system.run()
+    records = system.detections_of("query")
+    print(f"replayed {len(trace)} events from {args.trace}")
+    print(f"detections of {args.expression!r}: {len(records)}")
+    for record in records[: args.limit]:
+        print(f"  @ {record.detection.occurrence.timestamp} "
+              f"latency={float(record.latency) * 1000:.1f}ms")
+    if len(records) > args.limit:
+        print(f"  ... and {len(records) - args.limit} more")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    reports = check_all(seed=args.seed)
+    failures = 0
+    for report in reports:
+        marker = "ok " if report.holds else "FAIL"
+        print(f"[{marker}] {report}")
+        failures += not report.holds
+    return 1 if failures else 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import collect, render_markdown, verify_report
+
+    data = collect(seed=args.seed, universe_size=args.universe)
+    problems = verify_report(data)
+    markdown = render_markdown(data)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(markdown)
+        print(f"wrote {args.out}")
+    else:
+        print(markdown)
+    for problem in problems:
+        print(f"PROBLEM: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed composite-event semantics toolkit "
+        "(Yang & Chakravarthy, ICDE 1999)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    parse_command = commands.add_parser("parse", help="pretty-print a Snoop AST")
+    parse_command.add_argument("expression")
+    parse_command.set_defaults(handler=cmd_parse)
+
+    simplify_command = commands.add_parser(
+        "simplify", help="apply the algebraic rewriter to an expression"
+    )
+    simplify_command.add_argument("expression")
+    simplify_command.set_defaults(handler=cmd_simplify)
+
+    relate_command = commands.add_parser(
+        "relate", help="classify the relation of two composite stamps"
+    )
+    relate_command.add_argument("first")
+    relate_command.add_argument("second")
+    relate_command.set_defaults(handler=cmd_relate)
+
+    grid_command = commands.add_parser("grid", help="render a Figure-2 grid")
+    grid_command.add_argument("stamp")
+    grid_command.add_argument("--sites", nargs="*", default=None)
+    grid_command.add_argument("--ratio", type=int, default=10)
+    grid_command.set_defaults(handler=cmd_grid)
+
+    replay_command = commands.add_parser(
+        "replay", help="replay a trace against an expression"
+    )
+    replay_command.add_argument("trace")
+    replay_command.add_argument("expression")
+    replay_command.add_argument(
+        "--context",
+        default="unrestricted",
+        choices=[context.value for context in Context],
+    )
+    replay_command.add_argument("--seed", type=int, default=0)
+    replay_command.add_argument("--limit", type=int, default=10)
+    replay_command.set_defaults(handler=cmd_replay)
+
+    check_command = commands.add_parser(
+        "check", help="run the theorem/proposition sweep"
+    )
+    check_command.add_argument("--seed", type=int, default=0)
+    check_command.set_defaults(handler=cmd_check)
+
+    report_command = commands.add_parser(
+        "report", help="generate the markdown reproduction report"
+    )
+    report_command.add_argument("--seed", type=int, default=0)
+    report_command.add_argument("--universe", type=int, default=40)
+    report_command.add_argument("--out", default=None)
+    report_command.set_defaults(handler=cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - direct invocation
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Parameter contexts (event-consumption modes) from Sentinel/Snoop.
+
+The paper builds on Sentinel's composite event detector, whose operator
+nodes combine constituent occurrences under a *parameter context* that
+governs which initiator occurrences participate in a detection and which
+are consumed.  See :mod:`repro.contexts.policies`.
+"""
+
+from repro.contexts.policies import Context, Selection, select_initiators
+
+__all__ = ["Context", "Selection", "select_initiators"]

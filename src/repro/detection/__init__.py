@@ -1,0 +1,25 @@
+"""Operational composite-event detection (Sentinel-style event graph).
+
+* :mod:`repro.detection.nodes` — operator node state machines combining
+  constituent occurrences under a parameter context, timestamping results
+  through the ``Max`` operator (Section 5.2).
+* :mod:`repro.detection.graph` — event-graph construction from Snoop
+  expressions with common-subexpression sharing.
+* :mod:`repro.detection.detector` — the per-site detection engine: feed
+  primitive occurrences, advance the clock, collect detections.
+* :mod:`repro.detection.coordinator` — the distributed engine: operator
+  placement across sites and cross-site event propagation.
+"""
+
+from repro.detection.detector import Detector, Detection
+from repro.detection.graph import EventGraph, build_graph
+from repro.detection.coordinator import DistributedDetector, PlacementPolicy
+
+__all__ = [
+    "Detection",
+    "Detector",
+    "DistributedDetector",
+    "EventGraph",
+    "PlacementPolicy",
+    "build_graph",
+]

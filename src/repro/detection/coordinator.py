@@ -1,0 +1,357 @@
+"""Distributed composite-event detection across sites.
+
+The distributed engine mirrors Sentinel's architecture extended to a
+multi-site system (Section 5.2-5.3 of the paper): primitive events are
+detected at their home site; every operator node of the event graph is
+*placed* at one site; when a node's emission has a subscriber on another
+site, the occurrence — event type, parameters, and its composite
+timestamp — travels there in a :class:`Message`.
+
+The coordinator is transport-agnostic: emissions destined for a remote
+node are appended to :attr:`DistributedDetector.outbox`, and the caller
+(typically the simulator, :mod:`repro.sim`) delivers them with whatever
+latency/ordering model it implements by calling :meth:`deliver`.
+:meth:`pump` is the zero-latency convenience that drains the outbox in
+FIFO order.
+
+Because timestamps are propagated as composite max-sets and combined via
+``Max`` at every node, detections carry exactly the timestamps the
+paper's semantics prescribes *regardless of where nodes are placed* —
+the placement only affects message counts and latency, which the SCALE
+benchmark measures across :class:`PlacementPolicy` choices.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.contexts.policies import Context
+from repro.errors import PlacementError, SchedulingError, UnknownSiteError
+from repro.events.expressions import EventExpression, Primitive
+from repro.events.occurrences import EventOccurrence
+from repro.events.parser import parse_expression
+from repro.detection.detector import Detection
+from repro.detection.graph import EventGraph
+from repro.detection.nodes import (
+    Node,
+    PeriodicNode,
+    PlusNode,
+    PrimitiveNode,
+    make_timer_stamp,
+)
+from repro.time.timestamps import PrimitiveTimestamp
+
+
+class PlacementPolicy(enum.Enum):
+    """How operator nodes are assigned to sites.
+
+    ``LEAF_MAJORITY`` places each operator at the site contributing most
+    of its primitive leaves (ties to the lexicographically first site) —
+    it minimizes leaf-to-operator messages.  ``COORDINATOR`` places every
+    operator at one designated site — the classic centralized-detector
+    layout.  ``ROUND_ROBIN`` spreads operators across sites in creation
+    order — a load-balancing strawman for the ablation.
+    """
+
+    LEAF_MAJORITY = "leaf_majority"
+    COORDINATOR = "coordinator"
+    ROUND_ROBIN = "round_robin"
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """A cross-site event notification.
+
+    ``size`` approximates the wire size: one unit per primitive triple in
+    the timestamp plus one per parameter — used by the benchmarks to
+    compare timestamp-set growth against the no-max-set baseline.
+    """
+
+    src: str
+    dst: str
+    node_id: int
+    role: str
+    occurrence: EventOccurrence
+    seq: int
+
+    @property
+    def size(self) -> int:
+        return len(self.occurrence.timestamp) + len(self.occurrence.parameters)
+
+
+class DistributedDetector:
+    """A multi-site detection engine over one shared event graph.
+
+    Parameters
+    ----------
+    sites:
+        The site names of the distributed system.
+    coordinator:
+        The site used by :attr:`PlacementPolicy.COORDINATOR` and as the
+        default home of root aliases; defaults to the first site.
+    timer_ratio:
+        Local ticks per global granule for timer stamps.
+    """
+
+    def __init__(
+        self,
+        sites: list[str],
+        coordinator: str | None = None,
+        timer_ratio: int = 1,
+    ) -> None:
+        if not sites:
+            raise PlacementError("a distributed detector needs at least one site")
+        self.sites = list(sites)
+        self.coordinator = coordinator if coordinator is not None else sites[0]
+        if self.coordinator not in self.sites:
+            raise UnknownSiteError(f"coordinator {self.coordinator!r} is not a site")
+        self.timer_ratio = timer_ratio
+        self.graph = EventGraph()
+        self.placements: dict[Node, str] = {}
+        self.home_sites: dict[str, str] = {}
+        self.outbox: deque[Message] = deque()
+        self.detections: list[Detection] = []
+        self.message_log: list[Message] = []
+        self._callbacks: dict[str, list[Callable[[Detection], None]]] = {}
+        self._round_robin = itertools.cycle(self.sites)
+        self._message_seq = itertools.count()
+        self._node_ids: dict[Node, int] = {}
+        self._nodes_by_id: dict[int, Node] = {}
+        self._node_id_seq = itertools.count(1)
+        self._placement_policy = PlacementPolicy.LEAF_MAJORITY
+        self._timer_heaps: dict[str, list[tuple[int, int, Node, Any]]] = {
+            site: [] for site in self.sites
+        }
+        self._timer_seq = itertools.count()
+        self._now_global: dict[str, int] = {site: 0 for site in self.sites}
+        self._timer_site_binding: dict[Node, str] = {}
+
+    # --- registration -----------------------------------------------------
+
+    def set_home(self, event_type: str, site: str) -> None:
+        """Declare the home site of a primitive event type."""
+        if site not in self.sites:
+            raise UnknownSiteError(f"{site!r} is not a site of this system")
+        self.home_sites[event_type] = site
+
+    def register(
+        self,
+        expression: EventExpression | str,
+        name: str | None = None,
+        context: Context = Context.UNRESTRICTED,
+        placement: PlacementPolicy = PlacementPolicy.LEAF_MAJORITY,
+        callback: Callable[[Detection], None] | None = None,
+        optimize: bool = False,
+    ) -> Node:
+        """Register a composite event and place its operator nodes."""
+        if isinstance(expression, str):
+            expression = parse_expression(expression)
+        if optimize:
+            from repro.events.rewrite import simplify
+
+            expression = simplify(expression)
+        for leaf in expression.primitive_types():
+            if leaf not in self.home_sites:
+                raise PlacementError(
+                    f"primitive event {leaf!r} has no home site; call "
+                    f"set_home({leaf!r}, <site>) first"
+                )
+        root = self.graph.add_expression(
+            expression, name=name, context=context, timer_ratio=self.timer_ratio
+        )
+        self._placement_policy = placement
+        self._place_new_nodes(expression)
+        if callback is not None:
+            self._callbacks.setdefault(root.name, []).append(callback)
+        return root
+
+    def _place_new_nodes(self, expression: EventExpression) -> None:
+        for node in self.graph.nodes():
+            if node in self.placements:
+                continue
+            node_id = next(self._node_id_seq)
+            self._node_ids[node] = node_id
+            self._nodes_by_id[node_id] = node
+            site = self._site_for(node)
+            self.placements[node] = site
+            if isinstance(node, (PeriodicNode, PlusNode)):
+                node.bind_timers(_SiteTimerService(self, site))
+                node.timer_site = f"{site}.timer"
+                self._timer_site_binding[node] = site
+
+    def _site_for(self, node: Node) -> str:
+        if isinstance(node, PrimitiveNode):
+            return self.home_sites.get(node.name, self.coordinator)
+        return {
+            PlacementPolicy.LEAF_MAJORITY: self._leaf_majority_site,
+            PlacementPolicy.COORDINATOR: lambda n: self.coordinator,
+            PlacementPolicy.ROUND_ROBIN: lambda n: next(self._round_robin),
+        }[self._placement_policy](node)
+
+    def _leaf_majority_site(self, node: Node) -> str:
+        votes: Counter[str] = Counter()
+        self._collect_leaf_sites(node, votes, set())
+        if not votes:
+            return self.coordinator
+        top_count = max(votes.values())
+        return min(site for site, count in votes.items() if count == top_count)
+
+    def _collect_leaf_sites(
+        self, target: Node, votes: Counter, seen: set[int]
+    ) -> None:
+        if id(target) in seen:
+            return
+        seen.add(id(target))
+        for child, edges in self.graph.edges.items():
+            for edge in edges:
+                if edge.parent is target:
+                    if isinstance(child, PrimitiveNode):
+                        votes[self.home_sites.get(child.name, self.coordinator)] += 1
+                    else:
+                        self._collect_leaf_sites(child, votes, seen)
+
+    # --- feeding and message delivery --------------------------------------
+
+    def feed_primitive(
+        self,
+        event_type: str,
+        stamp: PrimitiveTimestamp,
+        parameters: Mapping[str, Any] | None = None,
+    ) -> list[Detection]:
+        """Raise a primitive occurrence at its home site."""
+        occurrence = EventOccurrence.primitive(event_type, stamp, parameters)
+        return self.feed_occurrence(occurrence)
+
+    def feed_occurrence(self, occurrence: EventOccurrence) -> list[Detection]:
+        """Raise an already-built primitive occurrence at its home site."""
+        leaf = self.graph.primitive_node(occurrence.event_type)
+        if leaf not in self.placements:
+            node_id = next(self._node_id_seq)
+            self._node_ids[leaf] = node_id
+            self._nodes_by_id[node_id] = leaf
+            self.placements[leaf] = self.home_sites.get(
+                occurrence.event_type, self.coordinator
+            )
+        return self._emit_from(leaf, occurrence)
+
+    def deliver(self, message: Message) -> list[Detection]:
+        """Deliver one in-flight message to its destination node.
+
+        The caller (simulator) decides *when* to call this; the engine
+        does not reorder or drop.
+        """
+        node = self._nodes_by_id[message.node_id]
+        produced = node.receive(message.occurrence, message.role)
+        detections: list[Detection] = []
+        for emission in produced:
+            detections.extend(self._emit_from(node, emission))
+        return detections
+
+    def pump(self) -> list[Detection]:
+        """Deliver all in-flight messages FIFO until quiescent (zero latency)."""
+        detections: list[Detection] = []
+        while self.outbox:
+            detections.extend(self.deliver(self.outbox.popleft()))
+        return detections
+
+    def _emit_from(self, node: Node, occurrence: EventOccurrence) -> list[Detection]:
+        detections = self._record_if_root(node, occurrence)
+        node_site = self.placements[node]
+        for edge in self.graph.subscribers(node):
+            parent_site = self.placements[edge.parent]
+            if parent_site == node_site:
+                produced = edge.parent.receive(occurrence, edge.role)
+                for emission in produced:
+                    detections.extend(self._emit_from(edge.parent, emission))
+            else:
+                message = Message(
+                    src=node_site,
+                    dst=parent_site,
+                    node_id=self._node_ids[edge.parent],
+                    role=edge.role,
+                    occurrence=occurrence,
+                    seq=next(self._message_seq),
+                )
+                self.outbox.append(message)
+                self.message_log.append(message)
+        return detections
+
+    def _record_if_root(
+        self, node: Node, occurrence: EventOccurrence
+    ) -> list[Detection]:
+        if occurrence.event_type != node.name:
+            return []
+        registered = self.graph.roots.get(node.name)
+        if registered is not node:
+            return []
+        detection = Detection(name=node.name, occurrence=occurrence)
+        self.detections.append(detection)
+        for callback in self._callbacks.get(node.name, []):
+            callback(detection)
+        return [detection]
+
+    # --- timers -------------------------------------------------------------
+
+    def schedule_at(
+        self, site: str, node: Node, fire_global: int, payload: Any
+    ) -> None:
+        """Schedule a timer on one site's clock (used by temporal nodes)."""
+        if fire_global < self._now_global[site]:
+            raise SchedulingError(
+                f"cannot schedule at granule {fire_global}; site {site!r} clock "
+                f"is at {self._now_global[site]}"
+            )
+        heapq.heappush(
+            self._timer_heaps[site],
+            (fire_global, next(self._timer_seq), node, payload),
+        )
+
+    def advance_time(self, global_time: int) -> list[Detection]:
+        """Advance every site's clock, firing due timers in granule order."""
+        detections: list[Detection] = []
+        for site in self.sites:
+            heap = self._timer_heaps[site]
+            while heap and heap[0][0] <= global_time:
+                fire_global, _, node, payload = heapq.heappop(heap)
+                self._now_global[site] = max(self._now_global[site], fire_global)
+                stamp = make_timer_stamp(
+                    f"{site}.timer", fire_global, self.timer_ratio
+                )
+                for emission in node.on_timer(stamp, payload):
+                    detections.extend(self._emit_from(node, emission))
+            self._now_global[site] = max(self._now_global[site], global_time)
+        return detections
+
+    # --- statistics -----------------------------------------------------------
+
+    def message_count(self) -> int:
+        """Total cross-site messages sent so far."""
+        return len(self.message_log)
+
+    def bytes_sent(self) -> int:
+        """Total approximate message volume sent so far."""
+        return sum(m.size for m in self.message_log)
+
+    def detections_of(self, name: str) -> list[EventOccurrence]:
+        """All recorded occurrences of one registered composite event."""
+        return [d.occurrence for d in self.detections if d.name == name]
+
+    def prune_before(self, global_time: int) -> int:
+        """Garbage-collect node buffers below a granule horizon (all sites)."""
+        return sum(node.prune_before(global_time) for node in self.graph.nodes())
+
+
+class _SiteTimerService:
+    """Adapter giving a temporal node timers on its placement site."""
+
+    def __init__(self, owner: DistributedDetector, site: str) -> None:
+        self._owner = owner
+        self._site = site
+
+    def schedule(self, node: Node, fire_global: int, payload: Any) -> None:
+        self._owner.schedule_at(self._site, node, fire_global, payload)

@@ -1,0 +1,217 @@
+"""The per-site composite-event detection engine.
+
+:class:`Detector` owns an :class:`~repro.detection.graph.EventGraph`,
+propagates primitive occurrences up the graph, fires timers for the
+temporal operators, and reports detections of the registered composite
+events.
+
+Typical use::
+
+    detector = Detector(site="bank1")
+    detector.register("deposit ; withdraw", name="suspicious",
+                      context=Context.CHRONICLE)
+    detector.feed_primitive("deposit", stamp_a)
+    detections = detector.feed_primitive("withdraw", stamp_b)
+
+The detector is synchronous and deterministic: every ``feed`` returns
+the detections (of registered roots) that the occurrence triggered,
+transitively through the graph.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.contexts.policies import Context
+from repro.errors import SchedulingError
+from repro.events.expressions import EventExpression
+from repro.events.occurrences import EventOccurrence
+from repro.events.parser import parse_expression
+from repro.detection.graph import EventGraph
+from repro.detection.nodes import (
+    ROLE_LEFT,
+    Node,
+    PeriodicNode,
+    PlusNode,
+    make_timer_stamp,
+)
+from repro.time.timestamps import PrimitiveTimestamp
+
+
+@dataclass(frozen=True, slots=True)
+class Detection:
+    """A detected composite event: the registered name plus the occurrence."""
+
+    name: str
+    occurrence: EventOccurrence
+
+
+class Detector:
+    """A single-site Sentinel-style detection engine.
+
+    Parameters
+    ----------
+    site:
+        Name of the site the engine runs at; used to label timer stamps.
+    timer_ratio:
+        Local ticks per global granule for timer stamps (matches the
+        site's :class:`~repro.time.ticks.TimeModel` ratio).
+    """
+
+    def __init__(self, site: str = "local", timer_ratio: int = 1) -> None:
+        self.site = site
+        self.timer_ratio = timer_ratio
+        self.graph = EventGraph()
+        self.now_global = 0
+        self.detections: list[Detection] = []
+        self._callbacks: dict[str, list[Callable[[Detection], None]]] = {}
+        self._timer_heap: list[tuple[int, int, Node, Any]] = []
+        self._timer_seq = itertools.count()
+
+    # --- registration ---------------------------------------------------
+
+    def register(
+        self,
+        expression: EventExpression | str,
+        name: str | None = None,
+        context: Context = Context.UNRESTRICTED,
+        callback: Callable[[Detection], None] | None = None,
+        optimize: bool = False,
+    ) -> Node:
+        """Register a composite event for detection.
+
+        ``expression`` may be an AST or Snoop text; ``name`` defaults to
+        the expression's textual form; ``callback`` (optional) is invoked
+        on every detection.  ``optimize=True`` applies the algebraic
+        rewriter (:mod:`repro.events.rewrite`) first — note the
+        ``E or E`` law deliberately deduplicates detections.
+        """
+        if isinstance(expression, str):
+            expression = parse_expression(expression)
+        if optimize:
+            from repro.events.rewrite import simplify
+
+            expression = simplify(expression)
+        root = self.graph.add_expression(
+            expression,
+            name=name,
+            context=context,
+            timer_site=f"{self.site}.timer",
+            timer_ratio=self.timer_ratio,
+        )
+        self._bind_timers()
+        if callback is not None:
+            self._callbacks.setdefault(root.name, []).append(callback)
+        return root
+
+    def _bind_timers(self) -> None:
+        for node in self.graph.operator_nodes():
+            if isinstance(node, (PeriodicNode, PlusNode)):
+                node.bind_timers(self)
+
+    # --- TimerService ----------------------------------------------------
+
+    def schedule(self, node: Node, fire_global: int, payload: Any) -> None:
+        """Arrange a timer callback at a future global granule."""
+        if fire_global < self.now_global:
+            raise SchedulingError(
+                f"cannot schedule a timer at granule {fire_global}; the "
+                f"clock is already at {self.now_global}"
+            )
+        heapq.heappush(
+            self._timer_heap, (fire_global, next(self._timer_seq), node, payload)
+        )
+
+    def advance_time(self, global_time: int) -> list[Detection]:
+        """Move the engine clock forward, firing due timers in order."""
+        if global_time < self.now_global:
+            raise SchedulingError(
+                f"time cannot move backward: {global_time} < {self.now_global}"
+            )
+        fired: list[Detection] = []
+        while self._timer_heap and self._timer_heap[0][0] <= global_time:
+            fire_global, _, node, payload = heapq.heappop(self._timer_heap)
+            self.now_global = max(self.now_global, fire_global)
+            stamp = make_timer_stamp(
+                f"{self.site}.timer", fire_global, self.timer_ratio
+            )
+            emissions = node.on_timer(stamp, payload)
+            for emission in emissions:
+                fired.extend(self._propagate(node, emission))
+        self.now_global = max(self.now_global, global_time)
+        return fired
+
+    # --- feeding ----------------------------------------------------------
+
+    def feed(self, occurrence: EventOccurrence) -> list[Detection]:
+        """Feed a primitive occurrence; returns triggered root detections."""
+        leaf = self.graph.primitive_node(occurrence.event_type)
+        return self._propagate(leaf, occurrence)
+
+    def feed_primitive(
+        self,
+        event_type: str,
+        stamp: PrimitiveTimestamp,
+        parameters: Mapping[str, Any] | None = None,
+    ) -> list[Detection]:
+        """Convenience: build and feed a primitive occurrence."""
+        return self.feed(EventOccurrence.primitive(event_type, stamp, parameters))
+
+    def _propagate(self, source: Node, occurrence: EventOccurrence) -> list[Detection]:
+        """Push an occurrence from ``source`` through the graph (BFS)."""
+        results: list[Detection] = []
+        worklist: list[tuple[Node, EventOccurrence]] = [(source, occurrence)]
+        while worklist:
+            node, emission = worklist.pop(0)
+            results.extend(self._record_if_root(node, emission))
+            for edge in self.graph.subscribers(node):
+                produced = edge.parent.receive(emission, edge.role)
+                worklist.extend((edge.parent, p) for p in produced)
+        return results
+
+    def _record_if_root(
+        self, node: Node, occurrence: EventOccurrence
+    ) -> list[Detection]:
+        registered = self.graph.roots.get(node.name)
+        if registered is not node:
+            return []
+        detection = Detection(name=node.name, occurrence=occurrence)
+        self.detections.append(detection)
+        for callback in self._callbacks.get(node.name, []):
+            callback(detection)
+        return [detection]
+
+    # --- introspection ----------------------------------------------------
+
+    def detections_of(self, name: str) -> list[EventOccurrence]:
+        """All recorded occurrences of one registered composite event."""
+        return [d.occurrence for d in self.detections if d.name == name]
+
+    def pending_timers(self) -> int:
+        """Number of timers not yet fired."""
+        return len(self._timer_heap)
+
+    def prune_before(self, global_time: int) -> int:
+        """Garbage-collect node buffers below a granule horizon.
+
+        Drops every buffered occurrence whose latest global granule is
+        below ``global_time`` from every operator node; returns the total
+        dropped.  Long-running unrestricted-context detectors call this
+        periodically with ``now - window`` to bound memory.
+        """
+        return sum(node.prune_before(global_time) for node in self.graph.nodes())
+
+    def buffered_occurrences(self) -> int:
+        """Total occurrences currently buffered across operator nodes."""
+        total = 0
+        for node in self.graph.nodes():
+            for attribute in ("_firsts", "_seconds", "_openers", "_bodies",
+                              "_negated", "_closers"):
+                total += len(getattr(node, attribute, ()))
+            buffers = getattr(node, "_buffers", None)
+            if buffers is not None:
+                total += sum(len(b) for b in buffers.values())
+        return total

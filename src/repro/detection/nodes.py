@@ -1,0 +1,641 @@
+"""Operator node state machines for the event detection graph.
+
+Each composite-event operator is detected by a node that buffers
+constituent occurrences arriving from its children (tagged with a *role*)
+and emits composite occurrences whose timestamps are assembled with the
+``Max`` operator (Section 5.2) — the timestamp a node propagates is the
+max-set of the constituents' primitive triples, exactly the paper's
+distributed composite timestamp.
+
+Consumption is governed by a :class:`repro.contexts.policies.Context`.
+In the ``UNRESTRICTED`` context the nodes are *order-insensitive*: they
+buffer both sides and emit every valid combination regardless of arrival
+order, so distributed out-of-order delivery cannot lose detections and
+the node output equals the denotational oracle
+(:func:`repro.events.semantics.evaluate`).  The consuming contexts follow
+Sentinel's operational behaviour (initiator buffers, terminator-driven
+detection) and are therefore sensitive to arrival order — the CTX
+benchmark quantifies the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Protocol
+
+from repro.contexts.policies import Context, select_initiators
+from repro.errors import DetectionError
+from repro.events.occurrences import EventOccurrence
+from repro.events.semantics import merge_parameters
+from repro.time.composite import (
+    CompositeTimestamp,
+    composite_happens_before,
+    max_of_many,
+)
+from repro.time.timestamps import PrimitiveTimestamp
+
+ROLE_LEFT = "left"
+ROLE_RIGHT = "right"
+ROLE_FIRST = "first"
+ROLE_SECOND = "second"
+ROLE_OPENER = "opener"
+ROLE_BODY = "body"
+ROLE_CLOSER = "closer"
+ROLE_NEGATED = "negated"
+ROLE_TICK = "tick"
+
+
+class TimerService(Protocol):
+    """What temporal nodes need from the engine: one-shot timers.
+
+    ``schedule(node, fire_global, payload)`` arranges for
+    ``node.on_timer(stamp, payload)`` to be invoked when the engine's
+    clock reaches ``fire_global`` granules.
+    """
+
+    def schedule(self, node: "Node", fire_global: int, payload: Any) -> None:
+        ...  # pragma: no cover - protocol
+
+
+class Node:
+    """Base class for graph nodes.
+
+    ``name`` labels emitted occurrences; leaves of the graph are
+    :class:`PrimitiveNode` instances keyed by event-type name.
+    """
+
+    def __init__(self, name: str, context: Context = Context.UNRESTRICTED) -> None:
+        self.name = name
+        self.context = context
+        self.emitted_count = 0
+
+    def receive(self, occurrence: EventOccurrence, role: str) -> list[EventOccurrence]:
+        """Process a constituent occurrence; return new detections."""
+        raise NotImplementedError
+
+    def on_timer(
+        self, stamp: CompositeTimestamp, payload: Any
+    ) -> list[EventOccurrence]:
+        """Handle a timer tick (temporal nodes only)."""
+        raise DetectionError(f"node {self.name!r} does not accept timers")
+
+    def roles(self) -> tuple[str, ...]:
+        """The roles this node accepts."""
+        raise NotImplementedError
+
+    def prune_before(self, global_time: int) -> int:
+        """Drop buffered occurrences entirely before ``global_time``.
+
+        Garbage collection for long-running detectors: an occurrence
+        whose latest global granule is below the horizon can never pair
+        with future events in a consuming context and is unlikely to
+        matter in unrestricted mode either (the caller chooses the
+        horizon).  Returns the number of occurrences dropped; stateless
+        nodes return 0.
+        """
+        return 0
+
+    def _emit(
+        self,
+        constituents: tuple[EventOccurrence, ...],
+        parameters: dict | None = None,
+    ) -> EventOccurrence:
+        """Build a detection: ``Max`` over constituents, merged parameters."""
+        self.emitted_count += 1
+        merged: dict = {}
+        for constituent in constituents:
+            merged = merge_parameters(merged, constituent.parameters)
+        if parameters:
+            merged.update(parameters)
+        return EventOccurrence(
+            event_type=self.name,
+            timestamp=max_of_many(c.timestamp for c in constituents),
+            parameters=merged,
+            constituents=constituents,
+        )
+
+
+class PrimitiveNode(Node):
+    """A leaf: re-emits primitive occurrences of one event type."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+
+    def roles(self) -> tuple[str, ...]:
+        return (ROLE_LEFT,)
+
+    def receive(self, occurrence: EventOccurrence, role: str) -> list[EventOccurrence]:
+        return [occurrence]
+
+
+class OrNode(Node):
+    """Disjunction: emit on any arrival from either side."""
+
+    def roles(self) -> tuple[str, ...]:
+        return (ROLE_LEFT, ROLE_RIGHT)
+
+    def receive(self, occurrence: EventOccurrence, role: str) -> list[EventOccurrence]:
+        return [self._emit((occurrence,))]
+
+
+class FilterNode(Node):
+    """Parameter filter: pass occurrences whose parameters match.
+
+    A stateless guard (Sentinel's event mask); filtering at the child's
+    site keeps non-matching occurrences off the network entirely.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        predicate: Callable[[dict], bool],
+        context: Context = Context.UNRESTRICTED,
+    ) -> None:
+        super().__init__(name, context)
+        self.predicate = predicate
+
+    def roles(self) -> tuple[str, ...]:
+        return (ROLE_LEFT,)
+
+    def receive(self, occurrence: EventOccurrence, role: str) -> list[EventOccurrence]:
+        if not self.predicate(dict(occurrence.parameters)):
+            return []
+        return [self._emit((occurrence,))]
+
+
+class AndNode(Node):
+    """Conjunction: both sides, any order; ``ts = Max(t1, t2)``.
+
+    Either side acts as terminator for the buffered opposite side; under
+    consuming contexts the context policy is applied to the opposite
+    (initiator) buffer.
+    """
+
+    def __init__(self, name: str, context: Context = Context.UNRESTRICTED) -> None:
+        super().__init__(name, context)
+        self._buffers: dict[str, list[EventOccurrence]] = {
+            ROLE_LEFT: [],
+            ROLE_RIGHT: [],
+        }
+
+    def roles(self) -> tuple[str, ...]:
+        return (ROLE_LEFT, ROLE_RIGHT)
+
+    def receive(self, occurrence: EventOccurrence, role: str) -> list[EventOccurrence]:
+        if role not in self._buffers:
+            raise DetectionError(f"AndNode {self.name!r} got unknown role {role!r}")
+        opposite = ROLE_RIGHT if role == ROLE_LEFT else ROLE_LEFT
+        selection = select_initiators(self.context, list(self._buffers[opposite]))
+        detections = []
+        for group in selection.groups:
+            ordered = (*group, occurrence) if opposite == ROLE_LEFT else (occurrence, *group)
+            detections.append(self._emit(ordered))
+        _prune(self._buffers[opposite], selection.consumed + selection.discarded)
+        self._buffers[role].append(occurrence)
+        return detections
+
+    def prune_before(self, global_time: int) -> int:
+        return _prune_list(self._buffers[ROLE_LEFT], global_time) + _prune_list(
+            self._buffers[ROLE_RIGHT], global_time
+        )
+
+
+class SequenceNode(Node):
+    """Sequence ``E1 ; E2``: pairs with ``T(first) <_p T(second)``.
+
+    Unrestricted context buffers both sides (order-insensitive, matches
+    the oracle under out-of-order delivery); consuming contexts buffer
+    only initiators (firsts) and detect on terminator (second) arrival.
+    """
+
+    def __init__(self, name: str, context: Context = Context.UNRESTRICTED) -> None:
+        super().__init__(name, context)
+        self._firsts: list[EventOccurrence] = []
+        self._seconds: list[EventOccurrence] = []
+
+    def roles(self) -> tuple[str, ...]:
+        return (ROLE_FIRST, ROLE_SECOND)
+
+    def receive(self, occurrence: EventOccurrence, role: str) -> list[EventOccurrence]:
+        if role == ROLE_FIRST:
+            self._firsts.append(occurrence)
+            if self.context is Context.UNRESTRICTED:
+                return [
+                    self._emit((occurrence, second))
+                    for second in self._seconds
+                    if composite_happens_before(occurrence.timestamp, second.timestamp)
+                ]
+            return []
+        if role == ROLE_SECOND:
+            eligible = [
+                first
+                for first in self._firsts
+                if composite_happens_before(first.timestamp, occurrence.timestamp)
+            ]
+            selection = select_initiators(self.context, eligible)
+            detections = [
+                self._emit((*group, occurrence)) for group in selection.groups
+            ]
+            _prune(self._firsts, selection.consumed + selection.discarded)
+            if self.context is Context.UNRESTRICTED:
+                self._seconds.append(occurrence)
+            return detections
+        raise DetectionError(f"SequenceNode {self.name!r} got unknown role {role!r}")
+
+    def prune_before(self, global_time: int) -> int:
+        return _prune_list(self._firsts, global_time) + _prune_list(
+            self._seconds, global_time
+        )
+
+
+class NotNode(Node):
+    """Non-occurrence ``¬(E2)[E1, E3]``.
+
+    Openers are buffered; negated occurrences are recorded; a closer
+    triggers detection for the context-selected openers whose open
+    interval to the closer contains no negated occurrence.
+    """
+
+    def __init__(self, name: str, context: Context = Context.UNRESTRICTED) -> None:
+        super().__init__(name, context)
+        self._openers: list[EventOccurrence] = []
+        self._negated: list[EventOccurrence] = []
+        self._closers: list[EventOccurrence] = []
+
+    def roles(self) -> tuple[str, ...]:
+        return (ROLE_OPENER, ROLE_NEGATED, ROLE_CLOSER)
+
+    def receive(self, occurrence: EventOccurrence, role: str) -> list[EventOccurrence]:
+        if role == ROLE_OPENER:
+            self._openers.append(occurrence)
+            if self.context is Context.UNRESTRICTED:
+                return self._pair_late_opener(occurrence)
+            return []
+        if role == ROLE_NEGATED:
+            self._negated.append(occurrence)
+            return []
+        if role == ROLE_CLOSER:
+            eligible = [
+                opener
+                for opener in self._openers
+                if composite_happens_before(opener.timestamp, occurrence.timestamp)
+                and not self._blocked(opener, occurrence)
+            ]
+            selection = select_initiators(self.context, eligible)
+            detections = [
+                self._emit((*group, occurrence)) for group in selection.groups
+            ]
+            _prune(self._openers, selection.consumed + selection.discarded)
+            if self.context is Context.UNRESTRICTED:
+                self._closers.append(occurrence)
+            return detections
+        raise DetectionError(f"NotNode {self.name!r} got unknown role {role!r}")
+
+    def prune_before(self, global_time: int) -> int:
+        return (
+            _prune_list(self._openers, global_time)
+            + _prune_list(self._negated, global_time)
+            + _prune_list(self._closers, global_time)
+        )
+
+    def _pair_late_opener(self, opener: EventOccurrence) -> list[EventOccurrence]:
+        """Out-of-order support: an opener arriving after its closer."""
+        return [
+            self._emit((opener, closer))
+            for closer in self._closers
+            if composite_happens_before(opener.timestamp, closer.timestamp)
+            and not self._blocked(opener, closer)
+        ]
+
+    def _blocked(self, opener: EventOccurrence, closer: EventOccurrence) -> bool:
+        return any(
+            composite_happens_before(opener.timestamp, negated.timestamp)
+            and composite_happens_before(negated.timestamp, closer.timestamp)
+            for negated in self._negated
+        )
+
+
+class AperiodicNode(Node):
+    """Non-cumulative aperiodic ``A(E1, E2, E3)``.
+
+    Emits on each body occurrence inside a window opened by ``E1`` and
+    not closed by an intervening ``E3`` (a closer strictly between the
+    opener and the body).  Consuming contexts additionally retire openers
+    when a closer arrives.
+    """
+
+    def __init__(self, name: str, context: Context = Context.UNRESTRICTED) -> None:
+        super().__init__(name, context)
+        self._openers: list[EventOccurrence] = []
+        self._closers: list[EventOccurrence] = []
+
+    def roles(self) -> tuple[str, ...]:
+        return (ROLE_OPENER, ROLE_BODY, ROLE_CLOSER)
+
+    def receive(self, occurrence: EventOccurrence, role: str) -> list[EventOccurrence]:
+        if role == ROLE_OPENER:
+            self._openers.append(occurrence)
+            return []
+        if role == ROLE_CLOSER:
+            self._closers.append(occurrence)
+            if self.context is not Context.UNRESTRICTED:
+                closed = [
+                    opener
+                    for opener in self._openers
+                    if composite_happens_before(opener.timestamp, occurrence.timestamp)
+                ]
+                _prune(self._openers, tuple(closed))
+            return []
+        if role == ROLE_BODY:
+            eligible = [
+                opener
+                for opener in self._openers
+                if composite_happens_before(opener.timestamp, occurrence.timestamp)
+                and not self._window_closed(opener, occurrence)
+            ]
+            selection = select_initiators(self.context, eligible)
+            return [self._emit((*group, occurrence)) for group in selection.groups]
+        raise DetectionError(f"AperiodicNode {self.name!r} got unknown role {role!r}")
+
+    def prune_before(self, global_time: int) -> int:
+        return _prune_list(self._openers, global_time) + _prune_list(
+            self._closers, global_time
+        )
+
+    def _window_closed(
+        self, opener: EventOccurrence, body: EventOccurrence
+    ) -> bool:
+        return any(
+            composite_happens_before(opener.timestamp, closer.timestamp)
+            and composite_happens_before(closer.timestamp, body.timestamp)
+            for closer in self._closers
+        )
+
+
+class AperiodicStarNode(Node):
+    """Cumulative aperiodic ``A*(E1, E2, E3)``: emit on the closer.
+
+    Bodies are buffered; on a closer, each context-selected opener emits
+    one detection accumulating the bodies strictly inside its window.
+    """
+
+    def __init__(self, name: str, context: Context = Context.UNRESTRICTED) -> None:
+        super().__init__(name, context)
+        self._openers: list[EventOccurrence] = []
+        self._bodies: list[EventOccurrence] = []
+
+    def roles(self) -> tuple[str, ...]:
+        return (ROLE_OPENER, ROLE_BODY, ROLE_CLOSER)
+
+    def receive(self, occurrence: EventOccurrence, role: str) -> list[EventOccurrence]:
+        if role == ROLE_OPENER:
+            self._openers.append(occurrence)
+            return []
+        if role == ROLE_BODY:
+            self._bodies.append(occurrence)
+            return []
+        if role == ROLE_CLOSER:
+            eligible = [
+                opener
+                for opener in self._openers
+                if composite_happens_before(opener.timestamp, occurrence.timestamp)
+            ]
+            selection = select_initiators(self.context, eligible)
+            detections = []
+            for group in selection.groups:
+                for opener in group:
+                    window = [
+                        body
+                        for body in self._bodies
+                        if composite_happens_before(opener.timestamp, body.timestamp)
+                        and composite_happens_before(
+                            body.timestamp, occurrence.timestamp
+                        )
+                    ]
+                    detections.append(
+                        self._emit(
+                            (opener, *window, occurrence),
+                            parameters={
+                                "accumulated": tuple(
+                                    dict(body.parameters) for body in window
+                                )
+                            },
+                        )
+                    )
+            consumed = selection.consumed + selection.discarded
+            _prune(self._openers, consumed)
+            return detections
+        raise DetectionError(
+            f"AperiodicStarNode {self.name!r} got unknown role {role!r}"
+        )
+
+    def prune_before(self, global_time: int) -> int:
+        return _prune_list(self._openers, global_time) + _prune_list(
+            self._bodies, global_time
+        )
+
+
+class TimesNode(Node):
+    """Frequency ``times(n, E)``: emit on every ``n``-th arrival.
+
+    Arrivals are batched in delivery order; under in-timestamp-order
+    delivery this matches the oracle's canonical linearization.
+    """
+
+    def __init__(
+        self, name: str, count: int, context: Context = Context.UNRESTRICTED
+    ) -> None:
+        super().__init__(name, context)
+        self.count = count
+        self._pending: list[EventOccurrence] = []
+
+    def roles(self) -> tuple[str, ...]:
+        return (ROLE_BODY,)
+
+    def receive(self, occurrence: EventOccurrence, role: str) -> list[EventOccurrence]:
+        if role != ROLE_BODY:
+            raise DetectionError(f"TimesNode {self.name!r} got unknown role {role!r}")
+        self._pending.append(occurrence)
+        if len(self._pending) < self.count:
+            return []
+        batch = tuple(self._pending)
+        self._pending = []
+        return [self._emit(batch, parameters={"count": self.count})]
+
+    def prune_before(self, global_time: int) -> int:
+        return _prune_list(self._pending, global_time)
+
+
+class _Window:
+    """An open periodic window: opener plus the ticks fired so far."""
+
+    __slots__ = ("opener", "ticks", "next_tick", "closed")
+
+    def __init__(self, opener: EventOccurrence, next_tick: int) -> None:
+        self.opener = opener
+        self.ticks: list[EventOccurrence] = []
+        self.next_tick = next_tick
+        self.closed = False
+
+
+class PeriodicNode(Node):
+    """Periodic ``P(E1, period, E3)`` / cumulative ``P*``.
+
+    Relies on a :class:`TimerService` (wired by the detector): each
+    opener schedules a tick every ``period`` granules until a closer
+    arrives.  ``P`` emits on each tick; ``P*`` accumulates and emits on
+    the closer.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        period: int,
+        cumulative: bool,
+        context: Context = Context.UNRESTRICTED,
+        timer_site: str = "__timer__",
+        timer_ratio: int = 1,
+    ) -> None:
+        super().__init__(name, context)
+        self.period = period
+        self.cumulative = cumulative
+        self.timer_site = timer_site
+        self.timer_ratio = timer_ratio
+        self._timers: TimerService | None = None
+        self._windows: list[_Window] = []
+
+    def bind_timers(self, timers: TimerService) -> None:
+        """Attach the engine's timer service (done at graph build)."""
+        self._timers = timers
+
+    def roles(self) -> tuple[str, ...]:
+        return (ROLE_OPENER, ROLE_CLOSER)
+
+    def receive(self, occurrence: EventOccurrence, role: str) -> list[EventOccurrence]:
+        if role == ROLE_OPENER:
+            if self._timers is None:
+                raise DetectionError(
+                    f"PeriodicNode {self.name!r} has no timer service bound"
+                )
+            fire_at = occurrence.timestamp.global_span()[1] + self.period
+            window = _Window(occurrence, fire_at)
+            self._windows.append(window)
+            self._timers.schedule(self, fire_at, window)
+            return []
+        if role == ROLE_CLOSER:
+            detections = []
+            for window in self._windows:
+                if window.closed:
+                    continue
+                if composite_happens_before(
+                    window.opener.timestamp, occurrence.timestamp
+                ):
+                    window.closed = True
+                    if self.cumulative:
+                        ticks = [
+                            tick
+                            for tick in window.ticks
+                            if composite_happens_before(
+                                tick.timestamp, occurrence.timestamp
+                            )
+                        ]
+                        detections.append(
+                            self._emit(
+                                (window.opener, *ticks, occurrence),
+                                parameters={
+                                    "ticks": tuple(
+                                        t.parameters["tick_global"] for t in ticks
+                                    )
+                                },
+                            )
+                        )
+            self._windows = [w for w in self._windows if not w.closed]
+            return detections
+        raise DetectionError(f"PeriodicNode {self.name!r} got unknown role {role!r}")
+
+    def on_timer(
+        self, stamp: CompositeTimestamp, payload: Any
+    ) -> list[EventOccurrence]:
+        window: _Window = payload
+        if window.closed or self._timers is None:
+            return []
+        tick_global = window.next_tick
+        tick = EventOccurrence(
+            event_type=f"{self.name}.tick",
+            timestamp=stamp,
+            parameters={"tick_global": tick_global},
+        )
+        window.ticks.append(tick)
+        window.next_tick = tick_global + self.period
+        self._timers.schedule(self, window.next_tick, window)
+        if self.cumulative:
+            return []
+        return [self._emit((window.opener, tick))]
+
+
+class PlusNode(Node):
+    """Temporal offset ``E1 + offset`` granules."""
+
+    def __init__(
+        self,
+        name: str,
+        offset: int,
+        context: Context = Context.UNRESTRICTED,
+    ) -> None:
+        super().__init__(name, context)
+        self.offset = offset
+        self._timers: TimerService | None = None
+
+    def bind_timers(self, timers: TimerService) -> None:
+        """Attach the engine's timer service (done at graph build)."""
+        self._timers = timers
+
+    def roles(self) -> tuple[str, ...]:
+        return (ROLE_OPENER,)
+
+    def receive(self, occurrence: EventOccurrence, role: str) -> list[EventOccurrence]:
+        if role != ROLE_OPENER:
+            raise DetectionError(f"PlusNode {self.name!r} got unknown role {role!r}")
+        if self._timers is None:
+            raise DetectionError(f"PlusNode {self.name!r} has no timer service bound")
+        fire_at = occurrence.timestamp.global_span()[1] + self.offset
+        self._timers.schedule(self, fire_at, occurrence)
+        return []
+
+    def on_timer(
+        self, stamp: CompositeTimestamp, payload: Any
+    ) -> list[EventOccurrence]:
+        base: EventOccurrence = payload
+        (tick_stamp,) = stamp.stamps
+        tick = EventOccurrence(
+            event_type=f"{self.name}.tick",
+            timestamp=stamp,
+            parameters={"tick_global": tick_stamp.global_time},
+        )
+        return [self._emit((base, tick))]
+
+
+def _prune_list(buffer: list[EventOccurrence], global_time: int) -> int:
+    """Drop occurrences whose latest granule is below ``global_time``."""
+    before = len(buffer)
+    buffer[:] = [
+        o for o in buffer if o.timestamp.global_span()[1] >= global_time
+    ]
+    return before - len(buffer)
+
+
+def _prune(buffer: list[EventOccurrence], remove: Iterable[EventOccurrence]) -> None:
+    """Remove occurrences (by identity) from a buffer, preserving order."""
+    doomed = {occurrence.uid for occurrence in remove}
+    if doomed:
+        buffer[:] = [o for o in buffer if o.uid not in doomed]
+
+
+def make_timer_stamp(
+    timer_site: str, global_time: int, ratio: int = 1
+) -> CompositeTimestamp:
+    """The singleton composite stamp of a timer tick."""
+    return CompositeTimestamp.singleton(
+        PrimitiveTimestamp(
+            site=timer_site, global_time=global_time, local=global_time * ratio
+        )
+    )

@@ -1,0 +1,121 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  Subclasses are grouped by the
+subsystem that raises them; they carry enough context in their message to be
+actionable without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class TimeError(ReproError):
+    """Base class for errors in the time/timestamp subsystem."""
+
+
+class GranularityError(TimeError):
+    """A granularity is invalid (non-positive, or ``g_g <= precision``)."""
+
+
+class TimestampError(TimeError):
+    """A timestamp is malformed or used inconsistently."""
+
+
+class EmptyTimestampError(TimestampError):
+    """A composite timestamp was constructed from no primitive triples."""
+
+
+class ConcurrencyViolationError(TimestampError):
+    """A composite timestamp's triples are not pairwise concurrent.
+
+    Definition 5.2 of the paper requires every pair of triples in a
+    composite timestamp to be concurrent; this is raised when a set that
+    violates the invariant is passed where a proper composite timestamp is
+    required.
+    """
+
+
+class IntervalError(TimeError):
+    """An interval's endpoints do not satisfy its precondition.
+
+    Open intervals require ``lo < hi`` (Def 4.9/5.5); closed intervals
+    require ``lo ⪯ hi`` (Def 4.10/5.6).
+    """
+
+
+class IncomparableError(TimeError):
+    """Two timestamps were required to be comparable but are not."""
+
+
+class EventError(ReproError):
+    """Base class for errors in the event model."""
+
+
+class UnknownEventTypeError(EventError):
+    """An event type name was used before being registered."""
+
+
+class DuplicateEventTypeError(EventError):
+    """An event type name was registered twice."""
+
+
+class SimultaneityViolationError(EventError):
+    """An event stream violates the paper's simultaneity assumptions.
+
+    Section 3.1: no two database events and no two explicit events may
+    occur simultaneously (same site, same local tick).
+    """
+
+
+class ExpressionError(EventError):
+    """A composite event expression is structurally invalid."""
+
+
+class ParseError(ExpressionError):
+    """The Snoop expression parser rejected its input."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class DetectionError(ReproError):
+    """Base class for errors in the detection engine."""
+
+
+class GraphConstructionError(DetectionError):
+    """The event detection graph could not be built from an expression."""
+
+
+class PlacementError(DetectionError):
+    """A distributed operator-placement constraint cannot be satisfied."""
+
+
+class RuleError(ReproError):
+    """Base class for errors in the ECA rule subsystem."""
+
+
+class DuplicateRuleError(RuleError):
+    """A rule name was registered twice."""
+
+
+class UnknownRuleError(RuleError):
+    """A rule name was referenced before being defined."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors in the distributed-system simulator."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the simulator's past."""
+
+
+class UnknownSiteError(SimulationError):
+    """A site identifier was referenced before being created."""

@@ -1,0 +1,57 @@
+"""Event model: types, occurrences, Snoop expressions and their semantics.
+
+* :mod:`repro.events.types` — primitive event classes and the type
+  registry (Section 3.1).
+* :mod:`repro.events.occurrences` — event occurrences carrying composite
+  timestamps and parameters, plus per-site histories.
+* :mod:`repro.events.expressions` — the Snoop composite-event AST
+  (Sections 3.2 and 5.3).
+* :mod:`repro.events.parser` — a text parser for Snoop expressions.
+* :mod:`repro.events.semantics` — the denotational (unrestricted-context)
+  semantics used as the oracle for the detection engine.
+"""
+
+from repro.events.types import EventClass, EventType, TypeRegistry
+from repro.events.occurrences import EventOccurrence, History
+from repro.events.expressions import (
+    And,
+    Aperiodic,
+    AperiodicStar,
+    Comparison,
+    EventExpression,
+    Filter,
+    Not,
+    Or,
+    Periodic,
+    PeriodicStar,
+    Plus,
+    Primitive,
+    Sequence,
+    Times,
+)
+from repro.events.parser import parse_expression
+from repro.events.semantics import evaluate
+
+__all__ = [
+    "And",
+    "Aperiodic",
+    "AperiodicStar",
+    "Comparison",
+    "Filter",
+    "Times",
+    "EventClass",
+    "EventExpression",
+    "EventOccurrence",
+    "EventType",
+    "History",
+    "Not",
+    "Or",
+    "Periodic",
+    "PeriodicStar",
+    "Plus",
+    "Primitive",
+    "Sequence",
+    "TypeRegistry",
+    "evaluate",
+    "parse_expression",
+]

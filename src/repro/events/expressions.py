@@ -1,0 +1,366 @@
+"""The Snoop composite-event expression AST (Sections 3.2 and 5.3).
+
+Composite events are event expressions over primitive event types and the
+Snoop operators.  The paper (Section 5.3) re-defines the operator
+semantics for distributed environments over composite timestamps and the
+``Max`` operator; the AST here is shared by the denotational oracle
+(:mod:`repro.events.semantics`) and the operational detector
+(:mod:`repro.detection`).
+
+Operators
+---------
+
+``Or(E1, E2)``
+    Disjunction: occurs whenever either occurs.
+``And(E1, E2)``
+    Conjunction: occurs when both have occurred, in any order; the
+    timestamp is ``Max(T1, T2)``.
+``Sequence(E1, E2)`` (``;``)
+    ``E1`` then ``E2`` with ``T(E1) < T(E2)`` under the composite ``<_p``.
+``Not(E2, E1, E3)`` (``¬(E2)[E1, E3]``)
+    Non-occurrence of ``E2`` in the open interval ``(T(E1), T(E3))``.
+``Aperiodic(E1, E2, E3)`` (``A``)
+    Non-cumulative: signalled on each ``E2`` inside the half-open window
+    opened by ``E1`` and not yet closed by ``E3``.
+``AperiodicStar(E1, E2, E3)`` (``A*``)
+    Cumulative: signalled on ``E3``, accumulating every ``E2`` since
+    ``E1``.
+``Periodic(E1, period, E3)`` (``P``)
+    Temporal event every ``period`` global granules inside the window.
+``PeriodicStar(E1, period, E3)`` (``P*``)
+    Cumulative periodic: signalled on ``E3`` with the accumulated ticks.
+``Plus(E1, offset)``
+    Temporal offset: occurs ``offset`` global granules after each ``E1``.
+
+Expressions compose with Python operators: ``a | b`` (Or), ``a & b``
+(And), ``a >> b`` (Sequence), matching the textual forms accepted by
+:func:`repro.events.parser.parse_expression`.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+from repro.errors import ExpressionError
+
+
+class EventExpression:
+    """Base class for Snoop event expressions.
+
+    Subclasses are frozen dataclasses; expressions are immutable,
+    hashable values suitable as dictionary keys in the detector's
+    subexpression-sharing table.
+    """
+
+    def __or__(self, other: "EventExpression") -> "Or":
+        return Or(self, _coerce(other))
+
+    def __and__(self, other: "EventExpression") -> "And":
+        return And(self, _coerce(other))
+
+    def __rshift__(self, other: "EventExpression") -> "Sequence":
+        return Sequence(self, _coerce(other))
+
+    def children(self) -> tuple["EventExpression", ...]:
+        """Direct sub-expressions (empty for primitives)."""
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["EventExpression"]:
+        """Pre-order traversal of the expression tree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def primitive_types(self) -> set[str]:
+        """Names of the primitive event types referenced by the expression."""
+        return {
+            node.name for node in self.walk() if isinstance(node, Primitive)
+        }
+
+    def depth(self) -> int:
+        """Height of the expression tree (primitives have depth 1)."""
+        kids = self.children()
+        return 1 + (max(child.depth() for child in kids) if kids else 0)
+
+
+def _coerce(value: "EventExpression | str") -> "EventExpression":
+    if isinstance(value, EventExpression):
+        return value
+    if isinstance(value, str):
+        return Primitive(value)
+    raise ExpressionError(f"cannot use {value!r} as an event expression")
+
+
+@dataclass(frozen=True, slots=True)
+class Primitive(EventExpression):
+    """A reference to a primitive event type by name."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ExpressionError("primitive event name must be non-empty")
+
+    def children(self) -> tuple[EventExpression, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Or(EventExpression):
+    """Disjunction ``E1 ∨ E2``."""
+
+    left: EventExpression
+    right: EventExpression
+
+    def children(self) -> tuple[EventExpression, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class And(EventExpression):
+    """Conjunction ``E1 ∧ E2`` — both occur, in any order (Section 5.3)."""
+
+    left: EventExpression
+    right: EventExpression
+
+    def children(self) -> tuple[EventExpression, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class Sequence(EventExpression):
+    """Sequence ``E1 ; E2`` — ``E1`` strictly happen-before ``E2``.
+
+    In the distributed semantics the ordering test is the composite
+    ``<_p`` (Definition 5.3.2); cross-site pairs closer than two global
+    granules are concurrent and do *not* form a sequence.
+    """
+
+    first: EventExpression
+    second: EventExpression
+
+    def children(self) -> tuple[EventExpression, ...]:
+        return (self.first, self.second)
+
+    def __str__(self) -> str:
+        return f"({self.first} ; {self.second})"
+
+
+@dataclass(frozen=True, slots=True)
+class Not(EventExpression):
+    """Non-occurrence ``¬(E2)[E1, E3]`` of ``E2`` between ``E1`` and ``E3``."""
+
+    negated: EventExpression
+    opener: EventExpression
+    closer: EventExpression
+
+    def children(self) -> tuple[EventExpression, ...]:
+        return (self.negated, self.opener, self.closer)
+
+    def __str__(self) -> str:
+        return f"not({self.negated})[{self.opener}, {self.closer}]"
+
+
+@dataclass(frozen=True, slots=True)
+class Aperiodic(EventExpression):
+    """Non-cumulative aperiodic ``A(E1, E2, E3)``.
+
+    Signalled on each occurrence of ``E2`` inside the window opened by
+    ``E1`` and not yet closed by ``E3``.
+    """
+
+    opener: EventExpression
+    body: EventExpression
+    closer: EventExpression
+
+    def children(self) -> tuple[EventExpression, ...]:
+        return (self.opener, self.body, self.closer)
+
+    def __str__(self) -> str:
+        return f"A({self.opener}, {self.body}, {self.closer})"
+
+
+@dataclass(frozen=True, slots=True)
+class AperiodicStar(EventExpression):
+    """Cumulative aperiodic ``A*(E1, E2, E3)``.
+
+    Signalled on ``E3``, carrying every ``E2`` accumulated since the
+    opening ``E1``; the timestamp folds all constituents through ``Max``.
+    """
+
+    opener: EventExpression
+    body: EventExpression
+    closer: EventExpression
+
+    def children(self) -> tuple[EventExpression, ...]:
+        return (self.opener, self.body, self.closer)
+
+    def __str__(self) -> str:
+        return f"A*({self.opener}, {self.body}, {self.closer})"
+
+
+@dataclass(frozen=True, slots=True)
+class Periodic(EventExpression):
+    """Periodic ``P(E1, period, E3)`` — a tick every ``period`` granules.
+
+    ``period`` is measured in global granules (``g_g`` units); ticks are
+    generated by the detecting site's clock starting one period after the
+    opening ``E1``.
+    """
+
+    opener: EventExpression
+    period: int
+    closer: EventExpression
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ExpressionError(f"period must be positive, got {self.period}")
+
+    def children(self) -> tuple[EventExpression, ...]:
+        return (self.opener, self.closer)
+
+    def __str__(self) -> str:
+        return f"P({self.opener}, {self.period}, {self.closer})"
+
+
+@dataclass(frozen=True, slots=True)
+class PeriodicStar(EventExpression):
+    """Cumulative periodic ``P*(E1, period, E3)`` — ticks reported on ``E3``."""
+
+    opener: EventExpression
+    period: int
+    closer: EventExpression
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ExpressionError(f"period must be positive, got {self.period}")
+
+    def children(self) -> tuple[EventExpression, ...]:
+        return (self.opener, self.closer)
+
+    def __str__(self) -> str:
+        return f"P*({self.opener}, {self.period}, {self.closer})"
+
+
+@dataclass(frozen=True, slots=True)
+class Plus(EventExpression):
+    """Temporal offset ``E1 + offset`` granules."""
+
+    base: EventExpression
+    offset: int
+
+    def __post_init__(self) -> None:
+        if self.offset <= 0:
+            raise ExpressionError(f"offset must be positive, got {self.offset}")
+
+    def children(self) -> tuple[EventExpression, ...]:
+        return (self.base,)
+
+    def __str__(self) -> str:
+        return f"({self.base} + {self.offset})"
+
+
+@dataclass(frozen=True, slots=True)
+class Times(EventExpression):
+    """Frequency operator ``TIMES(n, E)``: every ``n``-th occurrence.
+
+    Signalled when the ``n``-th occurrence of ``E`` since the last
+    signal arrives, carrying all ``n`` occurrences as constituents and
+    the ``Max`` of their timestamps — Sentinel's frequency/occurrence
+    counting extension.
+    """
+
+    count: int
+    body: EventExpression
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ExpressionError(f"count must be positive, got {self.count}")
+
+    def children(self) -> tuple[EventExpression, ...]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        return f"times({self.count}, {self.body})"
+
+
+_COMPARATORS = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """One attribute comparison of a parameter filter, e.g. ``price > 100``.
+
+    ``value`` is an int or a string; a missing attribute never matches;
+    type mismatches (string vs int ordering) never match rather than
+    raising — event streams are heterogeneous.
+    """
+
+    attribute: str
+    op: str
+    value: int | str
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ExpressionError(f"unknown comparison operator {self.op!r}")
+        if not self.attribute:
+            raise ExpressionError("comparison needs an attribute name")
+
+    def matches(self, parameters: Mapping[str, Any]) -> bool:
+        """Whether an occurrence's parameters satisfy the comparison."""
+        if self.attribute not in parameters:
+            return False
+        actual = parameters[self.attribute]
+        try:
+            return bool(_COMPARATORS[self.op](actual, self.value))
+        except TypeError:
+            return False
+
+    def __str__(self) -> str:
+        value = repr(self.value) if isinstance(self.value, str) else self.value
+        return f"{self.attribute} {self.op} {value}"
+
+
+@dataclass(frozen=True, slots=True)
+class Filter(EventExpression):
+    """A parameter filter ``E[attr > value, ...]`` (mask on occurrences).
+
+    An occurrence of ``base`` passes iff *every* comparison matches —
+    Sentinel's event masks, restricted to attribute/constant tests.
+    """
+
+    base: EventExpression
+    conditions: tuple[Comparison, ...]
+
+    def __post_init__(self) -> None:
+        if not self.conditions:
+            raise ExpressionError("a filter needs at least one comparison")
+
+    def accepts(self, parameters: Mapping[str, Any]) -> bool:
+        """Whether all comparisons match the parameters."""
+        return all(condition.matches(parameters) for condition in self.conditions)
+
+    def children(self) -> tuple[EventExpression, ...]:
+        return (self.base,)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(c) for c in self.conditions)
+        return f"{self.base}[{inner}]"

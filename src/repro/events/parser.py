@@ -1,0 +1,296 @@
+"""A text parser for Snoop composite-event expressions.
+
+Accepts the surface syntax used throughout the Sentinel papers::
+
+    E1 ; E2                      sequence
+    E1 and E2                    conjunction
+    E1 or E2                     disjunction
+    not(E2)[E1, E3]              non-occurrence
+    A(E1, E2, E3)                aperiodic
+    A*(E1, E2, E3)               cumulative aperiodic
+    P(E1, 10, E3)                periodic (period in global granules)
+    P*(E1, 10, E3)               cumulative periodic
+    E1 + 10                      temporal offset (granules)
+    times(3, E1)                 every third occurrence
+    E1[price > 100, sym == 'X']  parameter filter (event mask)
+
+``;`` binds loosest, then ``or``, then ``and``; all binary operators are
+left-associative; parentheses group.  Keywords are case-insensitive for
+the operator names (``a``/``A``), identifiers are case-sensitive.
+
+>>> str(parse_expression("e1 ; (e2 and e3)"))
+'(e1 ; (e2 and e3))'
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ParseError
+from repro.events.expressions import (
+    And,
+    Aperiodic,
+    AperiodicStar,
+    Comparison,
+    EventExpression,
+    Filter,
+    Not,
+    Or,
+    Periodic,
+    PeriodicStar,
+    Plus,
+    Primitive,
+    Sequence,
+    Times,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<astar>[Aa]\*)
+  | (?P<pstar>[Pp]\*)
+  | (?P<number>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<cmp>>=|<=|==|!=|[<>])
+  | (?P<symbol>[;,()\[\]+])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "not", "times"}
+
+
+@dataclass(frozen=True, slots=True)
+class _Token:
+    kind: str  # 'ident' | 'number' | 'symbol' | 'keyword' | 'astar' | 'pstar' | 'eof'
+    text: str
+    position: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise ParseError(f"unexpected character {source[position]!r}", position)
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        text = match.group()
+        if kind == "ident" and text.lower() in _KEYWORDS:
+            tokens.append(_Token("keyword", text.lower(), match.start()))
+        else:
+            tokens.append(_Token(kind or "symbol", text, match.start()))
+    tokens.append(_Token("eof", "", len(source)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._tokens = _tokenize(source)
+        self._index = 0
+
+    def parse(self) -> EventExpression:
+        expression = self._sequence()
+        self._expect_kind("eof")
+        return expression
+
+    # --- grammar rules, loosest binding first -------------------------
+
+    def _sequence(self) -> EventExpression:
+        left = self._disjunction()
+        while self._peek().kind == "symbol" and self._peek().text == ";":
+            self._advance()
+            left = Sequence(left, self._disjunction())
+        return left
+
+    def _disjunction(self) -> EventExpression:
+        left = self._conjunction()
+        while self._peek().kind == "keyword" and self._peek().text == "or":
+            self._advance()
+            left = Or(left, self._conjunction())
+        return left
+
+    def _conjunction(self) -> EventExpression:
+        left = self._unary()
+        while self._peek().kind == "keyword" and self._peek().text == "and":
+            self._advance()
+            left = And(left, self._unary())
+        return left
+
+    def _unary(self) -> EventExpression:
+        token = self._peek()
+        expression: EventExpression | None = None
+        if token.kind == "keyword" and token.text == "not":
+            expression = self._not_expression()
+        elif token.kind == "keyword" and token.text == "times":
+            expression = self._times_expression()
+        elif token.kind == "astar":
+            expression = self._triple(AperiodicStar)
+        elif token.kind == "pstar":
+            expression = self._periodic(PeriodicStar)
+        elif token.kind == "ident" and token.text in ("A", "a"):
+            if self._peek(1).text == "(":
+                expression = self._triple(Aperiodic)
+        elif token.kind == "ident" and token.text in ("P", "p"):
+            if self._peek(1).text == "(":
+                expression = self._periodic(Periodic)
+        if expression is None:
+            return self._postfix()
+        # Operator forms accept postfix chaining too: times(1, a)[n > 0].
+        return self._postfix_chain(expression)
+
+    def _not_expression(self) -> EventExpression:
+        self._advance()  # not
+        self._expect_symbol("(")
+        negated = self._sequence()
+        self._expect_symbol(")")
+        self._expect_symbol("[")
+        opener = self._sequence()
+        self._expect_symbol(",")
+        closer = self._sequence()
+        self._expect_symbol("]")
+        return Not(negated=negated, opener=opener, closer=closer)
+
+    def _times_expression(self) -> EventExpression:
+        self._advance()  # times
+        self._expect_symbol("(")
+        count_token = self._expect_kind("number")
+        self._expect_symbol(",")
+        body = self._sequence()
+        self._expect_symbol(")")
+        return Times(count=int(count_token.text), body=body)
+
+    def _triple(self, node_class: type) -> EventExpression:
+        self._advance()  # A or A*
+        self._expect_symbol("(")
+        opener = self._sequence()
+        self._expect_symbol(",")
+        body = self._sequence()
+        self._expect_symbol(",")
+        closer = self._sequence()
+        self._expect_symbol(")")
+        return node_class(opener=opener, body=body, closer=closer)
+
+    def _periodic(self, node_class: type) -> EventExpression:
+        self._advance()  # P or P*
+        self._expect_symbol("(")
+        opener = self._sequence()
+        self._expect_symbol(",")
+        period_token = self._expect_kind("number")
+        self._expect_symbol(",")
+        closer = self._sequence()
+        self._expect_symbol(")")
+        return node_class(opener=opener, period=int(period_token.text), closer=closer)
+
+    def _postfix(self) -> EventExpression:
+        return self._postfix_chain(self._atom())
+
+    def _postfix_chain(self, expression: EventExpression) -> EventExpression:
+        while True:
+            token = self._peek()
+            if token.kind == "symbol" and token.text == "+":
+                self._advance()
+                offset = self._expect_kind("number")
+                expression = Plus(expression, int(offset.text))
+            elif token.kind == "symbol" and token.text == "[":
+                expression = Filter(expression, self._comparisons())
+            else:
+                return expression
+
+    def _comparisons(self) -> tuple[Comparison, ...]:
+        """Parse ``[attr > 100, name == 'x']`` after an expression."""
+        self._expect_symbol("[")
+        conditions = [self._comparison()]
+        while self._peek().kind == "symbol" and self._peek().text == ",":
+            self._advance()
+            conditions.append(self._comparison())
+        self._expect_symbol("]")
+        return tuple(conditions)
+
+    def _comparison(self) -> Comparison:
+        attribute = self._expect_kind("ident")
+        op = self._expect_kind("cmp")
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            value: int | str = int(token.text)
+        elif token.kind == "string":
+            self._advance()
+            value = token.text[1:-1]
+        elif token.kind == "ident":
+            self._advance()
+            value = token.text
+        else:
+            raise ParseError(
+                f"expected a number, string or identifier after {op.text!r}, "
+                f"got {token.text or 'end of input'!r}",
+                token.position,
+            )
+        return Comparison(attribute.text, op.text, value)
+
+    def _atom(self) -> EventExpression:
+        token = self._peek()
+        if token.kind == "ident":
+            self._advance()
+            return Primitive(token.text)
+        if token.kind == "symbol" and token.text == "(":
+            self._advance()
+            inner = self._sequence()
+            self._expect_symbol(")")
+            return inner
+        raise ParseError(
+            f"expected an event name or '(', got {token.text or 'end of input'!r}",
+            token.position,
+        )
+
+    # --- token-stream helpers ------------------------------------------
+
+    def _peek(self, lookahead: int = 0) -> _Token:
+        index = min(self._index + lookahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def _expect_kind(self, kind: str) -> _Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, got {token.text or 'end of input'!r}", token.position
+            )
+        return self._advance()
+
+    def _expect_symbol(self, symbol: str) -> _Token:
+        token = self._peek()
+        if token.kind != "symbol" or token.text != symbol:
+            raise ParseError(
+                f"expected {symbol!r}, got {token.text or 'end of input'!r}",
+                token.position,
+            )
+        return self._advance()
+
+
+def parse_expression(source: str) -> EventExpression:
+    """Parse a Snoop expression; raises :class:`ParseError` on bad input.
+
+    >>> parse_expression("A*(open, tick, close)").depth()
+    2
+    """
+    return _Parser(source).parse()
+
+
+def tokens_of(source: str) -> Iterator[str]:
+    """Token texts of ``source`` — exposed for testing and tooling."""
+    return (t.text for t in _tokenize(source) if t.kind != "eof")

@@ -1,0 +1,152 @@
+"""Expression rewriting: algebraic simplification of Snoop expressions.
+
+A small optimizer applied before graph construction.  Every rewrite is
+an *oracle-checked law*: the tests verify, on random histories, that the
+rewritten expression denotes exactly the same occurrence multiset
+(timestamps) as the original, so the optimizer can never change
+detection semantics.
+
+Laws applied (bottom-up, to a fixed point):
+
+* ``E or E → E`` — disjunction idempotence (duplicate *detections*
+  would otherwise fire twice).  **Not** applied inside a ``times`` body:
+  the frequency operator counts occurrences, so deduplication there
+  would change which batches fire (hypothesis found this —
+  ``times(2, e or e)`` fires per ``e`` while ``times(2, e)`` fires every
+  second ``e``);
+* ``times(1, E) → E`` — unit frequency;
+* ``E[c1][c2] → E[c1, c2]`` — filter fusion;
+* ``E[c] or E[c'] → E`` when the conditions are complementary on the
+  same attribute (``v > k`` / ``v <= k`` etc.) — filter elimination is
+  *not* generally sound for heterogeneous streams (a missing attribute
+  fails both sides), so this law is only applied when explicitly
+  enabled;
+* ``(E1 or E2) ; E3 → (E1 ; E3) or (E2 ; E3)`` — **not** applied: it is
+  semantics-preserving but grows the graph; recorded here as a
+  documented non-goal.
+
+:func:`simplify` returns a new expression; :func:`describe_rewrites`
+reports which laws fired (for the optimizer's tests and tooling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.events.expressions import (
+    And,
+    Aperiodic,
+    AperiodicStar,
+    EventExpression,
+    Filter,
+    Not,
+    Or,
+    Periodic,
+    PeriodicStar,
+    Plus,
+    Primitive,
+    Sequence,
+    Times,
+)
+
+
+@dataclass
+class RewriteTrace:
+    """Which laws fired during one :func:`simplify` call."""
+
+    or_idempotence: int = 0
+    unit_times: int = 0
+    filter_fusion: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.or_idempotence + self.unit_times + self.filter_fusion
+
+
+def simplify(
+    expression: EventExpression, trace: RewriteTrace | None = None
+) -> EventExpression:
+    """Apply the rewrite laws bottom-up until a fixed point.
+
+    >>> from repro.events.parser import parse_expression
+    >>> str(simplify(parse_expression("times(1, e or e)")))
+    'e'
+    """
+    if trace is None:
+        trace = RewriteTrace()
+    while True:
+        rewritten = _rewrite(expression, trace)
+        if rewritten == expression:
+            return rewritten
+        expression = rewritten
+
+
+def describe_rewrites(expression: EventExpression) -> RewriteTrace:
+    """Simplify and report which laws fired."""
+    trace = RewriteTrace()
+    simplify(expression, trace)
+    return trace
+
+
+def _rewrite(
+    expression: EventExpression, trace: RewriteTrace, under_times: bool = False
+) -> EventExpression:
+    # Rewrite children first (bottom-up); children of a counting operator
+    # inherit the under_times restriction.
+    inside = under_times or isinstance(expression, Times)
+    expression = _map_children(
+        expression, lambda child: _rewrite(child, trace, inside)
+    )
+
+    if (
+        not under_times
+        and isinstance(expression, Or)
+        and expression.left == expression.right
+    ):
+        trace.or_idempotence += 1
+        return expression.left
+    if isinstance(expression, Times) and expression.count == 1:
+        trace.unit_times += 1
+        return expression.body
+    if isinstance(expression, Filter) and isinstance(expression.base, Filter):
+        trace.filter_fusion += 1
+        return Filter(
+            expression.base.base,
+            expression.base.conditions + expression.conditions,
+        )
+    return expression
+
+
+def _map_children(
+    expression: EventExpression, fn
+) -> EventExpression:
+    """Rebuild an expression with rewritten children (identity on leaves)."""
+    if isinstance(expression, Primitive):
+        return expression
+    if isinstance(expression, Or):
+        return Or(fn(expression.left), fn(expression.right))
+    if isinstance(expression, And):
+        return And(fn(expression.left), fn(expression.right))
+    if isinstance(expression, Sequence):
+        return Sequence(fn(expression.first), fn(expression.second))
+    if isinstance(expression, Not):
+        return Not(fn(expression.negated), fn(expression.opener), fn(expression.closer))
+    if isinstance(expression, Aperiodic):
+        return Aperiodic(fn(expression.opener), fn(expression.body), fn(expression.closer))
+    if isinstance(expression, AperiodicStar):
+        return AperiodicStar(
+            fn(expression.opener), fn(expression.body), fn(expression.closer)
+        )
+    if isinstance(expression, Periodic):
+        return Periodic(fn(expression.opener), expression.period, fn(expression.closer))
+    if isinstance(expression, PeriodicStar):
+        return PeriodicStar(
+            fn(expression.opener), expression.period, fn(expression.closer)
+        )
+    if isinstance(expression, Plus):
+        return Plus(fn(expression.base), expression.offset)
+    if isinstance(expression, Filter):
+        return Filter(fn(expression.base), expression.conditions)
+    if isinstance(expression, Times):
+        return Times(expression.count, fn(expression.body))
+    return expression

@@ -1,0 +1,397 @@
+"""Denotational semantics of distributed Snoop expressions (Section 5.3).
+
+A distributed event is a function from composite timestamps to booleans;
+operationally, given a finite :class:`~repro.events.occurrences.History`
+of primitive occurrences, each operator denotes the *set of occurrences*
+of the composite event, with timestamps assembled through the ``Max``
+operator.  :func:`evaluate` computes that set in the **unrestricted
+parameter context** (all valid constituent combinations) and serves as
+the correctness oracle for the operational detector
+(:mod:`repro.detection`).
+
+The paper's Section 5.3 formulae (reproduced below next to each operator)
+leave two conventions implicit for the partially-ordered setting; we fix
+them as follows and exercise them in the tests:
+
+* an interval "between" two composite stamps always means the *open*
+  interval under the composite ``<_p`` (Definition 5.5);
+* a window opened by ``E1`` is closed by the first ``E3`` with
+  ``T(E1) < T(E3)``; an ``E2`` concurrent with the closing ``E3`` does
+  not belong to the window.
+
+Temporal operators (``P``, ``P*``, ``Plus``) need a clock; the oracle
+materializes timer ticks on a dedicated *timer site* whose granule index
+equals the global time, mirroring how the simulator's detector raises
+temporal events from its local clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import ExpressionError
+from repro.events.expressions import (
+    And,
+    Aperiodic,
+    AperiodicStar,
+    EventExpression,
+    Filter,
+    Not,
+    Or,
+    Periodic,
+    PeriodicStar,
+    Plus,
+    Primitive,
+    Sequence,
+    Times,
+)
+from repro.events.occurrences import EventOccurrence, History
+from repro.time.composite import (
+    CompositeTimestamp,
+    composite_happens_before,
+    max_of,
+    max_of_many,
+)
+from repro.time.timestamps import PrimitiveTimestamp
+
+TIMER_SITE = "__timer__"
+
+
+def merge_parameters(
+    left: Mapping[str, Any], right: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Merge event parameters; the later (right) constituent wins ties."""
+    merged = dict(left)
+    merged.update(right)
+    return merged
+
+
+def _pair(
+    event_type: str, first: EventOccurrence, second: EventOccurrence
+) -> EventOccurrence:
+    """Combine two constituent occurrences through ``Max`` (Section 5.2)."""
+    return EventOccurrence(
+        event_type=event_type,
+        timestamp=max_of(first.timestamp, second.timestamp),
+        parameters=merge_parameters(first.parameters, second.parameters),
+        constituents=(first, second),
+    )
+
+
+def _timer_stamp(global_time: int, ratio: int = 1) -> CompositeTimestamp:
+    """A singleton stamp on the timer site at a given global granule."""
+    return CompositeTimestamp.singleton(
+        PrimitiveTimestamp(site=TIMER_SITE, global_time=global_time, local=global_time * ratio)
+    )
+
+
+def _window_closed(
+    opener: EventOccurrence,
+    upto: CompositeTimestamp,
+    closers: list[EventOccurrence],
+) -> bool:
+    """Whether some closer falls strictly inside ``(T(opener), upto)``."""
+    return any(
+        composite_happens_before(opener.timestamp, c.timestamp)
+        and composite_happens_before(c.timestamp, upto)
+        for c in closers
+    )
+
+
+def evaluate(
+    expression: EventExpression,
+    history: History,
+    label: str | None = None,
+    timer_ratio: int = 1,
+) -> list[EventOccurrence]:
+    """All occurrences of ``expression`` over ``history`` (unrestricted).
+
+    ``label`` names the resulting composite occurrences (defaults to the
+    expression's textual form).  Results are returned in a deterministic
+    order (sorted by constituent uids).
+
+    >>> from repro.time.timestamps import PrimitiveTimestamp
+    >>> h = History()
+    >>> _ = h.record("e1", PrimitiveTimestamp("s1", 2, 20))
+    >>> _ = h.record("e2", PrimitiveTimestamp("s2", 9, 90))
+    >>> from repro.events.parser import parse_expression
+    >>> len(evaluate(parse_expression("e1 ; e2"), h))
+    1
+    """
+    name = label if label is not None else str(expression)
+    occurrences = _evaluate(expression, history, name, timer_ratio)
+    return sorted(occurrences, key=lambda o: tuple(c.uid for c in o.primitive_leaves()))
+
+
+def _evaluate(
+    expression: EventExpression,
+    history: History,
+    name: str,
+    timer_ratio: int,
+) -> list[EventOccurrence]:
+    if isinstance(expression, Primitive):
+        return history.of_type(expression.name)
+    if isinstance(expression, Or):
+        return _eval_or(expression, history, name, timer_ratio)
+    if isinstance(expression, And):
+        return _eval_and(expression, history, name, timer_ratio)
+    if isinstance(expression, Sequence):
+        return _eval_sequence(expression, history, name, timer_ratio)
+    if isinstance(expression, Not):
+        return _eval_not(expression, history, name, timer_ratio)
+    if isinstance(expression, Aperiodic):
+        return _eval_aperiodic(expression, history, name, timer_ratio)
+    if isinstance(expression, AperiodicStar):
+        return _eval_aperiodic_star(expression, history, name, timer_ratio)
+    if isinstance(expression, Periodic):
+        return _eval_periodic(expression, history, name, timer_ratio, cumulative=False)
+    if isinstance(expression, PeriodicStar):
+        return _eval_periodic(expression, history, name, timer_ratio, cumulative=True)
+    if isinstance(expression, Plus):
+        return _eval_plus(expression, history, name, timer_ratio)
+    if isinstance(expression, Filter):
+        return [
+            occurrence
+            for occurrence in _evaluate(expression.base, history, name, timer_ratio)
+            if expression.accepts(occurrence.parameters)
+        ]
+    if isinstance(expression, Times):
+        return _eval_times(expression, history, name, timer_ratio)
+    raise ExpressionError(f"unknown expression node {type(expression).__name__}")
+
+
+def _eval_or(
+    node: Or, history: History, name: str, timer_ratio: int
+) -> list[EventOccurrence]:
+    """``(E1 ∨ E2)(ts)``: either disjunct occurred at ``ts``."""
+    results = []
+    for side in (node.left, node.right):
+        for occurrence in _evaluate(side, history, name, timer_ratio):
+            results.append(
+                EventOccurrence(
+                    event_type=name,
+                    timestamp=occurrence.timestamp,
+                    parameters=dict(occurrence.parameters),
+                    constituents=(occurrence,),
+                )
+            )
+    return results
+
+
+def _eval_and(
+    node: And, history: History, name: str, timer_ratio: int
+) -> list[EventOccurrence]:
+    """``(E1 ∧ E2)(ts) = ∃t1,t2: E1(t1) ∧ E2(t2)`` with ``ts = Max(t1,t2)``."""
+    lefts = _evaluate(node.left, history, name, timer_ratio)
+    rights = _evaluate(node.right, history, name, timer_ratio)
+    return [_pair(name, l, r) for l in lefts for r in rights]
+
+
+def _eval_sequence(
+    node: Sequence, history: History, name: str, timer_ratio: int
+) -> list[EventOccurrence]:
+    """``(E1 ; E2)(ts)``: both occur and ``t1 < t2`` under composite ``<_p``."""
+    firsts = _evaluate(node.first, history, name, timer_ratio)
+    seconds = _evaluate(node.second, history, name, timer_ratio)
+    return [
+        _pair(name, f, s)
+        for f in firsts
+        for s in seconds
+        if composite_happens_before(f.timestamp, s.timestamp)
+    ]
+
+
+def _eval_not(
+    node: Not, history: History, name: str, timer_ratio: int
+) -> list[EventOccurrence]:
+    """``¬(E2)[E1, E3]``: ``E1`` then ``E3`` with no ``E2`` strictly between."""
+    openers = _evaluate(node.opener, history, name, timer_ratio)
+    closers = _evaluate(node.closer, history, name, timer_ratio)
+    negated = _evaluate(node.negated, history, name, timer_ratio)
+    results = []
+    for opener in openers:
+        for closer in closers:
+            if not composite_happens_before(opener.timestamp, closer.timestamp):
+                continue
+            blocked = any(
+                composite_happens_before(opener.timestamp, n.timestamp)
+                and composite_happens_before(n.timestamp, closer.timestamp)
+                for n in negated
+            )
+            if not blocked:
+                results.append(_pair(name, opener, closer))
+    return results
+
+
+def _eval_aperiodic(
+    node: Aperiodic, history: History, name: str, timer_ratio: int
+) -> list[EventOccurrence]:
+    """``A(E1, E2, E3)``: each ``E2`` inside a window not yet closed by ``E3``."""
+    openers = _evaluate(node.opener, history, name, timer_ratio)
+    bodies = _evaluate(node.body, history, name, timer_ratio)
+    closers = _evaluate(node.closer, history, name, timer_ratio)
+    results = []
+    for opener in openers:
+        for body in bodies:
+            if not composite_happens_before(opener.timestamp, body.timestamp):
+                continue
+            if not _window_closed(opener, body.timestamp, closers):
+                results.append(_pair(name, opener, body))
+    return results
+
+
+def _eval_aperiodic_star(
+    node: AperiodicStar, history: History, name: str, timer_ratio: int
+) -> list[EventOccurrence]:
+    """``A*(E1, E2, E3)``: on ``E3``, accumulate every window ``E2``."""
+    openers = _evaluate(node.opener, history, name, timer_ratio)
+    bodies = _evaluate(node.body, history, name, timer_ratio)
+    closers = _evaluate(node.closer, history, name, timer_ratio)
+    results = []
+    for opener in openers:
+        for closer in closers:
+            if not composite_happens_before(opener.timestamp, closer.timestamp):
+                continue
+            window = [
+                b
+                for b in bodies
+                if composite_happens_before(opener.timestamp, b.timestamp)
+                and composite_happens_before(b.timestamp, closer.timestamp)
+            ]
+            constituents = (opener, *window, closer)
+            results.append(
+                EventOccurrence(
+                    event_type=name,
+                    timestamp=max_of_many(c.timestamp for c in constituents),
+                    parameters={
+                        "accumulated": tuple(dict(b.parameters) for b in window),
+                        **merge_parameters(opener.parameters, closer.parameters),
+                    },
+                    constituents=constituents,
+                )
+            )
+    return results
+
+
+def _eval_periodic(
+    node: Periodic | PeriodicStar,
+    history: History,
+    name: str,
+    timer_ratio: int,
+    cumulative: bool,
+) -> list[EventOccurrence]:
+    """``P``/``P*``: timer ticks every ``period`` granules inside the window.
+
+    Ticks for a window opened by ``E1`` start one period after the
+    latest global granule of ``T(E1)`` and stop at the first closing
+    ``E3``; with no closer the window is evaluated up to the last granule
+    observed in the history (a finite-history cutoff).
+    """
+    openers = _evaluate(node.opener, history, name, timer_ratio)
+    closers = _evaluate(node.closer, history, name, timer_ratio)
+    horizon = _history_horizon(history)
+    results = []
+    for opener in openers:
+        open_global = opener.timestamp.global_span()[1]
+        closing = _first_closer(opener, closers)
+        end_global = (
+            closing.timestamp.global_span()[1] if closing is not None else horizon
+        )
+        ticks = []
+        tick_global = open_global + node.period
+        while tick_global <= end_global:
+            stamp = _timer_stamp(tick_global, timer_ratio)
+            if closing is not None and not composite_happens_before(
+                stamp, closing.timestamp
+            ):
+                break
+            tick = EventOccurrence(
+                event_type=f"{name}.tick",
+                timestamp=stamp,
+                parameters={"tick_global": tick_global},
+            )
+            ticks.append(tick)
+            tick_global += node.period
+        if cumulative:
+            if closing is not None:
+                constituents = (opener, *ticks, closing)
+                results.append(
+                    EventOccurrence(
+                        event_type=name,
+                        timestamp=max_of_many(c.timestamp for c in constituents),
+                        parameters={
+                            "ticks": tuple(t.parameters["tick_global"] for t in ticks)
+                        },
+                        constituents=constituents,
+                    )
+                )
+        else:
+            results.extend(_pair(name, opener, tick) for tick in ticks)
+    return results
+
+
+def _eval_plus(
+    node: Plus, history: History, name: str, timer_ratio: int
+) -> list[EventOccurrence]:
+    """``E1 + offset``: a timer tick ``offset`` granules after each ``E1``."""
+    bases = _evaluate(node.base, history, name, timer_ratio)
+    results = []
+    for base in bases:
+        tick_global = base.timestamp.global_span()[1] + node.offset
+        tick = EventOccurrence(
+            event_type=f"{name}.tick",
+            timestamp=_timer_stamp(tick_global, timer_ratio),
+            parameters={"tick_global": tick_global},
+        )
+        results.append(_pair(name, base, tick))
+    return results
+
+
+def _first_closer(
+    opener: EventOccurrence, closers: list[EventOccurrence]
+) -> EventOccurrence | None:
+    """The earliest closer strictly after ``opener`` (min by global span)."""
+    after = [
+        c
+        for c in closers
+        if composite_happens_before(opener.timestamp, c.timestamp)
+    ]
+    if not after:
+        return None
+    return min(after, key=lambda c: (c.timestamp.global_span()[1], c.uid))
+
+
+def _history_horizon(history: History) -> int:
+    """The largest global granule observed anywhere in the history."""
+    horizon = 0
+    for occurrence in history:
+        horizon = max(horizon, occurrence.timestamp.global_span()[1])
+    return horizon
+
+
+def _eval_times(
+    node: Times, history: History, name: str, timer_ratio: int
+) -> list[EventOccurrence]:
+    """``times(n, E)``: consecutive batches of ``n`` occurrences.
+
+    Occurrences are batched in the canonical linearization (latest global
+    granule, then uid) — the order an in-timestamp-order feed delivers.
+    """
+    bodies = _evaluate(node.body, history, name, timer_ratio)
+    bodies.sort(key=lambda o: (o.timestamp.global_span()[1], o.uid))
+    results = []
+    for start in range(0, len(bodies) - node.count + 1, node.count):
+        batch = tuple(bodies[start : start + node.count])
+        merged: dict[str, Any] = {}
+        for body in batch:
+            merged = merge_parameters(merged, body.parameters)
+        merged["count"] = node.count
+        results.append(
+            EventOccurrence(
+                event_type=name,
+                timestamp=max_of_many(o.timestamp for o in batch),
+                parameters=merged,
+                constituents=batch,
+            )
+        )
+    return results

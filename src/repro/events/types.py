@@ -1,0 +1,127 @@
+"""Primitive event types and the type registry (Section 3.1).
+
+The paper (after [10]) classifies site-related primitive events into
+*time events*, *data manipulation (database) events*, *transaction
+events* and *abstract (explicit) events*.  The classification matters for
+the simultaneity assumptions of Section 3.1:
+
+1. each non-temporal event has at least one temporal event happening
+   simultaneously (every occurrence happens *at* a clock tick);
+2. each composite event has at least one primitive event happening
+   simultaneously (its timestamp is built from primitive stamps);
+3. no two *database* events happen simultaneously;
+4. no two *explicit* events happen simultaneously.
+
+:class:`TypeRegistry` owns the event-type namespace of one system and is
+consulted by the history validator
+(:meth:`repro.events.occurrences.History.validate_simultaneity`) and the
+detection engine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import DuplicateEventTypeError, UnknownEventTypeError
+
+
+class EventClass(enum.Enum):
+    """The primitive event classes of Section 3.1."""
+
+    TEMPORAL = "temporal"
+    DATABASE = "database"
+    TRANSACTION = "transaction"
+    EXPLICIT = "explicit"
+
+    @property
+    def excludes_simultaneity(self) -> bool:
+        """Whether two events of this class may not be simultaneous.
+
+        Assumptions 3 and 4 of Section 3.1: database events and explicit
+        events each exclude same-class simultaneity.
+        """
+        return self in (EventClass.DATABASE, EventClass.EXPLICIT)
+
+
+@dataclass(frozen=True, slots=True)
+class EventType:
+    """A named primitive event type.
+
+    ``site`` restricts the type to one site when set (the common case for
+    database and transaction events, which are raised by one DBMS);
+    ``None`` means occurrences may be raised anywhere.
+    """
+
+    name: str
+    event_class: EventClass = EventClass.EXPLICIT
+    site: str | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise UnknownEventTypeError(
+                f"event type name must be a non-empty identifier, got {self.name!r}"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass
+class TypeRegistry:
+    """The event-type namespace of one (distributed) system.
+
+    >>> registry = TypeRegistry()
+    >>> _ = registry.define("deposit", EventClass.DATABASE, site="bank1")
+    >>> registry["deposit"].event_class
+    <EventClass.DATABASE: 'database'>
+    """
+
+    _types: dict[str, EventType] = field(default_factory=dict)
+
+    def define(
+        self,
+        name: str,
+        event_class: EventClass = EventClass.EXPLICIT,
+        site: str | None = None,
+        description: str = "",
+    ) -> EventType:
+        """Register a new event type; duplicate names are rejected."""
+        if name in self._types:
+            raise DuplicateEventTypeError(f"event type {name!r} is already defined")
+        event_type = EventType(
+            name=name, event_class=event_class, site=site, description=description
+        )
+        self._types[name] = event_type
+        return event_type
+
+    def define_many(
+        self, names: list[str], event_class: EventClass = EventClass.EXPLICIT
+    ) -> list[EventType]:
+        """Register several types of the same class in one call."""
+        return [self.define(name, event_class) for name in names]
+
+    def get(self, name: str) -> EventType:
+        """Look up a type; raises :class:`UnknownEventTypeError` if absent."""
+        try:
+            return self._types[name]
+        except KeyError:
+            raise UnknownEventTypeError(f"event type {name!r} is not defined") from None
+
+    def __getitem__(self, name: str) -> EventType:
+        return self.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __iter__(self) -> Iterator[EventType]:
+        return iter(self._types.values())
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def names(self) -> list[str]:
+        """All registered type names in definition order."""
+        return list(self._types)

@@ -1,0 +1,5 @@
+"""ECA (Event-Condition-Action) rules over the detection engine."""
+
+from repro.rules.eca import CouplingMode, Rule, RuleExecution, RuleManager
+
+__all__ = ["CouplingMode", "Rule", "RuleExecution", "RuleManager"]

@@ -1,0 +1,215 @@
+"""A textual rule-definition language for ECA rules.
+
+Sentinel lets users declare rules in the database schema; this module
+provides the equivalent for the library — a small, line-oriented format
+that binds a Snoop event expression, a parameter condition, and named
+actions into a :class:`~repro.rules.eca.RuleManager`::
+
+    rule flag_fraud
+      on: deposit ; withdraw[amount > 1000]
+      context: chronicle
+      priority: 5
+      coupling: deferred
+      when: amount > 1000 and account != 'internal'
+      do: alert, log
+
+    rule audit_all
+      on: deposit or withdraw
+      do: log
+
+Clauses:
+
+``on:`` (required)
+    A Snoop expression (full :mod:`repro.events.parser` syntax).
+``when:`` (optional)
+    A conjunction of attribute comparisons over the detection's merged
+    parameters; missing attributes fail the condition.
+``do:`` (required)
+    Comma-separated action names, resolved against the caller-supplied
+    action registry at load time (unknown names fail fast).
+``context:``, ``priority:``, ``coupling:`` (optional)
+    Parameter context (default unrestricted), integer priority
+    (default 0), coupling mode (default immediate).
+
+Comments start with ``#``; blank lines separate nothing in particular.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.contexts.policies import Context
+from repro.detection.detector import Detection
+from repro.errors import RuleError
+from repro.events.expressions import Comparison
+from repro.events.parser import parse_expression
+from repro.rules.eca import CouplingMode, Rule, RuleManager
+
+Action = Callable[[Detection], object]
+
+_RULE_RE = re.compile(r"^rule\s+([A-Za-z_][A-Za-z0-9_]*)\s*$")
+_CLAUSE_RE = re.compile(r"^(on|when|do|context|priority|coupling)\s*:\s*(.*)$")
+_COMPARISON_RE = re.compile(
+    r"""^\s*([A-Za-z_][A-Za-z0-9_]*)\s*(>=|<=|==|!=|<|>)\s*
+        ('[^']*'|"[^"]*"|-?\d+|[A-Za-z_][A-Za-z0-9_]*)\s*$""",
+    re.VERBOSE,
+)
+
+
+@dataclass
+class RuleDefinition:
+    """One parsed (not yet bound) rule from the text format."""
+
+    name: str
+    event_text: str = ""
+    condition_text: str = ""
+    action_names: list[str] = field(default_factory=list)
+    context: Context = Context.UNRESTRICTED
+    priority: int = 0
+    coupling: CouplingMode = CouplingMode.IMMEDIATE
+    line: int = 0
+
+    def validate(self) -> None:
+        if not self.event_text:
+            raise RuleError(f"rule {self.name!r} is missing its 'on:' clause")
+        if not self.action_names:
+            raise RuleError(f"rule {self.name!r} is missing its 'do:' clause")
+
+
+def parse_condition(text: str) -> tuple[Comparison, ...]:
+    """Parse ``attr > 10 and sym == 'X'`` into comparisons.
+
+    >>> parse_condition("v > 10 and s == 'a'")
+    (Comparison(attribute='v', op='>', value=10), Comparison(attribute='s', op='==', value='a'))
+    """
+    comparisons = []
+    for part in re.split(r"\s+and\s+", text.strip()):
+        match = _COMPARISON_RE.match(part)
+        if match is None:
+            raise RuleError(f"cannot parse condition term {part!r}")
+        attribute, op, raw = match.groups()
+        if raw.startswith(("'", '"')):
+            value: int | str = raw[1:-1]
+        elif re.fullmatch(r"-?\d+", raw):
+            value = int(raw)
+        else:
+            value = raw
+        comparisons.append(Comparison(attribute, op, value))
+    return tuple(comparisons)
+
+
+def parse_rules(text: str) -> list[RuleDefinition]:
+    """Parse the text format into rule definitions (unbound)."""
+    definitions: list[RuleDefinition] = []
+    current: RuleDefinition | None = None
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        rule_match = _RULE_RE.match(line)
+        if rule_match:
+            if current is not None:
+                current.validate()
+                definitions.append(current)
+            current = RuleDefinition(name=rule_match.group(1), line=line_number)
+            continue
+        clause_match = _CLAUSE_RE.match(line)
+        if clause_match is None:
+            raise RuleError(
+                f"line {line_number}: expected 'rule <name>' or a clause, "
+                f"got {line!r}"
+            )
+        if current is None:
+            raise RuleError(
+                f"line {line_number}: clause outside of a rule definition"
+            )
+        key, value = clause_match.groups()
+        if key == "on":
+            current.event_text = value
+        elif key == "when":
+            current.condition_text = value
+        elif key == "do":
+            current.action_names = [
+                name.strip() for name in value.split(",") if name.strip()
+            ]
+        elif key == "context":
+            try:
+                current.context = Context(value.strip().lower())
+            except ValueError:
+                raise RuleError(
+                    f"line {line_number}: unknown context {value!r}"
+                ) from None
+        elif key == "priority":
+            try:
+                current.priority = int(value)
+            except ValueError:
+                raise RuleError(
+                    f"line {line_number}: priority must be an integer, "
+                    f"got {value!r}"
+                ) from None
+        elif key == "coupling":
+            try:
+                current.coupling = CouplingMode(value.strip().lower())
+            except ValueError:
+                raise RuleError(
+                    f"line {line_number}: unknown coupling {value!r}"
+                ) from None
+    if current is not None:
+        current.validate()
+        definitions.append(current)
+    return definitions
+
+
+def _build_condition(text: str) -> Callable[[Detection], bool]:
+    if not text:
+        return lambda detection: True
+    comparisons = parse_condition(text)
+
+    def condition(detection: Detection) -> bool:
+        parameters = detection.occurrence.parameters
+        return all(c.matches(parameters) for c in comparisons)
+
+    return condition
+
+
+def _build_action(
+    names: list[str], registry: dict[str, Action]
+) -> Callable[[Detection], list[object]]:
+    missing = [name for name in names if name not in registry]
+    if missing:
+        raise RuleError(f"unknown action(s): {', '.join(sorted(missing))}")
+    actions = [registry[name] for name in names]
+
+    def run(detection: Detection) -> list[object]:
+        return [action(detection) for action in actions]
+
+    return run
+
+
+def load_rules(
+    text: str,
+    manager: RuleManager,
+    actions: dict[str, Action],
+) -> list[Rule]:
+    """Parse the text format and define every rule on ``manager``.
+
+    ``actions`` maps action names to callables receiving the
+    :class:`Detection`.  Returns the defined rules in order.
+    """
+    rules = []
+    for definition in parse_rules(text):
+        expression = parse_expression(definition.event_text)
+        rules.append(
+            manager.define(
+                definition.name,
+                expression,
+                condition=_build_condition(definition.condition_text),
+                action=_build_action(definition.action_names, actions),
+                priority=definition.priority,
+                coupling=definition.coupling,
+                context=definition.context,
+            )
+        )
+    return rules

@@ -1,0 +1,61 @@
+"""Discrete-event simulation of a distributed active-DBMS system.
+
+The paper assumes a distributed system of sites with synchronized
+physical clocks and a message-passing network; this subpackage simulates
+exactly that substrate so the semantics can be exercised end-to-end:
+
+* :mod:`repro.sim.engine` — the discrete-event core (true-time event
+  queue).
+* :mod:`repro.sim.network` — latency models and the message fabric.
+* :mod:`repro.sim.cluster` — :class:`DistributedSystem`: sites, clocks
+  (drift + precision ``Π``), the distributed detector, and the run loop.
+* :mod:`repro.sim.workloads` — reproducible workload generators.
+* :mod:`repro.sim.trace` — trace recording and replay.
+"""
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.network import (
+    ConstantLatency,
+    LatencyModel,
+    Network,
+    NetworkStats,
+    UniformLatency,
+)
+from repro.sim.cluster import DetectionRecord, DistributedSystem
+from repro.sim.monitor import AccuracyReport, LatencyStats, accuracy, latency_stats
+from repro.sim.monitor_site import MonitorDetection, StabilizedMonitor
+from repro.sim.workloads import (
+    WorkloadEvent,
+    bursty_stream,
+    paired_stream,
+    sensor_stream,
+    stock_stream,
+    uniform_stream,
+)
+from repro.sim.trace import Trace, load_trace, save_trace
+
+__all__ = [
+    "AccuracyReport",
+    "ConstantLatency",
+    "DetectionRecord",
+    "DistributedSystem",
+    "LatencyStats",
+    "accuracy",
+    "latency_stats",
+    "LatencyModel",
+    "Network",
+    "NetworkStats",
+    "MonitorDetection",
+    "SimulationEngine",
+    "StabilizedMonitor",
+    "Trace",
+    "UniformLatency",
+    "WorkloadEvent",
+    "bursty_stream",
+    "load_trace",
+    "paired_stream",
+    "save_trace",
+    "sensor_stream",
+    "stock_stream",
+    "uniform_stream",
+]

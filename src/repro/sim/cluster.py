@@ -1,0 +1,295 @@
+"""The simulated distributed system: sites, clocks, network, detector.
+
+:class:`DistributedSystem` is the top-level facade of the simulator.  It
+owns:
+
+* a :class:`~repro.sim.engine.SimulationEngine` (true-time event queue),
+* a :class:`~repro.time.clocks.ClockEnsemble` — one drifting local clock
+  per site, synchronized within the model's precision ``Π``,
+* a :class:`~repro.detection.coordinator.DistributedDetector` whose
+  cross-site messages travel through a :class:`~repro.sim.network.
+  Network` with a pluggable latency model, and
+* the bookkeeping that turns detections into
+  :class:`DetectionRecord` rows (detection latency, constituent spread)
+  consumed by the benchmarks.
+
+Substitution note (see DESIGN.md): the paper's physical testbed is
+replaced by this simulator; primitive events are injected at *true*
+times, stamped by their site's local clock (drift and offset included),
+so every artifact the semantics cares about — granule truncation, the
+``2g_g`` margin, cross-site concurrency — arises exactly as it would on
+real hardware with synchronized clocks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.contexts.policies import Context
+from repro.detection.coordinator import (
+    DistributedDetector,
+    Message,
+    PlacementPolicy,
+)
+from repro.detection.detector import Detection
+from repro.detection.nodes import Node
+from repro.errors import SimulationError, UnknownSiteError
+from repro.events.expressions import EventExpression
+from repro.events.occurrences import EventOccurrence, History
+from repro.sim.engine import SimulationEngine
+from repro.sim.network import LatencyModel, Network
+from repro.sim.workloads import WorkloadEvent
+from repro.time.clocks import ClockEnsemble
+from repro.time.ticks import TimeModel
+
+
+@dataclass(frozen=True)
+class DetectionRecord:
+    """One composite-event detection with timing metadata.
+
+    ``true_time`` — reference time at which the detector signalled;
+    ``injection_span`` — (earliest, latest) true injection times of the
+    primitive constituents; ``latency`` — signal delay past the latest
+    constituent, the SCALE benchmark's headline metric.
+    """
+
+    name: str
+    detection: Detection
+    true_time: Fraction
+    injection_span: tuple[Fraction, Fraction]
+
+    @property
+    def latency(self) -> Fraction:
+        return self.true_time - self.injection_span[1]
+
+
+class DistributedSystem:
+    """A simulated multi-site active-DBMS system.
+
+    >>> from repro.contexts.policies import Context
+    >>> from repro.sim.workloads import paired_stream
+    >>> import random
+    >>> system = DistributedSystem(["a", "b"], seed=7)
+    >>> system.set_home("cause", "a"); system.set_home("effect", "b")
+    >>> _ = system.register("cause ; effect", name="seq",
+    ...                     context=Context.CHRONICLE)
+    >>> _ = system.inject(paired_stream(random.Random(0), "a", "b", 1, pairs=3))
+    >>> _ = system.run()
+    >>> len(system.detections_of("seq"))
+    3
+    """
+
+    def __init__(
+        self,
+        sites: list[str],
+        model: TimeModel | None = None,
+        seed: int = 0,
+        latency: LatencyModel | None = None,
+        perfect_clocks: bool = False,
+        coordinator: str | None = None,
+        loss_probability: float = 0.0,
+        retransmit: bool = False,
+        max_retries: int = 8,
+        retry_timeout: Fraction | None = None,
+    ) -> None:
+        self.model = model if model is not None else TimeModel.example_5_1()
+        self.engine = SimulationEngine()
+        rng = random.Random(seed)
+        self.network = Network(
+            self.engine,
+            latency,
+            loss_probability=loss_probability,
+            rng=random.Random(seed + 0x5EED),
+        )
+        self.retransmit = retransmit
+        self.max_retries = max_retries
+        self.retry_timeout = (
+            retry_timeout if retry_timeout is not None else Fraction(1, 10)
+        )
+        self.retransmissions = 0
+        self.lost_messages = 0
+        if perfect_clocks:
+            self.clocks = ClockEnsemble.perfect(self.model, sites)
+        else:
+            self.clocks = ClockEnsemble.random(self.model, sites, rng)
+        self.detector = DistributedDetector(
+            sites, coordinator=coordinator, timer_ratio=self.model.ratio
+        )
+        self.records: list[DetectionRecord] = []
+        self.history = History()
+        self._injection_times: dict[int, Fraction] = {}
+        self._injected = 0
+
+    # --- configuration -----------------------------------------------------
+
+    @property
+    def sites(self) -> list[str]:
+        """The site names of the system."""
+        return self.detector.sites
+
+    def set_home(self, event_type: str, site: str) -> None:
+        """Declare the home site of a primitive event type."""
+        self.detector.set_home(event_type, site)
+
+    def register(
+        self,
+        expression: EventExpression | str,
+        name: str | None = None,
+        context: Context = Context.UNRESTRICTED,
+        placement: PlacementPolicy = PlacementPolicy.LEAF_MAJORITY,
+        callback: Callable[[Detection], None] | None = None,
+    ) -> Node:
+        """Register a composite event; detections are recorded with timing."""
+        root = self.detector.register(
+            expression, name=name, context=context, placement=placement
+        )
+        self.detector._callbacks.setdefault(root.name, []).append(self._record)
+        if callback is not None:
+            self.detector._callbacks[root.name].append(callback)
+        return root
+
+    # --- event injection ------------------------------------------------------
+
+    def inject(self, events: Iterable[WorkloadEvent]) -> int:
+        """Schedule workload events for injection; returns the count."""
+        count = 0
+        for event in events:
+            self.engine.schedule_at(event.time, self._make_raiser(event))
+            count += 1
+        return count
+
+    def raise_event(
+        self,
+        site: str,
+        event_type: str,
+        at: int | float | Fraction,
+        parameters: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Schedule one primitive event at a true time."""
+        if site not in self.sites:
+            raise UnknownSiteError(f"{site!r} is not a site of this system")
+        event = WorkloadEvent(
+            time=Fraction(at),
+            site=site,
+            event_type=event_type,
+            parameters=dict(parameters or {}),
+        )
+        self.inject([event])
+
+    def _make_raiser(self, event: WorkloadEvent) -> Callable[[], None]:
+        def raiser() -> None:
+            self._advance_detector_clock()
+            stamp = self.clocks.stamp(event.site, self.engine.now)
+            occurrence = EventOccurrence.primitive(
+                event.event_type, stamp, dict(event.parameters)
+            )
+            self._injection_times[occurrence.uid] = self.engine.now
+            self.history.add(occurrence)
+            self.detector.feed_occurrence(occurrence)
+            self._injected += 1
+            self._drain_outbox()
+
+        return raiser
+
+    # --- detector plumbing ------------------------------------------------------
+
+    def _advance_detector_clock(self) -> None:
+        granule = int(self.engine.now / self.model.global_.seconds)
+        self.detector.advance_time(granule)
+        self._drain_outbox()
+
+    def _drain_outbox(self) -> None:
+        while self.detector.outbox:
+            message = self.detector.outbox.popleft()
+            self._send_with_recovery(message, attempt=0)
+
+    def _send_with_recovery(self, message: Message, attempt: int) -> None:
+        outcome = self.network.send(
+            message.src, message.dst, message.size, self._make_deliverer(message)
+        )
+        if outcome is not None:
+            return
+        if not self.retransmit or attempt >= self.max_retries:
+            self.lost_messages += 1
+            return
+        # Simulated ack timeout: re-send after the retry timeout, with
+        # linear backoff; deterministic given the seeds.
+        self.retransmissions += 1
+        delay = self.retry_timeout * (attempt + 1)
+        self.engine.schedule_in(
+            delay, lambda: self._send_with_recovery(message, attempt + 1)
+        )
+
+    def _make_deliverer(self, message: Message) -> Callable[[], None]:
+        def deliverer() -> None:
+            self._advance_detector_clock()
+            self.detector.deliver(message)
+            self._drain_outbox()
+
+        return deliverer
+
+    def _record(self, detection: Detection) -> None:
+        leaves = detection.occurrence.primitive_leaves()
+        times = [
+            self._injection_times[leaf.uid]
+            for leaf in leaves
+            if leaf.uid in self._injection_times
+        ]
+        if not times:
+            times = [self.engine.now]
+        self.records.append(
+            DetectionRecord(
+                name=detection.name,
+                detection=detection,
+                true_time=self.engine.now,
+                injection_span=(min(times), max(times)),
+            )
+        )
+
+    # --- running -----------------------------------------------------------------
+
+    def run(
+        self,
+        until: int | float | Fraction | None = None,
+        pump_granules: bool = False,
+    ) -> int:
+        """Run the simulation; returns the number of processed actions.
+
+        ``pump_granules`` schedules a clock advance at every global
+        granule up to ``until`` so that temporal operators (``P``,
+        ``Plus``) fire even during event-free stretches; it requires an
+        explicit ``until``.
+        """
+        if pump_granules:
+            if until is None:
+                raise SimulationError("pump_granules requires an explicit until")
+            granule_seconds = self.model.global_.seconds
+            t = granule_seconds
+            while t <= Fraction(until):
+                self.engine.schedule_at(t, self._advance_detector_clock)
+                t += granule_seconds
+        return self.engine.run(until)
+
+    # --- results --------------------------------------------------------------------
+
+    def detections_of(self, name: str) -> list[DetectionRecord]:
+        """Detection records of one registered composite event."""
+        return [r for r in self.records if r.name == name]
+
+    def injected_count(self) -> int:
+        """Primitive events injected so far."""
+        return self._injected
+
+    def message_stats(self) -> dict[str, Any]:
+        """Cross-site traffic summary for the benchmarks."""
+        return {
+            "messages": self.network.stats.messages,
+            "volume": self.network.stats.volume,
+            "mean_delay": self.network.stats.mean_delay(),
+            "dropped": self.network.stats.dropped,
+            "retransmissions": self.retransmissions,
+            "lost": self.lost_messages,
+        }

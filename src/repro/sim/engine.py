@@ -1,0 +1,82 @@
+"""The discrete-event simulation core.
+
+A minimal, deterministic event-queue simulator over *true* (reference)
+time, kept in exact :class:`fractions.Fraction` seconds so that clock
+arithmetic stays reproducible.  Everything else in :mod:`repro.sim` is
+built on :class:`SimulationEngine`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from fractions import Fraction
+from typing import Callable
+
+from repro.errors import SchedulingError
+
+Action = Callable[[], None]
+
+
+class SimulationEngine:
+    """A deterministic true-time event queue.
+
+    >>> engine = SimulationEngine()
+    >>> fired = []
+    >>> engine.schedule_at(Fraction(1, 2), lambda: fired.append(engine.now))
+    >>> engine.run()
+    1
+    >>> fired
+    [Fraction(1, 2)]
+    """
+
+    def __init__(self) -> None:
+        self.now: Fraction = Fraction(0)
+        self._queue: list[tuple[Fraction, int, Action]] = []
+        self._seq = itertools.count()
+        self.processed = 0
+
+    def schedule_at(self, when: int | float | Fraction, action: Action) -> None:
+        """Schedule ``action`` at absolute true time ``when`` (seconds)."""
+        when = Fraction(when)
+        if when < self.now:
+            raise SchedulingError(
+                f"cannot schedule at {when}; simulation time is already {self.now}"
+            )
+        heapq.heappush(self._queue, (when, next(self._seq), action))
+
+    def schedule_in(self, delay: int | float | Fraction, action: Action) -> None:
+        """Schedule ``action`` after ``delay`` seconds of true time."""
+        delay = Fraction(delay)
+        if delay < 0:
+            raise SchedulingError(f"delay must be non-negative, got {delay}")
+        self.schedule_at(self.now + delay, action)
+
+    def step(self) -> bool:
+        """Process one queued action; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        when, _, action = heapq.heappop(self._queue)
+        self.now = when
+        action()
+        self.processed += 1
+        return True
+
+    def run(self, until: int | float | Fraction | None = None) -> int:
+        """Run until the queue drains (or true time exceeds ``until``).
+
+        Returns the number of actions processed by this call.
+        """
+        deadline = None if until is None else Fraction(until)
+        processed_before = self.processed
+        while self._queue:
+            if deadline is not None and self._queue[0][0] > deadline:
+                break
+            self.step()
+        if deadline is not None and self.now < deadline:
+            self.now = deadline
+        return self.processed - processed_before
+
+    def pending(self) -> int:
+        """Number of actions still queued."""
+        return len(self._queue)

@@ -1,0 +1,120 @@
+"""Monitoring utilities: latency statistics and oracle accuracy scoring.
+
+Production-style observability for the simulator:
+
+* :func:`latency_stats` — percentiles of detection signal latency over a
+  run's :class:`~repro.sim.cluster.DetectionRecord` rows;
+* :func:`accuracy` — scores a run's detections of one composite event
+  against the denotational oracle evaluated on the *exact* primitive
+  history the simulation produced (same stamps, drift included):
+  recall < 1 indicates operational loss (message drops, consuming
+  contexts, out-of-order effects on non-monotonic operators); precision
+  < 1 indicates spurious detections and would be a bug.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from repro.events.expressions import EventExpression
+from repro.events.parser import parse_expression
+from repro.events.semantics import evaluate
+from repro.sim.cluster import DetectionRecord, DistributedSystem
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyStats:
+    """Signal-latency summary (seconds of true time)."""
+
+    count: int
+    mean: Fraction
+    p50: Fraction
+    p95: Fraction
+    maximum: Fraction
+
+    def as_milliseconds(self) -> dict[str, float]:
+        """The summary in float milliseconds (for printing)."""
+        return {
+            "count": self.count,
+            "mean": float(self.mean) * 1000,
+            "p50": float(self.p50) * 1000,
+            "p95": float(self.p95) * 1000,
+            "max": float(self.maximum) * 1000,
+        }
+
+
+def latency_stats(records: Sequence[DetectionRecord]) -> LatencyStats | None:
+    """Latency percentiles over detection records (None when empty)."""
+    if not records:
+        return None
+    latencies = sorted(record.latency for record in records)
+    count = len(latencies)
+
+    def percentile(q: Fraction) -> Fraction:
+        index = min(count - 1, int(q * (count - 1) + Fraction(1, 2)))
+        return latencies[index]
+
+    return LatencyStats(
+        count=count,
+        mean=sum(latencies, Fraction(0)) / count,
+        p50=percentile(Fraction(1, 2)),
+        p95=percentile(Fraction(19, 20)),
+        maximum=latencies[-1],
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class AccuracyReport:
+    """Detections vs oracle, as timestamp multisets."""
+
+    expected: int
+    detected: int
+    matched: int
+
+    @property
+    def recall(self) -> Fraction:
+        if self.expected == 0:
+            return Fraction(1)
+        return Fraction(self.matched, self.expected)
+
+    @property
+    def precision(self) -> Fraction:
+        if self.detected == 0:
+            return Fraction(1)
+        return Fraction(self.matched, self.detected)
+
+    @property
+    def exact(self) -> bool:
+        return self.matched == self.expected == self.detected
+
+
+def accuracy(
+    system: DistributedSystem,
+    expression: EventExpression | str,
+    name: str,
+) -> AccuracyReport:
+    """Score a run's detections of ``name`` against the oracle.
+
+    The oracle evaluates ``expression`` over the primitive history the
+    simulation actually produced (``system.history``), so clock drift
+    and granularity effects are *shared* — only operational effects
+    (loss, contexts, ordering) can separate the two.  Matching is on
+    timestamp multisets.
+    """
+    if isinstance(expression, str):
+        expression = parse_expression(expression)
+    expected = Counter(
+        repr(o.timestamp) for o in evaluate(expression, system.history, label=name)
+    )
+    detected = Counter(
+        repr(r.detection.occurrence.timestamp) for r in system.detections_of(name)
+    )
+    matched = sum((expected & detected).values())
+    return AccuracyReport(
+        expected=sum(expected.values()),
+        detected=sum(detected.values()),
+        matched=matched,
+    )

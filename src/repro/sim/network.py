@@ -1,0 +1,154 @@
+"""Network latency models and the simulated message fabric.
+
+The paper's semantics is deliberately insensitive to message delay —
+timestamps, not arrival order, decide temporal relations — but the
+*operational* cost (detection latency, consumption-context divergence)
+depends on the network, so the simulator models it explicitly.
+
+A :class:`LatencyModel` maps a (src, dst, size) triple to a delay in
+true-time seconds; :class:`Network` schedules deliveries on the
+simulation engine and keeps per-link statistics.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Protocol
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+
+
+class LatencyModel(Protocol):
+    """Delay (seconds of true time) for a message on a link."""
+
+    def delay(self, src: str, dst: str, size: int) -> Fraction:
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True, slots=True)
+class ConstantLatency:
+    """Every message takes exactly ``seconds`` to arrive."""
+
+    seconds: Fraction = Fraction(1, 100)
+
+    def delay(self, src: str, dst: str, size: int) -> Fraction:
+        return self.seconds
+
+
+@dataclass
+class UniformLatency:
+    """Delay drawn uniformly from ``[low, high]`` (deterministic RNG).
+
+    Variable latency is what produces out-of-order delivery — the
+    condition under which the ``UNRESTRICTED`` detector's
+    order-insensitivity matters (see the SCALE benchmark).
+    """
+
+    low: Fraction = Fraction(1, 1000)
+    high: Fraction = Fraction(1, 10)
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise SimulationError(
+                f"latency bounds must satisfy 0 <= low <= high, got "
+                f"[{self.low}, {self.high}]"
+            )
+
+    def delay(self, src: str, dst: str, size: int) -> Fraction:
+        span = self.high - self.low
+        return self.low + span * Fraction(self.rng.randint(0, 10_000), 10_000)
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate message statistics."""
+
+    messages: int = 0
+    volume: int = 0
+    dropped: int = 0
+    total_delay: Fraction = Fraction(0)
+    per_link: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def mean_delay(self) -> Fraction:
+        """Average delivery delay, 0 if nothing was sent."""
+        if self.messages == 0:
+            return Fraction(0)
+        return self.total_delay / self.messages
+
+    def loss_rate(self) -> Fraction:
+        """Fraction of send attempts that were dropped."""
+        attempts = self.messages + self.dropped
+        if attempts == 0:
+            return Fraction(0)
+        return Fraction(self.dropped, attempts)
+
+
+class Network:
+    """The simulated message fabric between sites.
+
+    ``send`` schedules ``handler(payload)`` on the engine after the
+    latency model's delay; site-local "sends" (src == dst) are delivered
+    with zero delay and not counted as network traffic.
+
+    ``loss_probability`` injects message loss: dropped sends return
+    ``None`` and never deliver — callers that need reliability layer a
+    retransmission protocol on top (see
+    :meth:`repro.sim.cluster.DistributedSystem` with ``retransmit=True``).
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        latency: LatencyModel | None = None,
+        loss_probability: float = 0.0,
+        rng: random.Random | None = None,
+        fifo: bool = False,
+    ) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise SimulationError(
+                f"loss_probability must be in [0, 1), got {loss_probability}"
+            )
+        self.engine = engine
+        self.latency = latency if latency is not None else ConstantLatency()
+        self.loss_probability = loss_probability
+        self.rng = rng if rng is not None else random.Random(0)
+        self.fifo = fifo
+        self.stats = NetworkStats()
+        self._link_horizon: dict[tuple[str, str], Fraction] = {}
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        size: int,
+        handler: Callable[[], None],
+    ) -> Fraction | None:
+        """Dispatch a message; returns the delay, or ``None`` if dropped."""
+        if src == dst:
+            self.engine.schedule_in(Fraction(0), handler)
+            return Fraction(0)
+        if self.loss_probability and self.rng.random() < self.loss_probability:
+            self.stats.dropped += 1
+            return None
+        delay = Fraction(self.latency.delay(src, dst, size))
+        link = (src, dst)
+        if self.fifo:
+            # FIFO channels: a message never overtakes an earlier one on
+            # the same link — its delivery is pushed past the link's
+            # latest scheduled delivery.
+            deliver_at = self.engine.now + delay
+            horizon = self._link_horizon.get(link, Fraction(0))
+            if deliver_at <= horizon:
+                deliver_at = horizon + Fraction(1, 1_000_000)
+                delay = deliver_at - self.engine.now
+            self._link_horizon[link] = deliver_at
+        self.stats.messages += 1
+        self.stats.volume += size
+        self.stats.total_delay += delay
+        self.stats.per_link[link] = self.stats.per_link.get(link, 0) + 1
+        self.engine.schedule_in(delay, handler)
+        return delay

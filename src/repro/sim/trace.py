@@ -1,0 +1,100 @@
+"""Trace recording and replay.
+
+A :class:`Trace` is a serializable record of a workload — the primitive
+events injected into a simulation — so experiments can be re-run
+bit-for-bit (the distributed-debugging example replays traces).  Traces
+are stored as JSON lines: one object per event with exact fractional
+times encoded as strings.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fractions import Fraction
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import SimulationError
+from repro.sim.workloads import WorkloadEvent
+
+
+@dataclass
+class Trace:
+    """An ordered collection of workload events plus free-form metadata."""
+
+    events: list[WorkloadEvent] = field(default_factory=list)
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    def append(self, event: WorkloadEvent) -> None:
+        """Add one event, keeping the trace time-ordered on save."""
+        self.events.append(event)
+
+    def sorted_events(self) -> list[WorkloadEvent]:
+        """Events in true-time order (stable for equal times)."""
+        return sorted(self.events, key=lambda e: (e.time, e.site, e.event_type))
+
+    def sites(self) -> set[str]:
+        """Sites appearing in the trace."""
+        return {e.site for e in self.events}
+
+    def types(self) -> set[str]:
+        """Event types appearing in the trace."""
+        return {e.event_type for e in self.events}
+
+    def duration(self) -> Fraction:
+        """True time of the last event (0 for an empty trace)."""
+        if not self.events:
+            return Fraction(0)
+        return max(e.time for e in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.sorted_events())
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write a trace as JSON lines (header line, then one line per event)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {"kind": "repro-trace", "version": 1, "metadata": trace.metadata}
+        handle.write(json.dumps(header) + "\n")
+        for event in trace.sorted_events():
+            row = {
+                "time": str(event.time),
+                "site": event.site,
+                "type": event.event_type,
+                "parameters": dict(event.parameters),
+            }
+            handle.write(json.dumps(row) + "\n")
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        lines = [line for line in handle if line.strip()]
+    if not lines:
+        raise SimulationError(f"trace file {path} is empty")
+    header = json.loads(lines[0])
+    if header.get("kind") != "repro-trace":
+        raise SimulationError(f"{path} is not a repro trace file")
+    trace = Trace(metadata=dict(header.get("metadata", {})))
+    for line in lines[1:]:
+        row = json.loads(line)
+        trace.append(
+            WorkloadEvent(
+                time=Fraction(row["time"]),
+                site=row["site"],
+                event_type=row["type"],
+                parameters=row.get("parameters", {}),
+            )
+        )
+    return trace
+
+
+def trace_from_events(events: Iterable[WorkloadEvent], **metadata: str) -> Trace:
+    """Build a trace from generated workload events."""
+    return Trace(events=list(events), metadata=dict(metadata))

@@ -1,0 +1,252 @@
+"""Reproducible workload generators for the simulator and benchmarks.
+
+Each generator returns a time-ordered list of :class:`WorkloadEvent`
+records — (true time, site, event type, parameters) — that
+:class:`~repro.sim.cluster.DistributedSystem.inject` feeds into the
+simulation.  All randomness flows through an explicit
+:class:`random.Random` so every benchmark run is reproducible.
+
+Generators:
+
+* :func:`uniform_stream` — Poisson-ish arrivals of a mix of event types
+  across sites, the workhorse of the throughput/scalability benches;
+* :func:`bursty_stream` — on/off bursts, stressing consumption contexts;
+* :func:`paired_stream` — cause→effect pairs with a controlled true-time
+  gap, the GRAN benchmark's probe for the ``2g_g`` ordering margin;
+* :func:`stock_stream` — correlated price ticks for the stock-monitor
+  example;
+* :func:`sensor_stream` — sensor readings with occasional alarms for the
+  sensor-fusion example.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Mapping, Sequence
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadEvent:
+    """One primitive event to inject: when, where, what."""
+
+    time: Fraction
+    site: str
+    event_type: str
+    parameters: Mapping[str, Any] = field(default_factory=dict)
+
+
+def _check(sites: Sequence[str], duration: Fraction, rate: Fraction) -> None:
+    if not sites:
+        raise SimulationError("workload needs at least one site")
+    if duration <= 0:
+        raise SimulationError(f"duration must be positive, got {duration}")
+    if rate <= 0:
+        raise SimulationError(f"rate must be positive, got {rate}")
+
+
+def uniform_stream(
+    rng: random.Random,
+    sites: Sequence[str],
+    event_types: Sequence[str],
+    rate_per_second: int | Fraction,
+    duration_seconds: int | Fraction,
+) -> list[WorkloadEvent]:
+    """Independent arrivals at ``rate_per_second`` across all sites.
+
+    Inter-arrival times are exponential-ish (geometric over a fine grid),
+    sites and types drawn uniformly.
+    """
+    duration = Fraction(duration_seconds)
+    rate = Fraction(rate_per_second)
+    _check(sites, duration, rate)
+    mean_gap = 1 / rate
+    events: list[WorkloadEvent] = []
+    t = Fraction(0)
+    index = 0
+    while True:
+        # Geometric approximation of an exponential gap on a 1/1000 grid.
+        u = rng.randint(1, 10_000)
+        gap = mean_gap * Fraction(u, 5_000)
+        t += gap
+        if t >= duration:
+            break
+        events.append(
+            WorkloadEvent(
+                time=t,
+                site=rng.choice(list(sites)),
+                event_type=rng.choice(list(event_types)),
+                parameters={"n": index},
+            )
+        )
+        index += 1
+    return events
+
+
+def bursty_stream(
+    rng: random.Random,
+    sites: Sequence[str],
+    event_types: Sequence[str],
+    burst_size: int,
+    burst_gap_seconds: int | Fraction,
+    bursts: int,
+    intra_gap_seconds: int | Fraction = Fraction(1, 1000),
+) -> list[WorkloadEvent]:
+    """On/off bursts: ``bursts`` groups of ``burst_size`` rapid events."""
+    if burst_size <= 0 or bursts <= 0:
+        raise SimulationError("burst_size and bursts must be positive")
+    burst_gap = Fraction(burst_gap_seconds)
+    intra_gap = Fraction(intra_gap_seconds)
+    events: list[WorkloadEvent] = []
+    t = Fraction(0)
+    index = 0
+    for burst in range(bursts):
+        for _ in range(burst_size):
+            t += intra_gap
+            events.append(
+                WorkloadEvent(
+                    time=t,
+                    site=rng.choice(list(sites)),
+                    event_type=rng.choice(list(event_types)),
+                    parameters={"n": index, "burst": burst},
+                )
+            )
+            index += 1
+        t += burst_gap
+    return events
+
+
+def paired_stream(
+    rng: random.Random,
+    cause_site: str,
+    effect_site: str,
+    gap_seconds: int | Fraction,
+    pairs: int,
+    spacing_seconds: int | Fraction = Fraction(2),
+    cause_type: str = "cause",
+    effect_type: str = "effect",
+) -> list[WorkloadEvent]:
+    """Cause→effect pairs separated by exactly ``gap_seconds`` true time.
+
+    The GRAN benchmark sweeps ``gap_seconds`` against the global
+    granularity to measure when the ``2g_g``-restricted order still
+    recognizes the pair as a sequence (small gaps become *concurrent* —
+    the safety/liveness trade of Definition 4.4).
+    """
+    if pairs <= 0:
+        raise SimulationError(f"pairs must be positive, got {pairs}")
+    gap = Fraction(gap_seconds)
+    spacing = Fraction(spacing_seconds)
+    if gap < 0:
+        raise SimulationError(f"gap must be non-negative, got {gap}")
+    events: list[WorkloadEvent] = []
+    t = Fraction(1)
+    for n in range(pairs):
+        events.append(
+            WorkloadEvent(
+                time=t, site=cause_site, event_type=cause_type, parameters={"n": n}
+            )
+        )
+        events.append(
+            WorkloadEvent(
+                time=t + gap,
+                site=effect_site,
+                event_type=effect_type,
+                parameters={"n": n},
+            )
+        )
+        t += spacing
+    return events
+
+
+def stock_stream(
+    rng: random.Random,
+    exchanges: Sequence[str],
+    symbols: Sequence[str],
+    ticks: int,
+    tick_gap_seconds: int | Fraction = Fraction(1, 10),
+    start_price: int = 100,
+) -> list[WorkloadEvent]:
+    """Random-walk price ticks per symbol, round-robin across exchanges.
+
+    Emits ``price`` events with ``symbol``, ``price`` and ``delta``
+    parameters; a tick whose price crosses ±10% of the start emits an
+    additional ``threshold`` event at the same instant's next grid point.
+    """
+    if ticks <= 0:
+        raise SimulationError(f"ticks must be positive, got {ticks}")
+    gap = Fraction(tick_gap_seconds)
+    prices = {symbol: start_price for symbol in symbols}
+    events: list[WorkloadEvent] = []
+    t = Fraction(1)
+    for n in range(ticks):
+        symbol = symbols[n % len(symbols)]
+        exchange = exchanges[n % len(exchanges)]
+        delta = rng.randint(-3, 3)
+        prices[symbol] += delta
+        events.append(
+            WorkloadEvent(
+                time=t,
+                site=exchange,
+                event_type="price",
+                parameters={
+                    "symbol": symbol,
+                    "price": prices[symbol],
+                    "delta": delta,
+                    "n": n,
+                },
+            )
+        )
+        if abs(prices[symbol] - start_price) >= start_price // 10:
+            events.append(
+                WorkloadEvent(
+                    time=t + gap / 2,
+                    site=exchange,
+                    event_type="threshold",
+                    parameters={"symbol": symbol, "price": prices[symbol]},
+                )
+            )
+            prices[symbol] = start_price
+        t += gap
+    return events
+
+
+def sensor_stream(
+    rng: random.Random,
+    sensor_sites: Sequence[str],
+    readings: int,
+    reading_gap_seconds: int | Fraction = Fraction(1, 2),
+    alarm_threshold: int = 90,
+) -> list[WorkloadEvent]:
+    """Sensor readings (0-100) per site with ``alarm`` events above the
+    threshold — input for the sensor-fusion example's ``A*`` windows."""
+    if readings <= 0:
+        raise SimulationError(f"readings must be positive, got {readings}")
+    gap = Fraction(reading_gap_seconds)
+    events: list[WorkloadEvent] = []
+    t = Fraction(1)
+    for n in range(readings):
+        site = sensor_sites[n % len(sensor_sites)]
+        value = rng.randint(0, 100)
+        events.append(
+            WorkloadEvent(
+                time=t,
+                site=site,
+                event_type="reading",
+                parameters={"value": value, "n": n},
+            )
+        )
+        if value >= alarm_threshold:
+            events.append(
+                WorkloadEvent(
+                    time=t + gap / 4,
+                    site=site,
+                    event_type="alarm",
+                    parameters={"value": value, "n": n},
+                )
+            )
+        t += gap
+    return events

@@ -1,0 +1,12 @@
+"""Persistent event storage: the active-DBMS log substrate.
+
+An active DBMS retains its primitive-event history — for rule conditions
+that look back, for audit, and for re-detection after recovery.
+:mod:`repro.storage.log` provides a segmented append-only event log with
+granule-range indexes and interval queries that use the paper's open and
+closed interval semantics (Definitions 4.9/4.10).
+"""
+
+from repro.storage.log import EventLog, LogStats
+
+__all__ = ["EventLog", "LogStats"]

@@ -1,0 +1,297 @@
+"""A segmented append-only event log with timestamp-interval queries.
+
+Storage layout (one directory per log)::
+
+    segment-00000.jsonl     newline-delimited occurrence records
+    segment-00001.jsonl
+    ...
+
+Each segment holds up to ``segment_size`` records; the active segment is
+appended in place.  An in-memory index tracks, per segment, the record
+count and the [min, max] global-granule span, so interval queries prune
+whole segments before touching the file.  Secondary in-memory indexes
+map event types and sites to record locators.
+
+Queries return :class:`~repro.events.occurrences.EventOccurrence` values
+(fresh uids); the log stores only primitive occurrences — composite
+detections are derivable (and the detector can re-derive them via
+:meth:`EventLog.replay_into`).
+
+Interval queries follow the paper's semantics: ``between(lo, hi)`` is
+the *open* interval (Definition 4.9 membership via the composite
+``<_p``), ``between(..., closed=True)`` the closed interval
+(Definition 4.10, ``⪯`` on both sides).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.errors import SimulationError
+from repro.events.occurrences import EventOccurrence, History
+from repro.time.composite import (
+    CompositeTimestamp,
+    composite_happens_before,
+    composite_weak_leq,
+)
+from repro.time.timestamps import PrimitiveTimestamp
+
+
+@dataclass(frozen=True, slots=True)
+class LogStats:
+    """Aggregate statistics of an event log."""
+
+    records: int
+    segments: int
+    types: int
+    sites: int
+    granule_span: tuple[int, int] | None
+
+
+@dataclass(frozen=True, slots=True)
+class _Locator:
+    segment: int
+    offset: int
+
+
+@dataclass
+class _SegmentInfo:
+    index: int
+    path: Path
+    records: int = 0
+    min_granule: int | None = None
+    max_granule: int | None = None
+
+    def covers(self, lo: int, hi: int) -> bool:
+        """Whether the segment's granule span intersects ``[lo, hi]``."""
+        if self.min_granule is None or self.max_granule is None:
+            return False
+        return not (self.max_granule < lo or self.min_granule > hi)
+
+
+class EventLog:
+    """A durable, queryable log of primitive event occurrences.
+
+    >>> import tempfile
+    >>> from repro.time.timestamps import PrimitiveTimestamp
+    >>> with tempfile.TemporaryDirectory() as tmp:
+    ...     log = EventLog(tmp, segment_size=2)
+    ...     _ = log.append_primitive("e", PrimitiveTimestamp("a", 5, 50))
+    ...     log.stats().records
+    1
+    """
+
+    def __init__(self, directory: str | Path, segment_size: int = 1000) -> None:
+        if segment_size <= 0:
+            raise SimulationError(f"segment_size must be positive, got {segment_size}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_size = segment_size
+        self._segments: list[_SegmentInfo] = []
+        self._by_type: dict[str, list[_Locator]] = {}
+        self._by_site: dict[str, list[_Locator]] = {}
+        self._recover()
+
+    # --- recovery ---------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Rebuild indexes from the segment files on disk."""
+        for path in sorted(self.directory.glob("segment-*.jsonl")):
+            index = int(path.stem.split("-")[1])
+            info = _SegmentInfo(index=index, path=path)
+            with path.open("r", encoding="utf-8") as handle:
+                for offset, line in enumerate(handle):
+                    if not line.strip():
+                        continue
+                    record = json.loads(line)
+                    self._index_record(record, _Locator(index, offset), info)
+            self._segments.append(info)
+
+    def _index_record(
+        self, record: dict[str, Any], locator: _Locator, info: _SegmentInfo
+    ) -> None:
+        info.records += 1
+        granule = int(record["global"])
+        if info.min_granule is None or granule < info.min_granule:
+            info.min_granule = granule
+        if info.max_granule is None or granule > info.max_granule:
+            info.max_granule = granule
+        self._by_type.setdefault(record["type"], []).append(locator)
+        self._by_site.setdefault(record["site"], []).append(locator)
+
+    # --- appending -----------------------------------------------------------
+
+    def append(self, occurrence: EventOccurrence) -> int:
+        """Append a primitive occurrence; returns its global sequence number."""
+        site = occurrence.site()
+        if site is None:
+            raise SimulationError(
+                "only primitive occurrences are stored; composite detections "
+                "are re-derivable via replay_into"
+            )
+        (stamp,) = occurrence.timestamp.stamps
+        record = {
+            "type": occurrence.event_type,
+            "site": stamp.site,
+            "global": stamp.global_time,
+            "local": stamp.local,
+            "parameters": dict(occurrence.parameters),
+        }
+        segment = self._writable_segment()
+        with segment.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+        locator = _Locator(segment.index, segment.records)
+        self._index_record(record, locator, segment)
+        return sum(s.records for s in self._segments)
+
+    def append_primitive(
+        self,
+        event_type: str,
+        stamp: PrimitiveTimestamp,
+        parameters: Mapping[str, Any] | None = None,
+    ) -> int:
+        """Convenience: build and append a primitive occurrence."""
+        return self.append(
+            EventOccurrence.primitive(event_type, stamp, parameters)
+        )
+
+    def _writable_segment(self) -> _SegmentInfo:
+        if self._segments and self._segments[-1].records < self.segment_size:
+            return self._segments[-1]
+        index = self._segments[-1].index + 1 if self._segments else 0
+        path = self.directory / f"segment-{index:05d}.jsonl"
+        path.touch()
+        info = _SegmentInfo(index=index, path=path)
+        self._segments.append(info)
+        return info
+
+    # --- reading ----------------------------------------------------------------
+
+    def _read_segment(self, info: _SegmentInfo) -> list[EventOccurrence]:
+        occurrences = []
+        with info.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.strip():
+                    occurrences.append(_record_to_occurrence(json.loads(line)))
+        return occurrences
+
+    def _read_locators(self, locators: list[_Locator]) -> list[EventOccurrence]:
+        # Group by segment so each file is read once.
+        wanted: dict[int, set[int]] = {}
+        for locator in locators:
+            wanted.setdefault(locator.segment, set()).add(locator.offset)
+        results = []
+        for info in self._segments:
+            offsets = wanted.get(info.index)
+            if not offsets:
+                continue
+            with info.path.open("r", encoding="utf-8") as handle:
+                for offset, line in enumerate(handle):
+                    if offset in offsets and line.strip():
+                        results.append(_record_to_occurrence(json.loads(line)))
+        return results
+
+    def scan(self) -> Iterator[EventOccurrence]:
+        """All records in append order."""
+        for info in self._segments:
+            yield from self._read_segment(info)
+
+    def of_type(self, event_type: str) -> list[EventOccurrence]:
+        """All occurrences of one event type, in append order."""
+        return self._read_locators(self._by_type.get(event_type, []))
+
+    def at_site(self, site: str) -> list[EventOccurrence]:
+        """All occurrences raised at one site, in append order."""
+        return self._read_locators(self._by_site.get(site, []))
+
+    def between(
+        self,
+        lo: CompositeTimestamp,
+        hi: CompositeTimestamp,
+        closed: bool = False,
+    ) -> list[EventOccurrence]:
+        """Occurrences inside the interval formed by two stamps.
+
+        Open interval (default): ``lo < T(e) < hi`` under the composite
+        ``<_p`` (Definition 4.9/5.5).  Closed: ``lo ⪯ T(e) ⪯ hi``
+        (Definition 4.10/5.6).  Segments whose granule span cannot
+        intersect the query window are skipped without touching disk.
+        """
+        lo_granule = lo.global_span()[0]
+        hi_granule = hi.global_span()[1]
+        margin = 1 if closed else 0
+        window_lo = lo_granule - margin
+        window_hi = hi_granule + margin
+        results = []
+        for info in self._segments:
+            if not info.covers(window_lo, window_hi):
+                continue
+            for occurrence in self._read_segment(info):
+                ts = occurrence.timestamp
+                if closed:
+                    inside = composite_weak_leq(lo, ts) and composite_weak_leq(ts, hi)
+                else:
+                    inside = composite_happens_before(lo, ts) and (
+                        composite_happens_before(ts, hi)
+                    )
+                if inside:
+                    results.append(occurrence)
+        return results
+
+    def segments_touched_by(
+        self, lo: CompositeTimestamp, hi: CompositeTimestamp, closed: bool = False
+    ) -> int:
+        """How many segments an interval query must read (for the bench)."""
+        margin = 1 if closed else 0
+        window_lo = lo.global_span()[0] - margin
+        window_hi = hi.global_span()[1] + margin
+        return sum(info.covers(window_lo, window_hi) for info in self._segments)
+
+    # --- derived views ---------------------------------------------------------------
+
+    def history(self) -> History:
+        """The full log as a :class:`History` (oracle-ready)."""
+        return History(self.scan())
+
+    def replay_into(self, detector) -> int:
+        """Feed every record into a detector in append order; returns count."""
+        count = 0
+        for occurrence in self.scan():
+            detector.feed(occurrence)
+            count += 1
+        return count
+
+    def stats(self) -> LogStats:
+        """Aggregate statistics."""
+        granules = [
+            (s.min_granule, s.max_granule)
+            for s in self._segments
+            if s.min_granule is not None and s.max_granule is not None
+        ]
+        span = (
+            (min(lo for lo, _ in granules), max(hi for _, hi in granules))
+            if granules
+            else None
+        )
+        return LogStats(
+            records=sum(s.records for s in self._segments),
+            segments=len(self._segments),
+            types=len(self._by_type),
+            sites=len(self._by_site),
+            granule_span=span,
+        )
+
+
+def _record_to_occurrence(record: dict[str, Any]) -> EventOccurrence:
+    return EventOccurrence.primitive(
+        record["type"],
+        PrimitiveTimestamp(
+            site=record["site"],
+            global_time=int(record["global"]),
+            local=int(record["local"]),
+        ),
+        record.get("parameters", {}),
+    )

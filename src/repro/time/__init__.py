@@ -1,0 +1,95 @@
+"""Time substrate: clocks, granularities, and distributed timestamps.
+
+This subpackage implements Sections 4 and 5 of Yang & Chakravarthy
+(ICDE 1999):
+
+* :mod:`repro.time.ticks` — granularity arithmetic and the ``TRUNC`` family
+  (Definition 4.3).
+* :mod:`repro.time.clocks` — a reference clock, drifting local clocks and a
+  synchronized ensemble with precision ``Π`` (Section 4.1).
+* :mod:`repro.time.timestamps` — primitive timestamps ``(site, global,
+  local)`` and the ``<``, ``=``, ``~``, ``⪯`` relations (Definitions
+  4.6-4.8).
+* :mod:`repro.time.composite` — composite timestamps (max-sets), the join
+  procedures and the ``Max`` operator (Definitions 5.1-5.9).
+* :mod:`repro.time.orderings` — the alternative composite orderings studied
+  in Section 5.1 (``<_p``, ``<_g``, ``<_p1``, ``<_p2``, ``<_p3``).
+* :mod:`repro.time.intervals` — open and closed intervals (Definitions 4.9,
+  4.10, 5.5, 5.6; Figure 1).
+* :mod:`repro.time.regions` — the Figure 2 grid classification of composite
+  timestamps.
+"""
+
+from repro.time.ticks import Granularity, TimeModel, TruncMode, truncate
+from repro.time.clocks import ClockEnsemble, LocalClock, ReferenceClock
+from repro.time.timestamps import (
+    PrimitiveTimestamp,
+    Relation,
+    concurrent,
+    happens_before,
+    relation,
+    simultaneous,
+    weak_leq,
+)
+from repro.time.composite import (
+    CompositeRelation,
+    CompositeTimestamp,
+    composite_relation,
+    join_concurrent,
+    join_incomparable,
+    max_of,
+    max_of_many,
+    max_set,
+)
+from repro.time.intervals import (
+    ClosedInterval,
+    OpenInterval,
+    closed_global_span,
+    open_global_span,
+)
+from repro.time.logical import (
+    CausalHistorySimulator,
+    LamportClock,
+    LamportStamp,
+    VectorClock,
+    VectorStamp,
+)
+from repro.time.regions import Region, classify_region, region_lines, render_grid
+
+__all__ = [
+    "CausalHistorySimulator",
+    "ClockEnsemble",
+    "ClosedInterval",
+    "CompositeRelation",
+    "CompositeTimestamp",
+    "Granularity",
+    "LamportClock",
+    "LamportStamp",
+    "LocalClock",
+    "OpenInterval",
+    "PrimitiveTimestamp",
+    "ReferenceClock",
+    "Region",
+    "Relation",
+    "TimeModel",
+    "TruncMode",
+    "VectorClock",
+    "VectorStamp",
+    "classify_region",
+    "closed_global_span",
+    "composite_relation",
+    "concurrent",
+    "happens_before",
+    "join_concurrent",
+    "join_incomparable",
+    "max_of",
+    "max_of_many",
+    "max_set",
+    "open_global_span",
+    "region_lines",
+    "relation",
+    "render_grid",
+    "simultaneous",
+    "truncate",
+    "weak_leq",
+]

@@ -1,0 +1,211 @@
+"""Reference clock, drifting local clocks, and a synchronized ensemble.
+
+Section 4.1 of the paper assumes the Kopetz approximated-global-time model:
+
+* a unique reference clock ``z`` in perfect agreement with UTC;
+* one physical clock per site, each with its own rate (drift) and offset;
+* the clocks are *synchronized*: the maximum offset between corresponding
+  ticks of any two local clocks, observed by the reference clock, is
+  bounded by the precision ``Π``;
+* a global granularity ``g_g > Π`` is chosen, and global time is the local
+  clock reading truncated to ``g_g`` (Definition 4.3).
+
+The classes here simulate exactly that structure.  :class:`LocalClock`
+converts *true* (reference) time to local tick counts given a drift rate
+and a bounded offset; :class:`ClockEnsemble` builds a family of such
+clocks whose pairwise offset respects ``Π`` and stamps events.
+
+All arithmetic is exact (:class:`fractions.Fraction`), so the simulation is
+deterministic and reproducible across platforms.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from repro.errors import GranularityError, UnknownSiteError
+from repro.time.ticks import TimeModel
+from repro.time.timestamps import PrimitiveTimestamp
+
+
+@dataclass(frozen=True, slots=True)
+class ReferenceClock:
+    """The unique reference clock ``z``, in perfect agreement with UTC.
+
+    It exists mostly to *observe* local clocks: the simulator uses true
+    time directly, and the reference clock converts it to reference ticks
+    of granularity ``g_z``.
+    """
+
+    granularity_seconds: Fraction = Fraction(1, 1000)
+
+    def __post_init__(self) -> None:
+        if self.granularity_seconds <= 0:
+            raise GranularityError(
+                f"reference granularity must be positive, got {self.granularity_seconds}"
+            )
+
+    def ticks_at(self, true_seconds: int | float | Fraction) -> int:
+        """Reference tick count at a true-time instant."""
+        return int(Fraction(true_seconds) / self.granularity_seconds)
+
+
+@dataclass(frozen=True, slots=True)
+class LocalClock:
+    """A site's physical clock with drift and bounded offset.
+
+    The clock's reading at true time ``t`` is
+    ``(1 + drift) * t + offset`` seconds, discretized to local ticks of the
+    model's local granularity.  ``offset`` is the clock's deviation from
+    the reference at ``t = 0``; over a bounded simulation horizon the
+    *combined* deviation (offset plus accumulated drift) must stay within
+    the synchronization precision — :class:`ClockEnsemble` enforces that.
+
+    >>> from repro.time.ticks import TimeModel
+    >>> clock = LocalClock("site-a", TimeModel.example_5_1(), offset=Fraction(1, 50))
+    >>> clock.local_ticks(Fraction(915482, 1))  # 915482 s of true time
+    91548202
+    """
+
+    site: str
+    model: TimeModel
+    offset: Fraction = Fraction(0)
+    drift: Fraction = Fraction(0)
+
+    def reading(self, true_seconds: int | float | Fraction) -> Fraction:
+        """The clock's continuous reading (in seconds) at a true instant."""
+        t = Fraction(true_seconds)
+        return (1 + self.drift) * t + self.offset
+
+    def local_ticks(self, true_seconds: int | float | Fraction) -> int:
+        """Local tick count at a true instant (floor to local granularity)."""
+        return int(self.reading(true_seconds) / self.model.local.seconds)
+
+    def global_time(self, true_seconds: int | float | Fraction) -> int:
+        """Global granules at a true instant (``TRUNC`` of the local ticks)."""
+        return self.model.global_time(self.local_ticks(true_seconds))
+
+    def stamp(self, true_seconds: int | float | Fraction) -> PrimitiveTimestamp:
+        """The primitive timestamp of an event occurring now at this site."""
+        local = self.local_ticks(true_seconds)
+        return PrimitiveTimestamp(
+            site=self.site,
+            global_time=self.model.global_time(local),
+            local=local,
+        )
+
+    def deviation_at(self, true_seconds: int | float | Fraction) -> Fraction:
+        """Absolute deviation (seconds) from the reference at a true instant."""
+        t = Fraction(true_seconds)
+        return abs(self.reading(t) - t)
+
+
+@dataclass
+class ClockEnsemble:
+    """A family of synchronized local clocks respecting precision ``Π``.
+
+    The ensemble validates — at construction and on demand via
+    :meth:`validate_precision` — that over the stated simulation ``horizon``
+    (seconds of true time) every pair of clocks stays within ``Π`` of each
+    other, which is the premise the ``2g_g``-restricted order relies on.
+
+    Use :meth:`random` to generate an ensemble with offsets and drifts
+    drawn uniformly inside the precision budget.
+    """
+
+    model: TimeModel
+    clocks: dict[str, LocalClock] = field(default_factory=dict)
+    horizon: Fraction = Fraction(1_000_000)
+
+    def __post_init__(self) -> None:
+        self.validate_precision()
+
+    @classmethod
+    def random(
+        cls,
+        model: TimeModel,
+        sites: Iterable[str],
+        rng: random.Random,
+        horizon: int | Fraction = Fraction(1_000_000),
+        drift_fraction: Fraction = Fraction(1, 10),
+    ) -> "ClockEnsemble":
+        """Generate clocks with offsets/drifts inside the precision budget.
+
+        Each clock's *total* deviation over ``horizon`` is kept below
+        ``Π/2`` so that any *pair* deviates by less than ``Π``.  A fraction
+        ``drift_fraction`` of the per-clock budget is spent on drift, the
+        rest on the initial offset.
+        """
+        horizon = Fraction(horizon)
+        budget = model.precision / 2
+        drift_budget = budget * drift_fraction
+        offset_budget = budget - drift_budget
+        clocks: dict[str, LocalClock] = {}
+        for site in sites:
+            offset = offset_budget * Fraction(rng.randint(-1000, 1000), 1000)
+            max_drift = drift_budget / horizon if horizon else Fraction(0)
+            drift = max_drift * Fraction(rng.randint(-1000, 1000), 1000)
+            clocks[site] = LocalClock(site=site, model=model, offset=offset, drift=drift)
+        return cls(model=model, clocks=clocks, horizon=horizon)
+
+    @classmethod
+    def perfect(cls, model: TimeModel, sites: Iterable[str]) -> "ClockEnsemble":
+        """All clocks perfectly synchronized (zero offset and drift)."""
+        clocks = {site: LocalClock(site=site, model=model) for site in sites}
+        return cls(model=model, clocks=clocks)
+
+    @property
+    def sites(self) -> list[str]:
+        """Site identifiers in insertion order."""
+        return list(self.clocks)
+
+    def clock(self, site: str) -> LocalClock:
+        """The clock of ``site``; raises :class:`UnknownSiteError` if absent."""
+        try:
+            return self.clocks[site]
+        except KeyError:
+            raise UnknownSiteError(f"no clock registered for site {site!r}") from None
+
+    def add_clock(self, clock: LocalClock) -> None:
+        """Register a clock, re-validating the ensemble precision."""
+        self.clocks[clock.site] = clock
+        self.validate_precision()
+
+    def stamp(self, site: str, true_seconds: int | float | Fraction) -> PrimitiveTimestamp:
+        """Timestamp an event at ``site`` occurring at a true instant."""
+        return self.clock(site).stamp(true_seconds)
+
+    def max_pairwise_deviation(self) -> Fraction:
+        """Worst pairwise clock deviation over the horizon (seconds).
+
+        Deviations are affine in true time, so the extremes occur at the
+        endpoints ``t = 0`` and ``t = horizon``; checking both is exact.
+        """
+        worst = Fraction(0)
+        readings_start = {s: c.reading(0) for s, c in self.clocks.items()}
+        readings_end = {s: c.reading(self.horizon) for s, c in self.clocks.items()}
+        names = list(self.clocks)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                worst = max(
+                    worst,
+                    abs(readings_start[a] - readings_start[b]),
+                    abs(readings_end[a] - readings_end[b]),
+                )
+        return worst
+
+    def validate_precision(self) -> None:
+        """Raise :class:`GranularityError` if any clock pair exceeds ``Π``."""
+        worst = self.max_pairwise_deviation()
+        if worst >= self.model.precision and len(self.clocks) > 1:
+            raise GranularityError(
+                f"clock ensemble violates precision: worst pairwise deviation "
+                f"{worst} >= Pi={self.model.precision}"
+            )
+
+    def as_mapping(self) -> Mapping[str, LocalClock]:
+        """Read-only view of the clocks, keyed by site."""
+        return dict(self.clocks)

@@ -1,0 +1,364 @@
+"""Composite timestamps, the max-set, joins, and the ``Max`` operator.
+
+Implements Section 5 of the paper:
+
+* **max-set** (Definition 5.1, corrected): ``max(ST)`` keeps the stamps of
+  ``ST`` that are *not happen-before any other* member.  (The paper's text
+  contains a typo — ``∀t1, t < t1`` — that would select the *minimal*
+  elements and falsify Theorem 5.1.)
+* **composite timestamp** (Definition 5.2): the max-set of the timestamps
+  of the constituent primitive events; Theorem 5.1 guarantees its members
+  are pairwise concurrent, and :class:`CompositeTimestamp` enforces that
+  invariant at construction.
+* **temporal relations on composite stamps** (Definitions 5.3/5.4):
+  concurrency ``~`` (all pairs concurrent), happen-before ``<_p``
+  (``∀t2 ∃t1: t1 < t2``), the paper's *dual* happen-after ``>_p``
+  (``∀t2 ∃t1: t1 > t2`` — **not** the converse of ``<_p``),
+  incomparability ``⊓``, and the weaker ``⪯``.
+* **joins and Max** (Definitions 5.7-5.9): concurrent join is set union;
+  incomparable join keeps the un-dominated triples of both sides (a
+  corrected reading — the paper's ``∃ts2: ts < ts2`` must be negated or
+  Theorem 5.4 fails); ``Max`` picks the later stamp when ordered and joins
+  otherwise.
+
+Reproduction findings encoded here (details in ``EXPERIMENTS.md``):
+
+* Theorem 5.4 (``Max(T1,T2) = max(T1 ∪ T2)``) holds when the ordering test
+  inside Definition 5.9 is the *domination* ordering ``<_g``
+  (``∀t1 ∃t2: t1 < t2``) but **fails** under the literal ``<_p``:
+  ``T2 <_p T1`` does not imply every triple of ``T2`` is dominated.  The
+  operational :func:`max_of` therefore computes ``max(T1 ∪ T2)`` directly
+  (equivalently, Definition 5.9 with ``<_g``); the literal case analysis
+  is available as :func:`max_of_cases` for the ablation benchmark.
+* Theorem 5.3 (``⪯ ⟺ ~ or <``) holds right-to-left but not left-to-right:
+  see :func:`repro.analysis.properties.theorem_5_3_counterexample`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import ConcurrencyViolationError, EmptyTimestampError
+from repro.time.timestamps import (
+    PrimitiveTimestamp,
+    concurrent,
+    happens_before,
+    weak_leq,
+)
+
+
+def max_set(stamps: Iterable[PrimitiveTimestamp]) -> frozenset[PrimitiveTimestamp]:
+    """The maxima of a set of primitive stamps (Definition 5.1, corrected).
+
+    A stamp is a *maximum* iff it is not happen-before any other member.
+    By Theorem 5.1 the result is pairwise concurrent.
+
+    >>> a = PrimitiveTimestamp("s1", 8, 80)
+    >>> b = PrimitiveTimestamp("s2", 2, 20)
+    >>> sorted(t.site for t in max_set([a, b]))
+    ['s1']
+    """
+    pool = list(set(stamps))
+    if not pool:
+        raise EmptyTimestampError("max_set of an empty set of timestamps")
+    return frozenset(
+        t for t in pool if not any(happens_before(t, other) for other in pool)
+    )
+
+
+class CompositeRelation(enum.Enum):
+    """Exhaustive relation between two composite timestamps (Def 5.3).
+
+    ``BEFORE``/``AFTER`` use the converse pair (``T1 <_p T2`` /
+    ``T2 <_p T1``), which is what the detection engine needs; the paper's
+    non-converse dual pair is exposed by :func:`paper_relation`.
+    """
+
+    BEFORE = "before"
+    AFTER = "after"
+    CONCURRENT = "concurrent"
+    INCOMPARABLE = "incomparable"
+
+
+class CompositeTimestamp:
+    """A distributed composite timestamp: a pairwise-concurrent max-set.
+
+    Construct with :meth:`of` (which applies the max-set to arbitrary
+    constituent stamps — the normal path, mirroring Definition 5.2) or
+    directly from triples already known to be maxima (validated).
+
+    The comparison operators implement Definition 5.3/5.4: ``<`` is the
+    paper's chosen ordering ``<_p``, ``<=`` is ``⪯``, and ``==`` is set
+    equality of the triples.  Note ``>`` is implemented as the *converse*
+    of ``<`` (see :func:`paper_relation` for the paper's dual ``>_p``).
+
+    >>> t1 = CompositeTimestamp.of(PrimitiveTimestamp("k", 8, 80),
+    ...                            PrimitiveTimestamp("l", 7, 70))
+    >>> t2 = CompositeTimestamp.of(PrimitiveTimestamp("m", 10, 100))
+    >>> t1 < t2
+    True
+    """
+
+    __slots__ = ("_stamps",)
+
+    def __init__(self, stamps: Iterable[PrimitiveTimestamp]) -> None:
+        frozen = frozenset(stamps)
+        if not frozen:
+            raise EmptyTimestampError("a composite timestamp needs at least one triple")
+        for a in frozen:
+            for b in frozen:
+                if a is not b and happens_before(a, b):
+                    raise ConcurrencyViolationError(
+                        f"composite timestamp members must be pairwise concurrent: "
+                        f"{a} < {b}"
+                    )
+        self._stamps = frozen
+
+    @classmethod
+    def of(cls, *stamps: PrimitiveTimestamp) -> "CompositeTimestamp":
+        """Build from constituent stamps, keeping only the maxima (Def 5.2)."""
+        return cls(max_set(stamps))
+
+    @classmethod
+    def from_iterable(cls, stamps: Iterable[PrimitiveTimestamp]) -> "CompositeTimestamp":
+        """Like :meth:`of` but accepts any iterable."""
+        return cls(max_set(stamps))
+
+    @classmethod
+    def singleton(cls, stamp: PrimitiveTimestamp) -> "CompositeTimestamp":
+        """Lift a primitive stamp to a composite one (primitive events)."""
+        return cls((stamp,))
+
+    @classmethod
+    def from_triples(
+        cls, triples: Iterable[tuple[str, int, int]]
+    ) -> "CompositeTimestamp":
+        """Build from raw ``(site, global, local)`` triples, as in the paper."""
+        return cls.from_iterable(PrimitiveTimestamp(*t) for t in triples)
+
+    @property
+    def stamps(self) -> frozenset[PrimitiveTimestamp]:
+        """The member triples (immutable)."""
+        return self._stamps
+
+    def sites(self) -> frozenset[str]:
+        """Sites contributing a maximum triple."""
+        return frozenset(t.site for t in self._stamps)
+
+    def global_span(self) -> tuple[int, int]:
+        """Minimum and maximum global time among the member triples."""
+        globals_ = [t.global_time for t in self._stamps]
+        return (min(globals_), max(globals_))
+
+    def __iter__(self) -> Iterator[PrimitiveTimestamp]:
+        return iter(self._stamps)
+
+    def __len__(self) -> int:
+        return len(self._stamps)
+
+    def __contains__(self, stamp: PrimitiveTimestamp) -> bool:
+        return stamp in self._stamps
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CompositeTimestamp):
+            return NotImplemented
+        return self._stamps == other._stamps
+
+    def __hash__(self) -> int:
+        return hash(self._stamps)
+
+    def __lt__(self, other: "CompositeTimestamp") -> bool:
+        return composite_happens_before(self, other)
+
+    def __gt__(self, other: "CompositeTimestamp") -> bool:
+        return composite_happens_before(other, self)
+
+    def __le__(self, other: "CompositeTimestamp") -> bool:
+        return composite_weak_leq(self, other)
+
+    def __ge__(self, other: "CompositeTimestamp") -> bool:
+        return composite_weak_leq(other, self)
+
+    def concurrent(self, other: "CompositeTimestamp") -> bool:
+        """Composite concurrency ``~`` (Definition 5.3.1)."""
+        return composite_concurrent(self, other)
+
+    def incomparable(self, other: "CompositeTimestamp") -> bool:
+        """Composite incomparability ``⊓`` (Definition 5.3.3)."""
+        return composite_relation(self, other) is CompositeRelation.INCOMPARABLE
+
+    def relation(self, other: "CompositeTimestamp") -> CompositeRelation:
+        """Classify against ``other`` (see :func:`composite_relation`)."""
+        return composite_relation(self, other)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        triples = sorted(t.as_triple() for t in self._stamps)
+        inner = ", ".join(f"({s}, {g}, {l})" for s, g, l in triples)
+        return f"CompositeTimestamp{{{inner}}}"
+
+
+def composite_happens_before(t1: CompositeTimestamp, t2: CompositeTimestamp) -> bool:
+    """Composite happen-before ``<_p`` (Definition 5.3.2).
+
+    ``T1 < T2`` iff for every triple of ``T2`` some triple of ``T1``
+    happens before it.  Theorem 5.2: irreflexive and transitive.
+    """
+    return all(any(happens_before(a, b) for a in t1.stamps) for b in t2.stamps)
+
+
+def composite_happens_after(t1: CompositeTimestamp, t2: CompositeTimestamp) -> bool:
+    """The paper's dual happen-after ``>_p`` (Section 5.1).
+
+    ``T1 >_p T2`` iff for every triple of ``T2`` some triple of ``T1``
+    happens *after* it.  This is **not** the converse of ``<_p``; it
+    equals ``T2 <_g T1`` (domination of ``T2`` by ``T1``).  Figure 2's
+    symmetric region bands are drawn with this pair.
+    """
+    return all(any(happens_before(b, a) for a in t1.stamps) for b in t2.stamps)
+
+
+def composite_dominated_by(t1: CompositeTimestamp, t2: CompositeTimestamp) -> bool:
+    """Domination ordering ``<_g``: every triple of ``T1`` is below some of ``T2``.
+
+    This is the ordering under which Definition 5.9's case analysis agrees
+    with ``max(T1 ∪ T2)`` (Theorem 5.4).
+    """
+    return all(any(happens_before(a, b) for b in t2.stamps) for a in t1.stamps)
+
+
+def composite_concurrent(t1: CompositeTimestamp, t2: CompositeTimestamp) -> bool:
+    """Composite concurrency ``~`` (Definition 5.3.1): all pairs concurrent."""
+    return all(concurrent(a, b) for a in t1.stamps for b in t2.stamps)
+
+
+def composite_weak_leq(t1: CompositeTimestamp, t2: CompositeTimestamp) -> bool:
+    """The weaker-less-than-or-equal ``⪯`` (Definition 5.4).
+
+    ``T1 ⪯ T2`` iff every pair satisfies the primitive ``⪯``.  Theorem 5.3
+    claims this is equivalent to ``T1 ~ T2 or T1 < T2``; only the
+    right-to-left direction holds (see ``EXPERIMENTS.md``).
+    """
+    return all(weak_leq(a, b) for a in t1.stamps for b in t2.stamps)
+
+
+def composite_relation(
+    t1: CompositeTimestamp, t2: CompositeTimestamp
+) -> CompositeRelation:
+    """Classify a pair using the converse-based pair ``(<_p, converse)``.
+
+    ``BEFORE``/``AFTER`` cannot both hold (transitivity of ``<_p`` would
+    contradict the internal concurrency of a max-set); happen-before and
+    concurrency are mutually exclusive; incomparability is the residual.
+    """
+    if composite_happens_before(t1, t2):
+        return CompositeRelation.BEFORE
+    if composite_happens_before(t2, t1):
+        return CompositeRelation.AFTER
+    if composite_concurrent(t1, t2):
+        return CompositeRelation.CONCURRENT
+    return CompositeRelation.INCOMPARABLE
+
+
+def paper_relation(t1: CompositeTimestamp, t2: CompositeTimestamp) -> CompositeRelation:
+    """Classify a pair with the paper's chosen dual pair ``⟨<_p, >_p⟩``.
+
+    Definition 5.3.3 spells incomparability with this pair:
+    ``T1 ⊓ T2 ⟺ ¬(T1 < T2 ∨ T1 > T2 ∨ T1 ~ T2)``.  Because ``>_p`` is not
+    the converse of ``<_p``, this classification is *asymmetric* — the
+    Figure-2 benchmark shows where it differs from
+    :func:`composite_relation`.
+    """
+    if composite_happens_before(t1, t2):
+        return CompositeRelation.BEFORE
+    if composite_happens_after(t1, t2):
+        return CompositeRelation.AFTER
+    if composite_concurrent(t1, t2):
+        return CompositeRelation.CONCURRENT
+    return CompositeRelation.INCOMPARABLE
+
+
+def join_concurrent(t1: CompositeTimestamp, t2: CompositeTimestamp) -> CompositeTimestamp:
+    """Join of concurrent stamps (Definition 5.7): union of the triples.
+
+    Precondition ``T1 ~ T2`` is *not* re-checked here (the ``Max``
+    operator dispatches); the result is validated by the
+    :class:`CompositeTimestamp` constructor.
+    """
+    return CompositeTimestamp(t1.stamps | t2.stamps)
+
+
+def join_incomparable(
+    t1: CompositeTimestamp, t2: CompositeTimestamp
+) -> CompositeTimestamp:
+    """Join of incomparable stamps (Definition 5.8, corrected).
+
+    Keeps the triples of each side that are *not* happen-before any triple
+    of the other side — the "latest" information of both sets.  With this
+    reading the result is exactly ``max(T1 ∪ T2)``.
+    """
+    keep_left = {
+        a for a in t1.stamps if not any(happens_before(a, b) for b in t2.stamps)
+    }
+    keep_right = {
+        b for b in t2.stamps if not any(happens_before(b, a) for a in t1.stamps)
+    }
+    return CompositeTimestamp(keep_left | keep_right)
+
+
+def max_of(t1: CompositeTimestamp, t2: CompositeTimestamp) -> CompositeTimestamp:
+    """The operational ``Max`` operator: ``max(T1 ∪ T2)`` (Theorem 5.4).
+
+    Equivalent to Definition 5.9's case analysis with the domination
+    ordering ``<_g`` (see module docstring); always a valid composite
+    timestamp carrying the "latest" information of both arguments.
+
+    >>> t1 = CompositeTimestamp.from_triples([("s1", 8, 80)])
+    >>> t2 = CompositeTimestamp.from_triples([("s2", 12, 120)])
+    >>> max_of(t1, t2) == t2
+    True
+    """
+    return CompositeTimestamp(max_set(t1.stamps | t2.stamps))
+
+
+OrderingTest = Callable[[CompositeTimestamp, CompositeTimestamp], bool]
+
+
+def max_of_cases(
+    t1: CompositeTimestamp,
+    t2: CompositeTimestamp,
+    ordering: OrderingTest = composite_dominated_by,
+) -> CompositeTimestamp:
+    """Definition 5.9's literal case analysis, with a pluggable ordering.
+
+    ``Max(T1, T2) = T1`` if ``T2 ≺ T1``; ``T2`` if ``T1 ≺ T2``; the join of
+    the two otherwise (concurrent → union, else the incomparable join).
+    With ``ordering=composite_dominated_by`` (``<_g``) this equals
+    :func:`max_of` on all inputs; with
+    ``ordering=composite_happens_before`` (``<_p``) it disagrees on inputs
+    where the earlier stamp is not fully dominated — the MAX ablation
+    benchmark quantifies how often.
+    """
+    if ordering(t2, t1):
+        return t1
+    if ordering(t1, t2):
+        return t2
+    if composite_concurrent(t1, t2):
+        return join_concurrent(t1, t2)
+    return join_incomparable(t1, t2)
+
+
+def max_of_many(stamps: Iterable[CompositeTimestamp]) -> CompositeTimestamp:
+    """Fold :func:`max_of` over one or more composite stamps.
+
+    By Theorem 5.4 the fold order does not matter: the result is the
+    max-set of the union of all constituent triples.
+    """
+    all_stamps: set[PrimitiveTimestamp] = set()
+    count = 0
+    for stamp in stamps:
+        all_stamps |= stamp.stamps
+        count += 1
+    if count == 0:
+        raise EmptyTimestampError("max_of_many needs at least one composite timestamp")
+    return CompositeTimestamp(max_set(all_stamps))

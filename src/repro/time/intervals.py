@@ -1,0 +1,138 @@
+"""Open and closed intervals over distributed timestamps (Figure 1).
+
+Implements Definitions 4.9/4.10 (primitive stamps) and 5.5/5.6 (composite
+stamps).  Both interval kinds are generic over the two stamp families
+because the relations share spelling:
+
+* the **open interval** ``(lo, hi)`` requires ``lo < hi`` and contains
+  ``t`` iff ``lo < t < hi``;
+* the **closed interval** ``[lo, hi]`` requires ``lo ⪯ hi`` and contains
+  ``t`` iff ``lo ⪯ t ⪯ hi``.
+
+For cross-site *primitive* endpoints the paper derives the intuitive
+global-granule spans reproduced by :func:`open_global_span` and
+:func:`closed_global_span`:
+
+* open: ``{lo.global + 2, ..., hi.global - 2}`` — a cross-site member must
+  clear one granule on each side, so a non-empty open interval needs
+  ``lo.global < hi.global - 3``;
+* closed: ``{lo.global - 1, ..., hi.global + 1}`` — concurrency reaches one
+  granule beyond each endpoint.
+
+These spans are exactly what Figure 1 draws, and the Figure-1 benchmark
+regenerates them for a sweep of endpoint gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, TypeVar, Union
+
+from repro.errors import IntervalError
+from repro.time.composite import (
+    CompositeTimestamp,
+    composite_happens_before,
+    composite_weak_leq,
+)
+from repro.time.timestamps import PrimitiveTimestamp, happens_before, weak_leq
+
+Stamp = TypeVar("Stamp", PrimitiveTimestamp, CompositeTimestamp)
+AnyStamp = Union[PrimitiveTimestamp, CompositeTimestamp]
+
+
+def _lt(a: AnyStamp, b: AnyStamp) -> bool:
+    if isinstance(a, PrimitiveTimestamp) and isinstance(b, PrimitiveTimestamp):
+        return happens_before(a, b)
+    if isinstance(a, CompositeTimestamp) and isinstance(b, CompositeTimestamp):
+        return composite_happens_before(a, b)
+    raise IntervalError(
+        f"cannot mix primitive and composite stamps: {type(a).__name__} vs "
+        f"{type(b).__name__}"
+    )
+
+
+def _leq(a: AnyStamp, b: AnyStamp) -> bool:
+    if isinstance(a, PrimitiveTimestamp) and isinstance(b, PrimitiveTimestamp):
+        return weak_leq(a, b)
+    if isinstance(a, CompositeTimestamp) and isinstance(b, CompositeTimestamp):
+        return composite_weak_leq(a, b)
+    raise IntervalError(
+        f"cannot mix primitive and composite stamps: {type(a).__name__} vs "
+        f"{type(b).__name__}"
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class OpenInterval(Generic[Stamp]):
+    """The open interval ``(lo, hi)`` (Definitions 4.9 and 5.5).
+
+    Requires ``lo < hi`` under the appropriate happen-before; membership is
+    strict on both sides.
+
+    >>> lo = PrimitiveTimestamp("a", 2, 20)
+    >>> hi = PrimitiveTimestamp("b", 9, 90)
+    >>> OpenInterval(lo, hi).contains(PrimitiveTimestamp("c", 5, 50))
+    True
+    """
+
+    lo: Stamp
+    hi: Stamp
+
+    def __post_init__(self) -> None:
+        if not _lt(self.lo, self.hi):
+            raise IntervalError(
+                f"open interval requires lo < hi, got lo={self.lo!r} hi={self.hi!r}"
+            )
+
+    def contains(self, stamp: Stamp) -> bool:
+        """``lo < stamp < hi``."""
+        return _lt(self.lo, stamp) and _lt(stamp, self.hi)
+
+    def __contains__(self, stamp: Stamp) -> bool:
+        return self.contains(stamp)
+
+
+@dataclass(frozen=True, slots=True)
+class ClosedInterval(Generic[Stamp]):
+    """The closed interval ``[lo, hi]`` (Definitions 4.10 and 5.6).
+
+    Requires ``lo ⪯ hi`` (the paper's precondition reads ``~`` in 4.10 but
+    its derivation and Figure 1 use ``⪯``; we take the weaker, consistent
+    reading).  Membership is ``lo ⪯ stamp ⪯ hi``.
+    """
+
+    lo: Stamp
+    hi: Stamp
+
+    def __post_init__(self) -> None:
+        if not _leq(self.lo, self.hi):
+            raise IntervalError(
+                f"closed interval requires lo ⪯ hi, got lo={self.lo!r} hi={self.hi!r}"
+            )
+
+    def contains(self, stamp: Stamp) -> bool:
+        """``lo ⪯ stamp ⪯ hi``."""
+        return _leq(self.lo, stamp) and _leq(stamp, self.hi)
+
+    def __contains__(self, stamp: Stamp) -> bool:
+        return self.contains(stamp)
+
+
+def open_global_span(lo: PrimitiveTimestamp, hi: PrimitiveTimestamp) -> range:
+    """Global granules a *cross-site* stamp may occupy inside ``(lo, hi)``.
+
+    Section 4.2: a member must satisfy ``lo.global < g - 1`` and
+    ``g < hi.global - 1``, i.e. ``g ∈ {lo.global + 2, ..., hi.global - 2}``.
+    Empty when ``lo.global >= hi.global - 3``.
+    """
+    return range(lo.global_time + 2, hi.global_time - 1)
+
+
+def closed_global_span(lo: PrimitiveTimestamp, hi: PrimitiveTimestamp) -> range:
+    """Global granules a *cross-site* stamp may occupy inside ``[lo, hi]``.
+
+    Section 4.2: concurrency with each endpoint reaches one granule beyond
+    it, so ``g ∈ {lo.global - 1, ..., hi.global + 1}`` (clamped at zero).
+    """
+    start = max(0, lo.global_time - 1)
+    return range(start, hi.global_time + 2)

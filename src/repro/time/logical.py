@@ -1,0 +1,167 @@
+"""Logical-clock substrates: Lamport and vector clocks (ablation).
+
+The paper grounds distributed event ordering in *synchronized physical
+clocks* (approximated global time).  The classic alternative — logical
+clocks — orders events by *causality*: an event precedes another iff a
+message chain connects them.  This module implements both substrates so
+the benchmarks can compare them against the ``2g_g``-restricted order on
+the same workloads:
+
+* :class:`LamportClock` — scalar clocks; consistent with causality but
+  unable to *detect* concurrency (any two stamps compare).
+* :class:`VectorClock` / :class:`VectorStamp` — vector clocks; order
+  exactly the causally-related pairs and report everything else
+  concurrent.
+
+The trade the LOGIC benchmark measures: vector clocks never mis-order
+and never falsely order independent events, but they also *cannot* order
+causally-independent events that real time separates by minutes — the
+case the paper's physical-time semantics is designed for (a stock tick
+in New York an hour before one in London is "concurrent" to a vector
+clock unless some message connects them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import TimestampError
+
+
+@dataclass(frozen=True, slots=True)
+class LamportStamp:
+    """A scalar logical timestamp ``(counter, site)``.
+
+    The site id breaks ties, making the order total — which is exactly
+    why Lamport stamps cannot witness concurrency.
+    """
+
+    counter: int
+    site: str
+
+    def __lt__(self, other: "LamportStamp") -> bool:
+        return (self.counter, self.site) < (other.counter, other.site)
+
+
+class LamportClock:
+    """A per-site Lamport clock.
+
+    ``tick()`` stamps a local event; ``send()`` returns the counter to
+    piggyback on a message; ``receive(counter)`` merges an incoming
+    message's counter.
+    """
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+        self._counter = 0
+
+    def tick(self) -> LamportStamp:
+        """Advance for a local event and return its stamp."""
+        self._counter += 1
+        return LamportStamp(self._counter, self.site)
+
+    def send(self) -> int:
+        """Advance for a send; returns the counter to attach."""
+        self._counter += 1
+        return self._counter
+
+    def receive(self, message_counter: int) -> LamportStamp:
+        """Merge an incoming counter; returns the receive event's stamp."""
+        self._counter = max(self._counter, message_counter) + 1
+        return LamportStamp(self._counter, self.site)
+
+
+@dataclass(frozen=True)
+class VectorStamp:
+    """A vector timestamp: site → component.
+
+    ``a < b`` iff every component of ``a`` is ≤ the matching component
+    of ``b`` and some component is strictly smaller (missing components
+    read as zero); unordered stamps are *concurrent*.
+    """
+
+    components: Mapping[str, int]
+    site: str
+
+    def component(self, site: str) -> int:
+        """The component for ``site`` (0 when absent)."""
+        return self.components.get(site, 0)
+
+    def __lt__(self, other: "VectorStamp") -> bool:
+        sites = set(self.components) | set(other.components)
+        le = all(self.component(s) <= other.component(s) for s in sites)
+        lt = any(self.component(s) < other.component(s) for s in sites)
+        return le and lt
+
+    def concurrent(self, other: "VectorStamp") -> bool:
+        """Neither stamp causally precedes the other."""
+        return not self < other and not other < self
+
+    def merge(self, other: "VectorStamp") -> dict[str, int]:
+        """Component-wise maximum (used on message receipt)."""
+        sites = set(self.components) | set(other.components)
+        return {s: max(self.component(s), other.component(s)) for s in sites}
+
+
+class VectorClock:
+    """A per-site vector clock."""
+
+    def __init__(self, site: str) -> None:
+        if not site:
+            raise TimestampError("vector clock needs a site name")
+        self.site = site
+        self._components: dict[str, int] = {site: 0}
+
+    def tick(self) -> VectorStamp:
+        """Advance for a local event and return its stamp."""
+        self._components[self.site] += 1
+        return VectorStamp(dict(self._components), self.site)
+
+    def send(self) -> VectorStamp:
+        """Advance for a send; the returned stamp travels on the message."""
+        return self.tick()
+
+    def receive(self, message: VectorStamp) -> VectorStamp:
+        """Merge an incoming stamp; returns the receive event's stamp."""
+        for site, value in message.components.items():
+            if site != self.site:
+                current = self._components.get(site, 0)
+                self._components[site] = max(current, value)
+        return self.tick()
+
+    def snapshot(self) -> VectorStamp:
+        """The clock's current reading without advancing."""
+        return VectorStamp(dict(self._components), self.site)
+
+
+@dataclass
+class CausalHistorySimulator:
+    """Drives Lamport and vector clocks over a synthetic site history.
+
+    Used by the LOGIC benchmark: events happen at true times on sites;
+    occasionally a site messages another (establishing causality).  The
+    simulator records, for each event, the true time and all three
+    stamps so ordering decisiveness can be compared.
+    """
+
+    sites: list[str]
+    lamport: dict[str, LamportClock] = field(init=False)
+    vector: dict[str, VectorClock] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.lamport = {s: LamportClock(s) for s in self.sites}
+        self.vector = {s: VectorClock(s) for s in self.sites}
+
+    def local_event(self, site: str) -> tuple[LamportStamp, VectorStamp]:
+        """A local event at ``site``; returns both logical stamps."""
+        return self.lamport[site].tick(), self.vector[site].tick()
+
+    def message(self, src: str, dst: str) -> tuple[LamportStamp, VectorStamp]:
+        """A message ``src → dst``; returns the *receive* event's stamps."""
+        lamport_counter = self.lamport[src].send()
+        vector_stamp = self.vector[src].send()
+        return (
+            self.lamport[dst].receive(lamport_counter),
+            self.vector[dst].receive(vector_stamp),
+        )

@@ -1,0 +1,166 @@
+"""The candidate composite orderings analysed in Section 5.1.
+
+The paper derives its composite happen-before by elimination.  Writing
+``T1 ≺ T2`` for a candidate strict ordering over composite timestamps,
+Section 5.1 requires:
+
+1. *witness*: ``T1 ≺ T2`` implies some primitive pair ``t1 < t2``;
+2. *well-defined*: ``≺`` is irreflexive and transitive;
+3. *least restricted*: no valid ordering strictly contains it.
+
+The candidates, all implemented here so the benchmarks can compare them:
+
+=========  =============================================  =====================
+name       definition                                     verdict in the paper
+=========  =============================================  =====================
+``lt_p``   ``∀t2 ∈ T2 ∃t1 ∈ T1: t1 < t2``                 chosen — valid, least restricted
+``lt_g``   ``∀t1 ∈ T1 ∃t2 ∈ T2: t1 < t2``                 the dual — equally valid
+``lt_p1``  ``∃t1 ∃t2: t1 < t2``                           **invalid** — not transitive
+``lt_p2``  ``∀t1 ∀t2: t1 < t2``                           valid but more restricted
+``lt_p3``  ``min-global t1 of T1 < every t2 of T2``       valid but more restricted
+=========  =============================================  =====================
+
+Each strategy is a plain predicate ``(CompositeTimestamp,
+CompositeTimestamp) -> bool``; :data:`ORDERINGS` is a registry mapping the
+name to an :class:`OrderingSpec` carrying the paper's verdict, which the
+validity/restrictiveness benchmarks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.time.composite import CompositeTimestamp
+from repro.time.timestamps import happens_before
+
+OrderingPredicate = Callable[[CompositeTimestamp, CompositeTimestamp], bool]
+
+
+def lt_p(t1: CompositeTimestamp, t2: CompositeTimestamp) -> bool:
+    """The chosen ordering ``<_p``: ``∀t2 ∃t1: t1 < t2`` (Definition 5.3.2)."""
+    return all(any(happens_before(a, b) for a in t1.stamps) for b in t2.stamps)
+
+
+def lt_g(t1: CompositeTimestamp, t2: CompositeTimestamp) -> bool:
+    """The dual ordering ``<_g``: ``∀t1 ∃t2: t1 < t2``.
+
+    Section 5.1 shows ``(<_p, >_g)`` and ``(<_g, >_p)`` are the two dual
+    pairs of least-restricted valid orderings; the paper picks ``<_p``.
+    """
+    return all(any(happens_before(a, b) for b in t2.stamps) for a in t1.stamps)
+
+
+def lt_p1(t1: CompositeTimestamp, t2: CompositeTimestamp) -> bool:
+    """The naive ``∃∃`` ordering ``<_p1`` — **not transitive** (invalid).
+
+    Section 5.1: because the witnessing middle elements may differ,
+    ``T1 <_p1 T2`` and ``T2 <_p1 T3`` do not imply ``T1 <_p1 T3``; the
+    validity benchmark exhibits concrete violations.
+    """
+    return any(happens_before(a, b) for a in t1.stamps for b in t2.stamps)
+
+
+def lt_p2(t1: CompositeTimestamp, t2: CompositeTimestamp) -> bool:
+    """The ``∀∀`` ordering ``<_p2`` — valid but more restricted than ``<_p``."""
+    return all(happens_before(a, b) for a in t1.stamps for b in t2.stamps)
+
+
+def lt_p3(t1: CompositeTimestamp, t2: CompositeTimestamp) -> bool:
+    """The min-based ordering ``<_p3`` — valid but more restricted.
+
+    Let ``min_t1`` be the triple of ``T1`` with minimum global time (ties
+    broken arbitrarily but deterministically); ``T1 <_p3 T2`` iff
+    ``min_t1 < t2`` for every ``t2`` of ``T2``.
+    """
+    min_t1 = min(t1.stamps, key=lambda t: (t.global_time, t.local, t.site))
+    return all(happens_before(min_t1, b) for b in t2.stamps)
+
+
+@dataclass(frozen=True, slots=True)
+class OrderingSpec:
+    """Metadata for a candidate ordering, as judged by the paper."""
+
+    name: str
+    predicate: OrderingPredicate
+    is_valid_partial_order: bool
+    is_least_restricted: bool
+    description: str
+
+
+ORDERINGS: dict[str, OrderingSpec] = {
+    spec.name: spec
+    for spec in (
+        OrderingSpec(
+            name="lt_p",
+            predicate=lt_p,
+            is_valid_partial_order=True,
+            is_least_restricted=True,
+            description="forall t2 exists t1: t1 < t2 (the paper's choice)",
+        ),
+        OrderingSpec(
+            name="lt_g",
+            predicate=lt_g,
+            is_valid_partial_order=True,
+            is_least_restricted=True,
+            description="forall t1 exists t2: t1 < t2 (the dual)",
+        ),
+        OrderingSpec(
+            name="lt_p1",
+            predicate=lt_p1,
+            is_valid_partial_order=False,
+            is_least_restricted=False,
+            description="exists-exists (invalid: not transitive)",
+        ),
+        OrderingSpec(
+            name="lt_p2",
+            predicate=lt_p2,
+            is_valid_partial_order=True,
+            is_least_restricted=False,
+            description="forall-forall (valid, more restricted)",
+        ),
+        OrderingSpec(
+            name="lt_p3",
+            predicate=lt_p3,
+            is_valid_partial_order=True,
+            is_least_restricted=False,
+            description="min-global of T1 before all of T2 (valid, more restricted)",
+        ),
+    )
+}
+
+
+def lt_p1_counterexample() -> tuple[
+    CompositeTimestamp, CompositeTimestamp, CompositeTimestamp
+]:
+    """A fixed transitivity violation of ``<_p1`` on valid max-sets.
+
+    ``a = {(s1,6,65)}``, ``b = {(s2,8,80), (s3,7,70)}``, ``c = {(s3,7,75)}``:
+    ``a <_p1 b`` via ``(s1,6,65) < (s2,8,80)`` and ``b <_p1 c`` via the
+    same-site pair ``(s3,7,70) < (s3,7,75)``, yet ``a`` and ``c`` are
+    concurrent — the witnessing middle elements differ, which is exactly
+    the paper's argument for rejecting the ``∃∃`` definition.
+    """
+    a = CompositeTimestamp.from_triples([("s1", 6, 65)])
+    b = CompositeTimestamp.from_triples([("s2", 8, 80), ("s3", 7, 70)])
+    c = CompositeTimestamp.from_triples([("s3", 7, 75)])
+    return a, b, c
+
+
+def paper_example_pairs() -> list[tuple[str, CompositeTimestamp, CompositeTimestamp]]:
+    """The two Section 5.1 example pairs separating ``<_p`` from ``<_p2``/``<_p3``.
+
+    Returns ``(label, T1, T2)`` triples where ``T1 <_p T2`` holds but the
+    named more-restricted ordering rejects the pair.
+    """
+    pair_p2 = (
+        "lt_p2",
+        CompositeTimestamp.from_triples([("site1", 8, 80), ("site2", 7, 70)]),
+        CompositeTimestamp.from_triples([("site3", 9, 90)]),
+    )
+    pair_p3 = (
+        "lt_p3",
+        CompositeTimestamp.from_triples([("site1", 8, 80), ("site2", 7, 70)]),
+        CompositeTimestamp.from_triples([("site1", 8, 81), ("site2", 7, 71)]),
+    )
+    return [pair_p2, pair_p3]

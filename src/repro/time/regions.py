@@ -1,0 +1,210 @@
+"""Figure 2: the site × global-time grid classification of timestamps.
+
+Section 5.1 visualizes composite-timestamp relations on a two-dimensional
+grid — X axis global time (with local time embedded), Y axis the sites.
+For a reference composite stamp ``T(e)`` the grid splits into regions
+bounded by four "lines":
+
+* before Line1 — probes with ``T(e1) < T(e)``;
+* between Line2 and Line3 — probes with ``T(e1) ~ T(e)``;
+* after Line4 — probes with ``T(e) < T(e1)`` (the paper's dual ``>_p``);
+* before Line3 — ``T(e1) ⪯ T(e)``; after Line2 — ``T(e) ⪯ T(e1)``;
+* probes straddling the lines are incomparable (``⊓``).
+
+:func:`classify_region` reports the region of a probe stamp;
+:func:`region_lines` computes, per site, the global-granule boundaries of
+each region for *single-cell* probes (one primitive triple), which is what
+Figure 2 draws; :func:`render_grid` produces an ASCII rendition of the
+figure that the FIG2 benchmark regenerates for the paper's example
+``T(e) = {(Site3, 8, 81), (Site6, 7, 72)}``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.time.composite import (
+    CompositeTimestamp,
+    composite_concurrent,
+    composite_happens_after,
+    composite_happens_before,
+    composite_weak_leq,
+)
+from repro.time.timestamps import PrimitiveTimestamp
+
+
+class Region(enum.Enum):
+    """Region of the Figure-2 grid relative to a reference stamp ``T(e)``."""
+
+    BEFORE = "before"             # T(probe) <  T(e)           — left of Line1
+    WEAK_BEFORE = "weak_before"   # ⪯ only                     — Line1..Line2 band
+    CONCURRENT = "concurrent"     # T(probe) ~  T(e)           — Line2..Line3 band
+    WEAK_AFTER = "weak_after"     # ⪰ only                     — Line3..Line4 band
+    AFTER = "after"               # T(e) <  T(probe) (dual >)  — right of Line4
+    INCOMPARABLE = "incomparable"  # straddles the lines
+
+
+def classify_region(probe: CompositeTimestamp, ref: CompositeTimestamp) -> Region:
+    """Which Figure-2 region ``probe`` occupies relative to ``ref``.
+
+    Uses the paper's chosen dual pair: *before* is ``probe <_p ref``;
+    *after* is ``probe >_p ref`` (every triple of ``ref`` has a later
+    triple in ``probe``).  The weak bands are where only ``⪯``/``⪰``
+    holds; anything else straddles the lines and is incomparable.
+    """
+    if composite_happens_before(probe, ref):
+        return Region.BEFORE
+    if composite_happens_after(probe, ref):
+        return Region.AFTER
+    if composite_concurrent(probe, ref):
+        return Region.CONCURRENT
+    if composite_weak_leq(probe, ref):
+        return Region.WEAK_BEFORE
+    if composite_weak_leq(ref, probe):
+        return Region.WEAK_AFTER
+    return Region.INCOMPARABLE
+
+
+@dataclass(frozen=True, slots=True)
+class SiteLines:
+    """Per-site line positions (in global granules) for single-cell probes.
+
+    ``line1``: first granule at which a probe stops being ``< T(e)``;
+    ``line2``: first granule at which a probe is ``~ T(e)``;
+    ``line3``: first granule *after* the concurrent band;
+    ``line4``: first granule at which a probe is ``> T(e)`` (dual).
+
+    The bands of Figure 2 are then: before ``line1`` → BEFORE,
+    ``[line1, line2)`` → WEAK_BEFORE, ``[line2, line3)`` → CONCURRENT,
+    ``[line3, line4)`` → WEAK_AFTER, from ``line4`` on → AFTER.
+    A band is empty when its two boundaries coincide.
+    """
+
+    site: str
+    line1: int
+    line2: int
+    line3: int
+    line4: int
+
+
+def _cell_probe(site: str, granule: int, ratio: int, tick_offset: int = 0) -> CompositeTimestamp:
+    """A single-triple probe stamped inside a grid cell.
+
+    ``tick_offset`` selects the local tick within the granule (0-based);
+    relevant only for rows sharing a site with the reference stamp.
+    """
+    local = granule * ratio + tick_offset
+    return CompositeTimestamp.singleton(
+        PrimitiveTimestamp(site=site, global_time=granule, local=local)
+    )
+
+
+def classify_cell(
+    site: str,
+    granule: int,
+    ref: CompositeTimestamp,
+    ratio: int,
+    tick_offset: int = 0,
+) -> Region:
+    """Region of a grid cell occupied by a single primitive occurrence."""
+    return classify_region(_cell_probe(site, granule, ratio, tick_offset), ref)
+
+
+def region_lines(
+    ref: CompositeTimestamp,
+    sites: Sequence[str],
+    ratio: int,
+    granule_range: range | None = None,
+) -> list[SiteLines]:
+    """Compute Line1-Line4 per site by scanning single-cell probes.
+
+    ``granule_range`` defaults to a window comfortably containing the
+    reference stamp's global span plus the two-granule margins.
+    """
+    lo, hi = ref.global_span()
+    if granule_range is None:
+        granule_range = range(max(0, lo - 4), hi + 5)
+    lines: list[SiteLines] = []
+    for site in sites:
+        regions = {
+            g: classify_cell(site, g, ref, ratio) for g in granule_range
+        }
+        line1 = _first_not(regions, granule_range, Region.BEFORE)
+        line2 = _first_at(regions, granule_range, Region.CONCURRENT, default=line1)
+        line3 = _first_after(regions, granule_range, Region.CONCURRENT, default=line2)
+        line4 = _first_at(regions, granule_range, Region.AFTER, default=granule_range.stop)
+        lines.append(SiteLines(site=site, line1=line1, line2=line2, line3=line3, line4=line4))
+    return lines
+
+
+def _first_not(regions: dict[int, Region], span: range, region: Region) -> int:
+    for g in span:
+        if regions[g] is not region:
+            return g
+    return span.stop
+
+
+def _first_at(regions: dict[int, Region], span: range, region: Region, default: int) -> int:
+    for g in span:
+        if regions[g] is region:
+            return g
+    return default
+
+
+def _first_after(regions: dict[int, Region], span: range, region: Region, default: int) -> int:
+    seen = False
+    for g in span:
+        if regions[g] is region:
+            seen = True
+        elif seen:
+            return g
+    return span.stop if seen else default
+
+
+_REGION_GLYPHS = {
+    Region.BEFORE: "<",
+    Region.WEAK_BEFORE: "-",
+    Region.CONCURRENT: "~",
+    Region.WEAK_AFTER: "+",
+    Region.AFTER: ">",
+    Region.INCOMPARABLE: "#",
+}
+
+
+def render_grid(
+    ref: CompositeTimestamp,
+    sites: Sequence[str],
+    ratio: int,
+    granule_range: range | None = None,
+) -> str:
+    """ASCII rendition of Figure 2 for a reference composite stamp.
+
+    One row per site (Y axis), one column per global granule (X axis);
+    each cell shows the region of a single primitive occurrence stamped in
+    that cell: ``<`` before, ``-`` weak-before band, ``~`` concurrent,
+    ``+`` weak-after band, ``>`` after, ``*`` marks the reference stamp's
+    own triples.
+
+    >>> ref = CompositeTimestamp.from_triples(
+    ...     [("Site3", 8, 81), ("Site6", 7, 72)])
+    >>> print(render_grid(ref, [f"Site{i}" for i in range(1, 9)], 10))
+    ... # doctest: +SKIP
+    """
+    lo, hi = ref.global_span()
+    if granule_range is None:
+        granule_range = range(max(0, lo - 4), hi + 5)
+    ref_cells = {(t.site, t.global_time) for t in ref.stamps}
+    width = max(len(s) for s in sites)
+    header = " " * (width + 1) + " ".join(f"{g % 100:2d}" for g in granule_range)
+    rows = [header]
+    for site in sites:
+        cells = []
+        for g in granule_range:
+            if (site, g) in ref_cells:
+                cells.append(" *")
+            else:
+                cells.append(" " + _REGION_GLYPHS[classify_cell(site, g, ref, ratio)])
+        rows.append(f"{site:<{width}} " + " ".join(c.strip().rjust(2) for c in cells))
+    return "\n".join(rows)

@@ -1,0 +1,194 @@
+"""Granularity arithmetic and the ``TRUNC`` family (Definition 4.3).
+
+The paper's time model works with two granularities:
+
+* the *local* granularity ``g`` — the duration of one tick of a site's
+  physical clock (e.g. ``1/100 s`` in the Section 5.1 example), and
+* the *global* granularity ``g_g`` — the coarser unit used to compare
+  events across sites (``1/10 s`` in the example), chosen strictly greater
+  than the clock-synchronization precision ``Π``.
+
+A local tick count is converted to global time by ``TRUNC_{g_g}``
+(Definition 4.3).  The paper allows ``TRUNC`` to be *floor*, *ceiling* or
+*round* "as long as it is consistent throughout the system" and then fixes
+it to integer division (floor); :class:`TruncMode` exposes all three, with
+:attr:`TruncMode.FLOOR` as the default used everywhere else in the library.
+
+:class:`TimeModel` bundles the granularities and precision into a single
+validated object that the clock simulator (:mod:`repro.time.clocks`) and
+the workload generators consume.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.errors import GranularityError
+
+
+class TruncMode(enum.Enum):
+    """How local ticks are truncated to global granules (Definition 4.3)."""
+
+    FLOOR = "floor"
+    CEIL = "ceil"
+    ROUND = "round"
+
+
+def truncate(local_ticks: int, ratio: int, mode: TruncMode = TruncMode.FLOOR) -> int:
+    """Convert a local tick count to global granules: ``TRUNC_{g_g}``.
+
+    ``ratio`` is the number of local ticks per global granule
+    (``g_g / g``), which the model requires to be a positive integer.
+
+    >>> truncate(91548276, 10)
+    9154827
+    >>> truncate(15, 10, TruncMode.CEIL)
+    2
+    >>> truncate(15, 10, TruncMode.ROUND)
+    2
+    """
+    if ratio <= 0:
+        raise GranularityError(f"tick ratio must be positive, got {ratio}")
+    if mode is TruncMode.FLOOR:
+        return local_ticks // ratio
+    if mode is TruncMode.CEIL:
+        return -((-local_ticks) // ratio)
+    # ROUND: half-up, consistent for negative ticks as well.
+    return (local_ticks + ratio // 2) // ratio
+
+
+@dataclass(frozen=True, slots=True)
+class Granularity:
+    """A clock granularity expressed as an exact fraction of a second.
+
+    Exact rational arithmetic avoids the floating-point drift that would
+    otherwise corrupt tick/granule conversions in long simulations.
+
+    >>> Granularity.from_string("1/100")
+    Granularity(seconds=Fraction(1, 100))
+    """
+
+    seconds: Fraction
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0:
+            raise GranularityError(f"granularity must be positive, got {self.seconds}")
+
+    @classmethod
+    def from_string(cls, text: str) -> "Granularity":
+        """Parse ``"1/100"`` or ``"0.01"`` into a granularity."""
+        return cls(Fraction(text))
+
+    @classmethod
+    def of_seconds(cls, value: int | float | str | Fraction) -> "Granularity":
+        """Build a granularity from any numeric spelling of seconds."""
+        return cls(Fraction(value))
+
+    def ticks_in(self, duration_seconds: int | float | Fraction) -> int:
+        """Number of whole ticks of this granularity in ``duration_seconds``."""
+        return int(Fraction(duration_seconds) / self.seconds)
+
+    def ratio_to(self, finer: "Granularity") -> int:
+        """Ticks of ``finer`` per tick of ``self``; must divide evenly.
+
+        >>> Granularity.from_string("1/10").ratio_to(Granularity.from_string("1/100"))
+        10
+        """
+        quotient = self.seconds / finer.seconds
+        if quotient.denominator != 1 or quotient < 1:
+            raise GranularityError(
+                f"global granularity {self.seconds} is not an integer multiple "
+                f"of local granularity {finer.seconds}"
+            )
+        return int(quotient)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.seconds}s"
+
+
+@dataclass(frozen=True, slots=True)
+class TimeModel:
+    """The paper's distributed time model, validated at construction.
+
+    Parameters
+    ----------
+    local:
+        Granularity of each site's physical clock (``g``).
+    global_:
+        Global granularity used for cross-site comparison (``g_g``).
+    precision:
+        Clock synchronization precision ``Π`` — the maximum offset between
+        corresponding ticks of any two local clocks, as observed by the
+        reference clock.  The model requires ``g_g > Π`` so that two
+        simultaneous events receive global times at most one granule apart.
+    trunc:
+        The ``TRUNC`` mode used throughout the system.
+
+    >>> model = TimeModel.from_strings("1/100", "1/10", "1/20")
+    >>> model.ratio
+    10
+    >>> model.global_time(91548276)
+    9154827
+    """
+
+    local: Granularity
+    global_: Granularity
+    precision: Fraction
+    trunc: TruncMode = TruncMode.FLOOR
+
+    def __post_init__(self) -> None:
+        if self.precision < 0:
+            raise GranularityError(f"precision must be non-negative, got {self.precision}")
+        if self.global_.seconds <= self.precision:
+            raise GranularityError(
+                f"global granularity g_g={self.global_.seconds} must exceed "
+                f"precision Pi={self.precision} (paper requires g_g > Pi)"
+            )
+        if self.global_.seconds < self.local.seconds:
+            raise GranularityError(
+                f"global granularity {self.global_.seconds} must be at least "
+                f"the local granularity {self.local.seconds}"
+            )
+        # Validate divisibility eagerly so misconfiguration fails at setup.
+        self.global_.ratio_to(self.local)
+
+    @classmethod
+    def from_strings(
+        cls,
+        local: str,
+        global_: str,
+        precision: str,
+        trunc: TruncMode = TruncMode.FLOOR,
+    ) -> "TimeModel":
+        """Build a model from fraction strings, e.g. ``("1/100", "1/10", "1/20")``."""
+        return cls(
+            local=Granularity.from_string(local),
+            global_=Granularity.from_string(global_),
+            precision=Fraction(precision),
+            trunc=trunc,
+        )
+
+    @classmethod
+    def example_5_1(cls) -> "TimeModel":
+        """The exact model of the paper's Section 5.1 worked example.
+
+        Local clocks tick at ``g = 1/100 s``, the reference clock at
+        ``g_z = 1/1000 s``, clocks are synchronized with ``Π < 1/10 s``
+        and the global granularity is ``g_g = 1/10 s``.
+        """
+        return cls.from_strings("1/100", "1/10", "99/1000")
+
+    @property
+    def ratio(self) -> int:
+        """Local ticks per global granule (``g_g / g``)."""
+        return self.global_.ratio_to(self.local)
+
+    def global_time(self, local_ticks: int) -> int:
+        """``TRUNC_{g_g}`` of a local tick count (Definition 4.3)."""
+        return truncate(local_ticks, self.ratio, self.trunc)
+
+    def local_ticks_of_seconds(self, seconds: int | float | Fraction) -> int:
+        """Whole local ticks elapsed after ``seconds`` of true time."""
+        return self.local.ticks_in(seconds)

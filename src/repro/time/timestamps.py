@@ -1,0 +1,162 @@
+"""Distributed primitive timestamps and their temporal relations.
+
+Implements Definitions 4.6-4.8 of the paper:
+
+* a **primitive timestamp** is a triple ``(site, global, local)`` where
+  ``local`` is the tick count of the site's physical clock and ``global``
+  is ``TRUNC_{g_g}(local)`` expressed in whole global granules;
+* **happen-before** ``<`` (Definition 4.7.1): same-site stamps compare by
+  local ticks; cross-site stamps compare only when the global times differ
+  by *more than one granule* — the ``2g_g``-restricted order;
+* **simultaneous** ``=`` (4.7.2): same site and same local tick;
+* **concurrent** ``~`` (4.7.3): neither happens before the other;
+* **weakened-less-than-or-equal** ``⪯`` (Definition 4.8): ``<`` or ``~``.
+
+Because global times are stored in whole granules, the paper's
+``g(e1) < g(e2) - 1g_g`` becomes the integer test
+``global1 < global2 - 1`` — i.e. the globals differ by at least two
+granules.  No granularity parameter is needed at comparison time; it is
+baked in when the stamp is created (see :mod:`repro.time.clocks`).
+
+The corrected reading of Definition 4.7.1 is used: the paper's text says
+``site ≠ site ∧ local < local`` for the first disjunct, but Definition 4.4
+(from which 4.7 is derived) makes clear it must be **same site**.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TimestampError
+
+
+@dataclass(frozen=True, slots=True, order=False)
+class PrimitiveTimestamp:
+    """A distributed primitive timestamp ``(site, global, local)``.
+
+    ``global_time`` is in whole global granules (``g_g`` units) and
+    ``local`` in local clock ticks.  Instances are immutable and hashable
+    so they can populate the frozen sets backing composite timestamps.
+
+    Comparison operators implement the paper's relations: ``<`` is the
+    ``2g_g``-restricted happen-before, ``==`` is structural equality (which
+    for stamps produced by one clock coincides with the paper's
+    *simultaneous*), and ``<=`` is the weakened ``⪯``.
+
+    >>> a = PrimitiveTimestamp("k", 9154827, 91548276)
+    >>> b = PrimitiveTimestamp("k", 9154827, 91548277)
+    >>> a < b
+    True
+    >>> c = PrimitiveTimestamp("m", 9154827, 91548277)
+    >>> a < c, c < a, a.concurrent(c)
+    (False, False, True)
+    """
+
+    site: str
+    global_time: int
+    local: int
+
+    def __post_init__(self) -> None:
+        if self.local < 0:
+            raise TimestampError(f"local tick count must be non-negative, got {self.local}")
+        if self.global_time < 0:
+            raise TimestampError(
+                f"global time must be non-negative, got {self.global_time}"
+            )
+
+    def __lt__(self, other: "PrimitiveTimestamp") -> bool:
+        return happens_before(self, other)
+
+    def __gt__(self, other: "PrimitiveTimestamp") -> bool:
+        return happens_before(other, self)
+
+    def __le__(self, other: "PrimitiveTimestamp") -> bool:
+        return weak_leq(self, other)
+
+    def __ge__(self, other: "PrimitiveTimestamp") -> bool:
+        return weak_leq(other, self)
+
+    def simultaneous(self, other: "PrimitiveTimestamp") -> bool:
+        """Definition 4.7.2 — same site and same local tick."""
+        return simultaneous(self, other)
+
+    def concurrent(self, other: "PrimitiveTimestamp") -> bool:
+        """Definition 4.7.3 — neither stamp happens before the other."""
+        return concurrent(self, other)
+
+    def relation(self, other: "PrimitiveTimestamp") -> "Relation":
+        """The exhaustive relation between two stamps (see :class:`Relation`)."""
+        return relation(self, other)
+
+    def as_triple(self) -> tuple[str, int, int]:
+        """The ``(site, global, local)`` triple as written in the paper."""
+        return (self.site, self.global_time, self.local)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.site}, {self.global_time}, {self.local})"
+
+
+class Relation(enum.Enum):
+    """Exhaustive primitive-timestamp relation (Proposition 4.2.3).
+
+    For any two stamps exactly one of *before*, *after*, *concurrent*
+    holds, except that *simultaneous* — the same-site special case of
+    concurrency (Proposition 4.2.5) — is reported separately because
+    several proofs in the paper treat it differently (e.g. 4.2.6).
+    """
+
+    BEFORE = "before"
+    AFTER = "after"
+    SIMULTANEOUS = "simultaneous"
+    CONCURRENT = "concurrent"
+
+    @property
+    def is_concurrent(self) -> bool:
+        """Whether the relation satisfies the paper's ``~`` (4.7.3)."""
+        return self in (Relation.CONCURRENT, Relation.SIMULTANEOUS)
+
+
+def happens_before(a: PrimitiveTimestamp, b: PrimitiveTimestamp) -> bool:
+    """The ``2g_g``-restricted happen-before ``<`` (Definition 4.7.1).
+
+    Same site: compare local ticks.  Different sites: require the global
+    times to differ by more than one granule (``global_a < global_b - 1``).
+    """
+    if a.site == b.site:
+        return a.local < b.local
+    return a.global_time < b.global_time - 1
+
+
+def simultaneous(a: PrimitiveTimestamp, b: PrimitiveTimestamp) -> bool:
+    """Simultaneity ``=`` (Definition 4.7.2): same site, same local tick."""
+    return a.site == b.site and a.local == b.local
+
+
+def concurrent(a: PrimitiveTimestamp, b: PrimitiveTimestamp) -> bool:
+    """Concurrency ``~`` (Definition 4.7.3): unordered either way.
+
+    Not transitive (Proposition 4.2.6's counterexample), hence not an
+    equivalence relation; simultaneity is its same-site special case.
+    """
+    return not happens_before(a, b) and not happens_before(b, a)
+
+
+def weak_leq(a: PrimitiveTimestamp, b: PrimitiveTimestamp) -> bool:
+    """The weakened less-than-or-equal ``⪯`` (Definition 4.8).
+
+    ``a ⪯ b`` iff ``a < b`` or ``a ~ b``.  Reflexive and total
+    (Proposition 4.2.4) but *not* transitive, so not a partial order.
+    """
+    return happens_before(a, b) or concurrent(a, b)
+
+
+def relation(a: PrimitiveTimestamp, b: PrimitiveTimestamp) -> Relation:
+    """Classify the pair into exactly one :class:`Relation` member."""
+    if happens_before(a, b):
+        return Relation.BEFORE
+    if happens_before(b, a):
+        return Relation.AFTER
+    if simultaneous(a, b):
+        return Relation.SIMULTANEOUS
+    return Relation.CONCURRENT

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.time.composite import CompositeTimestamp
+from repro.time.ticks import TimeModel
+from repro.time.timestamps import PrimitiveTimestamp
+
+
+@pytest.fixture
+def model() -> TimeModel:
+    """The Section 5.1 time model (g=1/100s, g_g=1/10s, Pi<1/10s)."""
+    return TimeModel.example_5_1()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG; reseed per test for independence."""
+    return random.Random(0xC0FFEE)
+
+
+def ts(site: str, global_time: int, local: int | None = None) -> PrimitiveTimestamp:
+    """Shorthand primitive stamp; local defaults to ``global*10 + 5``."""
+    if local is None:
+        local = global_time * 10 + 5
+    return PrimitiveTimestamp(site=site, global_time=global_time, local=local)
+
+
+def cts(*triples: tuple[str, int, int]) -> CompositeTimestamp:
+    """Shorthand composite stamp from raw triples."""
+    return CompositeTimestamp.from_triples(triples)
+
+
+@pytest.fixture
+def paper_example_stamps() -> dict[str, CompositeTimestamp]:
+    """The five composite stamps of the Section 5.1 worked example."""
+    return {
+        "t1": cts(("k", 9154827, 91548276), ("m", 9154827, 91548277)),
+        "t2": cts(("l", 9154827, 91548276), ("k", 9154827, 91548277)),
+        "t3": cts(("m", 9154827, 91548276), ("l", 9154827, 91548277)),
+        "t4": cts(("k", 9154828, 91548288), ("l", 9154827, 91548277)),
+        "t5": cts(("k", 9154829, 91548289), ("l", 9154828, 91548287)),
+    }

@@ -1,0 +1,196 @@
+"""Tests for the analysis subpackage: universes, checkers, metrics."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.metrics import (
+    comparability_rate,
+    irreflexivity_violations,
+    profile_ordering,
+    transitivity_violations,
+)
+from repro.analysis.properties import (
+    check_all,
+    check_proposition_4_1,
+    check_proposition_4_2,
+    check_theorem_4_1,
+    check_theorem_5_1,
+    check_theorem_5_2,
+    check_theorem_5_3,
+    check_theorem_5_4,
+    theorem_5_3_counterexample,
+    theorem_5_4_counterexample,
+)
+from repro.analysis.universe import (
+    random_composite,
+    random_composite_universe,
+    random_primitive,
+    random_primitive_universe,
+)
+from repro.time.composite import (
+    composite_concurrent,
+    composite_happens_before,
+    composite_weak_leq,
+    max_of,
+    max_of_cases,
+)
+from repro.time.orderings import lt_g
+from repro.time.timestamps import concurrent
+
+
+class TestUniverses:
+    def test_primitive_model_consistency(self):
+        rng = random.Random(1)
+        for _ in range(100):
+            stamp = random_primitive(rng, ["a", "b"], ratio=10)
+            assert stamp.global_time == stamp.local // 10
+
+    def test_primitive_universe_size(self):
+        rng = random.Random(2)
+        assert len(random_primitive_universe(rng, 25)) == 25
+
+    def test_composite_is_valid_max_set(self):
+        rng = random.Random(3)
+        for _ in range(50):
+            stamp = random_composite(rng)
+            for x in stamp:
+                for y in stamp:
+                    assert concurrent(x, y)
+
+    def test_composite_universe_deterministic(self):
+        a = random_composite_universe(random.Random(9), 10)
+        b = random_composite_universe(random.Random(9), 10)
+        assert a == b
+
+
+class TestCheckers:
+    def test_check_all_green(self):
+        reports = check_all(seed=1, primitive_count=30, composite_count=20, sets_count=20)
+        for report in reports:
+            assert report.holds, str(report)
+
+    def test_theorem_4_1(self):
+        rng = random.Random(4)
+        report = check_theorem_4_1(random_primitive_universe(rng, 20))
+        assert report.holds
+
+    def test_proposition_4_1(self):
+        rng = random.Random(5)
+        assert check_proposition_4_1(random_primitive_universe(rng, 40)).holds
+
+    def test_proposition_4_2(self):
+        rng = random.Random(6)
+        assert check_proposition_4_2(random_primitive_universe(rng, 20)).holds
+
+    def test_theorem_5_1(self):
+        rng = random.Random(7)
+        sets = [random_primitive_universe(rng, rng.randint(1, 5)) for _ in range(30)]
+        assert check_theorem_5_1(sets).holds
+
+    def test_theorem_5_2(self):
+        rng = random.Random(8)
+        assert check_theorem_5_2(random_composite_universe(rng, 20)).holds
+
+    def test_theorem_5_3_corrected_direction_holds(self):
+        rng = random.Random(9)
+        assert check_theorem_5_3(random_composite_universe(rng, 20)).holds
+
+    def test_theorem_5_3_as_stated_fails(self):
+        """The paper's equivalence has counterexamples (found by sweep)."""
+        t1, t2 = theorem_5_3_counterexample()
+        report = check_theorem_5_3([t1, t2], corrected=False)
+        assert not report.holds
+        assert any(v[0] == "left-to-right" for v in report.violations)
+
+    def test_theorem_5_3_counterexample_is_minimal_witness(self):
+        t1, t2 = theorem_5_3_counterexample()
+        assert composite_weak_leq(t1, t2)
+        assert not composite_concurrent(t1, t2)
+        assert not composite_happens_before(t1, t2)
+        assert not lt_g(t1, t2)
+
+    def test_theorem_5_4_holds_with_domination(self):
+        rng = random.Random(10)
+        assert check_theorem_5_4(random_composite_universe(rng, 20)).holds
+
+    def test_theorem_5_4_fails_with_literal_lt_p(self):
+        t1, t2 = theorem_5_4_counterexample()
+        literal = max_of_cases(t1, t2, composite_happens_before)
+        assert literal != max_of(t1, t2)
+        report = check_theorem_5_4([t1, t2], ordering=composite_happens_before)
+        assert not report.holds
+
+    def test_report_str(self):
+        rng = random.Random(11)
+        report = check_theorem_4_1(random_primitive_universe(rng, 5))
+        assert "theorem 4.1" in str(report)
+
+
+class TestMetrics:
+    def test_comparability_of_total_order(self):
+        universe = [1, 2, 3, 4]
+        assert comparability_rate(universe, lambda a, b: a < b) == 1
+
+    def test_comparability_of_empty_order(self):
+        universe = [1, 2, 3]
+        assert comparability_rate(universe, lambda a, b: False) == 0
+
+    def test_comparability_small_universe(self):
+        assert comparability_rate([1], lambda a, b: a < b) == 0
+
+    def test_irreflexivity_violations(self):
+        assert irreflexivity_violations([1, 2], lambda a, b: a <= b) == [1, 2]
+
+    def test_transitivity_violations_found(self):
+        # "beats" relation of rock-paper-scissors is cyclic, not transitive.
+        beats = {("r", "s"), ("s", "p"), ("p", "r")}
+        violations = transitivity_violations(
+            ["r", "p", "s"], lambda a, b: (a, b) in beats
+        )
+        assert violations
+
+    def test_transitivity_limit(self):
+        beats = {("r", "s"), ("s", "p"), ("p", "r")}
+        violations = transitivity_violations(
+            ["r", "p", "s"], lambda a, b: (a, b) in beats, limit=1
+        )
+        assert len(violations) == 1
+
+    def test_profile_rate_is_fraction(self):
+        row = profile_ordering("lt", [1, 2, 3], lambda a, b: a < b)
+        assert row.comparability == Fraction(1)
+        assert row.is_valid_partial_order
+
+
+class TestRelationDistribution:
+    def test_fractions_partition(self):
+        from repro.analysis.distribution import measure_distribution
+
+        row = measure_distribution(width=3, global_range=10, universe_size=20, seed=2)
+        assert row.ordered + row.concurrent + row.incomparable == 1
+        assert row.pairs == 20 * 19 // 2
+
+    def test_primitive_width_never_incomparable(self):
+        from repro.analysis.distribution import measure_distribution
+
+        row = measure_distribution(width=1, global_range=8, universe_size=30, seed=3)
+        assert row.incomparable == 0
+
+    def test_sweep_covers_grid(self):
+        from repro.analysis.distribution import sweep_distributions
+
+        rows = sweep_distributions(widths=(1, 2), global_ranges=(5, 15),
+                                   universe_size=10, seed=1)
+        assert len(rows) == 4
+        assert {(r.width, r.global_range) for r in rows} == {
+            (1, 5), (1, 15), (2, 5), (2, 15),
+        }
+
+    def test_deterministic(self):
+        from repro.analysis.distribution import measure_distribution
+
+        a = measure_distribution(2, 10, 15, seed=9)
+        b = measure_distribution(2, 10, 15, seed=9)
+        assert a == b

@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+import random
+
+import pytest
+
+from repro.cli import main, parse_stamp
+from repro.errors import ReproError
+from repro.sim.trace import save_trace, trace_from_events
+from repro.sim.workloads import paired_stream
+
+
+class TestParseStamp:
+    def test_single_triple(self):
+        stamp = parse_stamp("site1,8,81")
+        assert len(stamp) == 1
+
+    def test_multiple_triples(self):
+        stamp = parse_stamp("site1,8,81; site6,7,72")
+        assert stamp.sites() == {"site1", "site6"}
+
+    def test_whitespace_tolerated(self):
+        stamp = parse_stamp("  site1 , 8 , 81 ;  site6,7,72 ")
+        assert len(stamp) == 2
+
+    def test_bad_triple_rejected(self):
+        with pytest.raises(ReproError):
+            parse_stamp("site1,8")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            parse_stamp(" ; ")
+
+
+class TestParseCommand:
+    def test_parse_prints_ast(self, capsys):
+        assert main(["parse", "a ; (b and c)"]) == 0
+        out = capsys.readouterr().out
+        assert "Sequence" in out
+        assert "primitive types: a, b, c" in out
+
+    def test_parse_filter_expression(self, capsys):
+        assert main(["parse", "e[v > 10]"]) == 0
+        assert "Filter" in capsys.readouterr().out
+
+
+class TestRelateCommand:
+    def test_before(self, capsys):
+        code = main(["relate", "site1,8,81; site6,7,72", "site2,11,110"])
+        assert code == 0
+        assert "relation(T1, T2) = before" in capsys.readouterr().out
+
+    def test_concurrent(self, capsys):
+        main(["relate", "a,5,50", "b,6,60"])
+        assert "concurrent" in capsys.readouterr().out
+
+    def test_error_exit_code(self, capsys):
+        assert main(["relate", "garbage", "a,5,50"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestGridCommand:
+    def test_grid_renders(self, capsys):
+        code = main(
+            ["grid", "Site3,8,81; Site6,7,72", "--sites",
+             "Site1", "Site3", "Site6"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "*" in out
+        assert "legend" in out
+
+    def test_grid_default_sites(self, capsys):
+        assert main(["grid", "a,5,50"]) == 0
+        assert "other1" in capsys.readouterr().out
+
+
+class TestReplayCommand:
+    def test_replay_trace(self, capsys, tmp_path):
+        events = paired_stream(
+            random.Random(0), "client", "server", 1, pairs=3,
+            cause_type="req", effect_type="resp",
+        )
+        path = tmp_path / "t.jsonl"
+        save_trace(trace_from_events(events), path)
+        code = main(["replay", str(path), "req ; resp", "--context", "chronicle"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "detections of 'req ; resp': 3" in out
+
+    def test_replay_limit(self, capsys, tmp_path):
+        events = paired_stream(
+            random.Random(0), "c", "s", 1, pairs=8,
+            cause_type="req", effect_type="resp",
+        )
+        path = tmp_path / "t.jsonl"
+        save_trace(trace_from_events(events), path)
+        assert main(["replay", str(path), "req ; resp", "--context",
+                     "chronicle", "--limit", "2"]) == 0
+        assert "and 6 more" in capsys.readouterr().out
+
+
+class TestCheckCommand:
+    def test_check_green(self, capsys):
+        assert main(["check", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "[ok ]" in out
+        assert "FAIL" not in out
+
+
+class TestSimplifyCommand:
+    def test_simplify_shows_laws(self, capsys):
+        assert main(["simplify", "times(1, (e or e)[v > 1][v < 9])"]) == 0
+        out = capsys.readouterr().out
+        assert "simplified: e[v > 1, v < 9]" in out
+        assert "unit-times=1" in out
+
+    def test_simplify_clean_expression(self, capsys):
+        assert main(["simplify", "a ; b"]) == 0
+        out = capsys.readouterr().out
+        assert "simplified: (a ; b)" in out

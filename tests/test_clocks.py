@@ -1,0 +1,130 @@
+"""Unit tests for the clock substrate (Section 4.1)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import GranularityError, UnknownSiteError
+from repro.time.clocks import ClockEnsemble, LocalClock, ReferenceClock
+from repro.time.ticks import TimeModel
+
+
+@pytest.fixture
+def model():
+    return TimeModel.example_5_1()
+
+
+class TestReferenceClock:
+    def test_ticks_at_integer_time(self):
+        assert ReferenceClock().ticks_at(2) == 2000
+
+    def test_ticks_at_fraction(self):
+        assert ReferenceClock().ticks_at(Fraction(1, 2)) == 500
+
+    def test_custom_granularity(self):
+        clock = ReferenceClock(granularity_seconds=Fraction(1, 10))
+        assert clock.ticks_at(3) == 30
+
+    def test_invalid_granularity(self):
+        with pytest.raises(GranularityError):
+            ReferenceClock(granularity_seconds=Fraction(0))
+
+
+class TestLocalClock:
+    def test_perfect_clock_reading(self, model):
+        clock = LocalClock("a", model)
+        assert clock.reading(5) == Fraction(5)
+
+    def test_local_ticks_at_granularity(self, model):
+        clock = LocalClock("a", model)
+        assert clock.local_ticks(Fraction(3, 2)) == 150
+
+    def test_offset_shifts_reading(self, model):
+        clock = LocalClock("a", model, offset=Fraction(1, 50))
+        assert clock.reading(1) == Fraction(51, 50)
+
+    def test_drift_accumulates(self, model):
+        clock = LocalClock("a", model, drift=Fraction(1, 1000))
+        assert clock.reading(1000) == Fraction(1001)
+
+    def test_global_time_truncates(self, model):
+        clock = LocalClock("a", model)
+        # 1.57 s -> 157 local ticks -> granule 15.
+        assert clock.global_time(Fraction(157, 100)) == 15
+
+    def test_stamp_fields(self, model):
+        clock = LocalClock("siteA", model)
+        stamp = clock.stamp(Fraction(157, 100))
+        assert stamp.site == "siteA"
+        assert stamp.local == 157
+        assert stamp.global_time == 15
+
+    def test_stamp_consistent_with_ratio(self, model):
+        clock = LocalClock("a", model, offset=Fraction(3, 100))
+        stamp = clock.stamp(Fraction(9, 7))
+        assert stamp.global_time == stamp.local // model.ratio
+
+    def test_deviation_at(self, model):
+        clock = LocalClock("a", model, offset=Fraction(-1, 100))
+        assert clock.deviation_at(0) == Fraction(1, 100)
+
+
+class TestClockEnsemble:
+    def test_perfect_ensemble_has_zero_deviation(self, model):
+        ensemble = ClockEnsemble.perfect(model, ["a", "b", "c"])
+        assert ensemble.max_pairwise_deviation() == 0
+
+    def test_random_ensemble_respects_precision(self, model):
+        rng = random.Random(42)
+        ensemble = ClockEnsemble.random(model, [f"s{i}" for i in range(6)], rng)
+        assert ensemble.max_pairwise_deviation() < model.precision
+
+    def test_random_ensemble_deterministic(self, model):
+        a = ClockEnsemble.random(model, ["x", "y"], random.Random(7))
+        b = ClockEnsemble.random(model, ["x", "y"], random.Random(7))
+        assert a.clock("x").offset == b.clock("x").offset
+        assert a.clock("y").drift == b.clock("y").drift
+
+    def test_unknown_site_raises(self, model):
+        ensemble = ClockEnsemble.perfect(model, ["a"])
+        with pytest.raises(UnknownSiteError):
+            ensemble.clock("nope")
+
+    def test_stamp_uses_site_clock(self, model):
+        ensemble = ClockEnsemble.perfect(model, ["a", "b"])
+        stamp = ensemble.stamp("b", Fraction(2))
+        assert stamp.site == "b"
+        assert stamp.local == 200
+
+    def test_add_clock_validates(self, model):
+        ensemble = ClockEnsemble.perfect(model, ["a"])
+        bad = LocalClock("z", model, offset=Fraction(1, 2))  # way past Pi
+        with pytest.raises(GranularityError):
+            ensemble.add_clock(bad)
+
+    def test_add_good_clock(self, model):
+        ensemble = ClockEnsemble.perfect(model, ["a"])
+        good = LocalClock("z", model, offset=Fraction(1, 100))
+        ensemble.add_clock(good)
+        assert "z" in ensemble.sites
+
+    def test_simultaneous_events_close_globals(self, model):
+        """g_g > Pi guarantees simultaneous events land within one granule."""
+        rng = random.Random(11)
+        ensemble = ClockEnsemble.random(model, ["p", "q"], rng)
+        for k in range(50):
+            t = Fraction(k * 37, 10)
+            ga = ensemble.stamp("p", t).global_time
+            gb = ensemble.stamp("q", t).global_time
+            assert abs(ga - gb) <= 1
+
+    def test_sites_in_insertion_order(self, model):
+        ensemble = ClockEnsemble.perfect(model, ["c", "a", "b"])
+        assert ensemble.sites == ["c", "a", "b"]
+
+    def test_as_mapping_is_copy(self, model):
+        ensemble = ClockEnsemble.perfect(model, ["a"])
+        mapping = ensemble.as_mapping()
+        assert mapping["a"].site == "a"
+        assert mapping is not ensemble.clocks

@@ -1,0 +1,152 @@
+"""End-to-end tests of the simulated distributed system."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.contexts.policies import Context
+from repro.sim.cluster import DistributedSystem
+from repro.sim.network import ConstantLatency, UniformLatency
+from repro.sim.workloads import paired_stream, uniform_stream
+
+
+def two_site_system(**kwargs):
+    system = DistributedSystem(["a", "b"], seed=7, **kwargs)
+    system.set_home("cause", "a")
+    system.set_home("effect", "b")
+    return system
+
+
+class TestEndToEnd:
+    def test_sequence_detected_across_sites(self):
+        system = two_site_system()
+        system.register("cause ; effect", name="seq", context=Context.CHRONICLE)
+        system.inject(paired_stream(random.Random(0), "a", "b", 1, pairs=5))
+        system.run()
+        assert len(system.detections_of("seq")) == 5
+
+    def test_small_gap_reads_concurrent(self):
+        """A true-time gap below the 2g_g margin is not a sequence.
+
+        Within a pair the cause→effect gap is 0.05 s < 2 g_g, so those two
+        events read as concurrent and never sequence; the cross-pair
+        combinations (gap >= 1.95 s) legitimately do.
+        """
+        system = two_site_system()
+        system.register("cause ; effect", name="seq")
+        system.inject(
+            paired_stream(random.Random(0), "a", "b", Fraction(1, 20), pairs=5)
+        )
+        system.run()
+        for record in system.detections_of("seq"):
+            first, second = record.detection.occurrence.constituents
+            assert first.parameters["n"] != second.parameters["n"]
+
+    def test_latency_measured(self):
+        system = two_site_system(latency=ConstantLatency(Fraction(1, 50)))
+        system.register("cause ; effect", name="seq", context=Context.CHRONICLE)
+        system.inject(paired_stream(random.Random(0), "a", "b", 1, pairs=3))
+        system.run()
+        for record in system.detections_of("seq"):
+            assert record.latency == Fraction(1, 50)
+
+    def test_message_stats_populated(self):
+        system = two_site_system()
+        system.register("cause ; effect", name="seq")
+        system.inject(paired_stream(random.Random(0), "a", "b", 1, pairs=3))
+        system.run()
+        stats = system.message_stats()
+        assert stats["messages"] >= 3
+        assert stats["volume"] >= stats["messages"]
+
+    def test_injected_count(self):
+        system = two_site_system()
+        system.register("cause ; effect", name="seq")
+        system.inject(paired_stream(random.Random(0), "a", "b", 1, pairs=4))
+        system.run()
+        assert system.injected_count() == 8
+
+    def test_raise_event_convenience(self):
+        system = two_site_system()
+        system.register("cause ; effect", name="seq")
+        system.raise_event("a", "cause", at=1)
+        system.raise_event("b", "effect", at=2)
+        system.run()
+        assert len(system.detections_of("seq")) == 1
+
+    def test_unknown_site_rejected(self):
+        system = two_site_system()
+        with pytest.raises(Exception):
+            system.raise_event("nope", "cause", at=1)
+
+    def test_callback_plumbing(self):
+        system = two_site_system()
+        seen = []
+        system.register("cause or effect", name="any", callback=seen.append)
+        system.raise_event("a", "cause", at=1)
+        system.run()
+        assert len(seen) == 1
+
+
+class TestClockEffects:
+    def test_perfect_clocks_reproduce_true_order(self):
+        system = DistributedSystem(["a", "b"], seed=1, perfect_clocks=True)
+        system.set_home("cause", "a")
+        system.set_home("effect", "b")
+        system.register("cause ; effect", name="seq", context=Context.CHRONICLE)
+        system.inject(paired_stream(random.Random(0), "a", "b", 1, pairs=3))
+        system.run()
+        assert len(system.detections_of("seq")) == 3
+
+    def test_drifting_clocks_never_invert_wide_gaps(self):
+        """With gap >> Pi + 2 g_g the sequence is always detected."""
+        for seed in range(5):
+            system = DistributedSystem(["a", "b"], seed=seed)
+            system.set_home("cause", "a")
+            system.set_home("effect", "b")
+            system.register("cause ; effect", name="seq", context=Context.CHRONICLE)
+            system.inject(paired_stream(random.Random(seed), "a", "b", 1, pairs=3))
+            system.run()
+            assert len(system.detections_of("seq")) == 3
+
+    def test_detection_record_spans(self):
+        system = two_site_system()
+        system.register("cause and effect", name="both", context=Context.CHRONICLE)
+        system.raise_event("a", "cause", at=1)
+        system.raise_event("b", "effect", at=2)
+        system.run()
+        (record,) = system.detections_of("both")
+        assert record.injection_span == (Fraction(1), Fraction(2))
+        assert record.latency >= 0
+
+
+class TestTemporalOperators:
+    def test_plus_with_granule_pump(self):
+        system = two_site_system()
+        system.register("cause + 5", name="later")
+        system.raise_event("a", "cause", at=1)
+        system.run(until=5, pump_granules=True)
+        assert len(system.detections_of("later")) == 1
+
+    def test_pump_requires_until(self):
+        system = two_site_system()
+        with pytest.raises(Exception):
+            system.run(pump_granules=True)
+
+
+class TestThroughput:
+    def test_mixed_workload_runs_clean(self):
+        system = DistributedSystem(["s1", "s2", "s3"], seed=3,
+                                   latency=UniformLatency(rng=random.Random(9)))
+        for t, s in (("x", "s1"), ("y", "s2"), ("z", "s3")):
+            system.set_home(t, s)
+        system.register("x ; (y and z)", name="combo")
+        events = uniform_stream(random.Random(4), ["s1"], ["x"], 5, 4)
+        events += uniform_stream(random.Random(5), ["s2"], ["y"], 5, 4)
+        events += uniform_stream(random.Random(6), ["s3"], ["z"], 5, 4)
+        system.inject(events)
+        system.run()
+        # Deterministic regression value is brittle; assert sanity instead.
+        assert system.injected_count() == len(events)
+        assert system.message_stats()["messages"] > 0

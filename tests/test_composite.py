@@ -1,0 +1,276 @@
+"""Unit tests for composite timestamps, joins, and Max (Section 5)."""
+
+import pytest
+
+from repro.errors import ConcurrencyViolationError, EmptyTimestampError
+from repro.time.composite import (
+    CompositeRelation,
+    CompositeTimestamp,
+    composite_concurrent,
+    composite_dominated_by,
+    composite_happens_after,
+    composite_happens_before,
+    composite_relation,
+    composite_weak_leq,
+    join_concurrent,
+    join_incomparable,
+    max_of,
+    max_of_cases,
+    max_of_many,
+    max_set,
+    paper_relation,
+)
+from repro.time.timestamps import PrimitiveTimestamp, concurrent
+from tests.conftest import cts, ts
+
+
+class TestMaxSet:
+    def test_single_element(self):
+        assert max_set([ts("a", 5, 50)]) == {ts("a", 5, 50)}
+
+    def test_dominated_element_dropped(self):
+        result = max_set([ts("a", 8, 80), ts("b", 2, 20)])
+        assert result == {ts("a", 8, 80)}
+
+    def test_concurrent_elements_kept(self):
+        a, b = ts("a", 5, 50), ts("b", 6, 60)
+        assert max_set([a, b]) == {a, b}
+
+    def test_duplicates_collapsed(self):
+        a = ts("a", 5, 50)
+        assert max_set([a, a, a]) == {a}
+
+    def test_same_site_chain_keeps_latest(self):
+        result = max_set([ts("a", 5, 50), ts("a", 5, 51), ts("a", 5, 52)])
+        assert result == {ts("a", 5, 52)}
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyTimestampError):
+            max_set([])
+
+    def test_theorem_5_1_pairwise_concurrent(self):
+        pool = [ts("a", 3, 30), ts("b", 4, 40), ts("c", 9, 90), ts("a", 3, 35)]
+        maxima = max_set(pool)
+        for x in maxima:
+            for y in maxima:
+                assert concurrent(x, y)
+
+
+class TestCompositeTimestampConstruction:
+    def test_of_applies_max_set(self):
+        stamp = CompositeTimestamp.of(ts("a", 8, 80), ts("b", 2, 20))
+        assert len(stamp) == 1
+        assert ts("a", 8, 80) in stamp
+
+    def test_singleton(self):
+        stamp = CompositeTimestamp.singleton(ts("a", 5, 50))
+        assert stamp.sites() == {"a"}
+
+    def test_from_triples(self):
+        stamp = cts(("a", 5, 50), ("b", 6, 60))
+        assert len(stamp) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyTimestampError):
+            CompositeTimestamp([])
+
+    def test_non_concurrent_direct_construction_rejected(self):
+        with pytest.raises(ConcurrencyViolationError):
+            CompositeTimestamp([ts("a", 2, 20), ts("b", 9, 90)])
+
+    def test_global_span(self):
+        stamp = cts(("a", 5, 50), ("b", 6, 60))
+        assert stamp.global_span() == (5, 6)
+
+    def test_equality_is_set_equality(self):
+        assert cts(("a", 5, 50), ("b", 6, 60)) == cts(("b", 6, 60), ("a", 5, 50))
+
+    def test_hashable(self):
+        assert len({cts(("a", 5, 50)), cts(("a", 5, 50))}) == 1
+
+    def test_iteration_and_contains(self):
+        stamp = cts(("a", 5, 50))
+        assert list(stamp) == [ts("a", 5, 50)]
+        assert ts("a", 5, 50) in stamp
+
+
+class TestCompositeRelations:
+    def test_happens_before_forall_exists(self):
+        t1 = cts(("site1", 8, 80), ("site2", 7, 70))
+        t2 = cts(("site3", 9, 90))
+        assert composite_happens_before(t1, t2)
+
+    def test_happens_before_fails_without_witness(self):
+        t1 = cts(("site1", 8, 80))
+        t2 = cts(("site2", 9, 90), ("site3", 8, 85))
+        # (site3, 8) has no T1 element strictly before it.
+        assert not composite_happens_before(t1, t2)
+
+    def test_concurrent_all_pairs(self):
+        t1 = cts(("a", 5, 50), ("b", 6, 60))
+        t2 = cts(("c", 6, 65), ("d", 5, 55))
+        assert composite_concurrent(t1, t2)
+
+    def test_not_concurrent_with_ordered_pair(self):
+        t1 = cts(("a", 5, 50))
+        t2 = cts(("b", 9, 90))
+        assert not composite_concurrent(t1, t2)
+
+    def test_weak_leq_mixed_pairs(self):
+        t1 = cts(("s1", 5, 50))
+        t2 = cts(("s2", 7, 70), ("s3", 6, 60))
+        assert composite_weak_leq(t1, t2)
+
+    def test_relation_before(self):
+        assert (
+            composite_relation(cts(("a", 2, 20)), cts(("b", 9, 90)))
+            is CompositeRelation.BEFORE
+        )
+
+    def test_relation_after(self):
+        assert (
+            composite_relation(cts(("b", 9, 90)), cts(("a", 2, 20)))
+            is CompositeRelation.AFTER
+        )
+
+    def test_relation_concurrent(self):
+        assert (
+            composite_relation(cts(("a", 5, 50)), cts(("b", 6, 60)))
+            is CompositeRelation.CONCURRENT
+        )
+
+    def test_relation_incomparable(self):
+        # The Section 5.1 worked example: T(e1) ⊓ T(e2).
+        t1 = cts(("k", 9154827, 91548276), ("m", 9154827, 91548277))
+        t2 = cts(("l", 9154827, 91548276), ("k", 9154827, 91548277))
+        assert composite_relation(t1, t2) is CompositeRelation.INCOMPARABLE
+
+    def test_comparison_operators(self):
+        t1 = cts(("a", 2, 20))
+        t2 = cts(("b", 9, 90))
+        assert t1 < t2
+        assert t2 > t1
+        assert t1 <= t2
+        assert not t2 <= t1
+
+    def test_theorem_5_2_irreflexive(self):
+        t = cts(("a", 5, 50), ("b", 6, 60))
+        assert not composite_happens_before(t, t)
+
+    def test_theorem_5_2_transitive_instance(self):
+        t1 = cts(("a", 1, 10))
+        t2 = cts(("b", 4, 40), ("c", 3, 30))
+        t3 = cts(("d", 8, 80))
+        assert t1 < t2 and t2 < t3 and t1 < t3
+
+
+class TestDualHappensAfter:
+    def test_dual_after_not_converse(self):
+        """The paper's >_p differs from the converse of <_p."""
+        t1 = cts(("s1", 8, 80))
+        t2 = cts(("s2", 6, 60), ("s3", 7, 70))
+        # T2 <_p T1 (witness (s2,6) < (s1,8)) ...
+        assert composite_happens_before(t2, t1)
+        # ... but T1 >_p T2 fails: (s3,7) has no T1 element after it.
+        assert not composite_happens_after(t1, t2)
+
+    def test_dual_after_symmetric_case(self):
+        t1 = cts(("s1", 9, 90))
+        t2 = cts(("s2", 5, 50), ("s3", 6, 60))
+        assert composite_happens_after(t1, t2)
+
+    def test_paper_relation_asymmetry(self):
+        t1 = cts(("s1", 8, 80))
+        t2 = cts(("s2", 6, 60), ("s3", 7, 70))
+        assert composite_relation(t2, t1) is CompositeRelation.BEFORE
+        # Under the paper's dual pair the same pair reads incomparable
+        # from T1's side.
+        assert paper_relation(t1, t2) is CompositeRelation.INCOMPARABLE
+
+    def test_dominated_by_is_lt_g(self):
+        t1 = cts(("s2", 6, 60), ("s3", 7, 70))
+        t2 = cts(("s1", 9, 90))
+        assert composite_dominated_by(t1, t2)
+        assert not composite_dominated_by(t2, t1)
+
+
+class TestJoins:
+    def test_join_concurrent_is_union(self):
+        t1 = cts(("a", 5, 50))
+        t2 = cts(("b", 6, 60))
+        joined = join_concurrent(t1, t2)
+        assert joined == cts(("a", 5, 50), ("b", 6, 60))
+
+    def test_join_concurrent_dedupes(self):
+        t1 = cts(("a", 5, 50))
+        joined = join_concurrent(t1, t1)
+        assert len(joined) == 1
+
+    def test_join_incomparable_keeps_undominated(self):
+        t1 = cts(("s1", 8, 80))
+        t2 = cts(("s2", 6, 60), ("s3", 7, 70))
+        joined = join_incomparable(t1, t2)
+        assert joined == cts(("s1", 8, 80), ("s3", 7, 70))
+
+    def test_join_incomparable_symmetric(self):
+        t1 = cts(("k", 9154827, 91548276), ("m", 9154827, 91548277))
+        t2 = cts(("l", 9154827, 91548276), ("k", 9154827, 91548277))
+        assert join_incomparable(t1, t2) == join_incomparable(t2, t1)
+
+
+class TestMaxOperator:
+    def test_ordered_returns_later(self):
+        t1 = cts(("a", 2, 20))
+        t2 = cts(("b", 9, 90))
+        assert max_of(t1, t2) == t2
+        assert max_of(t2, t1) == t2
+
+    def test_concurrent_returns_union(self):
+        t1 = cts(("a", 5, 50))
+        t2 = cts(("b", 6, 60))
+        assert max_of(t1, t2) == cts(("a", 5, 50), ("b", 6, 60))
+
+    def test_theorem_5_4_equals_max_of_union(self):
+        t1 = cts(("s1", 8, 80))
+        t2 = cts(("s2", 6, 60), ("s3", 7, 70))
+        assert max_of(t1, t2) == CompositeTimestamp(max_set(t1.stamps | t2.stamps))
+
+    def test_literal_lt_p_cases_lose_information(self):
+        """Definition 5.9 with literal <_p violates Theorem 5.4."""
+        t1 = cts(("s1", 8, 80))
+        t2 = cts(("s2", 6, 60), ("s3", 7, 70))
+        literal = max_of_cases(t1, t2, composite_happens_before)
+        assert literal == t1  # (s3,7,70) dropped
+        assert literal != max_of(t1, t2)
+
+    def test_domination_cases_agree_with_union(self):
+        t1 = cts(("s1", 8, 80))
+        t2 = cts(("s2", 6, 60), ("s3", 7, 70))
+        assert max_of_cases(t1, t2, composite_dominated_by) == max_of(t1, t2)
+
+    def test_idempotent(self):
+        t = cts(("a", 5, 50), ("b", 6, 60))
+        assert max_of(t, t) == t
+
+    def test_commutative(self):
+        t1 = cts(("s1", 8, 80), ("s2", 7, 70))
+        t2 = cts(("s1", 8, 81), ("s3", 7, 75))
+        assert max_of(t1, t2) == max_of(t2, t1)
+
+    def test_associative(self):
+        t1 = cts(("a", 5, 50))
+        t2 = cts(("b", 6, 60))
+        t3 = cts(("c", 9, 90))
+        assert max_of(max_of(t1, t2), t3) == max_of(t1, max_of(t2, t3))
+
+    def test_max_of_many_order_independent(self):
+        stamps = [cts(("a", 5, 50)), cts(("b", 6, 60)), cts(("c", 9, 90))]
+        assert max_of_many(stamps) == max_of_many(reversed(stamps))
+
+    def test_max_of_many_empty_rejected(self):
+        with pytest.raises(EmptyTimestampError):
+            max_of_many([])
+
+    def test_max_of_many_single(self):
+        t = cts(("a", 5, 50))
+        assert max_of_many([t]) == t

@@ -1,0 +1,83 @@
+"""Unit tests for the parameter-context selection policies."""
+
+import pytest
+
+from repro.contexts.policies import Context, select_initiators
+from repro.events.occurrences import EventOccurrence
+from tests.conftest import ts
+
+
+def occ(site, g, local=None):
+    return EventOccurrence.primitive("e", ts(site, g, local))
+
+
+@pytest.fixture
+def initiators():
+    """Three initiators in arrival order with increasing global times."""
+    return [occ("a", 2, 20), occ("b", 5, 50), occ("c", 8, 80)]
+
+
+class TestUnrestricted:
+    def test_all_selected_individually(self, initiators):
+        selection = select_initiators(Context.UNRESTRICTED, initiators)
+        assert len(selection.groups) == 3
+        assert all(len(g) == 1 for g in selection.groups)
+
+    def test_nothing_consumed(self, initiators):
+        selection = select_initiators(Context.UNRESTRICTED, initiators)
+        assert selection.consumed == ()
+        assert selection.discarded == ()
+
+
+class TestRecent:
+    def test_most_recent_selected(self, initiators):
+        selection = select_initiators(Context.RECENT, initiators)
+        assert selection.groups == ((initiators[2],),)
+
+    def test_stale_discarded_but_recent_kept(self, initiators):
+        selection = select_initiators(Context.RECENT, initiators)
+        assert set(selection.discarded) == {initiators[0], initiators[1]}
+        assert initiators[2] not in selection.consumed
+
+    def test_recency_tie_broken_by_uid(self):
+        a, b = occ("a", 5, 50), occ("b", 5, 55)
+        selection = select_initiators(Context.RECENT, [a, b])
+        assert selection.groups == ((b,),)
+
+
+class TestChronicle:
+    def test_oldest_selected_and_consumed(self, initiators):
+        selection = select_initiators(Context.CHRONICLE, initiators)
+        assert selection.groups == ((initiators[0],),)
+        assert selection.consumed == (initiators[0],)
+
+    def test_others_untouched(self, initiators):
+        selection = select_initiators(Context.CHRONICLE, initiators)
+        assert selection.discarded == ()
+
+
+class TestContinuous:
+    def test_every_initiator_fires_and_consumed(self, initiators):
+        selection = select_initiators(Context.CONTINUOUS, initiators)
+        assert len(selection.groups) == 3
+        assert set(selection.consumed) == set(initiators)
+
+
+class TestCumulative:
+    def test_single_merged_group(self, initiators):
+        selection = select_initiators(Context.CUMULATIVE, initiators)
+        assert len(selection.groups) == 1
+        assert selection.groups[0] == tuple(initiators)
+
+    def test_all_consumed(self, initiators):
+        selection = select_initiators(Context.CUMULATIVE, initiators)
+        assert set(selection.consumed) == set(initiators)
+
+
+class TestEmptyBuffer:
+    @pytest.mark.parametrize("context", list(Context))
+    def test_empty_selection(self, context):
+        selection = select_initiators(context, [])
+        assert selection.groups == ()
+        assert selection.consumed == ()
+        assert selection.discarded == ()

@@ -1,0 +1,158 @@
+"""Integration tests for the distributed detection coordinator."""
+
+import random
+
+import pytest
+
+from repro.contexts.policies import Context
+from repro.detection.coordinator import DistributedDetector, PlacementPolicy
+from repro.errors import PlacementError, UnknownSiteError
+from repro.events.occurrences import History
+from repro.events.parser import parse_expression
+from repro.events.semantics import evaluate
+from tests.conftest import ts
+
+
+def make_detector(placement=PlacementPolicy.LEAF_MAJORITY):
+    detector = DistributedDetector(["s1", "s2", "s3"])
+    for event_type, site in (("a", "s1"), ("b", "s2"), ("c", "s3")):
+        detector.set_home(event_type, site)
+    return detector
+
+
+class TestSetup:
+    def test_needs_sites(self):
+        with pytest.raises(PlacementError):
+            DistributedDetector([])
+
+    def test_coordinator_must_be_a_site(self):
+        with pytest.raises(UnknownSiteError):
+            DistributedDetector(["a"], coordinator="z")
+
+    def test_home_site_must_exist(self):
+        detector = DistributedDetector(["s1"])
+        with pytest.raises(UnknownSiteError):
+            detector.set_home("e", "nope")
+
+    def test_register_requires_homes(self):
+        detector = DistributedDetector(["s1"])
+        with pytest.raises(PlacementError):
+            detector.register("x ; y", name="r")
+
+
+class TestPlacement:
+    def test_leaf_majority_prefers_dominant_site(self):
+        detector = make_detector()
+        root = detector.register("(a ; a) and b", name="r")
+        assert detector.placements[root] == "s1"
+
+    def test_coordinator_policy_centralizes(self):
+        detector = make_detector()
+        root = detector.register(
+            "a and b", name="r", placement=PlacementPolicy.COORDINATOR
+        )
+        assert detector.placements[root] == "s1"  # first site is coordinator
+
+    def test_primitives_placed_at_home(self):
+        detector = make_detector()
+        detector.register("a ; b", name="r")
+        leaf = detector.graph.primitive_node("b")
+        assert detector.placements[leaf] == "s2"
+
+
+class TestDetection:
+    def test_cross_site_sequence(self):
+        detector = make_detector()
+        detector.register("a ; b", name="seq")
+        detector.feed_primitive("a", ts("s1", 2, 20))
+        detector.feed_primitive("b", ts("s2", 9, 90))
+        detector.pump()
+        assert len(detector.detections_of("seq")) == 1
+
+    def test_messages_counted(self):
+        detector = make_detector()
+        detector.register("a ; b", name="seq")
+        detector.feed_primitive("a", ts("s1", 2, 20))
+        detector.feed_primitive("b", ts("s2", 9, 90))
+        detector.pump()
+        assert detector.message_count() >= 1
+        assert detector.bytes_sent() >= detector.message_count()
+
+    def test_local_delivery_sends_no_messages(self):
+        detector = DistributedDetector(["only"])
+        detector.set_home("a", "only")
+        detector.set_home("b", "only")
+        detector.register("a ; b", name="seq")
+        detector.feed_primitive("a", ts("only", 2, 20))
+        detector.feed_primitive("b", ts("only", 2, 29))
+        assert detector.message_count() == 0
+        assert len(detector.detections_of("seq")) == 1
+
+    def test_out_of_order_delivery_unrestricted(self):
+        """Delivering the terminator before the initiator still detects."""
+        detector = make_detector()
+        detector.register("a ; b", name="seq")
+        detector.feed_primitive("a", ts("s1", 2, 20))
+        detector.feed_primitive("b", ts("s2", 9, 90))
+        # Reverse the outbox before pumping: b's message arrives first.
+        messages = list(detector.outbox)
+        detector.outbox.clear()
+        for message in reversed(messages):
+            detector.deliver(message)
+        assert len(detector.detections_of("seq")) == 1
+
+    @pytest.mark.parametrize("placement", list(PlacementPolicy))
+    def test_all_placements_agree_with_oracle(self, placement):
+        rng = random.Random(37)
+        expression = parse_expression("(a ; b) and c")
+        stream = []
+        for i in range(12):
+            site = rng.choice(["s1", "s2", "s3"])
+            event_type = {"s1": "a", "s2": "b", "s3": "c"}[site]
+            g = rng.randint(0, 15)
+            stream.append((event_type, ts(site, g, g * 10 + i % 10)))
+        history = History()
+        for event_type, stamp in stream:
+            history.record(event_type, stamp)
+        oracle = evaluate(expression, history, label="r")
+
+        detector = make_detector()
+        detector.register(expression, name="r", placement=placement)
+        for event_type, stamp in stream:
+            detector.feed_primitive(event_type, stamp)
+            detector.pump()
+        mine = detector.detections_of("r")
+        assert sorted(repr(o.timestamp) for o in mine) == sorted(
+            repr(o.timestamp) for o in oracle
+        )
+
+    def test_callback_fires(self):
+        detector = make_detector()
+        seen = []
+        detector.register("a or b", name="either", callback=seen.append)
+        detector.feed_primitive("a", ts("s1", 1, 10))
+        detector.pump()
+        assert len(seen) == 1
+
+
+class TestTimersDistributed:
+    def test_plus_fires_on_site_clock(self):
+        detector = make_detector()
+        detector.register("a + 4", name="later")
+        detector.feed_primitive("a", ts("s1", 3, 30))
+        detector.pump()
+        detections = detector.advance_time(7)
+        detector.pump()
+        assert len(detections) == 1
+        tick = detections[0].occurrence.constituents[1]
+        (stamp,) = tick.timestamp.stamps
+        assert stamp.site.endswith(".timer")
+
+    def test_periodic_window_distributed(self):
+        detector = make_detector()
+        detector.register("P(a, 2, c)", name="tick")
+        detector.feed_primitive("a", ts("s1", 1, 10))
+        detector.pump()
+        fired = detector.advance_time(7)
+        detector.pump()
+        assert len(fired) == 3  # granules 3, 5, 7

@@ -1,0 +1,47 @@
+"""Run the doctests embedded in the library's docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.contexts.policies
+import repro.detection.detector  # noqa: F401 - imported for coverage parity
+import repro.events.parser
+import repro.events.semantics
+import repro.rules.language
+import repro.sim.cluster
+import repro.sim.engine
+import repro.storage.log
+import repro.time.clocks
+import repro.time.composite
+import repro.time.ticks
+import repro.time.timestamps
+
+MODULES = [
+    repro.contexts.policies,
+    repro.events.parser,
+    repro.events.semantics,
+    repro.rules.language,
+    repro.sim.cluster,
+    repro.sim.engine,
+    repro.storage.log,
+    repro.time.clocks,
+    repro.time.composite,
+    repro.time.ticks,
+    repro.time.timestamps,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, optionflags=doctest.ELLIPSIS)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+
+
+def test_doctests_actually_exist():
+    """Guard against silently losing doctest coverage."""
+    total = sum(
+        doctest.testmod(module, optionflags=doctest.ELLIPSIS).attempted
+        for module in MODULES
+    )
+    assert total >= 10

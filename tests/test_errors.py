@@ -1,0 +1,110 @@
+"""Tests for the exception hierarchy and FIFO network channels."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro import errors
+from repro.sim.engine import SimulationEngine
+from repro.sim.network import Network, UniformLatency
+
+
+class TestHierarchy:
+    ALL_ERRORS = [
+        errors.TimeError,
+        errors.GranularityError,
+        errors.TimestampError,
+        errors.EmptyTimestampError,
+        errors.ConcurrencyViolationError,
+        errors.IntervalError,
+        errors.IncomparableError,
+        errors.EventError,
+        errors.UnknownEventTypeError,
+        errors.DuplicateEventTypeError,
+        errors.SimultaneityViolationError,
+        errors.ExpressionError,
+        errors.ParseError,
+        errors.DetectionError,
+        errors.GraphConstructionError,
+        errors.PlacementError,
+        errors.RuleError,
+        errors.DuplicateRuleError,
+        errors.UnknownRuleError,
+        errors.SimulationError,
+        errors.SchedulingError,
+        errors.UnknownSiteError,
+    ]
+
+    @pytest.mark.parametrize("error_class", ALL_ERRORS,
+                             ids=lambda c: c.__name__)
+    def test_all_derive_from_repro_error(self, error_class):
+        assert issubclass(error_class, errors.ReproError)
+
+    def test_catching_the_base_catches_everything(self):
+        from repro.time.ticks import Granularity
+
+        with pytest.raises(errors.ReproError):
+            Granularity(Fraction(0))
+
+    def test_parse_error_position(self):
+        error = errors.ParseError("bad token", position=7)
+        assert error.position == 7
+        assert "position 7" in str(error)
+
+    def test_parse_error_without_position(self):
+        error = errors.ParseError("bad token")
+        assert error.position is None
+
+    def test_domain_groups(self):
+        assert issubclass(errors.SchedulingError, errors.SimulationError)
+        assert issubclass(errors.GraphConstructionError, errors.DetectionError)
+        assert issubclass(errors.ParseError, errors.EventError)
+        assert issubclass(errors.EmptyTimestampError, errors.TimeError)
+
+
+class TestFifoChannels:
+    def test_fifo_preserves_link_order(self):
+        engine = SimulationEngine()
+        network = Network(
+            engine,
+            UniformLatency(Fraction(1, 1000), Fraction(1, 2),
+                           random.Random(3)),
+            fifo=True,
+        )
+        deliveries = []
+        for n in range(30):
+            network.send("a", "b", 1, lambda n=n: deliveries.append(n))
+        engine.run()
+        assert deliveries == list(range(30))
+
+    def test_without_fifo_reordering_happens(self):
+        engine = SimulationEngine()
+        network = Network(
+            engine,
+            UniformLatency(Fraction(1, 1000), Fraction(1, 2),
+                           random.Random(3)),
+            fifo=False,
+        )
+        deliveries = []
+        for n in range(30):
+            network.send("a", "b", 1, lambda n=n: deliveries.append(n))
+        engine.run()
+        assert deliveries != list(range(30))
+
+    def test_fifo_is_per_link(self):
+        engine = SimulationEngine()
+        network = Network(
+            engine,
+            UniformLatency(Fraction(1, 1000), Fraction(1, 2),
+                           random.Random(5)),
+            fifo=True,
+        )
+        deliveries = []
+        for n in range(15):
+            network.send("a", "b", 1, lambda n=("ab", n): deliveries.append(n))
+            network.send("a", "c", 1, lambda n=("ac", n): deliveries.append(n))
+        engine.run()
+        for link in ("ab", "ac"):
+            sequence = [n for tag, n in deliveries if tag == link]
+            assert sequence == list(range(15))

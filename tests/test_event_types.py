@@ -1,0 +1,80 @@
+"""Unit tests for event types and the registry (Section 3.1)."""
+
+import pytest
+
+from repro.errors import DuplicateEventTypeError, UnknownEventTypeError
+from repro.events.types import EventClass, EventType, TypeRegistry
+
+
+class TestEventClass:
+    def test_database_excludes_simultaneity(self):
+        assert EventClass.DATABASE.excludes_simultaneity
+
+    def test_explicit_excludes_simultaneity(self):
+        assert EventClass.EXPLICIT.excludes_simultaneity
+
+    def test_temporal_allows_simultaneity(self):
+        assert not EventClass.TEMPORAL.excludes_simultaneity
+
+    def test_transaction_allows_simultaneity(self):
+        assert not EventClass.TRANSACTION.excludes_simultaneity
+
+
+class TestEventType:
+    def test_defaults(self):
+        et = EventType("deposit")
+        assert et.event_class is EventClass.EXPLICIT
+        assert et.site is None
+
+    def test_str_is_name(self):
+        assert str(EventType("deposit")) == "deposit"
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(UnknownEventTypeError):
+            EventType("")
+
+    def test_name_with_spaces_rejected(self):
+        with pytest.raises(UnknownEventTypeError):
+            EventType("two words")
+
+    def test_underscore_names_allowed(self):
+        assert EventType("a_b_c").name == "a_b_c"
+
+
+class TestTypeRegistry:
+    def test_define_and_get(self):
+        registry = TypeRegistry()
+        registry.define("deposit", EventClass.DATABASE, site="bank1")
+        assert registry["deposit"].site == "bank1"
+
+    def test_duplicate_rejected(self):
+        registry = TypeRegistry()
+        registry.define("deposit")
+        with pytest.raises(DuplicateEventTypeError):
+            registry.define("deposit")
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownEventTypeError):
+            TypeRegistry().get("nope")
+
+    def test_contains(self):
+        registry = TypeRegistry()
+        registry.define("a")
+        assert "a" in registry
+        assert "b" not in registry
+
+    def test_define_many(self):
+        registry = TypeRegistry()
+        registry.define_many(["a", "b", "c"], EventClass.TEMPORAL)
+        assert len(registry) == 3
+        assert registry["b"].event_class is EventClass.TEMPORAL
+
+    def test_iteration_in_definition_order(self):
+        registry = TypeRegistry()
+        registry.define_many(["z", "a", "m"])
+        assert [t.name for t in registry] == ["z", "a", "m"]
+
+    def test_names(self):
+        registry = TypeRegistry()
+        registry.define_many(["x", "y"])
+        assert registry.names() == ["x", "y"]

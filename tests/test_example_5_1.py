@@ -1,0 +1,72 @@
+"""The paper's Section 5.1 worked example, reproduced exactly.
+
+Clocks ``k``, ``l``, ``m`` with granularity ``g = 1/100 s``, reference
+granularity ``g_z = 1/1000 s``, precision ``Π < 1/10 s``, global
+granularity ``g_g = 1/10 s``; five composite stamps ``T(e1)..T(e5)``;
+the paper reports ``T(e1) ⊓ T(e2) ⊓ T(e3)``, ``T(e4) ~ T(e3)`` and
+``T(e3) < T(e5)``.
+"""
+
+from repro.time.composite import CompositeRelation, composite_relation
+from repro.time.ticks import TimeModel
+
+
+class TestWorkedExample:
+    def test_model_parameters(self):
+        model = TimeModel.example_5_1()
+        assert model.ratio == 10
+        assert float(model.global_.seconds) == 0.1
+        assert float(model.local.seconds) == 0.01
+
+    def test_globals_consistent_with_locals(self, paper_example_stamps):
+        """All triples except one satisfy global = TRUNC(local).
+
+        The paper's ``T(e5)`` triple ``(k, 9154829, 91548289)`` is
+        internally inconsistent with floor truncation (91548289 // 10 =
+        9154828) — a typo in the paper; the relations it is used to
+        illustrate hold regardless (they depend only on the stated
+        global values).
+        """
+        model = TimeModel.example_5_1()
+        typo = ("k", 9154829, 91548289)
+        for stamp in paper_example_stamps.values():
+            for triple in stamp:
+                if triple.as_triple() == typo:
+                    assert model.global_time(triple.local) == triple.global_time - 1
+                else:
+                    assert triple.global_time == model.global_time(triple.local)
+
+    def test_t1_incomparable_t2(self, paper_example_stamps):
+        s = paper_example_stamps
+        assert composite_relation(s["t1"], s["t2"]) is CompositeRelation.INCOMPARABLE
+
+    def test_t2_incomparable_t3(self, paper_example_stamps):
+        s = paper_example_stamps
+        assert composite_relation(s["t2"], s["t3"]) is CompositeRelation.INCOMPARABLE
+
+    def test_t1_incomparable_t3(self, paper_example_stamps):
+        s = paper_example_stamps
+        assert composite_relation(s["t1"], s["t3"]) is CompositeRelation.INCOMPARABLE
+
+    def test_t4_concurrent_t3(self, paper_example_stamps):
+        s = paper_example_stamps
+        assert composite_relation(s["t4"], s["t3"]) is CompositeRelation.CONCURRENT
+
+    def test_t3_before_t5(self, paper_example_stamps):
+        s = paper_example_stamps
+        assert composite_relation(s["t3"], s["t5"]) is CompositeRelation.BEFORE
+        assert s["t3"] < s["t5"]
+
+    def test_all_stamps_internally_concurrent(self, paper_example_stamps):
+        """Definition 5.2's invariant holds for every example stamp."""
+        from repro.time.timestamps import concurrent
+
+        for stamp in paper_example_stamps.values():
+            for a in stamp:
+                for b in stamp:
+                    assert concurrent(a, b)
+
+    def test_relations_are_symmetric_where_expected(self, paper_example_stamps):
+        s = paper_example_stamps
+        assert composite_relation(s["t3"], s["t4"]) is CompositeRelation.CONCURRENT
+        assert composite_relation(s["t5"], s["t3"]) is CompositeRelation.AFTER

@@ -1,0 +1,34 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "done" in out
+
+
+def test_examples_present():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "stock_monitor",
+        "sensor_network",
+        "debugging_trace",
+        "fraud_rules",
+    } <= names
+
+
+def test_examples_have_docstrings():
+    for script in EXAMPLES:
+        source = script.read_text(encoding="utf-8")
+        assert source.lstrip().startswith(("#!", '"""')), script.name

@@ -1,0 +1,118 @@
+"""Unit tests for the Snoop expression AST."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.events.expressions import (
+    And,
+    Aperiodic,
+    AperiodicStar,
+    Not,
+    Or,
+    Periodic,
+    PeriodicStar,
+    Plus,
+    Primitive,
+    Sequence,
+)
+
+
+class TestConstruction:
+    def test_primitive_name(self):
+        assert Primitive("e1").name == "e1"
+
+    def test_empty_primitive_rejected(self):
+        with pytest.raises(ExpressionError):
+            Primitive("")
+
+    def test_operator_overloads(self):
+        e = Primitive("a") >> Primitive("b")
+        assert isinstance(e, Sequence)
+        e = Primitive("a") & Primitive("b")
+        assert isinstance(e, And)
+        e = Primitive("a") | Primitive("b")
+        assert isinstance(e, Or)
+
+    def test_string_coercion_in_overloads(self):
+        e = Primitive("a") >> "b"
+        assert isinstance(e.second, Primitive)
+        assert e.second.name == "b"
+
+    def test_invalid_coercion_rejected(self):
+        with pytest.raises(ExpressionError):
+            Primitive("a") & 42  # type: ignore[operator]
+
+    def test_periodic_requires_positive_period(self):
+        with pytest.raises(ExpressionError):
+            Periodic(Primitive("a"), 0, Primitive("b"))
+
+    def test_periodic_star_requires_positive_period(self):
+        with pytest.raises(ExpressionError):
+            PeriodicStar(Primitive("a"), -3, Primitive("b"))
+
+    def test_plus_requires_positive_offset(self):
+        with pytest.raises(ExpressionError):
+            Plus(Primitive("a"), 0)
+
+
+class TestStructure:
+    def test_children_binary(self):
+        e = And(Primitive("a"), Primitive("b"))
+        assert len(e.children()) == 2
+
+    def test_children_not(self):
+        e = Not(Primitive("n"), Primitive("o"), Primitive("c"))
+        assert len(e.children()) == 3
+
+    def test_children_periodic_excludes_period(self):
+        e = Periodic(Primitive("a"), 5, Primitive("b"))
+        assert len(e.children()) == 2
+
+    def test_walk_preorder(self):
+        e = Sequence(Primitive("a"), And(Primitive("b"), Primitive("c")))
+        kinds = [type(n).__name__ for n in e.walk()]
+        assert kinds == ["Sequence", "Primitive", "And", "Primitive", "Primitive"]
+
+    def test_primitive_types(self):
+        e = Sequence(Primitive("a"), And(Primitive("b"), Primitive("a")))
+        assert e.primitive_types() == {"a", "b"}
+
+    def test_depth(self):
+        assert Primitive("a").depth() == 1
+        e = Sequence(Primitive("a"), And(Primitive("b"), Primitive("c")))
+        assert e.depth() == 3
+
+    def test_hashable_for_sharing(self):
+        e1 = Sequence(Primitive("a"), Primitive("b"))
+        e2 = Sequence(Primitive("a"), Primitive("b"))
+        assert e1 == e2
+        assert len({e1, e2}) == 1
+
+
+class TestStringForms:
+    def test_sequence_str(self):
+        assert str(Sequence(Primitive("a"), Primitive("b"))) == "(a ; b)"
+
+    def test_and_str(self):
+        assert str(And(Primitive("a"), Primitive("b"))) == "(a and b)"
+
+    def test_or_str(self):
+        assert str(Or(Primitive("a"), Primitive("b"))) == "(a or b)"
+
+    def test_not_str(self):
+        e = Not(Primitive("n"), Primitive("o"), Primitive("c"))
+        assert str(e) == "not(n)[o, c]"
+
+    def test_aperiodic_str(self):
+        e = Aperiodic(Primitive("o"), Primitive("b"), Primitive("c"))
+        assert str(e) == "A(o, b, c)"
+
+    def test_aperiodic_star_str(self):
+        e = AperiodicStar(Primitive("o"), Primitive("b"), Primitive("c"))
+        assert str(e) == "A*(o, b, c)"
+
+    def test_periodic_str(self):
+        assert str(Periodic(Primitive("o"), 7, Primitive("c"))) == "P(o, 7, c)"
+
+    def test_plus_str(self):
+        assert str(Plus(Primitive("a"), 3)) == "(a + 3)"

@@ -1,0 +1,142 @@
+"""Unit tests for parameter filters (event masks)."""
+
+import pytest
+
+from repro.detection.detector import Detector
+from repro.errors import ExpressionError, ParseError
+from repro.events.expressions import Comparison, Filter, Primitive
+from repro.events.occurrences import History
+from repro.events.parser import parse_expression
+from repro.events.semantics import evaluate
+from tests.conftest import ts
+
+
+class TestComparison:
+    def test_numeric_operators(self):
+        assert Comparison("v", ">", 10).matches({"v": 11})
+        assert not Comparison("v", ">", 10).matches({"v": 10})
+        assert Comparison("v", ">=", 10).matches({"v": 10})
+        assert Comparison("v", "<", 10).matches({"v": 9})
+        assert Comparison("v", "<=", 10).matches({"v": 10})
+        assert Comparison("v", "==", 10).matches({"v": 10})
+        assert Comparison("v", "!=", 10).matches({"v": 11})
+
+    def test_string_equality(self):
+        assert Comparison("sym", "==", "ACME").matches({"sym": "ACME"})
+        assert not Comparison("sym", "==", "ACME").matches({"sym": "OTHER"})
+
+    def test_missing_attribute_never_matches(self):
+        assert not Comparison("v", "==", 1).matches({})
+
+    def test_type_mismatch_never_matches(self):
+        assert not Comparison("v", ">", 10).matches({"v": "high"})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExpressionError):
+            Comparison("v", "~=", 1)
+
+    def test_empty_attribute_rejected(self):
+        with pytest.raises(ExpressionError):
+            Comparison("", "==", 1)
+
+
+class TestFilterExpression:
+    def test_all_conditions_must_match(self):
+        node = Filter(Primitive("e"), (
+            Comparison("v", ">", 1),
+            Comparison("w", "<", 5),
+        ))
+        assert node.accepts({"v": 2, "w": 4})
+        assert not node.accepts({"v": 2, "w": 9})
+
+    def test_needs_conditions(self):
+        with pytest.raises(ExpressionError):
+            Filter(Primitive("e"), ())
+
+    def test_str_round_trips(self):
+        expression = parse_expression("e[v > 100, sym == 'X']")
+        assert parse_expression(str(expression)) == expression
+
+
+class TestFilterParsing:
+    def test_numeric_filter(self):
+        expression = parse_expression("e[v > 100]")
+        assert isinstance(expression, Filter)
+        assert expression.conditions[0].value == 100
+
+    def test_string_filter_single_quotes(self):
+        expression = parse_expression("e[sym == 'ACME']")
+        assert expression.conditions[0].value == "ACME"
+
+    def test_string_filter_double_quotes(self):
+        expression = parse_expression('e[sym != "X"]')
+        assert expression.conditions[0].value == "X"
+
+    def test_identifier_value(self):
+        expression = parse_expression("e[state == open]")
+        assert expression.conditions[0].value == "open"
+
+    def test_multiple_conditions(self):
+        expression = parse_expression("e[v > 1, w <= 9]")
+        assert len(expression.conditions) == 2
+
+    def test_filter_inside_composite(self):
+        expression = parse_expression("a[v > 1] ; b[w < 2]")
+        assert str(expression) == "(a[v > 1] ; b[w < 2])"
+
+    def test_filter_on_parenthesized_expression(self):
+        expression = parse_expression("(a and b)[v > 1]")
+        assert isinstance(expression, Filter)
+
+    def test_not_brackets_still_work(self):
+        expression = parse_expression("not(n)[o, c]")
+        assert str(expression) == "not(n)[o, c]"
+
+    def test_bad_filter_contents_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("e[v]")
+
+    def test_missing_value_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("e[v >]")
+
+
+class TestFilterSemantics:
+    def test_oracle_filters_occurrences(self):
+        history = History()
+        history.record("e", ts("a", 1, 10), {"v": 5})
+        history.record("e", ts("a", 2, 20), {"v": 50})
+        results = evaluate(parse_expression("e[v > 10]"), history, label="big")
+        assert len(results) == 1
+        assert results[0].parameters["v"] == 50
+
+    def test_detector_matches_oracle(self):
+        stream = [
+            ("e", ts("a", 1, 10), {"v": 5}),
+            ("e", ts("a", 2, 20), {"v": 50}),
+            ("f", ts("b", 9, 90), {"v": 1}),
+        ]
+        history = History()
+        for event_type, stamp, params in stream:
+            history.record(event_type, stamp, params)
+        expression = parse_expression("e[v > 10] ; f")
+        oracle = evaluate(expression, history, label="r")
+
+        detector = Detector()
+        detector.register(expression, name="r")
+        for event_type, stamp, params in stream:
+            detector.feed_primitive(event_type, stamp, params)
+        assert len(detector.detections_of("r")) == len(oracle) == 1
+
+    def test_filtered_out_events_not_buffered(self):
+        detector = Detector()
+        detector.register("e[v > 10] ; f", name="r")
+        for i in range(20):
+            detector.feed_primitive("e", ts("a", i, i * 10), {"v": 1})
+        assert detector.buffered_occurrences() == 0
+
+    def test_filter_as_root(self):
+        detector = Detector()
+        detector.register("e[v == 7]", name="lucky")
+        assert detector.feed_primitive("e", ts("a", 1, 10), {"v": 7})
+        assert not detector.feed_primitive("e", ts("a", 2, 20), {"v": 8})

@@ -1,0 +1,129 @@
+"""Unit tests for open/closed intervals (Definitions 4.9-4.10, 5.5-5.6; Figure 1)."""
+
+import pytest
+
+from repro.errors import IntervalError
+from repro.time.intervals import (
+    ClosedInterval,
+    OpenInterval,
+    closed_global_span,
+    open_global_span,
+)
+from tests.conftest import cts, ts
+
+
+class TestOpenIntervalPrimitive:
+    def test_requires_ordered_endpoints(self):
+        with pytest.raises(IntervalError):
+            OpenInterval(ts("a", 5, 50), ts("b", 6, 60))  # concurrent
+
+    def test_member_strictly_inside(self):
+        interval = OpenInterval(ts("a", 2, 20), ts("b", 9, 90))
+        assert interval.contains(ts("c", 5, 50))
+
+    def test_endpoint_not_member(self):
+        lo, hi = ts("a", 2, 20), ts("b", 9, 90)
+        interval = OpenInterval(lo, hi)
+        assert not interval.contains(lo)
+        assert not interval.contains(hi)
+
+    def test_margin_excludes_near_lo(self):
+        interval = OpenInterval(ts("a", 2, 20), ts("b", 9, 90))
+        # global 3 is within one granule of lo -> concurrent with lo.
+        assert not interval.contains(ts("c", 3, 30))
+
+    def test_margin_excludes_near_hi(self):
+        interval = OpenInterval(ts("a", 2, 20), ts("b", 9, 90))
+        assert not interval.contains(ts("c", 8, 80))
+
+    def test_in_operator(self):
+        interval = OpenInterval(ts("a", 2, 20), ts("b", 9, 90))
+        assert ts("c", 5, 50) in interval
+
+    def test_same_site_interval_uses_local(self):
+        interval = OpenInterval(ts("a", 5, 50), ts("a", 5, 59))
+        assert interval.contains(ts("a", 5, 55))
+        assert not interval.contains(ts("a", 5, 50))
+
+
+class TestClosedIntervalPrimitive:
+    def test_requires_weak_leq_endpoints(self):
+        with pytest.raises(IntervalError):
+            ClosedInterval(ts("b", 9, 90), ts("a", 2, 20))
+
+    def test_concurrent_endpoints_allowed(self):
+        interval = ClosedInterval(ts("a", 5, 50), ts("b", 6, 60))
+        assert interval.contains(ts("c", 5, 55))
+
+    def test_endpoints_are_members(self):
+        lo, hi = ts("a", 2, 20), ts("b", 9, 90)
+        interval = ClosedInterval(lo, hi)
+        assert interval.contains(lo)
+        assert interval.contains(hi)
+
+    def test_reaches_one_granule_beyond(self):
+        interval = ClosedInterval(ts("a", 2, 20), ts("b", 9, 90))
+        assert interval.contains(ts("c", 1, 10))
+        assert interval.contains(ts("c", 10, 100))
+
+    def test_excludes_two_granules_beyond(self):
+        interval = ClosedInterval(ts("a", 2, 20), ts("b", 9, 90))
+        assert not interval.contains(ts("c", 0, 5))
+        assert not interval.contains(ts("c", 11, 110))
+
+
+class TestGlobalSpans:
+    def test_open_span_matches_paper_figure_1(self):
+        """Open interval occupies {lo+2, ..., hi-2} cross-site granules."""
+        span = open_global_span(ts("a", 2, 20), ts("b", 9, 90))
+        assert list(span) == [4, 5, 6, 7]
+
+    def test_open_span_empty_when_too_close(self):
+        assert list(open_global_span(ts("a", 2, 20), ts("b", 5, 50))) == []
+
+    def test_open_span_boundary_case(self):
+        # lo.global < hi.global - 3 is the minimum for non-emptiness.
+        assert list(open_global_span(ts("a", 2, 20), ts("b", 6, 60))) == [4]
+
+    def test_closed_span_matches_paper_figure_1(self):
+        """Closed interval occupies {lo-1, ..., hi+1}."""
+        span = closed_global_span(ts("a", 2, 20), ts("b", 4, 40))
+        assert list(span) == [1, 2, 3, 4, 5]
+
+    def test_closed_span_clamped_at_zero(self):
+        span = closed_global_span(ts("a", 0, 5), ts("b", 1, 10))
+        assert list(span) == [0, 1, 2]
+
+    def test_spans_consistent_with_membership(self):
+        lo, hi = ts("a", 2, 20), ts("b", 9, 90)
+        open_interval = OpenInterval(lo, hi)
+        closed_interval = ClosedInterval(lo, hi)
+        for g in range(0, 13):
+            probe = ts("c", g, g * 10 + 5)
+            assert open_interval.contains(probe) == (g in open_global_span(lo, hi))
+            assert closed_interval.contains(probe) == (
+                g in closed_global_span(lo, hi)
+            )
+
+
+class TestCompositeIntervals:
+    def test_open_interval_composite(self):
+        lo = cts(("a", 1, 10))
+        hi = cts(("b", 9, 90), ("c", 8, 85))
+        interval = OpenInterval(lo, hi)
+        assert interval.contains(cts(("d", 5, 50)))
+        assert not interval.contains(cts(("d", 8, 80)))
+
+    def test_closed_interval_composite(self):
+        lo = cts(("a", 5, 50))
+        hi = cts(("b", 6, 60))
+        interval = ClosedInterval(lo, hi)
+        assert interval.contains(cts(("c", 5, 55), ("d", 6, 65)))
+
+    def test_mixed_stamp_kinds_rejected(self):
+        with pytest.raises(IntervalError):
+            OpenInterval(ts("a", 1, 10), cts(("b", 9, 90)))
+
+    def test_composite_open_interval_requires_order(self):
+        with pytest.raises(IntervalError):
+            OpenInterval(cts(("a", 5, 50)), cts(("b", 6, 60)))

@@ -1,0 +1,119 @@
+"""Unit tests for the logical-clock ablation substrates."""
+
+import pytest
+
+from repro.errors import TimestampError
+from repro.time.logical import (
+    CausalHistorySimulator,
+    LamportClock,
+    LamportStamp,
+    VectorClock,
+    VectorStamp,
+)
+
+
+class TestLamport:
+    def test_ticks_increase(self):
+        clock = LamportClock("a")
+        first, second = clock.tick(), clock.tick()
+        assert first < second
+
+    def test_receive_jumps_past_message(self):
+        sender, receiver = LamportClock("a"), LamportClock("b")
+        sender.tick()
+        counter = sender.send()
+        stamp = receiver.receive(counter)
+        assert stamp.counter == counter + 1
+
+    def test_total_order_by_site_tiebreak(self):
+        a = LamportStamp(3, "a")
+        b = LamportStamp(3, "b")
+        assert a < b or b < a
+
+    def test_causal_chain_ordered(self):
+        simulator = CausalHistorySimulator(["a", "b"])
+        first, _ = simulator.local_event("a")
+        receive_lamport, _ = simulator.message("a", "b")
+        later, _ = simulator.local_event("b")
+        assert first < receive_lamport < later
+
+
+class TestVector:
+    def test_local_ticks_advance_own_component(self):
+        clock = VectorClock("a")
+        stamp = clock.tick()
+        assert stamp.component("a") == 1
+        assert stamp.component("b") == 0
+
+    def test_empty_site_rejected(self):
+        with pytest.raises(TimestampError):
+            VectorClock("")
+
+    def test_causal_order_through_message(self):
+        simulator = CausalHistorySimulator(["a", "b"])
+        _, before = simulator.local_event("a")
+        _, receive = simulator.message("a", "b")
+        _, after = simulator.local_event("b")
+        assert before < receive < after
+        assert before < after
+
+    def test_independent_events_concurrent(self):
+        simulator = CausalHistorySimulator(["a", "b"])
+        _, on_a = simulator.local_event("a")
+        _, on_b = simulator.local_event("b")
+        assert on_a.concurrent(on_b)
+
+    def test_concurrency_even_with_large_real_gap(self):
+        """The ablation's point: no message, no order — ever."""
+        simulator = CausalHistorySimulator(["a", "b"])
+        _, early = simulator.local_event("a")
+        for _ in range(1000):  # "hours" of activity at b
+            _, late = simulator.local_event("b")
+        assert early.concurrent(late)
+
+    def test_merge_is_componentwise_max(self):
+        x = VectorStamp({"a": 3, "b": 1}, "a")
+        y = VectorStamp({"a": 2, "b": 5, "c": 1}, "b")
+        assert x.merge(y) == {"a": 3, "b": 5, "c": 1}
+
+    def test_irreflexive(self):
+        stamp = VectorClock("a").tick()
+        assert not stamp < stamp
+
+    def test_transitive_through_chain(self):
+        simulator = CausalHistorySimulator(["a", "b", "c"])
+        _, first = simulator.local_event("a")
+        simulator.message("a", "b")
+        _, middle = simulator.local_event("b")
+        simulator.message("b", "c")
+        _, last = simulator.local_event("c")
+        assert first < middle < last
+        assert first < last
+
+    def test_vector_never_inverts_causality(self):
+        """If a message chain connects e1 to e2, e2 is never < e1."""
+        simulator = CausalHistorySimulator(["a", "b"])
+        _, first = simulator.local_event("a")
+        _, receive = simulator.message("a", "b")
+        assert not receive < first
+
+
+class TestSimulatorBookkeeping:
+    def test_clocks_created_per_site(self):
+        simulator = CausalHistorySimulator(["x", "y", "z"])
+        assert set(simulator.lamport) == {"x", "y", "z"}
+        assert set(simulator.vector) == {"x", "y", "z"}
+
+    def test_lamport_consistent_with_vector(self):
+        """Lamport order contains vector (causal) order."""
+        simulator = CausalHistorySimulator(["a", "b", "c"])
+        events = []
+        events.append(simulator.local_event("a"))
+        events.append(simulator.message("a", "b"))
+        events.append(simulator.local_event("b"))
+        events.append(simulator.message("b", "c"))
+        events.append(simulator.local_event("c"))
+        for lamport_1, vector_1 in events:
+            for lamport_2, vector_2 in events:
+                if vector_1 < vector_2:
+                    assert lamport_1 < lamport_2

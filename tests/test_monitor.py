@@ -1,0 +1,123 @@
+"""Tests for latency stats, accuracy scoring, and failure injection."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.contexts.policies import Context
+from repro.errors import SimulationError
+from repro.sim.cluster import DistributedSystem
+from repro.sim.monitor import accuracy, latency_stats
+from repro.sim.network import ConstantLatency, Network
+from repro.sim.engine import SimulationEngine
+from repro.sim.workloads import paired_stream
+
+
+def seq_system(**kwargs):
+    system = DistributedSystem(["a", "b"], seed=11, **kwargs)
+    system.set_home("cause", "a")
+    system.set_home("effect", "b")
+    return system
+
+
+class TestLatencyStats:
+    def test_empty_records(self):
+        assert latency_stats([]) is None
+
+    def test_constant_latency_percentiles(self):
+        system = seq_system(latency=ConstantLatency(Fraction(1, 50)))
+        system.register("cause ; effect", name="seq", context=Context.CHRONICLE)
+        system.inject(paired_stream(random.Random(0), "b", "a", 1, pairs=5))
+        system.inject(paired_stream(random.Random(1), "a", "b", 1, pairs=5,
+                                    cause_type="cause", effect_type="effect"))
+        system.run()
+        stats = latency_stats(system.detections_of("seq"))
+        assert stats is not None
+        assert stats.mean == Fraction(1, 50)
+        assert stats.p50 == stats.p95 == stats.maximum == Fraction(1, 50)
+
+    def test_milliseconds_rendering(self):
+        system = seq_system(latency=ConstantLatency(Fraction(1, 100)))
+        system.register("cause ; effect", name="seq", context=Context.CHRONICLE)
+        system.inject(paired_stream(random.Random(0), "a", "b", 1, pairs=3,
+                                    cause_type="cause", effect_type="effect"))
+        system.run()
+        stats = latency_stats(system.detections_of("seq"))
+        assert stats.as_milliseconds()["mean"] == pytest.approx(10.0)
+
+
+class TestAccuracy:
+    def test_lossless_run_is_exact(self):
+        system = seq_system()
+        system.register("cause ; effect", name="seq")
+        system.inject(paired_stream(random.Random(0), "a", "b", 1, pairs=5,
+                                    cause_type="cause", effect_type="effect"))
+        system.run()
+        report = accuracy(system, "cause ; effect", "seq")
+        assert report.exact
+        assert report.recall == 1
+        assert report.precision == 1
+
+    def test_message_loss_reduces_recall_only(self):
+        system = seq_system(loss_probability=0.5)
+        system.register("cause ; effect", name="seq")
+        system.inject(paired_stream(random.Random(0), "a", "b", 1, pairs=10,
+                                    cause_type="cause", effect_type="effect"))
+        system.run()
+        report = accuracy(system, "cause ; effect", "seq")
+        assert report.recall < 1
+        assert report.precision == 1
+
+    def test_retransmission_restores_recall(self):
+        system = seq_system(loss_probability=0.5, retransmit=True)
+        system.register("cause ; effect", name="seq")
+        system.inject(paired_stream(random.Random(0), "a", "b", 1, pairs=10,
+                                    cause_type="cause", effect_type="effect"))
+        system.run()
+        report = accuracy(system, "cause ; effect", "seq")
+        assert report.exact
+        assert system.retransmissions > 0
+        assert system.lost_messages == 0
+
+    def test_empty_expected_is_perfect(self):
+        system = seq_system()
+        system.register("cause ; effect", name="seq")
+        system.run()
+        report = accuracy(system, "cause ; effect", "seq")
+        assert report.exact
+
+
+class TestNetworkLoss:
+    def test_loss_rate_counted(self):
+        engine = SimulationEngine()
+        network = Network(engine, loss_probability=0.5,
+                          rng=random.Random(4))
+        delivered = 0
+        for _ in range(100):
+            if network.send("a", "b", 1, lambda: None) is not None:
+                delivered += 1
+        assert network.stats.dropped + delivered == 100
+        assert 0 < network.stats.loss_rate() < 1
+
+    def test_invalid_loss_probability(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            Network(engine, loss_probability=1.5)
+
+    def test_local_sends_never_dropped(self):
+        engine = SimulationEngine()
+        network = Network(engine, loss_probability=0.99,
+                          rng=random.Random(4))
+        for _ in range(50):
+            assert network.send("a", "a", 1, lambda: None) is not None
+        assert network.stats.dropped == 0
+
+    def test_retry_budget_exhaustion_counts_lost(self):
+        system = seq_system(loss_probability=0.95, retransmit=True,
+                            max_retries=1)
+        system.register("cause ; effect", name="seq")
+        system.inject(paired_stream(random.Random(0), "a", "b", 1, pairs=10,
+                                    cause_type="cause", effect_type="effect"))
+        system.run()
+        assert system.lost_messages > 0

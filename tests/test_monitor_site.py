@@ -1,0 +1,101 @@
+"""Tests for the stabilized central monitor."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SimulationError, UnknownSiteError
+from repro.events.parser import parse_expression
+from repro.events.semantics import evaluate
+from repro.sim.monitor_site import StabilizedMonitor
+from repro.sim.network import UniformLatency
+from repro.sim.workloads import WorkloadEvent
+
+
+def heterogeneous_latency(seed=5):
+    """Widely variable latencies: heavy cross-site reordering."""
+    return UniformLatency(Fraction(1, 100), Fraction(1, 2), random.Random(seed))
+
+
+def window_workload():
+    """An opener, bodies, a blocker, and closers across three sites."""
+    return [
+        WorkloadEvent(Fraction(1), "s1", "o", {}),
+        WorkloadEvent(Fraction(3), "s2", "b", {"k": 1}),
+        WorkloadEvent(Fraction(5), "s2", "b", {"k": 2}),
+        WorkloadEvent(Fraction(8), "s3", "c", {}),
+        WorkloadEvent(Fraction(11), "s1", "o", {}),
+        WorkloadEvent(Fraction(13), "s2", "n", {}),
+        WorkloadEvent(Fraction(16), "s3", "c", {}),
+    ]
+
+
+class TestSetup:
+    def test_heartbeat_period_validated(self):
+        with pytest.raises(SimulationError):
+            StabilizedMonitor(["s1"], heartbeat_granules=0)
+
+    def test_unknown_site_rejected(self):
+        monitor = StabilizedMonitor(["s1"], seed=1)
+        with pytest.raises(UnknownSiteError):
+            monitor.inject([WorkloadEvent(Fraction(1), "zzz", "e", {})])
+
+
+class TestOracleExactness:
+    @pytest.mark.parametrize("expression", ["A*(o, b, c)", "not(n)[o, c]",
+                                            "A(o, b, c)"])
+    def test_non_monotonic_exact_under_heavy_reordering(self, expression):
+        monitor = StabilizedMonitor(
+            ["s1", "s2", "s3"], seed=2, latency=heterogeneous_latency(),
+            heartbeat_granules=5,
+        )
+        monitor.register(expression, name="r")
+        monitor.inject(window_workload())
+        monitor.run()
+        oracle = evaluate(parse_expression(expression), monitor.history,
+                          label="r")
+        mine = [r.detection.occurrence for r in monitor.detections_of("r")]
+        assert sorted(repr(o.timestamp) for o in mine) == sorted(
+            repr(o.timestamp) for o in oracle
+        ), expression
+
+    def test_everything_eventually_released(self):
+        monitor = StabilizedMonitor(
+            ["s1", "s2", "s3"], seed=3, latency=heterogeneous_latency(7),
+        )
+        monitor.register("o ; c", name="r")
+        monitor.inject(window_workload())
+        monitor.run()
+        assert monitor.held_count() == 0
+
+
+class TestLatencyTrade:
+    def test_latency_grows_with_heartbeat_period(self):
+        def mean_latency(heartbeat_granules):
+            monitor = StabilizedMonitor(
+                ["s1", "s2", "s3"], seed=4,
+                heartbeat_granules=heartbeat_granules,
+            )
+            monitor.register("A*(o, b, c)", name="r")
+            monitor.inject(window_workload())
+            monitor.run()
+            records = monitor.detections_of("r")
+            assert records
+            return sum((r.latency for r in records), Fraction(0)) / len(records)
+
+        fast = mean_latency(3)
+        slow = mean_latency(30)
+        assert slow > fast
+
+    def test_latency_floor_is_heartbeat_plus_hop(self):
+        monitor = StabilizedMonitor(
+            ["s1", "s2", "s3"], seed=4, heartbeat_granules=5,
+        )
+        monitor.register("o ; c", name="r")
+        monitor.inject(window_workload())
+        monitor.run()
+        for record in monitor.detections_of("r"):
+            # A detection can never be signalled before the event itself
+            # crossed the network.
+            assert record.latency > 0

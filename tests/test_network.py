@@ -1,0 +1,74 @@
+"""Unit tests for latency models and the message fabric."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.network import ConstantLatency, Network, UniformLatency
+
+
+class TestLatencyModels:
+    def test_constant_latency(self):
+        model = ConstantLatency(Fraction(1, 20))
+        assert model.delay("a", "b", 10) == Fraction(1, 20)
+
+    def test_uniform_latency_in_range(self):
+        model = UniformLatency(Fraction(1, 100), Fraction(1, 10), random.Random(3))
+        for _ in range(100):
+            d = model.delay("a", "b", 1)
+            assert Fraction(1, 100) <= d <= Fraction(1, 10)
+
+    def test_uniform_latency_deterministic(self):
+        a = UniformLatency(rng=random.Random(5))
+        b = UniformLatency(rng=random.Random(5))
+        assert [a.delay("x", "y", 1) for _ in range(5)] == [
+            b.delay("x", "y", 1) for _ in range(5)
+        ]
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(SimulationError):
+            UniformLatency(Fraction(1, 10), Fraction(1, 100))
+
+
+class TestNetwork:
+    def test_delivery_after_delay(self):
+        engine = SimulationEngine()
+        network = Network(engine, ConstantLatency(Fraction(1, 10)))
+        log = []
+        network.send("a", "b", 3, lambda: log.append(engine.now))
+        engine.run()
+        assert log == [Fraction(1, 10)]
+
+    def test_stats_accumulate(self):
+        engine = SimulationEngine()
+        network = Network(engine, ConstantLatency(Fraction(1, 10)))
+        network.send("a", "b", 3, lambda: None)
+        network.send("a", "c", 5, lambda: None)
+        assert network.stats.messages == 2
+        assert network.stats.volume == 8
+        assert network.stats.mean_delay() == Fraction(1, 10)
+
+    def test_per_link_counts(self):
+        engine = SimulationEngine()
+        network = Network(engine)
+        network.send("a", "b", 1, lambda: None)
+        network.send("a", "b", 1, lambda: None)
+        network.send("b", "a", 1, lambda: None)
+        assert network.stats.per_link[("a", "b")] == 2
+        assert network.stats.per_link[("b", "a")] == 1
+
+    def test_local_send_free_and_instant(self):
+        engine = SimulationEngine()
+        network = Network(engine, ConstantLatency(Fraction(1)))
+        log = []
+        network.send("a", "a", 9, lambda: log.append(engine.now))
+        engine.run()
+        assert log == [Fraction(0)]
+        assert network.stats.messages == 0
+
+    def test_mean_delay_empty(self):
+        engine = SimulationEngine()
+        assert Network(engine).stats.mean_delay() == 0

@@ -1,0 +1,143 @@
+"""Unit tests for event occurrences and histories."""
+
+import pytest
+
+from repro.errors import SimultaneityViolationError
+from repro.events.occurrences import EventOccurrence, History
+from repro.events.types import EventClass, TypeRegistry
+from repro.time.composite import CompositeTimestamp
+from tests.conftest import ts
+
+
+class TestEventOccurrence:
+    def test_primitive_builder(self):
+        occ = EventOccurrence.primitive("e", ts("a", 5, 50), {"x": 1})
+        assert occ.event_type == "e"
+        assert occ.parameters == {"x": 1}
+        assert occ.is_primitive
+        assert occ.site() == "a"
+
+    def test_uid_unique_and_ordered(self):
+        a = EventOccurrence.primitive("e", ts("a", 5, 50))
+        b = EventOccurrence.primitive("e", ts("a", 5, 51))
+        assert a.uid < b.uid
+        assert a != b
+
+    def test_equality_is_identity_by_uid(self):
+        a = EventOccurrence.primitive("e", ts("a", 5, 50))
+        assert a == a
+        assert hash(a) == hash(a.uid)
+
+    def test_composite_has_no_site(self):
+        a = EventOccurrence.primitive("x", ts("a", 5, 50))
+        b = EventOccurrence.primitive("y", ts("b", 6, 60))
+        composite = EventOccurrence(
+            event_type="c",
+            timestamp=CompositeTimestamp(a.timestamp.stamps | b.timestamp.stamps),
+            constituents=(a, b),
+        )
+        assert composite.site() is None
+        assert not composite.is_primitive
+
+    def test_primitive_leaves_flatten_provenance(self):
+        a = EventOccurrence.primitive("x", ts("a", 5, 50))
+        b = EventOccurrence.primitive("y", ts("b", 6, 60))
+        inner = EventOccurrence(
+            event_type="i", timestamp=a.timestamp, constituents=(a,)
+        )
+        outer = EventOccurrence(
+            event_type="o", timestamp=b.timestamp, constituents=(inner, b)
+        )
+        assert outer.primitive_leaves() == (a, b)
+
+
+class TestHistory:
+    def test_record_and_len(self):
+        h = History()
+        h.record("e", ts("a", 5, 50))
+        assert len(h) == 1
+
+    def test_of_type_filters(self):
+        h = History()
+        h.record("x", ts("a", 5, 50))
+        h.record("y", ts("a", 5, 51))
+        h.record("x", ts("a", 5, 52))
+        assert len(h.of_type("x")) == 2
+
+    def test_at_site(self):
+        h = History()
+        h.record("x", ts("a", 5, 50))
+        h.record("x", ts("b", 5, 50))
+        assert len(h.at_site("a")) == 1
+
+    def test_types(self):
+        h = History()
+        h.record("x", ts("a", 5, 50))
+        h.record("y", ts("a", 5, 51))
+        assert h.types() == {"x", "y"}
+
+    def test_filtered(self):
+        h = History()
+        h.record("x", ts("a", 5, 50), {"v": 1})
+        h.record("x", ts("a", 5, 51), {"v": 9})
+        small = h.filtered(lambda o: o.parameters["v"] < 5)
+        assert len(small) == 1
+
+    def test_indexing(self):
+        h = History()
+        first = h.record("x", ts("a", 5, 50))
+        assert h[0] is first
+
+
+class TestSimultaneityValidation:
+    def make_registry(self):
+        registry = TypeRegistry()
+        registry.define("db1", EventClass.DATABASE)
+        registry.define("db2", EventClass.DATABASE)
+        registry.define("exp1", EventClass.EXPLICIT)
+        registry.define("tmp1", EventClass.TEMPORAL)
+        return registry
+
+    def test_two_database_events_same_tick_rejected(self):
+        registry = self.make_registry()
+        h = History()
+        h.record("db1", ts("a", 5, 50))
+        h.record("db2", ts("a", 5, 50))
+        with pytest.raises(SimultaneityViolationError):
+            h.validate_simultaneity(registry)
+
+    def test_database_and_explicit_same_tick_allowed(self):
+        registry = self.make_registry()
+        h = History()
+        h.record("db1", ts("a", 5, 50))
+        h.record("exp1", ts("a", 5, 50))
+        h.validate_simultaneity(registry)
+
+    def test_temporal_events_may_coincide(self):
+        registry = self.make_registry()
+        h = History()
+        h.record("tmp1", ts("a", 5, 50))
+        h.record("tmp1", ts("a", 5, 50))
+        h.validate_simultaneity(registry)
+
+    def test_different_sites_never_simultaneous(self):
+        registry = self.make_registry()
+        h = History()
+        h.record("db1", ts("a", 5, 50))
+        h.record("db2", ts("b", 5, 50))
+        h.validate_simultaneity(registry)
+
+    def test_unknown_types_tolerated(self):
+        registry = self.make_registry()
+        h = History()
+        h.record("mystery", ts("a", 5, 50))
+        h.record("mystery", ts("a", 5, 50))
+        h.validate_simultaneity(registry)
+
+    def test_same_database_type_same_tick_rejected(self):
+        registry = self.make_registry()
+        h = History()
+        h.record("db1", ts("a", 5, 50))
+        h.record("db1", ts("a", 5, 50))
+        with pytest.raises(SimultaneityViolationError):
+            h.validate_simultaneity(registry)

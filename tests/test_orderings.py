@@ -1,0 +1,159 @@
+"""Unit tests for the Section 5.1 candidate orderings."""
+
+import random
+
+import pytest
+
+from repro.analysis.metrics import (
+    comparability_rate,
+    irreflexivity_violations,
+    profile_ordering,
+    transitivity_violations,
+)
+from repro.analysis.universe import random_composite_universe
+from repro.time.orderings import (
+    ORDERINGS,
+    lt_g,
+    lt_p,
+    lt_p1,
+    lt_p2,
+    lt_p3,
+    paper_example_pairs,
+)
+from tests.conftest import cts
+
+
+class TestDefinitions:
+    def test_lt_p_on_paper_example(self):
+        t1 = cts(("site1", 8, 80), ("site2", 7, 70))
+        t2 = cts(("site3", 9, 90))
+        assert lt_p(t1, t2)
+
+    def test_lt_p2_rejects_paper_example(self):
+        """<_p2 requires every pair ordered; (site1,8) vs (site3,9) is not."""
+        t1 = cts(("site1", 8, 80), ("site2", 7, 70))
+        t2 = cts(("site3", 9, 90))
+        assert not lt_p2(t1, t2)
+
+    def test_lt_p3_rejects_second_paper_example(self):
+        t1 = cts(("site1", 8, 80), ("site2", 7, 70))
+        t2 = cts(("site1", 8, 81), ("site2", 7, 71))
+        assert lt_p(t1, t2)
+        assert not lt_p3(t1, t2)
+
+    def test_lt_p1_accepts_any_witness(self):
+        t1 = cts(("s1", 5, 50), ("s2", 6, 60))
+        t2 = cts(("s1", 5, 51), ("s3", 6, 65))
+        assert lt_p1(t1, t2)
+        assert not lt_p(t1, t2)
+
+    def test_lt_g_dual(self):
+        t1 = cts(("s2", 6, 60), ("s3", 7, 70))
+        t2 = cts(("s1", 9, 90))
+        assert lt_g(t1, t2)
+        assert lt_p(t1, t2)
+
+    def test_lt_p_and_lt_g_differ(self):
+        # T1 <_p T2 but not <_g: an extra straggler in T1 is allowed by
+        # <_p (it only quantifies over T2) but blocks <_g.
+        t1 = cts(("s1", 5, 50), ("s2", 6, 60))
+        t2 = cts(("s3", 7, 75))
+        assert lt_p(t1, t2)
+        assert not lt_g(t1, t2)
+
+    def test_lt_p2_implies_lt_p(self):
+        rng = random.Random(5)
+        universe = random_composite_universe(rng, 30)
+        for a in universe:
+            for b in universe:
+                if lt_p2(a, b):
+                    assert lt_p(a, b)
+
+    def test_lt_p3_implies_lt_p(self):
+        rng = random.Random(6)
+        universe = random_composite_universe(rng, 30)
+        for a in universe:
+            for b in universe:
+                if lt_p3(a, b):
+                    assert lt_p(a, b)
+
+    def test_lt_p_implies_lt_p1(self):
+        rng = random.Random(7)
+        universe = random_composite_universe(rng, 30)
+        for a in universe:
+            for b in universe:
+                if lt_p(a, b):
+                    assert lt_p1(a, b)
+
+
+class TestValidity:
+    @pytest.mark.parametrize("name", ["lt_p", "lt_g", "lt_p2", "lt_p3"])
+    def test_valid_orderings_are_transitive(self, name):
+        rng = random.Random(hash(name) % 2**31)
+        universe = random_composite_universe(rng, 25)
+        spec = ORDERINGS[name]
+        assert transitivity_violations(universe, spec.predicate, limit=1) == []
+
+    @pytest.mark.parametrize("name", list(ORDERINGS))
+    def test_all_orderings_irreflexive(self, name):
+        rng = random.Random(11)
+        universe = random_composite_universe(rng, 25)
+        assert irreflexivity_violations(universe, ORDERINGS[name].predicate) == []
+
+    def test_lt_p1_is_not_transitive(self):
+        """The paper's argument: ∃∃ fails transitivity.
+
+        The middle stamp's two (concurrent) elements witness in different
+        directions: ``x < y`` into ``b`` and ``y' < z`` out of ``b``, with
+        ``x ~ z``.  All three stamps are valid max-sets.
+        """
+        a = cts(("s1", 6, 65))
+        b = cts(("s2", 8, 80), ("s3", 7, 70))
+        c = cts(("s3", 7, 75))
+        assert lt_p1(a, b) and lt_p1(b, c)
+        assert not lt_p1(a, c)
+
+    def test_lt_p1_violations_found_on_random_universe(self):
+        rng = random.Random(13)
+        universe = random_composite_universe(rng, 40)
+        assert transitivity_violations(universe, lt_p1, limit=1)
+
+
+class TestRestrictiveness:
+    def test_lt_p_at_least_as_permissive_as_p2_p3(self):
+        rng = random.Random(17)
+        universe = random_composite_universe(rng, 40)
+        rate_p = comparability_rate(universe, lt_p)
+        assert rate_p >= comparability_rate(universe, lt_p2)
+        assert rate_p >= comparability_rate(universe, lt_p3)
+
+    def test_profile_ordering_row(self):
+        rng = random.Random(19)
+        universe = random_composite_universe(rng, 20)
+        row = profile_ordering("lt_p", universe, lt_p)
+        assert row.is_valid_partial_order
+        assert 0 <= row.comparability <= 1
+
+    def test_profile_flags_invalid_ordering(self):
+        rng = random.Random(23)
+        universe = random_composite_universe(rng, 40)
+        row = profile_ordering("lt_p1", universe, lt_p1)
+        assert not row.is_valid_partial_order
+
+
+class TestRegistry:
+    def test_registry_contains_all_five(self):
+        assert set(ORDERINGS) == {"lt_p", "lt_g", "lt_p1", "lt_p2", "lt_p3"}
+
+    def test_verdicts_match_paper(self):
+        assert ORDERINGS["lt_p"].is_valid_partial_order
+        assert ORDERINGS["lt_p"].is_least_restricted
+        assert ORDERINGS["lt_g"].is_least_restricted
+        assert not ORDERINGS["lt_p1"].is_valid_partial_order
+        assert not ORDERINGS["lt_p2"].is_least_restricted
+        assert not ORDERINGS["lt_p3"].is_least_restricted
+
+    def test_paper_example_pairs_separate_orderings(self):
+        for name, t1, t2 in paper_example_pairs():
+            assert lt_p(t1, t2)
+            assert not ORDERINGS[name].predicate(t1, t2)

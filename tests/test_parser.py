@@ -1,0 +1,177 @@
+"""Unit tests for the Snoop expression parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.events.expressions import (
+    And,
+    Aperiodic,
+    AperiodicStar,
+    Not,
+    Or,
+    Periodic,
+    PeriodicStar,
+    Plus,
+    Primitive,
+    Sequence,
+)
+from repro.events.parser import parse_expression, tokens_of
+
+
+class TestBasics:
+    def test_single_primitive(self):
+        assert parse_expression("e1") == Primitive("e1")
+
+    def test_sequence(self):
+        assert parse_expression("a ; b") == Sequence(Primitive("a"), Primitive("b"))
+
+    def test_and(self):
+        assert parse_expression("a and b") == And(Primitive("a"), Primitive("b"))
+
+    def test_or(self):
+        assert parse_expression("a or b") == Or(Primitive("a"), Primitive("b"))
+
+    def test_keywords_case_insensitive(self):
+        assert parse_expression("a AND b") == And(Primitive("a"), Primitive("b"))
+
+    def test_identifiers_case_sensitive(self):
+        assert parse_expression("Deposit") == Primitive("Deposit")
+
+
+class TestPrecedence:
+    def test_sequence_binds_loosest(self):
+        e = parse_expression("a ; b or c")
+        assert isinstance(e, Sequence)
+        assert isinstance(e.second, Or)
+
+    def test_and_binds_tighter_than_or(self):
+        e = parse_expression("a or b and c")
+        assert isinstance(e, Or)
+        assert isinstance(e.right, And)
+
+    def test_parentheses_override(self):
+        e = parse_expression("(a or b) and c")
+        assert isinstance(e, And)
+        assert isinstance(e.left, Or)
+
+    def test_left_associative_sequence(self):
+        e = parse_expression("a ; b ; c")
+        assert isinstance(e, Sequence)
+        assert isinstance(e.first, Sequence)
+
+    def test_left_associative_and(self):
+        e = parse_expression("a and b and c")
+        assert isinstance(e, And)
+        assert isinstance(e.left, And)
+
+
+class TestOperators:
+    def test_not(self):
+        e = parse_expression("not(n)[o, c]")
+        assert e == Not(Primitive("n"), Primitive("o"), Primitive("c"))
+
+    def test_not_with_composite_parts(self):
+        e = parse_expression("not(x and y)[a ; b, c]")
+        assert isinstance(e, Not)
+        assert isinstance(e.negated, And)
+        assert isinstance(e.opener, Sequence)
+
+    def test_aperiodic(self):
+        e = parse_expression("A(o, b, c)")
+        assert e == Aperiodic(Primitive("o"), Primitive("b"), Primitive("c"))
+
+    def test_aperiodic_lowercase(self):
+        e = parse_expression("a(o, b, c)")
+        assert isinstance(e, Aperiodic)
+
+    def test_aperiodic_star(self):
+        e = parse_expression("A*(o, b, c)")
+        assert e == AperiodicStar(Primitive("o"), Primitive("b"), Primitive("c"))
+
+    def test_periodic(self):
+        e = parse_expression("P(o, 10, c)")
+        assert e == Periodic(Primitive("o"), 10, Primitive("c"))
+
+    def test_periodic_star(self):
+        e = parse_expression("P*(o, 5, c)")
+        assert e == PeriodicStar(Primitive("o"), 5, Primitive("c"))
+
+    def test_plus(self):
+        e = parse_expression("a + 10")
+        assert e == Plus(Primitive("a"), 10)
+
+    def test_plus_chains(self):
+        e = parse_expression("a + 10 + 5")
+        assert isinstance(e, Plus)
+        assert isinstance(e.base, Plus)
+
+    def test_identifier_named_a_without_parens(self):
+        # Bare "A" not followed by '(' is an ordinary event name.
+        assert parse_expression("A ; b") == Sequence(Primitive("A"), Primitive("b"))
+
+    def test_identifier_named_p_without_parens(self):
+        assert parse_expression("P or q") == Or(Primitive("P"), Primitive("q"))
+
+    def test_nested_operators(self):
+        e = parse_expression("A*(start, tick, stop) ; alarm")
+        assert isinstance(e, Sequence)
+        assert isinstance(e.first, AperiodicStar)
+
+
+class TestErrors:
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_expression("")
+
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(ParseError):
+            parse_expression("(a ; b")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_expression("a ; b )")
+
+    def test_missing_operand(self):
+        with pytest.raises(ParseError):
+            parse_expression("a ;")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_expression("a ; %b")
+
+    def test_periodic_requires_number(self):
+        with pytest.raises(ParseError):
+            parse_expression("P(a, b, c)")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_expression("a ; %b")
+        assert info.value.position == 4
+
+    def test_not_requires_brackets(self):
+        with pytest.raises(ParseError):
+            parse_expression("not(a)")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "e1",
+            "(a ; b)",
+            "(a and (b or c))",
+            "not(n)[o, c]",
+            "A(o, b, c)",
+            "A*(o, b, c)",
+            "P(o, 10, c)",
+            "P*(o, 3, c)",
+            "(a + 10)",
+            "((a ; b) ; (c and d))",
+        ],
+    )
+    def test_str_reparses_to_same_ast(self, source):
+        ast = parse_expression(source)
+        assert parse_expression(str(ast)) == ast
+
+    def test_tokens_of(self):
+        assert list(tokens_of("a ; b")) == ["a", ";", "b"]

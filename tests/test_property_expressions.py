@@ -1,0 +1,135 @@
+"""Property-based tests over *random expressions*.
+
+hypothesis builds random Snoop ASTs and random histories, then checks
+engine-wide laws:
+
+* parser round-trip: ``parse(str(e)) == e`` for every generated AST;
+* rewriter soundness: ``simplify(e)`` denotes the same timestamp
+  multiset (the Or-idempotence law is excluded from generation since it
+  intentionally deduplicates);
+* detector ≡ oracle for every generated monotonic expression under
+  in-order feeding.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.detection.detector import Detector
+from repro.events.expressions import (
+    And,
+    Comparison,
+    Filter,
+    Or,
+    Primitive,
+    Sequence,
+    Times,
+)
+from repro.events.occurrences import History
+from repro.events.parser import parse_expression
+from repro.events.rewrite import simplify
+from repro.events.semantics import evaluate
+from repro.time.timestamps import PrimitiveTimestamp
+
+TYPES = {"a": "s1", "b": "s2", "c": "s3"}
+
+
+@st.composite
+def comparisons(draw):
+    attribute = draw(st.sampled_from(["n", "m"]))
+    op = draw(st.sampled_from([">", ">=", "<", "<=", "==", "!="]))
+    value = draw(st.integers(min_value=0, max_value=9))
+    return Comparison(attribute, op, value)
+
+
+def expressions(max_depth: int = 3):
+    primitives = st.sampled_from(list(TYPES)).map(Primitive)
+    # Times bodies are kept primitive(-filtered): batching of *composite*
+    # bodies is tie-order-dependent, so only a deterministic body order
+    # admits an arrival-order-independent denotation.
+    times_bodies = st.one_of(
+        primitives,
+        st.tuples(primitives, st.lists(comparisons(), min_size=1, max_size=2)).map(
+            lambda p: Filter(p[0], tuple(p[1]))
+        ),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda p: And(*p)),
+            st.tuples(children, children).map(lambda p: Or(*p)),
+            st.tuples(children, children).map(lambda p: Sequence(*p)),
+            st.tuples(
+                st.integers(min_value=1, max_value=3), times_bodies
+            ).map(lambda p: Times(*p)),
+            st.tuples(children, st.lists(comparisons(), min_size=1, max_size=2)).map(
+                lambda p: Filter(p[0], tuple(p[1]))
+            ),
+        )
+
+    return st.recursive(primitives, extend, max_leaves=6)
+
+
+@st.composite
+def histories(draw, max_events: int = 10):
+    history = History()
+    count = draw(st.integers(min_value=1, max_value=max_events))
+    entries = []
+    for i in range(count):
+        event_type = draw(st.sampled_from(list(TYPES)))
+        g = draw(st.integers(min_value=0, max_value=12))
+        entries.append(
+            (
+                event_type,
+                PrimitiveTimestamp(TYPES[event_type], g, g * 10 + i % 10),
+                {"n": draw(st.integers(min_value=0, max_value=9)),
+                 "m": draw(st.integers(min_value=0, max_value=9))},
+            )
+        )
+    entries.sort(key=lambda e: (e[1].global_time, e[1].local))
+    for event_type, stamp, params in entries:
+        history.record(event_type, stamp, params)
+    return history
+
+
+def multiset(expression, history):
+    return sorted(repr(o.timestamp) for o in evaluate(expression, history, label="x"))
+
+
+class TestParserRoundTrip:
+    @settings(max_examples=150)
+    @given(expressions())
+    def test_str_reparses(self, expression):
+        assert parse_expression(str(expression)) == expression
+
+
+class TestRewriterSoundness:
+    @settings(max_examples=60, deadline=None)
+    @given(expressions(), histories())
+    def test_simplify_preserves_timestamps(self, expression, history):
+        simplified = simplify(expression)
+        original = multiset(expression, history)
+        rewritten = multiset(simplified, history)
+        # Or-idempotence may only *remove duplicates*; every other law is
+        # multiset-preserving.  So the rewritten multiset is a sub-multiset
+        # of the original with the same underlying set.
+        assert set(rewritten) == set(original)
+        counts_original = {t: original.count(t) for t in set(original)}
+        counts_rewritten = {t: rewritten.count(t) for t in set(rewritten)}
+        assert all(
+            counts_rewritten[t] <= counts_original[t] for t in counts_rewritten
+        )
+
+
+class TestDetectorOracleRandomExpressions:
+    @settings(max_examples=50, deadline=None)
+    @given(expressions(), histories())
+    def test_detector_matches_oracle(self, expression, history):
+        oracle = multiset(expression, history)
+        detector = Detector()
+        detector.register(expression, name="x")
+        for occurrence in history:
+            detector.feed(occurrence)
+        mine = sorted(repr(o.timestamp) for o in detector.detections_of("x"))
+        assert mine == oracle

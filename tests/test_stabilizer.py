@@ -1,0 +1,175 @@
+"""Tests for the watermark stabilizer."""
+
+import random
+
+import pytest
+
+from repro.detection.detector import Detector
+from repro.detection.stabilizer import Stabilizer
+from repro.errors import DetectionError, UnknownSiteError
+from repro.events.occurrences import EventOccurrence, History
+from repro.events.parser import parse_expression
+from repro.events.semantics import evaluate
+from repro.time.timestamps import PrimitiveTimestamp
+from tests.conftest import ts
+
+SITES = ["s1", "s2", "s3"]
+
+
+def occ(event_type, site, g, local=None, params=None):
+    return EventOccurrence.primitive(
+        event_type, ts(site, g, local), params or {}
+    )
+
+
+def make(expression, name="r"):
+    detector = Detector()
+    detector.register(expression, name=name)
+    return detector, Stabilizer(detector, sites=SITES)
+
+
+class TestBasics:
+    def test_needs_sites(self):
+        with pytest.raises(DetectionError):
+            Stabilizer(Detector(), sites=[])
+
+    def test_unknown_site_announce(self):
+        _, stabilizer = make("a ; b")
+        with pytest.raises(UnknownSiteError):
+            stabilizer.announce("nope", 5)
+
+    def test_holds_until_watermarks_pass(self):
+        detector, stabilizer = make("a ; b")
+        stabilizer.offer(occ("a", "s1", 2))
+        stabilizer.offer(occ("b", "s2", 9))
+        assert stabilizer.held_count() == 2
+        assert detector.detections == []
+
+    def test_releases_behind_frontier(self):
+        detector, stabilizer = make("a ; b")
+        stabilizer.offer(occ("a", "s1", 2))
+        stabilizer.offer(occ("b", "s2", 9))
+        for site in SITES:
+            stabilizer.announce(site, 20)
+        assert stabilizer.held_count() == 0
+        assert len(detector.detections_of("r")) == 1
+
+    def test_frontier_is_min_watermark_minus_margin(self):
+        _, stabilizer = make("a ; b")
+        stabilizer.announce("s1", 10)
+        stabilizer.announce("s2", 30)
+        stabilizer.announce("s3", 20)
+        assert stabilizer.frontier() == 9
+
+    def test_stalled_site_blocks_release(self):
+        detector, stabilizer = make("a ; b")
+        stabilizer.offer(occ("a", "s1", 2))
+        stabilizer.offer(occ("b", "s2", 9))
+        stabilizer.announce("s1", 50)
+        stabilizer.announce("s2", 50)
+        # s3 silent: frontier stays at its initial watermark.
+        assert detector.detections == []
+        stabilizer.announce("s3", 50)
+        assert len(detector.detections_of("r")) == 1
+
+    def test_own_events_advance_watermark(self):
+        detector, stabilizer = make("a ; b")
+        stabilizer.offer(occ("a", "s1", 2))
+        stabilizer.offer(occ("b", "s2", 9))
+        # Later events on every site push the frontier past granule 9.
+        stabilizer.offer(occ("a", "s1", 30))
+        stabilizer.offer(occ("b", "s2", 30))
+        stabilizer.offer(occ("x", "s3", 30))
+        assert len(detector.detections_of("r")) == 1
+
+    def test_flush_releases_everything(self):
+        detector, stabilizer = make("a ; b")
+        stabilizer.offer(occ("b", "s2", 9))
+        stabilizer.offer(occ("a", "s1", 2))
+        detections = stabilizer.flush()
+        assert len(detections) == 1
+        assert stabilizer.held_count() == 0
+
+    def test_stats(self):
+        _, stabilizer = make("a ; b")
+        stabilizer.offer(occ("a", "s1", 2))
+        stabilizer.announce("s1", 9)
+        assert stabilizer.stats.offered == 1
+        assert stabilizer.stats.heartbeats == 1
+        assert stabilizer.stats.held == 1
+
+
+class TestNonMonotonicCorrectness:
+    def test_late_blocker_respected(self):
+        """The case raw feeding gets wrong: the blocker arrives last."""
+        stream = [
+            occ("o", "s1", 1),
+            occ("c", "s3", 9),
+            occ("n", "s2", 5),  # late-arriving blocker inside (1, 9)
+        ]
+        # Raw detector: signals before the blocker is known.
+        raw = Detector()
+        raw.register("not(n)[o, c]", name="r")
+        for occurrence in stream:
+            raw.feed(occurrence)
+        assert len(raw.detections_of("r")) == 1  # wrong (spurious)
+
+        # Stabilized detector: evaluates in order, never signals.
+        detector, stabilizer = make("not(n)[o, c]")
+        for occurrence in stream:
+            stabilizer.offer(occurrence)
+        for site in SITES:
+            stabilizer.announce(site, 50)
+        assert detector.detections_of("r") == []
+
+    @staticmethod
+    def fifo_preserving_shuffle(rng, stream):
+        """Reorder across sites arbitrarily, keeping per-site order.
+
+        This is the stabilizer's premise: FIFO channels per site, no
+        global ordering — the realistic network adversary.
+        """
+        by_site = {}
+        for occurrence in stream:
+            by_site.setdefault(occurrence.site(), []).append(occurrence)
+        for queue in by_site.values():
+            queue.sort(key=lambda o: min(t.local for t in o.timestamp))
+        merged = []
+        queues = [q for q in by_site.values() if q]
+        while queues:
+            queue = rng.choice(queues)
+            merged.append(queue.pop(0))
+            queues = [q for q in queues if q]
+        return merged
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_oracle_exact_under_adversarial_reordering(self, seed):
+        """Cross-site reordering + stabilization == oracle, for not/A/A*."""
+        rng = random.Random(seed)
+        history = History()
+        stream = []
+        for i in range(16):
+            event_type = rng.choice(["o", "n", "c"])
+            site = {"o": "s1", "n": "s2", "c": "s3"}[event_type]
+            g = rng.randint(0, 15)
+            occurrence = EventOccurrence.primitive(
+                event_type, PrimitiveTimestamp(site, g, g * 10 + i % 10)
+            )
+            stream.append(occurrence)
+            history.add(occurrence)
+        for expression in ("not(n)[o, c]", "A(o, n, c)", "A*(o, n, c)"):
+            oracle = evaluate(parse_expression(expression), history, label="r")
+            detector, stabilizer = make(expression)
+            for occurrence in self.fifo_preserving_shuffle(rng, stream):
+                stabilizer.offer(occurrence)
+            stabilizer.flush()
+            mine = detector.detections_of("r")
+            assert sorted(repr(o.timestamp) for o in mine) == sorted(
+                repr(o.timestamp) for o in oracle
+            ), expression
+
+    def test_fifo_violation_detected(self):
+        _, stabilizer = make("a ; b")
+        stabilizer.offer(occ("a", "s1", 9))
+        with pytest.raises(DetectionError):
+            stabilizer.offer(occ("a", "s1", 2))

@@ -1,0 +1,147 @@
+"""Tests for the persistent event log."""
+
+import pytest
+
+from repro.detection.detector import Detector
+from repro.errors import SimulationError
+from repro.events.occurrences import EventOccurrence
+from repro.events.parser import parse_expression
+from repro.events.semantics import evaluate
+from repro.storage.log import EventLog
+from tests.conftest import cts, ts
+
+
+@pytest.fixture
+def log(tmp_path):
+    return EventLog(tmp_path / "log", segment_size=4)
+
+
+def fill(log, count=10, site="a", event_type="e"):
+    for g in range(count):
+        log.append_primitive(event_type, ts(site, g, g * 10), {"n": g})
+
+
+class TestAppendAndScan:
+    def test_append_returns_sequence(self, log):
+        assert log.append_primitive("e", ts("a", 1, 10)) == 1
+        assert log.append_primitive("e", ts("a", 2, 20)) == 2
+
+    def test_scan_in_append_order(self, log):
+        fill(log, 6)
+        values = [o.parameters["n"] for o in log.scan()]
+        assert values == list(range(6))
+
+    def test_segments_roll_over(self, log):
+        fill(log, 10)
+        assert log.stats().segments == 3  # 4 + 4 + 2
+
+    def test_composite_occurrence_rejected(self, log):
+        composite = EventOccurrence(
+            event_type="c", timestamp=cts(("a", 1, 10), ("b", 2, 21))
+        )
+        with pytest.raises(SimulationError):
+            log.append(composite)
+
+    def test_bad_segment_size_rejected(self, tmp_path):
+        with pytest.raises(SimulationError):
+            EventLog(tmp_path, segment_size=0)
+
+    def test_stats(self, log):
+        fill(log, 5)
+        log.append_primitive("other", ts("b", 20, 200))
+        stats = log.stats()
+        assert stats.records == 6
+        assert stats.types == 2
+        assert stats.sites == 2
+        assert stats.granule_span == (0, 20)
+
+
+class TestSecondaryIndexes:
+    def test_of_type(self, log):
+        fill(log, 3, event_type="x")
+        fill(log, 2, event_type="y")
+        assert len(log.of_type("x")) == 3
+        assert len(log.of_type("y")) == 2
+        assert log.of_type("zzz") == []
+
+    def test_at_site(self, log):
+        fill(log, 3, site="a")
+        fill(log, 4, site="b")
+        assert len(log.at_site("b")) == 4
+
+
+class TestRecovery:
+    def test_reopen_rebuilds_indexes(self, tmp_path):
+        directory = tmp_path / "log"
+        first = EventLog(directory, segment_size=3)
+        for g in range(7):
+            first.append_primitive("e", ts("a", g, g * 10), {"n": g})
+
+        second = EventLog(directory, segment_size=3)
+        assert second.stats().records == 7
+        assert [o.parameters["n"] for o in second.scan()] == list(range(7))
+        # Appends continue into the partial tail segment.
+        second.append_primitive("e", ts("a", 9, 90))
+        assert second.stats().records == 8
+        assert second.stats().segments == 3
+
+
+class TestIntervalQueries:
+    def test_open_interval_membership(self, log):
+        fill(log, 15)
+        lo = cts(("q", 2, 20))
+        hi = cts(("q", 10, 100))
+        inside = log.between(lo, hi)
+        # Members are cross-site: need granule in [4, 8].
+        assert [o.parameters["n"] for o in inside] == [4, 5, 6, 7, 8]
+
+    def test_closed_interval_membership(self, log):
+        fill(log, 15)
+        lo = cts(("q", 4, 40))
+        hi = cts(("q", 6, 60))
+        inside = log.between(lo, hi, closed=True)
+        assert [o.parameters["n"] for o in inside] == [3, 4, 5, 6, 7]
+
+    def test_segment_pruning(self, log):
+        fill(log, 40)  # 10 segments of granules [0..3], [4..7], ...
+        lo = cts(("q", 10, 100))
+        hi = cts(("q", 17, 170))
+        touched = log.segments_touched_by(lo, hi)
+        assert touched <= 3
+        assert touched < log.stats().segments
+
+    def test_empty_interval(self, log):
+        fill(log, 5)
+        lo = cts(("q", 30, 300))
+        hi = cts(("q", 40, 400))
+        assert log.between(lo, hi) == []
+
+
+class TestReplay:
+    def test_history_feeds_oracle(self, log):
+        log.append_primitive("a", ts("s1", 1, 10))
+        log.append_primitive("b", ts("s2", 9, 90))
+        results = evaluate(parse_expression("a ; b"), log.history(), label="r")
+        assert len(results) == 1
+
+    def test_replay_into_detector(self, log):
+        log.append_primitive("a", ts("s1", 1, 10))
+        log.append_primitive("b", ts("s2", 9, 90))
+        detector = Detector()
+        detector.register("a ; b", name="r")
+        assert log.replay_into(detector) == 2
+        assert len(detector.detections_of("r")) == 1
+
+    def test_replay_after_recovery_matches(self, tmp_path):
+        directory = tmp_path / "log"
+        first = EventLog(directory, segment_size=2)
+        first.append_primitive("a", ts("s1", 1, 10))
+        first.append_primitive("b", ts("s2", 9, 90))
+        first.append_primitive("a", ts("s1", 11, 110))
+        first.append_primitive("b", ts("s2", 20, 200))
+
+        recovered = EventLog(directory, segment_size=2)
+        detector = Detector()
+        detector.register("a ; b", name="r")
+        recovered.replay_into(detector)
+        assert len(detector.detections_of("r")) == 3

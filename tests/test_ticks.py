@@ -1,0 +1,132 @@
+"""Unit tests for granularity arithmetic and TRUNC (Definition 4.3)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import GranularityError
+from repro.time.ticks import Granularity, TimeModel, TruncMode, truncate
+
+
+class TestTruncate:
+    def test_floor_is_integer_division(self):
+        assert truncate(91548276, 10) == 9154827
+
+    def test_floor_exact_boundary(self):
+        assert truncate(100, 10) == 10
+
+    def test_floor_zero(self):
+        assert truncate(0, 10) == 0
+
+    def test_ceil_rounds_up(self):
+        assert truncate(11, 10, TruncMode.CEIL) == 2
+
+    def test_ceil_exact_boundary(self):
+        assert truncate(20, 10, TruncMode.CEIL) == 2
+
+    def test_round_half_up(self):
+        assert truncate(15, 10, TruncMode.ROUND) == 2
+
+    def test_round_below_half(self):
+        assert truncate(14, 10, TruncMode.ROUND) == 1
+
+    def test_ratio_one_is_identity(self):
+        assert truncate(42, 1) == 42
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(GranularityError):
+            truncate(10, 0)
+
+    def test_negative_ratio_rejected(self):
+        with pytest.raises(GranularityError):
+            truncate(10, -5)
+
+    @pytest.mark.parametrize("mode", list(TruncMode))
+    def test_all_modes_agree_on_multiples(self, mode):
+        assert truncate(300, 10, mode) == 30
+
+
+class TestGranularity:
+    def test_from_string_fraction(self):
+        assert Granularity.from_string("1/100").seconds == Fraction(1, 100)
+
+    def test_from_string_decimal(self):
+        assert Granularity.from_string("0.25").seconds == Fraction(1, 4)
+
+    def test_of_seconds_int(self):
+        assert Granularity.of_seconds(2).seconds == Fraction(2)
+
+    def test_zero_rejected(self):
+        with pytest.raises(GranularityError):
+            Granularity(Fraction(0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(GranularityError):
+            Granularity(Fraction(-1, 10))
+
+    def test_ticks_in_duration(self):
+        g = Granularity.from_string("1/100")
+        assert g.ticks_in(Fraction(3, 2)) == 150
+
+    def test_ratio_to_finer(self):
+        coarse = Granularity.from_string("1/10")
+        fine = Granularity.from_string("1/100")
+        assert coarse.ratio_to(fine) == 10
+
+    def test_ratio_to_self_is_one(self):
+        g = Granularity.from_string("1/10")
+        assert g.ratio_to(g) == 1
+
+    def test_non_integer_ratio_rejected(self):
+        coarse = Granularity.from_string("1/10")
+        fine = Granularity.from_string("1/15")
+        with pytest.raises(GranularityError):
+            coarse.ratio_to(fine)
+
+    def test_inverted_ratio_rejected(self):
+        coarse = Granularity.from_string("1/10")
+        fine = Granularity.from_string("1/100")
+        with pytest.raises(GranularityError):
+            fine.ratio_to(coarse)
+
+
+class TestTimeModel:
+    def test_example_5_1_ratio(self):
+        assert TimeModel.example_5_1().ratio == 10
+
+    def test_example_5_1_global_time(self):
+        # The paper's example: local tick 91548276 at g=1/100s maps to
+        # global granule 9154827 at g_g=1/10s.
+        assert TimeModel.example_5_1().global_time(91548276) == 9154827
+
+    def test_precision_must_be_below_global(self):
+        with pytest.raises(GranularityError):
+            TimeModel.from_strings("1/100", "1/10", "1/10")
+
+    def test_precision_above_global_rejected(self):
+        with pytest.raises(GranularityError):
+            TimeModel.from_strings("1/100", "1/10", "1/5")
+
+    def test_negative_precision_rejected(self):
+        with pytest.raises(GranularityError):
+            TimeModel.from_strings("1/100", "1/10", "-1/100")
+
+    def test_global_must_be_coarser_than_local(self):
+        with pytest.raises(GranularityError):
+            TimeModel.from_strings("1/10", "1/100", "1/1000")
+
+    def test_non_divisible_granularities_rejected(self):
+        with pytest.raises(GranularityError):
+            TimeModel.from_strings("1/15", "1/10", "1/100")
+
+    def test_local_ticks_of_seconds(self):
+        model = TimeModel.example_5_1()
+        assert model.local_ticks_of_seconds(2) == 200
+
+    def test_trunc_mode_respected(self):
+        model = TimeModel.from_strings("1/100", "1/10", "1/20", TruncMode.CEIL)
+        assert model.global_time(11) == 2
+
+    def test_equal_granularities_allowed(self):
+        model = TimeModel.from_strings("1/10", "1/10", "1/20")
+        assert model.ratio == 1

@@ -1,0 +1,161 @@
+"""Boundary-condition tests for the time layer.
+
+The ``2g_g`` arithmetic is all fenceposts; these tests pin every
+boundary: exactly-one-granule gaps, exactly-two, equal globals with
+differing locals, granule zero, and very large values.
+"""
+
+import pytest
+
+from repro.errors import ConcurrencyViolationError
+from repro.time.composite import (
+    CompositeTimestamp,
+    composite_happens_before,
+    composite_relation,
+    max_of,
+    max_set,
+)
+from repro.time.intervals import ClosedInterval, OpenInterval
+from repro.time.timestamps import (
+    PrimitiveTimestamp,
+    concurrent,
+    happens_before,
+    weak_leq,
+)
+from tests.conftest import cts, ts
+
+
+class TestExactGranuleBoundaries:
+    def test_gap_of_two_is_the_threshold(self):
+        """g1 < g2 - 1: gap 2 orders, gap 1 does not."""
+        assert happens_before(ts("a", 5, 50), ts("b", 7, 70))
+        assert not happens_before(ts("a", 5, 50), ts("b", 6, 60))
+
+    def test_gap_boundary_is_strict(self):
+        # g2 - g1 == 2 exactly: 5 < 7 - 1 == 6 -> True.
+        assert happens_before(ts("a", 5, 59), ts("b", 7, 70))
+        # Locals cannot rescue a one-granule gap across sites.
+        assert not happens_before(ts("a", 5, 50), ts("b", 6, 69))
+
+    def test_same_site_single_tick(self):
+        assert happens_before(ts("a", 5, 50), ts("a", 5, 51))
+        assert not happens_before(ts("a", 5, 51), ts("a", 5, 50))
+
+    def test_same_site_cross_granule(self):
+        assert happens_before(ts("a", 5, 59), ts("a", 6, 60))
+
+    def test_granule_zero(self):
+        assert concurrent(ts("a", 0, 0), ts("b", 1, 10))
+        assert happens_before(ts("a", 0, 0), ts("b", 2, 20))
+
+    def test_huge_values(self):
+        big = 10**15
+        a = PrimitiveTimestamp("a", big, big * 10)
+        b = PrimitiveTimestamp("b", big + 2, (big + 2) * 10)
+        assert happens_before(a, b)
+        assert weak_leq(a, b)
+
+    def test_weak_leq_at_exact_boundary(self):
+        # One-granule gap: concurrent, so ⪯ holds both ways.
+        a, b = ts("a", 5, 50), ts("b", 6, 60)
+        assert weak_leq(a, b) and weak_leq(b, a)
+        # Two-granule gap: strict, so ⪯ holds one way only.
+        c = ts("c", 7, 70)
+        assert weak_leq(a, c) and not weak_leq(c, a)
+
+
+class TestCompositeBoundaries:
+    def test_singleton_vs_singleton_mirrors_primitive(self):
+        for ga, gb in ((5, 6), (5, 7), (5, 5)):
+            a, b = cts(("a", ga, ga * 10)), cts(("b", gb, gb * 10))
+            assert composite_happens_before(a, b) == happens_before(
+                ts("a", ga, ga * 10), ts("b", gb, gb * 10)
+            )
+
+    def test_two_element_stamp_at_width_limit(self):
+        """Elements exactly one granule apart are concurrent — valid."""
+        stamp = cts(("a", 5, 50), ("b", 6, 60))
+        assert len(stamp) == 2
+
+    def test_two_granule_spread_rejected(self):
+        with pytest.raises(ConcurrencyViolationError):
+            CompositeTimestamp(
+                [ts("a", 5, 50), ts("b", 7, 70)]
+            )
+
+    def test_max_set_with_exact_tie(self):
+        a, b = ts("a", 5, 50), ts("b", 5, 50)
+        assert max_set([a, b]) == {a, b}
+
+    def test_max_of_stamps_one_granule_apart(self):
+        a, b = cts(("a", 5, 50)), cts(("b", 6, 60))
+        assert max_of(a, b) == cts(("a", 5, 50), ("b", 6, 60))
+
+    def test_relation_of_adjacent_composites(self):
+        a = cts(("a", 5, 50), ("b", 6, 60))
+        b = cts(("c", 6, 65), ("d", 6, 66))
+        # Every cross pair within one granule: concurrent.
+        assert a.concurrent(b)
+
+    def test_relation_at_exact_ordering_edge(self):
+        a = cts(("a", 5, 50), ("b", 6, 60))
+        b = cts(("c", 8, 80))
+        # The single element of b has the witness (b,6) < (c,8): BEFORE.
+        assert composite_happens_before(a, b)
+        c = cts(("c", 7, 70))
+        # A witness still exists — (a,5) < (c,7) — so lt_p holds; only
+        # pushing the probe within one granule of *both* elements of a
+        # removes every witness.
+        assert composite_happens_before(a, c)
+        d = cts(("c", 6, 67))
+        assert not composite_happens_before(a, d)
+
+
+class TestIntervalBoundaries:
+    def test_open_interval_minimum_width(self):
+        lo, hi = ts("a", 5, 50), ts("b", 9, 90)
+        interval = OpenInterval(lo, hi)
+        assert interval.contains(ts("c", 7, 70))
+        assert not interval.contains(ts("c", 6, 60))
+        assert not interval.contains(ts("c", 8, 80))
+
+    def test_open_interval_width_three_is_empty_cross_site(self):
+        lo, hi = ts("a", 5, 50), ts("b", 8, 80)
+        interval = OpenInterval(lo, hi)
+        for g in range(0, 12):
+            assert not interval.contains(ts("c", g, g * 10))
+
+    def test_open_interval_same_site_member(self):
+        """A same-site member dodges the cross-site margins."""
+        lo, hi = ts("a", 5, 50), ts("b", 8, 80)
+        assert OpenInterval(lo, hi).contains(ts("a", 6, 60))
+
+    def test_closed_interval_exact_reach(self):
+        lo, hi = ts("a", 5, 50), ts("b", 7, 70)
+        interval = ClosedInterval(lo, hi)
+        assert interval.contains(ts("c", 4, 40))
+        assert interval.contains(ts("c", 8, 80))
+        assert not interval.contains(ts("c", 3, 39))
+        assert not interval.contains(ts("c", 9, 90))
+
+    def test_degenerate_closed_interval(self):
+        point = ts("a", 5, 50)
+        interval = ClosedInterval(point, point)
+        assert interval.contains(point)
+        assert interval.contains(ts("b", 6, 60))
+        assert not interval.contains(ts("b", 7, 70))
+
+
+class TestRelationTotality:
+    def test_every_pair_classified_exactly_once(self):
+        """Exhaustive over a dense grid of stamps near the boundaries."""
+        stamps = [
+            cts((site, g, g * 10 + d))
+            for site in ("a", "b")
+            for g in (4, 5, 6, 7)
+            for d in (0, 9)
+        ]
+        for x in stamps:
+            for y in stamps:
+                relation = composite_relation(x, y)
+                assert relation is not None

@@ -1,0 +1,119 @@
+"""Tests for the frequency operator ``times(n, E)``."""
+
+import pytest
+
+from repro.detection.checkpoint import restore, snapshot
+from repro.detection.detector import Detector
+from repro.errors import ExpressionError, ParseError
+from repro.events.expressions import Primitive, Times
+from repro.events.occurrences import History
+from repro.events.parser import parse_expression
+from repro.events.semantics import evaluate
+from tests.conftest import ts
+
+
+class TestExpression:
+    def test_parse(self):
+        expression = parse_expression("times(3, tick)")
+        assert expression == Times(3, Primitive("tick"))
+
+    def test_parse_composite_body(self):
+        expression = parse_expression("times(2, a ; b)")
+        assert isinstance(expression, Times)
+        assert expression.count == 2
+
+    def test_str_round_trip(self):
+        expression = parse_expression("times(4, e)")
+        assert parse_expression(str(expression)) == expression
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ExpressionError):
+            Times(0, Primitive("e"))
+
+    def test_parse_requires_number(self):
+        with pytest.raises(ParseError):
+            parse_expression("times(x, e)")
+
+
+class TestOracle:
+    def test_batches_of_n(self):
+        history = History()
+        for g in range(7):
+            history.record("tick", ts("a", g, g * 10))
+        results = evaluate(parse_expression("times(3, tick)"), history, label="t")
+        assert len(results) == 2
+        assert all(len(o.constituents) == 3 for o in results)
+
+    def test_timestamp_is_max_of_batch(self):
+        history = History()
+        for g in range(3):
+            history.record("tick", ts("a", g, g * 10))
+        (occurrence,) = evaluate(
+            parse_expression("times(3, tick)"), history, label="t"
+        )
+        assert occurrence.timestamp.global_span() == (2, 2)
+
+    def test_insufficient_occurrences(self):
+        history = History()
+        history.record("tick", ts("a", 1, 10))
+        assert evaluate(parse_expression("times(2, tick)"), history) == []
+
+
+class TestDetector:
+    def test_fires_every_nth(self):
+        detector = Detector()
+        detector.register("times(3, tick)", name="t3")
+        fired = []
+        for g in range(9):
+            fired.extend(detector.feed_primitive("tick", ts("a", g, g * 10)))
+        assert len(fired) == 3
+
+    def test_matches_oracle_on_sorted_stream(self):
+        history = History()
+        detector = Detector()
+        detector.register("times(2, e)", name="t2")
+        for g in range(6):
+            stamp = ts("a", g, g * 10)
+            history.record("e", stamp)
+            detector.feed_primitive("e", stamp)
+        oracle = evaluate(parse_expression("times(2, e)"), history, label="t2")
+        assert len(detector.detections_of("t2")) == len(oracle) == 3
+
+    def test_count_parameter_attached(self):
+        detector = Detector()
+        detector.register("times(2, e)", name="t2")
+        detector.feed_primitive("e", ts("a", 1, 10))
+        (detection,) = detector.feed_primitive("e", ts("a", 2, 20))
+        assert detection.occurrence.parameters["count"] == 2
+
+    def test_pending_state_survives_checkpoint(self):
+        first = Detector()
+        first.register("times(3, e)", name="t3")
+        first.feed_primitive("e", ts("a", 1, 10))
+        first.feed_primitive("e", ts("a", 2, 20))
+
+        second = Detector()
+        second.register("times(3, e)", name="t3")
+        restore(second, snapshot(first))
+        (detection,) = second.feed_primitive("e", ts("a", 3, 30))
+        assert len(detection.occurrence.constituents) == 3
+
+    def test_pending_prunable(self):
+        detector = Detector()
+        detector.register("times(5, e)", name="t5")
+        detector.feed_primitive("e", ts("a", 1, 10))
+        detector.feed_primitive("e", ts("a", 9, 90))
+        assert detector.prune_before(5) == 1
+
+    def test_composite_body(self):
+        detector = Detector()
+        detector.register("times(2, a ; b)", name="pairs")
+        detector.feed_primitive("a", ts("s1", 1, 10))
+        detector.feed_primitive("b", ts("s2", 5, 50))
+        assert detector.detections_of("pairs") == []
+        detector.feed_primitive("a", ts("s1", 8, 80))
+        detector.feed_primitive("b", ts("s2", 12, 120))
+        # Two (a;b) pairs total... the second b pairs with both earlier a's
+        # in unrestricted context, so the Times node sees 3 bodies -> one
+        # batch of 2 fired, one pending.
+        assert len(detector.detections_of("pairs")) == 1

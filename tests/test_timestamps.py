@@ -1,0 +1,227 @@
+"""Unit tests for primitive timestamps and relations (Definitions 4.6-4.8)."""
+
+import pytest
+
+from repro.errors import TimestampError
+from repro.time.timestamps import (
+    PrimitiveTimestamp,
+    Relation,
+    concurrent,
+    happens_before,
+    relation,
+    simultaneous,
+    weak_leq,
+)
+from tests.conftest import ts
+
+
+class TestConstruction:
+    def test_fields(self):
+        stamp = PrimitiveTimestamp("k", 9154827, 91548276)
+        assert stamp.site == "k"
+        assert stamp.global_time == 9154827
+        assert stamp.local == 91548276
+
+    def test_as_triple(self):
+        assert ts("a", 5, 50).as_triple() == ("a", 5, 50)
+
+    def test_negative_local_rejected(self):
+        with pytest.raises(TimestampError):
+            PrimitiveTimestamp("a", 1, -1)
+
+    def test_negative_global_rejected(self):
+        with pytest.raises(TimestampError):
+            PrimitiveTimestamp("a", -1, 10)
+
+    def test_hashable_and_equal(self):
+        assert ts("a", 5, 50) == ts("a", 5, 50)
+        assert hash(ts("a", 5, 50)) == hash(ts("a", 5, 50))
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ts("a", 5, 50).local = 99
+
+
+class TestHappensBefore:
+    def test_same_site_by_local(self):
+        assert happens_before(ts("a", 5, 50), ts("a", 5, 51))
+
+    def test_same_site_equal_local_not_before(self):
+        assert not happens_before(ts("a", 5, 50), ts("a", 5, 50))
+
+    def test_same_site_ignores_global(self):
+        # Same-site ordering is by local ticks even if globals equal.
+        assert happens_before(ts("a", 5, 50), ts("a", 5, 59))
+
+    def test_cross_site_needs_two_granule_gap(self):
+        assert happens_before(ts("a", 5, 50), ts("b", 7, 70))
+
+    def test_cross_site_one_granule_gap_insufficient(self):
+        assert not happens_before(ts("a", 5, 50), ts("b", 6, 60))
+
+    def test_cross_site_equal_globals_unordered(self):
+        assert not happens_before(ts("a", 5, 50), ts("b", 5, 55))
+        assert not happens_before(ts("b", 5, 55), ts("a", 5, 50))
+
+    def test_cross_site_local_irrelevant(self):
+        # Across sites only globals matter; wildly different locals don't.
+        assert not happens_before(ts("a", 5, 1), ts("b", 6, 10_000))
+
+    def test_operator_overloads(self):
+        assert ts("a", 2, 20) < ts("a", 2, 21)
+        assert ts("a", 2, 21) > ts("a", 2, 20)
+
+
+class TestSimultaneous:
+    def test_same_site_same_local(self):
+        assert simultaneous(ts("a", 5, 50), ts("a", 5, 50))
+
+    def test_same_site_different_local(self):
+        assert not simultaneous(ts("a", 5, 50), ts("a", 5, 51))
+
+    def test_cross_site_never_simultaneous(self):
+        assert not simultaneous(ts("a", 5, 50), ts("b", 5, 50))
+
+
+class TestConcurrent:
+    def test_cross_site_within_margin(self):
+        assert concurrent(ts("a", 5, 50), ts("b", 6, 60))
+
+    def test_cross_site_equal_global(self):
+        assert concurrent(ts("a", 5, 50), ts("b", 5, 59))
+
+    def test_simultaneous_is_concurrent(self):
+        assert concurrent(ts("a", 5, 50), ts("a", 5, 50))
+
+    def test_ordered_pair_not_concurrent(self):
+        assert not concurrent(ts("a", 5, 50), ts("a", 5, 51))
+
+    def test_symmetric(self):
+        a, b = ts("a", 5, 50), ts("b", 6, 60)
+        assert concurrent(a, b) == concurrent(b, a)
+
+    def test_not_transitive_counterexample(self):
+        """Proposition 4.2.6's counterexample: globals 1 ~ 2 ~ 3 but 1 < 3."""
+        t1, t2, t3 = ts("a", 1, 10), ts("b", 2, 20), ts("c", 3, 30)
+        assert concurrent(t1, t2) and concurrent(t2, t3)
+        assert not concurrent(t1, t3)
+
+
+class TestWeakLeq:
+    def test_before_implies_weak_leq(self):
+        assert weak_leq(ts("a", 2, 20), ts("b", 9, 90))
+
+    def test_concurrent_implies_weak_leq_both_ways(self):
+        a, b = ts("a", 5, 50), ts("b", 6, 60)
+        assert weak_leq(a, b) and weak_leq(b, a)
+
+    def test_after_not_weak_leq(self):
+        assert not weak_leq(ts("b", 9, 90), ts("a", 2, 20))
+
+    def test_reflexive(self):
+        a = ts("a", 5, 50)
+        assert weak_leq(a, a)
+
+    def test_total(self):
+        """Proposition 4.2.4: any pair is ⪯-comparable one way or both."""
+        stamps = [ts("a", 3, 30), ts("b", 3, 35), ts("c", 9, 90), ts("a", 3, 31)]
+        for x in stamps:
+            for y in stamps:
+                assert weak_leq(x, y) or weak_leq(y, x)
+
+    def test_operator_overload(self):
+        assert ts("a", 5, 50) <= ts("b", 6, 60)
+        assert ts("b", 6, 60) >= ts("a", 5, 50)
+
+    def test_not_transitive(self):
+        """⪯ inherits ~'s intransitivity (paper's remark after Def 4.8)."""
+        t1, t3 = ts("a", 1, 10), ts("c", 3, 30)
+        t2 = ts("b", 2, 20)
+        assert weak_leq(t3, t2) and weak_leq(t2, t1)
+        assert not weak_leq(t3, t1)
+
+
+class TestRelationClassifier:
+    def test_before(self):
+        assert relation(ts("a", 2, 20), ts("b", 9, 90)) is Relation.BEFORE
+
+    def test_after(self):
+        assert relation(ts("b", 9, 90), ts("a", 2, 20)) is Relation.AFTER
+
+    def test_simultaneous(self):
+        assert relation(ts("a", 5, 50), ts("a", 5, 50)) is Relation.SIMULTANEOUS
+
+    def test_concurrent(self):
+        assert relation(ts("a", 5, 50), ts("b", 6, 60)) is Relation.CONCURRENT
+
+    def test_simultaneous_counts_as_concurrent(self):
+        assert Relation.SIMULTANEOUS.is_concurrent
+        assert Relation.CONCURRENT.is_concurrent
+        assert not Relation.BEFORE.is_concurrent
+
+    def test_exactly_one_of_three(self):
+        """Proposition 4.2.3 on a systematic sample."""
+        stamps = [
+            ts(site, g, g * 10 + d)
+            for site in ("a", "b")
+            for g in (3, 4, 6)
+            for d in (0, 5)
+        ]
+        for x in stamps:
+            for y in stamps:
+                flags = [
+                    happens_before(x, y),
+                    happens_before(y, x),
+                    concurrent(x, y),
+                ]
+                assert sum(flags) == 1
+
+
+class TestPaperProposition42:
+    """Spot checks of Proposition 4.2 items on crafted instances."""
+
+    def test_item_1_asymmetry(self):
+        a, b = ts("a", 2, 20), ts("b", 9, 90)
+        assert happens_before(a, b) and not happens_before(b, a)
+
+    def test_item_2_antisymmetry_up_to_concurrency(self):
+        a, b = ts("a", 5, 50), ts("b", 6, 60)
+        assert weak_leq(a, b) and weak_leq(b, a)
+        assert concurrent(a, b)
+
+    def test_item_5_same_site_concurrency_is_simultaneity(self):
+        a, b = ts("a", 5, 50), ts("a", 5, 50)
+        assert concurrent(a, b) and simultaneous(a, b)
+
+    def test_item_6_simultaneity_is_congruence(self):
+        a, b = ts("a", 5, 50), ts("a", 5, 50)
+        c = ts("b", 9, 90)
+        assert simultaneous(a, b)
+        assert happens_before(a, c) and happens_before(b, c)
+
+    def test_item_6_concurrency_is_not_congruence(self):
+        a, b = ts("a", 1, 10), ts("b", 2, 20)
+        c = ts("c", 3, 30)
+        assert concurrent(a, b)
+        assert happens_before(a, c)
+        assert not happens_before(b, c)
+
+    def test_item_7(self):
+        a, b, c = ts("a", 2, 20), ts("b", 9, 90), ts("c", 8, 80)
+        assert happens_before(a, b) and concurrent(b, c)
+        assert weak_leq(a, c)
+
+    def test_item_8(self):
+        a, b, c = ts("a", 8, 80), ts("b", 9, 90), ts("c", 15, 150)
+        assert concurrent(a, b) and happens_before(b, c)
+        assert weak_leq(a, c)
+
+    def test_item_9(self):
+        a, b = ts("b", 6, 60), ts("a", 5, 50)
+        assert not happens_before(a, b)
+        assert weak_leq(b, a)
+
+    def test_item_10(self):
+        a, b = ts("a", 5, 50), ts("b", 6, 60)
+        assert not happens_before(a, b) and not happens_before(b, a)
+        assert concurrent(a, b)

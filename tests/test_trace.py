@@ -1,0 +1,79 @@
+"""Unit tests for trace recording and replay."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.trace import Trace, load_trace, save_trace, trace_from_events
+from repro.sim.workloads import WorkloadEvent, uniform_stream
+
+
+def sample_trace():
+    return trace_from_events(
+        [
+            WorkloadEvent(Fraction(1, 3), "a", "x", {"v": 1}),
+            WorkloadEvent(Fraction(2), "b", "y", {}),
+        ],
+        experiment="unit-test",
+    )
+
+
+class TestTrace:
+    def test_len_and_iteration(self):
+        trace = sample_trace()
+        assert len(trace) == 2
+        assert [e.event_type for e in trace] == ["x", "y"]
+
+    def test_sorted_events(self):
+        trace = Trace()
+        trace.append(WorkloadEvent(Fraction(5), "a", "x"))
+        trace.append(WorkloadEvent(Fraction(1), "a", "y"))
+        assert [e.event_type for e in trace.sorted_events()] == ["y", "x"]
+
+    def test_sites_and_types(self):
+        trace = sample_trace()
+        assert trace.sites() == {"a", "b"}
+        assert trace.types() == {"x", "y"}
+
+    def test_duration(self):
+        assert sample_trace().duration() == Fraction(2)
+        assert Trace().duration() == 0
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        original = sample_trace()
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert len(loaded) == 2
+        assert loaded.metadata == {"experiment": "unit-test"}
+        assert loaded.sorted_events()[0].time == Fraction(1, 3)
+        assert loaded.sorted_events()[0].parameters == {"v": 1}
+
+    def test_fraction_times_exact(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        trace = trace_from_events([WorkloadEvent(Fraction(1, 7), "a", "x")])
+        save_trace(trace, path)
+        assert load_trace(path).sorted_events()[0].time == Fraction(1, 7)
+
+    def test_generated_workload_round_trips(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        events = uniform_stream(random.Random(3), ["a", "b"], ["x"], 20, 2)
+        save_trace(trace_from_events(events), path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(events)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(SimulationError):
+            load_trace(path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "something-else"}\n')
+        with pytest.raises(SimulationError):
+            load_trace(path)

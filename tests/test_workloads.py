@@ -1,0 +1,132 @@
+"""Unit tests for the workload generators."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.workloads import (
+    bursty_stream,
+    paired_stream,
+    sensor_stream,
+    stock_stream,
+    uniform_stream,
+)
+
+
+class TestUniformStream:
+    def test_time_ordered(self):
+        events = uniform_stream(random.Random(1), ["a", "b"], ["x", "y"], 10, 5)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_within_duration(self):
+        events = uniform_stream(random.Random(2), ["a"], ["x"], 10, 3)
+        assert all(e.time < 3 for e in events)
+
+    def test_rate_approximate(self):
+        events = uniform_stream(random.Random(3), ["a"], ["x"], 100, 10)
+        # Expect roughly rate*duration events; allow generous tolerance.
+        assert 500 < len(events) < 2000
+
+    def test_deterministic(self):
+        a = uniform_stream(random.Random(7), ["a"], ["x"], 10, 2)
+        b = uniform_stream(random.Random(7), ["a"], ["x"], 10, 2)
+        assert [(e.time, e.site) for e in a] == [(e.time, e.site) for e in b]
+
+    def test_sites_and_types_from_pools(self):
+        events = uniform_stream(random.Random(5), ["a", "b"], ["x"], 20, 3)
+        assert {e.site for e in events} <= {"a", "b"}
+        assert {e.event_type for e in events} == {"x"}
+
+    def test_invalid_args(self):
+        with pytest.raises(SimulationError):
+            uniform_stream(random.Random(0), [], ["x"], 1, 1)
+        with pytest.raises(SimulationError):
+            uniform_stream(random.Random(0), ["a"], ["x"], 0, 1)
+        with pytest.raises(SimulationError):
+            uniform_stream(random.Random(0), ["a"], ["x"], 1, 0)
+
+
+class TestBurstyStream:
+    def test_burst_structure(self):
+        events = bursty_stream(random.Random(1), ["a"], ["x"], 5, 2, 3)
+        assert len(events) == 15
+        assert {e.parameters["burst"] for e in events} == {0, 1, 2}
+
+    def test_bursts_separated(self):
+        events = bursty_stream(
+            random.Random(1), ["a"], ["x"], 2, Fraction(10), 2, Fraction(1, 100)
+        )
+        burst0_end = max(e.time for e in events if e.parameters["burst"] == 0)
+        burst1_start = min(e.time for e in events if e.parameters["burst"] == 1)
+        assert burst1_start - burst0_end >= 10
+
+    def test_invalid_args(self):
+        with pytest.raises(SimulationError):
+            bursty_stream(random.Random(0), ["a"], ["x"], 0, 1, 1)
+
+
+class TestPairedStream:
+    def test_pairs_have_exact_gap(self):
+        events = paired_stream(random.Random(0), "a", "b", Fraction(1, 4), pairs=5)
+        causes = [e for e in events if e.event_type == "cause"]
+        effects = [e for e in events if e.event_type == "effect"]
+        for cause, effect in zip(causes, effects):
+            assert effect.time - cause.time == Fraction(1, 4)
+
+    def test_pair_indices_align(self):
+        events = paired_stream(random.Random(0), "a", "b", 1, pairs=3)
+        by_n = {}
+        for e in events:
+            by_n.setdefault(e.parameters["n"], []).append(e.event_type)
+        assert all(sorted(v) == ["cause", "effect"] for v in by_n.values())
+
+    def test_custom_type_names(self):
+        events = paired_stream(
+            random.Random(0), "a", "b", 1, pairs=1, cause_type="x", effect_type="y"
+        )
+        assert {e.event_type for e in events} == {"x", "y"}
+
+    def test_invalid_args(self):
+        with pytest.raises(SimulationError):
+            paired_stream(random.Random(0), "a", "b", 1, pairs=0)
+        with pytest.raises(SimulationError):
+            paired_stream(random.Random(0), "a", "b", -1, pairs=1)
+
+
+class TestStockStream:
+    def test_price_walk_emits_ticks(self):
+        events = stock_stream(random.Random(1), ["nyse"], ["ACME"], ticks=50)
+        prices = [e for e in events if e.event_type == "price"]
+        assert len(prices) == 50
+
+    def test_threshold_events_on_large_moves(self):
+        events = stock_stream(random.Random(1), ["nyse"], ["ACME"], ticks=500)
+        thresholds = [e for e in events if e.event_type == "threshold"]
+        assert thresholds, "a 500-tick walk should cross the 10% threshold"
+
+    def test_symbols_round_robin(self):
+        events = stock_stream(random.Random(2), ["nyse"], ["A", "B"], ticks=10)
+        prices = [e for e in events if e.event_type == "price"]
+        assert [e.parameters["symbol"] for e in prices[:4]] == ["A", "B", "A", "B"]
+
+
+class TestSensorStream:
+    def test_readings_emitted(self):
+        events = sensor_stream(random.Random(1), ["s1", "s2"], readings=20)
+        readings = [e for e in events if e.event_type == "reading"]
+        assert len(readings) == 20
+
+    def test_alarms_match_threshold(self):
+        events = sensor_stream(
+            random.Random(1), ["s1"], readings=200, alarm_threshold=50
+        )
+        readings = {e.parameters["n"]: e for e in events if e.event_type == "reading"}
+        for alarm in (e for e in events if e.event_type == "alarm"):
+            assert readings[alarm.parameters["n"]].parameters["value"] >= 50
+
+    def test_invalid_args(self):
+        with pytest.raises(SimulationError):
+            sensor_stream(random.Random(0), ["a"], readings=0)
