@@ -44,7 +44,7 @@ def stream(length: int):
 def round_trip(events) -> Detector:
     first = build()
     for event_type, stamp in events:
-        first.feed_primitive(event_type, stamp)
+        first.feed(event_type, stamp)
     state = snapshot(first)
     second = build()
     restore(second, state)
@@ -56,7 +56,7 @@ def test_checkpoint_metrics(benchmark):
     for length in (20, 100, 400):
         detector = build()
         for event_type, stamp in stream(length):
-            detector.feed_primitive(event_type, stamp)
+            detector.feed(event_type, stamp)
         state = snapshot(detector)
         payload = json.dumps(state)
         sizes.append(
@@ -72,14 +72,14 @@ def test_checkpoint_metrics(benchmark):
     events = stream(60)
     reference = build()
     for event_type, stamp in events:
-        reference.feed_primitive(event_type, stamp)
+        reference.feed(event_type, stamp)
     first = build()
     for event_type, stamp in events[:33]:
-        first.feed_primitive(event_type, stamp)
+        first.feed(event_type, stamp)
     second = build()
     restore(second, snapshot(first))
     for event_type, stamp in events[33:]:
-        second.feed_primitive(event_type, stamp)
+        second.feed(event_type, stamp)
     for name in EXPRESSIONS:
         combined = sorted(
             repr(o.timestamp)

@@ -44,7 +44,7 @@ def run_context(context: Context, stream) -> tuple[int, int]:
     detector = Detector()
     root = detector.register("a ; b", name="r", context=context)
     for event_type, stamp in stream:
-        detector.feed_primitive(event_type, stamp)
+        detector.feed(event_type, stamp)
     buffered = len(getattr(root, "_firsts", []))
     return len(detector.detections_of("r")), buffered
 

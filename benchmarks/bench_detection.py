@@ -53,7 +53,7 @@ def run_local(expression: str, stream) -> int:
     detector = Detector()
     detector.register(expression, name="r")
     for event_type, stamp in stream:
-        detector.feed_primitive(event_type, stamp)
+        detector.feed(event_type, stamp)
     return len(detector.detections_of("r"))
 
 
@@ -63,7 +63,7 @@ def run_distributed(expression: str, stream) -> int:
         detector.set_home(event_type, site)
     detector.register(expression, name="r")
     for event_type, stamp in stream:
-        detector.feed_primitive(event_type, stamp)
+        detector.feed(event_type, stamp)
         detector.pump()
     return len(detector.detections_of("r"))
 

@@ -36,8 +36,8 @@ def count_nodes(detector: Detector) -> int:
 
 def feed_shared(detector: Detector) -> int:
     for g in range(0, 40, 4):
-        detector.feed_primitive("a", PrimitiveTimestamp("s1", g, g * 10))
-        detector.feed_primitive("b", PrimitiveTimestamp("s2", g + 2, (g + 2) * 10))
+        detector.feed("a", PrimitiveTimestamp("s1", g, g * 10))
+        detector.feed("b", PrimitiveTimestamp("s2", g + 2, (g + 2) * 10))
     return len(detector.detections)
 
 
@@ -47,9 +47,9 @@ def run_gc_ablation(prune: bool) -> tuple[int, int]:
     detector.register("a ; b", name="seq", context=Context.UNRESTRICTED)
     high_water = 0
     for g in range(STREAM):
-        detector.feed_primitive("a", PrimitiveTimestamp("s1", g, g * 10))
+        detector.feed("a", PrimitiveTimestamp("s1", g, g * 10))
         if g % 7 == 0:
-            detector.feed_primitive("b", PrimitiveTimestamp("s2", g, g * 10 + 5))
+            detector.feed("b", PrimitiveTimestamp("s2", g, g * 10 + 5))
         if prune and g % 10 == 0:
             detector.prune_before(max(0, g - 25))
         high_water = max(high_water, detector.buffered_occurrences())
@@ -65,9 +65,9 @@ def test_sharing_and_gc(benchmark):
     assert count_nodes(detector) == RULE_COUNT + 1
 
     # All rules still see the shared core.
-    detector.feed_primitive("a", PrimitiveTimestamp("s1", 1, 10))
-    detector.feed_primitive("b", PrimitiveTimestamp("s2", 5, 50))
-    detector.feed_primitive("extra3", PrimitiveTimestamp("s3", 9, 90))
+    detector.feed("a", PrimitiveTimestamp("s1", 1, 10))
+    detector.feed("b", PrimitiveTimestamp("s2", 5, 50))
+    detector.feed("extra3", PrimitiveTimestamp("s3", 9, 90))
     assert len(detector.detections_of("rule3")) == 1
 
     # 2. GC ablation.

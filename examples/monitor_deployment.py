@@ -60,10 +60,10 @@ def naive_run(events, seed: int):
 
     for _, event in arrivals:
         granule = int(event.time / Fraction(1, 10))
-        detector.feed_primitive(
+        detector.feed(
             event.event_type,
             PrimitiveTimestamp(event.site, granule, granule * 10),
-            dict(event.parameters),
+            parameters=dict(event.parameters),
         )
     return detector.detections_of("quiet")
 

@@ -7,7 +7,8 @@ Covers the paper's pipeline end to end:
 2. primitive timestamps and the 2g_g-restricted relations;
 3. composite timestamps, the Max operator, and Figure-2 regions;
 4. local composite-event detection with parameter contexts;
-5. a simulated multi-site system with network latency.
+5. a simulated multi-site system with network latency;
+6. the same run instrumented: spans, subscriptions, a JSONL export.
 
 Run:  python examples/quickstart.py
 """
@@ -15,17 +16,24 @@ Run:  python examples/quickstart.py
 from __future__ import annotations
 
 import random
+import tempfile
+from pathlib import Path
 
 from repro import (
     CompositeTimestamp,
     Context,
     Detector,
     DistributedSystem,
+    Instrumentation,
+    JSONLSink,
     PrimitiveTimestamp,
+    RingBufferSink,
     TimeModel,
     max_of,
+    read_obs_file,
     relation,
 )
+from repro.obs import verify_span_chains
 from repro.time.regions import render_grid
 from repro.sim.workloads import paired_stream
 
@@ -73,10 +81,10 @@ def tour_local_detection() -> None:
     detector = Detector()
     detector.register("deposit ; withdraw", name="roundtrip",
                       context=Context.CHRONICLE)
-    detector.feed_primitive("deposit", PrimitiveTimestamp("bank", 2, 20),
-                            {"amount": 900})
-    detections = detector.feed_primitive(
-        "withdraw", PrimitiveTimestamp("atm", 9, 90), {"amount": 850}
+    detector.feed("deposit", PrimitiveTimestamp("bank", 2, 20),
+                            parameters={"amount": 900})
+    detections = detector.feed(
+        "withdraw", PrimitiveTimestamp("atm", 9, 90), parameters={"amount": 850}
     )
     for detection in detections:
         occ = detection.occurrence
@@ -105,12 +113,47 @@ def tour_simulation() -> None:
           f"mean delay {float(stats['mean_delay']) * 1000:.1f} ms")
 
 
+def tour_observability() -> None:
+    print("=" * 64)
+    print("6. The same run, instrumented (repro.obs)")
+    export = Path(tempfile.mkdtemp()) / "quickstart.obs.jsonl"
+    ring = RingBufferSink()
+    obs = Instrumentation(sinks=[ring, JSONLSink(export)])
+    system = DistributedSystem(["ny", "ldn"], seed=42, instrumentation=obs)
+    system.set_home("cause", "ny")
+    system.set_home("effect", "ldn")
+    system.register("cause ; effect", name="chain", context=Context.CHRONICLE)
+    system.subscribe(
+        "chain",
+        lambda record: print(
+            f"   subscriber: chain detected "
+            f"(latency {float(record.latency) * 1000:.1f} ms)"
+        ),
+    )
+    system.inject(paired_stream(random.Random(0), "ny", "ldn",
+                                gap_seconds=1, pairs=4))
+    system.run()
+    obs.close()
+
+    flights = ring.named("net.send")
+    print(f"   spans recorded: {obs.spans_finished} "
+          f"({len(flights)} network flights, "
+          f"{len(ring.named('node.receive'))} node receives)")
+    data = read_obs_file(export)
+    problems = verify_span_chains(data)
+    print(f"   exported {export.name}: {len(data.spans)} spans, "
+          f"{len(data.metrics)} metric rows, "
+          f"span chains {'BROKEN' if problems else 'verified'}")
+    print(f"   try:  repro obs-report {export}")
+
+
 def main() -> None:
     tour_time_model()
     tour_primitive_relations()
     tour_composite()
     tour_local_detection()
     tour_simulation()
+    tour_observability()
     print("=" * 64)
     print("done — see examples/stock_monitor.py and examples/sensor_network.py")
 

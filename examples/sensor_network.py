@@ -55,27 +55,27 @@ def main() -> None:
                     context=Context.CHRONICLE)
 
     # Two patrol windows.
-    system.raise_event("centre", "patrol_start", at=1)
-    system.raise_event("centre", "patrol_end", at=30)
-    system.raise_event("centre", "patrol_start", at=40)
-    system.raise_event("centre", "patrol_end", at=70)
+    system.inject("centre", "patrol_start", at=1)
+    system.inject("centre", "patrol_end", at=30)
+    system.inject("centre", "patrol_start", at=40)
+    system.inject("centre", "patrol_end", at=70)
 
     # Sensor readings with alarms sprinkled in.
     rng = random.Random(23)
     for event in sensor_stream(rng, ["north", "south"], readings=120,
                                reading_gap_seconds=Fraction(1, 2),
                                alarm_threshold=88):
-        system.raise_event(event.site, event.event_type, at=event.time,
+        system.inject(event.site, event.event_type, at=event.time,
                            parameters=dict(event.parameters))
 
     # Heartbeats every 5s until t=45 (the sensor "dies"); probes every 10s.
     t = Fraction(2)
     while t < 45:
-        system.raise_event("north", "heartbeat", at=t)
+        system.inject("north", "heartbeat", at=t)
         t += 5
     t = Fraction(3)
     while t < 75:
-        system.raise_event("centre", "probe", at=t)
+        system.inject("centre", "probe", at=t)
         t += 10
 
     system.run()

@@ -47,10 +47,10 @@ def run_market_detection() -> None:
     t = Fraction(1)
     breaches = 0
     for n in range(12):
-        system.raise_event("nyse", "ny_breach", at=t, parameters={"n": n})
+        system.inject("nyse", "ny_breach", at=t, parameters={"n": n})
         if rng.random() < 0.7:
             follow = t + Fraction(2, 5)
-            system.raise_event("lse", "lse_breach", at=follow,
+            system.inject("lse", "lse_breach", at=follow,
                                parameters={"n": n})
             breaches += 1
         t += Fraction(3, 2)

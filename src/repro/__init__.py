@@ -14,10 +14,15 @@ Quick tour::
     system.set_home("buy", "ny")
     system.set_home("sell", "ldn")
     system.register("buy ; sell", name="roundtrip", context=Context.CHRONICLE)
-    system.raise_event("ny", "buy", at=1)
-    system.raise_event("ldn", "sell", at=2)
+    system.subscribe("roundtrip", lambda record: print(record.latency))
+    system.inject("ny", "buy", at=1)
+    system.inject("ldn", "sell", at=2)
     system.run()
     print(system.detections_of("roundtrip"))
+
+To watch the machinery work, pass ``instrumentation=Instrumentation()``
+to :class:`DistributedSystem` and export the resulting spans with a
+:class:`JSONLSink` — ``repro obs-report`` renders the timeline.
 
 See ``examples/`` for runnable scenarios, ``DESIGN.md`` for the system
 inventory, and ``EXPERIMENTS.md`` for the paper-versus-measured record.
@@ -47,6 +52,16 @@ from repro.events.parser import parse_expression
 from repro.events.semantics import evaluate
 from repro.events.types import EventClass, EventType, TypeRegistry
 from repro.detection.stabilizer import Stabilizer
+from repro.obs import (
+    DISABLED,
+    Instrumentation,
+    JSONLSink,
+    MetricsRegistry,
+    RingBufferSink,
+    Span,
+    read_obs_file,
+    render_report,
+)
 from repro.rules.eca import CouplingMode, Rule, RuleManager
 from repro.rules.language import load_rules
 from repro.sim.monitor import accuracy, latency_stats
@@ -78,6 +93,7 @@ __all__ = [
     "CompositeTimestamp",
     "Context",
     "CouplingMode",
+    "DISABLED",
     "Detection",
     "DetectionRecord",
     "Detector",
@@ -93,7 +109,10 @@ __all__ = [
     "EventType",
     "Granularity",
     "History",
+    "Instrumentation",
+    "JSONLSink",
     "LocalClock",
+    "MetricsRegistry",
     "Not",
     "OpenInterval",
     "Or",
@@ -105,9 +124,11 @@ __all__ = [
     "PrimitiveTimestamp",
     "ReferenceClock",
     "Relation",
+    "RingBufferSink",
     "Rule",
     "RuleManager",
     "Sequence",
+    "Span",
     "StabilizedMonitor",
     "Stabilizer",
     "TimeModel",
@@ -119,7 +140,9 @@ __all__ = [
     "max_of_many",
     "max_set",
     "parse_expression",
+    "read_obs_file",
     "relation",
+    "render_report",
     "accuracy",
     "latency_stats",
     "load_rules",

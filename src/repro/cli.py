@@ -7,6 +7,7 @@ Subcommands::
     repro grid   "<T>" --sites ...         render the Figure-2 region grid
     repro replay <trace> "<expr>" ...      detect a composite event on a trace
     repro check  [--seed N]                run the theorem sweep
+    repro obs-report <spans.jsonl>         summarize an observability export
 
 Composite timestamps are written as semicolon-separated triples, e.g.
 ``"site1,8,81; site2,7,72"``.  Exposed both as ``python -m repro.cli`` and
@@ -161,6 +162,19 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 1 if problems else 0
 
 
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import read_obs_file, render_report, verify_span_chains
+
+    data = read_obs_file(args.path)
+    print(render_report(data))
+    if args.verify:
+        problems = verify_span_chains(data)
+        for problem in problems:
+            print(f"PROBLEM: {problem}", file=sys.stderr)
+        return 1 if problems else 0
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -219,6 +233,17 @@ def build_parser() -> argparse.ArgumentParser:
     report_command.add_argument("--universe", type=int, default=40)
     report_command.add_argument("--out", default=None)
     report_command.set_defaults(handler=cmd_report)
+
+    obs_command = commands.add_parser(
+        "obs-report", help="summarize a JSONL observability export"
+    )
+    obs_command.add_argument("path")
+    obs_command.add_argument(
+        "--verify",
+        action="store_true",
+        help="also check detect->inject span-chain integrity",
+    )
+    obs_command.set_defaults(handler=cmd_obs_report)
 
     return parser
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
+import warnings
 from collections import Counter, deque
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
@@ -35,6 +36,7 @@ from repro.errors import PlacementError, SchedulingError, UnknownSiteError
 from repro.events.expressions import EventExpression, Primitive
 from repro.events.occurrences import EventOccurrence
 from repro.events.parser import parse_expression
+from repro.obs.instrument import Instrumentation, resolve
 from repro.detection.detector import Detection
 from repro.detection.graph import EventGraph
 from repro.detection.nodes import (
@@ -96,6 +98,9 @@ class DistributedDetector:
         default home of root aliases; defaults to the first site.
     timer_ratio:
         Local ticks per global granule for timer stamps.
+    instrumentation:
+        An optional :class:`~repro.obs.instrument.Instrumentation` hub;
+        defaults to the shared disabled singleton (no-op hooks).
     """
 
     def __init__(
@@ -103,6 +108,8 @@ class DistributedDetector:
         sites: list[str],
         coordinator: str | None = None,
         timer_ratio: int = 1,
+        *,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         if not sites:
             raise PlacementError("a distributed detector needs at least one site")
@@ -111,6 +118,7 @@ class DistributedDetector:
         if self.coordinator not in self.sites:
             raise UnknownSiteError(f"coordinator {self.coordinator!r} is not a site")
         self.timer_ratio = timer_ratio
+        self.obs = resolve(instrumentation)
         self.graph = EventGraph()
         self.placements: dict[Node, str] = {}
         self.home_sites: dict[str, str] = {}
@@ -168,6 +176,15 @@ class DistributedDetector:
         self._place_new_nodes(expression)
         if callback is not None:
             self._callbacks.setdefault(root.name, []).append(callback)
+        if self.obs.enabled:
+            self.obs.event(
+                "detector.register",
+                site=self.placements.get(root, self.coordinator),
+                event=root.name,
+                expression=str(expression),
+                placement=placement.value,
+                **self.graph.stats(),
+            )
         return root
 
     def _place_new_nodes(self, expression: EventExpression) -> None:
@@ -217,15 +234,47 @@ class DistributedDetector:
 
     # --- feeding and message delivery --------------------------------------
 
+    def feed(
+        self,
+        occurrence: EventOccurrence | str,
+        stamp: PrimitiveTimestamp | None = None,
+        *,
+        parameters: Mapping[str, Any] | None = None,
+    ) -> list[Detection]:
+        """Raise a primitive occurrence at its home site.
+
+        The documented intake, in two forms (mirrors
+        :meth:`repro.detection.detector.Detector.feed`)::
+
+            detector.feed(occurrence)                    # pre-built
+            detector.feed("deposit", stamp, parameters={})
+        """
+        if isinstance(occurrence, EventOccurrence):
+            if stamp is not None or parameters is not None:
+                raise TypeError(
+                    "feed(occurrence) takes no stamp/parameters — they are "
+                    "already part of the occurrence"
+                )
+        else:
+            if stamp is None:
+                raise TypeError("feed(event_type, stamp) requires a stamp")
+            occurrence = EventOccurrence.primitive(occurrence, stamp, parameters)
+        return self.feed_occurrence(occurrence)
+
     def feed_primitive(
         self,
         event_type: str,
         stamp: PrimitiveTimestamp,
         parameters: Mapping[str, Any] | None = None,
     ) -> list[Detection]:
-        """Raise a primitive occurrence at its home site."""
-        occurrence = EventOccurrence.primitive(event_type, stamp, parameters)
-        return self.feed_occurrence(occurrence)
+        """Deprecated alias of :meth:`feed` (``event_type, stamp`` form)."""
+        warnings.warn(
+            "DistributedDetector.feed_primitive is deprecated; use "
+            "DistributedDetector.feed",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.feed(event_type, stamp, parameters=parameters)
 
     def feed_occurrence(self, occurrence: EventOccurrence) -> list[Detection]:
         """Raise an already-built primitive occurrence at its home site."""
@@ -237,6 +286,13 @@ class DistributedDetector:
             self.placements[leaf] = self.home_sites.get(
                 occurrence.event_type, self.coordinator
             )
+        if self.obs.enabled:
+            with self.obs.span(
+                "detector.feed",
+                site=self.placements[leaf],
+                event=occurrence.event_type,
+            ):
+                return self._emit_from(leaf, occurrence)
         return self._emit_from(leaf, occurrence)
 
     def deliver(self, message: Message) -> list[Detection]:
@@ -246,8 +302,28 @@ class DistributedDetector:
         does not reorder or drop.
         """
         node = self._nodes_by_id[message.node_id]
+        if self.obs.enabled:
+            with self.obs.span(
+                "message.deliver",
+                site=message.dst,
+                link=f"{message.src}->{message.dst}",
+                node=node.name,
+            ):
+                with self.obs.span(
+                    "node.receive",
+                    site=message.dst,
+                    op=node.kind,
+                    node=node.name,
+                    role=message.role,
+                ) as span:
+                    produced = node.receive(message.occurrence, message.role)
+                    span.set(emitted=len(produced))
+                detections: list[Detection] = []
+                for emission in produced:
+                    detections.extend(self._emit_from(node, emission))
+                return detections
         produced = node.receive(message.occurrence, message.role)
-        detections: list[Detection] = []
+        detections = []
         for emission in produced:
             detections.extend(self._emit_from(node, emission))
         return detections
@@ -260,12 +336,24 @@ class DistributedDetector:
         return detections
 
     def _emit_from(self, node: Node, occurrence: EventOccurrence) -> list[Detection]:
+        obs = self.obs
         detections = self._record_if_root(node, occurrence)
         node_site = self.placements[node]
         for edge in self.graph.subscribers(node):
             parent_site = self.placements[edge.parent]
             if parent_site == node_site:
-                produced = edge.parent.receive(occurrence, edge.role)
+                if obs.enabled:
+                    with obs.span(
+                        "node.receive",
+                        site=parent_site,
+                        op=edge.parent.kind,
+                        node=edge.parent.name,
+                        role=edge.role,
+                    ) as span:
+                        produced = edge.parent.receive(occurrence, edge.role)
+                        span.set(emitted=len(produced))
+                else:
+                    produced = edge.parent.receive(occurrence, edge.role)
                 for emission in produced:
                     detections.extend(self._emit_from(edge.parent, emission))
             else:
@@ -279,6 +367,10 @@ class DistributedDetector:
                 )
                 self.outbox.append(message)
                 self.message_log.append(message)
+                if obs.enabled:
+                    obs.counter(
+                        "coordinator.messages", link=f"{node_site}->{parent_site}"
+                    ).inc()
         return detections
 
     def _record_if_root(
@@ -322,7 +414,19 @@ class DistributedDetector:
                 stamp = make_timer_stamp(
                     f"{site}.timer", fire_global, self.timer_ratio
                 )
-                for emission in node.on_timer(stamp, payload):
+                if self.obs.enabled:
+                    with self.obs.span(
+                        "timer.fire",
+                        site=site,
+                        op=node.kind,
+                        node=node.name,
+                        granule=fire_global,
+                    ) as span:
+                        emissions = node.on_timer(stamp, payload)
+                        span.set(emitted=len(emissions))
+                else:
+                    emissions = node.on_timer(stamp, payload)
+                for emission in emissions:
                     detections.extend(self._emit_from(node, emission))
             self._now_global[site] = max(self._now_global[site], global_time)
         return detections

@@ -10,18 +10,22 @@ Typical use::
     detector = Detector(site="bank1")
     detector.register("deposit ; withdraw", name="suspicious",
                       context=Context.CHRONICLE)
-    detector.feed_primitive("deposit", stamp_a)
-    detections = detector.feed_primitive("withdraw", stamp_b)
+    detector.feed("deposit", stamp_a)
+    detections = detector.feed("withdraw", stamp_b)
 
-The detector is synchronous and deterministic: every ``feed`` returns
-the detections (of registered roots) that the occurrence triggered,
-transitively through the graph.
+:meth:`Detector.feed` is the single documented intake: it accepts either
+a pre-built :class:`~repro.events.occurrences.EventOccurrence` or an
+``(event_type, stamp)`` pair (``feed_primitive`` remains as a deprecated
+alias).  The detector is synchronous and deterministic: every ``feed``
+returns the detections (of registered roots) that the occurrence
+triggered, transitively through the graph.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
@@ -30,6 +34,7 @@ from repro.errors import SchedulingError
 from repro.events.expressions import EventExpression
 from repro.events.occurrences import EventOccurrence
 from repro.events.parser import parse_expression
+from repro.obs.instrument import Instrumentation, resolve
 from repro.detection.graph import EventGraph
 from repro.detection.nodes import (
     ROLE_LEFT,
@@ -59,11 +64,21 @@ class Detector:
     timer_ratio:
         Local ticks per global granule for timer stamps (matches the
         site's :class:`~repro.time.ticks.TimeModel` ratio).
+    instrumentation:
+        An optional :class:`~repro.obs.instrument.Instrumentation` hub;
+        defaults to the shared disabled singleton (no-op hooks).
     """
 
-    def __init__(self, site: str = "local", timer_ratio: int = 1) -> None:
+    def __init__(
+        self,
+        site: str = "local",
+        timer_ratio: int = 1,
+        *,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
         self.site = site
         self.timer_ratio = timer_ratio
+        self.obs = resolve(instrumentation)
         self.graph = EventGraph()
         self.now_global = 0
         self.detections: list[Detection] = []
@@ -105,6 +120,14 @@ class Detector:
         self._bind_timers()
         if callback is not None:
             self._callbacks.setdefault(root.name, []).append(callback)
+        if self.obs.enabled:
+            self.obs.event(
+                "detector.register",
+                site=self.site,
+                event=root.name,
+                expression=str(expression),
+                **self.graph.stats(),
+            )
         return root
 
     def _bind_timers(self) -> None:
@@ -138,7 +161,18 @@ class Detector:
             stamp = make_timer_stamp(
                 f"{self.site}.timer", fire_global, self.timer_ratio
             )
-            emissions = node.on_timer(stamp, payload)
+            if self.obs.enabled:
+                with self.obs.span(
+                    "timer.fire",
+                    site=self.site,
+                    op=node.kind,
+                    node=node.name,
+                    granule=fire_global,
+                ) as span:
+                    emissions = node.on_timer(stamp, payload)
+                    span.set(emitted=len(emissions))
+            else:
+                emissions = node.on_timer(stamp, payload)
             for emission in emissions:
                 fired.extend(self._propagate(node, emission))
         self.now_global = max(self.now_global, global_time)
@@ -146,9 +180,36 @@ class Detector:
 
     # --- feeding ----------------------------------------------------------
 
-    def feed(self, occurrence: EventOccurrence) -> list[Detection]:
-        """Feed a primitive occurrence; returns triggered root detections."""
+    def feed(
+        self,
+        occurrence: EventOccurrence | str,
+        stamp: PrimitiveTimestamp | None = None,
+        *,
+        parameters: Mapping[str, Any] | None = None,
+    ) -> list[Detection]:
+        """Feed a primitive occurrence; returns triggered root detections.
+
+        The documented intake, in two forms::
+
+            detector.feed(occurrence)                       # pre-built
+            detector.feed("deposit", stamp, parameters={})  # built here
+        """
+        if isinstance(occurrence, EventOccurrence):
+            if stamp is not None or parameters is not None:
+                raise TypeError(
+                    "feed(occurrence) takes no stamp/parameters — they are "
+                    "already part of the occurrence"
+                )
+        else:
+            if stamp is None:
+                raise TypeError("feed(event_type, stamp) requires a stamp")
+            occurrence = EventOccurrence.primitive(occurrence, stamp, parameters)
         leaf = self.graph.primitive_node(occurrence.event_type)
+        if self.obs.enabled:
+            with self.obs.span(
+                "detector.feed", site=self.site, event=occurrence.event_type
+            ):
+                return self._propagate(leaf, occurrence)
         return self._propagate(leaf, occurrence)
 
     def feed_primitive(
@@ -157,11 +218,18 @@ class Detector:
         stamp: PrimitiveTimestamp,
         parameters: Mapping[str, Any] | None = None,
     ) -> list[Detection]:
-        """Convenience: build and feed a primitive occurrence."""
-        return self.feed(EventOccurrence.primitive(event_type, stamp, parameters))
+        """Deprecated alias of :meth:`feed` (``event_type, stamp`` form)."""
+        warnings.warn(
+            "Detector.feed_primitive is deprecated; use Detector.feed",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.feed(event_type, stamp, parameters=parameters)
 
     def _propagate(self, source: Node, occurrence: EventOccurrence) -> list[Detection]:
         """Push an occurrence from ``source`` through the graph (BFS)."""
+        if self.obs.enabled:
+            return self._propagate_instrumented(source, occurrence)
         results: list[Detection] = []
         worklist: list[tuple[Node, EventOccurrence]] = [(source, occurrence)]
         while worklist:
@@ -169,6 +237,29 @@ class Detector:
             results.extend(self._record_if_root(node, emission))
             for edge in self.graph.subscribers(node):
                 produced = edge.parent.receive(emission, edge.role)
+                worklist.extend((edge.parent, p) for p in produced)
+        return results
+
+    def _propagate_instrumented(
+        self, source: Node, occurrence: EventOccurrence
+    ) -> list[Detection]:
+        """The :meth:`_propagate` loop with a ``node.receive`` span per edge."""
+        obs = self.obs
+        results: list[Detection] = []
+        worklist: list[tuple[Node, EventOccurrence]] = [(source, occurrence)]
+        while worklist:
+            node, emission = worklist.pop(0)
+            results.extend(self._record_if_root(node, emission))
+            for edge in self.graph.subscribers(node):
+                with obs.span(
+                    "node.receive",
+                    site=self.site,
+                    op=edge.parent.kind,
+                    node=edge.parent.name,
+                    role=edge.role,
+                ) as span:
+                    produced = edge.parent.receive(emission, edge.role)
+                    span.set(emitted=len(produced))
                 worklist.extend((edge.parent, p) for p in produced)
         return results
 

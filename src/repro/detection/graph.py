@@ -85,6 +85,15 @@ class EventGraph:
         """The parents subscribed to ``node``."""
         return self.edges.get(node, [])
 
+    def stats(self) -> dict[str, int]:
+        """Graph-shape counters (recorded on registration spans)."""
+        return {
+            "primitives": len(self.primitives),
+            "operators": len(self.operator_nodes()),
+            "edges": sum(len(edges) for edges in self.edges.values()),
+            "roots": len(self.roots),
+        }
+
     def nodes(self) -> Iterator[Node]:
         """All nodes: primitives, operators, then root aliases."""
         yield from self.primitives.values()

@@ -61,7 +61,11 @@ class Node:
 
     ``name`` labels emitted occurrences; leaves of the graph are
     :class:`PrimitiveNode` instances keyed by event-type name.
+    ``kind`` is the operator's stable label, used by the observability
+    layer to group per-operator metrics across differently named nodes.
     """
+
+    kind = "node"
 
     def __init__(self, name: str, context: Context = Context.UNRESTRICTED) -> None:
         self.name = name
@@ -117,6 +121,8 @@ class Node:
 class PrimitiveNode(Node):
     """A leaf: re-emits primitive occurrences of one event type."""
 
+    kind = "primitive"
+
     def __init__(self, name: str) -> None:
         super().__init__(name)
 
@@ -129,6 +135,8 @@ class PrimitiveNode(Node):
 
 class OrNode(Node):
     """Disjunction: emit on any arrival from either side."""
+
+    kind = "or"
 
     def roles(self) -> tuple[str, ...]:
         return (ROLE_LEFT, ROLE_RIGHT)
@@ -143,6 +151,8 @@ class FilterNode(Node):
     A stateless guard (Sentinel's event mask); filtering at the child's
     site keeps non-matching occurrences off the network entirely.
     """
+
+    kind = "filter"
 
     def __init__(
         self,
@@ -169,6 +179,8 @@ class AndNode(Node):
     consuming contexts the context policy is applied to the opposite
     (initiator) buffer.
     """
+
+    kind = "and"
 
     def __init__(self, name: str, context: Context = Context.UNRESTRICTED) -> None:
         super().__init__(name, context)
@@ -206,6 +218,8 @@ class SequenceNode(Node):
     the oracle under out-of-order delivery); consuming contexts buffer
     only initiators (firsts) and detect on terminator (second) arrival.
     """
+
+    kind = "sequence"
 
     def __init__(self, name: str, context: Context = Context.UNRESTRICTED) -> None:
         super().__init__(name, context)
@@ -254,6 +268,8 @@ class NotNode(Node):
     triggers detection for the context-selected openers whose open
     interval to the closer contains no negated occurrence.
     """
+
+    kind = "not"
 
     def __init__(self, name: str, context: Context = Context.UNRESTRICTED) -> None:
         super().__init__(name, context)
@@ -323,6 +339,8 @@ class AperiodicNode(Node):
     when a closer arrives.
     """
 
+    kind = "aperiodic"
+
     def __init__(self, name: str, context: Context = Context.UNRESTRICTED) -> None:
         super().__init__(name, context)
         self._openers: list[EventOccurrence] = []
@@ -377,6 +395,8 @@ class AperiodicStarNode(Node):
     Bodies are buffered; on a closer, each context-selected opener emits
     one detection accumulating the bodies strictly inside its window.
     """
+
+    kind = "aperiodic*"
 
     def __init__(self, name: str, context: Context = Context.UNRESTRICTED) -> None:
         super().__init__(name, context)
@@ -441,6 +461,8 @@ class TimesNode(Node):
     delivery this matches the oracle's canonical linearization.
     """
 
+    kind = "times"
+
     def __init__(
         self, name: str, count: int, context: Context = Context.UNRESTRICTED
     ) -> None:
@@ -485,6 +507,8 @@ class PeriodicNode(Node):
     arrives.  ``P`` emits on each tick; ``P*`` accumulates and emits on
     the closer.
     """
+
+    kind = "periodic"
 
     def __init__(
         self,
@@ -574,6 +598,8 @@ class PeriodicNode(Node):
 
 class PlusNode(Node):
     """Temporal offset ``E1 + offset`` granules."""
+
+    kind = "plus"
 
     def __init__(
         self,

@@ -31,10 +31,12 @@ its next heartbeat).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from fractions import Fraction
 
 from repro.detection.detector import Detection, Detector
 from repro.errors import DetectionError, UnknownSiteError
 from repro.events.occurrences import EventOccurrence
+from repro.obs.instrument import Instrumentation, resolve
 
 
 @dataclass
@@ -58,13 +60,21 @@ class Stabilizer:
     >>> stabilizer = Stabilizer(detector, sites=["s1", "s2"])
     """
 
-    def __init__(self, detector: Detector, sites: list[str]) -> None:
+    def __init__(
+        self,
+        detector: Detector,
+        sites: list[str],
+        *,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
         if not sites:
             raise DetectionError("a stabilizer needs at least one site")
         self.detector = detector
         self.watermarks: dict[str, int] = {site: -1 for site in sites}
         self.stats = StabilizerStats()
+        self.obs = resolve(instrumentation)
         self._held: list[tuple[tuple[int, int, int], EventOccurrence]] = []
+        self._offered_at: dict[int, Fraction] = {}
         self._arrival = 0
 
     # --- intake ---------------------------------------------------------
@@ -100,6 +110,9 @@ class Stabilizer:
         )
         self._held.append((key, occurrence))
         self.stats.offered += 1
+        if self.obs.enabled:
+            self._offered_at[occurrence.uid] = self.obs.now()
+            self.obs.counter("stabilizer.offered").inc()
         return self._release()
 
     def announce(self, site: str, global_time: int) -> list[Detection]:
@@ -108,6 +121,8 @@ class Stabilizer:
         if site not in self.watermarks:
             raise UnknownSiteError(f"{site!r} is not a stabilized site")
         self.stats.heartbeats += 1
+        if self.obs.enabled:
+            self.obs.counter("stabilizer.heartbeats", site=site).inc()
         self._advance(site, global_time)
         return self._release()
 
@@ -134,7 +149,8 @@ class Stabilizer:
         self._held = [entry for entry in self._held if entry[0][0] >= frontier]
         ready.sort(key=lambda entry: entry[0])
         detections: list[Detection] = []
-        for _, occurrence in ready:
+        for key, occurrence in ready:
+            self._note_release(key, occurrence)
             detections.extend(self.detector.feed(occurrence))
             self.stats.released += 1
         return detections
@@ -143,11 +159,28 @@ class Stabilizer:
         """Release everything held, in order (end-of-stream)."""
         self._held.sort(key=lambda entry: entry[0])
         detections: list[Detection] = []
-        for _, occurrence in self._held:
+        for key, occurrence in self._held:
+            self._note_release(key, occurrence)
             detections.extend(self.detector.feed(occurrence))
             self.stats.released += 1
         self._held = []
         return detections
+
+    def _note_release(self, key: tuple[int, int, int], occurrence: EventOccurrence) -> None:
+        """Record the hold span of one released occurrence."""
+        if not self.obs.enabled:
+            return
+        now = self.obs.now()
+        offered_at = self._offered_at.pop(occurrence.uid, now)
+        self.obs.record_span(
+            "stabilizer.hold",
+            start=offered_at,
+            end=now,
+            site=occurrence.site(),
+            event=occurrence.event_type,
+            granule=key[0],
+        )
+        self.obs.histogram("stabilizer.hold_seconds").observe(float(now - offered_at))
 
     def held_count(self) -> int:
         """Occurrences currently awaiting stabilization."""

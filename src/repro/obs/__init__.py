@@ -1,0 +1,43 @@
+"""repro.obs — zero-dependency observability for the detection stack.
+
+Spans (true-time *and* wall-clock), counters/histograms with quantile
+summaries, and pluggable sinks (in-memory ring buffer, JSONL export).
+Instrumentation is disabled by default — every engine accepts
+``instrumentation=`` and falls back to the no-op :data:`DISABLED`
+singleton — and enabled end-to-end with::
+
+    from repro import DistributedSystem
+    from repro.obs import Instrumentation, JSONLSink
+
+    obs = Instrumentation(sinks=[JSONLSink("run.obs.jsonl")])
+    system = DistributedSystem(["ny", "ldn"], seed=1, instrumentation=obs)
+    ...
+    system.run()
+    obs.close()                      # flush spans + metric snapshot
+
+then summarized with ``repro obs-report run.obs.jsonl``.
+"""
+
+from repro.obs.instrument import DISABLED, Instrumentation, resolve
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry, quantile
+from repro.obs.report import ObsData, read_obs_file, render_report, verify_span_chains
+from repro.obs.sinks import JSONLSink, RingBufferSink, SpanSink
+from repro.obs.spans import Span
+
+__all__ = [
+    "DISABLED",
+    "Counter",
+    "Histogram",
+    "Instrumentation",
+    "JSONLSink",
+    "MetricsRegistry",
+    "ObsData",
+    "RingBufferSink",
+    "Span",
+    "SpanSink",
+    "quantile",
+    "read_obs_file",
+    "render_report",
+    "resolve",
+    "verify_span_chains",
+]

@@ -1,0 +1,151 @@
+"""Counters and histograms with quantile summaries.
+
+Deliberately exact and dependency-free: histograms keep every observed
+value (the simulator's runs are bounded, and exactness beats sketch
+error in a reproduction), and quantiles are computed by linear
+interpolation over the sorted sample — the same convention as
+``statistics.quantiles`` with inclusive endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import ReproError
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+@dataclass(slots=True)
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    labels: LabelKey = ()
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        if amount < 0:
+            raise ReproError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+def quantile(values: list[float], q: float) -> float:
+    """The ``q``-quantile of ``values`` by linear interpolation.
+
+    ``values`` must be sorted and non-empty; ``q`` in [0, 1].
+    """
+    if not values:
+        raise ReproError("quantile of an empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ReproError(f"quantile must be in [0, 1], got {q}")
+    position = q * (len(values) - 1)
+    low = int(position)
+    high = min(low + 1, len(values) - 1)
+    weight = position - low
+    return values[low] * (1.0 - weight) + values[high] * weight
+
+
+@dataclass(slots=True)
+class Histogram:
+    """A latency/size distribution keeping the full sample."""
+
+    name: str
+    labels: LabelKey = ()
+    _values: list[float] = field(default_factory=list)
+    _sorted: bool = True
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        if self._values and value < self._values[-1]:
+            self._sorted = False
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def _ensure_sorted(self) -> list[float]:
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        return self._values
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile of the observations."""
+        return quantile(self._ensure_sorted(), q)
+
+    def summary(self) -> dict[str, float]:
+        """count/min/mean/p50/p90/p99/max of the sample (0s when empty)."""
+        if not self._values:
+            return {"count": 0, "min": 0.0, "mean": 0.0,
+                    "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+        ordered = self._ensure_sorted()
+        return {
+            "count": len(ordered),
+            "min": ordered[0],
+            "mean": sum(ordered) / len(ordered),
+            "p50": quantile(ordered, 0.50),
+            "p90": quantile(ordered, 0.90),
+            "p99": quantile(ordered, 0.99),
+            "max": ordered[-1],
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of counters and histograms, keyed by labels."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, LabelKey], Counter] = {}
+        self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter with this name + label set, created on first use."""
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = Counter(name, key[1])
+            self._counters[key] = instrument
+        return instrument
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        """The histogram with this name + label set, created on first use."""
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = Histogram(name, key[1])
+            self._histograms[key] = instrument
+        return instrument
+
+    def counters(self) -> Iterator[Counter]:
+        yield from self._counters.values()
+
+    def histograms(self) -> Iterator[Histogram]:
+        yield from self._histograms.values()
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """JSON-safe rows for every instrument (for the JSONL exporter)."""
+        rows: list[dict[str, Any]] = []
+        for counter in self.counters():
+            rows.append({
+                "record": "metric",
+                "metric": "counter",
+                "name": counter.name,
+                "labels": dict(counter.labels),
+                "value": counter.value,
+            })
+        for histogram in self.histograms():
+            rows.append({
+                "record": "metric",
+                "metric": "histogram",
+                "name": histogram.name,
+                "labels": dict(histogram.labels),
+                "summary": histogram.summary(),
+            })
+        return rows

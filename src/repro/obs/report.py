@@ -1,0 +1,260 @@
+"""Summaries of an exported observability file.
+
+``repro obs-report trace.obs.jsonl`` (and :func:`render_report`) turn a
+:class:`~repro.obs.sinks.JSONLSink` export into the operational story
+the ROADMAP asks for: where a detection's latency went.  Sections:
+
+* **per-operator latency** — ``node.receive`` spans grouped by operator
+  kind: processing-time quantiles (host wall clock) and emission counts;
+* **per-link messages** — ``net.send`` spans grouped by (src, dst):
+  counts, volume, simulated-delay quantiles;
+* **stabilizer hold times** — ``stabilizer.hold`` span durations as a
+  quantile summary plus an ASCII histogram;
+* **detections** — ``detect`` spans per composite event: counts,
+  end-to-end latency quantiles, and span-chain integrity (every
+  detection must link back to recorded ``inject`` spans).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fractions import Fraction
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+from repro.obs.metrics import quantile
+from repro.obs.sinks import OBS_FILE_KIND
+from repro.obs.spans import Span
+
+
+@dataclass
+class ObsData:
+    """The parsed contents of one exported observability file."""
+
+    metadata: dict[str, str] = field(default_factory=dict)
+    spans: list[Span] = field(default_factory=list)
+    metrics: list[dict[str, Any]] = field(default_factory=list)
+
+    def named(self, name: str) -> list[Span]:
+        """Spans with this name, in file order."""
+        return [span for span in self.spans if span.name == name]
+
+
+def read_obs_file(path: str | Path) -> ObsData:
+    """Read a file written by :class:`~repro.obs.sinks.JSONLSink`."""
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+    except OSError as error:
+        raise ReproError(f"cannot read observability file: {error}") from error
+    if not lines:
+        raise ReproError(f"observability file {path} is empty")
+    try:
+        rows = [json.loads(line) for line in lines]
+    except json.JSONDecodeError as error:
+        raise ReproError(f"{path} has a malformed JSON line: {error}") from error
+    header = rows[0]
+    if not isinstance(header, dict) or header.get("kind") != OBS_FILE_KIND:
+        raise ReproError(f"{path} is not a repro observability file")
+    data = ObsData(metadata=dict(header.get("metadata", {})))
+    for row in rows[1:]:
+        if row.get("record") == "span":
+            data.spans.append(Span.from_json(row))
+        elif row.get("record") == "metric":
+            data.metrics.append(row)
+    return data
+
+
+def verify_span_chains(data: ObsData) -> list[str]:
+    """Check every detection links back to recorded injection spans.
+
+    Returns human-readable problems (empty means every ``detect`` span's
+    ``links`` resolve to ``inject`` spans in the same file).
+    """
+    inject_ids = {span.span_id for span in data.named("inject")}
+    problems: list[str] = []
+    for span in data.named("detect"):
+        links = span.attrs.get("links", [])
+        if not links:
+            problems.append(
+                f"detection {span.attrs.get('event')!r} (span {span.span_id}) "
+                f"has no injection links"
+            )
+            continue
+        missing = [link for link in links if link not in inject_ids]
+        if missing:
+            problems.append(
+                f"detection {span.attrs.get('event')!r} (span {span.span_id}) "
+                f"links to unknown spans {missing}"
+            )
+    return problems
+
+
+# --- rendering -------------------------------------------------------------
+
+
+def _quantile_row(values: list[float]) -> dict[str, float]:
+    ordered = sorted(values)
+    return {
+        "count": len(ordered),
+        "p50": quantile(ordered, 0.50),
+        "p90": quantile(ordered, 0.90),
+        "p99": quantile(ordered, 0.99),
+        "max": ordered[-1],
+    }
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def line(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+    out = [line(headers), line(["-" * width for width in widths])]
+    out.extend(line(row) for row in rows)
+    return out
+
+
+def _operator_section(data: ObsData) -> list[str]:
+    spans = data.named("node.receive")
+    if not spans:
+        return ["(no node.receive spans)"]
+    by_op: dict[str, list[Span]] = {}
+    for span in spans:
+        by_op.setdefault(str(span.attrs.get("op", "?")), []).append(span)
+    rows = []
+    for op in sorted(by_op):
+        wall_us = [span.wall_ns / 1000.0 for span in by_op[op]]
+        emitted = sum(int(span.attrs.get("emitted", 0)) for span in by_op[op])
+        stats = _quantile_row(wall_us)
+        rows.append([
+            op, str(stats["count"]), str(emitted),
+            f"{stats['p50']:.1f}", f"{stats['p90']:.1f}",
+            f"{stats['p99']:.1f}", f"{stats['max']:.1f}",
+        ])
+    return _table(
+        ["operator", "receives", "emitted", "p50 µs", "p90 µs", "p99 µs", "max µs"],
+        rows,
+    )
+
+
+def _link_section(data: ObsData) -> list[str]:
+    spans = data.named("net.send")
+    if not spans:
+        return ["(no net.send spans)"]
+    by_link: dict[tuple[str, str], list[Span]] = {}
+    for span in spans:
+        key = (str(span.attrs.get("src", span.site)), str(span.attrs.get("dst", "?")))
+        by_link.setdefault(key, []).append(span)
+    rows = []
+    for (src, dst) in sorted(by_link):
+        flights = by_link[(src, dst)]
+        delays_ms = [float(span.duration) * 1000.0 for span in flights]
+        volume = sum(int(span.attrs.get("size", 0)) for span in flights)
+        stats = _quantile_row(delays_ms)
+        rows.append([
+            f"{src} -> {dst}", str(len(flights)), str(volume),
+            f"{stats['p50']:.2f}", f"{stats['p99']:.2f}",
+        ])
+    return _table(
+        ["link", "messages", "volume", "delay p50 ms", "delay p99 ms"], rows
+    )
+
+
+def _ascii_histogram(values: list[float], buckets: int = 8, width: int = 32) -> list[str]:
+    low, high = min(values), max(values)
+    if high == low:
+        return [f"  all {len(values)} in [{low:.3f}, {high:.3f}]"]
+    size = (high - low) / buckets
+    counts = [0] * buckets
+    for value in values:
+        index = min(int((value - low) / size), buckets - 1)
+        counts[index] += 1
+    peak = max(counts)
+    lines = []
+    for i, count in enumerate(counts):
+        left = low + i * size
+        bar = "#" * max(1 if count else 0, round(count / peak * width))
+        lines.append(f"  [{left:8.3f}, {left + size:8.3f})  {count:6d}  {bar}")
+    return lines
+
+
+def _stabilizer_section(data: ObsData) -> list[str]:
+    spans = data.named("stabilizer.hold")
+    if not spans:
+        return ["(no stabilizer.hold spans)"]
+    holds = [float(span.duration) for span in spans]
+    stats = _quantile_row(holds)
+    lines = [
+        f"held occurrences: {stats['count']}   "
+        f"hold seconds p50={stats['p50']:.3f} p90={stats['p90']:.3f} "
+        f"p99={stats['p99']:.3f} max={stats['max']:.3f}",
+        "hold-time histogram (seconds):",
+    ]
+    lines.extend(_ascii_histogram(holds))
+    return lines
+
+
+def _detection_section(data: ObsData) -> list[str]:
+    spans = data.named("detect")
+    if not spans:
+        return ["(no detect spans)"]
+    by_event: dict[str, list[Span]] = {}
+    for span in spans:
+        by_event.setdefault(str(span.attrs.get("event", "?")), []).append(span)
+    rows = []
+    for event in sorted(by_event):
+        latencies_ms = [
+            float(Fraction(str(span.attrs["latency"]))) * 1000.0
+            for span in by_event[event]
+            if "latency" in span.attrs
+        ]
+        stats = _quantile_row(latencies_ms) if latencies_ms else None
+        rows.append([
+            event,
+            str(len(by_event[event])),
+            f"{stats['p50']:.2f}" if stats else "-",
+            f"{stats['p99']:.2f}" if stats else "-",
+            f"{stats['max']:.2f}" if stats else "-",
+        ])
+    lines = _table(
+        ["event", "detections", "latency p50 ms", "p99 ms", "max ms"], rows
+    )
+    problems = verify_span_chains(data)
+    if problems:
+        lines.append("")
+        lines.extend(f"PROBLEM: {problem}" for problem in problems)
+    else:
+        lines.append("")
+        lines.append(
+            f"span chains: every detection links back to its "
+            f"{len(data.named('inject'))} recorded injections — OK"
+        )
+    return lines
+
+
+def render_report(data: ObsData) -> str:
+    """The full text report for one observability export."""
+    spans = data.spans
+    sections = [
+        f"observability report — {len(spans)} spans, "
+        f"{len(data.metrics)} metric rows",
+    ]
+    if spans:
+        start = min(span.start for span in spans)
+        end = max(span.end for span in spans if span.end is not None)
+        sections.append(f"true-time range: [{start}, {end}] seconds")
+    for title, body in [
+        ("per-operator latency (processing time)", _operator_section(data)),
+        ("per-link messages", _link_section(data)),
+        ("stabilizer hold times", _stabilizer_section(data)),
+        ("detections", _detection_section(data)),
+    ]:
+        sections.append("")
+        sections.append(f"== {title} ==")
+        sections.extend(body)
+    return "\n".join(sections)

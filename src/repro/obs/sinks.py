@@ -1,0 +1,93 @@
+"""Span sinks: where finished spans go.
+
+Two built-ins:
+
+* :class:`RingBufferSink` — a bounded in-memory buffer for live
+  inspection and tests;
+* :class:`JSONLSink` — a JSON-lines exporter in the same
+  fraction-as-string encoding as :mod:`repro.sim.trace`, readable by
+  :func:`repro.obs.report.read_obs_file` and the ``repro obs-report``
+  CLI.
+
+A sink only needs ``record(span)`` and ``close(metrics=None)``; closing
+the JSONL sink appends a snapshot row per metric so one file carries
+the whole run.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Iterator, Protocol
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Span
+
+OBS_FILE_KIND = "repro-obs"
+OBS_FILE_VERSION = 1
+
+
+class SpanSink(Protocol):
+    """Receiver of finished spans."""
+
+    def record(self, span: Span) -> None:
+        ...  # pragma: no cover - protocol
+
+    def close(self, metrics: MetricsRegistry | None = None) -> None:
+        ...  # pragma: no cover - protocol
+
+
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` spans in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.spans: deque[Span] = deque(maxlen=capacity)
+
+    def record(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def close(self, metrics: MetricsRegistry | None = None) -> None:
+        """Nothing to flush; the buffer stays readable."""
+
+    def named(self, name: str) -> list[Span]:
+        """The buffered spans with this name, oldest first."""
+        return [span for span in self.spans if span.name == name]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+
+class JSONLSink:
+    """Streams spans to a JSON-lines file (header, spans, then metrics).
+
+    The header row mirrors :func:`repro.sim.trace.save_trace`:
+    ``{"kind": "repro-obs", "version": 1, "metadata": {...}}``; every
+    exact fraction is encoded as a string so a round-trip through
+    :func:`repro.obs.report.read_obs_file` is lossless.
+    """
+
+    def __init__(self, path: str | Path, metadata: dict[str, str] | None = None) -> None:
+        self.path = Path(path)
+        self._handle = self.path.open("w", encoding="utf-8")
+        header = {
+            "kind": OBS_FILE_KIND,
+            "version": OBS_FILE_VERSION,
+            "metadata": dict(metadata or {}),
+        }
+        self._handle.write(json.dumps(header) + "\n")
+
+    def record(self, span: Span) -> None:
+        self._handle.write(json.dumps(span.to_json()) + "\n")
+
+    def close(self, metrics: MetricsRegistry | None = None) -> None:
+        """Append metric snapshot rows and close the file (idempotent)."""
+        if self._handle.closed:
+            return
+        if metrics is not None:
+            for row in metrics.snapshot():
+                self._handle.write(json.dumps(row) + "\n")
+        self._handle.close()

@@ -1,0 +1,89 @@
+"""Structured spans: timed, labelled segments of a detection pipeline.
+
+A :class:`Span` records one operation — a primitive injection, a node
+``receive``, a message flight, a stabilizer hold — with *two* time
+axes:
+
+* ``start``/``end`` in **true (reference) time** — exact
+  :class:`~fractions.Fraction` seconds supplied by the bound simulation
+  clock, so durations like network flights and stabilizer holds are the
+  simulated values the paper's operational concerns are about;
+* ``wall_ns`` in **host wall-clock nanoseconds** — the processing cost
+  of the operation itself (useful for per-operator throughput
+  profiling, where simulated true time stands still inside a callback).
+
+Spans carry ``parent_id`` links (nesting within one instrumentation)
+and free-form ``attrs``; the convention used by the built-in hooks is
+documented in :mod:`repro.obs.instrument`.  Serialization follows
+:mod:`repro.sim.trace`'s JSON-lines style: exact fractions are encoded
+as strings (``"3/10"``) so round-trips are bit-exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Mapping
+
+from repro.errors import ReproError
+
+
+@dataclass(slots=True)
+class Span:
+    """One finished (or in-flight) operation in the pipeline timeline."""
+
+    span_id: int
+    name: str
+    site: str | None = None
+    parent_id: int | None = None
+    start: Fraction = Fraction(0)
+    end: Fraction | None = None
+    wall_ns: int = 0
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> Fraction:
+        """True-time duration; 0 while the span is still open."""
+        if self.end is None:
+            return Fraction(0)
+        return self.end - self.start
+
+    def to_json(self) -> dict[str, Any]:
+        """A JSON-safe row (fractions as strings, like ``sim.trace``)."""
+        return {
+            "record": "span",
+            "id": self.span_id,
+            "name": self.name,
+            "site": self.site,
+            "parent": self.parent_id,
+            "start": str(self.start),
+            "end": None if self.end is None else str(self.end),
+            "wall_ns": self.wall_ns,
+            "attrs": {key: _encode_attr(value) for key, value in self.attrs.items()},
+        }
+
+    @classmethod
+    def from_json(cls, row: Mapping[str, Any]) -> "Span":
+        """Rebuild a span from a :meth:`to_json` row."""
+        if row.get("record") != "span":
+            raise ReproError(f"not a span row: {row!r}")
+        end = row.get("end")
+        return cls(
+            span_id=int(row["id"]),
+            name=str(row["name"]),
+            site=row.get("site"),
+            parent_id=row.get("parent"),
+            start=Fraction(row["start"]),
+            end=None if end is None else Fraction(end),
+            wall_ns=int(row.get("wall_ns", 0)),
+            attrs=dict(row.get("attrs", {})),
+        )
+
+
+def _encode_attr(value: Any) -> Any:
+    """JSON-encode one attribute value; exact fractions become strings."""
+    if isinstance(value, Fraction):
+        return str(value)
+    if isinstance(value, (list, tuple)):
+        return [_encode_attr(item) for item in value]
+    return value

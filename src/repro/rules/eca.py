@@ -174,7 +174,7 @@ class RuleManager:
     ) -> list[RuleExecution]:
         """Feed a primitive event and run the triggered IMMEDIATE rules."""
         before = len(self.executions)
-        self.detector.feed_primitive(event_type, stamp, parameters)
+        self.detector.feed(event_type, stamp, parameters=parameters)
         return self.executions[before:]
 
     def _on_detection(self, event_name: str, detection: Detection) -> None:

@@ -24,6 +24,7 @@ real hardware with synchronized clocks.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Any, Callable, Iterable, Mapping
@@ -39,6 +40,7 @@ from repro.detection.nodes import Node
 from repro.errors import SimulationError, UnknownSiteError
 from repro.events.expressions import EventExpression
 from repro.events.occurrences import EventOccurrence, History
+from repro.obs.instrument import Instrumentation, resolve
 from repro.sim.engine import SimulationEngine
 from repro.sim.network import LatencyModel, Network
 from repro.sim.workloads import WorkloadEvent
@@ -94,15 +96,21 @@ class DistributedSystem:
         retransmit: bool = False,
         max_retries: int = 8,
         retry_timeout: Fraction | None = None,
+        *,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         self.model = model if model is not None else TimeModel.example_5_1()
         self.engine = SimulationEngine()
+        self.obs = resolve(instrumentation)
+        if self.obs.enabled:
+            self.obs.bind_clock(lambda: self.engine.now)
         rng = random.Random(seed)
         self.network = Network(
             self.engine,
             latency,
             loss_probability=loss_probability,
             rng=random.Random(seed + 0x5EED),
+            instrumentation=instrumentation,
         )
         self.retransmit = retransmit
         self.max_retries = max_retries
@@ -116,11 +124,16 @@ class DistributedSystem:
         else:
             self.clocks = ClockEnsemble.random(self.model, sites, rng)
         self.detector = DistributedDetector(
-            sites, coordinator=coordinator, timer_ratio=self.model.ratio
+            sites,
+            coordinator=coordinator,
+            timer_ratio=self.model.ratio,
+            instrumentation=instrumentation,
         )
         self.records: list[DetectionRecord] = []
         self.history = History()
         self._injection_times: dict[int, Fraction] = {}
+        self._injection_spans: dict[int, int] = {}
+        self._subscribers: dict[str, list[Callable[[DetectionRecord], None]]] = {}
         self._injected = 0
 
     # --- configuration -----------------------------------------------------
@@ -142,7 +155,14 @@ class DistributedSystem:
         placement: PlacementPolicy = PlacementPolicy.LEAF_MAJORITY,
         callback: Callable[[Detection], None] | None = None,
     ) -> Node:
-        """Register a composite event; detections are recorded with timing."""
+        """Register a composite event; detections are recorded with timing.
+
+        ``expression`` is either Snoop text (``"buy ; sell"``) or a
+        pre-built :class:`~repro.events.expressions.EventExpression`.
+        To react to detections, prefer :meth:`subscribe`, which delivers
+        the timed :class:`DetectionRecord` rather than the raw
+        :class:`~repro.detection.detector.Detection`.
+        """
         root = self.detector.register(
             expression, name=name, context=context, placement=placement
         )
@@ -151,13 +171,78 @@ class DistributedSystem:
             self.detector._callbacks[root.name].append(callback)
         return root
 
+    def subscribe(
+        self, name: str, callback: Callable[[DetectionRecord], None]
+    ) -> Callable[[DetectionRecord], None]:
+        """Call ``callback`` with each new :class:`DetectionRecord` of ``name``.
+
+        The observer API: applications react to detections as they are
+        signalled instead of polling :meth:`detections_of` after the
+        run.  Subscribing before :meth:`register` is allowed.  Returns
+        ``callback`` so inline lambdas can be kept for
+        :meth:`unsubscribe`.
+        """
+        self._subscribers.setdefault(name, []).append(callback)
+        return callback
+
+    def unsubscribe(
+        self, name: str, callback: Callable[[DetectionRecord], None]
+    ) -> None:
+        """Remove a callback added with :meth:`subscribe`."""
+        try:
+            self._subscribers.get(name, []).remove(callback)
+        except ValueError:
+            raise SimulationError(
+                f"callback is not subscribed to {name!r}"
+            ) from None
+
     # --- event injection ------------------------------------------------------
 
-    def inject(self, events: Iterable[WorkloadEvent]) -> int:
-        """Schedule workload events for injection; returns the count."""
+    def inject(
+        self,
+        events: Iterable[WorkloadEvent] | str,
+        event: str | None = None,
+        *,
+        at: int | float | Fraction | None = None,
+        parameters: Mapping[str, Any] | None = None,
+    ) -> int:
+        """Schedule primitive events for injection; returns the count.
+
+        The documented ingestion entrypoint, in two forms::
+
+            system.inject("ny", "buy", at=1, parameters={"qty": 10})
+            system.inject(paired_stream(rng, "ny", "ldn", 1, pairs=3))
+
+        The single-event form takes a site name, an event type, and a
+        keyword-only true time ``at`` (seconds); the bulk form takes any
+        iterable of :class:`~repro.sim.workloads.WorkloadEvent` (workload
+        generators, :class:`~repro.sim.trace.Trace` objects, plain lists).
+        """
+        if isinstance(events, str):
+            if event is None or at is None:
+                raise TypeError(
+                    "inject(site, event, at=...) requires an event type and "
+                    "a true time"
+                )
+            if events not in self.sites:
+                raise UnknownSiteError(f"{events!r} is not a site of this system")
+            events = [
+                WorkloadEvent(
+                    time=Fraction(at),
+                    site=events,
+                    event_type=event,
+                    parameters=dict(parameters or {}),
+                )
+            ]
+        elif event is not None or at is not None or parameters is not None:
+            raise TypeError(
+                "inject(events) bulk form takes no event/at/parameters"
+            )
         count = 0
-        for event in events:
-            self.engine.schedule_at(event.time, self._make_raiser(event))
+        for workload_event in events:
+            self.engine.schedule_at(
+                workload_event.time, self._make_raiser(workload_event)
+            )
             count += 1
         return count
 
@@ -168,16 +253,14 @@ class DistributedSystem:
         at: int | float | Fraction,
         parameters: Mapping[str, Any] | None = None,
     ) -> None:
-        """Schedule one primitive event at a true time."""
-        if site not in self.sites:
-            raise UnknownSiteError(f"{site!r} is not a site of this system")
-        event = WorkloadEvent(
-            time=Fraction(at),
-            site=site,
-            event_type=event_type,
-            parameters=dict(parameters or {}),
+        """Deprecated alias of :meth:`inject`'s single-event form."""
+        warnings.warn(
+            "DistributedSystem.raise_event is deprecated; use "
+            "DistributedSystem.inject(site, event, at=...)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self.inject([event])
+        self.inject(site, event_type, at=at, parameters=parameters)
 
     def _make_raiser(self, event: WorkloadEvent) -> Callable[[], None]:
         def raiser() -> None:
@@ -188,9 +271,20 @@ class DistributedSystem:
             )
             self._injection_times[occurrence.uid] = self.engine.now
             self.history.add(occurrence)
-            self.detector.feed_occurrence(occurrence)
             self._injected += 1
-            self._drain_outbox()
+            if self.obs.enabled:
+                with self.obs.span(
+                    "inject",
+                    site=event.site,
+                    event=event.event_type,
+                    uid=occurrence.uid,
+                ) as span:
+                    self._injection_spans[occurrence.uid] = span.id
+                    self.detector.feed_occurrence(occurrence)
+                    self._drain_outbox()
+            else:
+                self.detector.feed_occurrence(occurrence)
+                self._drain_outbox()
 
         return raiser
 
@@ -240,14 +334,28 @@ class DistributedSystem:
         ]
         if not times:
             times = [self.engine.now]
-        self.records.append(
-            DetectionRecord(
-                name=detection.name,
-                detection=detection,
-                true_time=self.engine.now,
-                injection_span=(min(times), max(times)),
-            )
+        record = DetectionRecord(
+            name=detection.name,
+            detection=detection,
+            true_time=self.engine.now,
+            injection_span=(min(times), max(times)),
         )
+        self.records.append(record)
+        if self.obs.enabled:
+            uids = [leaf.uid for leaf in leaves]
+            self.obs.event(
+                "detect",
+                event=detection.name,
+                latency=record.latency,
+                uids=uids,
+                links=[
+                    self._injection_spans[uid]
+                    for uid in uids
+                    if uid in self._injection_spans
+                ],
+            )
+        for callback in self._subscribers.get(detection.name, []):
+            callback(record)
 
     # --- running -----------------------------------------------------------------
 

@@ -32,6 +32,7 @@ from repro.detection.stabilizer import Stabilizer
 from repro.errors import SimulationError, UnknownSiteError
 from repro.events.expressions import EventExpression
 from repro.events.occurrences import EventOccurrence, History
+from repro.obs.instrument import Instrumentation, resolve
 from repro.sim.engine import SimulationEngine
 from repro.sim.network import LatencyModel, Network
 from repro.sim.workloads import WorkloadEvent
@@ -67,6 +68,8 @@ class StabilizedMonitor:
         latency: LatencyModel | None = None,
         heartbeat_granules: int = 5,
         monitor_site: str = "__monitor__",
+        *,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         if heartbeat_granules <= 0:
             raise SimulationError(
@@ -77,16 +80,28 @@ class StabilizedMonitor:
         self.monitor_site = monitor_site
         self.heartbeat_granules = heartbeat_granules
         self.engine = SimulationEngine()
+        self.obs = resolve(instrumentation)
+        if self.obs.enabled:
+            self.obs.bind_clock(lambda: self.engine.now)
         # FIFO channels are the stabilizer's delivery premise.
-        self.network = Network(self.engine, latency, fifo=True)
+        self.network = Network(
+            self.engine, latency, fifo=True, instrumentation=instrumentation
+        )
         self.clocks = ClockEnsemble.random(
             self.model, self.sites, random.Random(seed)
         )
-        self.detector = Detector(site=monitor_site, timer_ratio=self.model.ratio)
-        self.stabilizer = Stabilizer(self.detector, sites=self.sites)
+        self.detector = Detector(
+            site=monitor_site,
+            timer_ratio=self.model.ratio,
+            instrumentation=instrumentation,
+        )
+        self.stabilizer = Stabilizer(
+            self.detector, sites=self.sites, instrumentation=instrumentation
+        )
         self.history = History()
         self.records: list[MonitorDetection] = []
         self._injection_times: dict[int, Fraction] = {}
+        self._injection_spans: dict[int, int] = {}
         self._heartbeats_scheduled = False
 
     # --- registration ---------------------------------------------------
@@ -123,6 +138,14 @@ class StabilizedMonitor:
             )
             self.history.add(occurrence)
             self._injection_times[occurrence.uid] = self.engine.now
+            if self.obs.enabled:
+                span = self.obs.event(
+                    "inject",
+                    site=event.site,
+                    event=event.event_type,
+                    uid=occurrence.uid,
+                )
+                self._injection_spans[occurrence.uid] = span.span_id
             self.network.send(
                 event.site,
                 self.monitor_site,
@@ -167,18 +190,32 @@ class StabilizedMonitor:
             self._record(detection)
 
     def _record(self, detection: Detection) -> None:
+        leaves = detection.occurrence.primitive_leaves()
         times = [
             self._injection_times[leaf.uid]
-            for leaf in detection.occurrence.primitive_leaves()
+            for leaf in leaves
             if leaf.uid in self._injection_times
         ]
-        self.records.append(
-            MonitorDetection(
-                detection=detection,
-                true_time=self.engine.now,
-                latest_injection=max(times) if times else self.engine.now,
-            )
+        record = MonitorDetection(
+            detection=detection,
+            true_time=self.engine.now,
+            latest_injection=max(times) if times else self.engine.now,
         )
+        self.records.append(record)
+        if self.obs.enabled:
+            uids = [leaf.uid for leaf in leaves]
+            self.obs.event(
+                "detect",
+                site=self.monitor_site,
+                event=detection.name,
+                latency=record.latency,
+                uids=uids,
+                links=[
+                    self._injection_spans[uid]
+                    for uid in uids
+                    if uid in self._injection_spans
+                ],
+            )
 
     # --- running -----------------------------------------------------------
 

@@ -18,6 +18,7 @@ from fractions import Fraction
 from typing import Callable, Protocol
 
 from repro.errors import SimulationError
+from repro.obs.instrument import Instrumentation, resolve
 from repro.sim.engine import SimulationEngine
 
 
@@ -107,6 +108,8 @@ class Network:
         loss_probability: float = 0.0,
         rng: random.Random | None = None,
         fifo: bool = False,
+        *,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         if not 0.0 <= loss_probability < 1.0:
             raise SimulationError(
@@ -117,6 +120,7 @@ class Network:
         self.loss_probability = loss_probability
         self.rng = rng if rng is not None else random.Random(0)
         self.fifo = fifo
+        self.obs = resolve(instrumentation)
         self.stats = NetworkStats()
         self._link_horizon: dict[tuple[str, str], Fraction] = {}
 
@@ -133,6 +137,8 @@ class Network:
             return Fraction(0)
         if self.loss_probability and self.rng.random() < self.loss_probability:
             self.stats.dropped += 1
+            if self.obs.enabled:
+                self.obs.counter("net.dropped", link=f"{src}->{dst}").inc()
             return None
         delay = Fraction(self.latency.delay(src, dst, size))
         link = (src, dst)
@@ -150,5 +156,19 @@ class Network:
         self.stats.volume += size
         self.stats.total_delay += delay
         self.stats.per_link[link] = self.stats.per_link.get(link, 0) + 1
+        if self.obs.enabled:
+            # The flight span has explicit true-time bounds: the delivery
+            # happens later on the engine, but the delay is already known.
+            self.obs.record_span(
+                "net.send",
+                start=self.engine.now,
+                end=self.engine.now + delay,
+                site=src,
+                src=src,
+                dst=dst,
+                size=size,
+            )
+            self.obs.counter("net.messages", link=f"{src}->{dst}").inc()
+            self.obs.histogram("net.delay_seconds").observe(float(delay))
         self.engine.schedule_in(delay, handler)
         return delay

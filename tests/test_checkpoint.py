@@ -75,7 +75,7 @@ SECOND_HALF = [
 class TestDetectorContinuity:
     def feed(self, detector, events):
         for event_type, stamp, params in events:
-            detector.feed_primitive(event_type, stamp, params)
+            detector.feed(event_type, stamp, parameters=params)
 
     def test_checkpoint_restore_matches_uninterrupted_run(self):
         # Uninterrupted reference run.
@@ -105,7 +105,7 @@ class TestDetectorContinuity:
 
     def test_plus_timer_survives_restart(self):
         first = build_detector()
-        first.feed_primitive("x", ts("s1", 3, 33))
+        first.feed("x", ts("s1", 3, 33))
         assert first.pending_timers() == 1
         state = snapshot(first)
 
@@ -118,7 +118,7 @@ class TestDetectorContinuity:
     def test_periodic_window_survives_restart(self):
         first = Detector()
         first.register("P*(o, 3, c)", name="ticks")
-        first.feed_primitive("o", ts("s1", 1, 10))
+        first.feed("o", ts("s1", 1, 10))
         first.advance_time(5)  # one tick fired at granule 4
         state = snapshot(first)
 
@@ -126,7 +126,7 @@ class TestDetectorContinuity:
         second.register("P*(o, 3, c)", name="ticks")
         restore(second, state)
         second.advance_time(11)  # ticks at 7 and 10
-        (detection,) = second.feed_primitive("c", ts("s2", 13, 130))
+        (detection,) = second.feed("c", ts("s2", 13, 130))
         assert detection.occurrence.parameters["ticks"] == (4, 7, 10)
 
     def test_clock_restored(self):
@@ -139,15 +139,15 @@ class TestDetectorContinuity:
     def test_consuming_context_state_round_trips(self):
         first = Detector()
         first.register("a ; b", name="seq", context=Context.CHRONICLE)
-        first.feed_primitive("a", ts("s1", 1, 10), {"k": "old"})
-        first.feed_primitive("a", ts("s1", 2, 21), {"k": "new"})
+        first.feed("a", ts("s1", 1, 10), parameters={"k": "old"})
+        first.feed("a", ts("s1", 2, 21), parameters={"k": "new"})
 
         second = Detector()
         second.register("a ; b", name="seq", context=Context.CHRONICLE)
         restore(second, snapshot(first))
-        (detection,) = second.feed_primitive("b", ts("s2", 9, 90))
+        (detection,) = second.feed("b", ts("s2", 9, 90))
         assert detection.occurrence.parameters["k"] == "old"
-        (detection,) = second.feed_primitive("b", ts("s2", 10, 100))
+        (detection,) = second.feed("b", ts("s2", 10, 100))
         assert detection.occurrence.parameters["k"] == "new"
 
 
@@ -155,18 +155,18 @@ class TestFileRoundTrip:
     def test_save_and_load(self, tmp_path):
         path = tmp_path / "checkpoint.json"
         first = build_detector()
-        first.feed_primitive("a", ts("s1", 1, 10))
+        first.feed("a", ts("s1", 1, 10))
         save_checkpoint(first, str(path))
 
         second = build_detector()
         load_checkpoint(second, str(path))
-        assert second.feed_primitive("b", ts("s2", 9, 90))
+        assert second.feed("b", ts("s2", 9, 90))
 
 
 class TestErrors:
     def test_unknown_node_in_snapshot_rejected(self):
         first = build_detector()
-        first.feed_primitive("a", ts("s1", 1, 10))
+        first.feed("a", ts("s1", 1, 10))
         state = snapshot(first)
         bare = Detector()
         bare.register("p ; q", name="other")
@@ -197,11 +197,11 @@ class TestDistributedCheckpoint:
         )
 
         first = self.build()
-        first.feed_primitive("a", ts("s1", 2, 20))
+        first.feed("a", ts("s1", 2, 20))
         first.pump()
         # The terminator's message from s2 to the seq node (placed at s1)
         # is deliberately left in flight across the checkpoint.
-        first.feed_primitive("b", ts("s2", 9, 90))
+        first.feed("b", ts("s2", 9, 90))
         assert len(first.outbox) >= 1
         state = snapshot_distributed(first)
 
@@ -217,7 +217,7 @@ class TestDistributedCheckpoint:
         )
 
         first = self.build()
-        first.feed_primitive("a", ts("s1", 3, 30))
+        first.feed("a", ts("s1", 3, 30))
         first.pump()
         state = snapshot_distributed(first)
 

@@ -67,24 +67,24 @@ class TestEndToEnd:
         system.run()
         assert system.injected_count() == 8
 
-    def test_raise_event_convenience(self):
+    def test_single_event_inject_convenience(self):
         system = two_site_system()
         system.register("cause ; effect", name="seq")
-        system.raise_event("a", "cause", at=1)
-        system.raise_event("b", "effect", at=2)
+        system.inject("a", "cause", at=1)
+        system.inject("b", "effect", at=2)
         system.run()
         assert len(system.detections_of("seq")) == 1
 
     def test_unknown_site_rejected(self):
         system = two_site_system()
         with pytest.raises(Exception):
-            system.raise_event("nope", "cause", at=1)
+            system.inject("nope", "cause", at=1)
 
     def test_callback_plumbing(self):
         system = two_site_system()
         seen = []
         system.register("cause or effect", name="any", callback=seen.append)
-        system.raise_event("a", "cause", at=1)
+        system.inject("a", "cause", at=1)
         system.run()
         assert len(seen) == 1
 
@@ -113,8 +113,8 @@ class TestClockEffects:
     def test_detection_record_spans(self):
         system = two_site_system()
         system.register("cause and effect", name="both", context=Context.CHRONICLE)
-        system.raise_event("a", "cause", at=1)
-        system.raise_event("b", "effect", at=2)
+        system.inject("a", "cause", at=1)
+        system.inject("b", "effect", at=2)
         system.run()
         (record,) = system.detections_of("both")
         assert record.injection_span == (Fraction(1), Fraction(2))
@@ -125,7 +125,7 @@ class TestTemporalOperators:
     def test_plus_with_granule_pump(self):
         system = two_site_system()
         system.register("cause + 5", name="later")
-        system.raise_event("a", "cause", at=1)
+        system.inject("a", "cause", at=1)
         system.run(until=5, pump_granules=True)
         assert len(system.detections_of("later")) == 1
 

@@ -64,16 +64,16 @@ class TestDetection:
     def test_cross_site_sequence(self):
         detector = make_detector()
         detector.register("a ; b", name="seq")
-        detector.feed_primitive("a", ts("s1", 2, 20))
-        detector.feed_primitive("b", ts("s2", 9, 90))
+        detector.feed("a", ts("s1", 2, 20))
+        detector.feed("b", ts("s2", 9, 90))
         detector.pump()
         assert len(detector.detections_of("seq")) == 1
 
     def test_messages_counted(self):
         detector = make_detector()
         detector.register("a ; b", name="seq")
-        detector.feed_primitive("a", ts("s1", 2, 20))
-        detector.feed_primitive("b", ts("s2", 9, 90))
+        detector.feed("a", ts("s1", 2, 20))
+        detector.feed("b", ts("s2", 9, 90))
         detector.pump()
         assert detector.message_count() >= 1
         assert detector.bytes_sent() >= detector.message_count()
@@ -83,8 +83,8 @@ class TestDetection:
         detector.set_home("a", "only")
         detector.set_home("b", "only")
         detector.register("a ; b", name="seq")
-        detector.feed_primitive("a", ts("only", 2, 20))
-        detector.feed_primitive("b", ts("only", 2, 29))
+        detector.feed("a", ts("only", 2, 20))
+        detector.feed("b", ts("only", 2, 29))
         assert detector.message_count() == 0
         assert len(detector.detections_of("seq")) == 1
 
@@ -92,8 +92,8 @@ class TestDetection:
         """Delivering the terminator before the initiator still detects."""
         detector = make_detector()
         detector.register("a ; b", name="seq")
-        detector.feed_primitive("a", ts("s1", 2, 20))
-        detector.feed_primitive("b", ts("s2", 9, 90))
+        detector.feed("a", ts("s1", 2, 20))
+        detector.feed("b", ts("s2", 9, 90))
         # Reverse the outbox before pumping: b's message arrives first.
         messages = list(detector.outbox)
         detector.outbox.clear()
@@ -119,7 +119,7 @@ class TestDetection:
         detector = make_detector()
         detector.register(expression, name="r", placement=placement)
         for event_type, stamp in stream:
-            detector.feed_primitive(event_type, stamp)
+            detector.feed(event_type, stamp)
             detector.pump()
         mine = detector.detections_of("r")
         assert sorted(repr(o.timestamp) for o in mine) == sorted(
@@ -130,7 +130,7 @@ class TestDetection:
         detector = make_detector()
         seen = []
         detector.register("a or b", name="either", callback=seen.append)
-        detector.feed_primitive("a", ts("s1", 1, 10))
+        detector.feed("a", ts("s1", 1, 10))
         detector.pump()
         assert len(seen) == 1
 
@@ -139,7 +139,7 @@ class TestTimersDistributed:
     def test_plus_fires_on_site_clock(self):
         detector = make_detector()
         detector.register("a + 4", name="later")
-        detector.feed_primitive("a", ts("s1", 3, 30))
+        detector.feed("a", ts("s1", 3, 30))
         detector.pump()
         detections = detector.advance_time(7)
         detector.pump()
@@ -151,7 +151,7 @@ class TestTimersDistributed:
     def test_periodic_window_distributed(self):
         detector = make_detector()
         detector.register("P(a, 2, c)", name="tick")
-        detector.feed_primitive("a", ts("s1", 1, 10))
+        detector.feed("a", ts("s1", 1, 10))
         detector.pump()
         fired = detector.advance_time(7)
         detector.pump()

@@ -43,61 +43,61 @@ class TestBasicDetection:
     def test_sequence_fires_in_order(self):
         detector = Detector()
         detector.register("a ; b", name="seq")
-        assert detector.feed_primitive("a", ts("s1", 2, 20)) == []
-        detections = detector.feed_primitive("b", ts("s2", 9, 90))
+        assert detector.feed("a", ts("s1", 2, 20)) == []
+        detections = detector.feed("b", ts("s2", 9, 90))
         assert len(detections) == 1
         assert detections[0].name == "seq"
 
     def test_sequence_concurrent_pair_ignored(self):
         detector = Detector()
         detector.register("a ; b", name="seq")
-        detector.feed_primitive("a", ts("s1", 5, 50))
-        assert detector.feed_primitive("b", ts("s2", 6, 60)) == []
+        detector.feed("a", ts("s1", 5, 50))
+        assert detector.feed("b", ts("s2", 6, 60)) == []
 
     def test_and_any_order(self):
         detector = Detector()
         detector.register("a and b", name="both")
-        detector.feed_primitive("b", ts("s2", 9, 90))
-        detections = detector.feed_primitive("a", ts("s1", 2, 20))
+        detector.feed("b", ts("s2", 9, 90))
+        detections = detector.feed("a", ts("s1", 2, 20))
         assert len(detections) == 1
 
     def test_or_fires_immediately(self):
         detector = Detector()
         detector.register("a or b", name="either")
-        assert len(detector.feed_primitive("b", ts("s1", 5, 50))) == 1
+        assert len(detector.feed("b", ts("s1", 5, 50))) == 1
 
     def test_detection_timestamp_is_max(self):
         detector = Detector()
         detector.register("a and b", name="both")
-        detector.feed_primitive("a", ts("s1", 5, 50))
-        (detection,) = detector.feed_primitive("b", ts("s2", 6, 60))
+        detector.feed("a", ts("s1", 5, 50))
+        (detection,) = detector.feed("b", ts("s2", 6, 60))
         assert detection.occurrence.timestamp == cts(("s1", 5, 50), ("s2", 6, 60))
 
     def test_primitive_event_as_root(self):
         detector = Detector()
         detector.register("a", name="justA")
-        assert len(detector.feed_primitive("a", ts("s1", 5, 50))) == 1
+        assert len(detector.feed("a", ts("s1", 5, 50))) == 1
 
     def test_callback_invoked(self):
         detector = Detector()
         seen = []
         detector.register("a or b", name="either", callback=seen.append)
-        detector.feed_primitive("a", ts("s1", 5, 50))
+        detector.feed("a", ts("s1", 5, 50))
         assert len(seen) == 1
 
     def test_detections_of_accumulates(self):
         detector = Detector()
         detector.register("a or b", name="either")
-        detector.feed_primitive("a", ts("s1", 5, 50))
-        detector.feed_primitive("b", ts("s1", 5, 51))
+        detector.feed("a", ts("s1", 5, 50))
+        detector.feed("b", ts("s1", 5, 51))
         assert len(detector.detections_of("either")) == 2
 
     def test_cascaded_composites(self):
         detector = Detector()
         detector.register("(a ; b) ; c", name="chain")
-        detector.feed_primitive("a", ts("s1", 1, 10))
-        detector.feed_primitive("b", ts("s2", 5, 50))
-        detections = detector.feed_primitive("c", ts("s3", 9, 90))
+        detector.feed("a", ts("s1", 1, 10))
+        detector.feed("b", ts("s2", 5, 50))
+        detections = detector.feed("c", ts("s3", 9, 90))
         assert len(detections) == 1
 
 
@@ -105,10 +105,10 @@ class TestContexts:
     def feed_three_a_one_b(self, context):
         detector = Detector()
         detector.register("a ; b", name="seq", context=context)
-        detector.feed_primitive("a", ts("s1", 1, 10))
-        detector.feed_primitive("a", ts("s1", 2, 21))
-        detector.feed_primitive("a", ts("s1", 3, 32))
-        return detector, detector.feed_primitive("b", ts("s2", 9, 90))
+        detector.feed("a", ts("s1", 1, 10))
+        detector.feed("a", ts("s1", 2, 21))
+        detector.feed("a", ts("s1", 3, 32))
+        return detector, detector.feed("b", ts("s2", 9, 90))
 
     def test_unrestricted_all_pairs(self):
         _, detections = self.feed_three_a_one_b(Context.UNRESTRICTED)
@@ -126,7 +126,7 @@ class TestContexts:
         leaf = detections[0].occurrence.constituents[0]
         assert leaf.timestamp == cts(("s1", 1, 10))
         # Second terminator pairs with the next-oldest initiator.
-        more = detector.feed_primitive("b", ts("s2", 10, 100))
+        more = detector.feed("b", ts("s2", 10, 100))
         leaf = more[0].occurrence.constituents[0]
         assert leaf.timestamp == cts(("s1", 2, 21))
 
@@ -134,7 +134,7 @@ class TestContexts:
         detector, detections = self.feed_three_a_one_b(Context.CONTINUOUS)
         assert len(detections) == 3
         # All initiators consumed: a second b finds nothing.
-        assert detector.feed_primitive("b", ts("s2", 10, 100)) == []
+        assert detector.feed("b", ts("s2", 10, 100)) == []
 
     def test_cumulative_one_merged_detection(self):
         detector, detections = self.feed_three_a_one_b(Context.CUMULATIVE)
@@ -147,7 +147,7 @@ class TestTimers:
     def test_plus_fires_via_advance_time(self):
         detector = Detector()
         detector.register("e + 5", name="later")
-        detector.feed_primitive("e", ts("s1", 3, 30))
+        detector.feed("e", ts("s1", 3, 30))
         assert detector.pending_timers() == 1
         detections = detector.advance_time(8)
         assert len(detections) == 1
@@ -156,24 +156,24 @@ class TestTimers:
     def test_plus_does_not_fire_early(self):
         detector = Detector()
         detector.register("e + 5", name="later")
-        detector.feed_primitive("e", ts("s1", 3, 30))
+        detector.feed("e", ts("s1", 3, 30))
         assert detector.advance_time(7) == []
 
     def test_periodic_fires_until_closer(self):
         detector = Detector()
         detector.register("P(o, 3, c)", name="tick")
-        detector.feed_primitive("o", ts("s1", 1, 10))
+        detector.feed("o", ts("s1", 1, 10))
         fired = detector.advance_time(11)
         assert len(fired) == 3  # granules 4, 7, 10
-        detector.feed_primitive("c", ts("s2", 12, 120))
+        detector.feed("c", ts("s2", 12, 120))
         assert detector.advance_time(20) == []
 
     def test_periodic_star_reports_on_closer(self):
         detector = Detector()
         detector.register("P*(o, 3, c)", name="ticks")
-        detector.feed_primitive("o", ts("s1", 1, 10))
+        detector.feed("o", ts("s1", 1, 10))
         detector.advance_time(11)
-        detections = detector.feed_primitive("c", ts("s2", 13, 130))
+        detections = detector.feed("c", ts("s2", 13, 130))
         assert len(detections) == 1
         assert detections[0].occurrence.parameters["ticks"] == (4, 7, 10)
 
@@ -186,7 +186,7 @@ class TestTimers:
     def test_timer_stamp_site(self):
         detector = Detector(site="nyc")
         detector.register("e + 2", name="later")
-        detector.feed_primitive("e", ts("s1", 3, 30))
+        detector.feed("e", ts("s1", 3, 30))
         (detection,) = detector.advance_time(5)
         tick = detection.occurrence.constituents[1]
         (stamp,) = tick.timestamp.stamps
@@ -197,31 +197,31 @@ class TestNotAndAperiodic:
     def test_not_blocked(self):
         detector = Detector()
         detector.register("not(n)[o, c]", name="quiet")
-        detector.feed_primitive("o", ts("s1", 1, 10))
-        detector.feed_primitive("n", ts("s2", 5, 50))
-        assert detector.feed_primitive("c", ts("s3", 9, 90)) == []
+        detector.feed("o", ts("s1", 1, 10))
+        detector.feed("n", ts("s2", 5, 50))
+        assert detector.feed("c", ts("s3", 9, 90)) == []
 
     def test_not_fires_clean_interval(self):
         detector = Detector()
         detector.register("not(n)[o, c]", name="quiet")
-        detector.feed_primitive("o", ts("s1", 1, 10))
-        assert len(detector.feed_primitive("c", ts("s3", 9, 90))) == 1
+        detector.feed("o", ts("s1", 1, 10))
+        assert len(detector.feed("c", ts("s3", 9, 90))) == 1
 
     def test_aperiodic_counts_bodies(self):
         detector = Detector()
         detector.register("A(o, b, c)", name="inwindow")
-        detector.feed_primitive("o", ts("s1", 1, 10))
-        assert len(detector.feed_primitive("b", ts("s2", 4, 40))) == 1
-        assert len(detector.feed_primitive("b", ts("s2", 6, 60))) == 1
-        detector.feed_primitive("c", ts("s3", 9, 90))
+        detector.feed("o", ts("s1", 1, 10))
+        assert len(detector.feed("b", ts("s2", 4, 40))) == 1
+        assert len(detector.feed("b", ts("s2", 6, 60))) == 1
+        detector.feed("c", ts("s3", 9, 90))
         # Window closed: a later body that the closer precedes is ignored.
-        assert detector.feed_primitive("b", ts("s2", 12, 120)) == []
+        assert detector.feed("b", ts("s2", 12, 120)) == []
 
     def test_aperiodic_star_accumulates(self):
         detector = Detector()
         detector.register("A*(o, b, c)", name="batch")
-        detector.feed_primitive("o", ts("s1", 1, 10))
-        detector.feed_primitive("b", ts("s2", 4, 40), {"v": 1})
-        detector.feed_primitive("b", ts("s2", 6, 60), {"v": 2})
-        (detection,) = detector.feed_primitive("c", ts("s3", 9, 90))
+        detector.feed("o", ts("s1", 1, 10))
+        detector.feed("b", ts("s2", 4, 40), parameters={"v": 1})
+        detector.feed("b", ts("s2", 6, 60), parameters={"v": 2})
+        (detection,) = detector.feed("c", ts("s3", 9, 90))
         assert detection.occurrence.parameters["accumulated"] == ({"v": 1}, {"v": 2})

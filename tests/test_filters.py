@@ -125,18 +125,18 @@ class TestFilterSemantics:
         detector = Detector()
         detector.register(expression, name="r")
         for event_type, stamp, params in stream:
-            detector.feed_primitive(event_type, stamp, params)
+            detector.feed(event_type, stamp, parameters=params)
         assert len(detector.detections_of("r")) == len(oracle) == 1
 
     def test_filtered_out_events_not_buffered(self):
         detector = Detector()
         detector.register("e[v > 10] ; f", name="r")
         for i in range(20):
-            detector.feed_primitive("e", ts("a", i, i * 10), {"v": 1})
+            detector.feed("e", ts("a", i, i * 10), parameters={"v": 1})
         assert detector.buffered_occurrences() == 0
 
     def test_filter_as_root(self):
         detector = Detector()
         detector.register("e[v == 7]", name="lucky")
-        assert detector.feed_primitive("e", ts("a", 1, 10), {"v": 7})
-        assert not detector.feed_primitive("e", ts("a", 2, 20), {"v": 8})
+        assert detector.feed("e", ts("a", 1, 10), parameters={"v": 7})
+        assert not detector.feed("e", ts("a", 2, 20), parameters={"v": 8})

@@ -14,11 +14,11 @@ def busy_detector():
     detector.register("a ; b", name="seq")
     detector.register("A*(o, m, c)", name="batch", context=Context.CHRONICLE)
     detector.register("e + 5", name="later")
-    detector.feed_primitive("a", ts("s1", 1, 10))
-    detector.feed_primitive("a", ts("s1", 2, 21))
-    detector.feed_primitive("o", ts("s2", 1, 11))
-    detector.feed_primitive("m", ts("s3", 4, 40))
-    detector.feed_primitive("e", ts("s1", 3, 33))
+    detector.feed("a", ts("s1", 1, 10))
+    detector.feed("a", ts("s1", 2, 21))
+    detector.feed("o", ts("s2", 1, 11))
+    detector.feed("m", ts("s3", 4, 40))
+    detector.feed("e", ts("s1", 3, 33))
     return detector
 
 
@@ -44,7 +44,7 @@ class TestInspect:
         assert report.pending_timers == 1
 
     def test_emitted_counts(self, busy_detector):
-        busy_detector.feed_primitive("b", ts("s2", 9, 90))
+        busy_detector.feed("b", ts("s2", 9, 90))
         report = inspect_detector(busy_detector)
         assert report.by_name("seq").emitted == 2
 
@@ -62,6 +62,6 @@ class TestNodeBuffered:
     def test_periodic_windows_counted(self):
         detector = Detector()
         root = detector.register("P*(o, 2, c)", name="ticks")
-        detector.feed_primitive("o", ts("s1", 1, 10))
+        detector.feed("o", ts("s1", 1, 10))
         detector.advance_time(6)  # ticks at 3 and 5
         assert node_buffered(root) == 3  # opener + two ticks

@@ -1,0 +1,346 @@
+"""Tests for the observability subsystem (repro.obs)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.detection.detector import Detector
+from repro.errors import ReproError
+from repro.obs import (
+    DISABLED,
+    Counter,
+    Histogram,
+    Instrumentation,
+    JSONLSink,
+    MetricsRegistry,
+    RingBufferSink,
+    Span,
+    quantile,
+    read_obs_file,
+    render_report,
+    verify_span_chains,
+)
+from repro.sim.cluster import DistributedSystem
+from repro.sim.monitor_site import StabilizedMonitor
+from repro.sim.workloads import WorkloadEvent
+from repro.time.timestamps import PrimitiveTimestamp
+
+
+def ts(site, g, l):
+    return PrimitiveTimestamp(site, g, l)
+
+
+def instrumented_system(**kwargs):
+    sink = RingBufferSink()
+    obs = Instrumentation(sinks=[sink])
+    system = DistributedSystem(["s1", "s2"], seed=1, instrumentation=obs, **kwargs)
+    system.set_home("a", "s1")
+    system.set_home("b", "s2")
+    return system, obs, sink
+
+
+class TestSpan:
+    def test_duration(self):
+        span = Span(1, "x", start=Fraction(1, 2), end=Fraction(3, 2))
+        assert span.duration == Fraction(1)
+
+    def test_open_span_duration_zero(self):
+        assert Span(1, "x", start=Fraction(5)).duration == 0
+
+    def test_json_round_trip_is_exact(self):
+        span = Span(
+            7,
+            "net.send",
+            site="s1",
+            parent_id=3,
+            start=Fraction(1, 3),
+            end=Fraction(2, 3),
+            wall_ns=1234,
+            attrs={"delay": Fraction(1, 7), "uids": [1, 2]},
+        )
+        back = Span.from_json(span.to_json())
+        assert back.span_id == 7
+        assert back.parent_id == 3
+        assert back.start == Fraction(1, 3)
+        assert back.end == Fraction(2, 3)
+        assert back.wall_ns == 1234
+        # fractions inside attrs are encoded as strings
+        assert back.attrs["delay"] == "1/7"
+        assert Fraction(back.attrs["delay"]) == Fraction(1, 7)
+
+    def test_from_json_rejects_non_span(self):
+        with pytest.raises(ReproError):
+            Span.from_json({"record": "metric"})
+
+
+class TestMetrics:
+    def test_counter_increments(self):
+        counter = Counter("sent")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ReproError):
+            Counter("sent").inc(-1)
+
+    def test_quantile_interpolates(self):
+        values = [float(v) for v in range(1, 101)]
+        assert quantile(values, 0.0) == 1.0
+        assert quantile(values, 1.0) == 100.0
+        assert quantile(values, 0.5) == pytest.approx(50.5)
+        assert quantile(values, 0.9) == pytest.approx(90.1)
+
+    def test_histogram_summary(self):
+        histogram = Histogram("delay")
+        for v in range(1, 101):
+            histogram.observe(float(v))
+        summary = histogram.summary()
+        assert summary["count"] == 100
+        assert summary["min"] == 1.0
+        assert summary["max"] == 100.0
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p99"] == pytest.approx(99.01)
+
+    def test_registry_reuses_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        assert registry.counter("m", link="a->b") is registry.counter("m", link="a->b")
+        assert registry.counter("m", link="a->b") is not registry.counter("m", link="b->a")
+
+    def test_snapshot_rows(self):
+        registry = MetricsRegistry()
+        registry.counter("sent", link="a->b").inc(3)
+        registry.histogram("delay").observe(0.5)
+        rows = registry.snapshot()
+        assert all(row["record"] == "metric" for row in rows)
+        kinds = {row["name"]: row for row in rows}
+        assert kinds["sent"]["value"] == 3
+        assert kinds["sent"]["labels"] == {"link": "a->b"}
+        assert kinds["delay"]["summary"]["count"] == 1
+
+
+class TestRingBufferSink:
+    def test_capacity_bounds_memory(self):
+        sink = RingBufferSink(capacity=3)
+        for i in range(10):
+            sink.record(Span(i, "x"))
+        assert len(sink) == 3
+        assert [span.span_id for span in sink] == [7, 8, 9]
+
+    def test_named_filters(self):
+        sink = RingBufferSink()
+        sink.record(Span(1, "a"))
+        sink.record(Span(2, "b"))
+        sink.record(Span(3, "a"))
+        assert [span.span_id for span in sink.named("a")] == [1, 3]
+
+
+class TestDisabledSingleton:
+    def test_disabled_by_default(self):
+        detector = Detector()
+        assert detector.obs is DISABLED
+        assert not detector.obs.enabled
+
+    def test_disabled_hooks_are_noops(self):
+        with DISABLED.span("x", site="s") as span:
+            span.set(a=1)
+            assert span.id == 0
+        assert DISABLED.event("x") is None
+        assert DISABLED.record_span("x", start=Fraction(0), end=Fraction(1)) is None
+
+    def test_disabled_counters_still_count(self):
+        # Metrics on DISABLED go to its private registry; they must not
+        # crash, but components guard with `if obs.enabled`.
+        DISABLED.counter("scratch").inc()
+
+
+class TestSpanNesting:
+    def test_local_feed_nests_under_inject(self):
+        system, obs, sink = instrumented_system()
+        system.register("a ; b", name="seq")
+        system.inject("s1", "a", at=1)
+        system.inject("s2", "b", at=2)
+        system.run()
+
+        injects = sink.named("inject")
+        assert len(injects) == 2
+        assert {span.site for span in injects} == {"s1", "s2"}
+        feeds = sink.named("detector.feed")
+        assert len(feeds) == 2
+        inject_ids = {span.span_id for span in injects}
+        assert all(span.parent_id in inject_ids for span in feeds)
+
+    def test_receives_nest_under_feeds_across_sites(self):
+        system, obs, sink = instrumented_system()
+        system.register("a ; b", name="seq")
+        system.inject("s1", "a", at=1)
+        system.inject("s2", "b", at=2)
+        system.run()
+
+        receives = sink.named("node.receive")
+        assert receives, "expected node.receive spans"
+        parent_ids = {span.span_id for span in sink}
+        assert all(span.parent_id in parent_ids for span in receives)
+        # one constituent is remote to the operator's site: it travels the
+        # network and is processed under a message.deliver span
+        delivers = sink.named("message.deliver")
+        assert len(delivers) == 1
+        assert delivers[0].site in {"s1", "s2"}
+        nested = [s for s in receives if s.parent_id == delivers[0].span_id]
+        assert nested and nested[0].attrs["op"] == "sequence"
+
+    def test_net_send_spans_simulated_delay(self):
+        system, obs, sink = instrumented_system()
+        system.register("a ; b", name="seq")
+        system.inject("s1", "a", at=1)
+        system.inject("s2", "b", at=2)
+        system.run()
+        sends = sink.named("net.send")
+        assert len(sends) == 1  # exactly one constituent is remote
+        send = sends[0]
+        assert {send.attrs["src"], send.attrs["dst"]} == {"s1", "s2"}
+        assert send.duration > 0  # the simulated flight time
+
+    def test_detect_span_links_to_injections(self):
+        system, obs, sink = instrumented_system()
+        system.register("a ; b", name="seq")
+        system.inject("s1", "a", at=1)
+        system.inject("s2", "b", at=2)
+        system.run()
+        detects = sink.named("detect")
+        assert len(detects) == 1
+        links = detects[0].attrs["links"]
+        inject_ids = {span.span_id for span in sink.named("inject")}
+        assert len(links) == 2
+        assert set(links) <= inject_ids
+
+    def test_stabilizer_hold_spans(self):
+        sink = RingBufferSink()
+        obs = Instrumentation(sinks=[sink])
+        monitor = StabilizedMonitor(["s1", "s2"], seed=3, instrumentation=obs)
+        monitor.register("a ; b", name="seq")
+        monitor.inject(
+            [
+                WorkloadEvent(Fraction(1), "s1", "a", {}),
+                WorkloadEvent(Fraction(2), "s2", "b", {}),
+            ]
+        )
+        monitor.run()
+        holds = sink.named("stabilizer.hold")
+        assert len(holds) == 2
+        assert all(span.duration > 0 for span in holds)
+
+
+class TestJSONLExport:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.obs.jsonl"
+        obs = Instrumentation(sinks=[JSONLSink(path, metadata={"run": "t"})])
+        system = DistributedSystem(["s1", "s2"], seed=1, instrumentation=obs)
+        system.set_home("a", "s1")
+        system.set_home("b", "s2")
+        system.register("a ; b", name="seq")
+        system.inject("s1", "a", at=Fraction(1, 3))
+        system.inject("s2", "b", at=2)
+        system.run()
+        obs.close()
+
+        data = read_obs_file(path)
+        assert data.metadata == {"run": "t"}
+        assert len(data.spans) == obs.spans_finished
+        # fraction-exact round trip of true times
+        injects = data.named("inject")
+        assert Fraction(1, 3) in {span.start for span in injects}
+        # metric rows survive too
+        assert any(row["name"] == "net.messages" for row in data.metrics)
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JSONLSink(tmp_path / "x.jsonl")
+        sink.close()
+        sink.close()
+
+    def test_read_rejects_other_files(self, tmp_path):
+        path = tmp_path / "bogus.jsonl"
+        path.write_text('{"kind": "other"}\n')
+        with pytest.raises(ReproError):
+            read_obs_file(path)
+
+
+class TestReport:
+    def exported(self, tmp_path):
+        path = tmp_path / "run.obs.jsonl"
+        obs = Instrumentation(sinks=[JSONLSink(path)])
+        monitor = StabilizedMonitor(["s1", "s2"], seed=3, instrumentation=obs)
+        monitor.register("a ; b", name="seq")
+        monitor.inject(
+            [
+                WorkloadEvent(Fraction(1), "s1", "a", {}),
+                WorkloadEvent(Fraction(2), "s2", "b", {}),
+            ]
+        )
+        monitor.run()
+        obs.close()
+        return path
+
+    def test_chain_verification_ok(self, tmp_path):
+        data = read_obs_file(self.exported(tmp_path))
+        assert verify_span_chains(data) == []
+
+    def test_chain_verification_reports_missing_links(self):
+        from repro.obs.report import ObsData
+
+        data = ObsData(
+            spans=[
+                Span(1, "inject", attrs={"uid": 1}),
+                Span(2, "detect", attrs={"event": "seq", "links": [1, 99]}),
+                Span(3, "detect", attrs={"event": "bare", "links": []}),
+            ]
+        )
+        problems = verify_span_chains(data)
+        assert len(problems) == 2
+        assert any("99" in problem for problem in problems)
+        assert any("no injection links" in problem for problem in problems)
+
+    def test_render_report_sections(self, tmp_path):
+        data = read_obs_file(self.exported(tmp_path))
+        report = render_report(data)
+        assert "per-operator latency" in report
+        assert "per-link messages" in report
+        assert "stabilizer hold times" in report
+        assert "detections" in report
+        assert "OK" in report
+        assert "sequence" in report
+
+    def test_render_report_empty(self):
+        from repro.obs.report import ObsData
+
+        report = render_report(ObsData())
+        assert "(no node.receive spans)" in report
+
+
+class TestCli:
+    def test_obs_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "run.obs.jsonl"
+        obs = Instrumentation(sinks=[JSONLSink(path)])
+        system = DistributedSystem(["s1", "s2"], seed=1, instrumentation=obs)
+        system.set_home("a", "s1")
+        system.set_home("b", "s2")
+        system.register("a ; b", name="seq")
+        system.inject("s1", "a", at=1)
+        system.inject("s2", "b", at=2)
+        system.run()
+        obs.close()
+
+        assert main(["obs-report", str(path), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "observability report" in out
+        assert "seq" in out
+
+    def test_obs_report_rejects_bad_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "other"}\n')
+        assert main(["obs-report", str(path)]) == 2

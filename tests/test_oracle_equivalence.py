@@ -84,7 +84,7 @@ class TestLocalEquivalence:
         detector = Detector()
         detector.register(expression, name="r")
         for event_type, stamp, params in stream:
-            detector.feed_primitive(event_type, stamp, params)
+            detector.feed(event_type, stamp, parameters=params)
         assert timestamps_multiset(detector.detections_of("r")) == (
             timestamps_multiset(oracle)
         )
@@ -105,7 +105,7 @@ class TestDistributedEquivalence:
             detector.set_home(event_type, site)
         detector.register(expression, name="r", placement=placement)
         for event_type, stamp, params in stream:
-            detector.feed_primitive(event_type, stamp, params)
+            detector.feed(event_type, stamp, parameters=params)
             detector.pump()
         assert timestamps_multiset(detector.detections_of("r")) == (
             timestamps_multiset(oracle)
@@ -129,7 +129,7 @@ class TestReorderedDeliveryEquivalence:
         detector.register(expression, name="r")
         rng = random.Random(seed * 31)
         for event_type, stamp, params in stream:
-            detector.feed_primitive(event_type, stamp, params)
+            detector.feed(event_type, stamp, parameters=params)
         # Deliver everything in a random global order, including messages
         # generated by deliveries themselves.
         while detector.outbox:

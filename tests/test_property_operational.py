@@ -97,18 +97,18 @@ class TestCheckpointProperties:
         reference = Detector()
         reference.register(expression, name="r")
         for event_type, stamp in entries:
-            reference.feed_primitive(event_type, stamp)
+            reference.feed(event_type, stamp)
 
         first = Detector()
         first.register(expression, name="r")
         for event_type, stamp in entries[:cut]:
-            first.feed_primitive(event_type, stamp)
+            first.feed(event_type, stamp)
         state = snapshot(first)
         second = Detector()
         second.register(expression, name="r")
         restore(second, state)
         for event_type, stamp in entries[cut:]:
-            second.feed_primitive(event_type, stamp)
+            second.feed(event_type, stamp)
 
         combined = sorted(
             repr(o.timestamp)

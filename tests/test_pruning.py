@@ -11,7 +11,7 @@ class TestNodePruning:
         detector = Detector()
         detector.register("a ; b", name="seq")
         for g in range(10):
-            detector.feed_primitive("a", ts("s1", g, g * 10))
+            detector.feed("a", ts("s1", g, g * 10))
         assert detector.buffered_occurrences() == 10
         dropped = detector.prune_before(5)
         assert dropped == 5
@@ -20,51 +20,51 @@ class TestNodePruning:
     def test_pruned_initiators_no_longer_pair(self):
         detector = Detector()
         detector.register("a ; b", name="seq")
-        detector.feed_primitive("a", ts("s1", 1, 10))
-        detector.feed_primitive("a", ts("s1", 7, 70))
+        detector.feed("a", ts("s1", 1, 10))
+        detector.feed("a", ts("s1", 7, 70))
         detector.prune_before(5)
-        detections = detector.feed_primitive("b", ts("s2", 20, 200))
+        detections = detector.feed("b", ts("s2", 20, 200))
         assert len(detections) == 1  # only the surviving initiator
 
     def test_recent_occurrences_survive(self):
         detector = Detector()
         detector.register("a and b", name="both")
-        detector.feed_primitive("a", ts("s1", 9, 90))
+        detector.feed("a", ts("s1", 9, 90))
         assert detector.prune_before(5) == 0
         assert detector.buffered_occurrences() == 1
 
     def test_not_node_pruned(self):
         detector = Detector()
         detector.register("not(n)[o, c]", name="quiet")
-        detector.feed_primitive("o", ts("s1", 1, 10))
-        detector.feed_primitive("n", ts("s2", 2, 20))
+        detector.feed("o", ts("s1", 1, 10))
+        detector.feed("n", ts("s2", 2, 20))
         assert detector.prune_before(5) == 2
 
     def test_aperiodic_star_pruned(self):
         detector = Detector()
         detector.register("A*(o, m, c)", name="batch")
-        detector.feed_primitive("o", ts("s1", 1, 10))
-        detector.feed_primitive("m", ts("s2", 2, 20))
-        detector.feed_primitive("m", ts("s2", 8, 80))
+        detector.feed("o", ts("s1", 1, 10))
+        detector.feed("m", ts("s2", 2, 20))
+        detector.feed("m", ts("s2", 8, 80))
         assert detector.prune_before(5) == 2  # opener + old body
 
     def test_prune_boundary_is_inclusive_survival(self):
         detector = Detector()
         detector.register("a ; b", name="seq")
-        detector.feed_primitive("a", ts("s1", 5, 50))
+        detector.feed("a", ts("s1", 5, 50))
         assert detector.prune_before(5) == 0
 
     def test_composite_buffer_uses_latest_granule(self):
         """A buffered composite survives if any triple is recent."""
         detector = Detector()
         detector.register("(a and b) ; c", name="chain")
-        detector.feed_primitive("a", ts("s1", 1, 10))
-        detector.feed_primitive("b", ts("s2", 9, 90))
+        detector.feed("a", ts("s1", 1, 10))
+        detector.feed("b", ts("s2", 9, 90))
         # The inner And emitted a composite with span (1, 9): survives 5.
         dropped = detector.prune_before(5)
         # Only the two leaf buffers of the And node lose the stale "a".
         assert dropped == 1
-        detections = detector.feed_primitive("c", ts("s3", 20, 200))
+        detections = detector.feed("c", ts("s3", 20, 200))
         assert len(detections) == 1
 
 
@@ -75,7 +75,7 @@ class TestDistributedPruning:
         detector.set_home("b", "s2")
         detector.register("a ; b", name="seq")
         for g in range(6):
-            detector.feed_primitive("a", ts("s1", g, g * 10))
+            detector.feed("a", ts("s1", g, g * 10))
         detector.pump()
         dropped = detector.prune_before(3)
         assert dropped == 3
@@ -88,7 +88,7 @@ class TestMemoryBound:
         detector.register("a ; b", name="seq", context=Context.UNRESTRICTED)
         high_water = 0
         for g in range(200):
-            detector.feed_primitive("a", ts("s1", g, g * 10))
+            detector.feed("a", ts("s1", g, g * 10))
             if g % 10 == 0:
                 detector.prune_before(max(0, g - 20))
             high_water = max(high_water, detector.buffered_occurrences())

@@ -116,9 +116,9 @@ class TestDetectorIntegration:
         optimized = Detector()
         optimized.register("e or e", name="r", optimize=True)
         stamp = PrimitiveTimestamp("s1", 1, 10)
-        assert len(plain.feed_primitive("e", stamp)) == 2
+        assert len(plain.feed("e", stamp)) == 2
         stamp2 = PrimitiveTimestamp("s1", 1, 11)
-        assert len(optimized.feed_primitive("e", stamp2)) == 1
+        assert len(optimized.feed("e", stamp2)) == 1
 
     def test_optimize_fuses_filters_into_one_node(self):
         from repro.detection.detector import Detector

@@ -65,7 +65,7 @@ class TestDetector:
         detector.register("times(3, tick)", name="t3")
         fired = []
         for g in range(9):
-            fired.extend(detector.feed_primitive("tick", ts("a", g, g * 10)))
+            fired.extend(detector.feed("tick", ts("a", g, g * 10)))
         assert len(fired) == 3
 
     def test_matches_oracle_on_sorted_stream(self):
@@ -75,44 +75,44 @@ class TestDetector:
         for g in range(6):
             stamp = ts("a", g, g * 10)
             history.record("e", stamp)
-            detector.feed_primitive("e", stamp)
+            detector.feed("e", stamp)
         oracle = evaluate(parse_expression("times(2, e)"), history, label="t2")
         assert len(detector.detections_of("t2")) == len(oracle) == 3
 
     def test_count_parameter_attached(self):
         detector = Detector()
         detector.register("times(2, e)", name="t2")
-        detector.feed_primitive("e", ts("a", 1, 10))
-        (detection,) = detector.feed_primitive("e", ts("a", 2, 20))
+        detector.feed("e", ts("a", 1, 10))
+        (detection,) = detector.feed("e", ts("a", 2, 20))
         assert detection.occurrence.parameters["count"] == 2
 
     def test_pending_state_survives_checkpoint(self):
         first = Detector()
         first.register("times(3, e)", name="t3")
-        first.feed_primitive("e", ts("a", 1, 10))
-        first.feed_primitive("e", ts("a", 2, 20))
+        first.feed("e", ts("a", 1, 10))
+        first.feed("e", ts("a", 2, 20))
 
         second = Detector()
         second.register("times(3, e)", name="t3")
         restore(second, snapshot(first))
-        (detection,) = second.feed_primitive("e", ts("a", 3, 30))
+        (detection,) = second.feed("e", ts("a", 3, 30))
         assert len(detection.occurrence.constituents) == 3
 
     def test_pending_prunable(self):
         detector = Detector()
         detector.register("times(5, e)", name="t5")
-        detector.feed_primitive("e", ts("a", 1, 10))
-        detector.feed_primitive("e", ts("a", 9, 90))
+        detector.feed("e", ts("a", 1, 10))
+        detector.feed("e", ts("a", 9, 90))
         assert detector.prune_before(5) == 1
 
     def test_composite_body(self):
         detector = Detector()
         detector.register("times(2, a ; b)", name="pairs")
-        detector.feed_primitive("a", ts("s1", 1, 10))
-        detector.feed_primitive("b", ts("s2", 5, 50))
+        detector.feed("a", ts("s1", 1, 10))
+        detector.feed("b", ts("s2", 5, 50))
         assert detector.detections_of("pairs") == []
-        detector.feed_primitive("a", ts("s1", 8, 80))
-        detector.feed_primitive("b", ts("s2", 12, 120))
+        detector.feed("a", ts("s1", 8, 80))
+        detector.feed("b", ts("s2", 12, 120))
         # Two (a;b) pairs total... the second b pairs with both earlier a's
         # in unrestricted context, so the Times node sees 3 bodies -> one
         # batch of 2 fired, one pending.
