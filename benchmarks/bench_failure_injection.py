@@ -20,6 +20,7 @@ from fractions import Fraction
 
 from repro.contexts.policies import Context
 from repro.sim.cluster import DistributedSystem
+from repro.sim.config import SimConfig
 from repro.sim.monitor import accuracy, latency_stats
 from repro.sim.workloads import paired_stream
 
@@ -30,7 +31,8 @@ PAIRS = 30
 
 def run_configuration(loss: float, retransmit: bool):
     system = DistributedSystem(
-        ["a", "b"], seed=5, loss_probability=loss, retransmit=retransmit
+        ["a", "b"],
+        config=SimConfig(seed=5, loss_probability=loss, retransmit=retransmit),
     )
     system.set_home("cause", "a")
     system.set_home("effect", "b")

@@ -19,6 +19,7 @@ from fractions import Fraction
 from repro.contexts.policies import Context
 from repro.detection.coordinator import PlacementPolicy
 from repro.sim.cluster import DistributedSystem
+from repro.sim.config import SimConfig
 from repro.sim.network import ConstantLatency
 from repro.sim.workloads import WorkloadEvent
 
@@ -58,7 +59,7 @@ def run_configuration(
 ):
     sites = [f"s{i}" for i in range(1, site_count + 1)]
     system = DistributedSystem(
-        sites, seed=13, latency=ConstantLatency(DELAY)
+        sites, config=SimConfig(seed=13, latency=ConstantLatency(DELAY))
     )
     for site in sites:
         system.set_home(f"e_{site}", site)

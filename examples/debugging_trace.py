@@ -26,6 +26,7 @@ from pathlib import Path
 from repro import Context, TimeModel
 from repro.errors import GranularityError
 from repro.sim.cluster import DistributedSystem
+from repro.sim.config import SimConfig
 from repro.sim.trace import load_trace, save_trace, trace_from_events
 from repro.sim.workloads import paired_stream
 
@@ -38,7 +39,8 @@ def run_with_granularity(trace_path: Path, g_g: str) -> int:
     — probe the 2g_g ordering margin, so those are what we count.
     """
     model = TimeModel.from_strings("1/1000", g_g, "1/25")
-    system = DistributedSystem(["client", "server"], seed=5, model=model)
+    system = DistributedSystem(["client", "server"],
+                               config=SimConfig(seed=5, model=model))
     system.set_home("request", "client")
     system.set_home("response", "server")
     system.register("request ; response", name="rpc", context=Context.UNRESTRICTED)

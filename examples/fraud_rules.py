@@ -78,7 +78,7 @@ def feed(manager: RuleManager, log: EventLog, events) -> None:
     for event_type, site, granule, params in events:
         stamp = PrimitiveTimestamp(site, granule, granule * 10)
         log.append_primitive(event_type, stamp, params)
-        manager.raise_event(event_type, stamp, params)
+        manager.feed(event_type, stamp, params)
 
 
 def main() -> None:

@@ -28,6 +28,7 @@ from repro import (
     JSONLSink,
     PrimitiveTimestamp,
     RingBufferSink,
+    SimConfig,
     TimeModel,
     max_of,
     read_obs_file,
@@ -95,7 +96,7 @@ def tour_local_detection() -> None:
 def tour_simulation() -> None:
     print("=" * 64)
     print("5. A simulated two-site system")
-    system = DistributedSystem(["ny", "ldn"], seed=42)
+    system = DistributedSystem(["ny", "ldn"], config=SimConfig(seed=42))
     system.set_home("cause", "ny")
     system.set_home("effect", "ldn")
     system.register("cause ; effect", name="chain", context=Context.CHRONICLE)
@@ -119,7 +120,8 @@ def tour_observability() -> None:
     export = Path(tempfile.mkdtemp()) / "quickstart.obs.jsonl"
     ring = RingBufferSink()
     obs = Instrumentation(sinks=[ring, JSONLSink(export)])
-    system = DistributedSystem(["ny", "ldn"], seed=42, instrumentation=obs)
+    system = DistributedSystem(["ny", "ldn"],
+                               config=SimConfig(seed=42, instrumentation=obs))
     system.set_home("cause", "ny")
     system.set_home("effect", "ldn")
     system.register("cause ; effect", name="chain", context=Context.CHRONICLE)

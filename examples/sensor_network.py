@@ -24,6 +24,7 @@ from fractions import Fraction
 
 from repro import Context
 from repro.sim.cluster import DistributedSystem
+from repro.sim.config import SimConfig
 from repro.sim.network import UniformLatency
 from repro.sim.workloads import sensor_stream
 
@@ -31,9 +32,11 @@ from repro.sim.workloads import sensor_stream
 def build_network(seed: int = 11) -> DistributedSystem:
     system = DistributedSystem(
         ["north", "south", "centre"],
-        seed=seed,
-        latency=UniformLatency(rng=random.Random(seed)),
-        coordinator="centre",
+        config=SimConfig(
+            seed=seed,
+            latency=UniformLatency(rng=random.Random(seed)),
+            coordinator="centre",
+        ),
     )
     system.set_home("alarm", "north")       # nominal home; stamps carry origin
     system.set_home("reading", "south")

@@ -25,13 +25,14 @@ from fractions import Fraction
 from repro import Context, Detector, RuleManager
 from repro.rules.eca import CouplingMode
 from repro.sim.cluster import DistributedSystem
+from repro.sim.config import SimConfig
 from repro.sim.workloads import stock_stream
 
 
 def run_market_detection() -> None:
     print("=" * 64)
     print("Distributed market: cross-exchange composite events")
-    system = DistributedSystem(["nyse", "lse"], seed=3)
+    system = DistributedSystem(["nyse", "lse"], config=SimConfig(seed=3))
     system.set_home("ny_breach", "nyse")
     system.set_home("lse_breach", "lse")
     system.register("ny_breach ; lse_breach", name="crash_spread",
@@ -109,7 +110,7 @@ def run_rule_layer() -> None:
 
             stamp = PrimitiveTimestamp("nyse", granule, granule * 10)
             name = "drop" if price >= 94 else "drop2"
-            manager.raise_event(name, stamp, {"price": price})
+            manager.feed(name, stamp, {"price": price})
 
     print(f"   immediate alerts fired: {len(alerts)}")
     for line in alerts[:3]:

@@ -8,9 +8,9 @@ ECA rule layer, and a discrete-event simulator of the multi-site substrate.
 
 Quick tour::
 
-    from repro import DistributedSystem, Context
+    from repro import DistributedSystem, SimConfig, Context
 
-    system = DistributedSystem(["ny", "ldn"], seed=1)
+    system = DistributedSystem(["ny", "ldn"], config=SimConfig(seed=1))
     system.set_home("buy", "ny")
     system.set_home("sell", "ldn")
     system.register("buy ; sell", name="roundtrip", context=Context.CHRONICLE)
@@ -67,6 +67,7 @@ from repro.rules.language import load_rules
 from repro.sim.monitor import accuracy, latency_stats
 from repro.storage.log import EventLog
 from repro.sim.cluster import DetectionRecord, DistributedSystem
+from repro.sim.config import SimConfig
 from repro.sim.monitor_site import StabilizedMonitor
 from repro.time.clocks import ClockEnsemble, LocalClock, ReferenceClock
 from repro.time.composite import (
@@ -128,6 +129,7 @@ __all__ = [
     "Rule",
     "RuleManager",
     "Sequence",
+    "SimConfig",
     "Span",
     "StabilizedMonitor",
     "Stabilizer",

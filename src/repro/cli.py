@@ -7,6 +7,7 @@ Subcommands::
     repro grid   "<T>" --sites ...         render the Figure-2 region grid
     repro replay <trace> "<expr>" ...      detect a composite event on a trace
     repro check  [--seed N]                run the theorem sweep
+    repro bench  [--quick] [--check]       run the perf regression suite
     repro obs-report <spans.jsonl>         summarize an observability export
 
 Composite timestamps are written as semicolon-separated triples, e.g.
@@ -26,6 +27,7 @@ from repro.errors import ReproError
 from repro.events.expressions import EventExpression
 from repro.events.parser import parse_expression
 from repro.sim.cluster import DistributedSystem
+from repro.sim.config import SimConfig
 from repro.sim.trace import load_trace
 from repro.time.composite import CompositeTimestamp, composite_relation
 from repro.time.regions import render_grid
@@ -110,7 +112,7 @@ def cmd_grid(args: argparse.Namespace) -> int:
 def cmd_replay(args: argparse.Namespace) -> int:
     trace = load_trace(args.trace)
     sites = sorted(trace.sites())
-    system = DistributedSystem(sites, seed=args.seed)
+    system = DistributedSystem(sites, config=SimConfig(seed=args.seed))
     for event_type in sorted(trace.types()):
         # Home each type at the site that raises it most often.
         counts: dict[str, int] = {}
@@ -160,6 +162,12 @@ def cmd_report(args: argparse.Namespace) -> int:
     for problem in problems:
         print(f"PROBLEM: {problem}", file=sys.stderr)
     return 1 if problems else 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import main as bench_main
+
+    return bench_main(args)
 
 
 def cmd_obs_report(args: argparse.Namespace) -> int:
@@ -233,6 +241,41 @@ def build_parser() -> argparse.ArgumentParser:
     report_command.add_argument("--universe", type=int, default=40)
     report_command.add_argument("--out", default=None)
     report_command.set_defaults(handler=cmd_report)
+
+    bench_command = commands.add_parser(
+        "bench", help="run the performance regression suite"
+    )
+    bench_command.add_argument(
+        "--quick", action="store_true",
+        help="smaller workloads and fewer rounds (CI smoke mode)",
+    )
+    bench_command.add_argument(
+        "--label", default="local", help="suffix of the BENCH_<label>.json report"
+    )
+    bench_command.add_argument(
+        "--out", default=".", help="directory the report is written to"
+    )
+    bench_command.add_argument(
+        "--baseline", default="benchmarks/baseline.json",
+        help="committed baseline to compare against",
+    )
+    bench_command.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when a benchmark regresses past --tolerance",
+    )
+    bench_command.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional slowdown vs the baseline (default 0.30)",
+    )
+    bench_command.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline file with this run's numbers",
+    )
+    bench_command.add_argument(
+        "--only", nargs="*", default=None, metavar="NAME",
+        help="run only the named benchmarks",
+    )
+    bench_command.set_defaults(handler=cmd_bench)
 
     obs_command = commands.add_parser(
         "obs-report", help="summarize a JSONL observability export"

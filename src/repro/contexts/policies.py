@@ -83,6 +83,13 @@ def select_initiators(
     """
     if not eligible:
         return Selection(groups=(), consumed=(), discarded=())
+    if len(eligible) == 1:
+        # One eligible initiator: every context selects it; they only
+        # differ in whether it is consumed from the buffer.
+        only = eligible[0]
+        if context is Context.UNRESTRICTED or context is Context.RECENT:
+            return Selection(groups=((only,),), consumed=(), discarded=())
+        return Selection(groups=((only,),), consumed=(only,), discarded=())
     if context is Context.UNRESTRICTED:
         return Selection(
             groups=tuple((initiator,) for initiator in eligible),

@@ -136,6 +136,7 @@ class DistributedDetector:
             site: [] for site in self.sites
         }
         self._timer_seq = itertools.count()
+        self._pending_timers = 0
         self._now_global: dict[str, int] = {site: 0 for site in self.sites}
         self._timer_site_binding: dict[Node, str] = {}
 
@@ -337,25 +338,34 @@ class DistributedDetector:
 
     def _emit_from(self, node: Node, occurrence: EventOccurrence) -> list[Detection]:
         obs = self.obs
-        detections = self._record_if_root(node, occurrence)
-        node_site = self.placements[node]
+        detections: list[Detection] = []
+        name = node.name
+        if occurrence.event_type == name and self.graph.roots.get(name) is node:
+            detection = Detection(name=name, occurrence=occurrence)
+            self.detections.append(detection)
+            for callback in self._callbacks.get(name, ()):
+                callback(detection)
+            detections.append(detection)
+        placements = self.placements
+        node_site = placements[node]
         for edge in self.graph.subscribers(node):
-            parent_site = self.placements[edge.parent]
+            parent = edge.parent
+            parent_site = placements[parent]
             if parent_site == node_site:
                 if obs.enabled:
                     with obs.span(
                         "node.receive",
                         site=parent_site,
-                        op=edge.parent.kind,
-                        node=edge.parent.name,
+                        op=parent.kind,
+                        node=parent.name,
                         role=edge.role,
                     ) as span:
-                        produced = edge.parent.receive(occurrence, edge.role)
+                        produced = parent.receive(occurrence, edge.role)
                         span.set(emitted=len(produced))
                 else:
-                    produced = edge.parent.receive(occurrence, edge.role)
+                    produced = parent.receive(occurrence, edge.role)
                 for emission in produced:
-                    detections.extend(self._emit_from(edge.parent, emission))
+                    detections.extend(self._emit_from(parent, emission))
             else:
                 message = Message(
                     src=node_site,
@@ -402,14 +412,22 @@ class DistributedDetector:
             self._timer_heaps[site],
             (fire_global, next(self._timer_seq), node, payload),
         )
+        self._pending_timers += 1
 
     def advance_time(self, global_time: int) -> list[Detection]:
         """Advance every site's clock, firing due timers in granule order."""
+        if not self._pending_timers:
+            now_global = self._now_global
+            for site, current in now_global.items():
+                if current < global_time:
+                    now_global[site] = global_time
+            return []
         detections: list[Detection] = []
         for site in self.sites:
             heap = self._timer_heaps[site]
             while heap and heap[0][0] <= global_time:
                 fire_global, _, node, payload = heapq.heappop(heap)
+                self._pending_timers -= 1
                 self._now_global[site] = max(self._now_global[site], fire_global)
                 stamp = make_timer_stamp(
                     f"{site}.timer", fire_global, self.timer_ratio

@@ -26,6 +26,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import warnings
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
@@ -231,13 +232,25 @@ class Detector:
         if self.obs.enabled:
             return self._propagate_instrumented(source, occurrence)
         results: list[Detection] = []
-        worklist: list[tuple[Node, EventOccurrence]] = [(source, occurrence)]
+        roots = self.graph.roots
+        callbacks = self._callbacks
+        detections = self.detections
+        subscribers = self.graph.subscribers
+        worklist: deque[tuple[Node, EventOccurrence]] = deque(((source, occurrence),))
         while worklist:
-            node, emission = worklist.pop(0)
-            results.extend(self._record_if_root(node, emission))
-            for edge in self.graph.subscribers(node):
+            node, emission = worklist.popleft()
+            if roots.get(node.name) is node:
+                detection = Detection(name=node.name, occurrence=emission)
+                detections.append(detection)
+                results.append(detection)
+                for callback in callbacks.get(node.name, ()):
+                    callback(detection)
+            for edge in subscribers(node):
                 produced = edge.parent.receive(emission, edge.role)
-                worklist.extend((edge.parent, p) for p in produced)
+                if produced:
+                    parent = edge.parent
+                    for p in produced:
+                        worklist.append((parent, p))
         return results
 
     def _propagate_instrumented(
@@ -246,9 +259,9 @@ class Detector:
         """The :meth:`_propagate` loop with a ``node.receive`` span per edge."""
         obs = self.obs
         results: list[Detection] = []
-        worklist: list[tuple[Node, EventOccurrence]] = [(source, occurrence)]
+        worklist: deque[tuple[Node, EventOccurrence]] = deque(((source, occurrence),))
         while worklist:
-            node, emission = worklist.pop(0)
+            node, emission = worklist.popleft()
             results.extend(self._record_if_root(node, emission))
             for edge in self.graph.subscribers(node):
                 with obs.span(

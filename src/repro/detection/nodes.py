@@ -20,7 +20,7 @@ benchmark quantifies the difference.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Protocol
+from typing import Any, Callable, Iterable, Protocol, Sequence
 
 from repro.contexts.policies import Context, select_initiators
 from repro.errors import DetectionError
@@ -29,6 +29,7 @@ from repro.events.semantics import merge_parameters
 from repro.time.composite import (
     CompositeTimestamp,
     composite_happens_before,
+    max_of,
     max_of_many,
 )
 from repro.time.timestamps import PrimitiveTimestamp
@@ -102,17 +103,34 @@ class Node:
         self,
         constituents: tuple[EventOccurrence, ...],
         parameters: dict | None = None,
+        timestamp: CompositeTimestamp | None = None,
     ) -> EventOccurrence:
-        """Build a detection: ``Max`` over constituents, merged parameters."""
+        """Build a detection: ``Max`` over constituents, merged parameters.
+
+        Nodes that maintain their accumulator's max-set incrementally
+        (e.g. :class:`TimesNode`) pass the precomputed ``timestamp`` —
+        by Theorem 5.4 the incremental fold equals the one-shot
+        ``max_of_many`` computed here otherwise.
+        """
         self.emitted_count += 1
         merged: dict = {}
         for constituent in constituents:
-            merged = merge_parameters(merged, constituent.parameters)
+            if constituent.parameters:
+                merged.update(constituent.parameters)
         if parameters:
             merged.update(parameters)
+        if timestamp is None:
+            if len(constituents) == 1:
+                timestamp = constituents[0].timestamp
+            elif len(constituents) == 2:
+                timestamp = max_of(
+                    constituents[0].timestamp, constituents[1].timestamp
+                )
+            else:
+                timestamp = max_of_many([c.timestamp for c in constituents])
         return EventOccurrence(
             event_type=self.name,
-            timestamp=max_of_many(c.timestamp for c in constituents),
+            timestamp=timestamp,
             parameters=merged,
             constituents=constituents,
         )
@@ -196,7 +214,9 @@ class AndNode(Node):
         if role not in self._buffers:
             raise DetectionError(f"AndNode {self.name!r} got unknown role {role!r}")
         opposite = ROLE_RIGHT if role == ROLE_LEFT else ROLE_LEFT
-        selection = select_initiators(self.context, list(self._buffers[opposite]))
+        # select_initiators reads the buffer without mutating it, and
+        # _prune runs only after the groups are materialised as tuples.
+        selection = select_initiators(self.context, self._buffers[opposite])
         detections = []
         for group in selection.groups:
             ordered = (*group, occurrence) if opposite == ROLE_LEFT else (occurrence, *group)
@@ -469,6 +489,9 @@ class TimesNode(Node):
         super().__init__(name, context)
         self.count = count
         self._pending: list[EventOccurrence] = []
+        # Running Max over the pending batch, folded per arrival so the
+        # n-th arrival emits without rescanning the accumulated batch.
+        self._acc: CompositeTimestamp | None = None
 
     def roles(self) -> tuple[str, ...]:
         return (ROLE_BODY,)
@@ -477,14 +500,31 @@ class TimesNode(Node):
         if role != ROLE_BODY:
             raise DetectionError(f"TimesNode {self.name!r} got unknown role {role!r}")
         self._pending.append(occurrence)
+        acc = self._acc
+        self._acc = (
+            occurrence.timestamp
+            if acc is None
+            else max_of(acc, occurrence.timestamp)
+        )
         if len(self._pending) < self.count:
             return []
         batch = tuple(self._pending)
+        stamp = self._acc
         self._pending = []
-        return [self._emit(batch, parameters={"count": self.count})]
+        self._acc = None
+        return [
+            self._emit(batch, parameters={"count": self.count}, timestamp=stamp)
+        ]
 
     def prune_before(self, global_time: int) -> int:
-        return _prune_list(self._pending, global_time)
+        dropped = _prune_list(self._pending, global_time)
+        if dropped:
+            self._acc = (
+                max_of_many(o.timestamp for o in self._pending)
+                if self._pending
+                else None
+            )
+        return dropped
 
 
 class _Window:
@@ -649,11 +689,19 @@ def _prune_list(buffer: list[EventOccurrence], global_time: int) -> int:
     return before - len(buffer)
 
 
-def _prune(buffer: list[EventOccurrence], remove: Iterable[EventOccurrence]) -> None:
+def _prune(buffer: list[EventOccurrence], remove: Sequence[EventOccurrence]) -> None:
     """Remove occurrences (by identity) from a buffer, preserving order."""
+    if not remove:
+        return
+    if len(remove) == 1:
+        uid = remove[0].uid
+        for index, occurrence in enumerate(buffer):
+            if occurrence.uid == uid:
+                del buffer[index]
+                return
+        return
     doomed = {occurrence.uid for occurrence in remove}
-    if doomed:
-        buffer[:] = [o for o in buffer if o.uid not in doomed]
+    buffer[:] = [o for o in buffer if o.uid not in doomed]
 
 
 def make_timer_stamp(

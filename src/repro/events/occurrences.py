@@ -32,7 +32,7 @@ from repro.time.timestamps import PrimitiveTimestamp
 _occurrence_counter = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EventOccurrence:
     """One occurrence of a (primitive or composite) event.
 

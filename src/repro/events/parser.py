@@ -282,13 +282,27 @@ class _Parser:
         return self._advance()
 
 
+_parse_cache: dict[str, EventExpression] = {}
+_PARSE_CACHE_LIMIT = 1024
+
+
 def parse_expression(source: str) -> EventExpression:
     """Parse a Snoop expression; raises :class:`ParseError` on bad input.
+
+    Results are memoized: expressions are immutable, so re-registering the
+    same text (benchmarks, repeated simulations) returns the shared AST.
 
     >>> parse_expression("A*(open, tick, close)").depth()
     2
     """
-    return _Parser(source).parse()
+    cached = _parse_cache.get(source)
+    if cached is not None:
+        return cached
+    expression = _Parser(source).parse()
+    if len(_parse_cache) >= _PARSE_CACHE_LIMIT:
+        _parse_cache.clear()
+    _parse_cache[source] = expression
+    return expression
 
 
 def tokens_of(source: str) -> Iterator[str]:

@@ -6,11 +6,12 @@ Instrumentation is disabled by default — every engine accepts
 ``instrumentation=`` and falls back to the no-op :data:`DISABLED`
 singleton — and enabled end-to-end with::
 
-    from repro import DistributedSystem
+    from repro import DistributedSystem, SimConfig
     from repro.obs import Instrumentation, JSONLSink
 
     obs = Instrumentation(sinks=[JSONLSink("run.obs.jsonl")])
-    system = DistributedSystem(["ny", "ldn"], seed=1, instrumentation=obs)
+    system = DistributedSystem(["ny", "ldn"],
+                               config=SimConfig(seed=1, instrumentation=obs))
     ...
     system.run()
     obs.close()                      # flush spans + metric snapshot

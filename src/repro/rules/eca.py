@@ -25,12 +25,14 @@ from __future__ import annotations
 
 import enum
 import itertools
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
 from repro.contexts.policies import Context
 from repro.errors import DuplicateRuleError, RuleError, UnknownRuleError
 from repro.events.expressions import EventExpression
+from repro.events.occurrences import EventOccurrence
 from repro.detection.detector import Detection, Detector
 from repro.time.timestamps import PrimitiveTimestamp
 
@@ -166,16 +168,39 @@ class RuleManager:
 
     # --- event intake ---------------------------------------------------------
 
+    def feed(
+        self,
+        event: str | EventOccurrence,
+        stamp: PrimitiveTimestamp | None = None,
+        parameters: Mapping[str, Any] | None = None,
+    ) -> list[RuleExecution]:
+        """Feed a primitive event and run the triggered IMMEDIATE rules.
+
+        Accepts the same polymorphic forms as :meth:`Detector.feed` — an
+        ``(event_type, stamp)`` pair or a prebuilt
+        :class:`~repro.events.occurrences.EventOccurrence` — and returns
+        the executions the event triggered.
+        """
+        before = len(self.executions)
+        if stamp is None and parameters is None and not isinstance(event, str):
+            self.detector.feed(event)
+        else:
+            self.detector.feed(event, stamp, parameters=parameters)
+        return self.executions[before:]
+
     def raise_event(
         self,
         event_type: str,
         stamp: PrimitiveTimestamp,
         parameters: Mapping[str, Any] | None = None,
     ) -> list[RuleExecution]:
-        """Feed a primitive event and run the triggered IMMEDIATE rules."""
-        before = len(self.executions)
-        self.detector.feed(event_type, stamp, parameters=parameters)
-        return self.executions[before:]
+        """Deprecated alias of :meth:`feed`."""
+        warnings.warn(
+            "RuleManager.raise_event is deprecated; use RuleManager.feed",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.feed(event_type, stamp, parameters=parameters)
 
     def _on_detection(self, event_name: str, detection: Detection) -> None:
         rules = sorted(

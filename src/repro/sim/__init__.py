@@ -22,6 +22,7 @@ from repro.sim.network import (
     UniformLatency,
 )
 from repro.sim.cluster import DetectionRecord, DistributedSystem
+from repro.sim.config import SimConfig
 from repro.sim.monitor import AccuracyReport, LatencyStats, accuracy, latency_stats
 from repro.sim.monitor_site import MonitorDetection, StabilizedMonitor
 from repro.sim.workloads import (
@@ -46,6 +47,7 @@ __all__ = [
     "Network",
     "NetworkStats",
     "MonitorDetection",
+    "SimConfig",
     "SimulationEngine",
     "StabilizedMonitor",
     "Trace",

@@ -27,6 +27,7 @@ import random
 import warnings
 from dataclasses import dataclass
 from fractions import Fraction
+from functools import partial
 from typing import Any, Callable, Iterable, Mapping
 
 from repro.contexts.policies import Context
@@ -41,11 +42,14 @@ from repro.errors import SimulationError, UnknownSiteError
 from repro.events.expressions import EventExpression
 from repro.events.occurrences import EventOccurrence, History
 from repro.obs.instrument import Instrumentation, resolve
+from repro.sim.config import SimConfig
 from repro.sim.engine import SimulationEngine
 from repro.sim.network import LatencyModel, Network
 from repro.sim.workloads import WorkloadEvent
 from repro.time.clocks import ClockEnsemble
 from repro.time.ticks import TimeModel
+
+_UNSET: Any = object()
 
 
 @dataclass(frozen=True)
@@ -74,7 +78,7 @@ class DistributedSystem:
     >>> from repro.contexts.policies import Context
     >>> from repro.sim.workloads import paired_stream
     >>> import random
-    >>> system = DistributedSystem(["a", "b"], seed=7)
+    >>> system = DistributedSystem(["a", "b"], config=SimConfig(seed=7))
     >>> system.set_home("cause", "a"); system.set_home("effect", "b")
     >>> _ = system.register("cause ; effect", name="seq",
     ...                     context=Context.CHRONICLE)
@@ -87,48 +91,94 @@ class DistributedSystem:
     def __init__(
         self,
         sites: list[str],
-        model: TimeModel | None = None,
-        seed: int = 0,
-        latency: LatencyModel | None = None,
-        perfect_clocks: bool = False,
-        coordinator: str | None = None,
-        loss_probability: float = 0.0,
-        retransmit: bool = False,
-        max_retries: int = 8,
-        retry_timeout: Fraction | None = None,
+        model: TimeModel | None = _UNSET,
+        seed: int = _UNSET,
+        latency: LatencyModel | None = _UNSET,
+        perfect_clocks: bool = _UNSET,
+        coordinator: str | None = _UNSET,
+        loss_probability: float = _UNSET,
+        retransmit: bool = _UNSET,
+        max_retries: int = _UNSET,
+        retry_timeout: Fraction | None = _UNSET,
         *,
-        instrumentation: Instrumentation | None = None,
+        config: SimConfig | None = None,
+        instrumentation: Instrumentation | None = _UNSET,
     ) -> None:
-        self.model = model if model is not None else TimeModel.example_5_1()
+        legacy = {
+            name: value
+            for name, value in (
+                ("model", model),
+                ("seed", seed),
+                ("latency", latency),
+                ("perfect_clocks", perfect_clocks),
+                ("coordinator", coordinator),
+                ("loss_probability", loss_probability),
+                ("retransmit", retransmit),
+                ("max_retries", max_retries),
+                ("retry_timeout", retry_timeout),
+                ("instrumentation", instrumentation),
+            )
+            if value is not _UNSET
+        }
+        if config is not None and legacy:
+            raise TypeError(
+                "pass configuration either through config=SimConfig(...) or "
+                "through the legacy keywords, not both: "
+                + ", ".join(sorted(legacy))
+            )
+        if config is None:
+            if legacy:
+                warnings.warn(
+                    "DistributedSystem's per-setting keywords ("
+                    + ", ".join(sorted(legacy))
+                    + ") are deprecated; pass "
+                    "DistributedSystem(sites, config=SimConfig(...)) instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            if legacy.get("retry_timeout") is None:
+                legacy.pop("retry_timeout", None)
+            config = SimConfig(**legacy)
+        self.config = config
+        self.model = (
+            config.model if config.model is not None else TimeModel.example_5_1()
+        )
         self.engine = SimulationEngine()
-        self.obs = resolve(instrumentation)
+        self.obs = resolve(config.instrumentation)
         if self.obs.enabled:
             self.obs.bind_clock(lambda: self.engine.now)
-        rng = random.Random(seed)
+        rng = random.Random(config.seed)
         self.network = Network(
             self.engine,
-            latency,
-            loss_probability=loss_probability,
-            rng=random.Random(seed + 0x5EED),
-            instrumentation=instrumentation,
+            config.latency,
+            loss_probability=config.loss_probability,
+            rng=random.Random(config.seed + 0x5EED),
+            instrumentation=config.instrumentation,
         )
-        self.retransmit = retransmit
-        self.max_retries = max_retries
+        self.retransmit = config.retransmit
+        self.max_retries = config.max_retries
         self.retry_timeout = (
-            retry_timeout if retry_timeout is not None else Fraction(1, 10)
+            config.retry_timeout
+            if config.retry_timeout is not None
+            else Fraction(1, 10)
         )
         self.retransmissions = 0
         self.lost_messages = 0
-        if perfect_clocks:
+        if config.perfect_clocks:
             self.clocks = ClockEnsemble.perfect(self.model, sites)
         else:
             self.clocks = ClockEnsemble.random(self.model, sites, rng)
         self.detector = DistributedDetector(
             sites,
-            coordinator=coordinator,
+            coordinator=config.coordinator,
             timer_ratio=self.model.ratio,
-            instrumentation=instrumentation,
+            instrumentation=config.instrumentation,
         )
+        gg = self.model.global_.seconds
+        self._gg_num = gg.numerator
+        self._gg_den = gg.denominator
+        self._last_granule = -1
+        self._clock_by_site = self.clocks.clocks
         self.records: list[DetectionRecord] = []
         self.history = History()
         self._injection_times: dict[int, Fraction] = {}
@@ -238,13 +288,10 @@ class DistributedSystem:
             raise TypeError(
                 "inject(events) bulk form takes no event/at/parameters"
             )
-        count = 0
-        for workload_event in events:
-            self.engine.schedule_at(
-                workload_event.time, self._make_raiser(workload_event)
-            )
-            count += 1
-        return count
+        return self.engine.schedule_many(
+            (workload_event.time, partial(self._raise, workload_event))
+            for workload_event in events
+        )
 
     def raise_event(
         self,
@@ -262,38 +309,49 @@ class DistributedSystem:
         )
         self.inject(site, event_type, at=at, parameters=parameters)
 
-    def _make_raiser(self, event: WorkloadEvent) -> Callable[[], None]:
-        def raiser() -> None:
-            self._advance_detector_clock()
-            stamp = self.clocks.stamp(event.site, self.engine.now)
-            occurrence = EventOccurrence.primitive(
-                event.event_type, stamp, dict(event.parameters)
-            )
-            self._injection_times[occurrence.uid] = self.engine.now
-            self.history.add(occurrence)
-            self._injected += 1
-            if self.obs.enabled:
-                with self.obs.span(
-                    "inject",
-                    site=event.site,
-                    event=event.event_type,
-                    uid=occurrence.uid,
-                ) as span:
-                    self._injection_spans[occurrence.uid] = span.id
-                    self.detector.feed_occurrence(occurrence)
-                    self._drain_outbox()
-            else:
+    def _raise(self, event: WorkloadEvent) -> None:
+        self._advance_detector_clock()
+        now = self.engine.now
+        clock = self._clock_by_site.get(event.site)
+        if clock is None:
+            raise UnknownSiteError(f"{event.site!r} is not a site of this system")
+        stamp = clock.stamp(now)
+        occurrence = EventOccurrence.primitive(
+            event.event_type, stamp, event.parameters
+        )
+        self._injection_times[occurrence.uid] = now
+        self.history.add(occurrence)
+        self._injected += 1
+        if self.obs.enabled:
+            with self.obs.span(
+                "inject",
+                site=event.site,
+                event=event.event_type,
+                uid=occurrence.uid,
+            ) as span:
+                self._injection_spans[occurrence.uid] = span.id
                 self.detector.feed_occurrence(occurrence)
                 self._drain_outbox()
-
-        return raiser
+        else:
+            self.detector.feed_occurrence(occurrence)
+            if self.detector.outbox:
+                self._drain_outbox()
 
     # --- detector plumbing ------------------------------------------------------
 
     def _advance_detector_clock(self) -> None:
-        granule = int(self.engine.now / self.model.global_.seconds)
-        self.detector.advance_time(granule)
-        self._drain_outbox()
+        # now / g_g in integer arithmetic; engine time is non-negative so
+        # floor division matches truncation.  Re-advancing to an unchanged
+        # granule is a no-op unless timers are pending (a timer may be due
+        # at the current granule).
+        now = self.engine.now
+        granule = (now.numerator * self._gg_den) // (now.denominator * self._gg_num)
+        detector = self.detector
+        if granule != self._last_granule or detector._pending_timers:
+            self._last_granule = granule
+            detector.advance_time(granule)
+        if detector.outbox:
+            self._drain_outbox()
 
     def _drain_outbox(self) -> None:
         while self.detector.outbox:
@@ -302,7 +360,7 @@ class DistributedSystem:
 
     def _send_with_recovery(self, message: Message, attempt: int) -> None:
         outcome = self.network.send(
-            message.src, message.dst, message.size, self._make_deliverer(message)
+            message.src, message.dst, message.size, partial(self._deliver, message)
         )
         if outcome is not None:
             return
@@ -317,28 +375,33 @@ class DistributedSystem:
             delay, lambda: self._send_with_recovery(message, attempt + 1)
         )
 
-    def _make_deliverer(self, message: Message) -> Callable[[], None]:
-        def deliverer() -> None:
-            self._advance_detector_clock()
-            self.detector.deliver(message)
+    def _deliver(self, message: Message) -> None:
+        self._advance_detector_clock()
+        self.detector.deliver(message)
+        if self.detector.outbox:
             self._drain_outbox()
-
-        return deliverer
 
     def _record(self, detection: Detection) -> None:
         leaves = detection.occurrence.primitive_leaves()
-        times = [
-            self._injection_times[leaf.uid]
-            for leaf in leaves
-            if leaf.uid in self._injection_times
-        ]
-        if not times:
-            times = [self.engine.now]
+        injection_times = self._injection_times
+        earliest = latest = None
+        for leaf in leaves:
+            t = injection_times.get(leaf.uid)
+            if t is None:
+                continue
+            if earliest is None:
+                earliest = latest = t
+            elif t < earliest:
+                earliest = t
+            elif t > latest:
+                latest = t
+        if earliest is None:
+            earliest = latest = self.engine.now
         record = DetectionRecord(
             name=detection.name,
             detection=detection,
             true_time=self.engine.now,
-            injection_span=(min(times), max(times)),
+            injection_span=(earliest, latest),
         )
         self.records.append(record)
         if self.obs.enabled:

@@ -11,11 +11,17 @@ from __future__ import annotations
 import heapq
 import itertools
 from fractions import Fraction
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.errors import SchedulingError
 
 Action = Callable[[], None]
+
+# Queue entries are (float(when), when, seq, action).  Rounding a Fraction
+# to float is monotone, so the float leads the heap ordering and the exact
+# Fraction only breaks the (rare) float ties — heap sifts then cost a float
+# comparison instead of a Fraction one.
+_Entry = tuple[float, Fraction, int, Action]
 
 
 class SimulationEngine:
@@ -32,32 +38,64 @@ class SimulationEngine:
 
     def __init__(self) -> None:
         self.now: Fraction = Fraction(0)
-        self._queue: list[tuple[Fraction, int, Action]] = []
+        self._now_f = 0.0
+        self._queue: list[_Entry] = []
         self._seq = itertools.count()
         self.processed = 0
 
     def schedule_at(self, when: int | float | Fraction, action: Action) -> None:
         """Schedule ``action`` at absolute true time ``when`` (seconds)."""
-        when = Fraction(when)
-        if when < self.now:
+        if type(when) is not Fraction:
+            when = Fraction(when)
+        fwhen = when.numerator / when.denominator
+        if fwhen < self._now_f or (fwhen == self._now_f and when < self.now):
             raise SchedulingError(
                 f"cannot schedule at {when}; simulation time is already {self.now}"
             )
-        heapq.heappush(self._queue, (when, next(self._seq), action))
+        heapq.heappush(self._queue, (fwhen, when, next(self._seq), action))
 
     def schedule_in(self, delay: int | float | Fraction, action: Action) -> None:
         """Schedule ``action`` after ``delay`` seconds of true time."""
-        delay = Fraction(delay)
-        if delay < 0:
+        if type(delay) is not Fraction:
+            delay = Fraction(delay)
+        if delay.numerator < 0:
             raise SchedulingError(f"delay must be non-negative, got {delay}")
         self.schedule_at(self.now + delay, action)
+
+    def schedule_many(
+        self, items: Iterable[tuple[int | float | Fraction, Action]]
+    ) -> int:
+        """Bulk-schedule ``(when, action)`` pairs; returns the count.
+
+        Appends every entry and restores the heap invariant with a single
+        ``heapify`` instead of one sift per entry — the fast path for
+        injecting a whole workload at once.
+        """
+        now = self.now
+        now_f = self._now_f
+        seq = self._seq
+        entries: list[_Entry] = []
+        for when, action in items:
+            if type(when) is not Fraction:
+                when = Fraction(when)
+            fwhen = when.numerator / when.denominator
+            if fwhen < now_f or (fwhen == now_f and when < now):
+                raise SchedulingError(
+                    f"cannot schedule at {when}; simulation time is already {now}"
+                )
+            entries.append((fwhen, when, next(seq), action))
+        if entries:
+            self._queue.extend(entries)
+            heapq.heapify(self._queue)
+        return len(entries)
 
     def step(self) -> bool:
         """Process one queued action; returns False when the queue is empty."""
         if not self._queue:
             return False
-        when, _, action = heapq.heappop(self._queue)
+        fwhen, when, _, action = heapq.heappop(self._queue)
         self.now = when
+        self._now_f = fwhen
         action()
         self.processed += 1
         return True
@@ -69,12 +107,19 @@ class SimulationEngine:
         """
         deadline = None if until is None else Fraction(until)
         processed_before = self.processed
-        while self._queue:
-            if deadline is not None and self._queue[0][0] > deadline:
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            if deadline is not None and queue[0][1] > deadline:
                 break
-            self.step()
+            fwhen, when, _, action = pop(queue)
+            self.now = when
+            self._now_f = fwhen
+            action()
+            self.processed += 1
         if deadline is not None and self.now < deadline:
             self.now = deadline
+            self._now_f = deadline.numerator / deadline.denominator
         return self.processed - processed_before
 
     def pending(self) -> int:

@@ -21,6 +21,8 @@ from repro.errors import SimulationError
 from repro.obs.instrument import Instrumentation, resolve
 from repro.sim.engine import SimulationEngine
 
+_ZERO = Fraction(0)
+
 
 class LatencyModel(Protocol):
     """Delay (seconds of true time) for a message on a link."""
@@ -133,29 +135,33 @@ class Network:
     ) -> Fraction | None:
         """Dispatch a message; returns the delay, or ``None`` if dropped."""
         if src == dst:
-            self.engine.schedule_in(Fraction(0), handler)
-            return Fraction(0)
+            self.engine.schedule_at(self.engine.now, handler)
+            return _ZERO
         if self.loss_probability and self.rng.random() < self.loss_probability:
             self.stats.dropped += 1
             if self.obs.enabled:
                 self.obs.counter("net.dropped", link=f"{src}->{dst}").inc()
             return None
-        delay = Fraction(self.latency.delay(src, dst, size))
+        delay = self.latency.delay(src, dst, size)
+        if type(delay) is not Fraction:
+            delay = Fraction(delay)
         link = (src, dst)
         if self.fifo:
             # FIFO channels: a message never overtakes an earlier one on
             # the same link — its delivery is pushed past the link's
             # latest scheduled delivery.
             deliver_at = self.engine.now + delay
-            horizon = self._link_horizon.get(link, Fraction(0))
+            horizon = self._link_horizon.get(link, _ZERO)
             if deliver_at <= horizon:
                 deliver_at = horizon + Fraction(1, 1_000_000)
                 delay = deliver_at - self.engine.now
             self._link_horizon[link] = deliver_at
-        self.stats.messages += 1
-        self.stats.volume += size
-        self.stats.total_delay += delay
-        self.stats.per_link[link] = self.stats.per_link.get(link, 0) + 1
+        stats = self.stats
+        stats.messages += 1
+        stats.volume += size
+        stats.total_delay += delay
+        per_link = stats.per_link
+        per_link[link] = per_link.get(link, 0) + 1
         if self.obs.enabled:
             # The flight span has explicit true-time bounds: the delivery
             # happens later on the engine, but the delay is already known.

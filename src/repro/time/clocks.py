@@ -74,6 +74,22 @@ class LocalClock:
     model: TimeModel
     offset: Fraction = Fraction(0)
     drift: Fraction = Fraction(0)
+    # Cached integer coefficients: the reading in local ticks is the
+    # affine map ``(rn/rd) * t + (on/od)``, folding the drift factor and
+    # the division by the local granularity into one integer kernel.
+    _rate_n: int = field(init=False, repr=False, compare=False)
+    _rate_d: int = field(init=False, repr=False, compare=False)
+    _off_n: int = field(init=False, repr=False, compare=False)
+    _off_d: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        g = self.model.local.seconds
+        rate = (1 + self.drift) / g
+        off = self.offset / g
+        object.__setattr__(self, "_rate_n", rate.numerator)
+        object.__setattr__(self, "_rate_d", rate.denominator)
+        object.__setattr__(self, "_off_n", off.numerator)
+        object.__setattr__(self, "_off_d", off.denominator)
 
     def reading(self, true_seconds: int | float | Fraction) -> Fraction:
         """The clock's continuous reading (in seconds) at a true instant."""
@@ -81,8 +97,20 @@ class LocalClock:
         return (1 + self.drift) * t + self.offset
 
     def local_ticks(self, true_seconds: int | float | Fraction) -> int:
-        """Local tick count at a true instant (floor to local granularity)."""
-        return int(self.reading(true_seconds) / self.model.local.seconds)
+        """Local tick count at a true instant (floor to local granularity).
+
+        Pure integer arithmetic: ``trunc((rn*tn*od + on*rd*td) / (rd*td*od))``
+        with truncation toward zero, matching ``int(Fraction)``.
+        """
+        if type(true_seconds) is not Fraction:
+            true_seconds = Fraction(true_seconds)
+        tn = true_seconds.numerator
+        td = true_seconds.denominator
+        numerator = self._rate_n * tn * self._off_d + self._off_n * self._rate_d * td
+        denominator = self._rate_d * td * self._off_d
+        if numerator >= 0:
+            return numerator // denominator
+        return -((-numerator) // denominator)
 
     def global_time(self, true_seconds: int | float | Fraction) -> int:
         """Global granules at a true instant (``TRUNC`` of the local ticks)."""
@@ -138,18 +166,49 @@ class ClockEnsemble:
         ``Π/2`` so that any *pair* deviates by less than ``Π``.  A fraction
         ``drift_fraction`` of the per-clock budget is spent on drift, the
         rest on the initial offset.
+
+        The ensemble is a pure function of the model, sites, and the RNG
+        draws, so generated clocks (immutable) and their precision proof
+        are memoized — re-seeded simulations skip the rational arithmetic.
         """
         horizon = Fraction(horizon)
+        site_list = list(sites)
+        draws = tuple(
+            (rng.randint(-1000, 1000), rng.randint(-1000, 1000))
+            for _ in site_list
+        )
+        key = (model, tuple(site_list), horizon, drift_fraction, draws)
+        cached = _random_ensemble_cache.get(key)
+        if cached is not None:
+            return cls._prevalidated(model, dict(cached), horizon)
         budget = model.precision / 2
         drift_budget = budget * drift_fraction
         offset_budget = budget - drift_budget
+        max_drift = drift_budget / horizon if horizon else Fraction(0)
         clocks: dict[str, LocalClock] = {}
-        for site in sites:
-            offset = offset_budget * Fraction(rng.randint(-1000, 1000), 1000)
-            max_drift = drift_budget / horizon if horizon else Fraction(0)
-            drift = max_drift * Fraction(rng.randint(-1000, 1000), 1000)
+        for site, (offset_draw, drift_draw) in zip(site_list, draws):
+            offset = offset_budget * Fraction(offset_draw, 1000)
+            drift = max_drift * Fraction(drift_draw, 1000)
             clocks[site] = LocalClock(site=site, model=model, offset=offset, drift=drift)
-        return cls(model=model, clocks=clocks, horizon=horizon)
+        ensemble = cls(model=model, clocks=clocks, horizon=horizon)
+        if len(_random_ensemble_cache) >= _ENSEMBLE_CACHE_LIMIT:
+            _random_ensemble_cache.clear()
+        _random_ensemble_cache[key] = dict(clocks)
+        return ensemble
+
+    @classmethod
+    def _prevalidated(
+        cls,
+        model: TimeModel,
+        clocks: dict[str, LocalClock],
+        horizon: Fraction,
+    ) -> "ClockEnsemble":
+        """Build an ensemble whose precision proof is already known."""
+        ensemble = cls.__new__(cls)
+        ensemble.model = model
+        ensemble.clocks = clocks
+        ensemble.horizon = horizon
+        return ensemble
 
     @classmethod
     def perfect(cls, model: TimeModel, sites: Iterable[str]) -> "ClockEnsemble":
@@ -185,7 +244,9 @@ class ClockEnsemble:
         endpoints ``t = 0`` and ``t = horizon``; checking both is exact.
         """
         worst = Fraction(0)
-        readings_start = {s: c.reading(0) for s, c in self.clocks.items()}
+        # reading(0) is just the offset, so only the horizon endpoint needs
+        # the affine evaluation.
+        readings_start = {s: c.offset for s, c in self.clocks.items()}
         readings_end = {s: c.reading(self.horizon) for s, c in self.clocks.items()}
         names = list(self.clocks)
         for i, a in enumerate(names):
@@ -209,3 +270,10 @@ class ClockEnsemble:
     def as_mapping(self) -> Mapping[str, LocalClock]:
         """Read-only view of the clocks, keyed by site."""
         return dict(self.clocks)
+
+
+# Memo for :meth:`ClockEnsemble.random`: (model, sites, horizon,
+# drift_fraction, draws) -> generated clocks.  LocalClock is frozen, so
+# cached clocks are shared; the dict itself is copied per ensemble.
+_random_ensemble_cache: dict[object, dict[str, LocalClock]] = {}
+_ENSEMBLE_CACHE_LIMIT = 256

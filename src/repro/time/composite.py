@@ -40,31 +40,27 @@ import enum
 from typing import Callable, Iterable, Iterator
 
 from repro.errors import ConcurrencyViolationError, EmptyTimestampError
-from repro.time.timestamps import (
-    PrimitiveTimestamp,
-    concurrent,
-    happens_before,
-    weak_leq,
-)
+from repro.time.kernels import StampSummary, fast_max_set, relation_code
+from repro.time.timestamps import PrimitiveTimestamp, happens_before
 
 
 def max_set(stamps: Iterable[PrimitiveTimestamp]) -> frozenset[PrimitiveTimestamp]:
     """The maxima of a set of primitive stamps (Definition 5.1, corrected).
 
     A stamp is a *maximum* iff it is not happen-before any other member.
-    By Theorem 5.1 the result is pairwise concurrent.
+    By Theorem 5.1 the result is pairwise concurrent.  Computed by the
+    O(n) kernel (:func:`repro.time.kernels.fast_max_set`); the literal
+    quantifier sweep survives as the equivalence tests' oracle.
 
     >>> a = PrimitiveTimestamp("s1", 8, 80)
     >>> b = PrimitiveTimestamp("s2", 2, 20)
     >>> sorted(t.site for t in max_set([a, b]))
     ['s1']
     """
-    pool = list(set(stamps))
-    if not pool:
+    result = fast_max_set(stamps)
+    if not result:
         raise EmptyTimestampError("max_set of an empty set of timestamps")
-    return frozenset(
-        t for t in pool if not any(happens_before(t, other) for other in pool)
-    )
+    return result
 
 
 class CompositeRelation(enum.Enum):
@@ -100,35 +96,65 @@ class CompositeTimestamp:
     True
     """
 
-    __slots__ = ("_stamps",)
+    __slots__ = ("_stamps", "_hash", "_summary")
 
     def __init__(self, stamps: Iterable[PrimitiveTimestamp]) -> None:
         frozen = frozenset(stamps)
         if not frozen:
             raise EmptyTimestampError("a composite timestamp needs at least one triple")
-        for a in frozen:
-            for b in frozen:
-                if a is not b and happens_before(a, b):
-                    raise ConcurrencyViolationError(
-                        f"composite timestamp members must be pairwise concurrent: "
-                        f"{a} < {b}"
-                    )
+        # A set equals its max-set iff no member happens before another,
+        # so one O(n) kernel pass validates pairwise concurrency; the
+        # O(n²) pair hunt runs only to name the offenders on failure.
+        if fast_max_set(frozen) != frozen:
+            for a in frozen:
+                for b in frozen:
+                    if a is not b and happens_before(a, b):
+                        raise ConcurrencyViolationError(
+                            f"composite timestamp members must be pairwise "
+                            f"concurrent: {a} < {b}"
+                        )
         self._stamps = frozen
+        self._hash = hash(frozen)
+        self._summary: StampSummary | None = None
+
+    @classmethod
+    def _trusted(
+        cls, stamps: frozenset[PrimitiveTimestamp]
+    ) -> "CompositeTimestamp":
+        """Wrap a non-empty set already known to be a max-set (no checks).
+
+        Internal constructor for results that are pairwise concurrent by
+        construction — max-set outputs (Theorem 5.1) and the joins.
+        """
+        self = object.__new__(cls)
+        self._stamps = stamps
+        self._hash = hash(stamps)
+        self._summary = None
+        return self
+
+    @property
+    def summary(self) -> StampSummary:
+        """The lazily built extrema digest driving the O(n) relations."""
+        digest = self._summary
+        if digest is None:
+            digest = StampSummary(self._stamps)
+            self._summary = digest
+        return digest
 
     @classmethod
     def of(cls, *stamps: PrimitiveTimestamp) -> "CompositeTimestamp":
         """Build from constituent stamps, keeping only the maxima (Def 5.2)."""
-        return cls(max_set(stamps))
+        return cls._trusted(max_set(stamps))
 
     @classmethod
     def from_iterable(cls, stamps: Iterable[PrimitiveTimestamp]) -> "CompositeTimestamp":
         """Like :meth:`of` but accepts any iterable."""
-        return cls(max_set(stamps))
+        return cls._trusted(max_set(stamps))
 
     @classmethod
     def singleton(cls, stamp: PrimitiveTimestamp) -> "CompositeTimestamp":
         """Lift a primitive stamp to a composite one (primitive events)."""
-        return cls((stamp,))
+        return cls._trusted(frozenset((stamp,)))
 
     @classmethod
     def from_triples(
@@ -163,10 +189,10 @@ class CompositeTimestamp:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CompositeTimestamp):
             return NotImplemented
-        return self._stamps == other._stamps
+        return self._hash == other._hash and self._stamps == other._stamps
 
     def __hash__(self) -> int:
-        return hash(self._stamps)
+        return self._hash
 
     def __lt__(self, other: "CompositeTimestamp") -> bool:
         return composite_happens_before(self, other)
@@ -202,9 +228,12 @@ def composite_happens_before(t1: CompositeTimestamp, t2: CompositeTimestamp) -> 
     """Composite happen-before ``<_p`` (Definition 5.3.2).
 
     ``T1 < T2`` iff for every triple of ``T2`` some triple of ``T1``
-    happens before it.  Theorem 5.2: irreflexive and transitive.
+    happens before it.  Theorem 5.2: irreflexive and transitive.  The
+    inner existential runs on ``T1``'s extrema digest, making the whole
+    test O(|T2|).
     """
-    return all(any(happens_before(a, b) for a in t1.stamps) for b in t2.stamps)
+    exists_lt = t1.summary.exists_lt
+    return all(exists_lt(b) for b in t2._stamps)
 
 
 def composite_happens_after(t1: CompositeTimestamp, t2: CompositeTimestamp) -> bool:
@@ -215,7 +244,8 @@ def composite_happens_after(t1: CompositeTimestamp, t2: CompositeTimestamp) -> b
     equals ``T2 <_g T1`` (domination of ``T2`` by ``T1``).  Figure 2's
     symmetric region bands are drawn with this pair.
     """
-    return all(any(happens_before(b, a) for a in t1.stamps) for b in t2.stamps)
+    exists_gt = t1.summary.exists_gt
+    return all(exists_gt(b) for b in t2._stamps)
 
 
 def composite_dominated_by(t1: CompositeTimestamp, t2: CompositeTimestamp) -> bool:
@@ -224,22 +254,28 @@ def composite_dominated_by(t1: CompositeTimestamp, t2: CompositeTimestamp) -> bo
     This is the ordering under which Definition 5.9's case analysis agrees
     with ``max(T1 ∪ T2)`` (Theorem 5.4).
     """
-    return all(any(happens_before(a, b) for b in t2.stamps) for a in t1.stamps)
+    exists_gt = t2.summary.exists_gt
+    return all(exists_gt(a) for a in t1._stamps)
 
 
 def composite_concurrent(t1: CompositeTimestamp, t2: CompositeTimestamp) -> bool:
     """Composite concurrency ``~`` (Definition 5.3.1): all pairs concurrent."""
-    return all(concurrent(a, b) for a in t1.stamps for b in t2.stamps)
+    digest = t1.summary
+    return all(
+        not digest.exists_lt(b) and not digest.exists_gt(b) for b in t2._stamps
+    )
 
 
 def composite_weak_leq(t1: CompositeTimestamp, t2: CompositeTimestamp) -> bool:
     """The weaker-less-than-or-equal ``⪯`` (Definition 5.4).
 
-    ``T1 ⪯ T2`` iff every pair satisfies the primitive ``⪯``.  Theorem 5.3
-    claims this is equivalent to ``T1 ~ T2 or T1 < T2``; only the
-    right-to-left direction holds (see ``EXPERIMENTS.md``).
+    ``T1 ⪯ T2`` iff every pair satisfies the primitive ``⪯`` — by
+    trichotomy, iff no member of ``T1`` happens after a member of ``T2``.
+    Theorem 5.3 claims this is equivalent to ``T1 ~ T2 or T1 < T2``; only
+    the right-to-left direction holds (see ``EXPERIMENTS.md``).
     """
-    return all(weak_leq(a, b) for a in t1.stamps for b in t2.stamps)
+    exists_gt = t1.summary.exists_gt
+    return all(not exists_gt(b) for b in t2._stamps)
 
 
 def composite_relation(
@@ -296,14 +332,22 @@ def join_incomparable(
     Keeps the triples of each side that are *not* happen-before any triple
     of the other side — the "latest" information of both sets.  With this
     reading the result is exactly ``max(T1 ∪ T2)``.
+
+    The kept union is pairwise concurrent for *any* inputs — within a
+    side by Theorem 5.1, across sides because survival rules out both
+    cross-side orderings — so construction skips re-validation.
     """
-    keep_left = {
-        a for a in t1.stamps if not any(happens_before(a, b) for b in t2.stamps)
-    }
-    keep_right = {
-        b for b in t2.stamps if not any(happens_before(b, a) for a in t1.stamps)
-    }
-    return CompositeTimestamp(keep_left | keep_right)
+    left_gt = t2.summary.exists_gt
+    right_gt = t1.summary.exists_gt
+    kept = frozenset(
+        [a for a in t1._stamps if not left_gt(a)]
+        + [b for b in t2._stamps if not right_gt(b)]
+    )
+    if not kept:
+        raise EmptyTimestampError(
+            "a composite timestamp needs at least one triple"
+        )
+    return CompositeTimestamp._trusted(kept)
 
 
 def max_of(t1: CompositeTimestamp, t2: CompositeTimestamp) -> CompositeTimestamp:
@@ -318,7 +362,28 @@ def max_of(t1: CompositeTimestamp, t2: CompositeTimestamp) -> CompositeTimestamp
     >>> max_of(t1, t2) == t2
     True
     """
-    return CompositeTimestamp(max_set(t1.stamps | t2.stamps))
+    s1 = t1._stamps
+    s2 = t2._stamps
+    if s1 is s2 or s1 == s2:
+        return t1
+    if len(s1) == 1 and len(s2) == 1:
+        # The dominant shape on the detection hot path: two singletons
+        # reduce to one memoized primitive comparison.
+        (a,) = s1
+        (b,) = s2
+        code = relation_code(a, b)
+        if code < 0:
+            return t2
+        if code > 0:
+            return t1
+        return CompositeTimestamp._trusted(s1 | s2)
+    union = s1 | s2
+    # A valid composite is its own max-set, so a superset side wins as-is.
+    if len(union) == len(s1):
+        return t1
+    if len(union) == len(s2):
+        return t2
+    return CompositeTimestamp._trusted(fast_max_set(union))
 
 
 OrderingTest = Callable[[CompositeTimestamp, CompositeTimestamp], bool]
@@ -354,11 +419,14 @@ def max_of_many(stamps: Iterable[CompositeTimestamp]) -> CompositeTimestamp:
     By Theorem 5.4 the fold order does not matter: the result is the
     max-set of the union of all constituent triples.
     """
-    all_stamps: set[PrimitiveTimestamp] = set()
-    count = 0
-    for stamp in stamps:
-        all_stamps |= stamp.stamps
-        count += 1
-    if count == 0:
+    pool = stamps if isinstance(stamps, (list, tuple)) else list(stamps)
+    if not pool:
         raise EmptyTimestampError("max_of_many needs at least one composite timestamp")
-    return CompositeTimestamp(max_set(all_stamps))
+    if len(pool) == 1:
+        return pool[0]
+    if len(pool) == 2:
+        return max_of(pool[0], pool[1])
+    all_stamps: set[PrimitiveTimestamp] = set()
+    for stamp in pool:
+        all_stamps |= stamp._stamps
+    return CompositeTimestamp._trusted(fast_max_set(all_stamps))

@@ -31,7 +31,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.time.composite import CompositeTimestamp
+from repro.time.composite import (
+    CompositeTimestamp,
+    composite_dominated_by,
+    composite_happens_before,
+)
 from repro.time.timestamps import happens_before
 
 OrderingPredicate = Callable[[CompositeTimestamp, CompositeTimestamp], bool]
@@ -39,7 +43,7 @@ OrderingPredicate = Callable[[CompositeTimestamp, CompositeTimestamp], bool]
 
 def lt_p(t1: CompositeTimestamp, t2: CompositeTimestamp) -> bool:
     """The chosen ordering ``<_p``: ``∀t2 ∃t1: t1 < t2`` (Definition 5.3.2)."""
-    return all(any(happens_before(a, b) for a in t1.stamps) for b in t2.stamps)
+    return composite_happens_before(t1, t2)
 
 
 def lt_g(t1: CompositeTimestamp, t2: CompositeTimestamp) -> bool:
@@ -48,7 +52,7 @@ def lt_g(t1: CompositeTimestamp, t2: CompositeTimestamp) -> bool:
     Section 5.1 shows ``(<_p, >_g)`` and ``(<_g, >_p)`` are the two dual
     pairs of least-restricted valid orderings; the paper picks ``<_p``.
     """
-    return all(any(happens_before(a, b) for b in t2.stamps) for a in t1.stamps)
+    return composite_dominated_by(t1, t2)
 
 
 def lt_p1(t1: CompositeTimestamp, t2: CompositeTimestamp) -> bool:

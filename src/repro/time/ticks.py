@@ -22,7 +22,7 @@ the workload generators consume.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 
 from repro.errors import GranularityError
@@ -137,6 +137,7 @@ class TimeModel:
     global_: Granularity
     precision: Fraction
     trunc: TruncMode = TruncMode.FLOOR
+    _ratio: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.precision < 0:
@@ -151,8 +152,9 @@ class TimeModel:
                 f"global granularity {self.global_.seconds} must be at least "
                 f"the local granularity {self.local.seconds}"
             )
-        # Validate divisibility eagerly so misconfiguration fails at setup.
-        self.global_.ratio_to(self.local)
+        # Validate divisibility eagerly so misconfiguration fails at setup;
+        # the ratio is cached because stamping hits it on every event.
+        object.__setattr__(self, "_ratio", self.global_.ratio_to(self.local))
 
     @classmethod
     def from_strings(
@@ -177,18 +179,28 @@ class TimeModel:
         Local clocks tick at ``g = 1/100 s``, the reference clock at
         ``g_z = 1/1000 s``, clocks are synchronized with ``Π < 1/10 s``
         and the global granularity is ``g_g = 1/10 s``.
+
+        The instance is immutable and shared across calls.
         """
-        return cls.from_strings("1/100", "1/10", "99/1000")
+        global _EXAMPLE_5_1
+        if _EXAMPLE_5_1 is None:
+            _EXAMPLE_5_1 = cls.from_strings("1/100", "1/10", "99/1000")
+        return _EXAMPLE_5_1
 
     @property
     def ratio(self) -> int:
         """Local ticks per global granule (``g_g / g``)."""
-        return self.global_.ratio_to(self.local)
+        return self._ratio
 
     def global_time(self, local_ticks: int) -> int:
         """``TRUNC_{g_g}`` of a local tick count (Definition 4.3)."""
-        return truncate(local_ticks, self.ratio, self.trunc)
+        if self.trunc is TruncMode.FLOOR:
+            return local_ticks // self._ratio
+        return truncate(local_ticks, self._ratio, self.trunc)
 
     def local_ticks_of_seconds(self, seconds: int | float | Fraction) -> int:
         """Whole local ticks elapsed after ``seconds`` of true time."""
         return self.local.ticks_in(seconds)
+
+
+_EXAMPLE_5_1: TimeModel | None = None

@@ -26,18 +26,20 @@ The corrected reading of Definition 4.7.1 is used: the paper's text says
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 
 from repro.errors import TimestampError
+from repro.time.kernels import pack_key, relation_code, site_id
 
 
-@dataclass(frozen=True, slots=True, order=False)
 class PrimitiveTimestamp:
     """A distributed primitive timestamp ``(site, global, local)``.
 
     ``global_time`` is in whole global granules (``g_g`` units) and
     ``local`` in local clock ticks.  Instances are immutable and hashable
     so they can populate the frozen sets backing composite timestamps.
+    Construction precomputes the fast-path fields of
+    :mod:`repro.time.kernels`: the interned site id, the packed integer
+    granule key, and the hash.
 
     Comparison operators implement the paper's relations: ``<`` is the
     ``2g_g``-restricted happen-before, ``==`` is structural equality (which
@@ -53,23 +55,67 @@ class PrimitiveTimestamp:
     (False, False, True)
     """
 
+    __slots__ = ("site", "global_time", "local", "_sid", "_key", "_hash")
+
     site: str
     global_time: int
     local: int
 
-    def __post_init__(self) -> None:
-        if self.local < 0:
-            raise TimestampError(f"local tick count must be non-negative, got {self.local}")
-        if self.global_time < 0:
+    def __init__(self, site: str, global_time: int, local: int) -> None:
+        if local < 0:
             raise TimestampError(
-                f"global time must be non-negative, got {self.global_time}"
+                f"local tick count must be non-negative, got {local}"
             )
+        if global_time < 0:
+            raise TimestampError(
+                f"global time must be non-negative, got {global_time}"
+            )
+        set_field = object.__setattr__
+        set_field(self, "site", site)
+        set_field(self, "global_time", global_time)
+        set_field(self, "local", local)
+        sid = site_id(site)
+        set_field(self, "_sid", sid)
+        set_field(self, "_key", pack_key(sid, global_time, local))
+        set_field(self, "_hash", hash((site, global_time, local)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(
+            f"PrimitiveTimestamp is immutable; cannot assign {name!r}"
+        )
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(
+            f"PrimitiveTimestamp is immutable; cannot delete {name!r}"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PrimitiveTimestamp):
+            return self._key == other._key and self.site == other.site
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        if isinstance(other, PrimitiveTimestamp):
+            return self._key != other._key or self.site != other.site
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return (
+            f"PrimitiveTimestamp(site={self.site!r}, "
+            f"global_time={self.global_time!r}, local={self.local!r})"
+        )
+
+    def __reduce__(self):
+        return (PrimitiveTimestamp, (self.site, self.global_time, self.local))
 
     def __lt__(self, other: "PrimitiveTimestamp") -> bool:
-        return happens_before(self, other)
+        return relation_code(self, other) < 0
 
     def __gt__(self, other: "PrimitiveTimestamp") -> bool:
-        return happens_before(other, self)
+        return relation_code(self, other) > 0
 
     def __le__(self, other: "PrimitiveTimestamp") -> bool:
         return weak_leq(self, other)
@@ -123,14 +169,12 @@ def happens_before(a: PrimitiveTimestamp, b: PrimitiveTimestamp) -> bool:
     Same site: compare local ticks.  Different sites: require the global
     times to differ by more than one granule (``global_a < global_b - 1``).
     """
-    if a.site == b.site:
-        return a.local < b.local
-    return a.global_time < b.global_time - 1
+    return relation_code(a, b) < 0
 
 
 def simultaneous(a: PrimitiveTimestamp, b: PrimitiveTimestamp) -> bool:
     """Simultaneity ``=`` (Definition 4.7.2): same site, same local tick."""
-    return a.site == b.site and a.local == b.local
+    return a._sid == b._sid and a.local == b.local
 
 
 def concurrent(a: PrimitiveTimestamp, b: PrimitiveTimestamp) -> bool:
@@ -139,24 +183,27 @@ def concurrent(a: PrimitiveTimestamp, b: PrimitiveTimestamp) -> bool:
     Not transitive (Proposition 4.2.6's counterexample), hence not an
     equivalence relation; simultaneity is its same-site special case.
     """
-    return not happens_before(a, b) and not happens_before(b, a)
+    return relation_code(a, b) == 0
 
 
 def weak_leq(a: PrimitiveTimestamp, b: PrimitiveTimestamp) -> bool:
     """The weakened less-than-or-equal ``⪯`` (Definition 4.8).
 
-    ``a ⪯ b`` iff ``a < b`` or ``a ~ b``.  Reflexive and total
-    (Proposition 4.2.4) but *not* transitive, so not a partial order.
+    ``a ⪯ b`` iff ``a < b`` or ``a ~ b``; by trichotomy
+    (Proposition 4.2.3) that is exactly ``not (b < a)``.  Reflexive and
+    total (Proposition 4.2.4) but *not* transitive, so not a partial
+    order.
     """
-    return happens_before(a, b) or concurrent(a, b)
+    return relation_code(a, b) <= 0
 
 
 def relation(a: PrimitiveTimestamp, b: PrimitiveTimestamp) -> Relation:
     """Classify the pair into exactly one :class:`Relation` member."""
-    if happens_before(a, b):
+    code = relation_code(a, b)
+    if code < 0:
         return Relation.BEFORE
-    if happens_before(b, a):
+    if code > 0:
         return Relation.AFTER
-    if simultaneous(a, b):
+    if a._sid == b._sid and a.local == b.local:
         return Relation.SIMULTANEOUS
     return Relation.CONCURRENT

@@ -16,6 +16,7 @@ from repro.errors import SimulationError, UnknownSiteError
 from repro.events.occurrences import EventOccurrence
 from repro.events.parser import parse_expression
 from repro.sim.cluster import DistributedSystem
+from repro.sim.config import SimConfig
 from repro.sim.workloads import WorkloadEvent
 from repro.time.timestamps import PrimitiveTimestamp
 
@@ -25,7 +26,7 @@ def ts(site, g, l):
 
 
 def two_site_system():
-    system = DistributedSystem(["s1", "s2"], seed=1)
+    system = DistributedSystem(["s1", "s2"], config=SimConfig(seed=1))
     system.set_home("a", "s1")
     system.set_home("b", "s2")
     return system
@@ -244,3 +245,83 @@ class TestNoWarningsOnNewApi:
             detector = Detector()
             detector.register("a", name="alone")
             detector.feed("a", ts("s1", 1, 10))
+
+
+class TestSimConfig:
+    def test_reexported_from_repro(self):
+        import repro
+
+        assert repro.SimConfig is SimConfig
+
+    def test_defaults_match_legacy_defaults(self):
+        plain = DistributedSystem(["s1", "s2"])
+        configured = DistributedSystem(["s1", "s2"], config=SimConfig())
+        assert plain.clocks.as_mapping() == configured.clocks.as_mapping()
+        assert plain.detector.coordinator == configured.detector.coordinator
+
+    def test_legacy_keyword_warns_and_behaves(self):
+        with pytest.warns(DeprecationWarning, match="SimConfig"):
+            legacy = DistributedSystem(["s1", "s2"], seed=9)
+        modern = DistributedSystem(["s1", "s2"], config=SimConfig(seed=9))
+        assert legacy.clocks.as_mapping() == modern.clocks.as_mapping()
+
+    def test_mixing_config_and_legacy_raises(self):
+        with pytest.raises(TypeError, match="not both"):
+            DistributedSystem(["s1", "s2"], seed=1, config=SimConfig(seed=1))
+
+    def test_config_is_frozen(self):
+        config = SimConfig()
+        with pytest.raises(Exception):
+            config.seed = 5  # type: ignore[misc]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimConfig(loss_probability=1.5)
+        with pytest.raises(ValueError):
+            SimConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            SimConfig(retry_timeout=Fraction(0))
+
+    def test_field_names_cover_legacy_keywords(self):
+        assert SimConfig.field_names() == (
+            "model",
+            "seed",
+            "latency",
+            "perfect_clocks",
+            "coordinator",
+            "loss_probability",
+            "retransmit",
+            "max_retries",
+            "retry_timeout",
+            "instrumentation",
+        )
+
+
+class TestRuleManagerFeed:
+    def _manager(self):
+        from repro.rules.eca import RuleManager
+
+        detector = Detector()
+        detector.register("a", name="alone")
+        manager = RuleManager(detector)
+        manager.define("log", "alone", action=lambda d: "ran")
+        return manager
+
+    def test_feed_is_primary_and_warning_free(self):
+        manager = self._manager()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            executions = manager.feed("a", ts("s1", 1, 10))
+        assert [e.executed for e in executions] == [True]
+
+    def test_feed_accepts_occurrence(self):
+        manager = self._manager()
+        occurrence = EventOccurrence.primitive("a", ts("s1", 1, 10))
+        executions = manager.feed(occurrence)
+        assert [e.rule for e in executions] == ["log"]
+
+    def test_raise_event_warns_but_behaves(self):
+        manager = self._manager()
+        with pytest.warns(DeprecationWarning, match="RuleManager.feed"):
+            executions = manager.raise_event("a", ts("s1", 1, 10))
+        assert [e.executed for e in executions] == [True]

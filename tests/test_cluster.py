@@ -7,12 +7,13 @@ import pytest
 
 from repro.contexts.policies import Context
 from repro.sim.cluster import DistributedSystem
+from repro.sim.config import SimConfig
 from repro.sim.network import ConstantLatency, UniformLatency
 from repro.sim.workloads import paired_stream, uniform_stream
 
 
 def two_site_system(**kwargs):
-    system = DistributedSystem(["a", "b"], seed=7, **kwargs)
+    system = DistributedSystem(["a", "b"], config=SimConfig(seed=7, **kwargs))
     system.set_home("cause", "a")
     system.set_home("effect", "b")
     return system
@@ -91,7 +92,9 @@ class TestEndToEnd:
 
 class TestClockEffects:
     def test_perfect_clocks_reproduce_true_order(self):
-        system = DistributedSystem(["a", "b"], seed=1, perfect_clocks=True)
+        system = DistributedSystem(
+            ["a", "b"], config=SimConfig(seed=1, perfect_clocks=True)
+        )
         system.set_home("cause", "a")
         system.set_home("effect", "b")
         system.register("cause ; effect", name="seq", context=Context.CHRONICLE)
@@ -102,7 +105,7 @@ class TestClockEffects:
     def test_drifting_clocks_never_invert_wide_gaps(self):
         """With gap >> Pi + 2 g_g the sequence is always detected."""
         for seed in range(5):
-            system = DistributedSystem(["a", "b"], seed=seed)
+            system = DistributedSystem(["a", "b"], config=SimConfig(seed=seed))
             system.set_home("cause", "a")
             system.set_home("effect", "b")
             system.register("cause ; effect", name="seq", context=Context.CHRONICLE)
@@ -137,8 +140,10 @@ class TestTemporalOperators:
 
 class TestThroughput:
     def test_mixed_workload_runs_clean(self):
-        system = DistributedSystem(["s1", "s2", "s3"], seed=3,
-                                   latency=UniformLatency(rng=random.Random(9)))
+        system = DistributedSystem(
+            ["s1", "s2", "s3"],
+            config=SimConfig(seed=3, latency=UniformLatency(rng=random.Random(9))),
+        )
         for t, s in (("x", "s1"), ("y", "s2"), ("z", "s3")):
             system.set_home(t, s)
         system.register("x ; (y and z)", name="combo")

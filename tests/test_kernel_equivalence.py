@@ -1,0 +1,202 @@
+"""Fast-path kernels ≡ literal paper definitions (Hypothesis).
+
+The hot path dispatches every timestamp comparison through the integer
+kernels in :mod:`repro.time.kernels` — memoized ``relation_code``, the
+O(n) ``fast_max_set``, and the ``StampSummary`` extrema digest behind
+the composite relations.  These tests re-state the paper's definitions
+*literally* (quantifier sweeps, O(n²) filters) and let Hypothesis search
+the stamp space for any divergence.  A failure here means the
+optimisation changed semantics, not just speed.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.time.composite import (
+    CompositeRelation,
+    CompositeTimestamp,
+    composite_concurrent,
+    composite_dominated_by,
+    composite_happens_before,
+    composite_relation,
+    composite_weak_leq,
+    max_set,
+)
+from repro.time.kernels import fast_max_set, relation_code
+from repro.time.timestamps import (
+    PrimitiveTimestamp,
+    concurrent,
+    happens_before,
+    weak_leq,
+)
+
+SITES = ["s1", "s2", "s3", "s4"]
+RATIO = 10
+
+
+# --- literal reference implementations (the paper, spelled out) --------------
+
+
+def ref_lt(a, b):
+    """Definition 4.7.1, verbatim: same site by local tick, cross-site
+    by the two-granule global gap."""
+    if a.site == b.site:
+        return a.local < b.local
+    return a.global_time < b.global_time - 1
+
+
+def ref_concurrent(a, b):
+    """Definition 4.7.3: unordered either way."""
+    return not ref_lt(a, b) and not ref_lt(b, a)
+
+
+def ref_weak_leq(a, b):
+    """Definition 4.8: ``a ⪯ b`` iff ``a < b`` or ``a ~ b``."""
+    return ref_lt(a, b) or ref_concurrent(a, b)
+
+
+def ref_max_set(stamps):
+    """Definition 5.1, the O(n²) filter: keep stamps not happen-before
+    any other member."""
+    pool = set(stamps)
+    return frozenset(
+        t for t in pool if not any(ref_lt(t, other) for other in pool)
+    )
+
+
+def ref_composite_happens_before(t1, t2):
+    """Definition 5.3.2: every member of T2 has a T1 member before it."""
+    return all(any(ref_lt(a, b) for a in t1.stamps) for b in t2.stamps)
+
+
+def ref_composite_concurrent(t1, t2):
+    """Definition 5.3.1: all cross pairs concurrent."""
+    return all(
+        ref_concurrent(a, b) for a in t1.stamps for b in t2.stamps
+    )
+
+
+def ref_composite_weak_leq(t1, t2):
+    """Definition 5.4: all cross pairs satisfy the primitive ``⪯``."""
+    return all(ref_weak_leq(a, b) for a in t1.stamps for b in t2.stamps)
+
+
+def ref_composite_dominated_by(t1, t2):
+    """``<_g``: every member of T1 is below some member of T2."""
+    return all(any(ref_lt(a, b) for b in t2.stamps) for a in t1.stamps)
+
+
+def ref_composite_relation(t1, t2):
+    if ref_composite_happens_before(t1, t2):
+        return CompositeRelation.BEFORE
+    if ref_composite_happens_before(t2, t1):
+        return CompositeRelation.AFTER
+    if ref_composite_concurrent(t1, t2):
+        return CompositeRelation.CONCURRENT
+    return CompositeRelation.INCOMPARABLE
+
+
+# --- strategies ---------------------------------------------------------------
+
+
+@st.composite
+def primitive_stamps(draw, max_global: int = 10):
+    site = draw(st.sampled_from(SITES))
+    global_time = draw(st.integers(min_value=0, max_value=max_global))
+    offset = draw(st.integers(min_value=0, max_value=RATIO - 1))
+    return PrimitiveTimestamp(site, global_time, global_time * RATIO + offset)
+
+
+@st.composite
+def stamp_pools(draw, max_size: int = 8):
+    return draw(st.lists(primitive_stamps(), min_size=1, max_size=max_size))
+
+
+@st.composite
+def composite_stamps(draw, max_constituents: int = 5):
+    pool = draw(
+        st.lists(primitive_stamps(), min_size=1, max_size=max_constituents)
+    )
+    return CompositeTimestamp(max_set(pool))
+
+
+class TestPrimitiveKernelEquivalence:
+    @given(primitive_stamps(), primitive_stamps())
+    def test_happens_before_matches_literal(self, a, b):
+        assert happens_before(a, b) == ref_lt(a, b)
+        assert happens_before(b, a) == ref_lt(b, a)
+
+    @given(primitive_stamps(), primitive_stamps())
+    def test_concurrent_matches_literal(self, a, b):
+        assert concurrent(a, b) == ref_concurrent(a, b)
+
+    @given(primitive_stamps(), primitive_stamps())
+    def test_weak_leq_matches_literal(self, a, b):
+        assert weak_leq(a, b) == ref_weak_leq(a, b)
+
+    @given(primitive_stamps(), primitive_stamps())
+    def test_relation_code_is_consistent(self, a, b):
+        code = relation_code(a, b)
+        assert code == -relation_code(b, a)
+        assert (code < 0) == ref_lt(a, b)
+        assert (code > 0) == ref_lt(b, a)
+        assert (code == 0) == ref_concurrent(a, b)
+
+    @given(primitive_stamps(), primitive_stamps())
+    def test_memoized_second_call_agrees(self, a, b):
+        # The second call answers from the memo; both must agree with
+        # the literal definition.
+        first = relation_code(a, b)
+        assert relation_code(a, b) == first
+        assert (first < 0) == ref_lt(a, b)
+
+
+class TestMaxSetKernelEquivalence:
+    @given(stamp_pools())
+    def test_fast_max_set_matches_quadratic_filter(self, pool):
+        assert fast_max_set(pool) == ref_max_set(pool)
+
+    @given(stamp_pools())
+    def test_public_max_set_matches_quadratic_filter(self, pool):
+        assert max_set(pool) == ref_max_set(pool)
+
+    @given(stamp_pools())
+    def test_max_set_members_pairwise_concurrent(self, pool):
+        # Theorem 5.1: a max-set is internally concurrent.
+        maxima = max_set(pool)
+        assert all(
+            ref_concurrent(a, b) for a in maxima for b in maxima if a != b
+        )
+
+
+class TestCompositeKernelEquivalence:
+    @given(composite_stamps(), composite_stamps())
+    def test_happens_before_matches_literal(self, t1, t2):
+        assert composite_happens_before(t1, t2) == ref_composite_happens_before(
+            t1, t2
+        )
+
+    @given(composite_stamps(), composite_stamps())
+    def test_concurrent_matches_literal(self, t1, t2):
+        assert composite_concurrent(t1, t2) == ref_composite_concurrent(t1, t2)
+
+    @given(composite_stamps(), composite_stamps())
+    def test_weak_leq_matches_literal(self, t1, t2):
+        assert composite_weak_leq(t1, t2) == ref_composite_weak_leq(t1, t2)
+
+    @given(composite_stamps(), composite_stamps())
+    def test_dominated_by_matches_literal(self, t1, t2):
+        assert composite_dominated_by(t1, t2) == ref_composite_dominated_by(
+            t1, t2
+        )
+
+    @given(composite_stamps(), composite_stamps())
+    def test_relation_matches_literal(self, t1, t2):
+        assert composite_relation(t1, t2) == ref_composite_relation(t1, t2)
+
+    @given(composite_stamps())
+    def test_summary_digest_is_lazy_but_stable(self, t):
+        # Repeated relation queries reuse the cached digest; answers must
+        # not drift between the first (builds digest) and later calls.
+        first = composite_relation(t, t)
+        assert composite_relation(t, t) == first

@@ -8,6 +8,7 @@ import pytest
 from repro.contexts.policies import Context
 from repro.errors import SimulationError
 from repro.sim.cluster import DistributedSystem
+from repro.sim.config import SimConfig
 from repro.sim.monitor import accuracy, latency_stats
 from repro.sim.network import ConstantLatency, Network
 from repro.sim.engine import SimulationEngine
@@ -15,7 +16,7 @@ from repro.sim.workloads import paired_stream
 
 
 def seq_system(**kwargs):
-    system = DistributedSystem(["a", "b"], seed=11, **kwargs)
+    system = DistributedSystem(["a", "b"], config=SimConfig(seed=11, **kwargs))
     system.set_home("cause", "a")
     system.set_home("effect", "b")
     return system

@@ -21,6 +21,7 @@ from repro.obs import (
     verify_span_chains,
 )
 from repro.sim.cluster import DistributedSystem
+from repro.sim.config import SimConfig
 from repro.sim.monitor_site import StabilizedMonitor
 from repro.sim.workloads import WorkloadEvent
 from repro.time.timestamps import PrimitiveTimestamp
@@ -33,7 +34,9 @@ def ts(site, g, l):
 def instrumented_system(**kwargs):
     sink = RingBufferSink()
     obs = Instrumentation(sinks=[sink])
-    system = DistributedSystem(["s1", "s2"], seed=1, instrumentation=obs, **kwargs)
+    system = DistributedSystem(
+        ["s1", "s2"], config=SimConfig(seed=1, instrumentation=obs, **kwargs)
+    )
     system.set_home("a", "s1")
     system.set_home("b", "s2")
     return system, obs, sink
@@ -236,7 +239,9 @@ class TestJSONLExport:
     def test_round_trip(self, tmp_path):
         path = tmp_path / "run.obs.jsonl"
         obs = Instrumentation(sinks=[JSONLSink(path, metadata={"run": "t"})])
-        system = DistributedSystem(["s1", "s2"], seed=1, instrumentation=obs)
+        system = DistributedSystem(
+            ["s1", "s2"], config=SimConfig(seed=1, instrumentation=obs)
+        )
         system.set_home("a", "s1")
         system.set_home("b", "s2")
         system.register("a ; b", name="seq")
@@ -324,7 +329,9 @@ class TestCli:
 
         path = tmp_path / "run.obs.jsonl"
         obs = Instrumentation(sinks=[JSONLSink(path)])
-        system = DistributedSystem(["s1", "s2"], seed=1, instrumentation=obs)
+        system = DistributedSystem(
+            ["s1", "s2"], config=SimConfig(seed=1, instrumentation=obs)
+        )
         system.set_home("a", "s1")
         system.set_home("b", "s2")
         system.register("a ; b", name="seq")

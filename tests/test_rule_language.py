@@ -114,8 +114,8 @@ class TestLoadRules:
     def test_rules_fire_end_to_end(self):
         manager, actions, log, alerts = self.make_manager()
         load_rules(RULES, manager, actions)
-        manager.raise_event("deposit", ts("bank", 1, 10), {"amount": 5000})
-        manager.raise_event("withdraw", ts("atm", 9, 90), {"amount": 5000})
+        manager.feed("deposit", ts("bank", 1, 10), {"amount": 5000})
+        manager.feed("withdraw", ts("atm", 9, 90), {"amount": 5000})
         # audit_all fired immediately on both primitives.
         assert len(log) == 2
         # flag_fraud is deferred.
@@ -126,8 +126,8 @@ class TestLoadRules:
     def test_condition_vetoes(self):
         manager, actions, log, alerts = self.make_manager()
         load_rules(RULES, manager, actions)
-        manager.raise_event("deposit", ts("bank", 1, 10), {"amount": 10})
-        manager.raise_event("withdraw", ts("atm", 9, 90), {"amount": 10})
+        manager.feed("deposit", ts("bank", 1, 10), {"amount": 10})
+        manager.feed("withdraw", ts("atm", 9, 90), {"amount": 10})
         manager.flush()
         assert alerts == []
 

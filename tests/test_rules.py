@@ -50,7 +50,7 @@ class TestExecution:
         m = manager()
         log = []
         m.define("r1", "a", action=lambda d: log.append(d.name))
-        executions = m.raise_event("a", ts("s1", 5, 50))
+        executions = m.feed("a", ts("s1", 5, 50))
         assert log == ["a"]
         assert executions[0].executed
 
@@ -63,7 +63,7 @@ class TestExecution:
             condition=lambda d: d.occurrence.parameters.get("v", 0) > 10,
             action=lambda d: log.append("fired"),
         )
-        executions = m.raise_event("a", ts("s1", 5, 50), {"v": 3})
+        executions = m.feed("a", ts("s1", 5, 50), {"v": 3})
         assert log == []
         assert not executions[0].executed
 
@@ -76,7 +76,7 @@ class TestExecution:
             condition=lambda d: d.occurrence.parameters["v"] > 10,
             action=lambda d: log.append(d.occurrence.parameters["v"]),
         )
-        m.raise_event("a", ts("s1", 5, 50), {"v": 30})
+        m.feed("a", ts("s1", 5, 50), {"v": 30})
         assert log == [30]
 
     def test_priority_order(self):
@@ -84,7 +84,7 @@ class TestExecution:
         log = []
         m.define("low", "a", action=lambda d: log.append("low"), priority=1)
         m.define("high", "a", action=lambda d: log.append("high"), priority=9)
-        m.raise_event("a", ts("s1", 5, 50))
+        m.feed("a", ts("s1", 5, 50))
         assert log == ["high", "low"]
 
     def test_definition_order_breaks_ties(self):
@@ -92,7 +92,7 @@ class TestExecution:
         log = []
         m.define("first", "a", action=lambda d: log.append("first"))
         m.define("second", "a", action=lambda d: log.append("second"))
-        m.raise_event("a", ts("s1", 5, 50))
+        m.feed("a", ts("s1", 5, 50))
         assert log == ["first", "second"]
 
     def test_disabled_rule_skipped(self):
@@ -100,25 +100,25 @@ class TestExecution:
         log = []
         m.define("r1", "a", action=lambda d: log.append("x"))
         m.disable("r1")
-        m.raise_event("a", ts("s1", 5, 50))
+        m.feed("a", ts("s1", 5, 50))
         assert log == []
         m.enable("r1")
-        m.raise_event("a", ts("s1", 5, 51))
+        m.feed("a", ts("s1", 5, 51))
         assert log == ["x"]
 
     def test_action_result_recorded(self):
         m = manager()
         m.define("r1", "a", action=lambda d: 42)
-        executions = m.raise_event("a", ts("s1", 5, 50))
+        executions = m.feed("a", ts("s1", 5, 50))
         assert executions[0].result == 42
 
     def test_composite_event_rule(self):
         m = manager()
         log = []
         m.define("r1", parse_expression("x ; y"), action=lambda d: log.append(1))
-        m.raise_event("x", ts("s1", 2, 20))
+        m.feed("x", ts("s1", 2, 20))
         assert log == []
-        m.raise_event("y", ts("s2", 9, 90))
+        m.feed("y", ts("s2", 9, 90))
         assert log == [1]
 
 
@@ -129,7 +129,7 @@ class TestCoupling:
         m.define(
             "r1", "a", action=lambda d: log.append("d"), coupling=CouplingMode.DEFERRED
         )
-        m.raise_event("a", ts("s1", 5, 50))
+        m.feed("a", ts("s1", 5, 50))
         assert log == []
         assert m.pending_deferred() == 1
         m.flush()
@@ -142,7 +142,7 @@ class TestCoupling:
         m.define(
             "r1", "a", action=lambda d: log.append("x"), coupling=CouplingMode.DETACHED
         )
-        m.raise_event("a", ts("s1", 5, 50))
+        m.feed("a", ts("s1", 5, 50))
         assert m.pending_detached() == 1
         m.flush()  # flush only touches deferred
         assert log == []
@@ -156,7 +156,7 @@ class TestCoupling:
                  priority=1, coupling=CouplingMode.DEFERRED)
         m.define("hi", "a", action=lambda d: log.append("hi"),
                  priority=5, coupling=CouplingMode.DEFERRED)
-        m.raise_event("a", ts("s1", 5, 50))
+        m.feed("a", ts("s1", 5, 50))
         m.flush()
         assert log == ["hi", "lo"]
 
@@ -168,10 +168,10 @@ class TestCascades:
         m.define(
             "r1",
             "a",
-            action=lambda d: m.raise_event("b", ts("s1", 6, 60)),
+            action=lambda d: m.feed("b", ts("s1", 6, 60)),
         )
         m.define("r2", "b", action=lambda d: log.append("cascaded"))
-        m.raise_event("a", ts("s1", 5, 50))
+        m.feed("a", ts("s1", 5, 50))
         assert log == ["cascaded"]
 
     def test_runaway_cascade_capped(self):
@@ -180,8 +180,8 @@ class TestCascades:
 
         def reraise(detection):
             state["g"] += 1
-            m.raise_event("a", ts("s1", state["g"], state["g"] * 10))
+            m.feed("a", ts("s1", state["g"], state["g"] * 10))
 
         m.define("loop", "a", action=reraise)
         with pytest.raises(RuleError):
-            m.raise_event("a", ts("s1", 5, 50))
+            m.feed("a", ts("s1", 5, 50))
