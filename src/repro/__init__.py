@@ -28,6 +28,15 @@ See ``examples/`` for runnable scenarios, ``DESIGN.md`` for the system
 inventory, and ``EXPERIMENTS.md`` for the paper-versus-measured record.
 """
 
+from repro.conformance import (
+    FaultSchedule,
+    FuzzCase,
+    FuzzReport,
+    fuzz,
+    generate_case,
+    run_case,
+    shrink,
+)
 from repro.contexts.policies import Context
 from repro.detection.coordinator import DistributedDetector, PlacementPolicy
 from repro.detection.detector import Detection, Detector
@@ -108,6 +117,9 @@ __all__ = [
     "Times",
     "EventOccurrence",
     "EventType",
+    "FaultSchedule",
+    "FuzzCase",
+    "FuzzReport",
     "Granularity",
     "History",
     "Instrumentation",
@@ -138,6 +150,10 @@ __all__ = [
     "TypeRegistry",
     "composite_relation",
     "evaluate",
+    "fuzz",
+    "generate_case",
+    "run_case",
+    "shrink",
     "max_of",
     "max_of_many",
     "max_set",

@@ -10,12 +10,30 @@ candidates plus the baseline side by side.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable, Sequence, TypeVar
+from typing import Callable, Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
 Ordering = Callable[[T, T], bool]
+
+
+def multiset_diff(
+    expected: Iterable[T], actual: Iterable[T]
+) -> tuple[list[T], list[T]]:
+    """Multiset difference: (missing from actual, extra in actual).
+
+    The oracle-scoring primitive of the conformance runner: detector
+    output is compared against the denotational oracle as multisets of
+    canonical timestamp strings, and the two sorted remainder lists name
+    exactly which occurrences diverged.  Both lists empty ⇔ equal.
+    """
+    want = Counter(expected)
+    got = Counter(actual)
+    missing = sorted((want - got).elements())
+    extra = sorted((got - want).elements())
+    return missing, extra
 
 
 def comparability_rate(universe: Sequence[T], ordering: Ordering) -> Fraction:

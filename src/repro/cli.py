@@ -8,6 +8,7 @@ Subcommands::
     repro replay <trace> "<expr>" ...      detect a composite event on a trace
     repro check  [--seed N]                run the theorem sweep
     repro bench  [--quick] [--check]       run the perf regression suite
+    repro fuzz   [--seed N] [--cases N]    run the conformance fuzzer
     repro obs-report <spans.jsonl>         summarize an observability export
 
 Composite timestamps are written as semicolon-separated triples, e.g.
@@ -170,6 +171,32 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return bench_main(args)
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.conformance import fuzz, replay
+
+    if args.replay:
+        result, reproduced = replay(args.replay)
+        print(f"replayed {args.replay}")
+        for check in result.checks:
+            marker = "skip" if check.skipped else ("ok " if check.passed else "FAIL")
+            print(f"  [{marker}] {check.name}: {check.detail}")
+        verdict = "passed" if result.passed else "FAILED"
+        agreement = "" if reproduced else " (differs from recorded verdict!)"
+        print(f"verdict: {verdict}{agreement}")
+        return 0 if result.passed and reproduced else 1
+
+    report = fuzz(
+        seed=args.seed,
+        cases=args.cases,
+        budget=args.budget,
+        artifact_dir=args.artifacts,
+        include_temporal=not args.no_temporal,
+        shrink_failures=not args.no_shrink,
+    )
+    print(report.render())
+    return 0 if report.passed else 1
+
+
 def cmd_obs_report(args: argparse.Namespace) -> int:
     from repro.obs.report import read_obs_file, render_report, verify_span_chains
 
@@ -276,6 +303,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only the named benchmarks",
     )
     bench_command.set_defaults(handler=cmd_bench)
+
+    fuzz_command = commands.add_parser(
+        "fuzz", help="run the differential conformance fuzzer"
+    )
+    fuzz_command.add_argument(
+        "--seed", type=int, default=0, help="master seed of the campaign"
+    )
+    fuzz_command.add_argument(
+        "--cases", type=int, default=100, help="number of cases to generate"
+    )
+    fuzz_command.add_argument(
+        "--budget", type=float, default=None,
+        help="wall-clock bound in seconds (truncates, never changes verdicts)",
+    )
+    fuzz_command.add_argument(
+        "--artifacts", default="fuzz-artifacts",
+        help="directory failing replay artifacts are written to",
+    )
+    fuzz_command.add_argument(
+        "--replay", default=None, metavar="FILE",
+        help="re-run one saved artifact instead of fuzzing",
+    )
+    fuzz_command.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip minimization of failing cases",
+    )
+    fuzz_command.add_argument(
+        "--no-temporal", action="store_true",
+        help="exclude P/P*/+ from generated expressions",
+    )
+    fuzz_command.set_defaults(handler=cmd_fuzz)
 
     obs_command = commands.add_parser(
         "obs-report", help="summarize a JSONL observability export"

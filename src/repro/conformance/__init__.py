@@ -1,0 +1,63 @@
+"""Conformance fuzzing: differential testing of the whole stack.
+
+The subsystem generates random Snoop expressions, topologies, event
+streams, and network fault schedules (:mod:`generator`); executes each
+case through the simulator and cross-checks it against the denotational
+oracle, the literal paper definitions, checkpoint continuity, and
+adversarial reordering (:mod:`runner`); minimizes failures
+(:mod:`shrinker`); and persists deterministic replay artifacts
+(:mod:`artifacts`).  ``repro fuzz`` is the CLI front end
+(:mod:`fuzz` has the campaign driver); docs/conformance.md maps the
+checks onto the paper's Definitions 4.4–5.3.
+"""
+
+from repro.conformance.artifacts import (
+    Artifact,
+    load_artifact,
+    save_artifact,
+)
+from repro.conformance.fuzz import FuzzReport, fuzz, replay
+from repro.conformance.generator import (
+    FaultSchedule,
+    FuzzCase,
+    generate_case,
+    generate_cases,
+    generate_expression,
+    generate_schedule,
+)
+from repro.conformance.runner import (
+    CASE_NAME,
+    CaseResult,
+    CheckResult,
+    build_system,
+    has_temporal,
+    is_order_sensitive,
+    run_case,
+    timestamps_multiset,
+)
+from repro.conformance.shrinker import ShrinkStats, shrink
+
+__all__ = [
+    "Artifact",
+    "CASE_NAME",
+    "CaseResult",
+    "CheckResult",
+    "FaultSchedule",
+    "FuzzCase",
+    "FuzzReport",
+    "ShrinkStats",
+    "build_system",
+    "fuzz",
+    "generate_case",
+    "generate_cases",
+    "generate_expression",
+    "generate_schedule",
+    "has_temporal",
+    "is_order_sensitive",
+    "load_artifact",
+    "replay",
+    "run_case",
+    "save_artifact",
+    "shrink",
+    "timestamps_multiset",
+]

@@ -1,0 +1,87 @@
+"""Deterministic JSON replay artifacts for failing fuzz cases.
+
+An artifact is everything needed to re-run one case byte-for-byte — the
+full :class:`FuzzCase` plus the verdict observed when it was recorded.
+Keys are sorted and times are exact Fraction strings, so the same case
+always serializes to the same bytes and ``repro fuzz --replay`` is a
+faithful reproduction (see docs/conformance.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ReproError
+from repro.conformance.generator import FuzzCase
+from repro.conformance.runner import CaseResult
+
+ARTIFACT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One saved failing case and the verdict it was saved with."""
+
+    case: FuzzCase
+    verdict: dict[str, Any]
+
+
+def artifact_dict(result: CaseResult) -> dict[str, Any]:
+    """The JSON form of one case result."""
+    return {
+        "version": ARTIFACT_VERSION,
+        "case": result.case.to_dict(),
+        "verdict": {
+            "passed": result.passed,
+            "detections": result.detections,
+            "checks": [
+                {
+                    "name": check.name,
+                    "passed": check.passed,
+                    "skipped": check.skipped,
+                    "detail": check.detail,
+                }
+                for check in result.checks
+            ],
+        },
+    }
+
+
+def dumps(result: CaseResult) -> str:
+    """Canonical (sorted-keys) JSON text of a result."""
+    return json.dumps(artifact_dict(result), sort_keys=True, indent=2)
+
+
+def save_artifact(path: str, result: CaseResult) -> str:
+    """Write a replay artifact; returns the path."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(result))
+        handle.write("\n")
+    return path
+
+
+def load_artifact(path: str) -> Artifact:
+    """Read a replay artifact back into a case + recorded verdict."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise ReproError(f"cannot read fuzz artifact {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ReproError(
+            f"fuzz artifact {path} is not valid JSON: {error}"
+        ) from error
+    if data.get("version") != ARTIFACT_VERSION:
+        raise ReproError(
+            f"unsupported fuzz artifact version {data.get('version')!r}"
+        )
+    return Artifact(
+        case=FuzzCase.from_dict(data["case"]),
+        verdict=dict(data.get("verdict", {})),
+    )

@@ -1,0 +1,370 @@
+"""Random conformance cases: expressions, topologies, streams, faults.
+
+A :class:`FuzzCase` is a complete, self-describing experiment — a Snoop
+expression, a consumption context, a site topology with event homes and
+(possibly drifting) clocks, a timed primitive-event stream, and a
+:class:`FaultSchedule` describing what the network does to the run.  All
+fields are plain JSON-compatible data (times are ``"num/den"`` Fraction
+strings), so a case round-trips losslessly through the replay artifacts
+in :mod:`repro.conformance.artifacts`.
+
+Everything is derived from one ``random.Random`` seed; the same seed
+always yields byte-identical cases.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Iterator
+
+from repro.contexts.policies import Context
+from repro.errors import SimulationError
+from repro.events import expressions as ast
+from repro.events.expressions import EventExpression
+from repro.events.parser import parse_expression
+from repro.sim.workloads import WorkloadEvent
+
+SITE_POOL = ("s1", "s2", "s3", "s4")
+TYPE_POOL = ("a", "b", "c", "d", "e")
+PARAM = "n"
+
+_COMPARISON_OPS = ("<", "<=", ">", ">=", "==", "!=")
+_LATENCY_KINDS = ("constant", "uniform", "spiky")
+
+
+def _fraction(text: str | int | Fraction) -> Fraction:
+    return Fraction(text)
+
+
+def _fraction_str(value: Fraction) -> str:
+    value = Fraction(value)
+    return f"{value.numerator}/{value.denominator}"
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """What the simulated network does to one fuzz case.
+
+    ``loss_probability`` drops sends; ``retransmit``/``max_retries``/
+    ``retry_timeout`` configure the recovery protocol on top.  The
+    latency model is named by ``latency`` (``constant`` | ``uniform`` |
+    ``spiky``) with ``latency_low``/``latency_high`` bounds (for
+    ``spiky``: base and spike delay, every ``spike_every``-th message).
+    ``reorder`` additionally runs the adversarial message-shuffling
+    check; ``checkpoint_fraction`` places the mid-run checkpoint cut of
+    the continuity check.  Delays are Fraction strings so schedules are
+    JSON-exact.
+    """
+
+    loss_probability: float = 0.0
+    retransmit: bool = True
+    max_retries: int = 10
+    retry_timeout: str = "1/20"
+    latency: str = "constant"
+    latency_low: str = "1/100"
+    latency_high: str = "1/100"
+    spike_every: int = 0
+    reorder: bool = False
+    checkpoint_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise SimulationError(
+                f"loss_probability must be in [0, 1), got {self.loss_probability}"
+            )
+        if self.latency not in _LATENCY_KINDS:
+            raise SimulationError(f"unknown latency kind {self.latency!r}")
+        if self.latency == "spiky" and self.spike_every <= 0:
+            raise SimulationError("spiky latency needs spike_every >= 1")
+        if not 0.0 < self.checkpoint_fraction < 1.0:
+            raise SimulationError(
+                "checkpoint_fraction must be in (0, 1), got "
+                f"{self.checkpoint_fraction}"
+            )
+        low, high = _fraction(self.latency_low), _fraction(self.latency_high)
+        if low < 0 or high < low:
+            raise SimulationError(
+                f"latency bounds must satisfy 0 <= low <= high, got [{low}, {high}]"
+            )
+
+    @property
+    def is_orderly(self) -> bool:
+        """No loss and no variable latency: delivery order is benign."""
+        return self.loss_probability == 0.0 and self.latency == "constant"
+
+    def build_latency(self, seed: int):
+        """Instantiate the latency model (deterministic given ``seed``)."""
+        from repro.sim.network import ConstantLatency, SpikyLatency, UniformLatency
+
+        low = _fraction(self.latency_low)
+        high = _fraction(self.latency_high)
+        if self.latency == "uniform":
+            return UniformLatency(low, high, rng=random.Random(seed ^ 0x7A7E))
+        if self.latency == "spiky":
+            return SpikyLatency(base=low, spike=high, every=self.spike_every)
+        return ConstantLatency(low)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "loss_probability": self.loss_probability,
+            "retransmit": self.retransmit,
+            "max_retries": self.max_retries,
+            "retry_timeout": self.retry_timeout,
+            "latency": self.latency,
+            "latency_low": self.latency_low,
+            "latency_high": self.latency_high,
+            "spike_every": self.spike_every,
+            "reorder": self.reorder,
+            "checkpoint_fraction": self.checkpoint_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultSchedule":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One complete differential-testing experiment.
+
+    ``events`` rows are ``(time, site, event_type, n)`` with ``time`` a
+    Fraction string of true seconds and ``n`` the single integer
+    parameter the generated filters compare against.
+    """
+
+    seed: int
+    expression: str
+    context: str = Context.UNRESTRICTED.value
+    sites: tuple[str, ...] = ("s1", "s2")
+    homes: dict[str, str] = field(default_factory=dict)
+    perfect_clocks: bool = True
+    events: tuple[tuple[str, str, str, int], ...] = ()
+    schedule: FaultSchedule = field(default_factory=FaultSchedule)
+
+    def parsed(self) -> EventExpression:
+        """The expression AST (parsed from the stored Snoop text)."""
+        return parse_expression(self.expression)
+
+    def workload(self) -> list[WorkloadEvent]:
+        """The event stream as injectable :class:`WorkloadEvent` rows."""
+        return [
+            WorkloadEvent(
+                time=_fraction(time),
+                site=site,
+                event_type=event_type,
+                parameters={PARAM: n},
+            )
+            for time, site, event_type, n in self.events
+        ]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "expression": self.expression,
+            "context": self.context,
+            "sites": list(self.sites),
+            "homes": dict(sorted(self.homes.items())),
+            "perfect_clocks": self.perfect_clocks,
+            "events": [list(row) for row in self.events],
+            "schedule": self.schedule.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FuzzCase":
+        return cls(
+            seed=int(data["seed"]),
+            expression=data["expression"],
+            context=data["context"],
+            sites=tuple(data["sites"]),
+            homes=dict(data["homes"]),
+            perfect_clocks=bool(data["perfect_clocks"]),
+            events=tuple(
+                (str(t), str(s), str(e), int(n)) for t, s, e, n in data["events"]
+            ),
+            schedule=FaultSchedule.from_dict(data["schedule"]),
+        )
+
+    def validate(self) -> None:
+        """Raise :class:`SimulationError` on internally inconsistent cases."""
+        types = self.parsed().primitive_types()
+        missing = types - set(self.homes)
+        if missing:
+            raise SimulationError(
+                f"case homes miss event types {sorted(missing)}"
+            )
+        for home in self.homes.values():
+            if home not in self.sites:
+                raise SimulationError(f"home site {home!r} not in topology")
+        for time, site, _, _ in self.events:
+            if site not in self.sites:
+                raise SimulationError(f"event site {site!r} not in topology")
+            if _fraction(time) <= 0:
+                raise SimulationError(f"event time must be positive, got {time}")
+        Context(self.context)  # raises ValueError on bad context names
+
+
+# --- expression generation ----------------------------------------------------
+
+
+def generate_expression(
+    rng: random.Random,
+    types: tuple[str, ...],
+    depth: int | None = None,
+    include_temporal: bool = False,
+) -> EventExpression:
+    """A random Snoop expression over ``types`` with bounded depth.
+
+    Covers the full grammar: the binary operators, ``not``, ``A``/``A*``,
+    ``times``, parameter filters, and — when ``include_temporal`` is set —
+    ``P``/``P*``/``+`` with small granule constants.
+    """
+    if depth is None:
+        depth = rng.randint(1, 3)
+
+    def leaf() -> EventExpression:
+        primitive = ast.Primitive(rng.choice(types))
+        if rng.random() < 0.3:
+            condition = ast.Comparison(
+                PARAM, rng.choice(_COMPARISON_OPS), rng.randint(0, 10)
+            )
+            return ast.Filter(primitive, (condition,))
+        return primitive
+
+    def build(budget: int) -> EventExpression:
+        if budget <= 0:
+            return leaf()
+        kinds = ["or", "and", "seq", "seq", "not", "aperiodic",
+                 "aperiodic_star", "times"]
+        if include_temporal:
+            kinds += ["periodic", "periodic_star", "plus"]
+        kind = rng.choice(kinds)
+        if kind == "or":
+            return ast.Or(build(budget - 1), build(budget - 1))
+        if kind == "and":
+            return ast.And(build(budget - 1), build(budget - 1))
+        if kind == "seq":
+            return ast.Sequence(build(budget - 1), build(budget - 1))
+        if kind == "not":
+            return ast.Not(leaf(), build(budget - 1), leaf())
+        if kind == "aperiodic":
+            return ast.Aperiodic(leaf(), build(budget - 1), leaf())
+        if kind == "aperiodic_star":
+            return ast.AperiodicStar(leaf(), build(budget - 1), leaf())
+        if kind == "times":
+            return ast.Times(rng.randint(2, 3), build(budget - 1))
+        if kind == "periodic":
+            return ast.Periodic(leaf(), rng.randint(1, 4), leaf())
+        if kind == "periodic_star":
+            return ast.PeriodicStar(leaf(), rng.randint(1, 4), leaf())
+        return ast.Plus(build(budget - 1), rng.randint(1, 4))
+
+    return build(depth)
+
+
+# --- schedule and case generation ---------------------------------------------
+
+
+def generate_schedule(rng: random.Random) -> FaultSchedule:
+    """A random fault profile: clean, lossy, jittery, or spiky."""
+    profile = rng.random()
+    reorder = rng.random() < 0.5
+    checkpoint_fraction = rng.choice((0.25, 0.5, 0.75))
+    if profile < 0.35:
+        return FaultSchedule(
+            reorder=reorder, checkpoint_fraction=checkpoint_fraction
+        )
+    if profile < 0.6:
+        return FaultSchedule(
+            loss_probability=rng.randint(5, 30) / 100,
+            retransmit=True,
+            max_retries=12,
+            retry_timeout="1/20",
+            reorder=reorder,
+            checkpoint_fraction=checkpoint_fraction,
+        )
+    if profile < 0.8:
+        return FaultSchedule(
+            latency="uniform",
+            latency_low="1/1000",
+            latency_high=rng.choice(("1/10", "1/4")),
+            reorder=reorder,
+            checkpoint_fraction=checkpoint_fraction,
+        )
+    return FaultSchedule(
+        latency="spiky",
+        latency_low="1/100",
+        latency_high="1/2",
+        spike_every=rng.randint(3, 8),
+        reorder=reorder,
+        checkpoint_fraction=checkpoint_fraction,
+    )
+
+
+def generate_case(seed: int, include_temporal: bool = True) -> FuzzCase:
+    """The fuzz case of one seed — a pure function of its arguments."""
+    rng = random.Random(seed)
+    sites = SITE_POOL[: rng.randint(2, len(SITE_POOL))]
+    types = tuple(
+        sorted(rng.sample(TYPE_POOL, rng.randint(2, min(4, len(TYPE_POOL)))))
+    )
+    expression = generate_expression(
+        rng, types, include_temporal=include_temporal
+    )
+    homes = {event_type: rng.choice(sites) for event_type in types}
+    # Keep the homes map closed over the expression's types even when the
+    # generator drew a type outside the sampled pool (it cannot today,
+    # but the invariant is what FuzzCase.validate checks).
+    for event_type in sorted(expression.primitive_types()):
+        homes.setdefault(event_type, rng.choice(sites))
+    context = (
+        Context.UNRESTRICTED
+        if rng.random() < 0.7
+        else rng.choice([c for c in Context if c is not Context.UNRESTRICTED])
+    )
+    event_types = tuple(sorted(expression.primitive_types()))
+    events = []
+    t = Fraction(1, 2)
+    for _ in range(rng.randint(4, 16)):
+        t += Fraction(rng.randint(1, 40), 100)
+        events.append(
+            (
+                _fraction_str(t),
+                rng.choice(sites),
+                rng.choice(event_types),
+                rng.randint(0, 10),
+            )
+        )
+    case = FuzzCase(
+        seed=seed,
+        expression=str(expression),
+        context=context.value,
+        sites=sites,
+        homes=homes,
+        perfect_clocks=rng.random() < 0.4,
+        events=tuple(events),
+        schedule=generate_schedule(rng),
+    )
+    case.validate()
+    return case
+
+
+def generate_cases(
+    seed: int, count: int, include_temporal: bool = True
+) -> Iterator[FuzzCase]:
+    """``count`` independent cases derived from one master seed."""
+    for index in range(count):
+        yield generate_case(
+            seed * 1_000_003 + index, include_temporal=include_temporal
+        )
+
+
+__all__ = [
+    "FaultSchedule",
+    "FuzzCase",
+    "generate_case",
+    "generate_cases",
+    "generate_expression",
+    "generate_schedule",
+]

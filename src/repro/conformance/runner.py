@@ -1,0 +1,483 @@
+"""Execute one fuzz case and cross-check it four ways.
+
+``run_case`` drives a :class:`FuzzCase` end-to-end through the simulated
+:class:`~repro.sim.cluster.DistributedSystem` and applies every
+differential check that is *sound* for the case:
+
+``execution``
+    The simulation itself must complete without raising; the stamped
+    history and detections feed the other checks.
+
+``oracle``
+    Detections must equal ``repro.events.semantics.evaluate`` over the
+    stamped history as a multiset of composite timestamps.  Sound in
+    the UNRESTRICTED context for non-temporal expressions (the oracle's
+    timer site differs from the detector's) when no message was
+    permanently lost.  The arrival-order-insensitive operators
+    (Or/And/Sequence/Filter) qualify under any such schedule; Not/A/A*
+    additionally require an *orderly* one — no loss, perfect clocks,
+    constant latency of at most one global granule — so that arrival
+    inversions stay confined to concurrent events and arrival order
+    remains a linearization of ``<_p``.  Times is always excluded (it
+    batches by raw arrival order).
+
+``kernels``
+    The fast-path kernels (``relation_code``, ``fast_max_set``, the
+    composite relations) must agree with the literal Definitions
+    4.7–5.4 from :mod:`repro.conformance.literal` on the stamps the case
+    actually produced.
+
+``checkpoint``
+    Split the stream at the schedule's ``checkpoint_fraction``, snapshot
+    a single-site detector, restore into a fresh one, feed the rest:
+    detections must match an uninterrupted run.  Sound for *every*
+    operator and context because a lone detector is deterministic.
+
+``reorder``
+    Deliver the cross-site messages of a zero-latency
+    :class:`~repro.detection.coordinator.DistributedDetector` in a
+    random adversarial order; the result must still equal the oracle.
+    Gated like ``oracle`` plus the schedule's ``reorder`` flag.
+
+Checks that are not sound for a case are reported as skipped (with the
+reason), never silently dropped.
+"""
+
+from __future__ import annotations
+
+import random
+import traceback
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from repro.analysis.metrics import multiset_diff
+from repro.contexts.policies import Context
+from repro.detection.checkpoint import restore, snapshot
+from repro.detection.coordinator import DistributedDetector
+from repro.detection.detector import Detector
+from repro.events.expressions import (
+    Aperiodic,
+    AperiodicStar,
+    EventExpression,
+    Not,
+    Periodic,
+    PeriodicStar,
+    Plus,
+    Times,
+)
+from repro.events.occurrences import EventOccurrence, History
+from repro.events.parser import parse_expression
+from repro.events.semantics import evaluate
+from repro.sim.cluster import DistributedSystem
+from repro.sim.config import SimConfig
+from repro.time.composite import (
+    CompositeTimestamp,
+    composite_relation,
+    max_set,
+)
+from repro.time.kernels import fast_max_set, relation_code
+from repro.conformance.generator import FuzzCase
+from repro.conformance.literal import (
+    ref_composite_relation,
+    ref_lt,
+    ref_max_set,
+)
+
+CASE_NAME = "fuzz"
+
+_TEMPORAL = (Periodic, PeriodicStar, Plus)
+_ORDER_SENSITIVE = (Not, Aperiodic, AperiodicStar, Times)
+
+
+def has_temporal(expression: EventExpression) -> bool:
+    """Whether the expression uses timer-driven operators (P/P*/+)."""
+    return any(isinstance(node, _TEMPORAL) for node in expression.walk())
+
+
+def is_order_sensitive(expression: EventExpression) -> bool:
+    """Whether detections can depend on arrival order (Not/A/A*/Times)."""
+    return any(
+        isinstance(node, _ORDER_SENSITIVE) for node in expression.walk()
+    )
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one differential check on one case."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+    skipped: bool = False
+
+
+@dataclass
+class CaseResult:
+    """All check outcomes of one executed case."""
+
+    case: FuzzCase
+    checks: list[CheckResult] = field(default_factory=list)
+    detections: int = 0
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def failed_checks(self) -> list[CheckResult]:
+        return [check for check in self.checks if not check.passed]
+
+    def check(self, name: str) -> CheckResult | None:
+        for check in self.checks:
+            if check.name == name:
+                return check
+        return None
+
+
+def timestamps_multiset(occurrences) -> list[str]:
+    """Canonical comparison form: the sorted composite-timestamp reprs."""
+    return sorted(repr(o.timestamp) for o in occurrences)
+
+
+def build_system(case: FuzzCase) -> DistributedSystem:
+    """The simulated system a case describes (faults included)."""
+    schedule = case.schedule
+    config = SimConfig(
+        seed=case.seed,
+        latency=schedule.build_latency(case.seed),
+        perfect_clocks=case.perfect_clocks,
+        loss_probability=schedule.loss_probability,
+        retransmit=schedule.retransmit,
+        max_retries=schedule.max_retries,
+        retry_timeout=Fraction(schedule.retry_timeout),
+    )
+    system = DistributedSystem(list(case.sites), config=config)
+    for event_type, home in sorted(case.homes.items()):
+        system.set_home(event_type, home)
+    system.register(
+        case.expression, name=CASE_NAME, context=Context(case.context)
+    )
+    return system
+
+
+def _temporal_pad(expression: EventExpression) -> int:
+    """Granules to keep pumping past the last event so timers drain."""
+    constants = [
+        node.period
+        for node in expression.walk()
+        if isinstance(node, (Periodic, PeriodicStar))
+    ] + [node.offset for node in expression.walk() if isinstance(node, Plus)]
+    return 2 * max(constants, default=0) + 2
+
+
+# Tail-drain allowance past the pumped horizon: covers the slowest spiky
+# delivery plus a full linear-backoff retry chain.
+_DRAIN_SLACK = Fraction(6)
+
+
+def _execute(case: FuzzCase, expression: EventExpression) -> DistributedSystem:
+    system = build_system(case)
+    workload = case.workload()
+    system.inject(workload)
+    if has_temporal(expression) and workload:
+        horizon = max(event.time for event in workload)
+        horizon += _temporal_pad(expression) * system.model.global_.seconds
+        system.run(until=horizon, pump_granules=True)
+        # An unclosed P/P* window ticks forever, and every cross-site tick
+        # delivery advances the clock past the next tick deadline — an
+        # unbounded run() would never drain.  Bound the tail instead; the
+        # cutoff is deterministic, so verdicts stay reproducible.
+        system.run(until=horizon + _DRAIN_SLACK)
+    else:
+        system.run()
+    return system
+
+
+def _failure(name: str, error: Exception) -> CheckResult:
+    last = traceback.format_exception_only(type(error), error)[-1].strip()
+    return CheckResult(name, passed=False, detail=f"raised {last}")
+
+
+def _skip(name: str, reason: str) -> CheckResult:
+    return CheckResult(name, passed=True, skipped=True, detail=reason)
+
+
+# --- the individual checks ----------------------------------------------------
+
+
+def _oracle_gate(
+    case: FuzzCase, expression: EventExpression, system: DistributedSystem
+) -> str | None:
+    """Why the end-to-end oracle comparison is unsound here, if it is."""
+    if Context(case.context) is not Context.UNRESTRICTED:
+        return f"context {case.context} (oracle is unrestricted-only)"
+    if has_temporal(expression):
+        return "temporal operators (oracle timer site differs)"
+    if any(isinstance(node, Times) for node in expression.walk()):
+        return "times batches by arrival order"
+    if is_order_sensitive(expression):
+        # Not/A/A* match the oracle when events arrive in a linearization
+        # of <_p.  With no loss, perfect clocks, and a constant latency
+        # at most one global granule, arrival inversions are confined to
+        # concurrent events — still a linearization.  Anything looser
+        # (retransmission lag, latency spikes, drift) can invert ordered
+        # pairs, where online non-monotonic detection legitimately
+        # diverges from the oracle.
+        if not case.schedule.is_orderly:
+            return "order-sensitive operators under loss/variable latency"
+        if not case.perfect_clocks:
+            return "order-sensitive operators under clock drift"
+        if Fraction(case.schedule.latency_high) > system.model.global_.seconds:
+            return "order-sensitive operators with latency above one granule"
+    if system.lost_messages:
+        return f"{system.lost_messages} message(s) permanently lost"
+    return None
+
+
+def _check_oracle(
+    oracle_strs: list[str], system: DistributedSystem
+) -> CheckResult:
+    actual = timestamps_multiset(
+        record.detection.occurrence
+        for record in system.detections_of(CASE_NAME)
+    )
+    missing, extra = multiset_diff(oracle_strs, actual)
+    if not missing and not extra:
+        return CheckResult(
+            "oracle", True, f"{len(actual)} detections match the oracle"
+        )
+    return CheckResult(
+        "oracle",
+        False,
+        f"missing={missing[:3]} extra={extra[:3]} "
+        f"(oracle {len(oracle_strs)}, detector {len(actual)})",
+    )
+
+
+def _check_kernels(case: FuzzCase, system: DistributedSystem) -> CheckResult:
+    rng = random.Random(case.seed ^ 0xC0FFEE)
+    stamps = [
+        stamp
+        for occurrence in system.history
+        for stamp in occurrence.timestamp
+    ]
+    problems: list[str] = []
+    pool = stamps[:24]
+    for i, a in enumerate(pool):
+        for b in pool[i:]:
+            code = relation_code(a, b)
+            want = -1 if ref_lt(a, b) else (1 if ref_lt(b, a) else 0)
+            if code != want:
+                problems.append(
+                    f"relation_code({a!r}, {b!r}) = {code}, literal {want}"
+                )
+    composites: list[CompositeTimestamp] = []
+    if stamps:
+        for _ in range(24):
+            sample = rng.sample(stamps, rng.randint(1, min(6, len(stamps))))
+            fast = fast_max_set(sample)
+            if fast != ref_max_set(sample):
+                problems.append(f"fast_max_set diverges on {sample!r}")
+                continue
+            composites.append(CompositeTimestamp(max_set(sample)))
+    composites.extend(
+        record.detection.occurrence.timestamp
+        for record in system.detections_of(CASE_NAME)[:12]
+    )
+    comp_pool = composites[:16]
+    for t1 in comp_pool:
+        for t2 in comp_pool:
+            got = composite_relation(t1, t2)
+            want_rel = ref_composite_relation(t1, t2)
+            if got is not want_rel:
+                problems.append(
+                    f"composite_relation({t1}, {t2}) = {got.value}, "
+                    f"literal {want_rel.value}"
+                )
+    if problems:
+        return CheckResult(
+            "kernels", False, "; ".join(problems[:3])
+        )
+    return CheckResult(
+        "kernels",
+        True,
+        f"{len(pool)} stamps, {len(comp_pool)} composites vs literal defs",
+    )
+
+
+def _feed_into(detector: Detector, occurrences) -> None:
+    # Feed *fresh copies*: after a restore, buffered occurrences carry
+    # newly allocated uids, so post-checkpoint events must get uids
+    # allocated after them — exactly what a real restarted process sees.
+    # Re-using the pre-cut occurrence objects would invert that order and
+    # flip uid-tie-breaks in the consumption contexts.
+    for occurrence in occurrences:
+        granule = occurrence.timestamp.global_span()[1]
+        if granule > detector.now_global:
+            detector.advance_time(granule)
+        detector.feed(
+            EventOccurrence.primitive(
+                occurrence.event_type,
+                next(iter(occurrence.timestamp)),
+                occurrence.parameters,
+            )
+        )
+
+
+def _check_continuity(
+    case: FuzzCase, expression: EventExpression, history: History
+) -> CheckResult:
+    occurrences = list(history)
+    if len(occurrences) < 2:
+        return _skip("checkpoint", "fewer than two events")
+    context = Context(case.context)
+    ratio = 10  # example 5.1 model: local ticks per global granule
+
+    def fresh() -> Detector:
+        detector = Detector(site="conf", timer_ratio=ratio)
+        detector.register(expression, name=CASE_NAME, context=context)
+        return detector
+
+    horizon = max(
+        occurrence.timestamp.global_span()[1] for occurrence in occurrences
+    ) + _temporal_pad(expression)
+    reference = fresh()
+    _feed_into(reference, occurrences)
+    reference.advance_time(horizon)
+
+    cut = int(len(occurrences) * case.schedule.checkpoint_fraction)
+    cut = min(max(cut, 1), len(occurrences) - 1)
+    first = fresh()
+    _feed_into(first, occurrences[:cut])
+    state = snapshot(first)
+    second = fresh()
+    restore(second, state)
+    _feed_into(second, occurrences[cut:])
+    second.advance_time(horizon)
+
+    expected = timestamps_multiset(reference.detections_of(CASE_NAME))
+    actual = timestamps_multiset(
+        first.detections_of(CASE_NAME) + second.detections_of(CASE_NAME)
+    )
+    missing, extra = multiset_diff(expected, actual)
+    if not missing and not extra:
+        return CheckResult(
+            "checkpoint",
+            True,
+            f"cut at {cut}/{len(occurrences)}: {len(expected)} detections "
+            "preserved",
+        )
+    return CheckResult(
+        "checkpoint",
+        False,
+        f"cut at {cut}/{len(occurrences)}: missing={missing[:3]} "
+        f"extra={extra[:3]}",
+    )
+
+
+def _check_reorder(
+    case: FuzzCase, expression: EventExpression, history: History,
+    oracle_strs: list[str],
+) -> CheckResult:
+    detector = DistributedDetector(list(case.sites))
+    for event_type, home in sorted(case.homes.items()):
+        detector.set_home(event_type, home)
+    detector.register(
+        expression, name=CASE_NAME, context=Context(case.context)
+    )
+    for occurrence in history:
+        detector.feed(
+            EventOccurrence.primitive(
+                occurrence.event_type,
+                next(iter(occurrence.timestamp)),
+                occurrence.parameters,
+            )
+        )
+    rng = random.Random(case.seed * 31 + 7)
+    while detector.outbox:
+        pending = list(detector.outbox)
+        detector.outbox.clear()
+        rng.shuffle(pending)
+        for message in pending:
+            detector.deliver(message)
+    actual = timestamps_multiset(detector.detections_of(CASE_NAME))
+    missing, extra = multiset_diff(oracle_strs, actual)
+    if not missing and not extra:
+        return CheckResult(
+            "reorder", True, f"{len(actual)} detections survive shuffling"
+        )
+    return CheckResult(
+        "reorder",
+        False,
+        f"missing={missing[:3]} extra={extra[:3]} under shuffled delivery",
+    )
+
+
+# --- the driver ---------------------------------------------------------------
+
+
+def run_case(case: FuzzCase) -> CaseResult:
+    """Execute one case and apply every sound differential check."""
+    result = CaseResult(case)
+    try:
+        expression = case.parsed()
+        case.validate()
+        system = _execute(case, expression)
+    except Exception as error:  # noqa: BLE001 - a crash IS the finding
+        result.checks.append(_failure("execution", error))
+        return result
+    result.detections = len(system.detections_of(CASE_NAME))
+    result.checks.append(
+        CheckResult(
+            "execution",
+            True,
+            f"{len(system.history)} events, {result.detections} detections, "
+            f"{system.retransmissions} retransmissions",
+        )
+    )
+
+    oracle_strs: list[str] | None = None
+    gate = _oracle_gate(case, expression, system)
+    if gate is not None:
+        result.checks.append(_skip("oracle", gate))
+    else:
+        try:
+            oracle_strs = timestamps_multiset(
+                evaluate(expression, system.history, label=CASE_NAME)
+            )
+            result.checks.append(_check_oracle(oracle_strs, system))
+        except Exception as error:  # noqa: BLE001
+            result.checks.append(_failure("oracle", error))
+
+    try:
+        result.checks.append(_check_kernels(case, system))
+    except Exception as error:  # noqa: BLE001
+        result.checks.append(_failure("kernels", error))
+
+    try:
+        result.checks.append(
+            _check_continuity(case, expression, system.history)
+        )
+    except Exception as error:  # noqa: BLE001
+        result.checks.append(_failure("checkpoint", error))
+
+    if not case.schedule.reorder:
+        result.checks.append(_skip("reorder", "schedule has reorder=False"))
+    elif is_order_sensitive(expression):
+        # Shuffled delivery is NOT a linearization of <_p, so the relaxed
+        # orderly-schedule argument that admits Not/A/A* to the oracle
+        # check does not extend here.
+        result.checks.append(
+            _skip("reorder", "order-sensitive operators under shuffling")
+        )
+    elif gate is not None:
+        result.checks.append(_skip("reorder", gate))
+    elif oracle_strs is None:
+        result.checks.append(_skip("reorder", "oracle unavailable"))
+    else:
+        try:
+            result.checks.append(
+                _check_reorder(case, expression, system.history, oracle_strs)
+            )
+        except Exception as error:  # noqa: BLE001
+            result.checks.append(_failure("reorder", error))
+    return result

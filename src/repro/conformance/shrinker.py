@@ -1,0 +1,131 @@
+"""Greedy minimization of failing fuzz cases.
+
+``shrink`` takes a failing :class:`FuzzCase` and a predicate ("does this
+case still fail?") and walks toward a local minimum over three
+dimensions, ddmin-style:
+
+* **events** — delete chunks of the stream (halves, quarters, …, single
+  events), plus events whose type the expression never references;
+* **sites** — drop a site with its events, re-homing orphaned event
+  types onto the first surviving site;
+* **expression** — replace the expression with one of its strict
+  subtrees (a filter shrinks to its base, a sequence to one side, …).
+
+Each accepted candidate restarts the pass list, so the result is a
+fixpoint: no single deletion step keeps it failing.  The predicate is
+called at most ``max_attempts`` times, bounding worst-case cost; a
+predicate that *raises* is treated as "still failing" (a crash is a
+finding too, and usually the one being minimized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator
+
+from repro.conformance.generator import FuzzCase
+from repro.events.parser import parse_expression
+
+
+@dataclass(frozen=True)
+class ShrinkStats:
+    """How the minimization went."""
+
+    attempts: int
+    accepted: int
+
+
+def _without_event_chunks(case: FuzzCase) -> Iterator[FuzzCase]:
+    events = case.events
+    size = len(events) // 2
+    while size >= 1:
+        for start in range(0, len(events), size):
+            remaining = events[:start] + events[start + size:]
+            if remaining != events:
+                yield replace(case, events=remaining)
+        size //= 2
+
+
+def _without_orphan_events(case: FuzzCase) -> Iterator[FuzzCase]:
+    try:
+        wanted = parse_expression(case.expression).primitive_types()
+    except Exception:  # noqa: BLE001 - malformed candidates just skip the pass
+        return
+    trimmed = tuple(row for row in case.events if row[2] in wanted)
+    if trimmed != case.events:
+        yield replace(case, events=trimmed)
+
+
+def _without_sites(case: FuzzCase) -> Iterator[FuzzCase]:
+    if len(case.sites) <= 1:
+        return
+    for victim in case.sites:
+        sites = tuple(site for site in case.sites if site != victim)
+        homes = {
+            event_type: (home if home != victim else sites[0])
+            for event_type, home in case.homes.items()
+        }
+        events = tuple(row for row in case.events if row[1] != victim)
+        yield replace(case, sites=sites, homes=homes, events=events)
+
+
+def _with_subexpressions(case: FuzzCase) -> Iterator[FuzzCase]:
+    try:
+        expression = parse_expression(case.expression)
+    except Exception:  # noqa: BLE001
+        return
+    seen: set[str] = {case.expression}
+    subtrees = [
+        node for node in expression.walk() if node is not expression
+    ]
+    subtrees.sort(key=lambda node: (node.depth(), len(str(node))))
+    for subtree in subtrees:
+        text = str(subtree)
+        if text in seen:
+            continue
+        seen.add(text)
+        yield replace(case, expression=text)
+
+
+_PASSES = (
+    _without_event_chunks,
+    _without_orphan_events,
+    _without_sites,
+    _with_subexpressions,
+)
+
+
+def shrink(
+    case: FuzzCase,
+    is_failing: Callable[[FuzzCase], bool],
+    max_attempts: int = 400,
+) -> tuple[FuzzCase, ShrinkStats]:
+    """Minimize ``case`` while ``is_failing`` stays true.
+
+    Returns the smallest case found and the attempt statistics.  The
+    input case is assumed failing; it is returned unchanged when no
+    deletion preserves the failure.
+    """
+    best = case
+    attempts = 0
+    accepted = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for candidates_of in _PASSES:
+            for candidate in candidates_of(best):
+                if attempts >= max_attempts:
+                    return best, ShrinkStats(attempts, accepted)
+                attempts += 1
+                try:
+                    failing = is_failing(candidate)
+                except Exception:  # noqa: BLE001 - crashes count as failures
+                    failing = True
+                if failing:
+                    best = candidate
+                    accepted += 1
+                    progress = True
+                    break
+            if progress:
+                break
+    return best, ShrinkStats(attempts, accepted)

@@ -40,7 +40,7 @@ from repro.detection.nodes import (
     TimesNode,
     _Window,
 )
-from repro.time.composite import CompositeTimestamp
+from repro.time.composite import CompositeTimestamp, max_of_many
 from repro.time.timestamps import PrimitiveTimestamp
 
 FORMAT_VERSION = 1
@@ -173,6 +173,15 @@ def _load_node(node: Node, state: dict[str, Any]) -> None:
         return
     if isinstance(node, TimesNode) and state["kind"] == "times":
         node._pending = [occurrence_from_dict(o) for o in state["pending"]]
+        # Rebuild the running-Max accumulator the node folds per arrival;
+        # leaving it None would make the first post-restore batch emit a
+        # timestamp that ignores the restored constituents (found by the
+        # conformance fuzzer's checkpoint-continuity check).
+        node._acc = (
+            max_of_many(o.timestamp for o in node._pending)
+            if node._pending
+            else None
+        )
         return
     if isinstance(node, PeriodicNode) and state["kind"] == "periodic":
         node._windows = []

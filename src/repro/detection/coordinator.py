@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
 from repro.contexts.policies import Context
-from repro.errors import PlacementError, SchedulingError, UnknownSiteError
+from repro.errors import PlacementError, UnknownSiteError
 from repro.events.expressions import EventExpression, Primitive
 from repro.events.occurrences import EventOccurrence
 from repro.events.parser import parse_expression
@@ -402,12 +402,15 @@ class DistributedDetector:
     def schedule_at(
         self, site: str, node: Node, fire_global: int, payload: Any
     ) -> None:
-        """Schedule a timer on one site's clock (used by temporal nodes)."""
+        """Schedule a timer on one site's clock (used by temporal nodes).
+
+        Late deadlines are clamped to the site's current granule, as in
+        :meth:`repro.detection.detector.Detector.schedule`: an opener
+        that crossed the network slower than its offset still fires its
+        timer, at the earliest granule the site's clock allows.
+        """
         if fire_global < self._now_global[site]:
-            raise SchedulingError(
-                f"cannot schedule at granule {fire_global}; site {site!r} clock "
-                f"is at {self._now_global[site]}"
-            )
+            fire_global = self._now_global[site]
         heapq.heappush(
             self._timer_heaps[site],
             (fire_global, next(self._timer_seq), node, payload),

@@ -139,12 +139,16 @@ class Detector:
     # --- TimerService ----------------------------------------------------
 
     def schedule(self, node: Node, fire_global: int, payload: Any) -> None:
-        """Arrange a timer callback at a future global granule."""
+        """Arrange a timer callback at a future global granule.
+
+        A deadline already in the past is clamped to the current granule
+        (the timer fires on the next clock advance): a temporal operator
+        whose opener was delivered late must still signal, just late —
+        raising here would crash the engine on an ordinary message-delay
+        race (found by the conformance fuzzer).
+        """
         if fire_global < self.now_global:
-            raise SchedulingError(
-                f"cannot schedule a timer at granule {fire_global}; the "
-                f"clock is already at {self.now_global}"
-            )
+            fire_global = self.now_global
         heapq.heappush(
             self._timer_heap, (fire_global, next(self._timer_seq), node, payload)
         )

@@ -185,6 +185,11 @@ class DistributedSystem:
         self._injection_spans: dict[int, int] = {}
         self._subscribers: dict[str, list[Callable[[DetectionRecord], None]]] = {}
         self._injected = 0
+        # Messages handed to the fabric but not yet delivered (including
+        # those waiting out a retransmission timeout), keyed by message
+        # seq.  Without this, a checkpoint taken mid-retransmission would
+        # silently drop the message — it lives only in an engine closure.
+        self._inflight: dict[int, Message] = {}
 
     # --- configuration -----------------------------------------------------
 
@@ -288,6 +293,15 @@ class DistributedSystem:
             raise TypeError(
                 "inject(events) bulk form takes no event/at/parameters"
             )
+        else:
+            events = list(events)
+            known = set(self.sites)
+            for workload_event in events:
+                if workload_event.site not in known:
+                    raise UnknownSiteError(
+                        f"{workload_event.site!r} is not a site of this "
+                        f"system (sites: {sorted(known)})"
+                    )
         return self.engine.schedule_many(
             (workload_event.time, partial(self._raise, workload_event))
             for workload_event in events
@@ -359,6 +373,7 @@ class DistributedSystem:
             self._send_with_recovery(message, attempt=0)
 
     def _send_with_recovery(self, message: Message, attempt: int) -> None:
+        self._inflight[message.seq] = message
         outcome = self.network.send(
             message.src, message.dst, message.size, partial(self._deliver, message)
         )
@@ -366,6 +381,7 @@ class DistributedSystem:
             return
         if not self.retransmit or attempt >= self.max_retries:
             self.lost_messages += 1
+            self._inflight.pop(message.seq, None)
             return
         # Simulated ack timeout: re-send after the retry timeout, with
         # linear backoff; deterministic given the seeds.
@@ -376,6 +392,7 @@ class DistributedSystem:
         )
 
     def _deliver(self, message: Message) -> None:
+        self._inflight.pop(message.seq, None)
         self._advance_detector_clock()
         self.detector.deliver(message)
         if self.detector.outbox:
@@ -419,6 +436,63 @@ class DistributedSystem:
             )
         for callback in self._subscribers.get(detection.name, []):
             callback(record)
+
+    # --- checkpointing ------------------------------------------------------
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Snapshot the detector *and* the messages still on the wire.
+
+        Extends :func:`repro.detection.checkpoint.snapshot_distributed`
+        with the in-flight messages this system is tracking — including
+        a message waiting out a retransmission timeout, which lives only
+        in an engine closure and would otherwise be lost.  The snapshot
+        is meant for transfer into a *fresh* identically-registered
+        system via :meth:`restore_checkpoint`; in-flight messages are
+        folded into the snapshot's outbox and re-sent on restore.
+        """
+        from repro.detection.checkpoint import (
+            _node_key,
+            occurrence_to_dict,
+            snapshot_distributed,
+        )
+
+        state = snapshot_distributed(self.detector)
+        nodes_by_id = self.detector._nodes_by_id
+        for message in sorted(self._inflight.values(), key=lambda m: m.seq):
+            state["outbox"].append(
+                {
+                    "src": message.src,
+                    "dst": message.dst,
+                    "node": _node_key(nodes_by_id[message.node_id]),
+                    "role": message.role,
+                    "occurrence": occurrence_to_dict(message.occurrence),
+                }
+            )
+        now = self.engine.now
+        state["true_time"] = [now.numerator, now.denominator]
+        return state
+
+    def restore_checkpoint(self, state: Mapping[str, Any]) -> None:
+        """Load a :meth:`checkpoint` into this (freshly built) system.
+
+        The same expressions must already be registered (same names,
+        contexts, and event homes).  Restored outbox messages — the
+        in-flight traffic at snapshot time — are re-sent through this
+        system's network; call :meth:`run` afterwards to deliver them.
+        """
+        from repro.detection.checkpoint import restore_distributed
+
+        restore_distributed(self.detector, dict(state))
+        true_time = state.get("true_time")
+        if true_time is not None:
+            t = Fraction(int(true_time[0]), int(true_time[1]))
+            if t > self.engine.now:
+                # Resume the true-time clock where the snapshot left it so
+                # retransmission timeouts and granule advances line up.
+                self.engine.now = t
+                self.engine._now_f = t.numerator / t.denominator
+        if self.detector.outbox:
+            self._drain_outbox()
 
     # --- running -----------------------------------------------------------------
 

@@ -67,6 +67,38 @@ class UniformLatency:
 
 
 @dataclass
+class SpikyLatency:
+    """Constant base delay with a periodic latency spike.
+
+    Every ``every``-th message on the fabric takes ``spike`` seconds
+    instead of ``base`` — a deterministic stand-in for GC pauses or
+    transient congestion.  Spikes reorder deliveries aggressively (a
+    spiked message is overtaken by everything sent shortly after it),
+    which is exactly the condition the conformance fuzzer's fault
+    schedules want to provoke.
+    """
+
+    base: Fraction = Fraction(1, 100)
+    spike: Fraction = Fraction(1, 2)
+    every: int = 7
+    _count: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.spike < 0:
+            raise SimulationError("latency delays must be non-negative")
+        if self.every < 1:
+            raise SimulationError(
+                f"spike period must be >= 1, got {self.every}"
+            )
+
+    def delay(self, src: str, dst: str, size: int) -> Fraction:
+        self._count += 1
+        if self._count % self.every == 0:
+            return self.spike
+        return self.base
+
+
+@dataclass
 class NetworkStats:
     """Aggregate message statistics."""
 

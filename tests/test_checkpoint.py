@@ -236,3 +236,78 @@ class TestDistributedCheckpoint:
         distributed = self.build()
         with _pytest.raises(DetectionError):
             restore_distributed(distributed, local_state)
+
+
+class TestSystemCheckpointUnderFault:
+    """Checkpoint a DistributedSystem while a retransmission is in flight.
+
+    A dropped message awaiting its retry lives only inside an engine
+    closure; ``DistributedSystem.checkpoint`` must still capture it (via
+    the in-flight registry) so the detection survives a restore into a
+    fresh system.
+    """
+
+    def build(self):
+        from fractions import Fraction
+
+        from repro.sim.cluster import DistributedSystem
+        from repro.sim.config import SimConfig
+
+        system = DistributedSystem(
+            ["s1", "s2"],
+            config=SimConfig(
+                seed=1,
+                retransmit=True,
+                max_retries=5,
+                retry_timeout=Fraction(1, 20),
+            ),
+        )
+        system.set_home("a", "s1")
+        system.set_home("b", "s2")
+        system.register("a ; b", name="seq")
+        return system
+
+    def test_in_flight_retransmission_survives_restore(self):
+        from fractions import Fraction
+
+        system = self.build()
+        original_send = system.network.send
+        dropped = []
+
+        def flaky_send(src, dst, size, handler):
+            # Drop the first cross-site attempt; the recovery protocol
+            # schedules a retry that is still pending at checkpoint time.
+            if src != dst and not dropped:
+                dropped.append((src, dst))
+                system.network.stats.dropped += 1
+                return None
+            return original_send(src, dst, size, handler)
+
+        system.network.send = flaky_send
+        system.inject("s1", "a", at=1)
+        system.inject("s2", "b", at=2)
+        system.run(until=2)  # the retry (due at 2 + 1/20) is in flight
+        assert dropped, "no cross-site message was sent before checkpoint"
+        assert not system.detections_of("seq")
+
+        state = system.checkpoint()
+        assert state["outbox"], "in-flight retransmission missing from snapshot"
+        assert state["true_time"] == [2, 1]
+
+        fresh = self.build()
+        fresh.restore_checkpoint(state)
+        fresh.run()
+        assert fresh.engine.now >= Fraction(2)
+        detections = fresh.detections_of("seq")
+        assert len(detections) == 1
+        stamp = detections[0].detection.occurrence.timestamp
+        assert {s.site for s in stamp} <= {"s1", "s2"}
+
+    def test_clean_checkpoint_has_empty_outbox(self):
+        system = self.build()
+        system.inject("s1", "a", at=1)
+        system.inject("s2", "b", at=2)
+        system.run()
+        assert len(system.detections_of("seq")) == 1
+        state = system.checkpoint()
+        assert state["outbox"] == []

@@ -3,17 +3,29 @@
 The hot path dispatches every timestamp comparison through the integer
 kernels in :mod:`repro.time.kernels` — memoized ``relation_code``, the
 O(n) ``fast_max_set``, and the ``StampSummary`` extrema digest behind
-the composite relations.  These tests re-state the paper's definitions
-*literally* (quantifier sweeps, O(n²) filters) and let Hypothesis search
-the stamp space for any divergence.  A failure here means the
-optimisation changed semantics, not just speed.
+the composite relations.  The literal re-statements of Definitions
+4.7–5.4 (quantifier sweeps, O(n²) filters) live in
+:mod:`repro.conformance.literal`, shared with the conformance fuzzer's
+``kernels`` check; here Hypothesis searches the stamp space for any
+divergence.  A failure means an optimisation changed semantics, not
+just speed.
 """
 
 import hypothesis.strategies as st
 from hypothesis import given
 
+from repro.conformance.literal import (
+    ref_composite_concurrent,
+    ref_composite_dominated_by,
+    ref_composite_happens_before,
+    ref_composite_relation,
+    ref_composite_weak_leq,
+    ref_concurrent,
+    ref_lt,
+    ref_max_set,
+    ref_weak_leq,
+)
 from repro.time.composite import (
-    CompositeRelation,
     CompositeTimestamp,
     composite_concurrent,
     composite_dominated_by,
@@ -32,68 +44,6 @@ from repro.time.timestamps import (
 
 SITES = ["s1", "s2", "s3", "s4"]
 RATIO = 10
-
-
-# --- literal reference implementations (the paper, spelled out) --------------
-
-
-def ref_lt(a, b):
-    """Definition 4.7.1, verbatim: same site by local tick, cross-site
-    by the two-granule global gap."""
-    if a.site == b.site:
-        return a.local < b.local
-    return a.global_time < b.global_time - 1
-
-
-def ref_concurrent(a, b):
-    """Definition 4.7.3: unordered either way."""
-    return not ref_lt(a, b) and not ref_lt(b, a)
-
-
-def ref_weak_leq(a, b):
-    """Definition 4.8: ``a ⪯ b`` iff ``a < b`` or ``a ~ b``."""
-    return ref_lt(a, b) or ref_concurrent(a, b)
-
-
-def ref_max_set(stamps):
-    """Definition 5.1, the O(n²) filter: keep stamps not happen-before
-    any other member."""
-    pool = set(stamps)
-    return frozenset(
-        t for t in pool if not any(ref_lt(t, other) for other in pool)
-    )
-
-
-def ref_composite_happens_before(t1, t2):
-    """Definition 5.3.2: every member of T2 has a T1 member before it."""
-    return all(any(ref_lt(a, b) for a in t1.stamps) for b in t2.stamps)
-
-
-def ref_composite_concurrent(t1, t2):
-    """Definition 5.3.1: all cross pairs concurrent."""
-    return all(
-        ref_concurrent(a, b) for a in t1.stamps for b in t2.stamps
-    )
-
-
-def ref_composite_weak_leq(t1, t2):
-    """Definition 5.4: all cross pairs satisfy the primitive ``⪯``."""
-    return all(ref_weak_leq(a, b) for a in t1.stamps for b in t2.stamps)
-
-
-def ref_composite_dominated_by(t1, t2):
-    """``<_g``: every member of T1 is below some member of T2."""
-    return all(any(ref_lt(a, b) for b in t2.stamps) for a in t1.stamps)
-
-
-def ref_composite_relation(t1, t2):
-    if ref_composite_happens_before(t1, t2):
-        return CompositeRelation.BEFORE
-    if ref_composite_happens_before(t2, t1):
-        return CompositeRelation.AFTER
-    if ref_composite_concurrent(t1, t2):
-        return CompositeRelation.CONCURRENT
-    return CompositeRelation.INCOMPARABLE
 
 
 # --- strategies ---------------------------------------------------------------

@@ -9,9 +9,11 @@ timestamps, ``Max``, operator nodes, graph sharing, and routing.
 """
 
 import random
+from fractions import Fraction
 
 import pytest
 
+from repro.conformance import FaultSchedule, FuzzCase, run_case
 from repro.detection.coordinator import DistributedDetector, PlacementPolicy
 from repro.detection.detector import Detector
 from repro.events.occurrences import History
@@ -44,11 +46,11 @@ def random_stream(seed: int, length: int = 14):
 
     Sorting by ``(global, local)`` is a linearization of the primitive
     happen-before.  The monotonic operators (And/Or/Seq) are insensitive
-    to arrival order (see TestReorderedDeliveryEquivalence); the
-    non-monotonic ones (Not, A, A*) match the oracle exactly when events
-    arrive in any linearization of ``<`` — a late closer cannot retract
-    an already-signalled detection, which is inherent to online
-    detection of non-monotonic operators.
+    to arrival order (the conformance runner's ``reorder`` check pins
+    this); the non-monotonic ones (Not, A, A*) match the oracle exactly
+    when events arrive in any linearization of ``<`` — a late closer
+    cannot retract an already-signalled detection, which is inherent to
+    online detection of non-monotonic operators.
     """
     rng = random.Random(seed)
     stream = []
@@ -112,32 +114,64 @@ class TestDistributedEquivalence:
         )
 
 
-@pytest.mark.parametrize("seed", [5, 6])
-class TestReorderedDeliveryEquivalence:
-    def test_shuffled_messages_same_detections(self, seed):
-        """Randomly reordering cross-site messages preserves the result."""
-        expression = "(a ; b) and c"
-        stream = random_stream(seed)
-        history = History()
-        for event_type, stamp, params in stream:
-            history.record(event_type, stamp, params)
-        oracle = evaluate(parse_expression(expression), history, label="r")
+LOSSY = FaultSchedule(
+    loss_probability=0.2, retransmit=True, max_retries=12, retry_timeout="1/20"
+)
+REORDERED = FaultSchedule(reorder=True)
 
-        detector = DistributedDetector(list(SITES.values()))
-        for event_type, site in SITES.items():
-            detector.set_home(event_type, site)
-        detector.register(expression, name="r")
-        rng = random.Random(seed * 31)
-        for event_type, stamp, params in stream:
-            detector.feed(event_type, stamp, parameters=params)
-        # Deliver everything in a random global order, including messages
-        # generated by deliveries themselves.
-        while detector.outbox:
-            pending = list(detector.outbox)
-            detector.outbox.clear()
-            rng.shuffle(pending)
-            for message in pending:
-                detector.deliver(message)
-        assert timestamps_multiset(detector.detections_of("r")) == (
-            timestamps_multiset(oracle)
+
+def _fault_case(expression: str, seed: int, schedule: FaultSchedule) -> FuzzCase:
+    """One fixed expression as a full conformance case under ``schedule``."""
+    rng = random.Random(seed)
+    types = sorted(parse_expression(expression).primitive_types())
+    sites = tuple(sorted(set(SITES.values())))
+    events = []
+    t = Fraction(1, 2)
+    for _ in range(12):
+        t += Fraction(rng.randint(1, 40), 100)
+        events.append(
+            (
+                f"{t.numerator}/{t.denominator}",
+                rng.choice(sites),
+                rng.choice(types),
+                rng.randint(0, 10),
+            )
         )
+    return FuzzCase(
+        seed=seed,
+        expression=str(parse_expression(expression)),
+        sites=sites,
+        homes={event_type: SITES[event_type] for event_type in types},
+        perfect_clocks=True,
+        events=tuple(events),
+        schedule=schedule,
+    )
+
+
+@pytest.mark.parametrize("expression", EXPRESSIONS)
+class TestFaultScheduleEquivalence:
+    """Every fixed expression through the conformance runner under faults.
+
+    The runner applies each differential check that is sound for the
+    case — the oracle and reorder comparisons where arrival order is a
+    linearization of ``<``, the kernel and checkpoint-continuity checks
+    always — and the case must pass them all.  This subsumes the old
+    ad-hoc message-shuffling test (the runner's ``reorder`` check is the
+    same shuffle-deliver loop, applied across the whole grammar).
+    """
+
+    def test_lossy_schedule(self, expression):
+        result = run_case(_fault_case(expression, seed=21, schedule=LOSSY))
+        assert result.passed, [
+            (check.name, check.detail) for check in result.failed_checks()
+        ]
+
+    def test_reordered_schedule(self, expression):
+        result = run_case(
+            _fault_case(expression, seed=22, schedule=REORDERED)
+        )
+        assert result.passed, [
+            (check.name, check.detail) for check in result.failed_checks()
+        ]
+        oracle = result.check("oracle")
+        assert oracle is not None and (oracle.passed or oracle.detail)
