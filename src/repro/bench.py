@@ -231,6 +231,32 @@ def _setup_inject(quick: bool):
     return kernel, len(events)
 
 
+def _serving_setup(shards: int):
+    """Shared builder for the serving throughput scenarios."""
+
+    def setup(quick: bool):
+        from repro.serve import serve_events
+        from repro.sim.serving import ServingWorkload
+
+        workload = ServingWorkload.standard(
+            seed=41, events=300 if quick else 1_200
+        )
+
+        def kernel() -> int:
+            runtime = serve_events(
+                workload.rules,
+                workload,
+                shards=shards,
+                timer_ratio=workload.timer_ratio,
+                horizon=workload.horizon(),
+            )
+            return runtime.events_ingested
+
+        return kernel, len(workload)
+
+    return setup
+
+
 BENCHMARKS: dict[str, Bench] = {
     bench.name: bench
     for bench in (
@@ -263,6 +289,20 @@ BENCHMARKS: dict[str, Bench] = {
             name="bench_inject",
             title="bulk injection + event-loop drain (no detection)",
             setup=_setup_inject,
+        ),
+        Bench(
+            name="bench_serve_shard1",
+            title="serving runtime throughput, 1 shard",
+            setup=_serving_setup(1),
+            rounds=3,
+            quick_rounds=2,
+        ),
+        Bench(
+            name="bench_serve_shard4",
+            title="serving runtime throughput, 4 shards",
+            setup=_serving_setup(4),
+            rounds=3,
+            quick_rounds=2,
         ),
     )
 }

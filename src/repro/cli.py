@@ -9,6 +9,7 @@ Subcommands::
     repro check  [--seed N]                run the theorem sweep
     repro bench  [--quick] [--check]       run the perf regression suite
     repro fuzz   [--seed N] [--cases N]    run the conformance fuzzer
+    repro serve  --shards N [--stdin|--port P]  sharded serving runtime
     repro obs-report <spans.jsonl>         summarize an observability export
 
 Composite timestamps are written as semicolon-separated triples, e.g.
@@ -197,6 +198,108 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _serve_rules(args: argparse.Namespace) -> dict[str, str]:
+    """``--rule NAME=EXPR`` pairs, or the standard scenario's rules."""
+    from repro.sim.serving import STANDARD_RULES
+
+    if not args.rule:
+        return dict(STANDARD_RULES)
+    rules: dict[str, str] = {}
+    for entry in args.rule:
+        name, _, expression = entry.partition("=")
+        if not name or not expression:
+            raise ReproError(
+                f"--rule needs NAME=EXPRESSION, got {entry!r}"
+            )
+        rules[name.strip()] = expression.strip()
+    return rules
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import (
+        DetectionBroadcast,
+        ServingRuntime,
+        serve_events,
+        serve_stdin,
+        serve_tcp,
+        wire_rules,
+    )
+    from repro.sim.serving import ServingWorkload
+
+    rules = _serve_rules(args)
+
+    if args.selftest:
+        # The serve-smoke gate: the sharded runtime must produce the
+        # identical multiset of detections as a single-shard run over
+        # the standard generated workload.
+        workload = ServingWorkload.standard(
+            seed=args.seed, events=args.events
+        )
+        if not args.rule:
+            rules = dict(workload.rules)
+        kwargs = dict(
+            timer_ratio=workload.timer_ratio, horizon=workload.horizon()
+        )
+        sharded = serve_events(
+            rules, workload, shards=args.shards, salt=args.salt, **kwargs
+        )
+        baseline = serve_events(rules, workload, shards=1, **kwargs)
+
+        def multiset(runtime: ServingRuntime, name: str) -> list[str]:
+            return sorted(
+                repr(sorted(repr(t) for t in occurrence.timestamp))
+                for occurrence in runtime.detections_of(name)
+            )
+
+        failures = 0
+        for name in sorted(rules):
+            left = multiset(sharded, name)
+            right = multiset(baseline, name)
+            marker = "ok " if left == right else "FAIL"
+            failures += left != right
+            print(
+                f"[{marker}] {name}: shards={args.shards} -> {len(left)} "
+                f"detections, shards=1 -> {len(right)}"
+            )
+        print(
+            f"selftest over {len(workload)} events: "
+            f"{'FAILED' if failures else 'passed'}"
+        )
+        return 1 if failures else 0
+
+    runtime = ServingRuntime(
+        args.shards,
+        salt=args.salt,
+        timer_ratio=args.timer_ratio,
+        capacity=args.capacity,
+    )
+    broadcast = DetectionBroadcast()
+    wire_rules(runtime, sorted(rules.items()), broadcast)
+
+    if args.port is not None:
+        print(
+            f"serving {len(rules)} rule(s) on {args.shards} shard(s), "
+            f"tcp port {args.port}",
+            file=sys.stderr,
+        )
+        try:
+            asyncio.run(serve_tcp(runtime, broadcast, port=args.port))
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        return 0
+
+    count = asyncio.run(serve_stdin(runtime, broadcast))
+    print(
+        f"served {count} event(s) on {args.shards} shard(s): "
+        f"{broadcast.emitted} detection(s), "
+        f"{runtime.events_unrouted} unrouted",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def cmd_obs_report(args: argparse.Namespace) -> int:
     from repro.obs.report import read_obs_file, render_report, verify_span_chains
 
@@ -334,6 +437,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="exclude P/P*/+ from generated expressions",
     )
     fuzz_command.set_defaults(handler=cmd_fuzz)
+
+    serve_command = commands.add_parser(
+        "serve", help="run the sharded async serving runtime"
+    )
+    serve_command.add_argument(
+        "--shards", type=int, default=1, help="number of detection shards"
+    )
+    serve_command.add_argument(
+        "--salt", type=int, default=0,
+        help="perturbs the rule-to-shard assignment (testing aid)",
+    )
+    serve_command.add_argument(
+        "--rule", action="append", default=None, metavar="NAME=EXPR",
+        help="register a rule (repeatable); defaults to the standard "
+        "serving scenario's rules",
+    )
+    serve_command.add_argument(
+        "--timer-ratio", type=int, default=10,
+        help="local ticks per global granule (default: Example 5.1's 10)",
+    )
+    serve_command.add_argument(
+        "--capacity", type=int, default=1024,
+        help="per-shard ingest queue bound",
+    )
+    serve_command.add_argument(
+        "--stdin", action="store_true",
+        help="read JSONL events from stdin until EOF (the default mode)",
+    )
+    serve_command.add_argument(
+        "--port", type=int, default=None,
+        help="listen for JSONL events on a TCP port instead of stdin",
+    )
+    serve_command.add_argument(
+        "--selftest", action="store_true",
+        help="run the generated workload and assert the sharded "
+        "detections match an unsharded baseline",
+    )
+    serve_command.add_argument(
+        "--seed", type=int, default=0, help="workload seed for --selftest"
+    )
+    serve_command.add_argument(
+        "--events", type=int, default=2000,
+        help="workload size for --selftest",
+    )
+    serve_command.set_defaults(handler=cmd_serve)
 
     obs_command = commands.add_parser(
         "obs-report", help="summarize a JSONL observability export"

@@ -46,6 +46,7 @@ reason), never silently dropped.
 from __future__ import annotations
 
 import random
+import re
 import traceback
 from dataclasses import dataclass, field
 from fractions import Fraction
@@ -374,6 +375,92 @@ def _check_continuity(
     )
 
 
+_SHARD_TIMER = re.compile(r"shard\d+\.timer")
+
+
+def _shard_multiset(runtime, name: str) -> list[str]:
+    """Timestamp multiset of one rule, timer sites canonicalized.
+
+    A temporal operator's timer stamps carry the owning shard's site
+    name (``shard3.timer``); which shard owns a rule is exactly what
+    the check varies, so the index is scrubbed before comparison.
+    """
+    return [
+        _SHARD_TIMER.sub("shard.timer", text)
+        for text in timestamps_multiset(runtime.detections_of(name))
+    ]
+
+
+def _check_sharding(
+    case: FuzzCase, expression: EventExpression, history: History
+) -> CheckResult:
+    """Shard-count invariance: serve detections match a 1-shard run.
+
+    The case expression is registered under several rule names so the
+    hash assignment spreads them across shards, then the same stamped
+    stream runs through the serving runtime with 1 shard and with 3
+    shards under two different salts.  Every configuration must produce
+    the identical multiset of composite timestamps per rule.  Both
+    sides are deterministic replays of the same arrival order, so the
+    check is sound for every operator class and fault schedule.
+    """
+    from repro.serve import ServeEvent, serve_events
+
+    occurrences = list(history)
+    if not occurrences:
+        return _skip("sharding", "no events")
+    events = []
+    for occurrence in occurrences:
+        stamp = next(iter(occurrence.timestamp))
+        events.append(
+            ServeEvent(
+                event_type=occurrence.event_type,
+                site=stamp.site,
+                global_time=stamp.global_time,
+                local=stamp.local,
+                parameters=dict(occurrence.parameters),
+            )
+        )
+    horizon = max(event.granule for event in events) + _temporal_pad(
+        expression
+    )
+    rules = {f"{CASE_NAME}_{i}": expression for i in range(3)}
+    context = Context(case.context)
+
+    def run(shards: int, salt: int):
+        return serve_events(
+            rules,
+            events,
+            shards=shards,
+            salt=salt,
+            timer_ratio=10,  # example 5.1 model, as elsewhere in this runner
+            context=context,
+            horizon=horizon,
+        )
+
+    baseline = run(shards=1, salt=0)
+    expected = {name: _shard_multiset(baseline, name) for name in rules}
+    for shards, salt in ((3, 0), (3, case.seed % 97 + 1)):
+        sharded = run(shards=shards, salt=salt)
+        for name in rules:
+            missing, extra = multiset_diff(
+                expected[name], _shard_multiset(sharded, name)
+            )
+            if missing or extra:
+                return CheckResult(
+                    "sharding",
+                    False,
+                    f"{name} at shards={shards} salt={salt}: "
+                    f"missing={missing[:3]} extra={extra[:3]}",
+                )
+    detections = sum(len(expected[name]) for name in rules)
+    return CheckResult(
+        "sharding",
+        True,
+        f"{detections} detections invariant over shards 1/3, two salts",
+    )
+
+
 def _check_reorder(
     case: FuzzCase, expression: EventExpression, history: History,
     oracle_strs: list[str],
@@ -459,6 +546,13 @@ def run_case(case: FuzzCase) -> CaseResult:
         )
     except Exception as error:  # noqa: BLE001
         result.checks.append(_failure("checkpoint", error))
+
+    try:
+        result.checks.append(
+            _check_sharding(case, expression, system.history)
+        )
+    except Exception as error:  # noqa: BLE001
+        result.checks.append(_failure("sharding", error))
 
     if not case.schedule.reorder:
         result.checks.append(_skip("reorder", "schedule has reorder=False"))

@@ -105,6 +105,20 @@ class EventGraph:
         shared = [n for n in self._shared.values() if not isinstance(n, PrimitiveNode)]
         return shared + list(self._aliases)
 
+    def subscribed_event_types(self) -> frozenset[str]:
+        """Primitive event types that feed at least one operator node.
+
+        The introspection the serving runtime's router is built from: a
+        leaf created on demand by a stray ``feed`` has no subscribers
+        and is excluded, so routing reflects only what registered rules
+        actually consume.
+        """
+        return frozenset(
+            name
+            for name, node in self.primitives.items()
+            if self.edges.get(node)
+        )
+
     def primitive_node(self, name: str) -> PrimitiveNode:
         """The leaf node of an event type, created on demand."""
         node = self.primitives.get(name)

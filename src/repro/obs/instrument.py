@@ -30,6 +30,11 @@ Span-name conventions used by the built-in hooks:
                           its primitive constituents (attrs ``event``,
                           ``latency``, ``links``, ``uids``)
 ========================  =====================================================
+
+The serving runtime (``repro.serve``) adds metric-only hooks: counters
+``serve.ingested`` / ``serve.pressure`` at the router and per-shard
+``serve.events`` / ``serve.detections``, plus per-shard histograms
+``serve.batch_size`` and ``serve.flush_ns``.
 """
 
 from __future__ import annotations

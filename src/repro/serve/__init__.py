@@ -1,0 +1,42 @@
+"""Sharded asyncio serving runtime over the detection stack.
+
+``repro.serve`` turns the single-threaded detector into a concurrent
+service: an :class:`~repro.serve.router.EventRouter` hash-partitions
+rules across N :class:`~repro.serve.shard.DetectionShard` workers, each
+batching incoming events on ``g_g`` granule boundaries (safe by
+Def 4.4) before feeding the existing engine.  See ``docs/serving.md``.
+"""
+
+from repro.serve.protocol import (
+    ServeEvent,
+    detection_to_json,
+    detection_to_line,
+    event_to_line,
+    parse_event_line,
+)
+from repro.serve.router import EventRouter, shard_of
+from repro.serve.runtime import ServingRuntime, serve_events
+from repro.serve.server import (
+    DetectionBroadcast,
+    serve_stdin,
+    serve_tcp,
+    wire_rules,
+)
+from repro.serve.shard import DetectionShard
+
+__all__ = [
+    "DetectionBroadcast",
+    "DetectionShard",
+    "EventRouter",
+    "ServeEvent",
+    "ServingRuntime",
+    "detection_to_json",
+    "detection_to_line",
+    "event_to_line",
+    "parse_event_line",
+    "serve_events",
+    "serve_stdin",
+    "serve_tcp",
+    "shard_of",
+    "wire_rules",
+]

@@ -1,0 +1,123 @@
+"""Wire format of the serving runtime.
+
+The serving runtime sits *downstream* of stamping: clients submit
+primitive events that already carry their ``(site, global, local)``
+timestamp triple (in a deployment, each site stamps with its own
+synchronized clock before forwarding — exactly the paper's Section 4
+premise).  One :class:`ServeEvent` is one JSON object, one per line on
+the stdin/TCP transports::
+
+    {"type": "buy", "site": "ny", "global": 12, "local": 124,
+     "parameters": {"qty": 10}}
+
+Detections travel back the same way (see :func:`detection_to_json`):
+the registered rule name, the detecting shard, and the composite
+max-set timestamp as a list of triples.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.detection.detector import Detection
+from repro.errors import ReproError
+from repro.events.occurrences import EventOccurrence
+from repro.time.timestamps import PrimitiveTimestamp
+
+
+@dataclass(frozen=True, slots=True)
+class ServeEvent:
+    """One stamped primitive event submitted to the serving runtime."""
+
+    event_type: str
+    site: str
+    global_time: int
+    local: int
+    parameters: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def granule(self) -> int:
+        """The global granule the event belongs to (its batch key)."""
+        return self.global_time
+
+    def stamp(self) -> PrimitiveTimestamp:
+        """The event's primitive timestamp."""
+        return PrimitiveTimestamp(self.site, self.global_time, self.local)
+
+    def occurrence(self) -> EventOccurrence:
+        """A fresh primitive occurrence carrying this event's stamp."""
+        return EventOccurrence.primitive(
+            self.event_type, self.stamp(), self.parameters
+        )
+
+    @classmethod
+    def from_occurrence(cls, occurrence: EventOccurrence) -> "ServeEvent":
+        """Project a stamped primitive occurrence into a serve event."""
+        stamp = next(iter(occurrence.timestamp))
+        return cls(
+            event_type=occurrence.event_type,
+            site=stamp.site,
+            global_time=stamp.global_time,
+            local=stamp.local,
+            parameters=dict(occurrence.parameters),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": self.event_type,
+            "site": self.site,
+            "global": self.global_time,
+            "local": self.local,
+            "parameters": dict(self.parameters),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServeEvent":
+        try:
+            return cls(
+                event_type=str(data["type"]),
+                site=str(data["site"]),
+                global_time=int(data["global"]),
+                local=int(data["local"]),
+                parameters=dict(data.get("parameters") or {}),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ReproError(f"malformed serve event {data!r}: {error}") from None
+
+
+def parse_event_line(line: str) -> ServeEvent:
+    """Parse one JSONL input line into a :class:`ServeEvent`."""
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ReproError(f"invalid JSON event line: {error}") from None
+    if not isinstance(data, dict):
+        raise ReproError(f"event line must be a JSON object, got {type(data).__name__}")
+    return ServeEvent.from_dict(data)
+
+
+def event_to_line(event: ServeEvent) -> str:
+    """Serialize a :class:`ServeEvent` as one JSONL line (no newline)."""
+    return json.dumps(event.to_dict(), sort_keys=True)
+
+
+def detection_to_json(shard: int, detection: Detection) -> dict[str, Any]:
+    """The JSON row emitted for one detection."""
+    occurrence = detection.occurrence
+    return {
+        "detection": detection.name,
+        "shard": shard,
+        "timestamp": [list(t.as_triple()) for t in occurrence.timestamp],
+        "parameters": {
+            key: value
+            for key, value in dict(occurrence.parameters).items()
+            if isinstance(value, (str, int, float, bool, type(None)))
+        },
+    }
+
+
+def detection_to_line(shard: int, detection: Detection) -> str:
+    """Serialize one detection as a JSONL output line (no newline)."""
+    return json.dumps(detection_to_json(shard, detection), sort_keys=True)

@@ -1,0 +1,96 @@
+"""Hash-partitioning of rules to shards and event routing.
+
+The serving runtime scales out the way partial-synchrony monitors do
+(Henry et al.; Bonakdarpour et al.): by *rule*.  Every registered
+composite event lives on exactly one shard, chosen by a stable hash of
+its name, so detection state never crosses a shard boundary and the
+multiset of detections is invariant in the shard count.
+
+An incoming primitive event is then routed to every shard whose rules
+subscribe to its event type.  The subscription map is not declared — it
+is *introspected* from each shard's compiled
+:class:`~repro.detection.graph.EventGraph` (the primitive leaves that
+actually have subscribers), so routing can never drift from what the
+detectors consume.
+
+Hashing uses CRC-32, not Python's builtin ``hash``: assignments must be
+stable across processes and interpreter runs (``PYTHONHASHSEED``), or a
+restarted shard could restore a checkpoint for rules it no longer owns.
+The optional ``salt`` perturbs the assignment deterministically — the
+conformance runner's shuffled-shard mode sweeps it to prove detections
+do not depend on which shard a rule happens to land on.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable, Mapping
+
+from repro.errors import ReproError
+
+
+def shard_of(rule_name: str, shards: int, salt: int = 0) -> int:
+    """The shard index owning ``rule_name`` (stable across processes)."""
+    if shards <= 0:
+        raise ReproError(f"shard count must be positive, got {shards}")
+    digest = zlib.crc32(f"{salt}:{rule_name}".encode("utf-8"))
+    return digest % shards
+
+
+class EventRouter:
+    """Routes primitive events to the shards whose rules consume them.
+
+    Built empty; :meth:`assign` places rules, and :meth:`bind` installs
+    the introspected ``event type -> shard set`` subscription map once
+    the shards have compiled their detection graphs.
+    """
+
+    def __init__(self, shards: int, salt: int = 0) -> None:
+        if shards <= 0:
+            raise ReproError(f"shard count must be positive, got {shards}")
+        self.shards = shards
+        self.salt = salt
+        self.assignments: dict[str, int] = {}
+        self._subscriptions: dict[str, tuple[int, ...]] = {}
+
+    def assign(self, rule_name: str) -> int:
+        """Place one rule; idempotent, returns its owning shard index."""
+        existing = self.assignments.get(rule_name)
+        if existing is not None:
+            return existing
+        shard = shard_of(rule_name, self.shards, self.salt)
+        self.assignments[rule_name] = shard
+        return shard
+
+    def bind(self, subscriptions: Mapping[int, Iterable[str]]) -> None:
+        """Install the subscription map: shard index -> subscribed types.
+
+        Callers pass each shard's introspected primitive leaf types
+        (:meth:`~repro.detection.graph.EventGraph.subscribed_event_types`).
+        Re-binding replaces the map — registration is append-only, so the
+        newest introspection is always a superset of the one it replaces.
+        """
+        by_type: dict[str, set[int]] = {}
+        for shard, types in subscriptions.items():
+            if not 0 <= shard < self.shards:
+                raise ReproError(f"shard index {shard} out of range")
+            for event_type in types:
+                by_type.setdefault(event_type, set()).add(shard)
+        self._subscriptions = {
+            event_type: tuple(sorted(shards))
+            for event_type, shards in by_type.items()
+        }
+
+    def route(self, event_type: str) -> tuple[int, ...]:
+        """The shards subscribed to ``event_type`` (empty if nobody is)."""
+        return self._subscriptions.get(event_type, ())
+
+    def subscribed_types(self) -> frozenset[str]:
+        """Every event type at least one shard consumes."""
+        return frozenset(self._subscriptions)
+
+    def rules_of(self, shard: int) -> list[str]:
+        """The rule names owned by one shard, sorted."""
+        return sorted(
+            name for name, owner in self.assignments.items() if owner == shard
+        )

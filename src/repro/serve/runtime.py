@@ -1,0 +1,254 @@
+"""The serving runtime: router + shards behind one async facade.
+
+:class:`ServingRuntime` is the object the CLI, the bench harness, and
+the conformance runner all drive.  Lifecycle::
+
+    runtime = ServingRuntime(shards=4, timer_ratio=10)
+    runtime.register("buy ; sell", name="round_trip")
+    async with runtime:                      # starts the shard workers
+        pressured = await runtime.ingest(event)
+        ...
+    detections = runtime.detections_of("round_trip")
+
+Registration hash-partitions each rule onto exactly one shard (see
+:mod:`repro.serve.router`), then rebinds the router's subscription map
+from the shards' compiled event graphs.  ``ingest`` fans one stamped
+event out to every subscribing shard; the return value is the
+backpressure signal — ``True`` once any target shard's queue has passed
+its high-water mark, telling a well-behaved producer to slow down
+(ingest itself never drops; a full queue suspends the producer).
+
+Because every rule lives on one shard and a shard receives *all* events
+its rules subscribe to in submission order, the multiset of detections
+is invariant in the shard count — the property the conformance runner's
+``sharding`` check sweeps shard counts and salts to verify.
+
+:func:`serve_events` is the synchronous convenience wrapper: one call
+runs a whole stream through a fresh runtime and returns it drained.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.contexts.policies import Context
+from repro.detection.detector import Detection
+from repro.errors import ReproError
+from repro.events.expressions import EventExpression
+from repro.events.occurrences import EventOccurrence
+from repro.obs.instrument import Instrumentation, resolve
+from repro.serve.protocol import ServeEvent
+from repro.serve.router import EventRouter
+from repro.serve.shard import DetectionShard
+
+
+class ServingRuntime:
+    """N detection shards behind an :class:`EventRouter`.
+
+    Parameters mirror :class:`~repro.serve.shard.DetectionShard`;
+    ``capacity``/``high_water`` apply per shard.
+    """
+
+    def __init__(
+        self,
+        shards: int = 1,
+        *,
+        salt: int = 0,
+        timer_ratio: int = 1,
+        capacity: int = 1024,
+        high_water: int | None = None,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
+        if shards <= 0:
+            raise ReproError(f"shard count must be positive, got {shards}")
+        self.router = EventRouter(shards, salt=salt)
+        self.obs = resolve(instrumentation)
+        self.shards: list[DetectionShard] = [
+            DetectionShard(
+                index,
+                capacity=capacity,
+                high_water=high_water,
+                timer_ratio=timer_ratio,
+                instrumentation=instrumentation,
+            )
+            for index in range(shards)
+        ]
+        self.events_ingested = 0
+        self.events_unrouted = 0
+
+    # --- registration -----------------------------------------------------
+
+    def register(
+        self,
+        expression: EventExpression | str,
+        name: str,
+        context: Context = Context.UNRESTRICTED,
+        callback: Callable[[Detection], None] | None = None,
+    ) -> int:
+        """Register a rule on its hash-assigned shard; returns the index.
+
+        ``callback`` fires synchronously inside the owning shard's
+        worker on each detection — the streaming hook the JSONL servers
+        emit through.
+        """
+        index = self.router.assign(name)
+        self.shards[index].register(
+            expression, name=name, context=context, callback=callback
+        )
+        self._bind()
+        return index
+
+    def _bind(self) -> None:
+        self.router.bind(
+            {shard.index: shard.subscribed_types() for shard in self.shards}
+        )
+
+    def rule_names(self) -> list[str]:
+        """Every registered rule name, sorted."""
+        return sorted(self.router.assignments)
+
+    # --- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """Start all shard workers (requires a running event loop)."""
+        for shard in self.shards:
+            shard.start()
+
+    async def __aenter__(self) -> "ServingRuntime":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    async def ingest(self, event: ServeEvent) -> bool:
+        """Route one event to its subscribing shards.
+
+        Returns the backpressure signal: ``True`` if any target shard is
+        past its high-water mark after the enqueue.  Events no rule
+        subscribes to are counted and dropped — the router knows they
+        cannot contribute to any detection.
+        """
+        targets = self.router.route(event.event_type)
+        if not targets:
+            self.events_unrouted += 1
+            return False
+        self.events_ingested += 1
+        pressured = False
+        for index in targets:
+            shard = self.shards[index]
+            await shard.put(event)
+            pressured = shard.under_pressure() or pressured
+        if self.obs.enabled:
+            self.obs.counter("serve.ingested").inc()
+            if pressured:
+                self.obs.counter("serve.pressure").inc()
+        return pressured
+
+    async def drain(self, horizon: int | None = None) -> None:
+        """Wait for all queues to empty and all open batches to flush.
+
+        With ``horizon`` the engine clocks then advance to that granule,
+        firing any temporal-operator timers due before it — the serving
+        analogue of the simulator pumping time past the last event.
+        """
+        await asyncio.gather(*(shard.drain() for shard in self.shards))
+        if horizon is not None:
+            for shard in self.shards:
+                shard.advance_time(horizon)
+
+    async def stop(self, horizon: int | None = None) -> None:
+        """Graceful shutdown: drain, optionally advance, stop workers."""
+        await self.drain(horizon)
+        await asyncio.gather(*(shard.stop() for shard in self.shards))
+
+    # --- results ----------------------------------------------------------
+
+    def detections(self) -> list[tuple[int, Detection]]:
+        """All ``(shard index, detection)`` pairs in per-shard order."""
+        merged: list[tuple[int, Detection]] = []
+        for shard in self.shards:
+            merged.extend(shard.detections)
+        return merged
+
+    def detections_of(self, name: str) -> list[EventOccurrence]:
+        """Occurrences of one rule (it lives on exactly one shard)."""
+        index = self.router.assignments.get(name)
+        if index is None:
+            raise ReproError(f"no rule named {name!r} is registered")
+        return self.shards[index].detector.detections_of(name)
+
+    def depths(self) -> list[int]:
+        """Current queue depth per shard (an obs gauge, not a guarantee)."""
+        return [shard.depth for shard in self.shards]
+
+    # --- crash recovery ---------------------------------------------------
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Snapshot every shard; take only while workers are idle."""
+        return {
+            "shards": len(self.shards),
+            "salt": self.router.salt,
+            "states": [shard.checkpoint() for shard in self.shards],
+        }
+
+    def restore(self, state: Mapping[str, Any]) -> None:
+        """Load a runtime checkpoint; rules must already be registered.
+
+        The shard count and salt must match the checkpoint — rule
+        placement is derived from them, so a mismatch would restore
+        state into detectors that do not own those rules.
+        """
+        if int(state["shards"]) != len(self.shards):
+            raise ReproError(
+                f"checkpoint has {state['shards']} shards, "
+                f"runtime has {len(self.shards)}"
+            )
+        if int(state["salt"]) != self.router.salt:
+            raise ReproError(
+                f"checkpoint salt {state['salt']} != runtime salt "
+                f"{self.router.salt}"
+            )
+        for shard, shard_state in zip(self.shards, state["states"]):
+            shard.restore(shard_state)
+
+
+def serve_events(
+    rules: Mapping[str, EventExpression | str] | Sequence[tuple[str, Any]],
+    events: Iterable[ServeEvent],
+    *,
+    shards: int = 1,
+    salt: int = 0,
+    timer_ratio: int = 1,
+    capacity: int = 1024,
+    context: Context = Context.UNRESTRICTED,
+    horizon: int | None = None,
+    instrumentation: Instrumentation | None = None,
+) -> ServingRuntime:
+    """Run a finite event stream through a fresh runtime, synchronously.
+
+    Registers ``rules`` (a name -> expression mapping or pair sequence),
+    ingests ``events`` in order, drains to ``horizon``, stops, and
+    returns the runtime for inspection.  This is the entry point the
+    conformance runner and the unit tests compare across shard counts.
+    """
+    runtime = ServingRuntime(
+        shards,
+        salt=salt,
+        timer_ratio=timer_ratio,
+        capacity=capacity,
+        instrumentation=instrumentation,
+    )
+    pairs = rules.items() if isinstance(rules, Mapping) else rules
+    for name, expression in pairs:
+        runtime.register(expression, name=name, context=context)
+
+    async def _run() -> None:
+        async with runtime:
+            for event in events:
+                await runtime.ingest(event)
+            await runtime.drain(horizon)
+
+    asyncio.run(_run())
+    return runtime

@@ -1,0 +1,189 @@
+"""JSONL transports for the serving runtime (stdin and TCP).
+
+Both transports speak the one-object-per-line protocol of
+:mod:`repro.serve.protocol`: clients write stamped primitive events,
+the server writes detections as they fire.  Detections stream — each
+rule is registered with a callback that serializes inside the owning
+shard's worker — so a long-lived client sees composites the moment
+their terminator event lands, not at shutdown.
+
+The stdin transport reads to EOF, drains (advancing the engine clocks
+to one granule past the last event so trailing temporal operators
+fire), and exits — the shape the CI ``serve-smoke`` job and shell
+pipelines use::
+
+    python -m repro.cli simulate --emit-serve ... | repro serve --stdin ...
+
+The TCP transport accepts any number of concurrent connections; every
+connection receives every detection (rules are shared server state, not
+per-connection).  Malformed lines produce one JSON ``error`` object on
+the offending transport and do not disturb the stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from typing import Callable, IO, Iterable
+
+from repro.errors import ReproError
+from repro.serve.protocol import detection_to_line, parse_event_line
+from repro.serve.runtime import ServingRuntime
+
+
+class DetectionBroadcast:
+    """Fans detection lines out to every attached line consumer."""
+
+    def __init__(self) -> None:
+        self._sinks: list[Callable[[str], None]] = []
+        self.emitted = 0
+
+    def attach(self, sink: Callable[[str], None]) -> Callable[[], None]:
+        """Add a line consumer; returns its detach function."""
+        self._sinks.append(sink)
+
+        def detach() -> None:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+        return detach
+
+    def emit(self, line: str) -> None:
+        self.emitted += 1
+        for sink in list(self._sinks):
+            sink(line)
+
+
+def wire_rules(
+    runtime: ServingRuntime,
+    rules: Iterable[tuple[str, str]],
+    broadcast: DetectionBroadcast,
+) -> None:
+    """Register ``(name, expression)`` rules that stream detections.
+
+    The callback closes over the rule's shard index so emitted lines
+    carry detection provenance without a lookup on the hot path.
+    """
+    for name, expression in rules:
+        index = runtime.router.assign(name)
+
+        def callback(detection: object, _shard: int = index) -> None:
+            broadcast.emit(detection_to_line(_shard, detection))  # type: ignore[arg-type]
+
+        runtime.register(expression, name=name, callback=callback)
+
+
+def _error_line(message: str) -> str:
+    return json.dumps({"error": message}, sort_keys=True)
+
+
+async def serve_stdin(
+    runtime: ServingRuntime,
+    broadcast: DetectionBroadcast,
+    *,
+    in_stream: IO[str] | None = None,
+    out_stream: IO[str] | None = None,
+    horizon_pad: int = 1,
+) -> int:
+    """Pump JSONL events from a text stream until EOF; returns event count.
+
+    Blocking reads happen on a thread so the shard workers keep running
+    between lines.  After EOF the runtime drains to ``last granule +
+    horizon_pad`` and stops, flushing trailing temporal operators.
+    """
+    source = in_stream if in_stream is not None else sys.stdin
+    target = out_stream if out_stream is not None else sys.stdout
+
+    def write_line(line: str) -> None:
+        target.write(line + "\n")
+        target.flush()
+
+    detach = broadcast.attach(write_line)
+    count = 0
+    last_granule: int | None = None
+    try:
+        async with runtime:
+            while True:
+                line = await asyncio.to_thread(source.readline)
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = parse_event_line(line)
+                except ReproError as error:
+                    write_line(_error_line(str(error)))
+                    continue
+                await runtime.ingest(event)
+                count += 1
+                granule = event.granule
+                last_granule = (
+                    granule
+                    if last_granule is None
+                    else max(last_granule, granule)
+                )
+            horizon = None if last_granule is None else last_granule + horizon_pad
+            await runtime.drain(horizon)
+    finally:
+        detach()
+    return count
+
+
+async def serve_tcp(
+    runtime: ServingRuntime,
+    broadcast: DetectionBroadcast,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready: "asyncio.Future[int] | None" = None,
+) -> None:
+    """Run a TCP JSONL server until cancelled.
+
+    ``ready`` (if given) resolves to the bound port once listening —
+    lets tests and supervisors connect without racing the bind.
+    """
+
+    async def handle(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        def write_line(line: str) -> None:
+            if not writer.is_closing():
+                writer.write(line.encode("utf-8") + b"\n")
+
+        detach = broadcast.attach(write_line)
+        try:
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                text = raw.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                try:
+                    event = parse_event_line(text)
+                except ReproError as error:
+                    write_line(_error_line(str(error)))
+                    continue
+                await runtime.ingest(event)
+                await writer.drain()
+            # A disconnecting client flushes what it sent; time advances
+            # only as far as the stream itself reached (no horizon pad:
+            # other clients may still be behind).
+            await runtime.drain()
+        finally:
+            detach()
+            writer.close()
+    runtime.start()
+    server = await asyncio.start_server(handle, host=host, port=port)
+    bound = server.sockets[0].getsockname()[1] if server.sockets else port
+    if ready is not None and not ready.done():
+        ready.set_result(bound)
+    try:
+        async with server:
+            await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await runtime.stop()

@@ -1,0 +1,54 @@
+"""Execute the doctest-form documentation pages.
+
+The quickstart and the serving walkthrough embed their example sessions
+as ``pycon`` blocks; this test runs them with :func:`doctest.testfile`,
+so the outputs printed in the docs are verified on every CI run and the
+examples cannot rot.
+"""
+
+import doctest
+from pathlib import Path
+
+import pytest
+
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+EXECUTABLE_PAGES = ["quickstart.md", "serving.md"]
+
+
+@pytest.mark.parametrize("page", EXECUTABLE_PAGES)
+def test_doc_page_examples(page):
+    path = DOCS / page
+    assert path.exists(), f"executable doc page missing: {path}"
+    results = doctest.testfile(
+        str(path), module_relative=False, optionflags=doctest.ELLIPSIS
+    )
+    assert results.failed == 0, f"{results.failed} doctest failures in {page}"
+
+
+@pytest.mark.parametrize("page", EXECUTABLE_PAGES)
+def test_doc_pages_have_examples(page):
+    """Guard against silently losing executable coverage."""
+    results = doctest.testfile(
+        str(DOCS / page), module_relative=False, optionflags=doctest.ELLIPSIS
+    )
+    assert results.attempted >= 5
+
+
+def test_every_doc_page_reachable_from_index():
+    """docs/index.md must link every page in docs/."""
+    index = (DOCS / "index.md").read_text(encoding="utf-8")
+    pages = sorted(p.name for p in DOCS.glob("*.md") if p.name != "index.md")
+    missing = [page for page in pages if f"({page})" not in index]
+    assert not missing, f"pages unreachable from docs/index.md: {missing}"
+
+
+def test_no_deprecated_api_names_in_docs():
+    """The deprecated ingestion names must not resurface in prose."""
+    readme = DOCS.parent / "README.md"
+    offenders = []
+    for path in [readme, *DOCS.glob("*.md")]:
+        text = path.read_text(encoding="utf-8")
+        for name in ("raise_event", "feed_primitive"):
+            if name in text:
+                offenders.append(f"{path.name}: {name}")
+    assert not offenders, f"deprecated API names in docs: {offenders}"

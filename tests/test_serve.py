@@ -1,0 +1,425 @@
+"""Tests for the sharded serving runtime (``repro.serve``)."""
+
+import asyncio
+import io
+import json
+import zlib
+
+import pytest
+
+from repro.detection.detector import Detector
+from repro.errors import ReproError
+from repro.serve import (
+    DetectionBroadcast,
+    DetectionShard,
+    EventRouter,
+    ServeEvent,
+    ServingRuntime,
+    event_to_line,
+    parse_event_line,
+    serve_events,
+    serve_stdin,
+    shard_of,
+    wire_rules,
+)
+from repro.sim.serving import STANDARD_RULES, ServingWorkload
+
+
+def stream(count=40, types=("buy", "sell", "cancel"), sites=2, per_granule=4):
+    """A deterministic multi-granule event stream."""
+    return [
+        ServeEvent(
+            event_type=types[i % len(types)],
+            site=f"s{i % sites}",
+            global_time=i // per_granule,
+            local=i,
+            parameters={"i": i},
+        )
+        for i in range(count)
+    ]
+
+
+def multiset(occurrences):
+    return sorted(
+        repr(sorted(repr(t) for t in occurrence.timestamp))
+        for occurrence in occurrences
+    )
+
+
+RULES = {
+    "rt": "buy ; sell",
+    "pair": "buy and sell",
+    "either": "buy or sell",
+}
+
+
+def reference_detector(events, rules=RULES, horizon=None):
+    """A plain single detector fed the same stream, granule-pumped."""
+    detector = Detector(site="ref", timer_ratio=10)
+    for name, expression in rules.items():
+        detector.register(expression, name=name)
+    for event in events:
+        if event.granule > detector.now_global:
+            detector.advance_time(event.granule)
+        detector.feed(event.occurrence())
+    if horizon is not None:
+        detector.advance_time(horizon)
+    return detector
+
+
+class TestShardOf:
+    def test_stable_across_calls_and_processes(self):
+        # CRC-32 of "salt:name" — process-independent by construction,
+        # unlike builtin hash() under PYTHONHASHSEED.
+        assert shard_of("round_trip", 4) == zlib.crc32(b"0:round_trip") % 4
+        assert shard_of("round_trip", 4) == 2
+        assert shard_of("churn", 4) == 2
+        assert shard_of("busy_granule", 4) == 0
+
+    def test_salt_perturbs_assignment(self):
+        assert shard_of("round_trip", 4, salt=1) == 1
+        assignments = {shard_of("rule", 5, salt=s) for s in range(40)}
+        assert len(assignments) > 1
+
+    def test_in_range(self):
+        for shards in (1, 2, 3, 7):
+            for name in ("a", "b", "rule-long-name", ""):
+                assert 0 <= shard_of(name, shards) < shards
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            shard_of("x", 0)
+
+
+class TestEventRouter:
+    def test_assign_idempotent(self):
+        router = EventRouter(4)
+        first = router.assign("rule")
+        assert router.assign("rule") == first
+        assert router.assignments == {"rule": first}
+
+    def test_route_follows_bound_subscriptions(self):
+        router = EventRouter(3)
+        router.bind({0: ["buy"], 2: ["buy", "sell"]})
+        assert router.route("buy") == (0, 2)
+        assert router.route("sell") == (2,)
+        assert router.route("unknown") == ()
+        assert router.subscribed_types() == {"buy", "sell"}
+
+    def test_bind_rejects_out_of_range(self):
+        router = EventRouter(2)
+        with pytest.raises(ReproError):
+            router.bind({5: ["buy"]})
+
+    def test_rules_of(self):
+        router = EventRouter(1)
+        router.assign("b")
+        router.assign("a")
+        assert router.rules_of(0) == ["a", "b"]
+
+
+class TestProtocol:
+    def test_line_round_trip(self):
+        event = ServeEvent("buy", site="ny", global_time=3, local=31,
+                           parameters={"qty": 5})
+        assert parse_event_line(event_to_line(event)) == event
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(ReproError):
+            parse_event_line("{not json")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ReproError):
+            parse_event_line("[1, 2]")
+
+    def test_rejects_missing_fields(self):
+        with pytest.raises(ReproError):
+            ServeEvent.from_dict({"type": "buy"})
+
+    def test_granule_is_global_time(self):
+        assert ServeEvent("e", site="s", global_time=7, local=70).granule == 7
+
+
+class TestBackpressure:
+    def test_high_water_signal(self):
+        async def scenario():
+            shard = DetectionShard(0, capacity=8, high_water=3)
+            events = stream(4)
+            assert not shard.under_pressure()
+            await shard.put(events[0])
+            await shard.put(events[1])
+            assert not shard.under_pressure()
+            await shard.put(events[2])
+            assert shard.under_pressure()
+            assert shard.depth == 3
+
+        asyncio.run(scenario())
+
+    def test_default_high_water_is_three_quarters(self):
+        async def scenario():
+            return DetectionShard(0, capacity=100).high_water
+
+        assert asyncio.run(scenario()) == 75
+
+    def test_runtime_reports_pressure(self):
+        async def scenario():
+            runtime = ServingRuntime(1, timer_ratio=10, capacity=8,
+                                     high_water=2)
+            runtime.register("buy ; sell", name="rt")
+            pressured = []
+            # Workers not started: queue depth only grows.
+            for event in stream(4, types=("buy",)):
+                pressured.append(await runtime.ingest(event))
+            return pressured
+
+        assert asyncio.run(scenario()) == [False, True, True, True]
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ReproError):
+            DetectionShard(0, capacity=0)
+        with pytest.raises(ReproError):
+            DetectionShard(0, capacity=4, high_water=9)
+
+
+class TestShardInvariance:
+    def test_matches_plain_detector(self):
+        events = stream(60)
+        horizon = events[-1].granule + 1
+        reference = reference_detector(events, horizon=horizon)
+        runtime = serve_events(RULES, events, shards=1, timer_ratio=10,
+                               horizon=horizon)
+        for name in RULES:
+            assert multiset(runtime.detections_of(name)) == multiset(
+                reference.detections_of(name)
+            ), name
+
+    @pytest.mark.parametrize("shards", [2, 3, 5])
+    @pytest.mark.parametrize("salt", [0, 11])
+    def test_shard_count_and_salt_invariance(self, shards, salt):
+        events = stream(60)
+        horizon = events[-1].granule + 1
+        baseline = serve_events(RULES, events, shards=1, timer_ratio=10,
+                                horizon=horizon)
+        sharded = serve_events(RULES, events, shards=shards, salt=salt,
+                               timer_ratio=10, horizon=horizon)
+        for name in RULES:
+            assert multiset(sharded.detections_of(name)) == multiset(
+                baseline.detections_of(name)
+            ), (name, shards, salt)
+
+    def test_unrouted_events_counted_not_fed(self):
+        events = stream(12, types=("buy", "sell")) + [
+            ServeEvent("noise", site="s0", global_time=2, local=99)
+        ]
+        runtime = serve_events(RULES, events, shards=2, timer_ratio=10)
+        assert runtime.events_unrouted == 1
+        assert runtime.events_ingested == 12
+
+    def test_granule_batches_feed_through_one_flush(self):
+        async def scenario():
+            shard = DetectionShard(0, timer_ratio=10)
+            shard.register("buy ; sell", name="rt")
+            for event in stream(12, types=("buy", "sell")):
+                await shard.put(event)
+            shard.start()
+            await shard.drain()
+            await shard.stop()
+            return shard
+
+        shard = asyncio.run(scenario())
+        assert shard.events_processed == 12
+        # 12 events over granules 0..2 arrive before the worker wakes:
+        # one flush per granule boundary plus the idle flush, never one
+        # flush per event.
+        assert shard.batches_flushed <= 4
+
+    def test_late_event_is_fed_not_dropped(self):
+        late_last = stream(8, types=("buy", "sell"), per_granule=4)
+        late_last.append(
+            ServeEvent("buy", site="s0", global_time=0, local=2)
+        )
+        late_last.append(
+            ServeEvent("sell", site="s1", global_time=1, local=19)
+        )
+        runtime = serve_events(RULES, late_last, shards=1, timer_ratio=10,
+                               horizon=3)
+        assert runtime.events_ingested == 10
+        assert runtime.shards[0].events_processed == 10
+
+
+class TestDrainAndShutdown:
+    def test_stop_flushes_open_batch(self):
+        events = stream(30)
+
+        async def scenario():
+            runtime = ServingRuntime(3, timer_ratio=10)
+            for name, expression in RULES.items():
+                runtime.register(expression, name=name)
+            runtime.start()
+            for event in events:
+                await runtime.ingest(event)
+            # No explicit drain: stop() itself must lose nothing.
+            await runtime.stop(horizon=events[-1].granule + 1)
+            return runtime
+
+        runtime = asyncio.run(scenario())
+        reference = reference_detector(
+            events, horizon=events[-1].granule + 1
+        )
+        for name in RULES:
+            assert multiset(runtime.detections_of(name)) == multiset(
+                reference.detections_of(name)
+            ), name
+
+    def test_drain_then_restartable(self):
+        async def scenario():
+            runtime = ServingRuntime(2, timer_ratio=10)
+            runtime.register("buy ; sell", name="rt")
+            async with runtime:
+                for event in stream(10, types=("buy", "sell")):
+                    await runtime.ingest(event)
+                await runtime.drain()
+                depth_after_drain = runtime.depths()
+            # Context exit stopped the workers; a new context restarts.
+            async with runtime:
+                await runtime.ingest(
+                    ServeEvent("buy", site="s0", global_time=9, local=90)
+                )
+                await runtime.drain()
+            return depth_after_drain, runtime
+
+        depths, runtime = asyncio.run(scenario())
+        assert depths == [0, 0]
+        assert runtime.events_ingested == 11
+
+
+class TestCheckpoint:
+    def test_union_of_pre_and_post_crash_detections(self):
+        events = stream(40)
+        horizon = events[-1].granule + 1
+        reference = reference_detector(events, horizon=horizon)
+
+        runtime = ServingRuntime(3, timer_ratio=10)
+        for name, expression in RULES.items():
+            runtime.register(expression, name=name)
+
+        async def first_half():
+            async with runtime:
+                for event in events[:20]:
+                    await runtime.ingest(event)
+                await runtime.drain()
+
+        asyncio.run(first_half())
+        pre = {name: multiset(runtime.detections_of(name)) for name in RULES}
+        state = json.loads(json.dumps(runtime.checkpoint()))
+
+        restored = ServingRuntime(3, timer_ratio=10)
+        for name, expression in RULES.items():
+            restored.register(expression, name=name)
+        restored.restore(state)
+
+        async def second_half():
+            async with restored:
+                for event in events[20:]:
+                    await restored.ingest(event)
+                await restored.drain(horizon)
+
+        asyncio.run(second_half())
+        for name in RULES:
+            combined = sorted(
+                pre[name] + multiset(restored.detections_of(name))
+            )
+            assert combined == multiset(reference.detections_of(name)), name
+
+    def test_checkpoint_carries_queued_events(self):
+        async def scenario():
+            shard = DetectionShard(0, timer_ratio=10)
+            shard.register("buy ; sell", name="rt")
+            for event in stream(6, types=("buy", "sell")):
+                await shard.put(event)
+            # Never started: everything is still queued.
+            return shard.checkpoint()
+
+        state = asyncio.run(scenario())
+        assert len(state["pending"]) == 6
+
+    def test_restore_rejects_mismatched_shape(self):
+        runtime = ServingRuntime(2, timer_ratio=10)
+        runtime.register("buy ; sell", name="rt")
+        state = runtime.checkpoint()
+        other = ServingRuntime(3, timer_ratio=10)
+        other.register("buy ; sell", name="rt")
+        with pytest.raises(ReproError):
+            other.restore(state)
+        salted = ServingRuntime(2, salt=5, timer_ratio=10)
+        salted.register("buy ; sell", name="rt")
+        with pytest.raises(ReproError):
+            salted.restore(state)
+
+
+class TestStdinServer:
+    def test_jsonl_round_trip_with_errors(self):
+        workload = stream(12, types=("buy", "sell"))
+        lines = [event_to_line(event) for event in workload]
+        lines.insert(3, "{broken")
+        source = io.StringIO("\n".join(lines) + "\n")
+        target = io.StringIO()
+
+        runtime = ServingRuntime(2, timer_ratio=10)
+        broadcast = DetectionBroadcast()
+        wire_rules(runtime, [("rt", "buy ; sell")], broadcast)
+        count = asyncio.run(
+            serve_stdin(
+                runtime, broadcast, in_stream=source, out_stream=target
+            )
+        )
+        assert count == 12
+        rows = [json.loads(line) for line in target.getvalue().splitlines()]
+        errors = [row for row in rows if "error" in row]
+        detections = [row for row in rows if "detection" in row]
+        assert len(errors) == 1
+        assert detections and all(
+            row["detection"] == "rt" for row in detections
+        )
+        assert len(detections) == broadcast.emitted
+
+
+class TestServingWorkload:
+    def test_standard_is_deterministic(self):
+        first = ServingWorkload.standard(seed=5, events=120)
+        second = ServingWorkload.standard(seed=5, events=120)
+        assert first.events == second.events
+        assert first.rules == STANDARD_RULES
+        assert first.timer_ratio == 10
+
+    def test_jsonl_parses_back(self):
+        workload = ServingWorkload.standard(seed=2, events=50)
+        parsed = [
+            parse_event_line(line)
+            for line in workload.to_jsonl().splitlines()
+        ]
+        assert tuple(parsed) == workload.events
+
+    def test_horizon_past_last_event(self):
+        workload = ServingWorkload.standard(seed=2, events=50)
+        assert workload.horizon() > max(
+            event.granule for event in workload.events
+        )
+
+
+class TestServeCli:
+    def test_selftest_passes(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["serve", "--selftest", "--shards", "3", "--events", "150"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "passed" in out
+
+    def test_bad_rule_syntax_rejected(self, capsys):
+        from repro.cli import main
+
+        code = main(["serve", "--selftest", "--rule", "nonsense"])
+        assert code == 2
