@@ -257,6 +257,39 @@ def _serving_setup(shards: int):
     return setup
 
 
+def _setup_serve_failover(quick: bool):
+    """Failover overhead: the in-process cluster under periodic kills.
+
+    Same standard workload as the serving benches, but run through
+    :class:`~repro.serve.cluster.LocalFailoverCluster` with WAL +
+    checkpointing on and a fault plan killing every shard once
+    mid-stream — so the number measures the steady-state price of
+    logging/checkpointing plus three checkpoint-restore-replay cycles.
+    """
+    from repro.serve.cluster import FaultPlan, replay_with_failover
+    from repro.sim.serving import ServingWorkload
+
+    workload = ServingWorkload.standard(seed=41, events=300 if quick else 1_200)
+    count = len(workload)
+    plan = FaultPlan(
+        kills=((0, count // 4), (1, count // 2), (2, (3 * count) // 4))
+    )
+
+    def kernel() -> int:
+        cluster = replay_with_failover(
+            workload.rules,
+            workload,
+            shards=3,
+            timer_ratio=workload.timer_ratio,
+            horizon=workload.horizon(),
+            checkpoint_every=32,
+            fault_plan=plan,
+        )
+        return cluster.events_applied
+
+    return kernel, count
+
+
 BENCHMARKS: dict[str, Bench] = {
     bench.name: bench
     for bench in (
@@ -301,6 +334,13 @@ BENCHMARKS: dict[str, Bench] = {
             name="bench_serve_shard4",
             title="serving runtime throughput, 4 shards",
             setup=_serving_setup(4),
+            rounds=3,
+            quick_rounds=2,
+        ),
+        Bench(
+            name="bench_serve_failover",
+            title="failover cluster: WAL + checkpoints + 3 shard kills",
+            setup=_setup_serve_failover,
             rounds=3,
             quick_rounds=2,
         ),

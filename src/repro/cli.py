@@ -10,6 +10,8 @@ Subcommands::
     repro bench  [--quick] [--check]       run the perf regression suite
     repro fuzz   [--seed N] [--cases N]    run the conformance fuzzer
     repro serve  --shards N [--stdin|--port P]  sharded serving runtime
+    repro serve  --procs N [--fault-plan J]     multi-process failover cluster
+    repro serve-worker --shard K           one shard worker (cluster internal)
     repro obs-report <spans.jsonl>         summarize an observability export
 
 Composite timestamps are written as semicolon-separated triples, e.g.
@@ -193,6 +195,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         artifact_dir=args.artifacts,
         include_temporal=not args.no_temporal,
         shrink_failures=not args.no_shrink,
+        checks=args.check or None,
     )
     print(report.render())
     return 0 if report.passed else 1
@@ -215,6 +218,144 @@ def _serve_rules(args: argparse.Namespace) -> dict[str, str]:
     return rules
 
 
+def _load_fault_plan(text: str | None):
+    """``--fault-plan`` accepts inline JSON or a path to a JSON file."""
+    from repro.serve.cluster import FaultPlan
+
+    if not text:
+        return None
+    stripped = text.strip()
+    if not stripped.startswith("{"):
+        with open(stripped, "r", encoding="utf-8") as handle:
+            stripped = handle.read()
+    return FaultPlan.from_json(stripped)
+
+
+def _cluster_kwargs(args: argparse.Namespace) -> dict:
+    return dict(
+        salt=args.salt,
+        heartbeat_interval=args.heartbeat_interval,
+        miss_threshold=args.miss_threshold,
+        retry_budget=args.retry_budget,
+        checkpoint_every=args.checkpoint_every,
+        fault_plan=_load_fault_plan(args.fault_plan),
+        seed=args.seed,
+    )
+
+
+def _cmd_serve_cluster(args: argparse.Namespace, rules: dict[str, str]) -> int:
+    """``repro serve --procs N``: the supervised multi-process cluster."""
+    import asyncio
+    import tempfile
+
+    from repro.serve import serve_events
+    from repro.serve.cluster import ClusterSupervisor, cluster_serve_stdin
+    from repro.sim.serving import ServingWorkload
+
+    if args.port is not None:
+        raise ReproError(
+            "--procs serves stdin only; --port needs the in-process runtime"
+        )
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as scratch:
+        state_dir = args.state_dir or scratch
+
+        if not args.selftest:
+            supervisor = ClusterSupervisor(
+                args.procs,
+                timer_ratio=args.timer_ratio,
+                state_dir=state_dir,
+                **_cluster_kwargs(args),
+            )
+            for name, expression in sorted(rules.items()):
+                supervisor.register(expression, name)
+            count = asyncio.run(cluster_serve_stdin(supervisor))
+            print(
+                f"served {count} event(s) on {args.procs} worker process(es): "
+                f"{supervisor.ledger.accepted} detection(s), "
+                f"{supervisor.restarts} restart(s), "
+                f"{supervisor.replayed} replayed, "
+                f"{supervisor.parked} parked",
+                file=sys.stderr,
+            )
+            return 0
+
+        # Chaos selftest: drive the generated workload through real worker
+        # processes (under the optional fault plan) and assert the multiset
+        # of detections matches the fault-free in-process runtime.
+        workload = ServingWorkload.standard(seed=args.seed, events=args.events)
+        if not args.rule:
+            rules = dict(workload.rules)
+        baseline = serve_events(
+            rules,
+            workload,
+            shards=args.procs,
+            salt=args.salt,
+            timer_ratio=workload.timer_ratio,
+            horizon=workload.horizon(),
+        )
+
+        async def drive() -> ClusterSupervisor:
+            supervisor = ClusterSupervisor(
+                args.procs,
+                timer_ratio=workload.timer_ratio,
+                state_dir=state_dir,
+                **_cluster_kwargs(args),
+            )
+            for name, expression in sorted(rules.items()):
+                supervisor.register(expression, name)
+            async with supervisor:
+                for event in workload:
+                    await supervisor.ingest(event)
+                signals = await supervisor.drain(workload.horizon())
+                if signals:
+                    raise ReproError(
+                        "shards unavailable during selftest: "
+                        + ", ".join(
+                            f"shard {s.shard} ({s.reason})" for s in signals
+                        )
+                    )
+            return supervisor
+
+        supervisor = asyncio.run(drive())
+
+        failures = 0
+        for name in sorted(rules):
+            cluster_multiset = sorted(
+                repr(sorted(repr(t) for t in stamps))
+                for stamps in supervisor.timestamps_of(name)
+            )
+            baseline_multiset = sorted(
+                repr(sorted(repr(t) for t in occurrence.timestamp))
+                for occurrence in baseline.detections_of(name)
+            )
+            marker = "ok " if cluster_multiset == baseline_multiset else "FAIL"
+            failures += cluster_multiset != baseline_multiset
+            print(
+                f"[{marker}] {name}: procs={args.procs} -> "
+                f"{len(cluster_multiset)} detections, in-process -> "
+                f"{len(baseline_multiset)}"
+            )
+        print(
+            f"cluster selftest over {len(workload)} events: "
+            f"{supervisor.restarts} restart(s), {supervisor.replayed} "
+            f"replayed, {supervisor.checkpoints} checkpoint(s), "
+            f"{supervisor.ledger.duplicates} duplicate(s) dropped: "
+            f"{'FAILED' if failures else 'passed'}"
+        )
+        return 1 if failures else 0
+
+
+def cmd_serve_worker(args: argparse.Namespace) -> int:
+    from repro.serve.cluster import run_worker
+
+    return run_worker(
+        args.shard,
+        timer_ratio=args.timer_ratio,
+        heartbeat_interval=args.heartbeat_interval,
+    )
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -229,6 +370,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.sim.serving import ServingWorkload
 
     rules = _serve_rules(args)
+
+    if args.procs is not None:
+        return _cmd_serve_cluster(args, rules)
 
     if args.selftest:
         # The serve-smoke gate: the sharded runtime must produce the
@@ -436,6 +580,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-temporal", action="store_true",
         help="exclude P/P*/+ from generated expressions",
     )
+    fuzz_command.add_argument(
+        "--check", action="append", default=None, metavar="NAME",
+        help="run only the named conformance check(s) (repeatable)",
+    )
     fuzz_command.set_defaults(handler=cmd_fuzz)
 
     serve_command = commands.add_parser(
@@ -481,7 +629,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--events", type=int, default=2000,
         help="workload size for --selftest",
     )
+    serve_command.add_argument(
+        "--procs", type=int, default=None, metavar="N",
+        help="run N supervised shard worker *processes* with heartbeat "
+        "failure detection and checkpoint+WAL failover",
+    )
+    serve_command.add_argument(
+        "--state-dir", default=None,
+        help="directory for per-shard WAL/checkpoint files (--procs mode; "
+        "default: a temporary directory)",
+    )
+    serve_command.add_argument(
+        "--fault-plan", default=None, metavar="JSON|FILE",
+        help="deterministic FaultPlan as inline JSON or a file path "
+        "(--procs mode chaos testing)",
+    )
+    serve_command.add_argument(
+        "--heartbeat-interval", type=float, default=0.25,
+        help="seconds between worker heartbeats (--procs mode)",
+    )
+    serve_command.add_argument(
+        "--miss-threshold", type=int, default=4,
+        help="missed heartbeat intervals before a worker is respawned",
+    )
+    serve_command.add_argument(
+        "--checkpoint-every", type=int, default=64,
+        help="checkpoint a shard every N WAL entries (--procs mode)",
+    )
+    serve_command.add_argument(
+        "--retry-budget", type=int, default=3,
+        help="recovery attempts before a shard is declared unavailable",
+    )
     serve_command.set_defaults(handler=cmd_serve)
+
+    worker_command = commands.add_parser(
+        "serve-worker",
+        help="run one detection shard worker (spawned by serve --procs)",
+    )
+    worker_command.add_argument("--shard", type=int, required=True)
+    worker_command.add_argument("--timer-ratio", type=int, default=10)
+    worker_command.add_argument("--heartbeat-interval", type=float, default=0.25)
+    worker_command.set_defaults(handler=cmd_serve_worker)
 
     obs_command = commands.add_parser(
         "obs-report", help="summarize a JSONL observability export"

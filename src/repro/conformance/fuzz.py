@@ -15,7 +15,7 @@ import os
 import time
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.conformance.artifacts import load_artifact, save_artifact
 from repro.conformance.generator import FuzzCase, generate_case
@@ -93,12 +93,16 @@ def fuzz(
     shrink_failures: bool = True,
     shrink_attempts: int = 300,
     progress: Callable[[CaseResult], None] | None = None,
+    checks: Sequence[str] | None = None,
 ) -> FuzzReport:
     """Run a campaign of ``cases`` cases derived from ``seed``.
 
     Deterministic for a given (seed, cases, include_temporal) — the only
     wall-clock dependence is the optional ``budget`` cutoff, which can
     truncate the campaign but never changes any case's verdict.
+    ``checks`` restricts every case to the named differential checks
+    (the CLI's repeatable ``--check`` flag); shrinking uses the same
+    restriction so a minimized case still fails the selected checks.
     """
     report = FuzzReport(seed=seed)
     started = time.monotonic()
@@ -109,7 +113,7 @@ def fuzz(
         case = generate_case(
             seed * 1_000_003 + index, include_temporal=include_temporal
         )
-        result = run_case(case)
+        result = run_case(case, checks=checks)
         report.add(result)
         if progress is not None:
             progress(result)
@@ -118,10 +122,12 @@ def fuzz(
             if shrink_failures:
                 shrunk, _ = shrink(
                     case,
-                    lambda candidate: not run_case(candidate).passed,
+                    lambda candidate: not run_case(
+                        candidate, checks=checks
+                    ).passed,
                     max_attempts=shrink_attempts,
                 )
-                final = run_case(shrunk)
+                final = run_case(shrunk, checks=checks)
                 if final.passed:  # shrinking lost the bug; keep the original
                     final = result
             if artifact_dir is not None:

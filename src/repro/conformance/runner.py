@@ -1,4 +1,4 @@
-"""Execute one fuzz case and cross-check it four ways.
+"""Execute one fuzz case and cross-check it against differential checks.
 
 ``run_case`` drives a :class:`FuzzCase` end-to-end through the simulated
 :class:`~repro.sim.cluster.DistributedSystem` and applies every
@@ -33,6 +33,16 @@ differential check that is *sound* for the case:
     detections must match an uninterrupted run.  Sound for *every*
     operator and context because a lone detector is deterministic.
 
+``failover``
+    Kill-and-restart invariance of the fault-tolerant serving cluster:
+    the stamped stream runs through the in-process failover harness
+    (:class:`~repro.serve.cluster.LocalFailoverCluster` — the exact WAL
+    + checkpoint + replay + ledger path of the cluster supervisor)
+    fault-free and under a deterministic kill/corruption
+    :class:`~repro.serve.cluster.FaultPlan`; the per-rule detection
+    multisets must match.  Sound for every operator class, like
+    ``sharding``.
+
 ``reorder``
     Deliver the cross-site messages of a zero-latency
     :class:`~repro.detection.coordinator.DistributedDetector` in a
@@ -40,7 +50,8 @@ differential check that is *sound* for the case:
     Gated like ``oracle`` plus the schedule's ``reorder`` flag.
 
 Checks that are not sound for a case are reported as skipped (with the
-reason), never silently dropped.
+reason), never silently dropped.  ``run_case(case, checks=[...])``
+restricts a run to the named checks (the CLI's ``fuzz --check`` filter).
 """
 
 from __future__ import annotations
@@ -50,8 +61,10 @@ import re
 import traceback
 from dataclasses import dataclass, field
 from fractions import Fraction
+from typing import Sequence
 
 from repro.analysis.metrics import multiset_diff
+from repro.errors import ReproError
 from repro.contexts.policies import Context
 from repro.detection.checkpoint import restore, snapshot
 from repro.detection.coordinator import DistributedDetector
@@ -461,6 +474,98 @@ def _check_sharding(
     )
 
 
+def _check_failover(
+    case: FuzzCase, expression: EventExpression, history: History
+) -> CheckResult:
+    """Shard-kill/restart invariance: failover preserves detections.
+
+    The mirror of ``sharding`` for the fault-tolerant cluster: the same
+    stamped stream runs through the in-process failover harness (the
+    exact WAL + checkpoint + replay + detection-ledger path of
+    :class:`repro.serve.cluster.ClusterSupervisor`, minus the OS process
+    boundary) twice — fault-free, and under a deterministic
+    :class:`~repro.serve.cluster.FaultPlan` that kills every shard
+    mid-stream and corrupts one checkpoint (forcing the
+    previous-generation fallback).  Recovery restores the last intact
+    checkpoint and replays the WAL tail, so the multiset of composite
+    timestamps per rule must be identical.  Sound for every operator
+    class and fault schedule: both runs are deterministic replays of the
+    same arrival order.
+    """
+    from repro.serve import ServeEvent
+    from repro.serve.cluster import FaultPlan, replay_with_failover
+
+    occurrences = list(history)
+    if not occurrences:
+        return _skip("failover", "no events")
+    events = []
+    for occurrence in occurrences:
+        stamp = next(iter(occurrence.timestamp))
+        events.append(
+            ServeEvent(
+                event_type=occurrence.event_type,
+                site=stamp.site,
+                global_time=stamp.global_time,
+                local=stamp.local,
+                parameters=dict(occurrence.parameters),
+            )
+        )
+    horizon = max(event.granule for event in events) + _temporal_pad(
+        expression
+    )
+    rules = {f"{CASE_NAME}_{i}": expression for i in range(3)}
+    context = Context(case.context)
+    salt = case.seed % 97
+
+    def run(plan: FaultPlan | None):
+        return replay_with_failover(
+            rules,
+            events,
+            shards=3,
+            salt=salt,
+            timer_ratio=10,  # example 5.1 model, as elsewhere in this runner
+            context=context,
+            horizon=horizon,
+            checkpoint_every=3,
+            fault_plan=plan,
+        )
+
+    baseline = run(None)
+    count = len(events)
+    # At least one kill is guaranteed to fire: every rule lives on some
+    # shard, that shard's WAL sees all `count` events, and each shard has
+    # a kill point at or below `count`.
+    plan = FaultPlan(
+        kills=(
+            (0, max(1, count // 3)),
+            (1, max(1, count // 2)),
+            (2, max(1, (2 * count) // 3)),
+        ),
+        corrupt_checkpoints=(case.seed % 3,),
+    )
+    faulted = run(plan)
+    for name in rules:
+        missing, extra = multiset_diff(
+            _shard_multiset(baseline, name), _shard_multiset(faulted, name)
+        )
+        if missing or extra:
+            return CheckResult(
+                "failover",
+                False,
+                f"{name} after {faulted.restarts} restart(s): "
+                f"missing={missing[:3]} extra={extra[:3]}",
+            )
+    detections = sum(
+        len(baseline.detections_of(name)) for name in rules
+    )
+    return CheckResult(
+        "failover",
+        True,
+        f"{detections} detections preserved over {faulted.restarts} "
+        f"kill(s), {faulted.replayed} replayed entries",
+    )
+
+
 def _check_reorder(
     case: FuzzCase, expression: EventExpression, history: History,
     oracle_strs: list[str],
@@ -502,8 +607,37 @@ def _check_reorder(
 # --- the driver ---------------------------------------------------------------
 
 
-def run_case(case: FuzzCase) -> CaseResult:
-    """Execute one case and apply every sound differential check."""
+#: Every check name ``run_case`` knows (the ``checks=`` filter domain).
+CHECK_NAMES = (
+    "execution",
+    "oracle",
+    "kernels",
+    "checkpoint",
+    "sharding",
+    "failover",
+    "reorder",
+)
+
+
+def run_case(case: FuzzCase, checks: Sequence[str] | None = None) -> CaseResult:
+    """Execute one case and apply every sound differential check.
+
+    ``checks`` restricts the run to the named checks (``execution``
+    always runs — it produces the history the others consume); an
+    unknown name raises so CLI typos fail loudly instead of silently
+    passing an empty campaign.
+    """
+    if checks is not None:
+        unknown = sorted(set(checks) - set(CHECK_NAMES))
+        if unknown:
+            raise ReproError(
+                f"unknown conformance check(s) {unknown}; "
+                f"valid: {', '.join(CHECK_NAMES)}"
+            )
+
+    def wanted(name: str) -> bool:
+        return checks is None or name in checks
+
     result = CaseResult(case)
     try:
         expression = case.parsed()
@@ -524,37 +658,54 @@ def run_case(case: FuzzCase) -> CaseResult:
 
     oracle_strs: list[str] | None = None
     gate = _oracle_gate(case, expression, system)
-    if gate is not None:
-        result.checks.append(_skip("oracle", gate))
-    else:
+    if wanted("oracle") or wanted("reorder"):
+        if gate is not None:
+            if wanted("oracle"):
+                result.checks.append(_skip("oracle", gate))
+        else:
+            try:
+                oracle_strs = timestamps_multiset(
+                    evaluate(expression, system.history, label=CASE_NAME)
+                )
+                if wanted("oracle"):
+                    result.checks.append(_check_oracle(oracle_strs, system))
+            except Exception as error:  # noqa: BLE001
+                if wanted("oracle"):
+                    result.checks.append(_failure("oracle", error))
+
+    if wanted("kernels"):
         try:
-            oracle_strs = timestamps_multiset(
-                evaluate(expression, system.history, label=CASE_NAME)
-            )
-            result.checks.append(_check_oracle(oracle_strs, system))
+            result.checks.append(_check_kernels(case, system))
         except Exception as error:  # noqa: BLE001
-            result.checks.append(_failure("oracle", error))
+            result.checks.append(_failure("kernels", error))
 
-    try:
-        result.checks.append(_check_kernels(case, system))
-    except Exception as error:  # noqa: BLE001
-        result.checks.append(_failure("kernels", error))
+    if wanted("checkpoint"):
+        try:
+            result.checks.append(
+                _check_continuity(case, expression, system.history)
+            )
+        except Exception as error:  # noqa: BLE001
+            result.checks.append(_failure("checkpoint", error))
 
-    try:
-        result.checks.append(
-            _check_continuity(case, expression, system.history)
-        )
-    except Exception as error:  # noqa: BLE001
-        result.checks.append(_failure("checkpoint", error))
+    if wanted("sharding"):
+        try:
+            result.checks.append(
+                _check_sharding(case, expression, system.history)
+            )
+        except Exception as error:  # noqa: BLE001
+            result.checks.append(_failure("sharding", error))
 
-    try:
-        result.checks.append(
-            _check_sharding(case, expression, system.history)
-        )
-    except Exception as error:  # noqa: BLE001
-        result.checks.append(_failure("sharding", error))
+    if wanted("failover"):
+        try:
+            result.checks.append(
+                _check_failover(case, expression, system.history)
+            )
+        except Exception as error:  # noqa: BLE001
+            result.checks.append(_failure("failover", error))
 
-    if not case.schedule.reorder:
+    if not wanted("reorder"):
+        pass
+    elif not case.schedule.reorder:
         result.checks.append(_skip("reorder", "schedule has reorder=False"))
     elif is_order_sensitive(expression):
         # Shuffled delivery is NOT a linearization of <_p, so the relaxed

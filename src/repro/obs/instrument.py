@@ -35,6 +35,16 @@ The serving runtime (``repro.serve``) adds metric-only hooks: counters
 ``serve.ingested`` / ``serve.pressure`` at the router and per-shard
 ``serve.events`` / ``serve.detections``, plus per-shard histograms
 ``serve.batch_size`` and ``serve.flush_ns``.
+
+The fault-tolerant cluster (``repro.serve.cluster``) adds the
+``serve.failover.*`` family: counters ``serve.failover.restarts``
+(worker respawns), ``serve.failover.checkpoints`` (persisted shard
+checkpoints), ``serve.failover.parked`` (events parked in the WAL of an
+unavailable shard), ``serve.failover.unavailable`` (shards declared
+down past the retry budget), ``serve.failover.beats_missed`` /
+``serve.failover.beats_dropped`` (liveness anomalies), plus histograms
+``serve.failover.replay_events`` (WAL entries replayed per recovery)
+and ``serve.failover.restart_ns`` (wall time of one recovery).
 """
 
 from __future__ import annotations

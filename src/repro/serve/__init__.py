@@ -5,14 +5,38 @@ service: an :class:`~repro.serve.router.EventRouter` hash-partitions
 rules across N :class:`~repro.serve.shard.DetectionShard` workers, each
 batching incoming events on ``g_g`` granule boundaries (safe by
 Def 4.4) before feeding the existing engine.  See ``docs/serving.md``.
+
+:mod:`repro.serve.cluster` adds the fault-tolerant tier: every shard a
+supervised worker *process*, with write-ahead logging
+(:mod:`repro.serve.wal`), heartbeat failure detection
+(:mod:`repro.serve.heartbeat`), periodic checkpoints, and automatic
+checkpoint+replay failover that preserves detection multisets.
 """
 
+from repro.serve.cluster import (
+    CheckpointStore,
+    ClusterSupervisor,
+    DetectionLedger,
+    FaultInjector,
+    FaultPlan,
+    LocalFailoverCluster,
+    ShardReplica,
+    ShardUnavailable,
+    cluster_serve_stdin,
+    replay_with_failover,
+    run_worker,
+)
+from repro.serve.heartbeat import Backoff, HeartbeatMonitor
 from repro.serve.protocol import (
+    CONTROL_OPS,
+    MAX_LINE_BYTES,
     ServeEvent,
     detection_to_json,
     detection_to_line,
     event_to_line,
+    frame_to_line,
     parse_event_line,
+    parse_frame,
 )
 from repro.serve.router import EventRouter, shard_of
 from repro.serve.runtime import ServingRuntime, serve_events
@@ -23,17 +47,39 @@ from repro.serve.server import (
     wire_rules,
 )
 from repro.serve.shard import DetectionShard
+from repro.serve.wal import KIND_ADVANCE, KIND_EVENT, ShardWAL, WalEntry
 
 __all__ = [
+    "Backoff",
+    "CONTROL_OPS",
+    "CheckpointStore",
+    "ClusterSupervisor",
     "DetectionBroadcast",
+    "DetectionLedger",
     "DetectionShard",
     "EventRouter",
+    "FaultInjector",
+    "FaultPlan",
+    "HeartbeatMonitor",
+    "KIND_ADVANCE",
+    "KIND_EVENT",
+    "LocalFailoverCluster",
+    "MAX_LINE_BYTES",
     "ServeEvent",
     "ServingRuntime",
+    "ShardReplica",
+    "ShardUnavailable",
+    "ShardWAL",
+    "WalEntry",
+    "cluster_serve_stdin",
     "detection_to_json",
     "detection_to_line",
     "event_to_line",
+    "frame_to_line",
     "parse_event_line",
+    "parse_frame",
+    "replay_with_failover",
+    "run_worker",
     "serve_events",
     "serve_stdin",
     "serve_tcp",

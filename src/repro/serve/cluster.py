@@ -1,0 +1,1355 @@
+"""Fault-tolerant multi-process serving: supervisor, workers, failover.
+
+This module turns the single-process asyncio serving runtime into a
+supervised cluster:
+
+* :class:`ClusterSupervisor` runs in the parent process.  It owns the
+  :class:`~repro.serve.router.EventRouter`, a per-shard write-ahead log
+  (:mod:`repro.serve.wal`), a per-shard two-generation
+  :class:`CheckpointStore`, a :class:`~repro.serve.heartbeat.
+  HeartbeatMonitor`, and a :class:`DetectionLedger` deduplicating
+  replayed detections.  Each shard is a **worker process** (``repro
+  serve-worker``) the supervisor talks to over the JSONL control frames
+  of :mod:`repro.serve.protocol` — stdin carries events, stdout carries
+  detections, acks, and heartbeats.
+
+* :func:`run_worker` is the worker side: a synchronous loop around a
+  :class:`ShardReplica` (one detector applying WAL entries in sequence
+  order), emitting a beat every heartbeat interval even while idle.
+
+* Failover: on worker death (process exit, broken pipe, or
+  ``miss_threshold`` missed heartbeats) the supervisor respawns the
+  shard, re-registers its rules, restores the last intact checkpoint,
+  and replays the WAL tail past the checkpoint's ``seq``.  Because a
+  replica applies entries one at a time in sequence order, replay
+  reproduces the pre-crash detector state *and* re-emits the same
+  detections with the same ``(seq, k)`` tags — the ledger's per-shard
+  watermark turns that at-least-once stream into exactly-once
+  collection, so the detection multiset is preserved (the granule
+  alignment of Def 4.4 makes per-entry application equivalent to the
+  asyncio runtime's granule batching).
+
+* Graceful degradation: recovery is retried with bounded exponential
+  backoff + jitter; once the retry budget is exhausted the shard is
+  marked unavailable, further events for it are *parked* in its WAL
+  (never lost, never blocking healthy shards), and ``ingest`` surfaces
+  a structured :class:`ShardUnavailable` signal.  :meth:`~
+  ClusterSupervisor.revive` replays the parked tail when the operator
+  (or a test) brings the shard back.
+
+* :class:`FaultPlan` is the deterministic fault-injection hook shared
+  with :mod:`repro.conformance`: kill shard *k* after WAL entry *n*,
+  drop (equivalently: delay past the threshold) a span of heartbeats,
+  corrupt the next checkpoint write, or fail the next spawn attempts.
+
+* :class:`LocalFailoverCluster` drives the identical WAL + checkpoint +
+  replay + ledger path fully in-process (no OS processes) — the engine
+  of the conformance ``failover`` check, the failover bench, and the
+  crash-recovery unit tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, IO, Mapping
+
+from repro.contexts.policies import Context
+from repro.detection.checkpoint import restore as restore_detector
+from repro.detection.checkpoint import snapshot as snapshot_detector
+from repro.detection.detector import Detection, Detector
+from repro.errors import ReproError
+from repro.events.expressions import EventExpression
+from repro.events.parser import parse_expression
+from repro.obs.instrument import Instrumentation, resolve
+from repro.serve.heartbeat import Backoff, HeartbeatMonitor
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ServeEvent,
+    detection_to_json,
+    frame_to_line,
+    parse_frame,
+)
+from repro.serve.router import EventRouter
+from repro.serve.wal import KIND_EVENT, ShardWAL, WalEntry
+from repro.time.composite import CompositeTimestamp
+
+
+# --- fault injection ---------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """A deterministic, JSON-serializable schedule of injected faults.
+
+    ``kills``
+        ``(shard, seq)`` pairs: kill the shard's worker right after WAL
+        entry ``seq`` was dispatched to it (once each).
+    ``drop_beats``
+        ``(shard, after, count)`` triples: once the supervisor has seen
+        ``after`` beats from the shard, silently drop the next ``count``
+        — a dropped beat and one delayed past the miss threshold are the
+        same fault, so this covers both.
+    ``corrupt_checkpoints``
+        Shard indices whose *next* checkpoint write gets a corrupted
+        integrity checksum (one per listed occurrence); restore must
+        detect it and fall back to the previous generation + WAL.
+    ``fail_spawns``
+        ``(shard, times)`` pairs: the next ``times`` spawn attempts for
+        the shard raise — the deterministic route to the retry-budget /
+        :class:`ShardUnavailable` degradation path.
+    """
+
+    kills: tuple[tuple[int, int], ...] = ()
+    drop_beats: tuple[tuple[int, int, int], ...] = ()
+    corrupt_checkpoints: tuple[int, ...] = ()
+    fail_spawns: tuple[tuple[int, int], ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kills": [list(pair) for pair in self.kills],
+            "drop_beats": [list(row) for row in self.drop_beats],
+            "corrupt_checkpoints": list(self.corrupt_checkpoints),
+            "fail_spawns": [list(pair) for pair in self.fail_spawns],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        try:
+            return cls(
+                kills=tuple(
+                    (int(s), int(n)) for s, n in data.get("kills", ())
+                ),
+                drop_beats=tuple(
+                    (int(s), int(a), int(c))
+                    for s, a, c in data.get("drop_beats", ())
+                ),
+                corrupt_checkpoints=tuple(
+                    int(s) for s in data.get("corrupt_checkpoints", ())
+                ),
+                fail_spawns=tuple(
+                    (int(s), int(n)) for s, n in data.get("fail_spawns", ())
+                ),
+            )
+        except (TypeError, ValueError) as error:
+            raise ReproError(f"malformed fault plan: {error}") from None
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ReproError(f"fault plan is not valid JSON: {error}") from None
+        if not isinstance(data, dict):
+            raise ReproError("fault plan must be a JSON object")
+        return cls.from_dict(data)
+
+
+class FaultInjector:
+    """Mutable bookkeeping over a :class:`FaultPlan` (one-shot triggers)."""
+
+    def __init__(self, plan: FaultPlan | None) -> None:
+        self.plan = plan or FaultPlan()
+        self._kills = {(s, n) for s, n in self.plan.kills}
+        self._spawn_failures = {s: n for s, n in self.plan.fail_spawns}
+        self._corrupt = list(self.plan.corrupt_checkpoints)
+        self._beat_windows = [list(row) for row in self.plan.drop_beats]
+
+    def should_kill(self, shard: int, seq: int) -> bool:
+        key = (shard, seq)
+        if key in self._kills:
+            self._kills.remove(key)
+            return True
+        return False
+
+    def should_drop_beat(self, shard: int, beats_seen: int) -> bool:
+        for window in self._beat_windows:
+            target, after, count = window
+            if target == shard and beats_seen >= after and count > 0:
+                window[2] = count - 1
+                return True
+        return False
+
+    def take_corrupt_checkpoint(self, shard: int) -> bool:
+        if shard in self._corrupt:
+            self._corrupt.remove(shard)
+            return True
+        return False
+
+    def take_spawn_failure(self, shard: int) -> bool:
+        remaining = self._spawn_failures.get(shard, 0)
+        if remaining > 0:
+            self._spawn_failures[shard] = remaining - 1
+            return True
+        return False
+
+
+# --- degradation signal ------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ShardUnavailable:
+    """Structured signal: a shard is down past its retry budget.
+
+    The event that produced it is *parked* in the shard's WAL (counted
+    in ``parked``), so nothing is lost — it replays on
+    :meth:`ClusterSupervisor.revive`.  Healthy shards are unaffected.
+    """
+
+    shard: int
+    reason: str
+    parked: int
+
+
+# --- checkpoint persistence --------------------------------------------------
+
+
+class CheckpointStore:
+    """Two-generation checkpoint storage with CRC-32 integrity.
+
+    ``save`` rotates the current generation to the previous one before
+    writing (atomically, via temp file + rename when file-backed).
+    ``load`` verifies the checksum and falls back to the previous
+    generation on corruption — which is why WAL truncation must only
+    discard entries covered by the *previous* generation
+    (:attr:`retain_after`).  ``path=None`` keeps both generations in
+    memory with identical semantics.
+    """
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = path
+        self._memory: list[str] = []  # [current, previous] serialized docs
+        self.corrupt_loads = 0
+        if path is not None:
+            for candidate in (path, path + ".prev"):
+                if os.path.exists(candidate):
+                    with open(candidate, "r", encoding="utf-8") as handle:
+                        self._memory.append(handle.read())
+                else:
+                    self._memory.append("")
+
+    @staticmethod
+    def _encode(state: Mapping[str, Any], corrupt: bool) -> str:
+        payload = json.dumps(state, sort_keys=True)
+        crc = zlib.crc32(payload.encode("utf-8"))
+        if corrupt:
+            crc ^= 0xDEADBEEF
+        return json.dumps({"crc": crc, "state": state}, sort_keys=True)
+
+    @staticmethod
+    def _decode(text: str) -> dict[str, Any] | None:
+        if not text:
+            return None
+        try:
+            doc = json.loads(text)
+            state = doc["state"]
+            payload = json.dumps(state, sort_keys=True)
+            if zlib.crc32(payload.encode("utf-8")) != int(doc["crc"]):
+                return None
+            return state
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return None
+
+    def save(self, state: Mapping[str, Any], *, corrupt: bool = False) -> None:
+        """Persist a new generation (rotating the old one to ``.prev``)."""
+        doc = self._encode(state, corrupt)
+        previous = self._memory[0] if self._memory else ""
+        self._memory = [doc, previous]
+        if self.path is not None:
+            if previous:
+                with open(self.path + ".prev.tmp", "w", encoding="utf-8") as h:
+                    h.write(previous)
+                os.replace(self.path + ".prev.tmp", self.path + ".prev")
+            with open(self.path + ".tmp", "w", encoding="utf-8") as handle:
+                handle.write(doc)
+            os.replace(self.path + ".tmp", self.path)
+
+    def load(self) -> dict[str, Any] | None:
+        """The newest intact checkpoint state, or ``None``.
+
+        A corrupted current generation is counted and skipped; the
+        previous generation (whose WAL tail was retained) backs it up.
+        """
+        for index, text in enumerate(self._memory):
+            state = self._decode(text)
+            if state is not None:
+                return state
+            if index == 0 and text:
+                self.corrupt_loads += 1
+        return None
+
+    @property
+    def retain_after(self) -> int:
+        """Truncate the WAL only past this seq (previous generation)."""
+        if len(self._memory) < 2:
+            return 0
+        previous = self._decode(self._memory[1])
+        if previous is None:
+            return 0
+        return int(previous.get("seq", 0))
+
+
+# --- the deterministic apply core -------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class TaggedDetection:
+    """A detection plus its deterministic replay tag ``(seq, k)``."""
+
+    seq: int
+    k: int
+    detection: Detection
+
+
+class ShardReplica:
+    """One shard's detector applying WAL entries in sequence order.
+
+    The worker process wraps one replica behind the control-frame loop;
+    the in-process harness and the conformance ``failover`` check drive
+    replicas directly.  Application is deterministic: entry ``seq``
+    always produces the same detections in the same order, so a tag
+    ``(seq, k)`` names a detection stably across crash/replay — the
+    property the supervisor's :class:`DetectionLedger` relies on.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        *,
+        timer_ratio: int = 1,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
+        self.index = index
+        self.detector = Detector(
+            site=f"shard{index}",
+            timer_ratio=timer_ratio,
+            instrumentation=instrumentation,
+        )
+        self.applied_seq = 0
+
+    def register(
+        self,
+        expression: EventExpression | str,
+        name: str,
+        context: Context = Context.UNRESTRICTED,
+    ) -> None:
+        self.detector.register(expression, name=name, context=context)
+
+    def apply(self, entry: WalEntry) -> list[TaggedDetection]:
+        """Apply one WAL entry; returns the tagged detections it fired."""
+        detector = self.detector
+        detections: list[Detection] = []
+        if entry.kind == KIND_EVENT:
+            event = entry.event
+            if event.granule > detector.now_global:
+                detections.extend(detector.advance_time(event.granule))
+            detections.extend(detector.feed(event.occurrence()))
+        else:
+            if entry.granule > detector.now_global:
+                detections.extend(detector.advance_time(entry.granule))
+        self.applied_seq = entry.seq
+        return [
+            TaggedDetection(entry.seq, k, detection)
+            for k, detection in enumerate(detections)
+        ]
+
+    def snapshot(self) -> dict[str, Any]:
+        """Checkpoint: the applied watermark plus the detector state."""
+        return {
+            "seq": self.applied_seq,
+            "index": self.index,
+            "detector": snapshot_detector(self.detector),
+        }
+
+    def restore(self, state: Mapping[str, Any]) -> None:
+        if int(state.get("index", self.index)) != self.index:
+            raise ReproError(
+                f"checkpoint belongs to shard {state['index']}, "
+                f"this is shard {self.index}"
+            )
+        restore_detector(self.detector, dict(state["detector"]))
+        self.applied_seq = int(state["seq"])
+
+
+class DetectionLedger:
+    """Exactly-once detection collection over at-least-once replay.
+
+    Replicas apply entries in sequence order and tag detections with
+    ``(seq, k)``; replay after failover re-emits a *prefix-identical*
+    tagged stream.  Keeping one high-water mark per shard therefore
+    suffices: a tag at or below the mark has already been collected.
+    """
+
+    def __init__(self) -> None:
+        self._marks: dict[int, tuple[int, int]] = {}
+        self.accepted = 0
+        self.duplicates = 0
+
+    def offer(self, shard: int, seq: int, k: int) -> bool:
+        """True exactly once per (shard, seq, k); False for replays."""
+        mark = self._marks.get(shard, (0, -1))
+        if (seq, k) <= mark:
+            self.duplicates += 1
+            return False
+        self._marks[shard] = (seq, k)
+        self.accepted += 1
+        return True
+
+
+# --- the in-process failover harness ----------------------------------------
+
+
+class LocalFailoverCluster:
+    """The failover path (WAL -> checkpoint -> replay -> ledger) in-process.
+
+    Semantically identical to :class:`ClusterSupervisor` minus the OS
+    process boundary: a *kill* discards the shard's replica object
+    outright (state, open granules, everything) and rebuilds it from the
+    last intact checkpoint plus the WAL tail.  Deterministic and fast —
+    this is what the conformance ``failover`` check runs per case and
+    what ``bench_serve_failover`` measures.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        *,
+        salt: int = 0,
+        timer_ratio: int = 1,
+        checkpoint_every: int = 8,
+        fault_plan: FaultPlan | None = None,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
+        if checkpoint_every <= 0:
+            raise ReproError(
+                f"checkpoint_every must be positive, got {checkpoint_every}"
+            )
+        self.router = EventRouter(shards, salt=salt)
+        self.timer_ratio = timer_ratio
+        self.checkpoint_every = checkpoint_every
+        self.faults = FaultInjector(fault_plan)
+        self.obs = resolve(instrumentation)
+        self._instrumentation = instrumentation
+        self._rules: dict[str, tuple[EventExpression | str, Context]] = {}
+        self._wals: dict[int, ShardWAL] = {
+            index: ShardWAL() for index in range(shards)
+        }
+        self._stores: dict[int, CheckpointStore] = {
+            index: CheckpointStore() for index in range(shards)
+        }
+        self._replicas: dict[int, ShardReplica] = {}
+        self.ledger = DetectionLedger()
+        self._detections: dict[str, list[Any]] = {}
+        self.restarts = 0
+        self.replayed = 0
+        self.checkpoints = 0
+        self.events_applied = 0
+
+    # --- registration ----------------------------------------------------
+
+    def register(
+        self,
+        expression: EventExpression | str,
+        name: str,
+        context: Context = Context.UNRESTRICTED,
+    ) -> int:
+        index = self.router.assign(name)
+        self._rules[name] = (expression, context)
+        self._replica(index).register(expression, name, context)
+        self._bind()
+        return index
+
+    def _bind(self) -> None:
+        by_shard: dict[int, set[str]] = {}
+        for name, (expression, _) in self._rules.items():
+            parsed = (
+                parse_expression(expression)
+                if isinstance(expression, str)
+                else expression
+            )
+            by_shard.setdefault(self.router.assignments[name], set()).update(
+                parsed.primitive_types()
+            )
+        self.router.bind(by_shard)
+
+    def _replica(self, index: int) -> ShardReplica:
+        replica = self._replicas.get(index)
+        if replica is None:
+            replica = ShardReplica(
+                index,
+                timer_ratio=self.timer_ratio,
+                instrumentation=self._instrumentation,
+            )
+            for name in self.router.rules_of(index):
+                expression, context = self._rules[name]
+                replica.register(expression, name, context)
+            self._replicas[index] = replica
+        return replica
+
+    # --- the ingest/apply path -------------------------------------------
+
+    def ingest(self, event: ServeEvent) -> None:
+        for index in self.router.route(event.event_type):
+            entry = self._wals[index].append_event(event)
+            self._apply(index, entry)
+            self.events_applied += 1
+            if entry.seq % self.checkpoint_every == 0:
+                self._checkpoint(index)
+            if self.faults.should_kill(index, entry.seq):
+                self.crash(index)
+
+    def advance(self, granule: int) -> None:
+        """Drain-time clock advance on every shard (logged + applied)."""
+        for index, wal in self._wals.items():
+            entry = wal.append_advance(granule)
+            self._apply(index, entry)
+
+    def _apply(self, index: int, entry: WalEntry) -> None:
+        for tagged in self._replica(index).apply(entry):
+            if self.ledger.offer(index, tagged.seq, tagged.k):
+                self._detections.setdefault(
+                    tagged.detection.name, []
+                ).append(tagged.detection.occurrence)
+
+    def _checkpoint(self, index: int) -> None:
+        store = self._stores[index]
+        store.save(
+            self._replica(index).snapshot(),
+            corrupt=self.faults.take_corrupt_checkpoint(index),
+        )
+        self._wals[index].truncate(store.retain_after)
+        self.checkpoints += 1
+        if self.obs.enabled:
+            self.obs.counter("serve.failover.checkpoints").inc()
+
+    # --- failover --------------------------------------------------------
+
+    def crash(self, index: int) -> int:
+        """Kill the shard (discard its replica) and recover it.
+
+        Returns the number of WAL entries replayed.  Detections the dead
+        replica had already emitted are deduplicated by the ledger;
+        detections it emitted *after* the last checkpoint but before the
+        crash are re-derived by the replay — either way the collected
+        multiset is exactly the fault-free one.
+        """
+        self._replicas.pop(index, None)
+        self.restarts += 1
+        state = self._stores[index].load()
+        replica = self._replica(index)
+        after = 0
+        if state is not None:
+            replica.restore(state)
+            after = replica.applied_seq
+        tail = self._wals[index].tail(after)
+        for entry in tail:
+            self._apply(index, entry)
+        self.replayed += len(tail)
+        if self.obs.enabled:
+            self.obs.counter("serve.failover.restarts").inc()
+            self.obs.histogram("serve.failover.replay_events").observe(
+                len(tail)
+            )
+        return len(tail)
+
+    # --- results ---------------------------------------------------------
+
+    def detections_of(self, name: str):
+        """Collected occurrences of one rule (exactly-once)."""
+        if name not in self._rules:
+            raise ReproError(f"no rule named {name!r} is registered")
+        return list(self._detections.get(name, ()))
+
+
+def replay_with_failover(
+    rules: Mapping[str, EventExpression | str],
+    events,
+    *,
+    shards: int = 2,
+    salt: int = 0,
+    timer_ratio: int = 1,
+    context: Context = Context.UNRESTRICTED,
+    horizon: int | None = None,
+    checkpoint_every: int = 8,
+    fault_plan: FaultPlan | None = None,
+) -> LocalFailoverCluster:
+    """Run a finite stream through a faulted in-process cluster.
+
+    The convenience mirror of :func:`repro.serve.runtime.serve_events`
+    for the failover harness — registers, ingests, advances to
+    ``horizon``, returns the cluster for inspection.
+    """
+    cluster = LocalFailoverCluster(
+        shards,
+        salt=salt,
+        timer_ratio=timer_ratio,
+        checkpoint_every=checkpoint_every,
+        fault_plan=fault_plan,
+    )
+    for name, expression in rules.items():
+        cluster.register(expression, name, context)
+    for event in events:
+        cluster.ingest(event)
+    if horizon is not None:
+        cluster.advance(horizon)
+    return cluster
+
+
+# --- the worker process side -------------------------------------------------
+
+
+def run_worker(
+    shard: int,
+    *,
+    timer_ratio: int = 1,
+    heartbeat_interval: float = 0.25,
+    in_stream: IO[bytes] | None = None,
+    out_stream: IO[str] | None = None,
+) -> int:
+    """The ``repro serve-worker`` loop: one replica behind JSONL frames.
+
+    Reads control frames from ``in_stream`` (default: raw stdin), writes
+    response frames to ``out_stream`` (default: stdout, flushed per
+    line).  Emits a ``beat`` frame every ``heartbeat_interval`` seconds
+    even while idle (using ``select`` on the input fd so buffered lines
+    are never stranded).  A malformed or failing frame produces one
+    structured ``error`` frame and the loop survives — the supervisor
+    decides whether to kill.  EOF on stdin is the shutdown signal.
+    """
+    import select as select_mod
+
+    replica = ShardReplica(shard, timer_ratio=timer_ratio)
+    out = out_stream if out_stream is not None else sys.stdout
+
+    def emit(op: str, **fields: Any) -> None:
+        out.write(frame_to_line(op, **fields) + "\n")
+        out.flush()
+
+    def handle(frame: dict[str, Any]) -> bool:
+        """Process one frame; returns False when the worker should exit."""
+        op = frame["op"]
+        if op == "register":
+            replica.register(
+                str(frame["expression"]),
+                name=str(frame["name"]),
+                context=Context(frame.get("context", "unrestricted")),
+            )
+        elif op == "restore":
+            replica.restore(frame["state"])
+            emit("ack", seq=replica.applied_seq)
+        elif op in ("event", "advance"):
+            entry = WalEntry.from_dict(
+                {
+                    "seq": frame["seq"],
+                    "kind": frame["op"],
+                    "event": frame.get("event"),
+                    "granule": frame.get("granule"),
+                }
+            )
+            for tagged in replica.apply(entry):
+                emit(
+                    "detection",
+                    seq=tagged.seq,
+                    k=tagged.k,
+                    row=detection_to_json(shard, tagged.detection),
+                )
+            emit("ack", seq=entry.seq)
+        elif op == "checkpoint":
+            emit(
+                "checkpoint_state",
+                seq=replica.applied_seq,
+                state=replica.snapshot(),
+            )
+        elif op == "stop":
+            return False
+        else:  # an op valid on the wire but not inbound (beat/ack/...)
+            emit("error", message=f"unexpected inbound op {op!r}")
+        return True
+
+    emit("beat", seq=0)
+    source = in_stream if in_stream is not None else sys.stdin.buffer
+    try:
+        fd = source.fileno()  # io.UnsupportedOperation subclasses OSError
+    except (AttributeError, OSError, ValueError):
+        fd = None
+    buffer = b""
+    last_beat = time.monotonic()
+    running = True
+    while running:
+        newline = buffer.find(b"\n")
+        if newline < 0:
+            if fd is not None:
+                ready, _, _ = select_mod.select([fd], [], [], heartbeat_interval)
+                if not ready:
+                    emit("beat", seq=replica.applied_seq)
+                    last_beat = time.monotonic()
+                    continue
+                chunk = os.read(fd, 1 << 16)
+            else:  # in-memory stream (tests): no select, just read
+                chunk = source.read(1 << 16)
+            if not chunk:
+                break
+            buffer += chunk
+            continue
+        line, buffer = buffer[:newline], buffer[newline + 1 :]
+        text = line.decode("utf-8", errors="replace").strip()
+        if not text:
+            continue
+        try:
+            frame = parse_frame(text)
+        except ReproError as error:
+            emit("error", message=str(error))
+            continue
+        try:
+            running = handle(frame)
+        except ReproError as error:
+            emit("error", message=str(error))
+        except Exception as error:  # noqa: BLE001 - keep the loop alive
+            emit("error", message=f"{type(error).__name__}: {error}")
+        if time.monotonic() - last_beat >= heartbeat_interval:
+            emit("beat", seq=replica.applied_seq)
+            last_beat = time.monotonic()
+    return 0
+
+
+# --- the supervisor ----------------------------------------------------------
+
+
+_STARTUP_TIMEOUT = 30.0
+"""Seconds a freshly spawned worker gets to emit its first frame."""
+
+
+class _Worker:
+    """Supervisor-side handle of one live worker process."""
+
+    __slots__ = (
+        "process", "reader", "dead", "acked_seq", "applied", "beats_seen",
+        "started",
+    )
+
+    def __init__(self, process: asyncio.subprocess.Process) -> None:
+        self.process = process
+        self.reader: asyncio.Task | None = None
+        self.dead = False
+        self.acked_seq = 0
+        self.applied = asyncio.Event()
+        self.beats_seen = 0
+        self.started = asyncio.Event()
+
+
+class ClusterSupervisor:
+    """Runs each shard as a supervised ``repro serve-worker`` process.
+
+    Parameters
+    ----------
+    shards:
+        Number of worker processes (one detection shard each).
+    state_dir:
+        Directory holding per-shard WAL and checkpoint files (created
+        if missing).  A supervisor restarted over the same directory
+        recovers parked and unreplayed events.
+    heartbeat_interval / miss_threshold:
+        Liveness layer (see :mod:`repro.serve.heartbeat`).
+    retry_budget:
+        Recovery attempts per incident before a shard is declared
+        unavailable and its events parked.
+    checkpoint_every:
+        Request a worker checkpoint every N WAL entries per shard.
+    fault_plan:
+        Optional deterministic :class:`FaultPlan` (tests, chaos CI).
+    on_detection:
+        Callback receiving each *newly collected* detection row (the
+        streaming hook of ``repro serve --procs --stdin``).
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        *,
+        salt: int = 0,
+        timer_ratio: int = 1,
+        state_dir: str,
+        heartbeat_interval: float = 0.25,
+        miss_threshold: int = 4,
+        retry_budget: int = 3,
+        checkpoint_every: int = 64,
+        fault_plan: FaultPlan | None = None,
+        seed: int = 0,
+        instrumentation: Instrumentation | None = None,
+        on_detection: Callable[[dict[str, Any]], None] | None = None,
+    ) -> None:
+        if shards <= 0:
+            raise ReproError(f"shard count must be positive, got {shards}")
+        os.makedirs(state_dir, exist_ok=True)
+        self.router = EventRouter(shards, salt=salt)
+        self.timer_ratio = timer_ratio
+        self.state_dir = state_dir
+        self.retry_budget = retry_budget
+        self.checkpoint_every = checkpoint_every
+        self.monitor = HeartbeatMonitor(heartbeat_interval, miss_threshold)
+        self.backoff = Backoff(seed=seed)
+        self.faults = FaultInjector(fault_plan)
+        self.obs = resolve(instrumentation)
+        self.on_detection = on_detection
+        self._rules: dict[str, tuple[str, Context]] = {}
+        self._wals: dict[int, ShardWAL] = {
+            k: ShardWAL(os.path.join(state_dir, f"shard{k}.wal"))
+            for k in range(shards)
+        }
+        self._stores: dict[int, CheckpointStore] = {
+            k: CheckpointStore(os.path.join(state_dir, f"shard{k}.ckpt"))
+            for k in range(shards)
+        }
+        self._workers: dict[int, _Worker] = {}
+        self._locks: dict[int, asyncio.Lock] = {}
+        self._unavailable: dict[int, str] = {}
+        self.ledger = DetectionLedger()
+        self._detections: dict[str, list[dict[str, Any]]] = {}
+        self._monitor_task: asyncio.Task | None = None
+        self._stopping = False
+        self.restarts = 0
+        self.replayed = 0
+        self.parked = 0
+        self.checkpoints = 0
+        self.events_ingested = 0
+        self.events_unrouted = 0
+
+    # --- registration ----------------------------------------------------
+
+    def register(
+        self,
+        expression: EventExpression | str,
+        name: str,
+        context: Context = Context.UNRESTRICTED,
+    ) -> int:
+        """Register one rule; returns the owning shard index.
+
+        The expression is parsed here both to validate it before any
+        worker sees it and to derive the routing subscription map (the
+        parent holds no compiled detection graph — the workers do).
+        """
+        parsed = (
+            parse_expression(expression)
+            if isinstance(expression, str)
+            else expression
+        )
+        index = self.router.assign(name)
+        self._rules[name] = (str(parsed), context)
+        by_shard: dict[int, set[str]] = {}
+        for rule, (text, _) in self._rules.items():
+            by_shard.setdefault(
+                self.router.assignments[rule], set()
+            ).update(parse_expression(text).primitive_types())
+        self.router.bind(by_shard)
+        return index
+
+    def rule_names(self) -> list[str]:
+        return sorted(self._rules)
+
+    # --- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn every worker (recovering any durable WAL/checkpoints)."""
+        self._stopping = False
+        for index in range(self.router.shards):
+            await self._recover(index, count_restart=False)
+        self._monitor_task = asyncio.get_running_loop().create_task(
+            self._monitor_loop(), name="repro-serve-cluster-monitor"
+        )
+
+    async def __aenter__(self) -> "ClusterSupervisor":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # --- ingest / dispatch -----------------------------------------------
+
+    async def ingest(self, event: ServeEvent) -> list[ShardUnavailable]:
+        """Route one event; WAL-append, dispatch, inject planned faults.
+
+        Returns the degradation signals (empty while everything is
+        healthy).  Events for an unavailable shard are parked in its
+        WAL; healthy shards are never blocked by a sick one.
+        """
+        targets = self.router.route(event.event_type)
+        if not targets:
+            self.events_unrouted += 1
+            return []
+        self.events_ingested += 1
+        signals: list[ShardUnavailable] = []
+        for index in targets:
+            entry = self._wals[index].append_event(event)
+            signal = await self._deliver(index, entry)
+            if signal is not None:
+                signals.append(signal)
+        return signals
+
+    async def _deliver(
+        self, index: int, entry: WalEntry
+    ) -> ShardUnavailable | None:
+        if index in self._unavailable:
+            self.parked += 1
+            if self.obs.enabled:
+                self.obs.counter("serve.failover.parked").inc()
+            return ShardUnavailable(
+                index, self._unavailable[index], self.parked
+            )
+        worker = self._workers.get(index)
+        if worker is None or worker.dead:
+            # Recovery replays the WAL tail, which includes this entry.
+            if not await self._recover(index):
+                self.parked += 1
+                return ShardUnavailable(
+                    index, self._unavailable.get(index, "down"), self.parked
+                )
+        else:
+            try:
+                await self._send(worker, entry.frame())
+                if entry.seq % self.checkpoint_every == 0:
+                    await self._send(worker, {"op": "checkpoint"})
+            except (OSError, ConnectionError, BrokenPipeError):
+                worker.dead = True
+                if not await self._recover(index):
+                    self.parked += 1
+                    return ShardUnavailable(
+                        index, self._unavailable.get(index, "down"),
+                        self.parked,
+                    )
+        if self.faults.should_kill(index, entry.seq):
+            live = self._workers.get(index)
+            if live is not None and not live.dead:
+                live.process.kill()
+                live.dead = True
+        return None
+
+    async def _send(self, worker: _Worker, frame: dict[str, Any]) -> None:
+        line = json.dumps(frame, sort_keys=True) + "\n"
+        worker.process.stdin.write(line.encode("utf-8"))
+        await worker.process.stdin.drain()
+
+    # --- worker output ---------------------------------------------------
+
+    async def _read_loop(self, index: int, worker: _Worker) -> None:
+        stream = worker.process.stdout
+        while True:
+            try:
+                raw = await stream.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                continue  # oversized junk line: skip, stay connected
+            if not raw:
+                break
+            text = raw.decode("utf-8", errors="replace").strip()
+            if not text:
+                continue
+            try:
+                frame = parse_frame(text)
+            except ReproError:
+                continue
+            worker.started.set()  # any frame proves the process is up
+            self._handle_frame(index, worker, frame)
+        worker.dead = True
+        worker.started.set()
+        worker.applied.set()  # wake any drain barrier so it re-checks
+
+    def _handle_frame(
+        self, index: int, worker: _Worker, frame: dict[str, Any]
+    ) -> None:
+        op = frame["op"]
+        if op == "beat":
+            worker.beats_seen += 1
+            if self.faults.should_drop_beat(index, worker.beats_seen):
+                if self.obs.enabled:
+                    self.obs.counter("serve.failover.beats_dropped").inc()
+                return
+            self.monitor.beat(index)
+        elif op == "ack":
+            worker.acked_seq = max(worker.acked_seq, int(frame["seq"]))
+            worker.applied.set()
+            self.monitor.beat(index)  # an ack is proof of life too
+        elif op == "detection":
+            seq, k = int(frame["seq"]), int(frame["k"])
+            if self.ledger.offer(index, seq, k):
+                row = frame["row"]
+                self._detections.setdefault(row["detection"], []).append(row)
+                if self.obs.enabled:
+                    self.obs.counter(
+                        "serve.detections", shard=index
+                    ).inc()
+                if self.on_detection is not None:
+                    self.on_detection(row)
+        elif op == "checkpoint_state":
+            store = self._stores[index]
+            store.save(
+                frame["state"],
+                corrupt=self.faults.take_corrupt_checkpoint(index),
+            )
+            self._wals[index].truncate(store.retain_after)
+            self.checkpoints += 1
+            if self.obs.enabled:
+                self.obs.counter("serve.failover.checkpoints").inc()
+        # "error" frames are tolerated: the worker survived the problem.
+
+    # --- failure detection and recovery ----------------------------------
+
+    async def _monitor_loop(self) -> None:
+        while not self._stopping:
+            await asyncio.sleep(self.monitor.interval)
+            for index in range(self.router.shards):
+                if self._stopping or index in self._unavailable:
+                    continue
+                worker = self._workers.get(index)
+                if worker is None:
+                    continue
+                if worker.dead:
+                    await self._recover(index)
+                elif self.monitor.suspect(index):
+                    if self.obs.enabled:
+                        self.obs.counter("serve.failover.beats_missed").inc(
+                            self.monitor.missed(index)
+                        )
+                    worker.process.kill()
+                    worker.dead = True
+                    await self._recover(index)
+
+    def _lock(self, index: int) -> asyncio.Lock:
+        lock = self._locks.get(index)
+        if lock is None:
+            lock = self._locks[index] = asyncio.Lock()
+        return lock
+
+    async def _recover(self, index: int, count_restart: bool = True) -> bool:
+        """Respawn a shard: register, restore checkpoint, replay WAL tail.
+
+        Bounded by ``retry_budget`` attempts with exponential backoff +
+        jitter; returns False (and marks the shard unavailable) when the
+        budget is exhausted.  Serialized per shard so the monitor loop
+        and a failed dispatch cannot race a double respawn.
+        """
+        async with self._lock(index):
+            existing = self._workers.get(index)
+            if existing is not None and not existing.dead:
+                return True  # someone else already recovered it
+            started = time.perf_counter_ns()
+            failure = "unknown"
+            for attempt in range(self.retry_budget + 1):
+                try:
+                    await self._reap(index)
+                    worker = await self._spawn(index)
+                    self._workers[index] = worker
+                    # Wait for the startup beat before arming the
+                    # liveness/dispatch clocks: interpreter startup must
+                    # never be mistaken for a dispatch stall.
+                    try:
+                        await asyncio.wait_for(
+                            worker.started.wait(), timeout=_STARTUP_TIMEOUT
+                        )
+                    except asyncio.TimeoutError:
+                        raise ReproError(
+                            f"shard {index} worker emitted no frame within "
+                            f"{_STARTUP_TIMEOUT}s of spawn"
+                        ) from None
+                    if worker.dead:
+                        raise ReproError(
+                            f"shard {index} worker exited during startup"
+                        )
+                    for name in self.router.rules_of(index):
+                        text, context = self._rules[name]
+                        await self._send(
+                            worker,
+                            {
+                                "op": "register",
+                                "name": name,
+                                "expression": text,
+                                "context": context.value,
+                            },
+                        )
+                    state = self._stores[index].load()
+                    after = 0
+                    if state is not None:
+                        await self._send(
+                            worker, {"op": "restore", "state": state}
+                        )
+                        after = int(state["seq"])
+                    tail = self._wals[index].tail(after)
+                    for entry in tail:
+                        await self._send(worker, entry.frame())
+                    self._unavailable.pop(index, None)
+                    self.monitor.mark(index)
+                    if count_restart:
+                        self.restarts += 1
+                        self.replayed += len(tail)
+                        if self.obs.enabled:
+                            self.obs.counter("serve.failover.restarts").inc()
+                            self.obs.histogram(
+                                "serve.failover.replay_events"
+                            ).observe(len(tail))
+                            self.obs.histogram(
+                                "serve.failover.restart_ns"
+                            ).observe(time.perf_counter_ns() - started)
+                    return True
+                except (ReproError, OSError, ConnectionError) as error:
+                    failure = str(error)
+                    await asyncio.sleep(self.backoff.delay(attempt))
+            self._unavailable[index] = failure
+            self.monitor.forget(index)
+            if self.obs.enabled:
+                self.obs.counter("serve.failover.unavailable").inc()
+            return False
+
+    async def _spawn(self, index: int) -> _Worker:
+        if self.faults.take_spawn_failure(index):
+            raise ReproError(f"injected spawn failure for shard {index}")
+        process = await asyncio.create_subprocess_exec(
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve-worker",
+            "--shard",
+            str(index),
+            "--timer-ratio",
+            str(self.timer_ratio),
+            "--heartbeat-interval",
+            str(self.monitor.interval),
+            stdin=asyncio.subprocess.PIPE,
+            stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.DEVNULL,
+            limit=MAX_LINE_BYTES,
+        )
+        worker = _Worker(process)
+        worker.reader = asyncio.get_running_loop().create_task(
+            self._read_loop(index, worker),
+            name=f"repro-serve-cluster-reader-{index}",
+        )
+        return worker
+
+    async def _reap(self, index: int) -> None:
+        worker = self._workers.pop(index, None)
+        if worker is None:
+            return
+        if worker.process.returncode is None:
+            worker.process.kill()
+        try:
+            await asyncio.wait_for(worker.process.wait(), timeout=5)
+        except asyncio.TimeoutError:  # pragma: no cover - defensive
+            pass
+        if worker.reader is not None:
+            worker.reader.cancel()
+            try:
+                await worker.reader
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+
+    async def revive(self, index: int) -> bool:
+        """Bring an unavailable shard back and replay its parked tail."""
+        self._unavailable.pop(index, None)
+        return await self._recover(index)
+
+    # --- drain / stop ----------------------------------------------------
+
+    async def drain(self, horizon: int | None = None) -> list[ShardUnavailable]:
+        """Barrier: every available shard has applied its whole WAL.
+
+        With ``horizon`` each shard's engine clock first advances to
+        that granule (logged as a WAL entry so failover replays it too).
+        A shard that dies mid-drain is recovered and re-awaited; one
+        past its retry budget is skipped and reported, never blocking
+        the rest.
+        """
+        signals: list[ShardUnavailable] = []
+        for index in range(self.router.shards):
+            if index in self._unavailable:
+                signals.append(
+                    ShardUnavailable(
+                        index, self._unavailable[index], self.parked
+                    )
+                )
+                continue
+            if horizon is not None:
+                entry = self._wals[index].append_advance(horizon)
+                signal = await self._deliver(index, entry)
+                if signal is not None:
+                    signals.append(signal)
+                    continue
+            if not await self._await_applied(index, self._wals[index].last_seq):
+                signals.append(
+                    ShardUnavailable(
+                        index, self._unavailable.get(index, "down"),
+                        self.parked,
+                    )
+                )
+        return signals
+
+    async def _await_applied(self, index: int, seq: int) -> bool:
+        """Wait until the shard's worker acked ``seq`` (dispatch timeout
+        -> kill, recover, retry with backoff, bounded by the budget)."""
+        timeout = self.monitor.interval * self.monitor.miss_threshold
+        for attempt in range(self.retry_budget + 1):
+            worker = self._workers.get(index)
+            if worker is None or worker.dead:
+                if not await self._recover(index):
+                    return False
+                continue
+            while worker.acked_seq < seq and not worker.dead:
+                worker.applied.clear()
+                if worker.acked_seq >= seq or worker.dead:
+                    break
+                try:
+                    await asyncio.wait_for(
+                        worker.applied.wait(), timeout=timeout
+                    )
+                except asyncio.TimeoutError:
+                    break
+            if worker.acked_seq >= seq:
+                return True
+            # Timed out or died: treat as a dispatch failure.
+            if not worker.dead:
+                worker.process.kill()
+                worker.dead = True
+            await asyncio.sleep(self.backoff.delay(attempt))
+            if not await self._recover(index):
+                return False
+        self._unavailable.setdefault(index, "dispatch timeout")
+        return False
+
+    async def stop(self) -> None:
+        """Graceful shutdown: final checkpoints, stop frames, reap all.
+
+        The reader tasks are *awaited to EOF* (not cancelled) for
+        gracefully stopped workers, so the final ``checkpoint_state``
+        frame is always collected — which is what lets a restarted
+        supervisor resume from the durable state with an empty replay
+        tail instead of re-deriving (and re-deduplicating) detections.
+        """
+        self._stopping = True
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            try:
+                await self._monitor_task
+            except asyncio.CancelledError:
+                pass
+            self._monitor_task = None
+        for worker in self._workers.values():
+            if worker.dead:
+                continue
+            try:
+                await self._send(worker, {"op": "checkpoint"})
+                await self._send(worker, {"op": "stop"})
+                worker.process.stdin.close()
+            except (OSError, ConnectionError):
+                pass
+        for worker in self._workers.values():
+            if worker.process.returncode is None:
+                try:
+                    await asyncio.wait_for(worker.process.wait(), timeout=10)
+                except asyncio.TimeoutError:  # pragma: no cover - defensive
+                    worker.process.kill()
+                    await worker.process.wait()
+            if worker.reader is not None:
+                try:
+                    # The reader exits on pipe EOF once the process is
+                    # gone, after consuming every buffered frame.
+                    await asyncio.wait_for(worker.reader, timeout=10)
+                except asyncio.TimeoutError:  # pragma: no cover - defensive
+                    worker.reader.cancel()
+        self._workers.clear()
+        for wal in self._wals.values():
+            wal.close()
+
+    # --- results ---------------------------------------------------------
+
+    def detection_rows(self, name: str) -> list[dict[str, Any]]:
+        """The collected JSON detection rows of one rule."""
+        if name not in self._rules:
+            raise ReproError(f"no rule named {name!r} is registered")
+        return list(self._detections.get(name, ()))
+
+    def timestamps_of(self, name: str) -> list[CompositeTimestamp]:
+        """Composite timestamps of one rule's collected detections."""
+        return [
+            CompositeTimestamp.from_triples(
+                [(site, int(g), int(l)) for site, g, l in row["timestamp"]]
+            )
+            for row in self.detection_rows(name)
+        ]
+
+    def unavailable_shards(self) -> dict[int, str]:
+        """Currently degraded shards and why (empty when healthy)."""
+        return dict(self._unavailable)
+
+
+async def cluster_serve_stdin(
+    supervisor: ClusterSupervisor,
+    *,
+    in_stream: IO[str] | None = None,
+    out_stream: IO[str] | None = None,
+    horizon_pad: int = 1,
+    max_line_bytes: int = MAX_LINE_BYTES,
+) -> int:
+    """Pump JSONL events from a text stream through the cluster.
+
+    The ``repro serve --procs N --stdin`` transport: detections stream
+    to ``out_stream`` as the ledger accepts them; malformed or oversized
+    lines get one structured error object and the loop survives.  After
+    EOF the cluster drains to ``last granule + horizon_pad`` and stops.
+    """
+    from repro.serve.protocol import parse_event_line
+
+    source = in_stream if in_stream is not None else sys.stdin
+    target = out_stream if out_stream is not None else sys.stdout
+
+    def write_line(line: str) -> None:
+        target.write(line + "\n")
+        target.flush()
+
+    supervisor.on_detection = lambda row: write_line(
+        json.dumps(row, sort_keys=True)
+    )
+    count = 0
+    last_granule: int | None = None
+    await supervisor.start()
+    try:
+        while True:
+            line = await asyncio.to_thread(source.readline)
+            if not line:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            if len(line) > max_line_bytes:
+                write_line(json.dumps(
+                    {"error": f"event line exceeds {max_line_bytes} bytes"},
+                    sort_keys=True,
+                ))
+                continue
+            try:
+                event = parse_event_line(line)
+            except ReproError as error:
+                write_line(json.dumps({"error": str(error)}, sort_keys=True))
+                continue
+            for signal in await supervisor.ingest(event):
+                write_line(json.dumps(
+                    {
+                        "error": "shard unavailable",
+                        "shard": signal.shard,
+                        "reason": signal.reason,
+                        "parked": signal.parked,
+                    },
+                    sort_keys=True,
+                ))
+            count += 1
+            granule = event.granule
+            last_granule = (
+                granule if last_granule is None else max(last_granule, granule)
+            )
+        horizon = None if last_granule is None else last_granule + horizon_pad
+        await supervisor.drain(horizon)
+    finally:
+        await supervisor.stop()
+    return count

@@ -1,0 +1,110 @@
+"""Heartbeat failure detection and retry backoff for the serving cluster.
+
+The supervisor's liveness layer is deliberately simple partial-synchrony
+machinery (cf. Bonakdarpour et al., *Approximate Distributed Monitoring
+under Partial Synchrony*): each worker process emits a beat every
+``interval`` seconds (and every ack counts as a beat — a worker busy
+applying events is alive); the :class:`HeartbeatMonitor` suspects a
+shard once ``miss_threshold`` consecutive intervals pass without one.
+A *delayed* heartbeat past the threshold is indistinguishable from a
+dropped one — both trigger the same respawn path, which is safe because
+recovery is idempotent (checkpoint restore + WAL replay + detection
+dedup at the supervisor's ledger).
+
+:class:`Backoff` provides the bounded exponential retry schedule with
+deterministic jitter the supervisor sleeps between recovery attempts —
+seeded, so fault-injection tests and the conformance ``failover`` check
+replay identically.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable
+
+from repro.errors import ReproError
+
+
+class HeartbeatMonitor:
+    """Tracks per-shard liveness from worker beats.
+
+    Parameters
+    ----------
+    interval:
+        Seconds between expected beats (the worker emits on the same
+        interval).
+    miss_threshold:
+        Consecutive missed intervals after which :meth:`suspect` reports
+        the shard as failed.
+    clock:
+        Injectable monotonic clock (tests pass a fake).
+    """
+
+    def __init__(
+        self,
+        interval: float = 0.25,
+        miss_threshold: int = 4,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if interval <= 0:
+            raise ReproError(f"heartbeat interval must be positive, got {interval}")
+        if miss_threshold < 1:
+            raise ReproError(
+                f"miss threshold must be at least 1, got {miss_threshold}"
+            )
+        self.interval = interval
+        self.miss_threshold = miss_threshold
+        self.clock = clock
+        self._last_beat: dict[int, float] = {}
+        self.beats: dict[int, int] = {}
+
+    def mark(self, shard: int) -> None:
+        """Reset the shard's liveness window (call on spawn/restart)."""
+        self._last_beat[shard] = self.clock()
+
+    def beat(self, shard: int) -> None:
+        """Record one received beat (or any sign of life) from a shard."""
+        self._last_beat[shard] = self.clock()
+        self.beats[shard] = self.beats.get(shard, 0) + 1
+
+    def missed(self, shard: int) -> int:
+        """Whole beat intervals elapsed since the shard's last beat."""
+        last = self._last_beat.get(shard)
+        if last is None:
+            return 0
+        return int((self.clock() - last) / self.interval)
+
+    def suspect(self, shard: int) -> bool:
+        """Whether the shard has missed ``miss_threshold`` intervals."""
+        return self.missed(shard) >= self.miss_threshold
+
+    def forget(self, shard: int) -> None:
+        """Stop tracking a shard (it was marked unavailable)."""
+        self._last_beat.pop(shard, None)
+
+
+class Backoff:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``delay(attempt)`` grows as ``base * 2**attempt`` capped at ``cap``,
+    scaled by a jitter factor in ``[0.5, 1.0)`` drawn from a seeded RNG —
+    retries never synchronize across shards, yet a given seed always
+    produces the same schedule (replayable fault tests).
+    """
+
+    def __init__(
+        self, base: float = 0.05, cap: float = 2.0, seed: int = 0
+    ) -> None:
+        if base <= 0 or cap < base:
+            raise ReproError(
+                f"backoff needs 0 < base <= cap, got base={base} cap={cap}"
+            )
+        self.base = base
+        self.cap = cap
+        self._rng = random.Random(seed)
+
+    def delay(self, attempt: int) -> float:
+        """The sleep before retry number ``attempt`` (0-based)."""
+        raw = min(self.cap, self.base * (2 ** max(0, attempt)))
+        return raw * (0.5 + self._rng.random() / 2)

@@ -13,6 +13,17 @@ the stdin/TCP transports::
 Detections travel back the same way (see :func:`detection_to_json`):
 the registered rule name, the detecting shard, and the composite
 max-set timestamp as a list of triples.
+
+The multi-process cluster (:mod:`repro.serve.cluster`) layers *control
+frames* over the same JSONL transport: every line between the
+supervisor and a shard worker process is one JSON object with an
+``"op"`` field.  Supervisor -> worker ops are ``register`` / ``restore``
+/ ``event`` / ``advance`` / ``checkpoint`` / ``stop``; worker ->
+supervisor ops are ``beat`` / ``ack`` / ``detection`` /
+``checkpoint_state`` / ``error``.  :func:`frame_to_line` and
+:func:`parse_frame` are the codec; an unknown or malformed frame raises
+:class:`~repro.errors.ReproError` so both ends can respond with a
+structured ``error`` frame instead of dying.
 """
 
 from __future__ import annotations
@@ -101,6 +112,45 @@ def parse_event_line(line: str) -> ServeEvent:
 def event_to_line(event: ServeEvent) -> str:
     """Serialize a :class:`ServeEvent` as one JSONL line (no newline)."""
     return json.dumps(event.to_dict(), sort_keys=True)
+
+
+#: Every op the cluster control channel speaks, in either direction.
+CONTROL_OPS = frozenset(
+    {
+        # supervisor -> worker
+        "register", "restore", "event", "advance", "checkpoint", "stop",
+        # worker -> supervisor
+        "beat", "ack", "detection", "checkpoint_state", "error",
+    }
+)
+
+#: Default bound on one JSONL line (events and control frames alike).
+MAX_LINE_BYTES = 1 << 20
+
+
+def frame_to_line(op: str, **fields: Any) -> str:
+    """Serialize one control frame as a JSONL line (no newline)."""
+    if op not in CONTROL_OPS:
+        raise ReproError(f"unknown control op {op!r}")
+    payload = {"op": op}
+    payload.update(fields)
+    return json.dumps(payload, sort_keys=True)
+
+
+def parse_frame(line: str) -> dict[str, Any]:
+    """Parse one control-frame line; raises ReproError on malformed input."""
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ReproError(f"invalid JSON control frame: {error}") from None
+    if not isinstance(data, dict):
+        raise ReproError(
+            f"control frame must be a JSON object, got {type(data).__name__}"
+        )
+    op = data.get("op")
+    if op not in CONTROL_OPS:
+        raise ReproError(f"unknown control op {op!r}")
+    return data
 
 
 def detection_to_json(shard: int, detection: Detection) -> dict[str, Any]:

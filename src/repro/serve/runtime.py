@@ -190,6 +190,7 @@ class ServingRuntime:
         return {
             "shards": len(self.shards),
             "salt": self.router.salt,
+            "rules": dict(self.router.assignments),
             "states": [shard.checkpoint() for shard in self.shards],
         }
 
@@ -198,17 +199,35 @@ class ServingRuntime:
 
         The shard count and salt must match the checkpoint — rule
         placement is derived from them, so a mismatch would restore
-        state into detectors that do not own those rules.
+        state into detectors that do not own those rules — and every
+        rule recorded in the checkpoint must already be registered
+        (registrations are code, not state).  *All* mismatches are
+        collected and reported in one error, so an operator fixes a bad
+        restore in one round trip instead of one failure at a time.
         """
+        problems: list[str] = []
         if int(state["shards"]) != len(self.shards):
-            raise ReproError(
-                f"checkpoint has {state['shards']} shards, "
+            problems.append(
+                f"checkpoint has {state['shards']} shard(s), "
                 f"runtime has {len(self.shards)}"
             )
         if int(state["salt"]) != self.router.salt:
-            raise ReproError(
+            problems.append(
                 f"checkpoint salt {state['salt']} != runtime salt "
                 f"{self.router.salt}"
+            )
+        missing = sorted(
+            set(state.get("rules", ())) - set(self.router.assignments)
+        )
+        if missing:
+            problems.append(
+                "checkpoint rule(s) not registered on this runtime: "
+                + ", ".join(repr(name) for name in missing)
+            )
+        if problems:
+            raise ReproError(
+                f"cannot restore checkpoint ({len(problems)} mismatch(es)): "
+                + "; ".join(problems)
             )
         for shard, shard_state in zip(self.shards, state["states"]):
             shard.restore(shard_state)

@@ -16,8 +16,12 @@ pipelines use::
 
 The TCP transport accepts any number of concurrent connections; every
 connection receives every detection (rules are shared server state, not
-per-connection).  Malformed lines produce one JSON ``error`` object on
-the offending transport and do not disturb the stream.
+per-connection).  Both transports are hardened against hostile input:
+a malformed line produces one JSON ``error`` object on the offending
+transport, an oversized line (``max_line_bytes``, default 1 MiB) is
+discarded up to its terminating newline and reported the same way, and
+in both cases the connection survives and the next well-formed line is
+processed normally.
 """
 
 from __future__ import annotations
@@ -28,7 +32,11 @@ import sys
 from typing import Callable, IO, Iterable
 
 from repro.errors import ReproError
-from repro.serve.protocol import detection_to_line, parse_event_line
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    detection_to_line,
+    parse_event_line,
+)
 from repro.serve.runtime import ServingRuntime
 
 
@@ -78,6 +86,60 @@ def _error_line(message: str) -> str:
     return json.dumps({"error": message}, sort_keys=True)
 
 
+class _LineReader:
+    """Bounded line reader over an :class:`asyncio.StreamReader`.
+
+    ``StreamReader.readline`` raises (and wedges the connection) when a
+    line exceeds the stream limit; this reader instead *discards* an
+    oversized line through its terminating newline and reports it, so
+    one hostile client line cannot tear down the transport.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, max_line_bytes: int
+    ) -> None:
+        self.reader = reader
+        self.max_line_bytes = max_line_bytes
+        self._buffer = b""
+
+    async def readline(self) -> tuple[bytes | None, bool]:
+        """One ``(line, oversized)`` pair; ``(None, False)`` at EOF.
+
+        ``(None, True)`` means an oversized line was discarded — the
+        stream is intact and positioned at the next line.
+        """
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line, self._buffer = (
+                    self._buffer[:newline],
+                    self._buffer[newline + 1 :],
+                )
+                if len(line) > self.max_line_bytes:
+                    return None, True
+                return line, False
+            if len(self._buffer) > self.max_line_bytes:
+                while True:  # discard through the monster line's newline
+                    newline = self._buffer.find(b"\n")
+                    if newline >= 0:
+                        self._buffer = self._buffer[newline + 1 :]
+                        return None, True
+                    self._buffer = b""
+                    chunk = await self.reader.read(1 << 16)
+                    if not chunk:
+                        return None, False
+                    self._buffer = chunk
+            chunk = await self.reader.read(1 << 16)
+            if not chunk:
+                if self._buffer:  # final unterminated line
+                    line, self._buffer = self._buffer, b""
+                    if len(line) > self.max_line_bytes:
+                        return None, True
+                    return line, False
+                return None, False
+            self._buffer += chunk
+
+
 async def serve_stdin(
     runtime: ServingRuntime,
     broadcast: DetectionBroadcast,
@@ -85,12 +147,15 @@ async def serve_stdin(
     in_stream: IO[str] | None = None,
     out_stream: IO[str] | None = None,
     horizon_pad: int = 1,
+    max_line_bytes: int = MAX_LINE_BYTES,
 ) -> int:
     """Pump JSONL events from a text stream until EOF; returns event count.
 
     Blocking reads happen on a thread so the shard workers keep running
     between lines.  After EOF the runtime drains to ``last granule +
     horizon_pad`` and stops, flushing trailing temporal operators.
+    Malformed or oversized lines get a structured error object and the
+    loop continues with the next line.
     """
     source = in_stream if in_stream is not None else sys.stdin
     target = out_stream if out_stream is not None else sys.stdout
@@ -110,6 +175,11 @@ async def serve_stdin(
                     break
                 line = line.strip()
                 if not line:
+                    continue
+                if len(line) > max_line_bytes:
+                    write_line(_error_line(
+                        f"event line exceeds {max_line_bytes} bytes"
+                    ))
                     continue
                 try:
                     event = parse_event_line(line)
@@ -138,11 +208,14 @@ async def serve_tcp(
     host: str = "127.0.0.1",
     port: int = 0,
     ready: "asyncio.Future[int] | None" = None,
+    max_line_bytes: int = MAX_LINE_BYTES,
 ) -> None:
     """Run a TCP JSONL server until cancelled.
 
     ``ready`` (if given) resolves to the bound port once listening —
     lets tests and supervisors connect without racing the bind.
+    A malformed or oversized line gets a structured error object on the
+    offending connection, which stays open for subsequent lines.
     """
 
     async def handle(
@@ -152,11 +225,18 @@ async def serve_tcp(
             if not writer.is_closing():
                 writer.write(line.encode("utf-8") + b"\n")
 
+        lines = _LineReader(reader, max_line_bytes)
         detach = broadcast.attach(write_line)
         try:
             while True:
-                raw = await reader.readline()
-                if not raw:
+                raw, oversized = await lines.readline()
+                if oversized:
+                    write_line(_error_line(
+                        f"event line exceeds {max_line_bytes} bytes"
+                    ))
+                    await writer.drain()
+                    continue
+                if raw is None:
                     break
                 text = raw.decode("utf-8", errors="replace").strip()
                 if not text:

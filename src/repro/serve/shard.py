@@ -113,6 +113,10 @@ class DetectionShard:
         """The primitive event types this shard's rules consume."""
         return self.detector.graph.subscribed_event_types()
 
+    def rule_names(self) -> list[str]:
+        """The rules registered on this shard, sorted."""
+        return sorted(self.detector.graph.roots)
+
     # --- ingest side ------------------------------------------------------
 
     @property

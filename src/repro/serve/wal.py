@@ -1,0 +1,183 @@
+"""Per-shard write-ahead log for the fault-tolerant serving cluster.
+
+Every event the router dispatches to a shard — and every drain-time
+clock advance — is appended to that shard's WAL *before* it is sent to
+the worker process.  The WAL is therefore the authoritative record of
+what the shard must have applied: on worker death the supervisor
+restores the last durable checkpoint and replays the tail of entries
+with sequence numbers past the checkpoint's ``seq``, which reproduces
+the exact pre-crash detector state (the replay boundary is well-defined
+because entries are applied one at a time in sequence order — see
+Def 4.4 and ``docs/serving.md``).
+
+Entries come in two kinds:
+
+``event``
+    One :class:`~repro.serve.protocol.ServeEvent` dispatched to the
+    shard.
+
+``advance``
+    A drain-time engine-clock advance to a horizon granule (fires due
+    temporal-operator timers).  Advances are logged so replay reproduces
+    timer firings too — a timer detection is as much shard state as an
+    event-driven one.
+
+A :class:`ShardWAL` may be file-backed (one JSONL file per shard, the
+durable mode the cluster supervisor uses) or purely in-memory (the mode
+the in-process failover harness, the conformance ``failover`` check,
+and the benches use — same replay semantics, no disk).  Truncation
+drops entries at or below a sequence number once a *previous-generation*
+checkpoint covers them; the supervisor deliberately retains one
+checkpoint generation of slack so a corrupted latest checkpoint can
+still fall back to the previous one plus the retained tail.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import ReproError
+from repro.serve.protocol import ServeEvent
+
+KIND_EVENT = "event"
+KIND_ADVANCE = "advance"
+
+
+@dataclass(frozen=True, slots=True)
+class WalEntry:
+    """One durable unit of shard input: an event or a clock advance."""
+
+    seq: int
+    kind: str
+    event: ServeEvent | None = None
+    granule: int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        if self.kind == KIND_EVENT:
+            return {"seq": self.seq, "kind": self.kind,
+                    "event": self.event.to_dict()}
+        return {"seq": self.seq, "kind": self.kind, "granule": self.granule}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "WalEntry":
+        try:
+            kind = str(data["kind"])
+            seq = int(data["seq"])
+            if kind == KIND_EVENT:
+                return cls(seq=seq, kind=kind,
+                           event=ServeEvent.from_dict(data["event"]))
+            if kind == KIND_ADVANCE:
+                return cls(seq=seq, kind=kind, granule=int(data["granule"]))
+        except (KeyError, TypeError, ValueError) as error:
+            raise ReproError(f"malformed WAL entry {data!r}: {error}") from None
+        raise ReproError(f"unknown WAL entry kind {kind!r}")
+
+    def frame(self) -> dict[str, Any]:
+        """The wire frame dispatching this entry to a worker process."""
+        if self.kind == KIND_EVENT:
+            return {"op": "event", "seq": self.seq,
+                    "event": self.event.to_dict()}
+        return {"op": "advance", "seq": self.seq, "granule": self.granule}
+
+
+class ShardWAL:
+    """Append-only sequence-numbered log of one shard's inputs.
+
+    ``path=None`` keeps the log purely in memory (in-process harness);
+    with a path, every append is flushed to a JSONL file before the
+    entry is considered logged, and an existing file is loaded on open —
+    so a restarted *supervisor* recovers parked and unreplayed events,
+    not just a restarted worker.
+    """
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = path
+        self._entries: list[WalEntry] = []
+        self._next_seq = 1
+        self._handle = None
+        if path is not None:
+            if os.path.exists(path):
+                with open(path, "r", encoding="utf-8") as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        self._entries.append(
+                            WalEntry.from_dict(json.loads(line))
+                        )
+                if self._entries:
+                    self._next_seq = self._entries[-1].seq + 1
+            self._handle = open(path, "a", encoding="utf-8")
+
+    # --- append side -----------------------------------------------------
+
+    def append_event(self, event: ServeEvent) -> WalEntry:
+        """Log one routed event; returns the entry (with its seq)."""
+        return self._append(WalEntry(self._next_seq, KIND_EVENT, event=event))
+
+    def append_advance(self, granule: int) -> WalEntry:
+        """Log one drain-time clock advance to ``granule``."""
+        return self._append(
+            WalEntry(self._next_seq, KIND_ADVANCE, granule=granule)
+        )
+
+    def _append(self, entry: WalEntry) -> WalEntry:
+        self._entries.append(entry)
+        self._next_seq = entry.seq + 1
+        if self._handle is not None:
+            self._handle.write(json.dumps(entry.to_dict(), sort_keys=True))
+            self._handle.write("\n")
+            self._handle.flush()
+        return entry
+
+    # --- replay side -----------------------------------------------------
+
+    @property
+    def last_seq(self) -> int:
+        """The newest logged sequence number (0 when empty)."""
+        return self._next_seq - 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[WalEntry]:
+        return iter(self._entries)
+
+    def tail(self, after_seq: int) -> list[WalEntry]:
+        """Entries with ``seq > after_seq`` — the failover replay set."""
+        return [entry for entry in self._entries if entry.seq > after_seq]
+
+    def truncate(self, upto_seq: int) -> int:
+        """Drop entries with ``seq <= upto_seq``; returns how many.
+
+        Callers truncate only up to the *previous* checkpoint
+        generation's seq, keeping one generation of replayable slack
+        under checkpoint corruption.
+        """
+        keep = [entry for entry in self._entries if entry.seq > upto_seq]
+        dropped = len(self._entries) - len(keep)
+        if dropped and self._handle is not None:
+            self._handle.close()
+            tmp = f"{self.path}.tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for entry in keep:
+                    handle.write(json.dumps(entry.to_dict(), sort_keys=True))
+                    handle.write("\n")
+            os.replace(tmp, self.path)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._entries = keep
+        return dropped
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ShardWAL":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

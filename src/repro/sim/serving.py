@@ -119,6 +119,19 @@ class ServingWorkload:
             return 0
         return max(event.granule for event in self.events) + 1
 
+    def mid_granule_index(self) -> int:
+        """Index of an event that is *not* the first of its granule.
+
+        Fault tests kill a shard right after this event so the crash
+        lands strictly inside an open granule batch — the hardest spot
+        for checkpoint+replay to get right.  Falls back to the middle of
+        the stream when every granule has a single event.
+        """
+        for index in range(1, len(self.events)):
+            if self.events[index].granule == self.events[index - 1].granule:
+                return index
+        return len(self.events) // 2
+
     def to_jsonl(self) -> str:
         """The stream as JSONL input for ``repro serve --stdin``."""
         return "\n".join(event_to_line(event) for event in self.events) + "\n"

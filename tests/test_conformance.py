@@ -164,6 +164,44 @@ class TestRunner:
             build_system(case).inject(ghost)
 
 
+class TestChecksFilter:
+    def test_failover_check_runs_and_passes(self):
+        result = run_case(generate_case(3), checks=["failover"])
+        names = [check.name for check in result.checks]
+        assert "failover" in names
+        failover = result.check("failover")
+        assert failover is not None
+        assert failover.passed, failover.detail
+
+    def test_filter_restricts_to_requested_checks(self):
+        result = run_case(generate_case(3), checks=["failover"])
+        names = {check.name for check in result.checks}
+        # Execution always runs (it produces the detections every other
+        # check compares against); nothing else beyond the request does.
+        assert names == {"execution", "failover"}
+
+    def test_unknown_check_name_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            run_case(generate_case(3), checks=["no-such-check"])
+
+    def test_reorder_filter_still_gets_its_oracle_input(self):
+        result = run_case(generate_case(3), checks=["reorder"])
+        names = {check.name for check in result.checks}
+        assert "reorder" in names
+        assert "oracle" not in names
+
+    @pytest.mark.parametrize("seed", [0, 2, 4, 6])
+    def test_failover_matches_unfaulted_run(self, seed):
+        result = run_case(generate_case(seed), checks=["failover"])
+        failover = result.check("failover")
+        assert failover is not None and failover.passed, (
+            seed,
+            failover.detail if failover else None,
+        )
+
+
 # --- shrinker -----------------------------------------------------------------
 
 
@@ -353,6 +391,15 @@ class TestCli:
         )
         assert code == 0
         assert "fuzz PASS" in capsys.readouterr().out
+
+    def test_fuzz_check_filter_smoke(self, tmp_path, capsys):
+        code = main(
+            ["fuzz", "--seed", "5", "--cases", "3",
+             "--check", "failover", "--artifacts", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fuzz PASS" in out
 
     def test_replay_round_trip(self, tmp_path, capsys):
         result = run_case(generate_case(8))

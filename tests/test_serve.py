@@ -384,6 +384,169 @@ class TestStdinServer:
         assert len(detections) == broadcast.emitted
 
 
+class TestRestoreMismatchReport:
+    def test_all_mismatches_listed_in_one_error(self):
+        source = ServingRuntime(2, timer_ratio=10)
+        source.register("buy ; sell", name="rt")
+        source.register("buy and sell", name="pair")
+        state = source.checkpoint()
+
+        # Wrong shard count AND wrong salt AND a missing rule: the
+        # operator must see all three in a single round trip.
+        target = ServingRuntime(3, salt=9, timer_ratio=10)
+        target.register("buy ; sell", name="rt")
+        with pytest.raises(ReproError) as excinfo:
+            target.restore(state)
+        message = str(excinfo.value)
+        assert "3 mismatch(es)" in message
+        assert "2 shard(s)" in message and "runtime has 3" in message
+        assert "salt" in message
+        assert "'pair'" in message
+
+    def test_unregistered_rule_alone_is_rejected(self):
+        source = ServingRuntime(2, timer_ratio=10)
+        source.register("buy ; sell", name="rt")
+        source.register("buy and sell", name="pair")
+        state = source.checkpoint()
+
+        target = ServingRuntime(2, timer_ratio=10)
+        target.register("buy ; sell", name="rt")
+        with pytest.raises(ReproError) as excinfo:
+            target.restore(state)
+        message = str(excinfo.value)
+        assert "1 mismatch(es)" in message
+        assert "not registered" in message and "'pair'" in message
+
+    def test_matching_shape_restores(self):
+        source = ServingRuntime(2, timer_ratio=10)
+        source.register("buy ; sell", name="rt")
+        state = source.checkpoint()
+        target = ServingRuntime(2, timer_ratio=10)
+        target.register("buy ; sell", name="rt")
+        target.restore(state)  # must not raise
+
+
+class TestMidGranuleFailover:
+    def test_kill_mid_granule_preserves_multisets(self):
+        from repro.serve import FaultPlan, replay_with_failover
+
+        events = stream(40, per_granule=4)
+        horizon = events[-1].granule + 1
+        # seq 14 is the second event of granule 3: the crash lands
+        # strictly inside an open granule batch, so replay must rebuild
+        # a half-consumed granule from checkpoint + WAL tail.
+        assert events[13].granule == events[12].granule
+        plan = FaultPlan(kills=((0, 14), (1, 22)))
+
+        clean = replay_with_failover(
+            RULES, events, shards=2, salt=5, timer_ratio=10,
+            horizon=horizon, checkpoint_every=4,
+        )
+        faulted = replay_with_failover(
+            RULES, events, shards=2, salt=5, timer_ratio=10,
+            horizon=horizon, checkpoint_every=4, fault_plan=plan,
+        )
+        assert faulted.restarts >= 2
+        reference = reference_detector(events, horizon=horizon)
+        for name in RULES:
+            assert multiset(faulted.detections_of(name)) == multiset(
+                clean.detections_of(name)
+            ), name
+            assert multiset(faulted.detections_of(name)) == multiset(
+                reference.detections_of(name)
+            ), name
+
+    def test_mid_granule_index_lands_inside_a_granule(self):
+        workload = ServingWorkload.standard(seed=7, events=100)
+        index = workload.mid_granule_index()
+        assert (
+            workload.events[index].granule
+            == workload.events[index - 1].granule
+        )
+
+
+class TestTransportHardening:
+    def test_stdin_oversized_line_reported_and_survived(self):
+        workload = stream(16, types=("buy", "sell"))
+        lines = [event_to_line(event) for event in workload]
+        huge = json.dumps(
+            {"type": "buy", "site": "s0", "global": 0, "local": 0,
+             "parameters": {"pad": "x" * 512}}
+        )
+        lines.insert(2, huge)
+        source = io.StringIO("\n".join(lines) + "\n")
+        target = io.StringIO()
+
+        runtime = ServingRuntime(2, timer_ratio=10)
+        broadcast = DetectionBroadcast()
+        wire_rules(runtime, [("rt", "buy ; sell")], broadcast)
+        count = asyncio.run(
+            serve_stdin(
+                runtime, broadcast, in_stream=source, out_stream=target,
+                max_line_bytes=256,
+            )
+        )
+        assert count == 16  # the oversized line is skipped, not fatal
+        rows = [json.loads(line) for line in target.getvalue().splitlines()]
+        errors = [row for row in rows if "error" in row]
+        assert len(errors) == 1
+        assert "exceeds 256 bytes" in errors[0]["error"]
+        assert any("detection" in row for row in rows)
+
+    def test_tcp_survives_malformed_and_oversized_lines(self):
+        from repro.serve import serve_tcp
+
+        events = stream(12, types=("buy", "sell"))
+
+        async def scenario():
+            runtime = ServingRuntime(2, timer_ratio=10)
+            broadcast = DetectionBroadcast()
+            wire_rules(runtime, [("rt", "buy ; sell")], broadcast)
+            ready: asyncio.Future = asyncio.get_running_loop().create_future()
+            server = asyncio.create_task(
+                serve_tcp(
+                    runtime, broadcast, port=0, ready=ready,
+                    max_line_bytes=256,
+                )
+            )
+            port = await ready
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port
+            )
+            writer.write(b"{broken json\n")
+            writer.write(b'{"pad": "' + b"x" * 1024 + b'"}\n')
+            for event in events:
+                writer.write(event_to_line(event).encode() + b"\n")
+            await writer.drain()
+            writer.write_eof()
+            rows = []
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=10)
+                if not line:
+                    break
+                rows.append(json.loads(line))
+            writer.close()
+            await writer.wait_closed()
+            server.cancel()
+            try:
+                await server
+            except asyncio.CancelledError:
+                pass
+            return runtime, rows
+
+        runtime, rows = asyncio.run(scenario())
+        errors = [row for row in rows if "error" in row]
+        detections = [row for row in rows if "detection" in row]
+        # One error for the malformed line, one for the oversized one;
+        # the connection survived both and processed every good event.
+        assert len(errors) == 2
+        assert any("exceeds 256 bytes" in row["error"] for row in errors)
+        assert runtime.events_ingested == 12
+        assert detections and all(
+            row["detection"] == "rt" for row in detections
+        )
+
+
 class TestServingWorkload:
     def test_standard_is_deterministic(self):
         first = ServingWorkload.standard(seed=5, events=120)
