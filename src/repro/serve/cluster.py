@@ -723,13 +723,24 @@ def run_worker(
 _STARTUP_TIMEOUT = 30.0
 """Seconds a freshly spawned worker gets to emit its first frame."""
 
+_WORKER_FRAME_LIMIT = 64 * MAX_LINE_BYTES
+"""Stream limit for frames read *from* a worker.
+
+``checkpoint_state`` and ``detection`` frames wrap whole detector
+snapshots and merged parameter maps, so they can legitimately exceed
+the 1 MiB event-line bound; giving the worker's stdout a much larger
+limit keeps them deliverable.  A frame past even this limit is
+discarded by the stream reader and counted in
+:attr:`ClusterSupervisor.frames_dropped`.
+"""
+
 
 class _Worker:
     """Supervisor-side handle of one live worker process."""
 
     __slots__ = (
         "process", "reader", "dead", "acked_seq", "applied", "beats_seen",
-        "started",
+        "started", "sent_seq",
     )
 
     def __init__(self, process: asyncio.subprocess.Process) -> None:
@@ -740,6 +751,10 @@ class _Worker:
         self.applied = asyncio.Event()
         self.beats_seen = 0
         self.started = asyncio.Event()
+        # Highest WAL seq already sent to this worker (restore replay
+        # included) — _deliver skips entries at or below it, so an
+        # entry covered by a recovery's tail replay is never re-sent.
+        self.sent_seq = 0
 
 
 class ClusterSupervisor:
@@ -805,6 +820,17 @@ class ClusterSupervisor:
             k: CheckpointStore(os.path.join(state_dir, f"shard{k}.ckpt"))
             for k in range(shards)
         }
+        # A restarted supervisor must never number new entries below
+        # the durable checkpoint watermark (they would be invisible to
+        # recovery's tail replay), even if the WAL file is gone.
+        for k, wal in self._wals.items():
+            state = self._stores[k].load()
+            wal.seed_seq(
+                max(
+                    int(state.get("seq", 0)) if state is not None else 0,
+                    self._stores[k].retain_after,
+                )
+            )
         self._workers: dict[int, _Worker] = {}
         self._locks: dict[int, asyncio.Lock] = {}
         self._unavailable: dict[int, str] = {}
@@ -818,6 +844,7 @@ class ClusterSupervisor:
         self.checkpoints = 0
         self.events_ingested = 0
         self.events_unrouted = 0
+        self.frames_dropped = 0
 
     # --- registration ----------------------------------------------------
 
@@ -894,40 +921,50 @@ class ClusterSupervisor:
     async def _deliver(
         self, index: int, entry: WalEntry
     ) -> ShardUnavailable | None:
-        if index in self._unavailable:
-            self.parked += 1
-            if self.obs.enabled:
-                self.obs.counter("serve.failover.parked").inc()
-            return ShardUnavailable(
-                index, self._unavailable[index], self.parked
-            )
-        worker = self._workers.get(index)
-        if worker is None or worker.dead:
-            # Recovery replays the WAL tail, which includes this entry.
-            if not await self._recover(index):
+        # The per-shard lock serializes dispatch with recovery: while a
+        # respawn is mid register/restore/replay, a concurrent ingest
+        # (the stdin pump keeps running while the monitor loop recovers
+        # a shard) parks here instead of interleaving its event frame
+        # into the replay stream.  The entry is already in the WAL, so
+        # either the in-flight recovery's tail covers it (sent_seq then
+        # says skip) or we send it now, strictly after the replay.
+        async with self._lock(index):
+            if index in self._unavailable:
                 self.parked += 1
+                if self.obs.enabled:
+                    self.obs.counter("serve.failover.parked").inc()
                 return ShardUnavailable(
-                    index, self._unavailable.get(index, "down"), self.parked
+                    index, self._unavailable[index], self.parked
                 )
-        else:
-            try:
-                await self._send(worker, entry.frame())
-                if entry.seq % self.checkpoint_every == 0:
-                    await self._send(worker, {"op": "checkpoint"})
-            except (OSError, ConnectionError, BrokenPipeError):
-                worker.dead = True
-                if not await self._recover(index):
+            worker = self._workers.get(index)
+            if worker is None or worker.dead:
+                # Recovery replays the WAL tail, which includes this entry.
+                if not await self._recover_locked(index):
                     self.parked += 1
                     return ShardUnavailable(
                         index, self._unavailable.get(index, "down"),
                         self.parked,
                     )
-        if self.faults.should_kill(index, entry.seq):
-            live = self._workers.get(index)
-            if live is not None and not live.dead:
-                live.process.kill()
-                live.dead = True
-        return None
+            elif entry.seq > worker.sent_seq:
+                try:
+                    await self._send(worker, entry.frame())
+                    worker.sent_seq = entry.seq
+                    if entry.seq % self.checkpoint_every == 0:
+                        await self._send(worker, {"op": "checkpoint"})
+                except (OSError, ConnectionError, BrokenPipeError):
+                    worker.dead = True
+                    if not await self._recover_locked(index):
+                        self.parked += 1
+                        return ShardUnavailable(
+                            index, self._unavailable.get(index, "down"),
+                            self.parked,
+                        )
+            if self.faults.should_kill(index, entry.seq):
+                live = self._workers.get(index)
+                if live is not None and not live.dead:
+                    live.process.kill()
+                    live.dead = True
+            return None
 
     async def _send(self, worker: _Worker, frame: dict[str, Any]) -> None:
         line = json.dumps(frame, sort_keys=True) + "\n"
@@ -942,7 +979,17 @@ class ClusterSupervisor:
             try:
                 raw = await stream.readline()
             except (asyncio.LimitOverrunError, ValueError):
-                continue  # oversized junk line: skip, stay connected
+                # The stream reader discarded a frame past
+                # _WORKER_FRAME_LIMIT.  Stay connected, but surface the
+                # loss: a dropped detection or checkpoint_state frame
+                # is otherwise invisible (and a shard whose checkpoints
+                # never land grows its WAL without bound).
+                self.frames_dropped += 1
+                if self.obs.enabled:
+                    self.obs.counter(
+                        "serve.failover.frames_dropped", shard=index
+                    ).inc()
+                continue
             if not raw:
                 break
             text = raw.decode("utf-8", errors="replace").strip()
@@ -1029,79 +1076,88 @@ class ClusterSupervisor:
 
         Bounded by ``retry_budget`` attempts with exponential backoff +
         jitter; returns False (and marks the shard unavailable) when the
-        budget is exhausted.  Serialized per shard so the monitor loop
-        and a failed dispatch cannot race a double respawn.
+        budget is exhausted.  Serialized per shard — against other
+        recoveries *and* against :meth:`_deliver` — so the monitor loop
+        cannot race a double respawn and a concurrent ingest cannot
+        interleave event frames into the restore/replay stream.
         """
         async with self._lock(index):
-            existing = self._workers.get(index)
-            if existing is not None and not existing.dead:
-                return True  # someone else already recovered it
-            started = time.perf_counter_ns()
-            failure = "unknown"
-            for attempt in range(self.retry_budget + 1):
+            return await self._recover_locked(index, count_restart)
+
+    async def _recover_locked(
+        self, index: int, count_restart: bool = True
+    ) -> bool:
+        """The body of :meth:`_recover`; the per-shard lock is held."""
+        existing = self._workers.get(index)
+        if existing is not None and not existing.dead:
+            return True  # someone else already recovered it
+        started = time.perf_counter_ns()
+        failure = "unknown"
+        for attempt in range(self.retry_budget + 1):
+            try:
+                await self._reap(index)
+                worker = await self._spawn(index)
+                self._workers[index] = worker
+                # Wait for the startup beat before arming the
+                # liveness/dispatch clocks: interpreter startup must
+                # never be mistaken for a dispatch stall.
                 try:
-                    await self._reap(index)
-                    worker = await self._spawn(index)
-                    self._workers[index] = worker
-                    # Wait for the startup beat before arming the
-                    # liveness/dispatch clocks: interpreter startup must
-                    # never be mistaken for a dispatch stall.
-                    try:
-                        await asyncio.wait_for(
-                            worker.started.wait(), timeout=_STARTUP_TIMEOUT
-                        )
-                    except asyncio.TimeoutError:
-                        raise ReproError(
-                            f"shard {index} worker emitted no frame within "
-                            f"{_STARTUP_TIMEOUT}s of spawn"
-                        ) from None
-                    if worker.dead:
-                        raise ReproError(
-                            f"shard {index} worker exited during startup"
-                        )
-                    for name in self.router.rules_of(index):
-                        text, context = self._rules[name]
-                        await self._send(
-                            worker,
-                            {
-                                "op": "register",
-                                "name": name,
-                                "expression": text,
-                                "context": context.value,
-                            },
-                        )
-                    state = self._stores[index].load()
-                    after = 0
-                    if state is not None:
-                        await self._send(
-                            worker, {"op": "restore", "state": state}
-                        )
-                        after = int(state["seq"])
-                    tail = self._wals[index].tail(after)
-                    for entry in tail:
-                        await self._send(worker, entry.frame())
-                    self._unavailable.pop(index, None)
-                    self.monitor.mark(index)
-                    if count_restart:
-                        self.restarts += 1
-                        self.replayed += len(tail)
-                        if self.obs.enabled:
-                            self.obs.counter("serve.failover.restarts").inc()
-                            self.obs.histogram(
-                                "serve.failover.replay_events"
-                            ).observe(len(tail))
-                            self.obs.histogram(
-                                "serve.failover.restart_ns"
-                            ).observe(time.perf_counter_ns() - started)
-                    return True
-                except (ReproError, OSError, ConnectionError) as error:
-                    failure = str(error)
-                    await asyncio.sleep(self.backoff.delay(attempt))
-            self._unavailable[index] = failure
-            self.monitor.forget(index)
-            if self.obs.enabled:
-                self.obs.counter("serve.failover.unavailable").inc()
-            return False
+                    await asyncio.wait_for(
+                        worker.started.wait(), timeout=_STARTUP_TIMEOUT
+                    )
+                except asyncio.TimeoutError:
+                    raise ReproError(
+                        f"shard {index} worker emitted no frame within "
+                        f"{_STARTUP_TIMEOUT}s of spawn"
+                    ) from None
+                if worker.dead:
+                    raise ReproError(
+                        f"shard {index} worker exited during startup"
+                    )
+                for name in self.router.rules_of(index):
+                    text, context = self._rules[name]
+                    await self._send(
+                        worker,
+                        {
+                            "op": "register",
+                            "name": name,
+                            "expression": text,
+                            "context": context.value,
+                        },
+                    )
+                state = self._stores[index].load()
+                after = 0
+                if state is not None:
+                    await self._send(
+                        worker, {"op": "restore", "state": state}
+                    )
+                    after = int(state["seq"])
+                tail = self._wals[index].tail(after)
+                for entry in tail:
+                    await self._send(worker, entry.frame())
+                worker.sent_seq = tail[-1].seq if tail else after
+                self._unavailable.pop(index, None)
+                self.monitor.mark(index)
+                if count_restart:
+                    self.restarts += 1
+                    self.replayed += len(tail)
+                    if self.obs.enabled:
+                        self.obs.counter("serve.failover.restarts").inc()
+                        self.obs.histogram(
+                            "serve.failover.replay_events"
+                        ).observe(len(tail))
+                        self.obs.histogram(
+                            "serve.failover.restart_ns"
+                        ).observe(time.perf_counter_ns() - started)
+                return True
+            except (ReproError, OSError, ConnectionError) as error:
+                failure = str(error)
+                await asyncio.sleep(self.backoff.delay(attempt))
+        self._unavailable[index] = failure
+        self.monitor.forget(index)
+        if self.obs.enabled:
+            self.obs.counter("serve.failover.unavailable").inc()
+        return False
 
     async def _spawn(self, index: int) -> _Worker:
         if self.faults.take_spawn_failure(index):
@@ -1120,7 +1176,7 @@ class ClusterSupervisor:
             stdin=asyncio.subprocess.PIPE,
             stdout=asyncio.subprocess.PIPE,
             stderr=asyncio.subprocess.DEVNULL,
-            limit=MAX_LINE_BYTES,
+            limit=_WORKER_FRAME_LIMIT,
         )
         worker = _Worker(process)
         worker.reader = asyncio.get_running_loop().create_task(
@@ -1322,7 +1378,7 @@ async def cluster_serve_stdin(
             line = line.strip()
             if not line:
                 continue
-            if len(line) > max_line_bytes:
+            if len(line.encode("utf-8")) > max_line_bytes:
                 write_line(json.dumps(
                     {"error": f"event line exceeds {max_line_bytes} bytes"},
                     sort_keys=True,

@@ -176,7 +176,7 @@ async def serve_stdin(
                 line = line.strip()
                 if not line:
                     continue
-                if len(line) > max_line_bytes:
+                if len(line.encode("utf-8")) > max_line_bytes:
                     write_line(_error_line(
                         f"event line exceeds {max_line_bytes} bytes"
                     ))

@@ -23,13 +23,19 @@ Entries come in two kinds:
     event-driven one.
 
 A :class:`ShardWAL` may be file-backed (one JSONL file per shard, the
-durable mode the cluster supervisor uses) or purely in-memory (the mode
-the in-process failover harness, the conformance ``failover`` check,
-and the benches use — same replay semantics, no disk).  Truncation
-drops entries at or below a sequence number once a *previous-generation*
-checkpoint covers them; the supervisor deliberately retains one
-checkpoint generation of slack so a corrupted latest checkpoint can
-still fall back to the previous one plus the retained tail.
+mode the cluster supervisor uses — durable across *process* crashes;
+appends are flushed, not fsynced, so an OS crash or power loss may lose
+the newest entries) or purely in-memory (the mode the in-process
+failover harness, the conformance ``failover`` check, and the benches
+use — same replay semantics, no disk).  Truncation drops entries at or
+below a sequence number once a *previous-generation* checkpoint covers
+them; the supervisor deliberately retains one checkpoint generation of
+slack so a corrupted latest checkpoint can still fall back to the
+previous one plus the retained tail.  The newest entry is always kept
+even when fully covered: it is the durable sequence watermark, so a
+reopened log keeps numbering past the checkpoint instead of restarting
+below it (which would make new entries invisible to recovery's tail
+replay).
 """
 
 from __future__ import annotations
@@ -90,7 +96,9 @@ class ShardWAL:
     with a path, every append is flushed to a JSONL file before the
     entry is considered logged, and an existing file is loaded on open —
     so a restarted *supervisor* recovers parked and unreplayed events,
-    not just a restarted worker.
+    not just a restarted worker.  Durability is scoped to process
+    crashes: appends are flushed to the OS but not fsynced, so an OS
+    crash or power loss may lose the newest entries.
     """
 
     def __init__(self, path: str | None = None) -> None:
@@ -124,6 +132,18 @@ class ShardWAL:
             WalEntry(self._next_seq, KIND_ADVANCE, granule=granule)
         )
 
+    def seed_seq(self, after_seq: int) -> None:
+        """Never assign sequence numbers at or below ``after_seq``.
+
+        The supervisor seeds a reopened WAL from its checkpoint store's
+        watermark: if the log file was lost (or truncated by an older
+        version that could empty it), a fresh entry numbered below the
+        checkpoint seq would be excluded from recovery's tail replay
+        and silently dropped.  Seeding is monotonic — a lower seed
+        never rewinds the counter.
+        """
+        self._next_seq = max(self._next_seq, after_seq + 1)
+
     def _append(self, entry: WalEntry) -> WalEntry:
         self._entries.append(entry)
         self._next_seq = entry.seq + 1
@@ -155,9 +175,13 @@ class ShardWAL:
 
         Callers truncate only up to the *previous* checkpoint
         generation's seq, keeping one generation of replayable slack
-        under checkpoint corruption.
+        under checkpoint corruption.  The newest entry is retained even
+        when covered: it carries the sequence watermark across a
+        close/reopen, so numbering never restarts below a checkpoint.
         """
         keep = [entry for entry in self._entries if entry.seq > upto_seq]
+        if not keep and self._entries:
+            keep = [self._entries[-1]]
         dropped = len(self._entries) - len(keep)
         if dropped and self._handle is not None:
             self._handle.close()

@@ -16,6 +16,7 @@ from repro.serve.cluster import (
     FaultPlan,
     LocalFailoverCluster,
     ShardReplica,
+    _Worker,
     replay_with_failover,
     run_worker,
 )
@@ -71,6 +72,51 @@ class TestShardWAL:
         with ShardWAL(path) as reopened:
             assert [entry.seq for entry in reopened] == [2, 3, 4]
             assert reopened.append_advance(7).seq == 5
+
+    def test_full_truncation_keeps_seq_watermark(self, tmp_path):
+        path = str(tmp_path / "shard0.wal")
+        with ShardWAL(path) as wal:
+            for event in stream(4):
+                wal.append_event(event)
+            # A checkpoint covering every entry keeps the newest one as
+            # the watermark; replay still sees an empty tail.
+            assert wal.truncate(4) == 3
+            assert wal.last_seq == 4
+            assert wal.tail(4) == []
+        with ShardWAL(path) as reopened:
+            assert reopened.last_seq == 4
+            assert reopened.append_advance(7).seq == 5
+
+    def test_seed_seq_is_monotonic(self):
+        wal = ShardWAL()
+        wal.seed_seq(9)
+        assert wal.append_advance(1).seq == 10
+        wal.seed_seq(3)  # a lower seed never rewinds the counter
+        assert wal.append_advance(2).seq == 11
+
+    def test_checkpoint_watermark_survives_restart(self, tmp_path):
+        """Two checkpoints landing at the same seq (cadence checkpoint
+        then stop()'s final one) fully cover the WAL.  After a restart,
+        new entries must be numbered above the checkpoint watermark or
+        recovery's tail replay would silently drop them."""
+        wal_path = str(tmp_path / "shard0.wal")
+        ckpt_path = str(tmp_path / "shard0.ckpt")
+        with ShardWAL(wal_path) as wal:
+            store = CheckpointStore(ckpt_path)
+            for event in stream(6):
+                wal.append_event(event)
+            watermark = wal.last_seq
+            store.save({"seq": watermark})  # cadence checkpoint
+            store.save({"seq": watermark})  # final checkpoint at stop()
+            assert store.retain_after == watermark
+            wal.truncate(store.retain_after)
+        with ShardWAL(wal_path) as wal:
+            store = CheckpointStore(ckpt_path)
+            state = store.load()
+            wal.seed_seq(max(int(state["seq"]), store.retain_after))
+            entry = wal.append_event(stream(1)[0])
+            assert entry.seq > watermark
+            assert [e.seq for e in wal.tail(int(state["seq"]))] == [entry.seq]
 
     def test_entry_round_trip_and_frames(self):
         event_entry = WalEntry.from_dict(
@@ -412,6 +458,73 @@ class TestRunWorker:
         assert sorted(rows(first) + rows(second)) == rows(reference)
 
 
+class TestDeliverReplayOverlap:
+    """Dispatch must not duplicate entries covered by a recovery replay."""
+
+    def test_deliver_skips_entries_covered_by_replay(self, tmp_path):
+        sent = []
+
+        class FakeStdin:
+            def write(self, data):
+                pass
+
+            async def drain(self):
+                pass
+
+            def close(self):
+                pass
+
+        class FakeProcess:
+            stdin = FakeStdin()
+            returncode = 0
+
+            def kill(self):
+                pass
+
+            async def wait(self):
+                return 0
+
+        async def scenario():
+            supervisor = ClusterSupervisor(
+                1, timer_ratio=10, state_dir=str(tmp_path / "state")
+            )
+            supervisor.register("buy ; sell", "rt")
+
+            async def fake_spawn(index):
+                worker = _Worker(FakeProcess())
+                worker.started.set()
+                return worker
+
+            async def fake_send(worker, frame):
+                sent.append(frame)
+
+            supervisor._spawn = fake_spawn
+            supervisor._send = fake_send
+
+            def dispatched():
+                return [
+                    f["seq"] for f in sent if f["op"] in ("event", "advance")
+                ]
+
+            # Entries parked in the WAL before any worker exists are
+            # covered by the recovery replay...
+            first = supervisor._wals[0].append_event(stream(2)[0])
+            second = supervisor._wals[0].append_event(stream(2)[1])
+            assert await supervisor._recover(0)
+            assert dispatched() == [1, 2]
+            # ...so delivering them afterwards must not re-send them
+            # (the replica would apply them twice).
+            assert await supervisor._deliver(0, first) is None
+            assert await supervisor._deliver(0, second) is None
+            assert dispatched() == [1, 2]
+            # A genuinely new entry still goes out exactly once.
+            third = supervisor._wals[0].append_event(stream(3)[2])
+            assert await supervisor._deliver(0, third) is None
+            assert dispatched() == [1, 2, 3]
+
+        asyncio.run(scenario())
+
+
 class TestClusterSupervisor:
     """Real worker subprocesses — the full failover integration path."""
 
@@ -508,6 +621,44 @@ class TestClusterSupervisor:
 
         supervisor = asyncio.run(scenario())
         assert self.cluster_multisets(supervisor) == expected
+
+    def test_restart_then_crash_replays_post_restart_events(self, tmp_path):
+        """Regression: a run, an idle restart (whose stop-time checkpoint
+        lands at the same seq as the previous one, fully truncating the
+        WAL), then a run whose workers are hard-killed mid-stream.
+        Post-restart events must get seqs above the checkpoint watermark
+        so the crash recovery's tail replay includes them."""
+        events = stream(40)
+        horizon = events[-1].granule + 2
+        expected = self.reference_multisets(events, horizon)
+        cut = 20
+
+        async def run(batch, *, kill_midway=False, horizon=None):
+            supervisor = self.build(tmp_path)
+            async with supervisor:
+                for position, event in enumerate(batch):
+                    if kill_midway and position == len(batch) // 2:
+                        for worker in supervisor._workers.values():
+                            if not worker.dead:
+                                worker.process.kill()
+                                worker.dead = True
+                    assert await supervisor.ingest(event) == []
+                assert await supervisor.drain(horizon) == []
+            return supervisor
+
+        first = asyncio.run(run(events[:cut]))
+        idle = asyncio.run(run([]))
+        assert idle.events_ingested == 0
+        second = asyncio.run(run(events[cut:], kill_midway=True, horizon=horizon))
+        assert second.restarts >= 1
+        combined = {
+            name: sorted(
+                self.cluster_multisets(first)[name]
+                + self.cluster_multisets(second)[name]
+            )
+            for name in RULES
+        }
+        assert combined == expected
 
     def test_supervisor_restart_recovers_from_durable_state(self, tmp_path):
         events = stream(30)
