@@ -76,6 +76,7 @@ from repro.rules.language import load_rules
 from repro.sim.monitor import accuracy, latency_stats
 from repro.storage.log import EventLog
 from repro.sim.cluster import DetectionRecord, DistributedSystem
+from repro.serve.config import ServeConfig
 from repro.sim.config import SimConfig
 from repro.sim.monitor_site import StabilizedMonitor
 from repro.time.clocks import ClockEnsemble, LocalClock, ReferenceClock
@@ -141,6 +142,7 @@ __all__ = [
     "Rule",
     "RuleManager",
     "Sequence",
+    "ServeConfig",
     "SimConfig",
     "Span",
     "StabilizedMonitor",

@@ -33,6 +33,7 @@ See ``docs/performance.md`` for the kernel design this suite guards.
 
 from __future__ import annotations
 
+import gc
 import json
 import platform
 import random
@@ -257,6 +258,56 @@ def _serving_setup(shards: int):
     return setup
 
 
+def _codec_setup(codec_name: str):
+    """Shared builder for the wire-codec throughput scenarios.
+
+    Measures the full wire path — encode a granule batch to bytes, split
+    the byte stream back into units, decode the units into events — for
+    one codec over the standard serving workload at a saturated event
+    rate (400/s, so granules carry ~40 events: the regime the binary
+    protocol exists for — JSONL pays its JSON cost per event regardless
+    of rate, while binary amortizes framing over whole granule batches).
+    The binary/jsonl ratio is the wire protocol's acceptance number.
+    """
+
+    def setup(quick: bool):
+        from repro.serve.protocol import StreamDecoder, get_codec
+        from repro.sim.serving import ServingWorkload
+
+        # Unlike the end-to-end serving benches, one kernel pass is
+        # milliseconds even at full size, so quick mode keeps the full
+        # workload (only the round count drops): tiny streams flatter
+        # JSONL by fitting per-event overhead into warm caches.
+        workload = ServingWorkload.standard(
+            seed=41, events=1_200, rate_per_second=400
+        )
+        batches = [list(batch) for batch in workload.granule_batches()]
+        codec = get_codec(codec_name)
+        count = len(workload)
+
+        jsonl = get_codec("jsonl")
+
+        def kernel() -> int:
+            blob = b"".join(codec.encode_batch(batch) for batch in batches)
+            splitter = StreamDecoder()
+            decoded = 0
+            for unit in splitter.feed(blob) + splitter.finish():
+                if unit.kind == "frame":
+                    decoded += len(codec.decode_batch(unit.payload))
+                elif unit.kind == "line":
+                    decoded += len(jsonl.decode_batch(unit.payload))
+            if decoded != count:
+                raise RuntimeError(
+                    f"{codec_name} round trip lost events: "
+                    f"{decoded} != {count}"
+                )
+            return decoded
+
+        return kernel, count
+
+    return setup
+
+
 def _setup_serve_failover(quick: bool):
     """Failover overhead: the in-process cluster under periodic kills.
 
@@ -338,6 +389,20 @@ BENCHMARKS: dict[str, Bench] = {
             quick_rounds=2,
         ),
         Bench(
+            name="bench_serve_codec_jsonl",
+            title="wire round trip, v0 JSONL (encode+split+decode)",
+            setup=_codec_setup("jsonl"),
+            rounds=20,
+            quick_rounds=12,
+        ),
+        Bench(
+            name="bench_serve_codec_binary",
+            title="wire round trip, v1 binary granule frames",
+            setup=_codec_setup("binary"),
+            rounds=20,
+            quick_rounds=12,
+        ),
+        Bench(
             name="bench_serve_failover",
             title="failover cluster: WAL + checkpoints + 3 shard kills",
             setup=_setup_serve_failover,
@@ -363,10 +428,20 @@ def run_suite(
         kernel()  # warm-up: JIT-free but primes caches and allocators
         best = float("inf")
         rounds = bench.quick_rounds if quick else bench.rounds
-        for _ in range(rounds):
-            start = time.perf_counter()
-            kernel()
-            best = min(best, time.perf_counter() - start)
+        # Collector pauses land inside individual rounds and best-of
+        # cannot filter them when every round allocates enough to
+        # trigger one; measure with the collector off instead.
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(rounds):
+                start = time.perf_counter()
+                kernel()
+                best = min(best, time.perf_counter() - start)
+        finally:
+            if was_enabled:
+                gc.enable()
+            gc.collect()
         results[name] = {
             "ops": ops,
             "seconds": best,

@@ -231,16 +231,30 @@ def _load_fault_plan(text: str | None):
     return FaultPlan.from_json(stripped)
 
 
-def _cluster_kwargs(args: argparse.Namespace) -> dict:
-    return dict(
+def _serve_config(args: argparse.Namespace, **overrides):
+    """One :class:`~repro.serve.config.ServeConfig` from the CLI flags.
+
+    The whole serving surface — in-process runtime, failover cluster,
+    and both transports — reads from this one object; ``overrides``
+    adjusts the mode-specific fields (cluster mode swaps ``shards`` for
+    ``--procs`` and sets ``state_dir``).
+    """
+    from repro.serve import ServeConfig
+
+    fields = dict(
+        shards=args.shards,
         salt=args.salt,
+        timer_ratio=args.timer_ratio,
+        capacity=args.capacity,
+        codec=args.codec,
         heartbeat_interval=args.heartbeat_interval,
         miss_threshold=args.miss_threshold,
         retry_budget=args.retry_budget,
         checkpoint_every=args.checkpoint_every,
-        fault_plan=_load_fault_plan(args.fault_plan),
         seed=args.seed,
     )
+    fields.update(overrides)
+    return ServeConfig(**fields)
 
 
 def _cmd_serve_cluster(args: argparse.Namespace, rules: dict[str, str]) -> int:
@@ -259,13 +273,14 @@ def _cmd_serve_cluster(args: argparse.Namespace, rules: dict[str, str]) -> int:
 
     with tempfile.TemporaryDirectory(prefix="repro-serve-") as scratch:
         state_dir = args.state_dir or scratch
+        fault_plan = _load_fault_plan(args.fault_plan)
 
         if not args.selftest:
             supervisor = ClusterSupervisor(
-                args.procs,
-                timer_ratio=args.timer_ratio,
-                state_dir=state_dir,
-                **_cluster_kwargs(args),
+                config=_serve_config(
+                    args, shards=args.procs, state_dir=state_dir
+                ),
+                fault_plan=fault_plan,
             )
             for name, expression in sorted(rules.items()):
                 supervisor.register(expression, name)
@@ -289,18 +304,21 @@ def _cmd_serve_cluster(args: argparse.Namespace, rules: dict[str, str]) -> int:
         baseline = serve_events(
             rules,
             workload,
-            shards=args.procs,
-            salt=args.salt,
-            timer_ratio=workload.timer_ratio,
+            config=_serve_config(
+                args, shards=args.procs, timer_ratio=workload.timer_ratio
+            ),
             horizon=workload.horizon(),
         )
 
         async def drive() -> ClusterSupervisor:
             supervisor = ClusterSupervisor(
-                args.procs,
-                timer_ratio=workload.timer_ratio,
-                state_dir=state_dir,
-                **_cluster_kwargs(args),
+                config=_serve_config(
+                    args,
+                    shards=args.procs,
+                    timer_ratio=workload.timer_ratio,
+                    state_dir=state_dir,
+                ),
+                fault_plan=fault_plan,
             )
             for name, expression in sorted(rules.items()):
                 supervisor.register(expression, name)
@@ -383,13 +401,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         if not args.rule:
             rules = dict(workload.rules)
-        kwargs = dict(
-            timer_ratio=workload.timer_ratio, horizon=workload.horizon()
-        )
+        horizon = workload.horizon()
         sharded = serve_events(
-            rules, workload, shards=args.shards, salt=args.salt, **kwargs
+            rules,
+            workload,
+            config=_serve_config(args, timer_ratio=workload.timer_ratio),
+            horizon=horizon,
         )
-        baseline = serve_events(rules, workload, shards=1, **kwargs)
+        baseline = serve_events(
+            rules,
+            workload,
+            config=_serve_config(
+                args, shards=1, timer_ratio=workload.timer_ratio
+            ),
+            horizon=horizon,
+        )
 
         def multiset(runtime: ServingRuntime, name: str) -> list[str]:
             return sorted(
@@ -413,19 +439,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         return 1 if failures else 0
 
-    runtime = ServingRuntime(
-        args.shards,
-        salt=args.salt,
-        timer_ratio=args.timer_ratio,
-        capacity=args.capacity,
-    )
+    runtime = ServingRuntime(config=_serve_config(args))
     broadcast = DetectionBroadcast()
     wire_rules(runtime, sorted(rules.items()), broadcast)
 
     if args.port is not None:
         print(
             f"serving {len(rules)} rule(s) on {args.shards} shard(s), "
-            f"tcp port {args.port}",
+            f"tcp port {args.port}, codec {args.codec}",
             file=sys.stderr,
         )
         try:
@@ -611,7 +632,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_command.add_argument(
         "--stdin", action="store_true",
-        help="read JSONL events from stdin until EOF (the default mode)",
+        help="read events from stdin until EOF (the default mode); input "
+        "may be JSONL lines, binary frames, or any interleaving",
+    )
+    serve_command.add_argument(
+        "--codec", choices=("jsonl", "binary", "auto"), default="auto",
+        help="wire codec mode: 'jsonl' pins version-0 lines, 'binary' "
+        "prefers version-1 granule-batch frames, 'auto' negotiates per "
+        "connection (default)",
     )
     serve_command.add_argument(
         "--port", type=int, default=None,

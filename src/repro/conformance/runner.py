@@ -80,7 +80,6 @@ from repro.events.expressions import (
     Times,
 )
 from repro.events.occurrences import EventOccurrence, History
-from repro.events.parser import parse_expression
 from repro.events.semantics import evaluate
 from repro.sim.cluster import DistributedSystem
 from repro.sim.config import SimConfig
@@ -404,6 +403,31 @@ def _shard_multiset(runtime, name: str) -> list[str]:
     ]
 
 
+def _wire_round_trip(events):
+    """The stream after one pass through the binary wire codec.
+
+    Granule runs become frames exactly as a binary client would send
+    them (:meth:`~repro.sim.serving.ServingWorkload.to_frames` framing);
+    decoding them back yields the stream a ``--codec binary`` server
+    ingests.  A transparent codec returns an equal event list.
+    """
+    from repro.serve import get_codec
+
+    codec = get_codec("binary")
+    out = []
+    run: list = []
+    granule = None
+    for event in events:
+        if granule is not None and event.granule != granule:
+            out.extend(codec.decode_batch(codec.encode_batch(run)))
+            run = []
+        granule = event.granule
+        run.append(event)
+    if run:
+        out.extend(codec.decode_batch(codec.encode_batch(run)))
+    return out
+
+
 def _check_sharding(
     case: FuzzCase, expression: EventExpression, history: History
 ) -> CheckResult:
@@ -416,6 +440,12 @@ def _check_sharding(
     the identical multiset of composite timestamps per rule.  Both
     sides are deterministic replays of the same arrival order, so the
     check is sound for every operator class and fault schedule.
+
+    The sharded runs additionally consume the stream *through the
+    version-1 binary wire codec* (each granule run encoded to a frame
+    and decoded back), so the check also proves the wire encoding is
+    transparent: a binary client must see the same detection multisets
+    as a JSONL one.
     """
     from repro.serve import ServeEvent, serve_events
 
@@ -440,10 +470,18 @@ def _check_sharding(
     rules = {f"{CASE_NAME}_{i}": expression for i in range(3)}
     context = Context(case.context)
 
-    def run(shards: int, salt: int):
+    wire_events = _wire_round_trip(events)
+    if wire_events != events:
+        return CheckResult(
+            "sharding",
+            False,
+            "binary codec round trip altered the event stream",
+        )
+
+    def run(stream, shards: int, salt: int):
         return serve_events(
             rules,
-            events,
+            stream,
             shards=shards,
             salt=salt,
             timer_ratio=10,  # example 5.1 model, as elsewhere in this runner
@@ -451,10 +489,13 @@ def _check_sharding(
             horizon=horizon,
         )
 
-    baseline = run(shards=1, salt=0)
+    baseline = run(events, shards=1, salt=0)
     expected = {name: _shard_multiset(baseline, name) for name in rules}
     for shards, salt in ((3, 0), (3, case.seed % 97 + 1)):
-        sharded = run(shards=shards, salt=salt)
+        # The sharded runs consume the binary-decoded stream, so any
+        # divergence the wire encoding introduced shows up as a
+        # multiset mismatch against the JSONL-equivalent baseline.
+        sharded = run(wire_events, shards=shards, salt=salt)
         for name in rules:
             missing, extra = multiset_diff(
                 expected[name], _shard_multiset(sharded, name)
@@ -463,14 +504,15 @@ def _check_sharding(
                 return CheckResult(
                     "sharding",
                     False,
-                    f"{name} at shards={shards} salt={salt}: "
+                    f"{name} at shards={shards} salt={salt} (binary wire): "
                     f"missing={missing[:3]} extra={extra[:3]}",
                 )
     detections = sum(len(expected[name]) for name in rules)
     return CheckResult(
         "sharding",
         True,
-        f"{detections} detections invariant over shards 1/3, two salts",
+        f"{detections} detections invariant over shards 1/3, two salts, "
+        "binary wire round trip",
     )
 
 
@@ -491,6 +533,12 @@ def _check_failover(
     timestamps per rule must be identical.  Sound for every operator
     class and fault schedule: both runs are deterministic replays of the
     same arrival order.
+
+    The faulted run logs with ``codec="binary"`` (version-1 WAL frames)
+    while the fault-free baseline keeps the legacy JSONL text layout,
+    so the comparison also proves recovery is codec-invariant: replay
+    from a binary WAL restores the same detections as never crashing
+    with a JSONL one.
     """
     from repro.serve import ServeEvent
     from repro.serve.cluster import FaultPlan, replay_with_failover
@@ -517,7 +565,7 @@ def _check_failover(
     context = Context(case.context)
     salt = case.seed % 97
 
-    def run(plan: FaultPlan | None):
+    def run(plan: FaultPlan | None, codec: str | None = None):
         return replay_with_failover(
             rules,
             events,
@@ -528,6 +576,7 @@ def _check_failover(
             horizon=horizon,
             checkpoint_every=3,
             fault_plan=plan,
+            codec=codec,
         )
 
     baseline = run(None)
@@ -543,7 +592,7 @@ def _check_failover(
         ),
         corrupt_checkpoints=(case.seed % 3,),
     )
-    faulted = run(plan)
+    faulted = run(plan, codec="binary")
     for name in rules:
         missing, extra = multiset_diff(
             _shard_multiset(baseline, name), _shard_multiset(faulted, name)
@@ -552,7 +601,7 @@ def _check_failover(
             return CheckResult(
                 "failover",
                 False,
-                f"{name} after {faulted.restarts} restart(s): "
+                f"{name} after {faulted.restarts} restart(s), binary WAL: "
                 f"missing={missing[:3]} extra={extra[:3]}",
             )
     detections = sum(
@@ -562,7 +611,7 @@ def _check_failover(
         "failover",
         True,
         f"{detections} detections preserved over {faulted.restarts} "
-        f"kill(s), {faulted.replayed} replayed entries",
+        f"kill(s), {faulted.replayed} replayed entries (binary WAL)",
     )
 
 

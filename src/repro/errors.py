@@ -97,6 +97,17 @@ class PlacementError(DetectionError):
     """A distributed operator-placement constraint cannot be satisfied."""
 
 
+class CodecError(ReproError):
+    """A serving wire frame could not be encoded or decoded.
+
+    Raised for truncated frames, checksum mismatches, unsupported
+    versions, and payloads that violate the codec's contract.  Decoders
+    raise it *per frame*: the stream splitter consumes a corrupt frame
+    by its declared length, so the next frame decodes normally instead
+    of desyncing the transport.
+    """
+
+
 class RuleError(ReproError):
     """Base class for errors in the ECA rule subsystem."""
 

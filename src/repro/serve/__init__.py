@@ -11,6 +11,17 @@ supervised worker *process*, with write-ahead logging
 (:mod:`repro.serve.wal`), heartbeat failure detection
 (:mod:`repro.serve.heartbeat`), periodic checkpoints, and automatic
 checkpoint+replay failover that preserves detection multisets.
+
+The wire formats live behind the versioned :class:`~repro.serve.
+protocol.Codec` API: version 0 is one-JSON-object-per-line
+(:class:`~repro.serve.protocol.JsonlCodec`), version 1 packs whole
+granule batches into length-prefixed CRC-checked binary frames
+(:class:`~repro.serve.protocol.BinaryCodec`); transports negotiate per
+connection and fall back to JSONL.  :class:`~repro.serve.config.
+ServeConfig` is the single configuration entry point across
+:class:`~repro.serve.runtime.ServingRuntime`,
+:class:`~repro.serve.cluster.ClusterSupervisor`, and the ``repro
+serve`` CLI.
 """
 
 from repro.serve.cluster import (
@@ -26,17 +37,32 @@ from repro.serve.cluster import (
     replay_with_failover,
     run_worker,
 )
+from repro.serve.config import ServeConfig
 from repro.serve.heartbeat import Backoff, HeartbeatMonitor
 from repro.serve.protocol import (
+    BINARY_VERSION,
+    CODEC_NAMES,
     CONTROL_OPS,
     MAX_LINE_BYTES,
+    BinaryCodec,
+    Codec,
+    JsonlCodec,
     ServeEvent,
+    StreamDecoder,
+    StreamUnit,
+    batch_occurrences,
+    choose_codec,
     detection_to_json,
     detection_to_line,
     event_to_line,
     frame_to_line,
+    get_codec,
+    hello_ack_line,
+    hello_line,
     parse_event_line,
     parse_frame,
+    parse_hello,
+    resolve_codec,
 )
 from repro.serve.router import EventRouter, shard_of
 from repro.serve.runtime import ServingRuntime, serve_events
@@ -50,9 +76,13 @@ from repro.serve.shard import DetectionShard
 from repro.serve.wal import KIND_ADVANCE, KIND_EVENT, ShardWAL, WalEntry
 
 __all__ = [
+    "BINARY_VERSION",
     "Backoff",
+    "BinaryCodec",
+    "CODEC_NAMES",
     "CONTROL_OPS",
     "CheckpointStore",
+    "Codec",
     "ClusterSupervisor",
     "DetectionBroadcast",
     "DetectionLedger",
@@ -61,24 +91,35 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "HeartbeatMonitor",
+    "JsonlCodec",
     "KIND_ADVANCE",
     "KIND_EVENT",
     "LocalFailoverCluster",
     "MAX_LINE_BYTES",
+    "ServeConfig",
     "ServeEvent",
     "ServingRuntime",
     "ShardReplica",
     "ShardUnavailable",
     "ShardWAL",
+    "StreamDecoder",
+    "StreamUnit",
     "WalEntry",
+    "batch_occurrences",
+    "choose_codec",
     "cluster_serve_stdin",
     "detection_to_json",
     "detection_to_line",
     "event_to_line",
     "frame_to_line",
+    "get_codec",
+    "hello_ack_line",
+    "hello_line",
     "parse_event_line",
     "parse_frame",
+    "parse_hello",
     "replay_with_failover",
+    "resolve_codec",
     "run_worker",
     "serve_events",
     "serve_stdin",

@@ -67,6 +67,9 @@ from repro.errors import ReproError
 from repro.events.expressions import EventExpression
 from repro.events.parser import parse_expression
 from repro.obs.instrument import Instrumentation, resolve
+from repro.serve.config import UNSET as _UNSET
+from repro.serve.config import ServeConfig
+from repro.serve.config import resolve_config as _resolve_config
 from repro.serve.heartbeat import Backoff, HeartbeatMonitor
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
@@ -423,6 +426,7 @@ class LocalFailoverCluster:
         timer_ratio: int = 1,
         checkpoint_every: int = 8,
         fault_plan: FaultPlan | None = None,
+        codec: str | None = None,
         instrumentation: Instrumentation | None = None,
     ) -> None:
         if checkpoint_every <= 0:
@@ -436,8 +440,11 @@ class LocalFailoverCluster:
         self.obs = resolve(instrumentation)
         self._instrumentation = instrumentation
         self._rules: dict[str, tuple[EventExpression | str, Context]] = {}
+        # With a codec, every WAL entry is round-tripped through that
+        # encoding before it lands in the replay list — so the failover
+        # path replays exactly what the wire format preserves.
         self._wals: dict[int, ShardWAL] = {
-            index: ShardWAL() for index in range(shards)
+            index: ShardWAL(codec=codec) for index in range(shards)
         }
         self._stores: dict[int, CheckpointStore] = {
             index: CheckpointStore() for index in range(shards)
@@ -577,12 +584,15 @@ def replay_with_failover(
     horizon: int | None = None,
     checkpoint_every: int = 8,
     fault_plan: FaultPlan | None = None,
+    codec: str | None = None,
 ) -> LocalFailoverCluster:
     """Run a finite stream through a faulted in-process cluster.
 
     The convenience mirror of :func:`repro.serve.runtime.serve_events`
     for the failover harness — registers, ingests, advances to
-    ``horizon``, returns the cluster for inspection.
+    ``horizon``, returns the cluster for inspection.  ``codec`` selects
+    the WAL storage encoding (``"binary"`` replays through the binary
+    wire format).
     """
     cluster = LocalFailoverCluster(
         shards,
@@ -590,6 +600,7 @@ def replay_with_failover(
         timer_ratio=timer_ratio,
         checkpoint_every=checkpoint_every,
         fault_plan=fault_plan,
+        codec=codec,
     )
     for name, expression in rules.items():
         cluster.register(expression, name, context)
@@ -760,60 +771,90 @@ class _Worker:
 class ClusterSupervisor:
     """Runs each shard as a supervised ``repro serve-worker`` process.
 
-    Parameters
-    ----------
-    shards:
-        Number of worker processes (one detection shard each).
-    state_dir:
-        Directory holding per-shard WAL and checkpoint files (created
-        if missing).  A supervisor restarted over the same directory
-        recovers parked and unreplayed events.
-    heartbeat_interval / miss_threshold:
-        Liveness layer (see :mod:`repro.serve.heartbeat`).
-    retry_budget:
-        Recovery attempts per incident before a shard is declared
-        unavailable and its events parked.
-    checkpoint_every:
-        Request a worker checkpoint every N WAL entries per shard.
-    fault_plan:
-        Optional deterministic :class:`FaultPlan` (tests, chaos CI).
-    on_detection:
-        Callback receiving each *newly collected* detection row (the
-        streaming hook of ``repro serve --procs --stdin``).
+    Configure through ``config=ServeConfig(...)`` — the relevant fields
+    are ``procs`` (worker count; falls back to ``shards``), ``salt``,
+    ``timer_ratio``, ``state_dir`` (required), ``heartbeat_interval``,
+    ``miss_threshold``, ``retry_budget``, ``checkpoint_every``,
+    ``seed``, and ``codec`` (``"binary"`` stores the WALs in binary
+    frames, so failover replay consumes the wire encoding).  The
+    individual keyword arguments are deprecated aliases; mixing them
+    with ``config=`` raises ``TypeError``.
+
+    ``state_dir`` holds per-shard WAL and checkpoint files (created if
+    missing); a supervisor restarted over the same directory recovers
+    parked and unreplayed events.  ``fault_plan`` (deterministic fault
+    injection for tests and chaos CI) and ``on_detection`` (the
+    streaming callback of ``repro serve --procs --stdin``) are runtime
+    collaborators, not configuration — they stay regular parameters.
     """
 
     def __init__(
         self,
-        shards: int,
+        shards: int = _UNSET,
         *,
-        salt: int = 0,
-        timer_ratio: int = 1,
-        state_dir: str,
-        heartbeat_interval: float = 0.25,
-        miss_threshold: int = 4,
-        retry_budget: int = 3,
-        checkpoint_every: int = 64,
+        salt: int = _UNSET,
+        timer_ratio: int = _UNSET,
+        state_dir: str = _UNSET,
+        heartbeat_interval: float = _UNSET,
+        miss_threshold: int = _UNSET,
+        retry_budget: int = _UNSET,
+        checkpoint_every: int = _UNSET,
+        seed: int = _UNSET,
+        config: "ServeConfig | None" = None,
         fault_plan: FaultPlan | None = None,
-        seed: int = 0,
         instrumentation: Instrumentation | None = None,
         on_detection: Callable[[dict[str, Any]], None] | None = None,
     ) -> None:
-        if shards <= 0:
-            raise ReproError(f"shard count must be positive, got {shards}")
+        legacy = {
+            name: value
+            for name, value in (
+                ("shards", shards),
+                ("salt", salt),
+                ("timer_ratio", timer_ratio),
+                ("state_dir", state_dir),
+                ("heartbeat_interval", heartbeat_interval),
+                ("miss_threshold", miss_threshold),
+                ("retry_budget", retry_budget),
+                ("checkpoint_every", checkpoint_every),
+                ("seed", seed),
+            )
+            if value is not _UNSET
+        }
+        # The legacy signature's default checkpoint cadence (64) is the
+        # ServeConfig default too, so folding legacy keywords into a
+        # config is value-preserving.
+        config = _resolve_config("ClusterSupervisor", config, legacy)
+        self.config = config
+        procs = config.procs if config.procs is not None else config.shards
+        if config.state_dir is None:
+            raise ReproError(
+                "ClusterSupervisor needs a state_dir "
+                "(set it on the ServeConfig)"
+            )
+        state_dir = config.state_dir
         os.makedirs(state_dir, exist_ok=True)
-        self.router = EventRouter(shards, salt=salt)
-        self.timer_ratio = timer_ratio
+        self.router = EventRouter(procs, salt=config.salt)
+        self.timer_ratio = config.timer_ratio
         self.state_dir = state_dir
-        self.retry_budget = retry_budget
-        self.checkpoint_every = checkpoint_every
-        self.monitor = HeartbeatMonitor(heartbeat_interval, miss_threshold)
-        self.backoff = Backoff(seed=seed)
+        self.retry_budget = config.retry_budget
+        self.checkpoint_every = config.checkpoint_every
+        self.monitor = HeartbeatMonitor(
+            config.heartbeat_interval, config.miss_threshold
+        )
+        self.backoff = Backoff(seed=config.seed)
         self.faults = FaultInjector(fault_plan)
         self.obs = resolve(instrumentation)
         self.on_detection = on_detection
         self._rules: dict[str, tuple[str, Context]] = {}
+        # "binary" stores WAL entries as version-1 frames; "jsonl" and
+        # "auto" keep the legacy text layout (compatible with existing
+        # state directories — binary is an explicit storage upgrade).
+        wal_codec = "binary" if config.codec == "binary" else None
+        shards = procs
         self._wals: dict[int, ShardWAL] = {
-            k: ShardWAL(os.path.join(state_dir, f"shard{k}.wal"))
+            k: ShardWAL(
+                os.path.join(state_dir, f"shard{k}.wal"), codec=wal_codec
+            )
             for k in range(shards)
         }
         self._stores: dict[int, CheckpointStore] = {
@@ -1343,67 +1384,134 @@ class ClusterSupervisor:
 async def cluster_serve_stdin(
     supervisor: ClusterSupervisor,
     *,
-    in_stream: IO[str] | None = None,
+    in_stream: IO[str] | IO[bytes] | None = None,
     out_stream: IO[str] | None = None,
     horizon_pad: int = 1,
     max_line_bytes: int = MAX_LINE_BYTES,
+    codec: str | None = None,
 ) -> int:
-    """Pump JSONL events from a text stream through the cluster.
+    """Pump events from a stream through the cluster.
 
-    The ``repro serve --procs N --stdin`` transport: detections stream
-    to ``out_stream`` as the ledger accepts them; malformed or oversized
-    lines get one structured error object and the loop survives.  After
-    EOF the cluster drains to ``last granule + horizon_pad`` and stops.
+    The ``repro serve --procs N --stdin`` transport.  Input may be
+    JSONL lines, version-1 binary event frames, or any interleaving —
+    the splitter tells them apart by leading byte — subject to the
+    ``codec`` mode (default: the supervisor's config): ``"jsonl"`` pins
+    version 0 and rejects binary frames with a structured error;
+    ``"binary"``/``"auto"`` accept both.  A client hello line is
+    answered with a hello ack naming the chosen codec.  Detections and
+    errors stream to ``out_stream`` as JSONL rows regardless of the
+    ingest framing (pipeline composability: ``repro serve`` stdout is
+    line-oriented).  Malformed, oversized, or corrupt input costs one
+    structured error object each and the loop survives.  After EOF the
+    cluster drains to ``last granule + horizon_pad`` and stops.
     """
-    from repro.serve.protocol import parse_event_line
+    from repro.serve.protocol import (
+        CodecError,
+        StreamDecoder,
+        choose_codec,
+        get_codec,
+        hello_ack_line,
+        parse_hello,
+    )
 
+    mode = codec if codec is not None else supervisor.config.codec
     source = in_stream if in_stream is not None else sys.stdin
     target = out_stream if out_stream is not None else sys.stdout
+    jsonl = get_codec("jsonl")
+    binary = get_codec("binary")
 
     def write_line(line: str) -> None:
         target.write(line + "\n")
         target.flush()
+
+    def write_error(message: str, **fields: Any) -> None:
+        payload = {"error": message}
+        payload.update(fields)
+        write_line(json.dumps(payload, sort_keys=True))
 
     supervisor.on_detection = lambda row: write_line(
         json.dumps(row, sort_keys=True)
     )
     count = 0
     last_granule: int | None = None
+
+    async def handle_event(event: ServeEvent) -> None:
+        nonlocal count, last_granule
+        for signal in await supervisor.ingest(event):
+            write_error(
+                "shard unavailable",
+                shard=signal.shard,
+                reason=signal.reason,
+                parked=signal.parked,
+            )
+        count += 1
+        granule = event.granule
+        last_granule = (
+            granule if last_granule is None else max(last_granule, granule)
+        )
+
+    async def handle_unit(unit: Any) -> None:
+        if unit.kind == "error":
+            write_error(unit.message)
+            return
+        if unit.kind == "frame":
+            if mode == "jsonl":
+                write_error(
+                    "binary frame rejected: this server speaks jsonl only"
+                )
+                return
+            try:
+                events = binary.decode_batch(unit.payload)
+            except CodecError as error:
+                write_error(str(error))
+                return
+            for event in events:
+                await handle_event(event)
+            return
+        # A JSONL line: a hello, an event, or garbage.
+        try:
+            data = json.loads(unit.payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            write_error(f"invalid JSON event line: {error}")
+            return
+        if isinstance(data, dict):
+            offered = parse_hello(data)
+            if offered is not None:
+                write_line(hello_ack_line(choose_codec(mode, offered)))
+                return
+        if not isinstance(data, dict):
+            write_error(
+                f"event line must be a JSON object, got {type(data).__name__}"
+            )
+            return
+        try:
+            await handle_event(ServeEvent.from_dict(data))
+        except ReproError as error:
+            write_error(str(error))
+
+    splitter = StreamDecoder(
+        max_line_bytes=max_line_bytes,
+        max_frame_bytes=binary.frame_limit(max_line_bytes),
+    )
+    # sys.stdin (and any text wrapper over a buffer) yields its raw
+    # byte stream for frame-capable reading; a plain text stream (tests
+    # pass io.StringIO) stays line-oriented and is re-framed per line.
+    raw = getattr(source, "buffer", None)
+    byte_source = raw if raw is not None else source
+    reads_bytes = not hasattr(byte_source, "encoding")
+
     await supervisor.start()
     try:
-        while True:
-            line = await asyncio.to_thread(source.readline)
-            if not line:
-                break
-            line = line.strip()
-            if not line:
-                continue
-            if len(line.encode("utf-8")) > max_line_bytes:
-                write_line(json.dumps(
-                    {"error": f"event line exceeds {max_line_bytes} bytes"},
-                    sort_keys=True,
-                ))
-                continue
-            try:
-                event = parse_event_line(line)
-            except ReproError as error:
-                write_line(json.dumps({"error": str(error)}, sort_keys=True))
-                continue
-            for signal in await supervisor.ingest(event):
-                write_line(json.dumps(
-                    {
-                        "error": "shard unavailable",
-                        "shard": signal.shard,
-                        "reason": signal.reason,
-                        "parked": signal.parked,
-                    },
-                    sort_keys=True,
-                ))
-            count += 1
-            granule = event.granule
-            last_granule = (
-                granule if last_granule is None else max(last_granule, granule)
-            )
+        if reads_bytes:
+            while chunk := await asyncio.to_thread(byte_source.read, 1 << 16):
+                for unit in splitter.feed(chunk):
+                    await handle_unit(unit)
+        else:
+            while line := await asyncio.to_thread(source.readline):
+                for unit in splitter.feed(line.encode("utf-8")):
+                    await handle_unit(unit)
+        for unit in splitter.finish():
+            await handle_unit(unit)
         horizon = None if last_granule is None else last_granule + horizon_pad
         await supervisor.drain(horizon)
     finally:

@@ -1,0 +1,149 @@
+"""Consolidated configuration of the serving surface.
+
+:class:`ServeConfig` is to the serving stack what
+:class:`~repro.sim.config.SimConfig` is to the simulator: one frozen
+dataclass carrying every knob that used to sprawl across
+:class:`~repro.serve.runtime.ServingRuntime`,
+:class:`~repro.serve.cluster.ClusterSupervisor`, and the ``repro
+serve`` CLI.  Constructing it validates every field eagerly, so a typo
+fails at configuration time rather than mid-stream.
+
+Both entry points accept ``config=ServeConfig(...)``; the old keyword
+arguments still work but emit :class:`DeprecationWarning`, and mixing
+the two styles raises ``TypeError`` (the same contract ``SimCluster``
+established for ``SimConfig``).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields
+from typing import Any
+
+from repro.errors import ReproError
+
+#: Sentinel distinguishing "keyword not passed" from any real value in
+#: the legacy-keyword migration shims.
+UNSET: Any = object()
+
+
+@dataclass(frozen=True, slots=True)
+class ServeConfig:
+    """Every serving knob in one place.
+
+    Single-process fields (``ServingRuntime``): ``shards``, ``salt``,
+    ``timer_ratio``, ``capacity``, ``high_water``.  Multi-process fields
+    (``ClusterSupervisor``): ``procs``, ``state_dir``,
+    ``heartbeat_interval``, ``miss_threshold``, ``retry_budget``,
+    ``checkpoint_every``, ``seed``.  Transport fields (both):
+    ``max_line_bytes``, ``codec``.
+    """
+
+    shards: int = 1
+    salt: int = 0
+    timer_ratio: int = 1
+    capacity: int = 1024
+    high_water: int | None = None
+    procs: int | None = None
+    state_dir: str | None = None
+    heartbeat_interval: float = 0.25
+    miss_threshold: int = 4
+    retry_budget: int = 3
+    checkpoint_every: int = 64
+    max_line_bytes: int = 1 << 20
+    codec: str = "auto"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shards <= 0:
+            raise ValueError(f"shards must be positive, got {self.shards}")
+        if self.timer_ratio <= 0:
+            raise ValueError(
+                f"timer_ratio must be positive, got {self.timer_ratio}"
+            )
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity}")
+        if self.high_water is not None and not (
+            0 < self.high_water <= self.capacity
+        ):
+            raise ValueError(
+                f"high_water must be in (0, capacity], got {self.high_water}"
+            )
+        if self.procs is not None and self.procs <= 0:
+            raise ValueError(f"procs must be positive, got {self.procs}")
+        if self.heartbeat_interval <= 0:
+            raise ValueError(
+                "heartbeat_interval must be positive, got "
+                f"{self.heartbeat_interval}"
+            )
+        if self.miss_threshold <= 0:
+            raise ValueError(
+                f"miss_threshold must be positive, got {self.miss_threshold}"
+            )
+        if self.retry_budget < 0:
+            raise ValueError(
+                f"retry_budget must be non-negative, got {self.retry_budget}"
+            )
+        if self.checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {self.checkpoint_every}"
+            )
+        if self.max_line_bytes <= 0:
+            raise ValueError(
+                f"max_line_bytes must be positive, got {self.max_line_bytes}"
+            )
+        if self.codec not in ("jsonl", "binary", "auto"):
+            raise ValueError(
+                f"codec must be jsonl, binary, or auto, got {self.codec!r}"
+            )
+
+    @classmethod
+    def field_names(cls) -> tuple[str, ...]:
+        """The configurable field names, in declaration order."""
+        return tuple(f.name for f in fields(cls))
+
+    def replace(self, **changes: Any) -> "ServeConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        from dataclasses import replace
+
+        return replace(self, **changes)
+
+
+def resolve_config(
+    owner: str,
+    config: ServeConfig | None,
+    legacy: dict[str, Any],
+    *,
+    warn: bool = True,
+) -> ServeConfig:
+    """The SimConfig migration contract, shared by the serving surface.
+
+    ``legacy`` maps legacy keyword names to provided values (callers
+    filter out :data:`UNSET`).  Mixing ``config=`` with legacy keywords
+    raises ``TypeError``; legacy keywords alone warn (unless ``warn`` is
+    off, for convenience wrappers whose keywords are not deprecated) and
+    are folded into a fresh :class:`ServeConfig`.  Invalid legacy values
+    surface as :class:`~repro.errors.ReproError`, matching what the
+    pre-config constructors raised; an invalid ``ServeConfig(...)``
+    built directly raises ``ValueError`` at construction, like
+    ``SimConfig``.
+    """
+    if config is not None:
+        if legacy:
+            raise TypeError(
+                f"{owner}: pass configuration either through "
+                "config=ServeConfig(...) or through the legacy keywords, "
+                "not both: " + ", ".join(sorted(legacy))
+            )
+        return config
+    if legacy and warn:
+        warnings.warn(
+            f"{owner}: the {', '.join(sorted(legacy))} keyword(s) are "
+            "deprecated; pass config=ServeConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    try:
+        return ServeConfig(**legacy)
+    except ValueError as error:
+        raise ReproError(str(error)) from None

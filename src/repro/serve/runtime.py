@@ -38,6 +38,9 @@ from repro.errors import ReproError
 from repro.events.expressions import EventExpression
 from repro.events.occurrences import EventOccurrence
 from repro.obs.instrument import Instrumentation, resolve
+from repro.serve.config import UNSET as _UNSET
+from repro.serve.config import ServeConfig
+from repro.serve.config import resolve_config as _resolve_config
 from repro.serve.protocol import ServeEvent
 from repro.serve.router import EventRouter
 from repro.serve.shard import DetectionShard
@@ -46,33 +49,50 @@ from repro.serve.shard import DetectionShard
 class ServingRuntime:
     """N detection shards behind an :class:`EventRouter`.
 
-    Parameters mirror :class:`~repro.serve.shard.DetectionShard`;
-    ``capacity``/``high_water`` apply per shard.
+    Configure through ``config=ServeConfig(...)``; the individual
+    keyword arguments are deprecated aliases kept for one release
+    (mixing the two styles raises ``TypeError``).  The fields that
+    matter here are ``shards``, ``salt``, ``timer_ratio``, ``capacity``
+    and ``high_water`` (per shard); the transport fields
+    (``max_line_bytes``, ``codec``) are read by the servers in
+    :mod:`repro.serve.server`.
     """
 
     def __init__(
         self,
-        shards: int = 1,
+        shards: int = _UNSET,
         *,
-        salt: int = 0,
-        timer_ratio: int = 1,
-        capacity: int = 1024,
-        high_water: int | None = None,
+        salt: int = _UNSET,
+        timer_ratio: int = _UNSET,
+        capacity: int = _UNSET,
+        high_water: int | None = _UNSET,
+        config: ServeConfig | None = None,
         instrumentation: Instrumentation | None = None,
     ) -> None:
-        if shards <= 0:
-            raise ReproError(f"shard count must be positive, got {shards}")
-        self.router = EventRouter(shards, salt=salt)
+        legacy = {
+            name: value
+            for name, value in (
+                ("shards", shards),
+                ("salt", salt),
+                ("timer_ratio", timer_ratio),
+                ("capacity", capacity),
+                ("high_water", high_water),
+            )
+            if value is not _UNSET
+        }
+        config = _resolve_config("ServingRuntime", config, legacy)
+        self.config = config
+        self.router = EventRouter(config.shards, salt=config.salt)
         self.obs = resolve(instrumentation)
         self.shards: list[DetectionShard] = [
             DetectionShard(
                 index,
-                capacity=capacity,
-                high_water=high_water,
-                timer_ratio=timer_ratio,
+                capacity=config.capacity,
+                high_water=config.high_water,
+                timer_ratio=config.timer_ratio,
                 instrumentation=instrumentation,
             )
-            for index in range(shards)
+            for index in range(config.shards)
         ]
         self.events_ingested = 0
         self.events_unrouted = 0
@@ -142,6 +162,52 @@ class ServingRuntime:
             pressured = shard.under_pressure() or pressured
         if self.obs.enabled:
             self.obs.counter("serve.ingested").inc()
+            if pressured:
+                self.obs.counter("serve.pressure").inc()
+        return pressured
+
+    async def ingest_batch(self, events: Sequence[ServeEvent]) -> bool:
+        """Route a whole batch (typically one decoded granule frame).
+
+        Routing decisions are memoized per event type across the batch
+        and each shard receives its slice as *one* queue item, so a
+        granule of N events costs a handful of queue operations instead
+        of N router lookups and N enqueues.  Ordering is preserved:
+        events land in each shard's slice in submission order, and
+        whole-granule batches cannot cross a granule boundary out of
+        order (Definition 4.4 makes intra-granule order immaterial for
+        cross-site comparisons).
+        """
+        route = self.router.route
+        routes: dict[str, tuple[int, ...]] = {}
+        per_shard: dict[int, list[ServeEvent]] = {}
+        ingested = 0
+        unrouted = 0
+        for event in events:
+            event_type = event.event_type
+            targets = routes.get(event_type)
+            if targets is None:
+                targets = tuple(route(event_type))
+                routes[event_type] = targets
+            if not targets:
+                unrouted += 1
+                continue
+            ingested += 1
+            for index in targets:
+                slice_ = per_shard.get(index)
+                if slice_ is None:
+                    per_shard[index] = [event]
+                else:
+                    slice_.append(event)
+        self.events_ingested += ingested
+        self.events_unrouted += unrouted
+        pressured = False
+        for index, slice_ in per_shard.items():
+            shard = self.shards[index]
+            await shard.put_batch(slice_)
+            pressured = shard.under_pressure() or pressured
+        if self.obs.enabled and ingested:
+            self.obs.counter("serve.ingested").inc(ingested)
             if pressured:
                 self.obs.counter("serve.pressure").inc()
         return pressured
@@ -237,12 +303,14 @@ def serve_events(
     rules: Mapping[str, EventExpression | str] | Sequence[tuple[str, Any]],
     events: Iterable[ServeEvent],
     *,
-    shards: int = 1,
-    salt: int = 0,
-    timer_ratio: int = 1,
-    capacity: int = 1024,
+    shards: int = _UNSET,
+    salt: int = _UNSET,
+    timer_ratio: int = _UNSET,
+    capacity: int = _UNSET,
+    config: ServeConfig | None = None,
     context: Context = Context.UNRESTRICTED,
     horizon: int | None = None,
+    batch: bool = True,
     instrumentation: Instrumentation | None = None,
 ) -> ServingRuntime:
     """Run a finite event stream through a fresh runtime, synchronously.
@@ -251,22 +319,48 @@ def serve_events(
     ingests ``events`` in order, drains to ``horizon``, stops, and
     returns the runtime for inspection.  This is the entry point the
     conformance runner and the unit tests compare across shard counts.
+
+    ``shards``/``salt``/``timer_ratio``/``capacity`` remain as
+    *convenience* keywords (not deprecated — this wrapper exists to be
+    terse); pass ``config=ServeConfig(...)`` for anything beyond them,
+    but not both.  ``batch`` selects granule-batched ingest
+    (:meth:`ServingRuntime.ingest_batch` per granule run) over the
+    per-event path; the detection multiset is identical either way.
     """
-    runtime = ServingRuntime(
-        shards,
-        salt=salt,
-        timer_ratio=timer_ratio,
-        capacity=capacity,
-        instrumentation=instrumentation,
-    )
+    legacy = {
+        name: value
+        for name, value in (
+            ("shards", shards),
+            ("salt", salt),
+            ("timer_ratio", timer_ratio),
+            ("capacity", capacity),
+        )
+        if value is not _UNSET
+    }
+    config = _resolve_config("serve_events", config, legacy, warn=False)
+    runtime = ServingRuntime(config=config, instrumentation=instrumentation)
     pairs = rules.items() if isinstance(rules, Mapping) else rules
     for name, expression in pairs:
         runtime.register(expression, name=name, context=context)
 
     async def _run() -> None:
         async with runtime:
-            for event in events:
-                await runtime.ingest(event)
+            if batch:
+                # Granule runs become batches: consecutive events sharing
+                # one global granule travel as one ingest_batch call.
+                run: list[ServeEvent] = []
+                granule: int | None = None
+                for event in events:
+                    if granule is not None and event.granule != granule:
+                        await runtime.ingest_batch(run)
+                        run = []
+                    granule = event.granule
+                    run.append(event)
+                if run:
+                    await runtime.ingest_batch(run)
+            else:
+                for event in events:
+                    await runtime.ingest(event)
             await runtime.drain(horizon)
 
     asyncio.run(_run())

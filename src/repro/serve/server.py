@@ -1,11 +1,23 @@
-"""JSONL transports for the serving runtime (stdin and TCP).
+"""Transports for the serving runtime (stdin and TCP), codec-negotiated.
 
-Both transports speak the one-object-per-line protocol of
-:mod:`repro.serve.protocol`: clients write stamped primitive events,
-the server writes detections as they fire.  Detections stream — each
-rule is registered with a callback that serializes inside the owning
-shard's worker — so a long-lived client sees composites the moment
-their terminator event lands, not at shutdown.
+Clients write stamped primitive events; the server writes detections as
+they fire.  Detections stream — each rule is registered with a callback
+that serializes inside the owning shard's worker — so a long-lived
+client sees composites the moment their terminator event lands, not at
+shutdown.
+
+Both transports speak version 0 (JSONL) by default and *negotiate up*:
+a client may open with a hello line offering its codecs
+(:func:`~repro.serve.protocol.hello_line`); the server answers with the
+codec it chose and the connection switches.  With the version-1 binary
+codec, events arrive as whole granule-batch frames
+(:meth:`~repro.serve.protocol.BinaryCodec.decode_batch`) and ingest
+takes the batched path (:meth:`~repro.serve.runtime.ServingRuntime.
+ingest_batch`) — one routing+stamping pass per granule instead of per
+event.  A client that never says hello is a version-0 client and keeps
+working against any server mode; a ``jsonl``-pinned server answers
+every hello with version 0, so a binary-capable client falls back
+cleanly.
 
 The stdin transport reads to EOF, drains (advancing the engine clocks
 to one granule past the last event so trailing temporal operators
@@ -14,14 +26,22 @@ pipelines use::
 
     python -m repro.cli simulate --emit-serve ... | repro serve --stdin ...
 
-The TCP transport accepts any number of concurrent connections; every
+Its output side stays line-oriented JSONL regardless of the ingest
+framing, because ``repro serve`` stdout feeds shell pipelines.  The TCP
+transport accepts any number of concurrent connections; every
 connection receives every detection (rules are shared server state, not
-per-connection).  Both transports are hardened against hostile input:
-a malformed line produces one JSON ``error`` object on the offending
-transport, an oversized line (``max_line_bytes``, default 1 MiB) is
-discarded up to its terminating newline and reported the same way, and
-in both cases the connection survives and the next well-formed line is
-processed normally.
+per-connection), encoded per that connection's negotiated codec —
+binary connections get detection frames, JSONL connections get rows.
+
+Both transports are hardened against hostile input, with oversized
+accounting per codec: a JSONL line is bounded by ``max_line_bytes``
+(default 1 MiB) and discarded through its terminating newline; a binary
+frame is bounded by the codec's :meth:`~repro.serve.protocol.Codec.
+frame_limit` (64x — one frame legitimately carries a whole granule) and
+skipped by its *declared length*, so neither a monster line nor a
+monster frame desyncs the stream.  Malformed and corrupt input costs
+one structured error object each (always a JSONL line — errors are
+control plane) and the connection survives.
 """
 
 from __future__ import annotations
@@ -29,26 +49,40 @@ from __future__ import annotations
 import asyncio
 import json
 import sys
-from typing import Callable, IO, Iterable
+from typing import Any, Callable, IO, Iterable, Mapping
 
-from repro.errors import ReproError
+from repro.errors import CodecError, ReproError
 from repro.serve.protocol import (
-    MAX_LINE_BYTES,
-    detection_to_line,
-    parse_event_line,
+    Codec,
+    ServeEvent,
+    StreamDecoder,
+    StreamUnit,
+    choose_codec,
+    detection_to_json,
+    get_codec,
+    hello_ack_line,
+    parse_hello,
 )
 from repro.serve.runtime import ServingRuntime
 
 
 class DetectionBroadcast:
-    """Fans detection lines out to every attached line consumer."""
+    """Fans detection rows out to every attached consumer.
+
+    Sinks receive the JSON-ready row dict (see
+    :func:`~repro.serve.protocol.detection_to_json`) and encode it for
+    their own transport — a JSONL connection writes a line, a binary
+    connection writes a detection frame.  ``emitted`` counts rows.
+    """
 
     def __init__(self) -> None:
-        self._sinks: list[Callable[[str], None]] = []
+        self._sinks: list[Callable[[dict[str, Any]], None]] = []
         self.emitted = 0
 
-    def attach(self, sink: Callable[[str], None]) -> Callable[[], None]:
-        """Add a line consumer; returns its detach function."""
+    def attach(
+        self, sink: Callable[[dict[str, Any]], None]
+    ) -> Callable[[], None]:
+        """Add a row consumer; returns its detach function."""
         self._sinks.append(sink)
 
         def detach() -> None:
@@ -57,10 +91,10 @@ class DetectionBroadcast:
 
         return detach
 
-    def emit(self, line: str) -> None:
+    def emit(self, row: dict[str, Any]) -> None:
         self.emitted += 1
         for sink in list(self._sinks):
-            sink(line)
+            sink(row)
 
 
 def wire_rules(
@@ -70,14 +104,14 @@ def wire_rules(
 ) -> None:
     """Register ``(name, expression)`` rules that stream detections.
 
-    The callback closes over the rule's shard index so emitted lines
+    The callback closes over the rule's shard index so emitted rows
     carry detection provenance without a lookup on the hot path.
     """
     for name, expression in rules:
         index = runtime.router.assign(name)
 
         def callback(detection: object, _shard: int = index) -> None:
-            broadcast.emit(detection_to_line(_shard, detection))  # type: ignore[arg-type]
+            broadcast.emit(detection_to_json(_shard, detection))  # type: ignore[arg-type]
 
         runtime.register(expression, name=name, callback=callback)
 
@@ -86,77 +120,89 @@ def _error_line(message: str) -> str:
     return json.dumps({"error": message}, sort_keys=True)
 
 
-class _LineReader:
-    """Bounded line reader over an :class:`asyncio.StreamReader`.
+def _row_line(row: Mapping[str, Any]) -> str:
+    return json.dumps(row, sort_keys=True)
 
-    ``StreamReader.readline`` raises (and wedges the connection) when a
-    line exceeds the stream limit; this reader instead *discards* an
-    oversized line through its terminating newline and reports it, so
-    one hostile client line cannot tear down the transport.
+
+class _Connection:
+    """Shared per-stream protocol state: splitter + negotiated codec.
+
+    One instance per transport stream.  ``codec`` starts as ``None``
+    (pure version-0 client); a hello upgrades it for the rest of the
+    stream.  ``consume`` turns one :class:`StreamUnit` into either a
+    hello ack, an error, or a batch of events for the caller to ingest.
     """
 
-    def __init__(
-        self, reader: asyncio.StreamReader, max_line_bytes: int
-    ) -> None:
-        self.reader = reader
+    def __init__(self, mode: str, max_line_bytes: int) -> None:
+        self.mode = mode
         self.max_line_bytes = max_line_bytes
-        self._buffer = b""
+        self.codec: Codec | None = None
+        self.splitter = StreamDecoder(
+            max_line_bytes=max_line_bytes,
+            max_frame_bytes=get_codec("binary").frame_limit(max_line_bytes),
+        )
 
-    async def readline(self) -> tuple[bytes | None, bool]:
-        """One ``(line, oversized)`` pair; ``(None, False)`` at EOF.
-
-        ``(None, True)`` means an oversized line was discarded — the
-        stream is intact and positioned at the next line.
-        """
-        while True:
-            newline = self._buffer.find(b"\n")
-            if newline >= 0:
-                line, self._buffer = (
-                    self._buffer[:newline],
-                    self._buffer[newline + 1 :],
+    def consume(
+        self, unit: StreamUnit
+    ) -> tuple[list[ServeEvent], str | None, str | None]:
+        """``(events, reply_line, error_message)`` for one stream unit."""
+        if unit.kind == "error":
+            return [], None, unit.message
+        if unit.kind == "frame":
+            if self.mode == "jsonl":
+                return [], None, (
+                    "binary frame rejected: this server speaks jsonl only"
                 )
-                if len(line) > self.max_line_bytes:
-                    return None, True
-                return line, False
-            if len(self._buffer) > self.max_line_bytes:
-                while True:  # discard through the monster line's newline
-                    newline = self._buffer.find(b"\n")
-                    if newline >= 0:
-                        self._buffer = self._buffer[newline + 1 :]
-                        return None, True
-                    self._buffer = b""
-                    chunk = await self.reader.read(1 << 16)
-                    if not chunk:
-                        return None, False
-                    self._buffer = chunk
-            chunk = await self.reader.read(1 << 16)
-            if not chunk:
-                if self._buffer:  # final unterminated line
-                    line, self._buffer = self._buffer, b""
-                    if len(line) > self.max_line_bytes:
-                        return None, True
-                    return line, False
-                return None, False
-            self._buffer += chunk
+            try:
+                return get_codec("binary").decode_batch(unit.payload), None, None
+            except CodecError as error:
+                return [], None, str(error)
+        try:
+            data = json.loads(unit.payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return [], None, f"invalid JSON event line: {error}"
+        if isinstance(data, dict):
+            offered = parse_hello(data)
+            if offered is not None:
+                self.codec = choose_codec(self.mode, offered)
+                return [], hello_ack_line(self.codec), None
+        if not isinstance(data, dict):
+            return [], None, (
+                f"event line must be a JSON object, got {type(data).__name__}"
+            )
+        try:
+            return [ServeEvent.from_dict(data)], None, None
+        except ReproError as error:
+            return [], None, str(error)
 
 
 async def serve_stdin(
     runtime: ServingRuntime,
     broadcast: DetectionBroadcast,
     *,
-    in_stream: IO[str] | None = None,
+    in_stream: IO[str] | IO[bytes] | None = None,
     out_stream: IO[str] | None = None,
     horizon_pad: int = 1,
-    max_line_bytes: int = MAX_LINE_BYTES,
+    max_line_bytes: int | None = None,
+    codec: str | None = None,
 ) -> int:
-    """Pump JSONL events from a text stream until EOF; returns event count.
+    """Pump events from a stream until EOF; returns the event count.
 
-    Blocking reads happen on a thread so the shard workers keep running
-    between lines.  After EOF the runtime drains to ``last granule +
+    Input may be JSONL lines, binary event frames, or any interleaving
+    (subject to ``codec`` — default: the runtime's configured mode; a
+    ``"jsonl"`` server rejects frames with a structured error).  Output
+    is always line-oriented JSONL (detection rows, hello acks, errors)
+    so ``repro serve --stdin`` composes in shell pipelines.  Blocking
+    reads happen on a thread so the shard workers keep running between
+    chunks.  After EOF the runtime drains to ``last granule +
     horizon_pad`` and stops, flushing trailing temporal operators.
-    Malformed or oversized lines get a structured error object and the
-    loop continues with the next line.
+    Malformed, oversized, or corrupt input costs one structured error
+    object and the loop continues.
     """
+    config = runtime.config
+    mode = codec if codec is not None else config.codec
+    if max_line_bytes is None:
+        max_line_bytes = config.max_line_bytes
     source = in_stream if in_stream is not None else sys.stdin
     target = out_stream if out_stream is not None else sys.stdout
 
@@ -164,37 +210,55 @@ async def serve_stdin(
         target.write(line + "\n")
         target.flush()
 
-    detach = broadcast.attach(write_line)
+    detach = broadcast.attach(lambda row: write_line(_row_line(row)))
+    connection = _Connection(mode, max_line_bytes)
     count = 0
     last_granule: int | None = None
+
+    async def handle_unit(unit: StreamUnit) -> None:
+        nonlocal count, last_granule
+        events, reply, error = connection.consume(unit)
+        if reply is not None:
+            write_line(reply)
+        if error is not None:
+            write_line(_error_line(error))
+        if not events:
+            return
+        if len(events) == 1:
+            await runtime.ingest(events[0])
+        else:
+            await runtime.ingest_batch(events)
+        count += len(events)
+        granule = max(event.granule for event in events)
+        last_granule = (
+            granule if last_granule is None else max(last_granule, granule)
+        )
+
+    # sys.stdin (and any text wrapper over a raw buffer) yields bytes
+    # for frame-capable reading; a plain text stream (tests pass
+    # io.StringIO) stays line-oriented and is re-framed per line.
+    raw = getattr(source, "buffer", None)
+    byte_source = raw if raw is not None else source
+    reads_bytes = not hasattr(byte_source, "encoding")
     try:
         async with runtime:
-            while True:
-                line = await asyncio.to_thread(source.readline)
-                if not line:
-                    break
-                line = line.strip()
-                if not line:
-                    continue
-                if len(line.encode("utf-8")) > max_line_bytes:
-                    write_line(_error_line(
-                        f"event line exceeds {max_line_bytes} bytes"
-                    ))
-                    continue
-                try:
-                    event = parse_event_line(line)
-                except ReproError as error:
-                    write_line(_error_line(str(error)))
-                    continue
-                await runtime.ingest(event)
-                count += 1
-                granule = event.granule
-                last_granule = (
-                    granule
-                    if last_granule is None
-                    else max(last_granule, granule)
-                )
-            horizon = None if last_granule is None else last_granule + horizon_pad
+            if reads_bytes:
+                while chunk := await asyncio.to_thread(
+                    byte_source.read, 1 << 16
+                ):
+                    for unit in connection.splitter.feed(chunk):
+                        await handle_unit(unit)
+            else:
+                while line := await asyncio.to_thread(source.readline):
+                    for unit in connection.splitter.feed(
+                        line.encode("utf-8")
+                    ):
+                        await handle_unit(unit)
+            for unit in connection.splitter.finish():
+                await handle_unit(unit)
+            horizon = (
+                None if last_granule is None else last_granule + horizon_pad
+            )
             await runtime.drain(horizon)
     finally:
         detach()
@@ -208,53 +272,73 @@ async def serve_tcp(
     host: str = "127.0.0.1",
     port: int = 0,
     ready: "asyncio.Future[int] | None" = None,
-    max_line_bytes: int = MAX_LINE_BYTES,
+    max_line_bytes: int | None = None,
+    codec: str | None = None,
 ) -> None:
-    """Run a TCP JSONL server until cancelled.
+    """Run a TCP server until cancelled, negotiating per connection.
 
     ``ready`` (if given) resolves to the bound port once listening —
-    lets tests and supervisors connect without racing the bind.
-    A malformed or oversized line gets a structured error object on the
-    offending connection, which stays open for subsequent lines.
+    lets tests and supervisors connect without racing the bind.  Every
+    connection starts as version-0 JSONL; a hello upgrades it (per the
+    server ``codec`` mode — default: the runtime's configured mode) and
+    detections flow back in the negotiated framing: rows on JSONL
+    connections, detection frames on binary ones.  Errors are always
+    JSONL lines.  A malformed line, corrupt frame, or oversized unit
+    gets a structured error object on the offending connection, which
+    stays open for subsequent input.
     """
+    config = runtime.config
+    mode = codec if codec is not None else config.codec
+    if max_line_bytes is None:
+        max_line_bytes = config.max_line_bytes
 
     async def handle(
         reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        connection = _Connection(mode, max_line_bytes)
+
         def write_line(line: str) -> None:
             if not writer.is_closing():
                 writer.write(line.encode("utf-8") + b"\n")
 
-        lines = _LineReader(reader, max_line_bytes)
-        detach = broadcast.attach(write_line)
+        def emit_row(row: dict[str, Any]) -> None:
+            if writer.is_closing():
+                return
+            if connection.codec is not None and connection.codec.version > 0:
+                writer.write(connection.codec.encode_detections([row]))
+            else:
+                writer.write(_row_line(row).encode("utf-8") + b"\n")
+
+        detach = broadcast.attach(emit_row)
         try:
-            while True:
-                raw, oversized = await lines.readline()
-                if oversized:
-                    write_line(_error_line(
-                        f"event line exceeds {max_line_bytes} bytes"
-                    ))
-                    await writer.drain()
-                    continue
-                if raw is None:
-                    break
-                text = raw.decode("utf-8", errors="replace").strip()
-                if not text:
-                    continue
-                try:
-                    event = parse_event_line(text)
-                except ReproError as error:
-                    write_line(_error_line(str(error)))
-                    continue
-                await runtime.ingest(event)
+            eof = False
+            while not eof:
+                chunk = await reader.read(1 << 16)
+                if chunk:
+                    units = connection.splitter.feed(chunk)
+                else:
+                    units = connection.splitter.finish()
+                    eof = True
+                for unit in units:
+                    events, reply, error = connection.consume(unit)
+                    if reply is not None:
+                        write_line(reply)
+                    if error is not None:
+                        write_line(_error_line(error))
+                    if len(events) == 1:
+                        await runtime.ingest(events[0])
+                    elif events:
+                        await runtime.ingest_batch(events)
                 await writer.drain()
             # A disconnecting client flushes what it sent; time advances
             # only as far as the stream itself reached (no horizon pad:
             # other clients may still be behind).
             await runtime.drain()
+            await writer.drain()
         finally:
             detach()
             writer.close()
+
     runtime.start()
     server = await asyncio.start_server(handle, host=host, port=port)
     bound = server.sockets[0].getsockname()[1] if server.sockets else port

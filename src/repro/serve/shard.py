@@ -38,7 +38,7 @@ from repro.detection.detector import Detection, Detector
 from repro.errors import ReproError
 from repro.events.expressions import EventExpression
 from repro.obs.instrument import Instrumentation, resolve
-from repro.serve.protocol import ServeEvent
+from repro.serve.protocol import ServeEvent, batch_occurrences
 
 _STOP = object()
 
@@ -132,6 +132,16 @@ class DetectionShard:
         """Enqueue one event; suspends while the queue is full."""
         await self.queue.put(event)
 
+    async def put_batch(self, events: list[ServeEvent]) -> None:
+        """Enqueue a whole batch as *one* queue item.
+
+        The batch travels through the queue intact (one slot, one
+        ``task_done``), so a granule decoded from one binary frame is
+        accumulated by the worker in a single wake-up instead of N.
+        """
+        if events:
+            await self.queue.put(events)
+
     # --- worker side ------------------------------------------------------
 
     def start(self) -> None:
@@ -153,7 +163,11 @@ class DetectionShard:
                 self._flush()
                 queue.task_done()
                 return
-            self._accumulate(item)
+            if type(item) is list:
+                for event in item:
+                    self._accumulate(event)
+            else:
+                self._accumulate(item)
             if queue.empty():
                 self._flush()
             queue.task_done()
@@ -180,8 +194,13 @@ class DetectionShard:
         detector = self.detector
         if granule is not None and granule > detector.now_global:
             self._record(detector.advance_time(granule))
-        for event in batch:
-            self._record(detector.feed(event.occurrence()))
+        # One stamping pass for the whole batch (kernels.batch_stamps)
+        # instead of N constructor calls — the ingest-side half of the
+        # granule-batch amortization.
+        feed = detector.feed
+        record = self._record
+        for occurrence in batch_occurrences(batch):
+            record(feed(occurrence))
         self.events_processed += len(batch)
         self.batches_flushed += 1
         if self.obs.enabled:
@@ -243,11 +262,13 @@ class DetectionShard:
         # Queue internals are stable under asyncio's single thread; the
         # snapshot must be taken while the worker is idle (post-drain or
         # pre-start), which the runtime enforces.
-        pending.extend(
-            item.to_dict()
-            for item in list(self.queue._queue)  # noqa: SLF001
-            if item is not _STOP
-        )
+        for item in list(self.queue._queue):  # noqa: SLF001
+            if item is _STOP:
+                continue
+            if type(item) is list:
+                pending.extend(event.to_dict() for event in item)
+            else:
+                pending.append(item.to_dict())
         return {
             "index": self.index,
             "detector": snapshot(self.detector),

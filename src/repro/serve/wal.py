@@ -45,8 +45,14 @@ import os
 from dataclasses import dataclass
 from typing import Any, Iterator
 
-from repro.errors import ReproError
-from repro.serve.protocol import ServeEvent
+from repro.errors import CodecError, ReproError
+from repro.serve.protocol import (
+    Codec,
+    ServeEvent,
+    StreamDecoder,
+    get_codec,
+    resolve_codec,
+)
 
 KIND_EVENT = "event"
 KIND_ADVANCE = "advance"
@@ -88,6 +94,22 @@ class WalEntry:
                     "event": self.event.to_dict()}
         return {"op": "advance", "seq": self.seq, "granule": self.granule}
 
+    def encode(self, codec: Codec) -> bytes:
+        """This entry in ``codec``'s WAL framing."""
+        return codec.encode_wal_entry(
+            self.seq, self.kind, event=self.event, granule=self.granule
+        )
+
+    @classmethod
+    def decode(cls, codec: Codec, blob: bytes) -> "WalEntry":
+        """One entry back out of ``codec``'s WAL framing."""
+        data = codec.decode_wal_entry(blob)
+        if data["kind"] == KIND_EVENT:
+            return cls(seq=data["seq"], kind=KIND_EVENT, event=data["event"])
+        return cls(
+            seq=data["seq"], kind=KIND_ADVANCE, granule=data["granule"]
+        )
+
 
 class ShardWAL:
     """Append-only sequence-numbered log of one shard's inputs.
@@ -99,26 +121,68 @@ class ShardWAL:
     not just a restarted worker.  Durability is scoped to process
     crashes: appends are flushed to the OS but not fsynced, so an OS
     crash or power loss may lose the newest entries.
+
+    ``codec`` selects the storage encoding (a name or
+    :class:`~repro.serve.protocol.Codec`; ``None`` keeps the legacy
+    JSONL text layout byte-for-byte).  With a codec, every append is
+    round-tripped — encoded *and decoded back* before it lands in the
+    replay list — so failover replay exercises the negotiated wire
+    encoding rather than the in-memory objects, and a file is loaded
+    through the stream splitter, which also means a binary WAL whose
+    history began as JSONL (or vice versa, after a codec upgrade) still
+    loads: each unit declares its own framing.
     """
 
-    def __init__(self, path: str | None = None) -> None:
+    def __init__(
+        self, path: str | None = None, *, codec: str | Codec | None = None
+    ) -> None:
         self.path = path
+        self.codec = resolve_codec(codec) if codec is not None else None
         self._entries: list[WalEntry] = []
         self._next_seq = 1
         self._handle = None
         if path is not None:
             if os.path.exists(path):
-                with open(path, "r", encoding="utf-8") as handle:
-                    for line in handle:
-                        line = line.strip()
-                        if not line:
-                            continue
-                        self._entries.append(
-                            WalEntry.from_dict(json.loads(line))
-                        )
-                if self._entries:
-                    self._next_seq = self._entries[-1].seq + 1
-            self._handle = open(path, "a", encoding="utf-8")
+                self._load(path)
+            mode = "a" if self.codec is None else "ab"
+            kwargs = {"encoding": "utf-8"} if self.codec is None else {}
+            self._handle = open(path, mode, **kwargs)
+
+    def _load(self, path: str) -> None:
+        if self.codec is None:
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    self._entries.append(WalEntry.from_dict(json.loads(line)))
+        else:
+            splitter = StreamDecoder()
+            units = []
+            with open(path, "rb") as handle:
+                while chunk := handle.read(1 << 16):
+                    units.extend(splitter.feed(chunk))
+            units.extend(splitter.finish())
+            for unit in units:
+                if unit.kind == "error":
+                    raise ReproError(
+                        f"corrupt WAL file {path!r}: {unit.message}"
+                    )
+                by_framing = (
+                    get_codec("binary")
+                    if unit.kind == "frame"
+                    else get_codec("jsonl")
+                )
+                try:
+                    self._entries.append(
+                        WalEntry.decode(by_framing, unit.payload)
+                    )
+                except CodecError as error:
+                    raise ReproError(
+                        f"corrupt WAL file {path!r}: {error}"
+                    ) from None
+        if self._entries:
+            self._next_seq = self._entries[-1].seq + 1
 
     # --- append side -----------------------------------------------------
 
@@ -145,11 +209,22 @@ class ShardWAL:
         self._next_seq = max(self._next_seq, after_seq + 1)
 
     def _append(self, entry: WalEntry) -> WalEntry:
+        if self.codec is not None:
+            # Store what the codec would put on the wire: the entry is
+            # re-materialized from its own encoding, so replay consumes
+            # the negotiated format, not the object that produced it.
+            blob = entry.encode(self.codec)
+            entry = WalEntry.decode(self.codec, blob)
+        else:
+            blob = None
         self._entries.append(entry)
         self._next_seq = entry.seq + 1
         if self._handle is not None:
-            self._handle.write(json.dumps(entry.to_dict(), sort_keys=True))
-            self._handle.write("\n")
+            if blob is None:
+                self._handle.write(json.dumps(entry.to_dict(), sort_keys=True))
+                self._handle.write("\n")
+            else:
+                self._handle.write(blob)
             self._handle.flush()
         return entry
 
@@ -186,12 +261,21 @@ class ShardWAL:
         if dropped and self._handle is not None:
             self._handle.close()
             tmp = f"{self.path}.tmp"
-            with open(tmp, "w", encoding="utf-8") as handle:
-                for entry in keep:
-                    handle.write(json.dumps(entry.to_dict(), sort_keys=True))
-                    handle.write("\n")
-            os.replace(tmp, self.path)
-            self._handle = open(self.path, "a", encoding="utf-8")
+            if self.codec is None:
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    for entry in keep:
+                        handle.write(
+                            json.dumps(entry.to_dict(), sort_keys=True)
+                        )
+                        handle.write("\n")
+                os.replace(tmp, self.path)
+                self._handle = open(self.path, "a", encoding="utf-8")
+            else:
+                with open(tmp, "wb") as handle:
+                    for entry in keep:
+                        handle.write(entry.encode(self.codec))
+                os.replace(tmp, self.path)
+                self._handle = open(self.path, "ab")
         self._entries = keep
         return dropped
 

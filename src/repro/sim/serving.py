@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Iterator, Mapping, Sequence
 
-from repro.serve.protocol import ServeEvent, event_to_line
+from repro.serve.protocol import Codec, ServeEvent, get_codec, resolve_codec
 from repro.sim.workloads import WorkloadEvent, uniform_stream
 from repro.time.clocks import ClockEnsemble
 from repro.time.ticks import TimeModel
@@ -132,6 +132,40 @@ class ServingWorkload:
                 return index
         return len(self.events) // 2
 
+    def granule_batches(self) -> list[tuple[ServeEvent, ...]]:
+        """The stream split on ``g_g`` granule boundaries, order kept.
+
+        Each run of consecutive events sharing one global granule is one
+        batch — the unit a binary frame carries and a shard flushes
+        (safe by Def 4.4: intra-granule order is immaterial for every
+        cross-site comparison).
+        """
+        batches: list[tuple[ServeEvent, ...]] = []
+        run: list[ServeEvent] = []
+        granule: int | None = None
+        for event in self.events:
+            if granule is not None and event.granule != granule:
+                batches.append(tuple(run))
+                run = []
+            granule = event.granule
+            run.append(event)
+        if run:
+            batches.append(tuple(run))
+        return batches
+
     def to_jsonl(self) -> str:
         """The stream as JSONL input for ``repro serve --stdin``."""
-        return "\n".join(event_to_line(event) for event in self.events) + "\n"
+        return get_codec("jsonl").encode_batch(self.events).decode("utf-8")
+
+    def to_frames(self, codec: str | Codec = "binary") -> bytes:
+        """The stream as wire bytes, one frame per granule batch.
+
+        With the default binary codec this is the input ``repro serve
+        --stdin --codec binary`` consumes; with ``"jsonl"`` it equals
+        :meth:`to_jsonl` encoded as UTF-8.
+        """
+        chosen = resolve_codec(codec)
+        return b"".join(
+            chosen.encode_batch(list(batch))
+            for batch in self.granule_batches()
+        )

@@ -13,16 +13,18 @@ from repro.serve import (
     DetectionBroadcast,
     DetectionShard,
     EventRouter,
+    ServeConfig,
     ServeEvent,
     ServingRuntime,
-    event_to_line,
-    parse_event_line,
+    get_codec,
     serve_events,
     serve_stdin,
     shard_of,
     wire_rules,
 )
 from repro.sim.serving import STANDARD_RULES, ServingWorkload
+
+JSONL = get_codec("jsonl")
 
 
 def stream(count=40, types=("buy", "sell", "cancel"), sites=2, per_granule=4):
@@ -122,15 +124,15 @@ class TestProtocol:
     def test_line_round_trip(self):
         event = ServeEvent("buy", site="ny", global_time=3, local=31,
                            parameters={"qty": 5})
-        assert parse_event_line(event_to_line(event)) == event
+        assert JSONL.decode_batch(JSONL.encode_batch([event])) == [event]
 
     def test_rejects_invalid_json(self):
         with pytest.raises(ReproError):
-            parse_event_line("{not json")
+            JSONL.decode_batch(b"{not json")
 
     def test_rejects_non_object(self):
         with pytest.raises(ReproError):
-            parse_event_line("[1, 2]")
+            JSONL.decode_batch(b"[1, 2]")
 
     def test_rejects_missing_fields(self):
         with pytest.raises(ReproError):
@@ -163,8 +165,8 @@ class TestBackpressure:
 
     def test_runtime_reports_pressure(self):
         async def scenario():
-            runtime = ServingRuntime(1, timer_ratio=10, capacity=8,
-                                     high_water=2)
+            runtime = ServingRuntime(config=ServeConfig(
+                shards=1, timer_ratio=10, capacity=8, high_water=2))
             runtime.register("buy ; sell", name="rt")
             pressured = []
             # Workers not started: queue depth only grows.
@@ -252,7 +254,7 @@ class TestDrainAndShutdown:
         events = stream(30)
 
         async def scenario():
-            runtime = ServingRuntime(3, timer_ratio=10)
+            runtime = ServingRuntime(config=ServeConfig(shards=3, timer_ratio=10))
             for name, expression in RULES.items():
                 runtime.register(expression, name=name)
             runtime.start()
@@ -273,7 +275,7 @@ class TestDrainAndShutdown:
 
     def test_drain_then_restartable(self):
         async def scenario():
-            runtime = ServingRuntime(2, timer_ratio=10)
+            runtime = ServingRuntime(config=ServeConfig(shards=2, timer_ratio=10))
             runtime.register("buy ; sell", name="rt")
             async with runtime:
                 for event in stream(10, types=("buy", "sell")):
@@ -299,7 +301,7 @@ class TestCheckpoint:
         horizon = events[-1].granule + 1
         reference = reference_detector(events, horizon=horizon)
 
-        runtime = ServingRuntime(3, timer_ratio=10)
+        runtime = ServingRuntime(config=ServeConfig(shards=3, timer_ratio=10))
         for name, expression in RULES.items():
             runtime.register(expression, name=name)
 
@@ -313,7 +315,7 @@ class TestCheckpoint:
         pre = {name: multiset(runtime.detections_of(name)) for name in RULES}
         state = json.loads(json.dumps(runtime.checkpoint()))
 
-        restored = ServingRuntime(3, timer_ratio=10)
+        restored = ServingRuntime(config=ServeConfig(shards=3, timer_ratio=10))
         for name, expression in RULES.items():
             restored.register(expression, name=name)
         restored.restore(state)
@@ -344,14 +346,14 @@ class TestCheckpoint:
         assert len(state["pending"]) == 6
 
     def test_restore_rejects_mismatched_shape(self):
-        runtime = ServingRuntime(2, timer_ratio=10)
+        runtime = ServingRuntime(config=ServeConfig(shards=2, timer_ratio=10))
         runtime.register("buy ; sell", name="rt")
         state = runtime.checkpoint()
-        other = ServingRuntime(3, timer_ratio=10)
+        other = ServingRuntime(config=ServeConfig(shards=3, timer_ratio=10))
         other.register("buy ; sell", name="rt")
         with pytest.raises(ReproError):
             other.restore(state)
-        salted = ServingRuntime(2, salt=5, timer_ratio=10)
+        salted = ServingRuntime(config=ServeConfig(shards=2, salt=5, timer_ratio=10))
         salted.register("buy ; sell", name="rt")
         with pytest.raises(ReproError):
             salted.restore(state)
@@ -360,12 +362,12 @@ class TestCheckpoint:
 class TestStdinServer:
     def test_jsonl_round_trip_with_errors(self):
         workload = stream(12, types=("buy", "sell"))
-        lines = [event_to_line(event) for event in workload]
+        lines = JSONL.encode_batch(workload).decode("utf-8").splitlines()
         lines.insert(3, "{broken")
         source = io.StringIO("\n".join(lines) + "\n")
         target = io.StringIO()
 
-        runtime = ServingRuntime(2, timer_ratio=10)
+        runtime = ServingRuntime(config=ServeConfig(shards=2, timer_ratio=10))
         broadcast = DetectionBroadcast()
         wire_rules(runtime, [("rt", "buy ; sell")], broadcast)
         count = asyncio.run(
@@ -386,14 +388,14 @@ class TestStdinServer:
 
 class TestRestoreMismatchReport:
     def test_all_mismatches_listed_in_one_error(self):
-        source = ServingRuntime(2, timer_ratio=10)
+        source = ServingRuntime(config=ServeConfig(shards=2, timer_ratio=10))
         source.register("buy ; sell", name="rt")
         source.register("buy and sell", name="pair")
         state = source.checkpoint()
 
         # Wrong shard count AND wrong salt AND a missing rule: the
         # operator must see all three in a single round trip.
-        target = ServingRuntime(3, salt=9, timer_ratio=10)
+        target = ServingRuntime(config=ServeConfig(shards=3, salt=9, timer_ratio=10))
         target.register("buy ; sell", name="rt")
         with pytest.raises(ReproError) as excinfo:
             target.restore(state)
@@ -404,12 +406,12 @@ class TestRestoreMismatchReport:
         assert "'pair'" in message
 
     def test_unregistered_rule_alone_is_rejected(self):
-        source = ServingRuntime(2, timer_ratio=10)
+        source = ServingRuntime(config=ServeConfig(shards=2, timer_ratio=10))
         source.register("buy ; sell", name="rt")
         source.register("buy and sell", name="pair")
         state = source.checkpoint()
 
-        target = ServingRuntime(2, timer_ratio=10)
+        target = ServingRuntime(config=ServeConfig(shards=2, timer_ratio=10))
         target.register("buy ; sell", name="rt")
         with pytest.raises(ReproError) as excinfo:
             target.restore(state)
@@ -418,10 +420,10 @@ class TestRestoreMismatchReport:
         assert "not registered" in message and "'pair'" in message
 
     def test_matching_shape_restores(self):
-        source = ServingRuntime(2, timer_ratio=10)
+        source = ServingRuntime(config=ServeConfig(shards=2, timer_ratio=10))
         source.register("buy ; sell", name="rt")
         state = source.checkpoint()
-        target = ServingRuntime(2, timer_ratio=10)
+        target = ServingRuntime(config=ServeConfig(shards=2, timer_ratio=10))
         target.register("buy ; sell", name="rt")
         target.restore(state)  # must not raise
 
@@ -468,7 +470,7 @@ class TestMidGranuleFailover:
 class TestTransportHardening:
     def test_stdin_oversized_line_reported_and_survived(self):
         workload = stream(16, types=("buy", "sell"))
-        lines = [event_to_line(event) for event in workload]
+        lines = JSONL.encode_batch(workload).decode("utf-8").splitlines()
         huge = json.dumps(
             {"type": "buy", "site": "s0", "global": 0, "local": 0,
              "parameters": {"pad": "x" * 512}}
@@ -477,7 +479,7 @@ class TestTransportHardening:
         source = io.StringIO("\n".join(lines) + "\n")
         target = io.StringIO()
 
-        runtime = ServingRuntime(2, timer_ratio=10)
+        runtime = ServingRuntime(config=ServeConfig(shards=2, timer_ratio=10))
         broadcast = DetectionBroadcast()
         wire_rules(runtime, [("rt", "buy ; sell")], broadcast)
         count = asyncio.run(
@@ -499,7 +501,7 @@ class TestTransportHardening:
         events = stream(12, types=("buy", "sell"))
 
         async def scenario():
-            runtime = ServingRuntime(2, timer_ratio=10)
+            runtime = ServingRuntime(config=ServeConfig(shards=2, timer_ratio=10))
             broadcast = DetectionBroadcast()
             wire_rules(runtime, [("rt", "buy ; sell")], broadcast)
             ready: asyncio.Future = asyncio.get_running_loop().create_future()
@@ -516,7 +518,7 @@ class TestTransportHardening:
             writer.write(b"{broken json\n")
             writer.write(b'{"pad": "' + b"x" * 1024 + b'"}\n')
             for event in events:
-                writer.write(event_to_line(event).encode() + b"\n")
+                writer.write(JSONL.encode_batch([event]))
             await writer.drain()
             writer.write_eof()
             rows = []
@@ -557,10 +559,7 @@ class TestServingWorkload:
 
     def test_jsonl_parses_back(self):
         workload = ServingWorkload.standard(seed=2, events=50)
-        parsed = [
-            parse_event_line(line)
-            for line in workload.to_jsonl().splitlines()
-        ]
+        parsed = JSONL.decode_batch(workload.to_jsonl().encode("utf-8"))
         assert tuple(parsed) == workload.events
 
     def test_horizon_past_last_event(self):
@@ -586,3 +585,229 @@ class TestServeCli:
 
         code = main(["serve", "--selftest", "--rule", "nonsense"])
         assert code == 2
+
+
+class TestServeConfig:
+    def test_reexported_from_repro(self):
+        import repro
+
+        assert repro.ServeConfig is ServeConfig
+
+    def test_defaults_match_legacy_defaults(self):
+        plain = ServingRuntime(2, timer_ratio=10)
+        configured = ServingRuntime(
+            config=ServeConfig(shards=2, timer_ratio=10)
+        )
+        assert plain.config == configured.config
+
+    def test_legacy_keywords_warn_and_behave(self):
+        with pytest.warns(DeprecationWarning, match="ServeConfig"):
+            legacy = ServingRuntime(3, salt=7, timer_ratio=10)
+        modern = ServingRuntime(
+            config=ServeConfig(shards=3, salt=7, timer_ratio=10)
+        )
+        assert legacy.config == modern.config
+
+    def test_mixing_config_and_legacy_raises(self):
+        with pytest.raises(TypeError, match="not both"):
+            ServingRuntime(2, config=ServeConfig(shards=2))
+
+    def test_config_is_frozen(self):
+        config = ServeConfig()
+        with pytest.raises(Exception):
+            config.shards = 5  # type: ignore[misc]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServeConfig(shards=0)
+        with pytest.raises(ValueError):
+            ServeConfig(capacity=8, high_water=9)
+        with pytest.raises(ValueError):
+            ServeConfig(codec="gzip")
+        with pytest.raises(ValueError):
+            ServeConfig(heartbeat_interval=0)
+
+    def test_invalid_legacy_value_raises_repro_error(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ReproError):
+                ServingRuntime(0)
+
+    def test_replace_revalidates(self):
+        config = ServeConfig(shards=2)
+        assert config.replace(shards=4).shards == 4
+        with pytest.raises(ValueError):
+            config.replace(shards=-1)
+
+    def test_field_names_cover_legacy_keywords(self):
+        assert ServeConfig.field_names() == (
+            "shards",
+            "salt",
+            "timer_ratio",
+            "capacity",
+            "high_water",
+            "procs",
+            "state_dir",
+            "heartbeat_interval",
+            "miss_threshold",
+            "retry_budget",
+            "checkpoint_every",
+            "max_line_bytes",
+            "codec",
+            "seed",
+        )
+
+
+def _granule_frames(events):
+    """The stream as binary frames, one per granule batch."""
+    binary = get_codec("binary")
+    frames, run, granule = [], [], None
+    for event in events:
+        if granule is not None and event.granule != granule:
+            frames.append(binary.encode_batch(run))
+            run = []
+        granule = event.granule
+        run.append(event)
+    if run:
+        frames.append(binary.encode_batch(run))
+    return frames
+
+
+def _serve_bytes(blob, *, codec, rules=(("rt", "buy ; sell"),)):
+    """Run serve_stdin over raw wire bytes; returns (count, rows, runtime)."""
+    runtime = ServingRuntime(
+        config=ServeConfig(shards=2, timer_ratio=10, codec=codec)
+    )
+    broadcast = DetectionBroadcast()
+    wire_rules(runtime, list(rules), broadcast)
+    target = io.StringIO()
+    count = asyncio.run(
+        serve_stdin(
+            runtime, broadcast, in_stream=io.BytesIO(blob),
+            out_stream=target,
+        )
+    )
+    rows = [json.loads(line) for line in target.getvalue().splitlines()]
+    return count, rows, runtime
+
+
+class TestCodecNegotiation:
+    """The mixed-version handshake: v1 clients against v0/v1 servers."""
+
+    def test_auto_server_upgrades_binary_client(self):
+        from repro.serve import hello_line
+
+        events = stream(12, types=("buy", "sell"))
+        blob = (hello_line() + "\n").encode("utf-8") + b"".join(
+            _granule_frames(events)
+        )
+        count, rows, runtime = _serve_bytes(blob, codec="auto")
+        assert count == 12
+        acks = [row for row in rows if "hello" in row]
+        assert acks == [{"hello": {"codec": "binary", "version": 1}}]
+        assert not [row for row in rows if "error" in row]
+        assert any("detection" in row for row in rows)
+
+    def test_jsonl_pinned_server_answers_v0_and_client_falls_back(self):
+        from repro.serve import hello_line
+
+        events = stream(12, types=("buy", "sell"))
+        # A binary-capable client offers its codecs, the pinned server
+        # answers version 0; frames sent anyway are rejected with a
+        # structured error, and the JSONL fallback is accepted in full.
+        blob = (
+            (hello_line() + "\n").encode("utf-8")
+            + _granule_frames(events)[0]
+            + JSONL.encode_batch(events)
+        )
+        count, rows, runtime = _serve_bytes(blob, codec="jsonl")
+        acks = [row for row in rows if "hello" in row]
+        assert acks == [{"hello": {"codec": "jsonl", "version": 0}}]
+        errors = [row for row in rows if "error" in row]
+        assert len(errors) == 1
+        assert "speaks jsonl only" in errors[0]["error"]
+        assert count == 12  # every JSONL fallback event was served
+        assert runtime.events_ingested == 12
+
+    def test_v0_client_needs_no_hello(self):
+        events = stream(8, types=("buy", "sell"))
+        count, rows, _ = _serve_bytes(
+            JSONL.encode_batch(events), codec="auto"
+        )
+        assert count == 8
+        assert not [row for row in rows if "error" in row]
+        assert not [row for row in rows if "hello" in row]
+
+    def test_binary_and_jsonl_streams_detect_identically(self):
+        events = stream(24, types=("buy", "sell", "cancel"))
+        jsonl_count, jsonl_rows, _ = _serve_bytes(
+            JSONL.encode_batch(events), codec="auto"
+        )
+        binary_count, binary_rows, _ = _serve_bytes(
+            b"".join(_granule_frames(events)), codec="binary"
+        )
+        assert jsonl_count == binary_count == 24
+        key = sorted(
+            json.dumps(row, sort_keys=True)
+            for row in jsonl_rows if "detection" in row
+        )
+        other = sorted(
+            json.dumps(row, sort_keys=True)
+            for row in binary_rows if "detection" in row
+        )
+        assert key == other and key
+
+    def test_tcp_handshake_upgrades_and_frames_flow_both_ways(self):
+        from repro.serve import StreamDecoder, hello_line, serve_tcp
+
+        events = stream(12, types=("buy", "sell"))
+        binary = get_codec("binary")
+
+        async def scenario():
+            runtime = ServingRuntime(
+                config=ServeConfig(shards=2, timer_ratio=10, codec="auto")
+            )
+            broadcast = DetectionBroadcast()
+            wire_rules(runtime, [("rt", "buy ; sell")], broadcast)
+            ready: asyncio.Future = asyncio.get_running_loop().create_future()
+            server = asyncio.create_task(
+                serve_tcp(runtime, broadcast, port=0, ready=ready)
+            )
+            port = await ready
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write((hello_line() + "\n").encode("utf-8"))
+            await writer.drain()
+            ack = json.loads(await asyncio.wait_for(
+                reader.readline(), timeout=10
+            ))
+            for frame in _granule_frames(events):
+                writer.write(frame)
+            await writer.drain()
+            writer.write_eof()
+            raw = b""
+            while True:
+                chunk = await asyncio.wait_for(reader.read(1 << 16), timeout=10)
+                if not chunk:
+                    break
+                raw += chunk
+            writer.close()
+            await writer.wait_closed()
+            server.cancel()
+            try:
+                await server
+            except asyncio.CancelledError:
+                pass
+            return runtime, ack, raw
+
+        runtime, ack, raw = asyncio.run(scenario())
+        assert ack == {"hello": {"codec": "binary", "version": 1}}
+        assert runtime.events_ingested == 12
+        # Detections came back framed in the negotiated v1 codec.
+        splitter = StreamDecoder()
+        units = splitter.feed(raw) + splitter.finish()
+        assert units and all(unit.kind == "frame" for unit in units)
+        rows = [
+            row
+            for unit in units
+            for row in binary.decode_detections(unit.payload)
+        ]
+        assert rows and all(row["detection"] == "rt" for row in rows)

@@ -7,7 +7,7 @@ import json
 import pytest
 
 from repro.errors import ReproError
-from repro.serve import ServeEvent
+from repro.serve import ServeConfig, ServeEvent
 from repro.serve.cluster import (
     CheckpointStore,
     ClusterSupervisor,
@@ -130,6 +130,48 @@ class TestShardWAL:
         assert event_entry.frame()["op"] == "event"
         with pytest.raises(ReproError):
             WalEntry.from_dict({"seq": 1, "kind": "mystery"})
+
+    def test_binary_codec_file_round_trip(self, tmp_path):
+        from repro.serve.protocol import FRAME_MAGIC
+
+        path = str(tmp_path / "shard0.wal")
+        with ShardWAL(path, codec="binary") as wal:
+            for event in stream(5):
+                wal.append_event(event)
+            wal.append_advance(9)
+            entries = list(wal)
+        with open(path, "rb") as handle:
+            assert handle.read(1)[0] == FRAME_MAGIC
+        with ShardWAL(path, codec="binary") as reopened:
+            assert list(reopened) == entries
+            assert reopened.last_seq == 6
+            assert reopened.append_advance(11).seq == 7
+
+    def test_binary_codec_truncate_rewrites_frames(self, tmp_path):
+        path = str(tmp_path / "shard0.wal")
+        with ShardWAL(path, codec="binary") as wal:
+            for event in stream(4):
+                wal.append_event(event)
+            assert wal.truncate(2) == 2
+        with ShardWAL(path, codec="binary") as reopened:
+            assert [entry.seq for entry in reopened] == [3, 4]
+
+    def test_mixed_framing_legacy_file_then_binary(self, tmp_path):
+        # A WAL written before the codec upgrade keeps its JSONL lines;
+        # a binary-configured reopen appends frames after them and
+        # recovery reads the interleaved file in order.
+        path = str(tmp_path / "shard0.wal")
+        with ShardWAL(path) as wal:
+            for event in stream(3):
+                wal.append_event(event)
+        with ShardWAL(path, codec="binary") as upgraded:
+            assert upgraded.last_seq == 3
+            upgraded.append_event(stream(4)[3])
+            upgraded.append_advance(8)
+        with ShardWAL(path, codec="binary") as reopened:
+            assert [entry.seq for entry in reopened] == [1, 2, 3, 4, 5]
+            kinds = [entry.kind for entry in reopened]
+            assert kinds == ["event"] * 4 + ["advance"]
 
 
 class TestHeartbeat:
@@ -350,6 +392,22 @@ class TestLocalFailoverCluster:
         )
         self.assert_multisets_match(plain, cluster)
 
+    def test_binary_wal_failover_matches_jsonl_baseline(self):
+        events = stream(30)
+        horizon = events[-1].granule + 2
+        plain = replay_with_failover(
+            RULES, events, shards=2, salt=5, timer_ratio=10,
+            horizon=horizon,
+        )
+        faulted = replay_with_failover(
+            RULES, events, shards=2, salt=5, timer_ratio=10,
+            horizon=horizon,
+            fault_plan=FaultPlan(kills=((0, 9), (1, 14))),
+            codec="binary",
+        )
+        assert faulted.restarts >= 2
+        self.assert_multisets_match(plain, faulted)
+
     def test_unknown_rule_rejected(self):
         cluster = LocalFailoverCluster(2)
         with pytest.raises(ReproError):
@@ -485,9 +543,10 @@ class TestDeliverReplayOverlap:
                 return 0
 
         async def scenario():
-            supervisor = ClusterSupervisor(
-                1, timer_ratio=10, state_dir=str(tmp_path / "state")
-            )
+            supervisor = ClusterSupervisor(config=ServeConfig(
+                shards=1, timer_ratio=10,
+                state_dir=str(tmp_path / "state"),
+            ))
             supervisor.register("buy ; sell", "rt")
 
             async def fake_spawn(index):
@@ -533,15 +592,22 @@ class TestClusterSupervisor:
     SALT = 5
 
     def build(self, tmp_path, procs=2, **kwargs):
-        supervisor = ClusterSupervisor(
-            procs,
+        fields = dict(
+            shards=procs,
             salt=self.SALT,
             timer_ratio=10,
             state_dir=str(tmp_path / "state"),
             heartbeat_interval=0.1,
             miss_threshold=5,
             checkpoint_every=10,
-            **kwargs,
+        )
+        # Config fields ride on the ServeConfig; runtime collaborators
+        # (fault_plan, on_detection, ...) stay keyword arguments.
+        for name in tuple(kwargs):
+            if name in ServeConfig.field_names():
+                fields[name] = kwargs.pop(name)
+        supervisor = ClusterSupervisor(
+            config=ServeConfig(**fields), **kwargs
         )
         for name, expression in RULES.items():
             supervisor.register(expression, name)
@@ -588,6 +654,32 @@ class TestClusterSupervisor:
         assert supervisor.replayed > 0
         assert self.cluster_multisets(supervisor) == expected
         assert supervisor.unavailable_shards() == {}
+
+    def test_binary_wal_kill_recover_preserves_multisets(self, tmp_path):
+        from repro.serve.protocol import FRAME_MAGIC
+
+        events = stream(40)
+        horizon = events[-1].granule + 2
+        expected = self.reference_multisets(events, horizon)
+
+        async def scenario():
+            supervisor = self.build(
+                tmp_path, codec="binary",
+                fault_plan=FaultPlan(kills=((0, 10),)),
+            )
+            async with supervisor:
+                for event in events:
+                    assert await supervisor.ingest(event) == []
+                assert await supervisor.drain(horizon) == []
+            return supervisor
+
+        supervisor = asyncio.run(scenario())
+        assert supervisor.restarts >= 1
+        assert self.cluster_multisets(supervisor) == expected
+        # The durable WALs really are binary frames, not JSONL lines.
+        wal_path = str(tmp_path / "state" / "shard0.wal")
+        with open(wal_path, "rb") as handle:
+            assert handle.read(1)[0] == FRAME_MAGIC
 
     def test_retry_exhaustion_parks_then_revive_replays(self, tmp_path):
         events = stream(40, types=("buy", "sell"))
