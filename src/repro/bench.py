@@ -341,6 +341,40 @@ def _setup_serve_failover(quick: bool):
     return kernel, count
 
 
+def _setup_serve_rebalance(quick: bool):
+    """Elastic re-balancing overhead: scale 2 -> 4 -> 3 mid-stream.
+
+    The standard workload through the in-process cluster with WAL +
+    checkpointing on, re-hashed onto a new shard count twice (at the
+    thirds of the stream) — so the number prices two full granule-
+    boundary migrations (handoff snapshot, detector graft, WAL reseed)
+    on top of the steady logging cost.
+    """
+    from repro.serve.cluster import replay_with_failover
+    from repro.sim.serving import ServingWorkload
+
+    workload = ServingWorkload.standard(seed=47, events=300 if quick else 1_200)
+    count = len(workload)
+
+    def kernel() -> int:
+        cluster = replay_with_failover(
+            workload.rules,
+            workload,
+            shards=2,
+            timer_ratio=workload.timer_ratio,
+            horizon=workload.horizon(),
+            checkpoint_every=32,
+            scale_plan=((count // 3, 4), ((2 * count) // 3, 3)),
+        )
+        if cluster.rebalances != 2:
+            raise RuntimeError(
+                f"expected 2 re-balances, saw {cluster.rebalances}"
+            )
+        return cluster.events_applied
+
+    return kernel, count
+
+
 BENCHMARKS: dict[str, Bench] = {
     bench.name: bench
     for bench in (
@@ -406,6 +440,13 @@ BENCHMARKS: dict[str, Bench] = {
             name="bench_serve_failover",
             title="failover cluster: WAL + checkpoints + 3 shard kills",
             setup=_setup_serve_failover,
+            rounds=3,
+            quick_rounds=2,
+        ),
+        Bench(
+            name="bench_serve_rebalance",
+            title="elastic cluster: two live re-balances (2 -> 4 -> 3)",
+            setup=_setup_serve_rebalance,
             rounds=3,
             quick_rounds=2,
         ),

@@ -11,7 +11,10 @@ Subcommands::
     repro fuzz   [--seed N] [--cases N]    run the conformance fuzzer
     repro serve  --shards N [--stdin|--port P]  sharded serving runtime
     repro serve  --procs N [--fault-plan J]     multi-process failover cluster
+    repro serve  --workers H:P,... [--transport tcp]  remote TCP shard workers
     repro serve-worker --shard K           one shard worker (cluster internal)
+    repro serve-worker --listen H:P        host shard workers over TCP
+    repro scale  [--transport tcp]         elastic re-balancing selftest
     repro obs-report <spans.jsonl>         summarize an observability export
 
 Composite timestamps are written as semicolon-separated triples, e.g.
@@ -241,6 +244,11 @@ def _serve_config(args: argparse.Namespace, **overrides):
     """
     from repro.serve import ServeConfig
 
+    workers = getattr(args, "workers", None)
+    if isinstance(workers, str):
+        workers = tuple(
+            part.strip() for part in workers.split(",") if part.strip()
+        ) or None
     fields = dict(
         shards=args.shards,
         salt=args.salt,
@@ -252,6 +260,9 @@ def _serve_config(args: argparse.Namespace, **overrides):
         retry_budget=args.retry_budget,
         checkpoint_every=args.checkpoint_every,
         seed=args.seed,
+        transport=getattr(args, "transport", "auto"),
+        workers=workers,
+        rebalance_grace=getattr(args, "rebalance_grace", None),
     )
     fields.update(overrides)
     return ServeConfig(**fields)
@@ -367,11 +378,54 @@ def _cmd_serve_cluster(args: argparse.Namespace, rules: dict[str, str]) -> int:
 def cmd_serve_worker(args: argparse.Namespace) -> int:
     from repro.serve.cluster import run_worker
 
+    if args.listen is not None:
+        return _serve_worker_listen(args)
+    if args.shard is None:
+        raise ReproError(
+            "serve-worker needs --shard K (pipe mode) or --listen HOST:PORT"
+        )
     return run_worker(
         args.shard,
         timer_ratio=args.timer_ratio,
         heartbeat_interval=args.heartbeat_interval,
     )
+
+
+def _serve_worker_listen(args: argparse.Namespace) -> int:
+    """``repro serve-worker --listen``: host shard workers over TCP.
+
+    Announces the bound address as a ``{"listening": "host:port"}`` JSON
+    line on stdout (so scripts can pass port 0) and serves until killed.
+    """
+    import asyncio
+    import json
+
+    from repro.serve.cluster import serve_worker_listener
+
+    host, _, port = args.listen.rpartition(":")
+    if not host or not port.isdigit():
+        raise ReproError(f"--listen {args.listen!r} is not HOST:PORT")
+
+    async def run() -> None:
+        def announce(bound: str) -> None:
+            print(json.dumps({"listening": bound}), flush=True)
+
+        server = await serve_worker_listener(
+            host,
+            int(port),
+            timer_ratio=args.timer_ratio,
+            heartbeat_interval=args.heartbeat_interval,
+            codec=args.codec,
+            announce=announce,
+        )
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -389,6 +443,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     rules = _serve_rules(args)
 
+    if args.workers is not None and args.procs is None:
+        # Remote TCP workers imply cluster mode; --shards doubles as the
+        # shard-worker count when --procs is not given explicitly.
+        args.procs = args.shards
     if args.procs is not None:
         return _cmd_serve_cluster(args, rules)
 
@@ -463,6 +521,175 @@ def cmd_serve(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def cmd_scale(args: argparse.Namespace) -> int:
+    """``repro scale``: the elastic re-balancing selftest.
+
+    Drives the standard generated workload through a live cluster that
+    re-hashes onto each ``--steps`` worker count mid-stream (under an
+    optional fault plan), over subprocess or remote TCP workers, and
+    asserts the detection multiset matches the fault-free
+    single-process runtime.  Timer sites are canonicalized
+    (``shardK.timer`` -> ``shard.timer``) because the owning shard of a
+    temporal rule legitimately changes across a re-hash.
+    """
+    import asyncio
+    import json
+    import re
+    import subprocess
+    import tempfile
+
+    from repro.serve import ServeConfig, serve_events
+    from repro.serve.cluster import ClusterSupervisor
+    from repro.sim.serving import ServingWorkload
+
+    steps = [int(part) for part in args.steps.split(",") if part.strip()]
+    if not steps:
+        raise ReproError("--steps needs at least one shard count")
+    if args.start <= 0 or any(step <= 0 for step in steps):
+        raise ReproError("shard counts must be positive")
+
+    workload = ServingWorkload.standard(seed=args.seed, events=args.events)
+    rules = dict(workload.rules)
+    horizon = workload.horizon()
+    fault_plan = _load_fault_plan(args.fault_plan)
+
+    baseline = serve_events(
+        rules,
+        workload,
+        config=ServeConfig(shards=1, timer_ratio=workload.timer_ratio),
+        horizon=horizon,
+    )
+
+    timer_site = re.compile(r"shard\d+\.timer")
+
+    def canonical(stamp_rows) -> list[str]:
+        return sorted(
+            repr(
+                sorted(
+                    repr((timer_site.sub("shard.timer", str(s)), int(g), int(l)))
+                    for s, g, l in stamps
+                )
+            )
+            for stamps in stamp_rows
+        )
+
+    events = list(workload)
+    # Scale points spread evenly across the stream: with K steps the
+    # stream splits into K+1 spans, re-hashing at each interior cut.
+    schedule = [
+        ((index + 1) * len(events)) // (len(steps) + 1)
+        for index in range(len(steps))
+    ]
+
+    listeners: list[subprocess.Popen] = []
+    endpoints: list[str] = []
+    try:
+        if args.transport == "tcp":
+            for _ in range(args.listeners):
+                process = subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro.cli",
+                        "serve-worker",
+                        "--listen",
+                        "127.0.0.1:0",
+                        "--heartbeat-interval",
+                        str(args.heartbeat_interval),
+                        "--codec",
+                        args.codec,
+                    ],
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.DEVNULL,
+                    text=True,
+                )
+                listeners.append(process)
+                line = process.stdout.readline()
+                try:
+                    endpoints.append(str(json.loads(line)["listening"]))
+                except (ValueError, KeyError, TypeError):
+                    raise ReproError(
+                        "worker listener failed to announce its address "
+                        f"(got {line!r})"
+                    ) from None
+
+        with tempfile.TemporaryDirectory(prefix="repro-scale-") as state_dir:
+            config = ServeConfig(
+                shards=args.start,
+                timer_ratio=workload.timer_ratio,
+                state_dir=state_dir,
+                codec=args.codec,
+                heartbeat_interval=args.heartbeat_interval,
+                checkpoint_every=args.checkpoint_every,
+                retry_budget=args.retry_budget,
+                rebalance_grace=args.rebalance_grace,
+                seed=args.seed,
+                transport=args.transport if args.transport == "tcp" else "auto",
+                workers=tuple(endpoints) or None,
+            )
+
+            async def drive():
+                supervisor = ClusterSupervisor(
+                    config=config, fault_plan=fault_plan
+                )
+                for name, expression in sorted(rules.items()):
+                    supervisor.register(expression, name)
+                reports = []
+                pending = list(zip(schedule, steps))
+                async with supervisor:
+                    for count, event in enumerate(events):
+                        while pending and pending[0][0] <= count:
+                            _, target = pending.pop(0)
+                            reports.append(await supervisor.scale(target))
+                        await supervisor.ingest(event)
+                    for _, target in pending:
+                        reports.append(await supervisor.scale(target))
+                    signals = await supervisor.drain(horizon)
+                return supervisor, reports, signals
+
+            supervisor, reports, signals = asyncio.run(drive())
+    finally:
+        for process in listeners:
+            process.terminate()
+        for process in listeners:
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+                process.kill()
+
+    if signals:
+        print(
+            "shards unavailable after drain: "
+            + ", ".join(f"shard {s.shard} ({s.reason})" for s in signals)
+        )
+        return 1
+
+    failures = 0
+    for name in sorted(rules):
+        cluster_multiset = canonical(
+            row["timestamp"] for row in supervisor.detection_rows(name)
+        )
+        baseline_multiset = canonical(
+            [(t.site, t.global_time, t.local) for t in occurrence.timestamp]
+            for occurrence in baseline.detections_of(name)
+        )
+        marker = "ok " if cluster_multiset == baseline_multiset else "FAIL"
+        failures += cluster_multiset != baseline_multiset
+        print(
+            f"[{marker}] {name}: {len(cluster_multiset)} detections "
+            f"elastic, {len(baseline_multiset)} single-process"
+        )
+    path = " -> ".join(str(n) for n in [args.start] + steps)
+    print(
+        f"scale selftest over {len(events)} events ({args.transport}, "
+        f"workers {path}): {len(reports)} re-balance(s), "
+        f"{supervisor.restarts} restart(s), {supervisor.rehomes} "
+        f"re-home(s), epoch {supervisor.router.epoch}: "
+        f"{'FAILED' if failures else 'passed'}"
+    )
+    return 1 if failures else 0
 
 
 def cmd_obs_report(args: argparse.Namespace) -> int:
@@ -688,16 +915,86 @@ def build_parser() -> argparse.ArgumentParser:
         "--retry-budget", type=int, default=3,
         help="recovery attempts before a shard is declared unavailable",
     )
+    serve_command.add_argument(
+        "--transport", choices=("auto", "subprocess", "tcp"), default="auto",
+        help="how the supervisor reaches shard workers: local subprocess "
+        "pipes or remote TCP listeners ('auto' picks tcp when --workers "
+        "endpoints are given)",
+    )
+    serve_command.add_argument(
+        "--workers", default=None, metavar="HOST:PORT,...",
+        help="comma-separated 'repro serve-worker --listen' endpoints; "
+        "implies cluster mode with --shards workers unless --procs is given",
+    )
+    serve_command.add_argument(
+        "--rebalance-grace", type=float, default=None, metavar="SECONDS",
+        help="re-home a failed shard's rules onto the survivors after "
+        "this many seconds instead of parking it (default: park)",
+    )
     serve_command.set_defaults(handler=cmd_serve)
 
     worker_command = commands.add_parser(
         "serve-worker",
-        help="run one detection shard worker (spawned by serve --procs)",
+        help="run one detection shard worker (spawned by serve --procs, "
+        "or a TCP worker host with --listen)",
     )
-    worker_command.add_argument("--shard", type=int, required=True)
+    worker_command.add_argument("--shard", type=int, default=None)
     worker_command.add_argument("--timer-ratio", type=int, default=10)
     worker_command.add_argument("--heartbeat-interval", type=float, default=0.25)
+    worker_command.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="host shard workers over TCP (port 0 picks a free port; the "
+        "bound address is announced as a JSON line on stdout)",
+    )
+    worker_command.add_argument(
+        "--codec", choices=("jsonl", "binary", "auto"), default="auto",
+        help="codec mode offered to connecting supervisors (--listen)",
+    )
     worker_command.set_defaults(handler=cmd_serve_worker)
+
+    scale_command = commands.add_parser(
+        "scale",
+        help="elastic re-balancing selftest: scale a live cluster "
+        "mid-stream and compare against the single-process baseline",
+    )
+    scale_command.add_argument(
+        "--transport", choices=("subprocess", "tcp"), default="subprocess",
+        help="worker transport under test (tcp spawns local --listen "
+        "worker hosts)",
+    )
+    scale_command.add_argument(
+        "--start", type=int, default=2, help="initial shard-worker count"
+    )
+    scale_command.add_argument(
+        "--steps", default="4,3", metavar="N,N,...",
+        help="shard counts to re-hash onto, spread evenly across the "
+        "stream (default 4,3)",
+    )
+    scale_command.add_argument(
+        "--seed", type=int, default=0, help="workload seed"
+    )
+    scale_command.add_argument(
+        "--events", type=int, default=600, help="workload size"
+    )
+    scale_command.add_argument(
+        "--codec", choices=("jsonl", "binary", "auto"), default="auto",
+    )
+    scale_command.add_argument(
+        "--listeners", type=int, default=2,
+        help="TCP worker-host processes to spawn (tcp transport)",
+    )
+    scale_command.add_argument("--heartbeat-interval", type=float, default=0.25)
+    scale_command.add_argument("--checkpoint-every", type=int, default=64)
+    scale_command.add_argument("--retry-budget", type=int, default=3)
+    scale_command.add_argument(
+        "--rebalance-grace", type=float, default=None, metavar="SECONDS",
+        help="auto re-home failed shards after this many seconds",
+    )
+    scale_command.add_argument(
+        "--fault-plan", default=None, metavar="JSON|FILE",
+        help="deterministic FaultPlan as inline JSON or a file path",
+    )
+    scale_command.set_defaults(handler=cmd_scale)
 
     obs_command = commands.add_parser(
         "obs-report", help="summarize a JSONL observability export"

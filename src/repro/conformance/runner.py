@@ -539,6 +539,14 @@ def _check_failover(
     so the comparison also proves recovery is codec-invariant: replay
     from a binary WAL restores the same detections as never crashing
     with a JSONL one.
+
+    Two *elastic* legs extend the check to live re-balancing: one run
+    re-hashes the cluster 2 -> 4 -> 3 mid-stream (detector state
+    migrating at granule boundaries, safe by Def 4.4), and one run
+    permanently loses a seed-chosen shard mid-stream, re-homing its
+    rules onto the survivors over binary WALs.  Both must reproduce the
+    baseline multiset exactly — growth, shrink, and loss never drop,
+    duplicate, or invent a detection.
     """
     from repro.serve import ServeEvent
     from repro.serve.cluster import FaultPlan, replay_with_failover
@@ -565,11 +573,18 @@ def _check_failover(
     context = Context(case.context)
     salt = case.seed % 97
 
-    def run(plan: FaultPlan | None, codec: str | None = None):
+    def run(
+        plan: FaultPlan | None,
+        codec: str | None = None,
+        *,
+        shards: int = 3,
+        scale_plan: tuple[tuple[int, int], ...] = (),
+        lose: tuple[tuple[int, int], ...] = (),
+    ):
         return replay_with_failover(
             rules,
             events,
-            shards=3,
+            shards=shards,
             salt=salt,
             timer_ratio=10,  # example 5.1 model, as elsewhere in this runner
             context=context,
@@ -577,6 +592,8 @@ def _check_failover(
             checkpoint_every=3,
             fault_plan=plan,
             codec=codec,
+            scale_plan=scale_plan,
+            lose=lose,
         )
 
     baseline = run(None)
@@ -593,17 +610,36 @@ def _check_failover(
         corrupt_checkpoints=(case.seed % 3,),
     )
     faulted = run(plan, codec="binary")
-    for name in rules:
-        missing, extra = multiset_diff(
-            _shard_multiset(baseline, name), _shard_multiset(faulted, name)
-        )
-        if missing or extra:
-            return CheckResult(
-                "failover",
-                False,
-                f"{name} after {faulted.restarts} restart(s), binary WAL: "
-                f"missing={missing[:3]} extra={extra[:3]}",
+    # Elastic legs: mid-stream re-balancing (2 -> 4 -> 3) and a
+    # permanent seed-chosen shard loss re-homed onto the survivors
+    # (binary WALs), each at a third of the stream.
+    scaled = run(
+        None, shards=2,
+        scale_plan=((max(1, count // 3), 4), (max(1, (2 * count) // 3), 3)),
+    )
+    lost = run(
+        None, codec="binary", shards=3,
+        lose=((max(1, count // 2), case.seed % 3),),
+    )
+    legs = (
+        ("binary WAL", faulted),
+        ("scale 2->4->3", scaled),
+        ("lose shard", lost),
+    )
+    for label, cluster in legs:
+        for name in rules:
+            missing, extra = multiset_diff(
+                _shard_multiset(baseline, name),
+                _shard_multiset(cluster, name),
             )
+            if missing or extra:
+                return CheckResult(
+                    "failover",
+                    False,
+                    f"{name} [{label}] after {cluster.restarts} restart(s), "
+                    f"{cluster.rebalances} re-balance(s): "
+                    f"missing={missing[:3]} extra={extra[:3]}",
+                )
     detections = sum(
         len(baseline.detections_of(name)) for name in rules
     )
@@ -611,7 +647,8 @@ def _check_failover(
         "failover",
         True,
         f"{detections} detections preserved over {faulted.restarts} "
-        f"kill(s), {faulted.replayed} replayed entries (binary WAL)",
+        f"kill(s), {faulted.replayed} replayed entries (binary WAL), "
+        f"{scaled.rebalances + lost.rebalances} elastic re-balance(s)",
     )
 
 

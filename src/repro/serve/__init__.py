@@ -22,8 +22,20 @@ ServeConfig` is the single configuration entry point across
 :class:`~repro.serve.runtime.ServingRuntime`,
 :class:`~repro.serve.cluster.ClusterSupervisor`, and the ``repro
 serve`` CLI.
+
+The cluster is *elastic*: workers run behind a
+:class:`~repro.serve.transport.WorkerTransport` — local subprocesses
+or remote ``repro serve-worker --listen`` TCP listeners — and
+:meth:`~repro.serve.cluster.ClusterSupervisor.scale` re-hashes rules
+onto a new worker count at a granule boundary, migrating detector
+state through checkpoint handoffs.  The
+:class:`~repro.serve.admin.ClusterAdmin` surface (``scale`` /
+``revive`` / ``drain`` / ``status``) is shared by the supervisor, the
+in-process :class:`~repro.serve.cluster.LocalFailoverCluster`, and the
+CLI.
 """
 
+from repro.serve.admin import ClusterAdmin, ClusterStatus
 from repro.serve.cluster import (
     CheckpointStore,
     ClusterSupervisor,
@@ -36,8 +48,10 @@ from repro.serve.cluster import (
     cluster_serve_stdin,
     replay_with_failover,
     run_worker,
+    serve_worker_listener,
 )
 from repro.serve.config import ServeConfig
+from repro.serve.rebalance import ScaleReport, graft_detector
 from repro.serve.heartbeat import Backoff, HeartbeatMonitor
 from repro.serve.protocol import (
     BINARY_VERSION,
@@ -73,6 +87,13 @@ from repro.serve.server import (
     wire_rules,
 )
 from repro.serve.shard import DetectionShard
+from repro.serve.transport import (
+    SubprocessTransport,
+    TcpTransport,
+    WorkerLink,
+    WorkerTransport,
+    resolve_transport,
+)
 from repro.serve.wal import KIND_ADVANCE, KIND_EVENT, ShardWAL, WalEntry
 
 __all__ = [
@@ -83,6 +104,8 @@ __all__ = [
     "CONTROL_OPS",
     "CheckpointStore",
     "Codec",
+    "ClusterAdmin",
+    "ClusterStatus",
     "ClusterSupervisor",
     "DetectionBroadcast",
     "DetectionLedger",
@@ -96,6 +119,7 @@ __all__ = [
     "KIND_EVENT",
     "LocalFailoverCluster",
     "MAX_LINE_BYTES",
+    "ScaleReport",
     "ServeConfig",
     "ServeEvent",
     "ServingRuntime",
@@ -104,7 +128,11 @@ __all__ = [
     "ShardWAL",
     "StreamDecoder",
     "StreamUnit",
+    "SubprocessTransport",
+    "TcpTransport",
     "WalEntry",
+    "WorkerLink",
+    "WorkerTransport",
     "batch_occurrences",
     "choose_codec",
     "cluster_serve_stdin",
@@ -113,6 +141,7 @@ __all__ = [
     "event_to_line",
     "frame_to_line",
     "get_codec",
+    "graft_detector",
     "hello_ack_line",
     "hello_line",
     "parse_event_line",
@@ -120,10 +149,12 @@ __all__ = [
     "parse_hello",
     "replay_with_failover",
     "resolve_codec",
+    "resolve_transport",
     "run_worker",
     "serve_events",
     "serve_stdin",
     "serve_tcp",
+    "serve_worker_listener",
     "shard_of",
     "wire_rules",
 ]

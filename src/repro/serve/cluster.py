@@ -55,7 +55,9 @@ import json
 import os
 import sys
 import time
+import warnings
 import zlib
+from contextlib import AsyncExitStack
 from dataclasses import dataclass, field
 from typing import Any, Callable, IO, Mapping
 
@@ -67,6 +69,7 @@ from repro.errors import ReproError
 from repro.events.expressions import EventExpression
 from repro.events.parser import parse_expression
 from repro.obs.instrument import Instrumentation, resolve
+from repro.serve.admin import ClusterAdmin, ClusterStatus
 from repro.serve.config import UNSET as _UNSET
 from repro.serve.config import ServeConfig
 from repro.serve.config import resolve_config as _resolve_config
@@ -78,7 +81,13 @@ from repro.serve.protocol import (
     frame_to_line,
     parse_frame,
 )
+from repro.serve.rebalance import ScaleReport, graft_detector
 from repro.serve.router import EventRouter
+from repro.serve.transport import (
+    WorkerLink,
+    WorkerTransport,
+    resolve_transport,
+)
 from repro.serve.wal import KIND_EVENT, ShardWAL, WalEntry
 from repro.time.composite import CompositeTimestamp
 
@@ -106,12 +115,19 @@ class FaultPlan:
         ``(shard, times)`` pairs: the next ``times`` spawn attempts for
         the shard raise — the deterministic route to the retry-budget /
         :class:`ShardUnavailable` degradation path.
+    ``scale_kills``
+        Shard indices killed the moment the next ``scale`` asks them
+        for their state handoff (one per listed occurrence) — the
+        mid-migration crash: the handoff is in flight, the worker dies,
+        and the migration must fall back to the shard's durable
+        checkpoint + WAL without losing or duplicating detections.
     """
 
     kills: tuple[tuple[int, int], ...] = ()
     drop_beats: tuple[tuple[int, int, int], ...] = ()
     corrupt_checkpoints: tuple[int, ...] = ()
     fail_spawns: tuple[tuple[int, int], ...] = ()
+    scale_kills: tuple[int, ...] = ()
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -119,6 +135,7 @@ class FaultPlan:
             "drop_beats": [list(row) for row in self.drop_beats],
             "corrupt_checkpoints": list(self.corrupt_checkpoints),
             "fail_spawns": [list(pair) for pair in self.fail_spawns],
+            "scale_kills": list(self.scale_kills),
         }
 
     @classmethod
@@ -137,6 +154,9 @@ class FaultPlan:
                 ),
                 fail_spawns=tuple(
                     (int(s), int(n)) for s, n in data.get("fail_spawns", ())
+                ),
+                scale_kills=tuple(
+                    int(s) for s in data.get("scale_kills", ())
                 ),
             )
         except (TypeError, ValueError) as error:
@@ -162,6 +182,7 @@ class FaultInjector:
         self._spawn_failures = {s: n for s, n in self.plan.fail_spawns}
         self._corrupt = list(self.plan.corrupt_checkpoints)
         self._beat_windows = [list(row) for row in self.plan.drop_beats]
+        self._scale_kills = list(self.plan.scale_kills)
 
     def should_kill(self, shard: int, seq: int) -> bool:
         key = (shard, seq)
@@ -188,6 +209,12 @@ class FaultInjector:
         remaining = self._spawn_failures.get(shard, 0)
         if remaining > 0:
             self._spawn_failures[shard] = remaining - 1
+            return True
+        return False
+
+    def take_scale_kill(self, shard: int) -> bool:
+        if shard in self._scale_kills:
+            self._scale_kills.remove(shard)
             return True
         return False
 
@@ -328,8 +355,11 @@ class ShardReplica:
         instrumentation: Instrumentation | None = None,
     ) -> None:
         self.index = index
+        # Same logical site on every replica (see DetectionShard): timer
+        # stamps must stay comparable across an elastic re-home, and the
+        # physical shard index travels in the detection rows instead.
         self.detector = Detector(
-            site=f"shard{index}",
+            site="shard",
             timer_ratio=timer_ratio,
             instrumentation=instrumentation,
         )
@@ -407,7 +437,7 @@ class DetectionLedger:
 # --- the in-process failover harness ----------------------------------------
 
 
-class LocalFailoverCluster:
+class LocalFailoverCluster(ClusterAdmin):
     """The failover path (WAL -> checkpoint -> replay -> ledger) in-process.
 
     Semantically identical to :class:`ClusterSupervisor` minus the OS
@@ -415,7 +445,14 @@ class LocalFailoverCluster:
     outright (state, open granules, everything) and rebuilds it from the
     last intact checkpoint plus the WAL tail.  Deterministic and fast —
     this is what the conformance ``failover`` check runs per case and
-    what ``bench_serve_failover`` measures.
+    what ``bench_serve_failover`` / ``bench_serve_rebalance`` measure.
+
+    Implements :class:`~repro.serve.admin.ClusterAdmin`: :meth:`scale`
+    re-hashes the rules onto a new shard count at the current granule
+    boundary and migrates detector state; :meth:`lose` is the permanent
+    failure of one shard — its in-memory replica is discarded, its
+    state recovered from the durable checkpoint + WAL (exactly-once via
+    the ledger), and its rules re-homed onto the survivors.
     """
 
     def __init__(
@@ -452,10 +489,17 @@ class LocalFailoverCluster:
         self._replicas: dict[int, ShardReplica] = {}
         self.ledger = DetectionLedger()
         self._detections: dict[str, list[Any]] = {}
+        self._codec = codec
+        self._last_granule: int | None = None
+        #: granule -> shard-map epochs its events routed under.  The
+        #: scale-at-boundary contract keeps every value a singleton —
+        #: the property the Hypothesis epoch tests pin down.
+        self.granule_epochs: dict[int, set[int]] = {}
         self.restarts = 0
         self.replayed = 0
         self.checkpoints = 0
         self.events_applied = 0
+        self.rebalances = 0
 
     # --- registration ----------------------------------------------------
 
@@ -501,6 +545,13 @@ class LocalFailoverCluster:
     # --- the ingest/apply path -------------------------------------------
 
     def ingest(self, event: ServeEvent) -> None:
+        granule = event.granule
+        self._last_granule = (
+            granule
+            if self._last_granule is None
+            else max(self._last_granule, granule)
+        )
+        self.granule_epochs.setdefault(granule, set()).add(self.router.epoch)
         for index in self.router.route(event.event_type):
             entry = self._wals[index].append_event(event)
             self._apply(index, entry)
@@ -512,6 +563,11 @@ class LocalFailoverCluster:
 
     def advance(self, granule: int) -> None:
         """Drain-time clock advance on every shard (logged + applied)."""
+        self._last_granule = (
+            granule
+            if self._last_granule is None
+            else max(self._last_granule, granule)
+        )
         for index, wal in self._wals.items():
             entry = wal.append_advance(granule)
             self._apply(index, entry)
@@ -564,6 +620,121 @@ class LocalFailoverCluster:
             )
         return len(tail)
 
+    # --- re-balancing (the ClusterAdmin surface) -------------------------
+
+    def scale(self, shards: int) -> ScaleReport:
+        """Re-hash every rule onto ``shards`` shards at the boundary.
+
+        All shards first advance (logged) to the highest granule seen,
+        so their detectors sit *between* granules — the point where
+        Def 4.4 makes per-node state migratable.  Rules are re-assigned
+        by the successor router (epoch + 1), each new shard's detector
+        is grafted from the old replicas by shared ``(expression,
+        context)`` identity, and fresh WALs are seeded past the global
+        seq high-water so the detection ledger's existing per-shard
+        marks keep deduplicating without a reset.
+        """
+        if shards <= 0:
+            raise ReproError(f"shard count must be positive, got {shards}")
+        boundary = self._last_granule
+        if boundary is not None:
+            self.advance(boundary)
+        old_shards = self.router.shards
+        old_router = self.router
+        sources = {
+            index: self._replica(index).detector
+            for index in range(old_shards)
+        }
+        global_seq = max(
+            (wal.last_seq for wal in self._wals.values()), default=0
+        )
+        successor = old_router.rehash(shards)
+        replicas: dict[int, ShardReplica] = {}
+        for index in range(shards):
+            replica = ShardReplica(
+                index,
+                timer_ratio=self.timer_ratio,
+                instrumentation=self._instrumentation,
+            )
+            for name in successor.rules_of(index):
+                expression, context = self._rules[name]
+                replica.register(expression, name, context)
+            graft_detector(replica.detector, sources)
+            replica.applied_seq = global_seq
+            replicas[index] = replica
+        for wal in self._wals.values():
+            wal.close()
+        self._wals = {
+            index: ShardWAL(codec=self._codec) for index in range(shards)
+        }
+        self._stores = {
+            index: CheckpointStore() for index in range(shards)
+        }
+        for index, wal in self._wals.items():
+            wal.seed_seq(global_seq)
+            self._stores[index].save(replicas[index].snapshot())
+        self._replicas = replicas
+        self.router = successor
+        self._bind()
+        self.rebalances += 1
+        if self.obs.enabled:
+            self.obs.counter("serve.rebalance.scales").inc()
+        return ScaleReport(
+            from_shards=old_shards,
+            to_shards=shards,
+            epoch=successor.epoch,
+            boundary=boundary,
+            seq=global_seq,
+            moved_rules={
+                name: (old_router.assignments[name], home)
+                for name, home in successor.assignments.items()
+                if old_router.assignments.get(name) != home
+            },
+        )
+
+    def lose(self, index: int) -> ScaleReport:
+        """Permanently lose one shard; re-home its rules to survivors.
+
+        The in-memory replica is discarded (everything since the last
+        checkpoint exists only in the WAL), rebuilt from durable state
+        with the ledger deduplicating replayed detections, and the
+        whole cluster re-hashes onto one fewer shard.
+        """
+        if not 0 <= index < self.router.shards:
+            raise ReproError(f"shard index {index} out of range")
+        if self.router.shards < 2:
+            raise ReproError("cannot lose the only remaining shard")
+        self.crash(index)
+        return self.scale(self.router.shards - 1)
+
+    def revive(self, shard: int) -> bool:
+        """In-process shards never park; recovery is immediate."""
+        self.crash(shard)
+        return True
+
+    def drain(self, horizon: int | None = None) -> list[ShardUnavailable]:
+        """Advance every shard to ``horizon`` (the in-process barrier).
+
+        In-process application is synchronous, so after :meth:`advance`
+        every WAL entry has been applied; the return value is always
+        empty, matching the supervisor's healthy-path contract.
+        """
+        if horizon is not None:
+            self.advance(horizon)
+        return []
+
+    def status(self) -> ClusterStatus:
+        return ClusterStatus(
+            shards=self.router.shards,
+            epoch=self.router.epoch,
+            transport="in-process",
+            unavailable={},
+            parked=0,
+            restarts=self.restarts,
+            checkpoints=self.checkpoints,
+            detections=self.ledger.accepted,
+        )
+
     # --- results ---------------------------------------------------------
 
     def detections_of(self, name: str):
@@ -585,6 +756,8 @@ def replay_with_failover(
     checkpoint_every: int = 8,
     fault_plan: FaultPlan | None = None,
     codec: str | None = None,
+    scale_plan: tuple[tuple[int, int], ...] = (),
+    lose: tuple[tuple[int, int], ...] = (),
 ) -> LocalFailoverCluster:
     """Run a finite stream through a faulted in-process cluster.
 
@@ -593,6 +766,15 @@ def replay_with_failover(
     ``horizon``, returns the cluster for inspection.  ``codec`` selects
     the WAL storage encoding (``"binary"`` replays through the binary
     wire format).
+
+    ``scale_plan`` is a schedule of ``(after_count, shards)`` pairs:
+    once ``after_count`` events have been ingested the cluster
+    re-balances to ``shards`` shards.  ``lose`` is a schedule of
+    ``(after_count, shard)`` pairs permanently losing one shard (its
+    rules re-home onto the survivors).  Both migrate state at the
+    current granule boundary, so the collected multiset must equal the
+    fault-free single-process run — the elastic leg of the conformance
+    ``failover`` check.
     """
     cluster = LocalFailoverCluster(
         shards,
@@ -604,8 +786,20 @@ def replay_with_failover(
     )
     for name, expression in rules.items():
         cluster.register(expression, name, context)
+    scales = sorted(scale_plan)
+    losses = sorted(lose)
+    count = 0
     for event in events:
         cluster.ingest(event)
+        count += 1
+        while scales and scales[0][0] <= count:
+            cluster.scale(scales.pop(0)[1])
+        while losses and losses[0][0] <= count:
+            cluster.lose(losses.pop(0)[1] % cluster.router.shards)
+    for _, shards_after in scales:
+        cluster.scale(shards_after)
+    for _, shard in losses:
+        cluster.lose(shard % cluster.router.shards)
     if horizon is not None:
         cluster.advance(horizon)
     return cluster
@@ -614,35 +808,24 @@ def replay_with_failover(
 # --- the worker process side -------------------------------------------------
 
 
-def run_worker(
-    shard: int,
-    *,
-    timer_ratio: int = 1,
-    heartbeat_interval: float = 0.25,
-    in_stream: IO[bytes] | None = None,
-    out_stream: IO[str] | None = None,
-) -> int:
-    """The ``repro serve-worker`` loop: one replica behind JSONL frames.
+class _ShardSession:
+    """One worker incarnation: a replica driven by inbound control frames.
 
-    Reads control frames from ``in_stream`` (default: raw stdin), writes
-    response frames to ``out_stream`` (default: stdout, flushed per
-    line).  Emits a ``beat`` frame every ``heartbeat_interval`` seconds
-    even while idle (using ``select`` on the input fd so buffered lines
-    are never stranded).  A malformed or failing frame produces one
-    structured ``error`` frame and the loop survives — the supervisor
-    decides whether to kill.  EOF on stdin is the shutdown signal.
+    The transport-independent half of the worker: :func:`run_worker`
+    wraps it behind stdin/stdout pipes, :func:`serve_worker_listener`
+    behind a TCP connection.  ``handle`` processes one frame and emits
+    responses through the supplied callable; it returns False when the
+    session should end (a ``stop`` frame).
     """
-    import select as select_mod
 
-    replica = ShardReplica(shard, timer_ratio=timer_ratio)
-    out = out_stream if out_stream is not None else sys.stdout
+    def __init__(self, shard: int, *, timer_ratio: int = 1) -> None:
+        self.shard = shard
+        self.replica = ShardReplica(shard, timer_ratio=timer_ratio)
 
-    def emit(op: str, **fields: Any) -> None:
-        out.write(frame_to_line(op, **fields) + "\n")
-        out.flush()
-
-    def handle(frame: dict[str, Any]) -> bool:
-        """Process one frame; returns False when the worker should exit."""
+    def handle(
+        self, frame: dict[str, Any], emit: Callable[..., None]
+    ) -> bool:
+        replica = self.replica
         op = frame["op"]
         if op == "register":
             replica.register(
@@ -667,7 +850,7 @@ def run_worker(
                     "detection",
                     seq=tagged.seq,
                     k=tagged.k,
-                    row=detection_to_json(shard, tagged.detection),
+                    row=detection_to_json(self.shard, tagged.detection),
                 )
             emit("ack", seq=entry.seq)
         elif op == "checkpoint":
@@ -676,11 +859,57 @@ def run_worker(
                 seq=replica.applied_seq,
                 state=replica.snapshot(),
             )
+        elif op == "handoff":
+            # State migration for scale(): like checkpoint, but tagged
+            # so the supervisor resolves its pending handoff instead of
+            # (only) persisting a routine checkpoint.
+            emit(
+                "checkpoint_state",
+                seq=replica.applied_seq,
+                state=replica.snapshot(),
+                handoff=True,
+            )
         elif op == "stop":
             return False
         else:  # an op valid on the wire but not inbound (beat/ack/...)
             emit("error", message=f"unexpected inbound op {op!r}")
         return True
+
+
+def run_worker(
+    shard: int,
+    *,
+    timer_ratio: int = 1,
+    heartbeat_interval: float = 0.25,
+    in_stream: IO[bytes] | None = None,
+    out_stream: IO[str] | None = None,
+) -> int:
+    """The ``repro serve-worker`` loop: one replica behind JSONL frames.
+
+    Reads control frames from ``in_stream`` (default: raw stdin), writes
+    response frames to ``out_stream`` (default: stdout, flushed per
+    line).  Emits a ``beat`` frame every ``heartbeat_interval`` seconds
+    even while idle (using ``select`` on the input fd so buffered lines
+    are never stranded).  A malformed or failing frame produces one
+    structured ``error`` frame and the loop survives — the supervisor
+    decides whether to kill.  EOF on stdin is the shutdown signal.
+    """
+    import select as select_mod
+
+    session = _ShardSession(shard, timer_ratio=timer_ratio)
+    replica = session.replica
+    out = out_stream if out_stream is not None else sys.stdout
+
+    def emit(op: str, **fields: Any) -> None:
+        # Beats carry the worker's send-time clock so the supervisor's
+        # liveness monitor can separate transport latency from silence.
+        if op == "beat":
+            fields.setdefault("t", time.monotonic())
+        out.write(frame_to_line(op, **fields) + "\n")
+        out.flush()
+
+    def handle(frame: dict[str, Any]) -> bool:
+        return session.handle(frame, emit)
 
     emit("beat", seq=0)
     source = in_stream if in_stream is not None else sys.stdin.buffer
@@ -728,6 +957,154 @@ def run_worker(
     return 0
 
 
+async def serve_worker_listener(
+    host: str,
+    port: int,
+    *,
+    timer_ratio: int = 1,
+    heartbeat_interval: float = 0.25,
+    codec: str = "auto",
+    announce: Callable[[str], None] | None = None,
+) -> "asyncio.Server":
+    """A TCP worker host: ``repro serve-worker --listen HOST:PORT``.
+
+    Each accepted connection is one worker *incarnation*: the first
+    inbound frame must be a JSONL ``hello`` naming the shard index and
+    offering codecs (plus ``timer_ratio``/``heartbeat_interval``
+    overrides), answered by a JSONL ``hello_ack`` naming the codec this
+    listener chose — after which both directions speak the negotiated
+    codec.  The connection then runs the exact :class:`_ShardSession`
+    loop the subprocess worker runs, with periodic beats.  Dropping the
+    connection discards the replica, so a supervisor-side kill +
+    reconnect is semantically a respawn (register, restore, replay).
+
+    One listener hosts any number of shards (one per connection), which
+    is what lets ``scale(n)`` grow a cluster without new machines.
+
+    Returns the started :class:`asyncio.Server`; the caller owns its
+    lifetime (``serve_forever`` in the CLI, ``close`` in tests).
+    ``announce`` is called with the bound ``host:port`` once listening —
+    the CLI prints it as a JSON line so scripts can use port 0.
+    """
+    from repro.serve.protocol import choose_codec, get_codec
+
+    binary = get_codec("binary")
+
+    async def on_connection(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        from repro.serve.protocol import StreamDecoder
+
+        decoder = StreamDecoder(
+            max_line_bytes=_WORKER_FRAME_LIMIT,
+            max_frame_bytes=_WORKER_FRAME_LIMIT,
+        )
+        session: _ShardSession | None = None
+        chosen = "jsonl"
+
+        def emit(op: str, **fields: Any) -> None:
+            if op == "beat":
+                fields.setdefault("t", time.monotonic())
+            frame = {"op": op, **fields}
+            if chosen == "binary":
+                writer.write(binary.encode_control(frame))
+            else:
+                writer.write((frame_to_line(op, **fields) + "\n").encode("utf-8"))
+
+        async def beat_loop(interval: float) -> None:
+            while True:
+                await asyncio.sleep(interval)
+                emit("beat", seq=session.replica.applied_seq)
+                await writer.drain()
+
+        beats: asyncio.Task | None = None
+        try:
+            running = True
+            while running:
+                chunk = await reader.read(1 << 16)
+                if not chunk:
+                    break
+                for unit in decoder.feed(chunk):
+                    if unit.kind == "error":
+                        emit("error", message=unit.message)
+                        continue
+                    try:
+                        if unit.kind == "frame":
+                            frame = binary.decode_control(bytes(unit.payload))
+                        else:
+                            frame = parse_frame(
+                                unit.payload.decode("utf-8", errors="replace")
+                            )
+                    except Exception as error:  # noqa: BLE001 - bad frame
+                        emit("error", message=str(error))
+                        continue
+                    if session is None:
+                        # Connection setup: hello before anything else.
+                        if frame.get("op") != "hello":
+                            emit(
+                                "error",
+                                message="expected hello as the first frame",
+                            )
+                            running = False
+                            break
+                        chosen = choose_codec(
+                            codec, [str(c) for c in frame.get("codecs", [])]
+                        ).name
+                        session = _ShardSession(
+                            int(frame.get("shard", 0)),
+                            timer_ratio=int(
+                                frame.get("timer_ratio", timer_ratio)
+                            ),
+                        )
+                        interval = float(
+                            frame.get(
+                                "heartbeat_interval", heartbeat_interval
+                            )
+                        )
+                        # The ack itself is always a JSONL line (readable
+                        # before negotiation); the switch happens after.
+                        writer.write(
+                            (
+                                frame_to_line(
+                                    "hello_ack", codec=chosen, version=1
+                                )
+                                + "\n"
+                            ).encode("utf-8")
+                        )
+                        emit("beat", seq=0)
+                        beats = asyncio.get_running_loop().create_task(
+                            beat_loop(interval)
+                        )
+                        continue
+                    try:
+                        running = session.handle(frame, emit)
+                    except ReproError as error:
+                        emit("error", message=str(error))
+                    except Exception as error:  # noqa: BLE001 - keep alive
+                        emit("error", message=f"{type(error).__name__}: {error}")
+                    if not running:
+                        break
+                await writer.drain()
+        except (OSError, ConnectionError):  # peer went away mid-write
+            pass
+        finally:
+            if beats is not None:
+                beats.cancel()
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+
+    server = await asyncio.start_server(
+        on_connection, host, port, limit=_WORKER_FRAME_LIMIT
+    )
+    if announce is not None:
+        bound = server.sockets[0].getsockname()
+        announce(f"{bound[0]}:{bound[1]}")
+    return server
+
+
 # --- the supervisor ----------------------------------------------------------
 
 
@@ -747,15 +1124,15 @@ discarded by the stream reader and counted in
 
 
 class _Worker:
-    """Supervisor-side handle of one live worker process."""
+    """Supervisor-side handle of one live worker incarnation."""
 
     __slots__ = (
-        "process", "reader", "dead", "acked_seq", "applied", "beats_seen",
-        "started", "sent_seq",
+        "link", "reader", "dead", "acked_seq", "applied", "beats_seen",
+        "started", "sent_seq", "handoff",
     )
 
-    def __init__(self, process: asyncio.subprocess.Process) -> None:
-        self.process = process
+    def __init__(self, link: WorkerLink) -> None:
+        self.link = link
         self.reader: asyncio.Task | None = None
         self.dead = False
         self.acked_seq = 0
@@ -766,19 +1143,42 @@ class _Worker:
         # included) — _deliver skips entries at or below it, so an
         # entry covered by a recovery's tail replay is never re-sent.
         self.sent_seq = 0
+        # Pending scale() handoff: resolved with the worker's migration
+        # state (or None when the channel dies first).
+        self.handoff: asyncio.Future | None = None
+
+    @property
+    def process(self):
+        """The underlying OS process of a subprocess-backed worker.
+
+        Kept for the tests (and callers) that reach through the handle
+        to kill the process directly; TCP-backed workers have none.
+        """
+        return getattr(self.link, "process", None)
 
 
-class ClusterSupervisor:
-    """Runs each shard as a supervised ``repro serve-worker`` process.
+class ClusterSupervisor(ClusterAdmin):
+    """Runs each shard on a supervised worker behind a transport.
 
     Configure through ``config=ServeConfig(...)`` — the relevant fields
     are ``procs`` (worker count; falls back to ``shards``), ``salt``,
     ``timer_ratio``, ``state_dir`` (required), ``heartbeat_interval``,
     ``miss_threshold``, ``retry_budget``, ``checkpoint_every``,
-    ``seed``, and ``codec`` (``"binary"`` stores the WALs in binary
-    frames, so failover replay consumes the wire encoding).  The
+    ``seed``, ``codec`` (``"binary"`` stores the WALs in binary
+    frames, so failover replay consumes the wire encoding),
+    ``transport``/``workers`` (remote TCP shard endpoints instead of
+    local subprocess workers), and ``rebalance_grace`` (``None`` parks
+    a shard past its retry budget until :meth:`revive`; a float
+    automatically re-homes its rules onto the surviving shards).  The
     individual keyword arguments are deprecated aliases; mixing them
     with ``config=`` raises ``TypeError``.
+
+    Implements :class:`~repro.serve.admin.ClusterAdmin`: :meth:`scale`
+    re-balances the live cluster onto a new worker count at the current
+    granule boundary, migrating detector state through checkpoint
+    handoff frames (falling back to an in-process rebuild from WAL +
+    checkpoint, deduplicated by the ledger, for any worker that dies
+    mid-handoff).
 
     ``state_dir`` holds per-shard WAL and checkpoint files (created if
     missing); a supervisor restarted over the same directory recovers
@@ -850,6 +1250,7 @@ class ClusterSupervisor:
         # "auto" keep the legacy text layout (compatible with existing
         # state directories — binary is an explicit storage upgrade).
         wal_codec = "binary" if config.codec == "binary" else None
+        self._wal_codec = wal_codec
         shards = procs
         self._wals: dict[int, ShardWAL] = {
             k: ShardWAL(
@@ -872,6 +1273,10 @@ class ClusterSupervisor:
                     self._stores[k].retain_after,
                 )
             )
+        self.transport = resolve_transport(
+            config.transport, config.workers, codec=config.codec
+        )
+        self.rebalance_grace = config.rebalance_grace
         self._workers: dict[int, _Worker] = {}
         self._locks: dict[int, asyncio.Lock] = {}
         self._unavailable: dict[int, str] = {}
@@ -879,6 +1284,20 @@ class ClusterSupervisor:
         self._detections: dict[str, list[dict[str, Any]]] = {}
         self._monitor_task: asyncio.Task | None = None
         self._stopping = False
+        self._last_granule: int | None = None
+        #: granule -> shard-map epochs its events routed under (always
+        #: singletons: scale() happens between granules, and one
+        #: event's whole fan-out is appended under one epoch).
+        self.granule_epochs: dict[int, set[int]] = {}
+        # scale() must not interleave with ingest: the flag blocks new
+        # batches synchronously, the event wakes them when done.
+        self._scaling = False
+        self._scale_done = asyncio.Event()
+        self._scale_done.set()
+        # Shards past their retry budget awaiting automatic re-homing
+        # (only populated when rebalance_grace is not None).
+        self._rehome_pending: set[int] = set()
+        self._rehome_at = 0.0
         self.restarts = 0
         self.replayed = 0
         self.parked = 0
@@ -886,6 +1305,8 @@ class ClusterSupervisor:
         self.events_ingested = 0
         self.events_unrouted = 0
         self.frames_dropped = 0
+        self.rebalances = 0
+        self.rehomes = 0
 
     # --- registration ----------------------------------------------------
 
@@ -908,13 +1329,16 @@ class ClusterSupervisor:
         )
         index = self.router.assign(name)
         self._rules[name] = (str(parsed), context)
+        self._bind()
+        return index
+
+    def _bind(self) -> None:
         by_shard: dict[int, set[str]] = {}
         for rule, (text, _) in self._rules.items():
             by_shard.setdefault(
                 self.router.assignments[rule], set()
             ).update(parse_expression(text).primitive_types())
         self.router.bind(by_shard)
-        return index
 
     def rule_names(self) -> list[str]:
         return sorted(self._rules)
@@ -946,17 +1370,34 @@ class ClusterSupervisor:
         healthy).  Events for an unavailable shard are parked in its
         WAL; healthy shards are never blocked by a sick one.
         """
+        while self._scaling:
+            await self._scale_done.wait()
         targets = self.router.route(event.event_type)
         if not targets:
             self.events_unrouted += 1
             return []
         self.events_ingested += 1
+        granule = event.granule
+        self._last_granule = (
+            granule
+            if self._last_granule is None
+            else max(self._last_granule, granule)
+        )
+        self.granule_epochs.setdefault(granule, set()).add(self.router.epoch)
+        # Route + append for the whole fan-out synchronously (no awaits
+        # in between): a concurrent scale() can only observe the event
+        # fully logged under one epoch, never half-routed across two
+        # shard maps.
+        entries = [
+            (index, self._wals[index].append_event(event))
+            for index in targets
+        ]
         signals: list[ShardUnavailable] = []
-        for index in targets:
-            entry = self._wals[index].append_event(event)
+        for index, entry in entries:
             signal = await self._deliver(index, entry)
             if signal is not None:
                 signals.append(signal)
+        await self._maybe_rehome()
         return signals
 
     async def _deliver(
@@ -969,6 +1410,11 @@ class ClusterSupervisor:
         # into the replay stream.  The entry is already in the WAL, so
         # either the in-flight recovery's tail covers it (sent_seq then
         # says skip) or we send it now, strictly after the replay.
+        if index >= self.router.shards:
+            # The cluster scaled in under this batch's feet; the entry
+            # was appended pre-scale and migrated with the old shard's
+            # state, so there is nothing left to deliver.
+            return None
         async with self._lock(index):
             if index in self._unavailable:
                 self.parked += 1
@@ -1003,48 +1449,42 @@ class ClusterSupervisor:
             if self.faults.should_kill(index, entry.seq):
                 live = self._workers.get(index)
                 if live is not None and not live.dead:
-                    live.process.kill()
+                    live.link.kill()
                     live.dead = True
             return None
 
     async def _send(self, worker: _Worker, frame: dict[str, Any]) -> None:
-        line = json.dumps(frame, sort_keys=True) + "\n"
-        worker.process.stdin.write(line.encode("utf-8"))
-        await worker.process.stdin.drain()
+        await worker.link.send(frame)
 
     # --- worker output ---------------------------------------------------
 
     async def _read_loop(self, index: int, worker: _Worker) -> None:
-        stream = worker.process.stdout
+        link = worker.link
+        dropped = link.frames_dropped
         while True:
-            try:
-                raw = await stream.readline()
-            except (asyncio.LimitOverrunError, ValueError):
-                # The stream reader discarded a frame past
-                # _WORKER_FRAME_LIMIT.  Stay connected, but surface the
-                # loss: a dropped detection or checkpoint_state frame
-                # is otherwise invisible (and a shard whose checkpoints
-                # never land grows its WAL without bound).
-                self.frames_dropped += 1
+            frame = await link.read()
+            if link.frames_dropped != dropped:
+                # The link discarded oversized/undecodable frames.  Stay
+                # connected, but surface the loss: a dropped detection
+                # or checkpoint_state frame is otherwise invisible (and
+                # a shard whose checkpoints never land grows its WAL
+                # without bound).
+                delta = link.frames_dropped - dropped
+                dropped = link.frames_dropped
+                self.frames_dropped += delta
                 if self.obs.enabled:
                     self.obs.counter(
                         "serve.failover.frames_dropped", shard=index
-                    ).inc()
-                continue
-            if not raw:
+                    ).inc(delta)
+            if frame is None:
                 break
-            text = raw.decode("utf-8", errors="replace").strip()
-            if not text:
-                continue
-            try:
-                frame = parse_frame(text)
-            except ReproError:
-                continue
-            worker.started.set()  # any frame proves the process is up
+            worker.started.set()  # any frame proves the worker is up
             self._handle_frame(index, worker, frame)
         worker.dead = True
         worker.started.set()
         worker.applied.set()  # wake any drain barrier so it re-checks
+        if worker.handoff is not None and not worker.handoff.done():
+            worker.handoff.set_result(None)  # died mid-handoff
 
     def _handle_frame(
         self, index: int, worker: _Worker, frame: dict[str, Any]
@@ -1056,7 +1496,11 @@ class ClusterSupervisor:
                 if self.obs.enabled:
                     self.obs.counter("serve.failover.beats_dropped").inc()
                 return
-            self.monitor.beat(index)
+            sent_at = frame.get("t")
+            self.monitor.beat(
+                index,
+                sent_at=float(sent_at) if sent_at is not None else None,
+            )
         elif op == "ack":
             worker.acked_seq = max(worker.acked_seq, int(frame["seq"]))
             worker.applied.set()
@@ -1082,6 +1526,9 @@ class ClusterSupervisor:
             self.checkpoints += 1
             if self.obs.enabled:
                 self.obs.counter("serve.failover.checkpoints").inc()
+            if worker.handoff is not None and not worker.handoff.done():
+                # scale() is waiting on this state for migration.
+                worker.handoff.set_result(dict(frame["state"]))
         # "error" frames are tolerated: the worker survived the problem.
 
     # --- failure detection and recovery ----------------------------------
@@ -1089,8 +1536,12 @@ class ClusterSupervisor:
     async def _monitor_loop(self) -> None:
         while not self._stopping:
             await asyncio.sleep(self.monitor.interval)
+            if self._scaling:
+                continue
             for index in range(self.router.shards):
-                if self._stopping or index in self._unavailable:
+                if self._stopping or self._scaling:
+                    break
+                if index in self._unavailable:
                     continue
                 worker = self._workers.get(index)
                 if worker is None:
@@ -1102,9 +1553,10 @@ class ClusterSupervisor:
                         self.obs.counter("serve.failover.beats_missed").inc(
                             self.monitor.missed(index)
                         )
-                    worker.process.kill()
+                    worker.link.kill()
                     worker.dead = True
                     await self._recover(index)
+            await self._maybe_rehome()
 
     def _lock(self, index: int) -> asyncio.Lock:
         lock = self._locks.get(index)
@@ -1198,28 +1650,25 @@ class ClusterSupervisor:
         self.monitor.forget(index)
         if self.obs.enabled:
             self.obs.counter("serve.failover.unavailable").inc()
+        # With a rebalance grace configured, a shard past its retry
+        # budget is not parked indefinitely: its rules are re-homed onto
+        # the survivors once the grace elapses (see _maybe_rehome; the
+        # scale itself cannot run here — this shard's lock is held).
+        if self.rebalance_grace is not None and self.router.shards > 1:
+            self._rehome_pending.add(index)
+            self._rehome_at = time.monotonic() + self.rebalance_grace
         return False
 
     async def _spawn(self, index: int) -> _Worker:
         if self.faults.take_spawn_failure(index):
             raise ReproError(f"injected spawn failure for shard {index}")
-        process = await asyncio.create_subprocess_exec(
-            sys.executable,
-            "-m",
-            "repro.cli",
-            "serve-worker",
-            "--shard",
-            str(index),
-            "--timer-ratio",
-            str(self.timer_ratio),
-            "--heartbeat-interval",
-            str(self.monitor.interval),
-            stdin=asyncio.subprocess.PIPE,
-            stdout=asyncio.subprocess.PIPE,
-            stderr=asyncio.subprocess.DEVNULL,
-            limit=_WORKER_FRAME_LIMIT,
+        link = await self.transport.connect(
+            index,
+            timer_ratio=self.timer_ratio,
+            heartbeat_interval=self.monitor.interval,
+            frame_limit=_WORKER_FRAME_LIMIT,
         )
-        worker = _Worker(process)
+        worker = _Worker(link)
         worker.reader = asyncio.get_running_loop().create_task(
             self._read_loop(index, worker),
             name=f"repro-serve-cluster-reader-{index}",
@@ -1230,12 +1679,8 @@ class ClusterSupervisor:
         worker = self._workers.pop(index, None)
         if worker is None:
             return
-        if worker.process.returncode is None:
-            worker.process.kill()
-        try:
-            await asyncio.wait_for(worker.process.wait(), timeout=5)
-        except asyncio.TimeoutError:  # pragma: no cover - defensive
-            pass
+        worker.link.kill()
+        await worker.link.wait(timeout=5)
         if worker.reader is not None:
             worker.reader.cancel()
             try:
@@ -1246,7 +1691,269 @@ class ClusterSupervisor:
     async def revive(self, index: int) -> bool:
         """Bring an unavailable shard back and replay its parked tail."""
         self._unavailable.pop(index, None)
+        self._rehome_pending.discard(index)
         return await self._recover(index)
+
+    # --- live re-balancing -----------------------------------------------
+
+    def _register_all(self, replica: ShardReplica, names) -> None:
+        for name in names:
+            text, context = self._rules[name]
+            replica.register(text, name, context)
+
+    def _rebuild_replica(self, index: int) -> ShardReplica:
+        """Rebuild a shard in-process from its durable checkpoint + WAL.
+
+        The migration fallback for a worker that cannot hand its state
+        off (dead, parked, or killed mid-handoff): everything since the
+        last checkpoint exists in the WAL, and replaying the tail
+        through the ledger re-derives exactly the detections the dead
+        worker never delivered — the same exactly-once argument as a
+        respawn, executed in the supervisor.
+        """
+        replica = ShardReplica(index, timer_ratio=self.timer_ratio)
+        self._register_all(replica, self.router.rules_of(index))
+        state = self._stores[index].load()
+        if state is not None:
+            replica.restore(state)
+        tail = self._wals[index].tail(replica.applied_seq)
+        for entry in tail:
+            for tagged in replica.apply(entry):
+                if self.ledger.offer(index, tagged.seq, tagged.k):
+                    row = detection_to_json(index, tagged.detection)
+                    self._detections.setdefault(
+                        row["detection"], []
+                    ).append(row)
+                    if self.on_detection is not None:
+                        self.on_detection(row)
+        self.replayed += len(tail)
+        return replica
+
+    async def _collect_handoff(
+        self, index: int, entry: WalEntry | None
+    ) -> dict[str, Any] | None:
+        """One worker's migration state, or None if it must be rebuilt.
+
+        Sends the boundary advance (when one was logged), awaits its
+        ack so the snapshot sits exactly at the granule boundary, then
+        requests a checkpoint handoff and awaits the state frame.  Any
+        failure — dead worker, parked shard, ack or handoff timeout —
+        returns None and the caller falls back to
+        :meth:`_rebuild_replica`.
+        """
+        if index in self._unavailable:
+            return None
+        worker = self._workers.get(index)
+        if worker is None or worker.dead:
+            return None
+        timeout = max(
+            5.0, self.monitor.interval * self.monitor.miss_threshold
+        )
+        try:
+            if entry is not None and entry.seq > worker.sent_seq:
+                await self._send(worker, entry.frame())
+                worker.sent_seq = entry.seq
+            target_seq = entry.seq if entry is not None else worker.sent_seq
+            deadline = time.monotonic() + timeout
+            while worker.acked_seq < target_seq and not worker.dead:
+                worker.applied.clear()
+                if worker.acked_seq >= target_seq or worker.dead:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                try:
+                    await asyncio.wait_for(
+                        worker.applied.wait(), timeout=remaining
+                    )
+                except asyncio.TimeoutError:
+                    return None
+            if worker.dead:
+                return None
+            worker.handoff = asyncio.get_running_loop().create_future()
+            await self._send(worker, {"op": "handoff"})
+            if self.faults.take_scale_kill(index):
+                # Chaos injection: the worker dies with the checkpoint
+                # handoff in flight — the reply may or may not make it.
+                worker.link.kill()
+                worker.dead = True
+            try:
+                return await asyncio.wait_for(worker.handoff, timeout=timeout)
+            except asyncio.TimeoutError:
+                return None
+        except (OSError, ConnectionError):
+            worker.dead = True
+            return None
+        finally:
+            worker.handoff = None
+
+    async def scale(self, shards: int) -> ScaleReport:
+        """Re-balance the live cluster onto ``shards`` workers.
+
+        The migration runs at the current granule boundary: every shard
+        first advances (logged) to the highest granule ingested, so by
+        Def 4.4 the per-node state is *between* granules and movable.
+        Live workers hand their state off via checkpoint frames; a
+        worker that dies mid-handoff (or was already parked) is rebuilt
+        in-process from its durable checkpoint + WAL with the ledger
+        deduplicating replayed detections.  Rules are re-hashed by the
+        successor router (epoch + 1), each new worker's detector is
+        grafted from the old states, fresh WALs are seeded past the
+        global seq high-water (so the ledger's per-shard marks keep
+        deduplicating without a reset), and the new worker set is
+        spawned.  Ingest is blocked for the duration; no event's
+        fan-out ever straddles two shard maps.
+        """
+        if shards <= 0:
+            raise ReproError(f"shard count must be positive, got {shards}")
+        if self._stopping:
+            raise ReproError("cannot scale a stopping cluster")
+        while self._scaling:
+            await self._scale_done.wait()
+        self._scaling = True
+        self._scale_done.clear()
+        try:
+            return await self._scale_now(shards)
+        finally:
+            self._scaling = False
+            self._scale_done.set()
+
+    async def _scale_now(self, shards: int) -> ScaleReport:
+        old_router = self.router
+        old_shards = old_router.shards
+        boundary = self._last_granule
+        sources: dict[int, Detector] = {}
+        async with AsyncExitStack() as stack:
+            # Hold every old shard's lock: recovery and dispatch are
+            # fully quiesced while state is in motion.
+            for index in range(old_shards):
+                await stack.enter_async_context(self._lock(index))
+            boundary_entries: dict[int, WalEntry] = {}
+            if boundary is not None:
+                for index in range(old_shards):
+                    boundary_entries[index] = self._wals[
+                        index
+                    ].append_advance(boundary)
+            for index in range(old_shards):
+                state = await self._collect_handoff(
+                    index, boundary_entries.get(index)
+                )
+                if state is not None:
+                    replica = ShardReplica(
+                        index, timer_ratio=self.timer_ratio
+                    )
+                    self._register_all(
+                        replica, old_router.rules_of(index)
+                    )
+                    replica.restore(state)
+                    sources[index] = replica.detector
+                else:
+                    sources[index] = self._rebuild_replica(index).detector
+            global_seq = max(
+                (wal.last_seq for wal in self._wals.values()), default=0
+            )
+            successor = old_router.rehash(shards)
+            snapshots: dict[int, dict[str, Any]] = {}
+            for j in range(shards):
+                target = ShardReplica(j, timer_ratio=self.timer_ratio)
+                names = successor.rules_of(j)
+                for name in names:
+                    text, context = self._rules[name]
+                    target.register(text, name, context)
+                graft_detector(target.detector, sources)
+                target.applied_seq = global_seq
+                snapshots[j] = target.snapshot()
+            # Swap the durable state wholesale: the snapshots above are
+            # the new generation's checkpoints, and both WAL and store
+            # files of the old layout are removed so a restarted
+            # supervisor can never resurrect a stale shard map.
+            for index in range(old_shards):
+                await self._reap(index)
+            for wal in self._wals.values():
+                wal.close()
+            for k in range(max(old_shards, shards)):
+                for suffix in ("wal", "ckpt"):
+                    path = os.path.join(self.state_dir, f"shard{k}.{suffix}")
+                    if os.path.exists(path):
+                        os.remove(path)
+            self._wals = {
+                k: ShardWAL(
+                    os.path.join(self.state_dir, f"shard{k}.wal"),
+                    codec=self._wal_codec,
+                )
+                for k in range(shards)
+            }
+            self._stores = {
+                k: CheckpointStore(
+                    os.path.join(self.state_dir, f"shard{k}.ckpt")
+                )
+                for k in range(shards)
+            }
+            for k in range(shards):
+                self._wals[k].seed_seq(global_seq)
+                self._stores[k].save(snapshots[k])
+            for index in range(old_shards):
+                self.monitor.forget(index)
+            self._unavailable.clear()
+            self._rehome_pending.clear()
+            self.router = successor
+            self._bind()
+        # Locks released (new ingest is still blocked by the _scaling
+        # flag); spawn the new worker set through the normal recovery
+        # path — it restores the freshly saved snapshot and replays an
+        # empty tail.
+        for j in range(shards):
+            await self._recover(j, count_restart=False)
+        self.rebalances += 1
+        if self.obs.enabled:
+            self.obs.counter("serve.rebalance.scales").inc()
+        return ScaleReport(
+            from_shards=old_shards,
+            to_shards=shards,
+            epoch=successor.epoch,
+            boundary=boundary,
+            seq=global_seq,
+            moved_rules={
+                name: (old_router.assignments[name], home)
+                for name, home in successor.assignments.items()
+                if old_router.assignments.get(name) != home
+            },
+        )
+
+    async def _maybe_rehome(self) -> None:
+        """Re-home the rules of shards past their retry budget.
+
+        Runs outside every per-shard lock (exhaustion is noted inside
+        :meth:`_recover_locked`, which holds one).  A no-op until the
+        configured ``rebalance_grace`` has elapsed — the window in
+        which an operator ``revive`` can still cancel the migration.
+        """
+        if (
+            not self._rehome_pending
+            or self._scaling
+            or self._stopping
+            or time.monotonic() < self._rehome_at
+        ):
+            return
+        dead = sorted(self._rehome_pending)
+        self._rehome_pending.clear()
+        survivors = max(1, self.router.shards - len(dead))
+        self.rehomes += 1
+        if self.obs.enabled:
+            self.obs.counter("serve.rebalance.rehomes").inc()
+        await self.scale(survivors)
+
+    def status(self) -> ClusterStatus:
+        return ClusterStatus(
+            shards=self.router.shards,
+            epoch=self.router.epoch,
+            transport=self.transport.name,
+            unavailable=dict(self._unavailable),
+            parked=self.parked,
+            restarts=self.restarts,
+            checkpoints=self.checkpoints,
+            detections=self.ledger.accepted,
+        )
 
     # --- drain / stop ----------------------------------------------------
 
@@ -1259,6 +1966,9 @@ class ClusterSupervisor:
         past its retry budget is skipped and reported, never blocking
         the rest.
         """
+        while self._scaling:
+            await self._scale_done.wait()
+        await self._maybe_rehome()
         signals: list[ShardUnavailable] = []
         for index in range(self.router.shards):
             if index in self._unavailable:
@@ -1307,7 +2017,7 @@ class ClusterSupervisor:
                 return True
             # Timed out or died: treat as a dispatch failure.
             if not worker.dead:
-                worker.process.kill()
+                worker.link.kill()
                 worker.dead = True
             await asyncio.sleep(self.backoff.delay(attempt))
             if not await self._recover(index):
@@ -1338,23 +2048,18 @@ class ClusterSupervisor:
             try:
                 await self._send(worker, {"op": "checkpoint"})
                 await self._send(worker, {"op": "stop"})
-                worker.process.stdin.close()
+                worker.link.close_input()
             except (OSError, ConnectionError):
                 pass
         for worker in self._workers.values():
-            if worker.process.returncode is None:
-                try:
-                    await asyncio.wait_for(worker.process.wait(), timeout=10)
-                except asyncio.TimeoutError:  # pragma: no cover - defensive
-                    worker.process.kill()
-                    await worker.process.wait()
             if worker.reader is not None:
                 try:
-                    # The reader exits on pipe EOF once the process is
+                    # The reader exits on channel EOF once the worker is
                     # gone, after consuming every buffered frame.
                     await asyncio.wait_for(worker.reader, timeout=10)
                 except asyncio.TimeoutError:  # pragma: no cover - defensive
                     worker.reader.cancel()
+            await worker.link.wait(timeout=10)
         self._workers.clear()
         for wal in self._wals.values():
             wal.close()
@@ -1377,7 +2082,13 @@ class ClusterSupervisor:
         ]
 
     def unavailable_shards(self) -> dict[int, str]:
-        """Currently degraded shards and why (empty when healthy)."""
+        """Deprecated: use :meth:`status` (``status().unavailable``)."""
+        warnings.warn(
+            "ClusterSupervisor.unavailable_shards() is deprecated; use "
+            "status().unavailable",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return dict(self._unavailable)
 
 
@@ -1478,6 +2189,21 @@ async def cluster_serve_stdin(
             offered = parse_hello(data)
             if offered is not None:
                 write_line(hello_ack_line(choose_codec(mode, offered)))
+                return
+            if data.get("op") == "scale":
+                # In-stream admin: re-balance the live cluster between
+                # granules.  The caller splices the line into the event
+                # stream; scale() itself enforces the boundary.
+                try:
+                    report = await supervisor.scale(int(data["shards"]))
+                except (ReproError, KeyError, TypeError, ValueError) as error:
+                    write_error(f"scale failed: {error}")
+                else:
+                    write_line(
+                        json.dumps(
+                            {"scaled": report.to_dict()}, sort_keys=True
+                        )
+                    )
                 return
         if not isinstance(data, dict):
             write_error(

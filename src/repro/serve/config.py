@@ -35,8 +35,13 @@ class ServeConfig:
     ``timer_ratio``, ``capacity``, ``high_water``.  Multi-process fields
     (``ClusterSupervisor``): ``procs``, ``state_dir``,
     ``heartbeat_interval``, ``miss_threshold``, ``retry_budget``,
-    ``checkpoint_every``, ``seed``.  Transport fields (both):
-    ``max_line_bytes``, ``codec``.
+    ``checkpoint_every``, ``seed``, ``rebalance_grace`` (``None`` parks
+    a shard past its retry budget until ``revive``; a float re-homes its
+    rules onto the surviving shards after that many seconds).  Transport
+    fields: ``max_line_bytes``, ``codec``, ``transport`` (``"auto"``
+    picks ``"tcp"`` when ``workers`` endpoints are given, else local
+    ``"subprocess"`` workers), ``workers`` (remote ``host:port`` shard
+    endpoints; mutually exclusive with ``procs``).
     """
 
     shards: int = 1
@@ -53,8 +58,51 @@ class ServeConfig:
     max_line_bytes: int = 1 << 20
     codec: str = "auto"
     seed: int = 0
+    transport: str = "auto"
+    workers: tuple[str, ...] | None = None
+    rebalance_grace: float | None = None
 
     def __post_init__(self) -> None:
+        # workers= (remote TCP endpoints) and procs= (local subprocess
+        # workers) name two different deployment shapes of the same
+        # supervisor; silently preferring one would hide a real
+        # misconfiguration, so mixing raises like mixing config= with
+        # legacy keywords does.
+        if self.workers is not None and self.procs is not None:
+            raise TypeError(
+                "ServeConfig: pass either workers= (remote TCP shard "
+                "endpoints) or procs= (local subprocess worker count), "
+                "not both"
+            )
+        if self.workers is not None:
+            object.__setattr__(self, "workers", tuple(self.workers))
+            if not self.workers:
+                raise ValueError("workers must name at least one endpoint")
+            for endpoint in self.workers:
+                host, _, port = str(endpoint).rpartition(":")
+                if not host or not port.isdigit():
+                    raise ValueError(
+                        f"worker endpoint {endpoint!r} is not HOST:PORT"
+                    )
+        if self.transport not in ("auto", "subprocess", "tcp"):
+            raise ValueError(
+                "transport must be auto, subprocess, or tcp, "
+                f"got {self.transport!r}"
+            )
+        if self.transport == "tcp" and self.workers is None:
+            raise ValueError(
+                "transport='tcp' needs workers=('host:port', ...) endpoints"
+            )
+        if self.transport == "subprocess" and self.workers is not None:
+            raise ValueError(
+                "workers= endpoints are meaningless with "
+                "transport='subprocess'"
+            )
+        if self.rebalance_grace is not None and self.rebalance_grace < 0:
+            raise ValueError(
+                "rebalance_grace must be non-negative (or None to park "
+                f"failed shards), got {self.rebalance_grace}"
+            )
         if self.shards <= 0:
             raise ValueError(f"shards must be positive, got {self.shards}")
         if self.timer_ratio <= 0:
@@ -96,6 +144,13 @@ class ServeConfig:
             raise ValueError(
                 f"codec must be jsonl, binary, or auto, got {self.codec!r}"
             )
+
+    @property
+    def resolved_transport(self) -> str:
+        """The concrete transport ``"auto"`` resolves to."""
+        if self.transport == "auto":
+            return "tcp" if self.workers is not None else "subprocess"
+        return self.transport
 
     @classmethod
     def field_names(cls) -> tuple[str, ...]:

@@ -11,6 +11,16 @@ dropped one — both trigger the same respawn path, which is safe because
 recovery is idempotent (checkpoint restore + WAL replay + detection
 dedup at the supervisor's ledger).
 
+Beats may carry a **transport-supplied send timestamp** (the worker's
+own monotonic clock).  Over a pipe, receipt time tracks send time
+closely; over TCP, delivery jitter can bunch beats so the gap between
+*receipts* exceeds the interval even though the worker emitted on
+schedule.  :meth:`HeartbeatMonitor.beat` therefore estimates each
+shard's minimum transport offset (clock skew + floor latency) and
+credits the observed *extra* delay back to the liveness window, capped
+at one full suspicion window so a genuinely dead worker is still
+suspected in bounded time.
+
 :class:`Backoff` provides the bounded exponential retry schedule with
 deterministic jitter the supervisor sleeps between recovery attempts —
 seeded, so fault-injection tests and the conformance ``failover`` check
@@ -57,23 +67,63 @@ class HeartbeatMonitor:
         self.miss_threshold = miss_threshold
         self.clock = clock
         self._last_beat: dict[int, float] = {}
+        self._min_offset: dict[int, float] = {}
+        self._allowance: dict[int, float] = {}
         self.beats: dict[int, int] = {}
 
     def mark(self, shard: int) -> None:
-        """Reset the shard's liveness window (call on spawn/restart)."""
-        self._last_beat[shard] = self.clock()
+        """Reset the shard's liveness window (call on spawn/restart).
 
-    def beat(self, shard: int) -> None:
-        """Record one received beat (or any sign of life) from a shard."""
+        Also resets the transport-offset estimator: a respawned worker
+        (or a fresh TCP connection) has a new clock and a new path, so
+        the old baseline no longer applies.
+        """
         self._last_beat[shard] = self.clock()
+        self._min_offset.pop(shard, None)
+        self._allowance.pop(shard, None)
+
+    def beat(self, shard: int, sent_at: float | None = None) -> None:
+        """Record one received beat (or any sign of life) from a shard.
+
+        ``sent_at`` is the worker's own monotonic send timestamp, when
+        the transport carries one.  The *offset* (receipt − send) mixes
+        clock skew with transport latency; its running minimum is the
+        best estimate of the skew-plus-floor-latency baseline, and the
+        excess over that baseline is delivery jitter.  That jitter is
+        credited back to the liveness window — capped at one suspicion
+        window (``interval * miss_threshold``) so a dead worker whose
+        last beat happened to be slow is still suspected in bounded
+        time.  Pipe transports pass no timestamp and keep the exact
+        receipt-time behavior.
+        """
+        now = self.clock()
+        self._last_beat[shard] = now
         self.beats[shard] = self.beats.get(shard, 0) + 1
+        if sent_at is None:
+            self._allowance.pop(shard, None)
+            return
+        offset = now - sent_at
+        baseline = self._min_offset.get(shard)
+        if baseline is None or offset < baseline:
+            self._min_offset[shard] = baseline = offset
+        cap = self.interval * self.miss_threshold
+        self._allowance[shard] = min(max(0.0, offset - baseline), cap)
 
     def missed(self, shard: int) -> int:
-        """Whole beat intervals elapsed since the shard's last beat."""
+        """Whole beat intervals elapsed since the shard's last beat.
+
+        Net of the shard's current jitter allowance: a beat that was
+        demonstrably delayed in transit extends the window by its
+        measured delay instead of counting against the worker.
+        """
         last = self._last_beat.get(shard)
         if last is None:
             return 0
-        return int((self.clock() - last) / self.interval)
+        allowance = self._allowance.get(shard, 0.0)
+        elapsed = self.clock() - last - allowance
+        if elapsed <= 0:
+            return 0
+        return int(elapsed / self.interval)
 
     def suspect(self, shard: int) -> bool:
         """Whether the shard has missed ``miss_threshold`` intervals."""
@@ -82,6 +132,8 @@ class HeartbeatMonitor:
     def forget(self, shard: int) -> None:
         """Stop tracking a shard (it was marked unavailable)."""
         self._last_beat.pop(shard, None)
+        self._min_offset.pop(shard, None)
+        self._allowance.pop(shard, None)
 
 
 class Backoff:

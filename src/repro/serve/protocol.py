@@ -187,8 +187,18 @@ CONTROL_OPS = frozenset(
     {
         # supervisor -> worker
         "register", "restore", "event", "advance", "checkpoint", "stop",
+        # supervisor -> worker: connection setup (TCP transports open with
+        # a JSONL hello naming the shard and offering codecs; the worker
+        # answers hello_ack and both sides switch to the chosen codec) and
+        # state migration (handoff asks for a final checkpoint_state at
+        # the current applied seq, the last frame before the shard's
+        # rules move to a new shard map).
+        "hello", "handoff",
+        # admin -> server: re-shard the cluster at the next granule
+        # boundary (accepted in-stream by the cluster stdin server).
+        "scale",
         # worker -> supervisor
-        "beat", "ack", "detection", "checkpoint_state", "error",
+        "hello_ack", "beat", "ack", "detection", "checkpoint_state", "error",
     }
 )
 

@@ -43,13 +43,23 @@ class EventRouter:
     Built empty; :meth:`assign` places rules, and :meth:`bind` installs
     the introspected ``event type -> shard set`` subscription map once
     the shards have compiled their detection graphs.
+
+    A router carries a shard-map **epoch** (0 for a fresh cluster).
+    Re-sharding never mutates a live router — :meth:`rehash` builds a
+    complete successor with the epoch bumped, and the cluster swaps it
+    in atomically at a granule boundary.  In-flight events therefore
+    route under exactly one epoch: whichever router object their ingest
+    read, never a half-updated map.
     """
 
-    def __init__(self, shards: int, salt: int = 0) -> None:
+    def __init__(self, shards: int, salt: int = 0, *, epoch: int = 0) -> None:
         if shards <= 0:
             raise ReproError(f"shard count must be positive, got {shards}")
+        if epoch < 0:
+            raise ReproError(f"shard-map epoch must be non-negative, got {epoch}")
         self.shards = shards
         self.salt = salt
+        self.epoch = epoch
         self.assignments: dict[str, int] = {}
         self._subscriptions: dict[str, tuple[int, ...]] = {}
 
@@ -94,3 +104,20 @@ class EventRouter:
         return sorted(
             name for name, owner in self.assignments.items() if owner == shard
         )
+
+    def rehash(self, shards: int, salt: int | None = None) -> "EventRouter":
+        """A successor router: every known rule re-hashed onto ``shards``.
+
+        The successor's epoch is this router's plus one; its
+        subscription map is empty until the caller re-binds it from the
+        new shard set's compiled graphs.  ``self`` is left untouched —
+        the swap point is the caller's to choose (a granule boundary).
+        """
+        successor = EventRouter(
+            shards,
+            salt=self.salt if salt is None else salt,
+            epoch=self.epoch + 1,
+        )
+        for name in sorted(self.assignments):
+            successor.assign(name)
+        return successor

@@ -82,8 +82,13 @@ class DetectionShard:
         self.capacity = capacity
         self.high_water = high_water
         self.obs = resolve(instrumentation)
+        # The detector site is logical, not physical: every shard uses
+        # the same name so timer stamps (``shard.timer``) stay mutually
+        # comparable when a rule is re-homed onto a different shard by
+        # an elastic re-balance.  Which physical shard detected an
+        # occurrence is carried by ``index``, never by the timestamp.
         self.detector = Detector(
-            site=f"shard{index}",
+            site="shard",
             timer_ratio=timer_ratio,
             instrumentation=instrumentation,
         )

@@ -1,0 +1,396 @@
+"""Worker transports: how the supervisor reaches its shard workers.
+
+The supervisor's machinery — WAL replay, the ``(seq, k)`` detection
+ledger, heartbeat liveness, checkpoint frames — is transport-agnostic:
+it sends and receives the control frames of
+:mod:`repro.serve.protocol`.  This module gives that traffic a uniform
+carrier interface:
+
+* :class:`SubprocessTransport` — today's deployment shape.  Each shard
+  is a local ``repro serve-worker`` child process; frames travel as
+  JSONL over its stdin/stdout pipes, semantics unchanged.
+
+* :class:`TcpTransport` — shards run on other machines behind
+  ``repro serve-worker --listen HOST:PORT``.  Each (re)connection opens
+  with a JSONL ``hello`` control frame naming the shard and offering
+  codecs; the worker answers ``hello_ack`` and both sides switch to the
+  negotiated codec (binary control frames when both speak v1).  A
+  connection is a worker *incarnation*: the listener binds a fresh
+  replica per connection, so supervisor-side ``kill`` + reconnect is
+  exactly the subprocess respawn — register, restore, replay.
+
+Shard ``k`` connects to ``endpoints[k % len(endpoints)]``, so one
+listener hosts many shards and ``scale(n)`` needs no new machines.  A
+dead endpoint is skipped: connect falls through the remaining
+endpoints in round-robin order before giving up, which keeps a cluster
+serving (and re-balancing) through the permanent loss of a worker
+machine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.errors import ReproError
+from repro.serve.protocol import (
+    CodecError,
+    StreamDecoder,
+    get_codec,
+    parse_frame,
+)
+
+#: Seconds a TCP connect + hello exchange gets before counting as a
+#: failed spawn attempt (the supervisor's retry/backoff machinery then
+#: takes over, exactly as for a subprocess that failed to start).
+CONNECT_TIMEOUT = 10.0
+
+
+class WorkerLink(ABC):
+    """One live supervisor<->worker channel carrying control frames."""
+
+    #: Frames discarded because they were oversized or undecodable.
+    frames_dropped: int = 0
+
+    @abstractmethod
+    async def send(self, frame: dict[str, Any]) -> None:
+        """Write one control frame (raises ``OSError``-family on a dead
+        channel, like a broken pipe would)."""
+
+    @abstractmethod
+    async def read(self) -> dict[str, Any] | None:
+        """The next parsed control frame, or ``None`` on EOF.
+
+        Malformed units are skipped (counted in :attr:`frames_dropped`
+        when they represent lost payload); the channel survives them.
+        """
+
+    @abstractmethod
+    def kill(self) -> None:
+        """Tear the channel down abruptly (process kill / socket abort)."""
+
+    @abstractmethod
+    def close_input(self) -> None:
+        """Close the supervisor->worker direction (graceful shutdown)."""
+
+    async def wait(self, timeout: float = 10.0) -> None:
+        """Wait for the underlying resource to be released (best effort)."""
+
+
+class WorkerTransport(ABC):
+    """Factory of :class:`WorkerLink`\\ s, one per shard incarnation."""
+
+    name: str
+
+    @abstractmethod
+    async def connect(
+        self,
+        shard: int,
+        *,
+        timer_ratio: int,
+        heartbeat_interval: float,
+        frame_limit: int,
+    ) -> WorkerLink:
+        """Bring up one worker incarnation for ``shard``."""
+
+    def describe(self) -> str:
+        return self.name
+
+
+class SubprocessLink(WorkerLink):
+    """JSONL over a supervised child process's stdin/stdout pipes."""
+
+    def __init__(self, process: asyncio.subprocess.Process) -> None:
+        self.process = process
+        self.frames_dropped = 0
+
+    async def send(self, frame: dict[str, Any]) -> None:
+        line = json.dumps(frame, sort_keys=True) + "\n"
+        self.process.stdin.write(line.encode("utf-8"))
+        await self.process.stdin.drain()
+
+    async def read(self) -> dict[str, Any] | None:
+        stream = self.process.stdout
+        while True:
+            try:
+                raw = await stream.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                # The stream reader discarded a frame past the limit.
+                self.frames_dropped += 1
+                continue
+            if not raw:
+                return None
+            text = raw.decode("utf-8", errors="replace").strip()
+            if not text:
+                continue
+            try:
+                return parse_frame(text)
+            except ReproError:
+                continue
+
+    def kill(self) -> None:
+        if self.process.returncode is None:
+            self.process.kill()
+
+    def close_input(self) -> None:
+        try:
+            self.process.stdin.close()
+        except (OSError, ConnectionError):  # pragma: no cover - defensive
+            pass
+
+    async def wait(self, timeout: float = 10.0) -> None:
+        if self.process.returncode is None:
+            try:
+                await asyncio.wait_for(self.process.wait(), timeout=timeout)
+            except asyncio.TimeoutError:  # pragma: no cover - defensive
+                self.process.kill()
+                await self.process.wait()
+
+
+class SubprocessTransport(WorkerTransport):
+    """Each shard a local ``repro serve-worker`` child process."""
+
+    name = "subprocess"
+
+    async def connect(
+        self,
+        shard: int,
+        *,
+        timer_ratio: int,
+        heartbeat_interval: float,
+        frame_limit: int,
+    ) -> WorkerLink:
+        import sys
+
+        process = await asyncio.create_subprocess_exec(
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve-worker",
+            "--shard",
+            str(shard),
+            "--timer-ratio",
+            str(timer_ratio),
+            "--heartbeat-interval",
+            str(heartbeat_interval),
+            stdin=asyncio.subprocess.PIPE,
+            stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.DEVNULL,
+            limit=frame_limit,
+        )
+        return SubprocessLink(process)
+
+
+class TcpLink(WorkerLink):
+    """Negotiated control frames over one TCP connection."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        codec_name: str,
+        frame_limit: int,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.codec_name = codec_name
+        self.frames_dropped = 0
+        self._binary = get_codec("binary")
+        self._decoder = StreamDecoder(
+            max_line_bytes=frame_limit, max_frame_bytes=frame_limit
+        )
+        self._pending: list[dict[str, Any]] = []
+
+    async def send(self, frame: dict[str, Any]) -> None:
+        if self.codec_name == "binary":
+            self.writer.write(self._binary.encode_control(frame))
+        else:
+            self.writer.write(
+                (json.dumps(frame, sort_keys=True) + "\n").encode("utf-8")
+            )
+        await self.writer.drain()
+
+    async def read(self) -> dict[str, Any] | None:
+        while True:
+            if self._pending:
+                return self._pending.pop(0)
+            try:
+                chunk = await self.reader.read(1 << 16)
+            except (OSError, ConnectionError):
+                return None
+            if not chunk:
+                return None
+            for unit in self._decoder.feed(chunk):
+                frame = self._decode_unit(unit)
+                if frame is not None:
+                    self._pending.append(frame)
+
+    def _decode_unit(self, unit: Any) -> dict[str, Any] | None:
+        if unit.kind == "error":
+            self.frames_dropped += 1
+            return None
+        try:
+            if unit.kind == "frame":
+                return self._binary.decode_control(bytes(unit.payload))
+            return parse_frame(unit.payload.decode("utf-8", errors="replace"))
+        except (CodecError, ReproError):
+            self.frames_dropped += 1
+            return None
+
+    def kill(self) -> None:
+        transport = self.writer.transport
+        if transport is not None:
+            transport.abort()
+
+    def close_input(self) -> None:
+        try:
+            if self.writer.can_write_eof():
+                self.writer.write_eof()
+        except (OSError, ConnectionError):  # pragma: no cover - defensive
+            pass
+
+    async def wait(self, timeout: float = 10.0) -> None:
+        try:
+            self.writer.close()
+            await asyncio.wait_for(self.writer.wait_closed(), timeout=timeout)
+        except (asyncio.TimeoutError, OSError, ConnectionError):
+            pass
+
+
+class TcpTransport(WorkerTransport):
+    """Shards served by remote ``repro serve-worker --listen`` processes.
+
+    ``endpoints`` are ``host:port`` strings; shard ``k`` prefers
+    ``endpoints[k % len(endpoints)]`` and falls through the others on
+    connection failure, so losing one worker machine re-routes its
+    shards to the survivors instead of stranding them.
+    """
+
+    name = "tcp"
+
+    def __init__(self, endpoints: tuple[str, ...], *, codec: str = "auto") -> None:
+        if not endpoints:
+            raise ReproError("TcpTransport needs at least one endpoint")
+        self.endpoints = tuple(endpoints)
+        self.codec = codec
+        self.connects = 0
+        self.endpoint_failures = 0
+
+    @staticmethod
+    def _split(endpoint: str) -> tuple[str, int]:
+        host, _, port = endpoint.rpartition(":")
+        if not host or not port.isdigit():
+            raise ReproError(f"worker endpoint {endpoint!r} is not HOST:PORT")
+        return host, int(port)
+
+    async def connect(
+        self,
+        shard: int,
+        *,
+        timer_ratio: int,
+        heartbeat_interval: float,
+        frame_limit: int,
+    ) -> WorkerLink:
+        preferred = shard % len(self.endpoints)
+        order = [
+            self.endpoints[(preferred + step) % len(self.endpoints)]
+            for step in range(len(self.endpoints))
+        ]
+        failure: Exception | None = None
+        for endpoint in order:
+            host, port = self._split(endpoint)
+            try:
+                return await asyncio.wait_for(
+                    self._handshake(
+                        host,
+                        port,
+                        shard,
+                        timer_ratio=timer_ratio,
+                        heartbeat_interval=heartbeat_interval,
+                        frame_limit=frame_limit,
+                    ),
+                    timeout=CONNECT_TIMEOUT,
+                )
+            except (OSError, ConnectionError, asyncio.TimeoutError,
+                    ReproError) as error:
+                failure = error
+                self.endpoint_failures += 1
+        raise ReproError(
+            f"no worker endpoint reachable for shard {shard} "
+            f"(tried {', '.join(order)}): {failure}"
+        )
+
+    async def _handshake(
+        self,
+        host: str,
+        port: int,
+        shard: int,
+        *,
+        timer_ratio: int,
+        heartbeat_interval: float,
+        frame_limit: int,
+    ) -> TcpLink:
+        reader, writer = await asyncio.open_connection(host, port)
+        offered = (
+            ["jsonl"] if self.codec == "jsonl" else ["binary", "jsonl"]
+        )
+        hello = {
+            "op": "hello",
+            "shard": shard,
+            "codecs": offered,
+            "timer_ratio": timer_ratio,
+            "heartbeat_interval": heartbeat_interval,
+            "t": time.monotonic(),
+        }
+        writer.write((json.dumps(hello, sort_keys=True) + "\n").encode("utf-8"))
+        await writer.drain()
+        # The ack is always a JSONL line, so a v0-only worker can answer.
+        raw = await reader.readline()
+        if not raw:
+            writer.close()
+            raise ReproError(
+                f"worker at {host}:{port} closed during hello handshake"
+            )
+        ack = parse_frame(raw.decode("utf-8", errors="replace").strip())
+        if ack.get("op") != "hello_ack":
+            writer.close()
+            raise ReproError(
+                f"worker at {host}:{port} answered hello with "
+                f"{ack.get('op')!r}, expected hello_ack"
+            )
+        codec_name = str(ack.get("codec", "jsonl"))
+        if codec_name not in offered:
+            writer.close()
+            raise ReproError(
+                f"worker at {host}:{port} chose unoffered codec "
+                f"{codec_name!r}"
+            )
+        self.connects += 1
+        return TcpLink(reader, writer, codec_name, frame_limit)
+
+
+def resolve_transport(
+    transport: "str | WorkerTransport",
+    workers: tuple[str, ...] | None = None,
+    *,
+    codec: str = "auto",
+) -> WorkerTransport:
+    """Normalize a transport argument (name, instance, or ``"auto"``)."""
+    if isinstance(transport, WorkerTransport):
+        return transport
+    if transport == "auto":
+        transport = "tcp" if workers else "subprocess"
+    if transport == "subprocess":
+        return SubprocessTransport()
+    if transport == "tcp":
+        if not workers:
+            raise ReproError(
+                "tcp transport needs workers=('host:port', ...) endpoints"
+            )
+        return TcpTransport(tuple(workers), codec=codec)
+    raise ReproError(
+        f"unknown transport {transport!r}; expected subprocess, tcp, or auto"
+    )

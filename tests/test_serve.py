@@ -654,6 +654,9 @@ class TestServeConfig:
             "max_line_bytes",
             "codec",
             "seed",
+            "transport",
+            "workers",
+            "rebalance_grace",
         )
 
 

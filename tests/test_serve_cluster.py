@@ -653,7 +653,7 @@ class TestClusterSupervisor:
         assert supervisor.restarts >= 2
         assert supervisor.replayed > 0
         assert self.cluster_multisets(supervisor) == expected
-        assert supervisor.unavailable_shards() == {}
+        assert supervisor.status().unavailable == {}
 
     def test_binary_wal_kill_recover_preserves_multisets(self, tmp_path):
         from repro.serve.protocol import FRAME_MAGIC
@@ -695,7 +695,7 @@ class TestClusterSupervisor:
                 fault_plan=FaultPlan(fail_spawns=((0, 2),)),
             )
             async with supervisor:
-                down = supervisor.unavailable_shards()
+                down = supervisor.status().unavailable
                 assert 0 in down
                 parked_signals = []
                 for event in events:
@@ -704,10 +704,10 @@ class TestClusterSupervisor:
                 assert all(s.shard == 0 for s in parked_signals)
                 assert supervisor.parked == len(parked_signals)
                 # Healthy shards were never blocked.
-                assert 1 not in supervisor.unavailable_shards()
+                assert 1 not in supervisor.status().unavailable
                 # Bring the shard back: the parked WAL tail replays.
                 assert await supervisor.revive(0)
-                assert supervisor.unavailable_shards() == {}
+                assert supervisor.status().unavailable == {}
                 assert await supervisor.drain(horizon) == []
             return supervisor
 
