@@ -375,6 +375,46 @@ def _setup_serve_rebalance(quick: bool):
     return kernel, count
 
 
+def _setup_serve_tenants(quick: bool):
+    """Multi-tenant overhead: 4 tenants, quotas, and one shard kill.
+
+    The standard workload striped across four tenant namespaces through
+    :class:`~repro.serve.tenancy.MultiTenantCluster` — envelope-lane
+    logging on every arrival, token-bucket admission (tight enough to
+    park a slice of the stream each granule), and a mid-stream kill —
+    so the number prices namespacing + quota accounting + the envelope
+    log on top of the failover tier the other serve benches measure.
+    """
+    from repro.serve.cluster import FaultPlan
+    from repro.serve.tenancy import TenantQuota, serve_tenants
+    from repro.sim.serving import ServingWorkload
+
+    workload = ServingWorkload.standard(seed=41, events=300 if quick else 1_200)
+    count = len(workload)
+    tenants = tuple(f"t{i}" for i in range(4))
+    stream = [
+        (tenants[i % len(tenants)], event)
+        for i, event in enumerate(workload)
+    ]
+
+    def kernel() -> int:
+        cluster = serve_tenants(
+            {tenant: dict(workload.rules) for tenant in tenants},
+            stream,
+            shards=3,
+            timer_ratio=workload.timer_ratio,
+            quota=TenantQuota(rate=16, burst=24),
+            horizon=workload.horizon(),
+            checkpoint_every=32,
+            fault_plan=FaultPlan(kills=((0, count // 2),)),
+        )
+        applied = cluster.cluster.events_applied
+        cluster.close()
+        return applied
+
+    return kernel, count
+
+
 BENCHMARKS: dict[str, Bench] = {
     bench.name: bench
     for bench in (
@@ -447,6 +487,13 @@ BENCHMARKS: dict[str, Bench] = {
             name="bench_serve_rebalance",
             title="elastic cluster: two live re-balances (2 -> 4 -> 3)",
             setup=_setup_serve_rebalance,
+            rounds=3,
+            quick_rounds=2,
+        ),
+        Bench(
+            name="bench_serve_tenants",
+            title="multi-tenant cluster: 4 namespaces, quotas, 1 kill",
+            setup=_setup_serve_tenants,
             rounds=3,
             quick_rounds=2,
         ),

@@ -12,6 +12,8 @@ Subcommands::
     repro serve  --shards N [--stdin|--port P]  sharded serving runtime
     repro serve  --procs N [--fault-plan J]     multi-process failover cluster
     repro serve  --workers H:P,... [--transport tcp]  remote TCP shard workers
+    repro serve  --tenants N --selftest         multi-tenant quota/replay gate
+    repro replay --store DIR --tenant T         replay a tenant envelope lane
     repro serve-worker --shard K           one shard worker (cluster internal)
     repro serve-worker --listen H:P        host shard workers over TCP
     repro scale  [--transport tcp]         elastic re-balancing selftest
@@ -117,6 +119,13 @@ def cmd_grid(args: argparse.Namespace) -> int:
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
+    if args.store is not None:
+        return _cmd_replay_store(args)
+    if args.trace is None or args.expression is None:
+        raise ReproError(
+            "replay needs TRACE EXPRESSION positionals, or "
+            "--store DIR --tenant NAME for envelope-store replay"
+        )
     trace = load_trace(args.trace)
     sites = sorted(trace.sites())
     system = DistributedSystem(sites, config=SimConfig(seed=args.seed))
@@ -142,6 +151,64 @@ def cmd_replay(args: argparse.Namespace) -> int:
     if len(records) > args.limit:
         print(f"  ... and {len(records) - args.limit} more")
     return 0
+
+
+def _cmd_replay_store(args: argparse.Namespace) -> int:
+    """``repro replay --store DIR --tenant T [--upto G] [--check]``.
+
+    Point-in-time reconstruction of one tenant's detections from its
+    persisted envelope lane.  ``--check`` verifies the rebuild
+    byte-for-byte against the live multisets the manifest recorded at
+    drain time — the acceptance gate for replay-after-failover.
+    """
+    from repro.serve import replay_store
+
+    if not args.tenant:
+        raise ReproError("--store replay needs --tenant NAME")
+    detections, manifest = replay_store(
+        args.store, args.tenant, upto=args.upto
+    )
+    boundary = manifest.get("horizon") if args.upto is None else args.upto
+    total = sum(len(occurrences) for occurrences in detections.values())
+    print(
+        f"replayed tenant {args.tenant!r} from {args.store} upto granule "
+        f"{boundary}: {total} detection(s)"
+    )
+    for name in sorted(detections):
+        occurrences = detections[name]
+        print(f"  {name}: {len(occurrences)} detection(s)")
+        for occurrence in occurrences[: args.limit]:
+            print(f"    @ {occurrence.timestamp}")
+        if len(occurrences) > args.limit:
+            print(f"    ... and {len(occurrences) - args.limit} more")
+    if not args.check:
+        return 0
+    recorded = manifest.get("detections", {}).get(args.tenant)
+    if recorded is None:
+        raise ReproError(
+            f"manifest records no live detections for {args.tenant!r}; "
+            "re-drain the cluster to refresh it"
+        )
+    if args.upto is not None and args.upto != manifest.get("horizon"):
+        raise ReproError(
+            "--check compares against the multisets recorded at the "
+            f"drain horizon ({manifest.get('horizon')}); drop --upto "
+            "or pass the horizon itself"
+        )
+    failures = 0
+    for name in sorted(recorded):
+        rebuilt = sorted(
+            str(occurrence.timestamp)
+            for occurrence in detections.get(name, [])
+        )
+        matched = rebuilt == list(recorded[name])
+        failures += not matched
+        print(
+            f"[{'ok ' if matched else 'FAIL'}] {name}: replayed "
+            f"{len(rebuilt)} detection(s), recorded {len(recorded[name])}"
+        )
+    print(f"replay check: {'FAILED' if failures else 'passed'}")
+    return 1 if failures else 0
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -263,6 +330,9 @@ def _serve_config(args: argparse.Namespace, **overrides):
         transport=getattr(args, "transport", "auto"),
         workers=workers,
         rebalance_grace=getattr(args, "rebalance_grace", None),
+        tenants=getattr(args, "tenants", None),
+        quota_rate=getattr(args, "quota_rate", None),
+        quota_burst=getattr(args, "quota_burst", None),
     )
     fields.update(overrides)
     return ServeConfig(**fields)
@@ -375,6 +445,116 @@ def _cmd_serve_cluster(args: argparse.Namespace, rules: dict[str, str]) -> int:
         return 1 if failures else 0
 
 
+def _cmd_serve_tenants(args: argparse.Namespace, rules: dict[str, str]) -> int:
+    """``repro serve --tenants N --selftest``: the multi-tenant gate.
+
+    Stripes the generated workload across N tenants through one
+    :class:`~repro.serve.tenancy.MultiTenantCluster` (token-bucket
+    quotas, optional fault plan), then asserts per tenant that (a) the
+    live multiset of every rule equals a solo single-shard run over
+    that tenant's sub-stream, and (b) an envelope-log replay to the
+    horizon reproduces the live multiset byte-for-byte.  With
+    ``--state-dir`` the envelope lanes and manifest persist, so
+    ``repro replay --store DIR --tenant T --check`` can re-verify the
+    same run offline.
+    """
+    import tempfile
+
+    from repro.serve import TenantQuota, serve_events, serve_tenants
+    from repro.sim.serving import ServingWorkload
+
+    if not args.selftest:
+        raise ReproError(
+            "--tenants implements the multi-tenant selftest; add "
+            "--selftest (stream serving modes stay single-tenant)"
+        )
+    if args.port is not None:
+        raise ReproError("--tenants --selftest does not serve a port")
+    if args.tenants <= 0:
+        raise ReproError(f"--tenants must be positive, got {args.tenants}")
+
+    workload = ServingWorkload.standard(seed=args.seed, events=args.events)
+    if not args.rule:
+        rules = dict(workload.rules)
+    horizon = workload.horizon()
+    tenants = [f"t{index}" for index in range(args.tenants)]
+    # Stripe by arrival position: the standard workload draws event
+    # types uniformly at random, so every tenant's sub-stream keeps the
+    # full type mix and the per-tenant comparisons stay non-vacuous.
+    stream = [
+        (tenants[index % len(tenants)], event)
+        for index, event in enumerate(workload)
+    ]
+    quota = TenantQuota(
+        rate=args.quota_rate if args.quota_rate is not None else 8.0,
+        burst=args.quota_burst if args.quota_burst is not None else 16.0,
+    )
+    fault_plan = _load_fault_plan(args.fault_plan)
+    codec = None if args.codec == "auto" else args.codec
+
+    with tempfile.TemporaryDirectory(prefix="repro-tenants-") as scratch:
+        state_dir = args.state_dir or scratch
+        cluster = serve_tenants(
+            {tenant: rules for tenant in tenants},
+            stream,
+            shards=args.shards,
+            salt=args.salt,
+            timer_ratio=workload.timer_ratio,
+            quota=quota,
+            horizon=horizon,
+            checkpoint_every=args.checkpoint_every,
+            fault_plan=fault_plan,
+            codec=codec,
+            state_dir=state_dir,
+        )
+
+        def multiset(occurrences) -> list[str]:
+            return sorted(
+                str(occurrence.timestamp) for occurrence in occurrences
+            )
+
+        failures = 0
+        for tenant in tenants:
+            solo_events = [
+                event for owner, event in stream if owner == tenant
+            ]
+            baseline = serve_events(
+                rules,
+                solo_events,
+                shards=1,
+                salt=args.salt,
+                timer_ratio=workload.timer_ratio,
+                horizon=horizon,
+            )
+            replayed = cluster.replay(tenant, upto=horizon)
+            for name in sorted(rules):
+                live = multiset(cluster.detections_of(tenant, name))
+                solo = multiset(baseline.detections_of(name))
+                rebuilt = multiset(replayed[name])
+                matched = live == solo and live == rebuilt
+                failures += not matched
+                print(
+                    f"[{'ok ' if matched else 'FAIL'}] {tenant}/{name}: "
+                    f"live={len(live)} solo={len(solo)} "
+                    f"replay={len(rebuilt)} detection(s)"
+                )
+        status = cluster.status()
+        throttled = sum(
+            int(info.get("throttled", 0))
+            for info in status.tenants.values()
+        )
+        cluster.close()
+        print(
+            f"tenant selftest over {len(stream)} events, "
+            f"{len(tenants)} tenant(s) on {args.shards} shard(s): "
+            f"{throttled} throttled (parked), {status.restarts} "
+            f"restart(s): {'FAILED' if failures else 'passed'}"
+        )
+        if args.state_dir:
+            print(f"envelope store persisted under {args.state_dir}")
+        return 1 if failures else 0
+
+
 def cmd_serve_worker(args: argparse.Namespace) -> int:
     from repro.serve.cluster import run_worker
 
@@ -442,6 +622,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.sim.serving import ServingWorkload
 
     rules = _serve_rules(args)
+
+    if args.tenants is not None:
+        if args.procs is not None or args.workers is not None:
+            raise ReproError(
+                "--tenants runs on the in-process failover cluster; it "
+                "cannot combine with --procs/--workers"
+            )
+        return _cmd_serve_tenants(args, rules)
 
     if args.workers is not None and args.procs is None:
         # Remote TCP workers imply cluster mode; --shards doubles as the
@@ -739,8 +927,8 @@ def build_parser() -> argparse.ArgumentParser:
     replay_command = commands.add_parser(
         "replay", help="replay a trace against an expression"
     )
-    replay_command.add_argument("trace")
-    replay_command.add_argument("expression")
+    replay_command.add_argument("trace", nargs="?", default=None)
+    replay_command.add_argument("expression", nargs="?", default=None)
     replay_command.add_argument(
         "--context",
         default="unrestricted",
@@ -748,6 +936,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay_command.add_argument("--seed", type=int, default=0)
     replay_command.add_argument("--limit", type=int, default=10)
+    replay_command.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="replay from a persisted tenant envelope store instead of "
+        "a trace file (the state dir of repro serve --tenants)",
+    )
+    replay_command.add_argument(
+        "--tenant", default=None, metavar="NAME",
+        help="which tenant's envelope lane to replay (--store mode)",
+    )
+    replay_command.add_argument(
+        "--upto", type=int, default=None, metavar="GRANULE",
+        help="granule boundary to replay to (default: the manifest's "
+        "drain horizon)",
+    )
+    replay_command.add_argument(
+        "--check", action="store_true",
+        help="verify the rebuilt multisets byte-for-byte against the "
+        "live detections recorded in the manifest; exit 1 on mismatch",
+    )
     replay_command.set_defaults(handler=cmd_replay)
 
     check_command = commands.add_parser(
@@ -925,6 +1132,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", default=None, metavar="HOST:PORT,...",
         help="comma-separated 'repro serve-worker --listen' endpoints; "
         "implies cluster mode with --shards workers unless --procs is given",
+    )
+    serve_command.add_argument(
+        "--tenants", type=int, default=None, metavar="N",
+        help="multi-tenant selftest: stripe the workload across N "
+        "tenant namespaces with per-tenant quotas and envelope-log "
+        "replay verification (requires --selftest)",
+    )
+    serve_command.add_argument(
+        "--quota-rate", type=float, default=None,
+        help="per-tenant admission tokens refilled per granule "
+        "(--tenants mode; default 8)",
+    )
+    serve_command.add_argument(
+        "--quota-burst", type=float, default=None,
+        help="per-tenant token-bucket burst capacity (--tenants mode; "
+        "default 16)",
     )
     serve_command.add_argument(
         "--rebalance-grace", type=float, default=None, metavar="SECONDS",

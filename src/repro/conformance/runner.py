@@ -652,6 +652,123 @@ def _check_failover(
     )
 
 
+def _check_tenancy(
+    case: FuzzCase, expression: EventExpression, history: History
+) -> CheckResult:
+    """Tenant-isolation invariance: interleaved multi-tenant serving
+    detects per tenant exactly what each tenant run alone would.
+
+    The case's stamped stream is interleaved across two tenants (event
+    ``i`` goes to tenant ``i % 2``) and the case expression is
+    registered under two rule names for *both* tenants, so rules from
+    different tenants share shards, type namespaces are exercised, and
+    the tenant-folded routing salts spread the rules independently.
+    The interleaved run goes through :func:`repro.serve.tenancy.
+    serve_tenants` with a deliberately tight quota (forcing the parked/
+    deferred admission path), a mid-stream shard kill, and binary WALs.
+    Each tenant's collected multiset must equal a fault-free solo run
+    of its own sub-stream through the single-shard serving runtime —
+    the configuration the ``sharding`` and ``oracle`` checks already
+    tie to the denotational semantics — and each tenant's envelope-log
+    ``replay(tenant)`` must reconstruct the live multiset exactly.
+    Sound for every operator class: all runs are deterministic replays
+    of the same per-tenant arrival orders, and Definition 4.4 makes the
+    intra-granule deferral the quota introduces immaterial.
+    """
+    from repro.serve import ServeEvent, serve_events
+    from repro.serve.cluster import FaultPlan
+    from repro.serve.tenancy import TenantQuota, serve_tenants
+
+    occurrences = list(history)
+    if not occurrences:
+        return _skip("tenancy", "no events")
+    events = []
+    for occurrence in occurrences:
+        stamp = next(iter(occurrence.timestamp))
+        events.append(
+            ServeEvent(
+                event_type=occurrence.event_type,
+                site=stamp.site,
+                global_time=stamp.global_time,
+                local=stamp.local,
+                parameters=dict(occurrence.parameters),
+            )
+        )
+    horizon = max(event.granule for event in events) + _temporal_pad(
+        expression
+    )
+    rules = {f"{CASE_NAME}_{i}": expression for i in range(2)}
+    context = Context(case.context)
+    salt = case.seed % 97
+    tenants = ("acme", "globex")
+    stream = [
+        (tenants[index % len(tenants)], event)
+        for index, event in enumerate(events)
+    ]
+    count = len(events)
+    cluster = serve_tenants(
+        {tenant: rules for tenant in tenants},
+        stream,
+        shards=3,
+        salt=salt,
+        timer_ratio=10,  # example 5.1 model, as elsewhere in this runner
+        quota=TenantQuota(rate=2, burst=3),
+        context=context,
+        horizon=horizon,
+        checkpoint_every=3,
+        fault_plan=FaultPlan(kills=((case.seed % 3, max(1, count // 2)),)),
+        codec="binary",
+    )
+    throttled = 0
+    for tenant in tenants:
+        solo_events = [
+            event for owner, event in stream if owner == tenant
+        ]
+        baseline = serve_events(
+            rules,
+            solo_events,
+            shards=1,
+            timer_ratio=10,
+            context=context,
+            horizon=horizon,
+        )
+        replayed = cluster.replay(tenant, upto=horizon)
+        for name in rules:
+            expected = timestamps_multiset(baseline.detections_of(name))
+            live = timestamps_multiset(cluster.detections_of(tenant, name))
+            missing, extra = multiset_diff(expected, live)
+            if missing or extra:
+                return CheckResult(
+                    "tenancy",
+                    False,
+                    f"{tenant}/{name} interleaved vs solo: "
+                    f"missing={missing[:3]} extra={extra[:3]}",
+                )
+            rebuilt = timestamps_multiset(replayed[name])
+            missing, extra = multiset_diff(live, rebuilt)
+            if missing or extra:
+                return CheckResult(
+                    "tenancy",
+                    False,
+                    f"{tenant}/{name} envelope replay vs live: "
+                    f"missing={missing[:3]} extra={extra[:3]}",
+                )
+        status = cluster.status().tenants[tenant]
+        throttled += status["throttled"]
+    detections = sum(
+        len(cluster.detections_of(tenant, name))
+        for tenant in tenants
+        for name in rules
+    )
+    return CheckResult(
+        "tenancy",
+        True,
+        f"{detections} detections isolated across {len(tenants)} tenants "
+        f"({throttled} quota-deferred, {cluster.cluster.restarts} kill(s), "
+        "envelope replay exact)",
+    )
+
+
 def _check_reorder(
     case: FuzzCase, expression: EventExpression, history: History,
     oracle_strs: list[str],
@@ -701,6 +818,7 @@ CHECK_NAMES = (
     "checkpoint",
     "sharding",
     "failover",
+    "tenancy",
     "reorder",
 )
 
@@ -788,6 +906,14 @@ def run_case(case: FuzzCase, checks: Sequence[str] | None = None) -> CaseResult:
             )
         except Exception as error:  # noqa: BLE001
             result.checks.append(_failure("failover", error))
+
+    if wanted("tenancy"):
+        try:
+            result.checks.append(
+                _check_tenancy(case, expression, system.history)
+            )
+        except Exception as error:  # noqa: BLE001
+            result.checks.append(_failure("tenancy", error))
 
     if not wanted("reorder"):
         pass

@@ -76,10 +76,28 @@ from repro.serve.protocol import (
     parse_event_line,
     parse_frame,
     parse_hello,
+    parse_hello_tenant,
     resolve_codec,
 )
 from repro.serve.router import EventRouter, shard_of
 from repro.serve.runtime import ServingRuntime, serve_events
+from repro.serve.tenancy import (
+    EnvelopeStore,
+    EventEnvelope,
+    MultiTenantCluster,
+    TenantQuota,
+    TokenBucket,
+    namespace_event,
+    namespace_expression,
+    namespaced_type,
+    qualified_rule,
+    replay_store,
+    replay_tenant,
+    serve_tenants,
+    split_rule,
+    tenant_salt,
+    validate_tenant,
+)
 from repro.serve.server import (
     DetectionBroadcast,
     serve_stdin,
@@ -110,6 +128,8 @@ __all__ = [
     "DetectionBroadcast",
     "DetectionLedger",
     "DetectionShard",
+    "EnvelopeStore",
+    "EventEnvelope",
     "EventRouter",
     "FaultInjector",
     "FaultPlan",
@@ -119,6 +139,7 @@ __all__ = [
     "KIND_EVENT",
     "LocalFailoverCluster",
     "MAX_LINE_BYTES",
+    "MultiTenantCluster",
     "ScaleReport",
     "ServeConfig",
     "ServeEvent",
@@ -130,6 +151,8 @@ __all__ = [
     "StreamUnit",
     "SubprocessTransport",
     "TcpTransport",
+    "TenantQuota",
+    "TokenBucket",
     "WalEntry",
     "WorkerLink",
     "WorkerTransport",
@@ -144,9 +167,16 @@ __all__ = [
     "graft_detector",
     "hello_ack_line",
     "hello_line",
+    "namespace_event",
+    "namespace_expression",
+    "namespaced_type",
     "parse_event_line",
     "parse_frame",
     "parse_hello",
+    "parse_hello_tenant",
+    "qualified_rule",
+    "replay_store",
+    "replay_tenant",
     "replay_with_failover",
     "resolve_codec",
     "resolve_transport",
@@ -154,7 +184,11 @@ __all__ = [
     "serve_events",
     "serve_stdin",
     "serve_tcp",
+    "serve_tenants",
     "serve_worker_listener",
     "shard_of",
+    "split_rule",
+    "tenant_salt",
+    "validate_tenant",
     "wire_rules",
 ]

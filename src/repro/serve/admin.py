@@ -31,6 +31,10 @@ class ClusterStatus:
     restarts: int = 0
     checkpoints: int = 0
     detections: int = 0
+    #: Per-tenant admission totals (rules, events, admitted, throttled,
+    #: deferred, parked) — populated by the multi-tenant tier, empty on
+    #: single-tenant clusters.
+    tenants: dict[str, dict[str, Any]] = field(default_factory=dict)
 
     @property
     def healthy(self) -> bool:
@@ -47,6 +51,9 @@ class ClusterStatus:
             "restarts": self.restarts,
             "checkpoints": self.checkpoints,
             "detections": self.detections,
+            "tenants": {
+                tenant: dict(info) for tenant, info in self.tenants.items()
+            },
             "healthy": self.healthy,
         }
 

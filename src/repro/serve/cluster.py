@@ -508,8 +508,13 @@ class LocalFailoverCluster(ClusterAdmin):
         expression: EventExpression | str,
         name: str,
         context: Context = Context.UNRESTRICTED,
+        *,
+        salt: int | None = None,
     ) -> int:
-        index = self.router.assign(name)
+        """Place and compile one rule; ``salt`` is the per-rule routing
+        override the multi-tenant tier hashes tenants under (it
+        survives :meth:`scale`'s re-hash)."""
+        index = self.router.assign(name, salt=salt)
         self._rules[name] = (expression, context)
         self._replica(index).register(expression, name, context)
         self._bind()

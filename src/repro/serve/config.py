@@ -41,7 +41,11 @@ class ServeConfig:
     fields: ``max_line_bytes``, ``codec``, ``transport`` (``"auto"``
     picks ``"tcp"`` when ``workers`` endpoints are given, else local
     ``"subprocess"`` workers), ``workers`` (remote ``host:port`` shard
-    endpoints; mutually exclusive with ``procs``).
+    endpoints; mutually exclusive with ``procs``).  Multi-tenant fields
+    (:mod:`repro.serve.tenancy`): ``tenants`` (the synthetic tenant
+    count ``repro serve --tenants`` interleaves its selftest workload
+    across), ``quota_rate``/``quota_burst`` (the per-tenant token
+    bucket: tokens per global granule and bucket capacity).
     """
 
     shards: int = 1
@@ -61,6 +65,9 @@ class ServeConfig:
     transport: str = "auto"
     workers: tuple[str, ...] | None = None
     rebalance_grace: float | None = None
+    tenants: int | None = None
+    quota_rate: float | None = None
+    quota_burst: float | None = None
 
     def __post_init__(self) -> None:
         # workers= (remote TCP endpoints) and procs= (local subprocess
@@ -143,6 +150,18 @@ class ServeConfig:
         if self.codec not in ("jsonl", "binary", "auto"):
             raise ValueError(
                 f"codec must be jsonl, binary, or auto, got {self.codec!r}"
+            )
+        if self.tenants is not None and self.tenants <= 0:
+            raise ValueError(
+                f"tenants must be positive, got {self.tenants}"
+            )
+        if self.quota_rate is not None and self.quota_rate <= 0:
+            raise ValueError(
+                f"quota_rate must be positive, got {self.quota_rate}"
+            )
+        if self.quota_burst is not None and self.quota_burst < 1:
+            raise ValueError(
+                f"quota_burst must be >= 1, got {self.quota_burst}"
             )
 
     @property

@@ -886,9 +886,20 @@ def resolve_codec(codec: "str | Codec | None", default: str = "jsonl") -> Codec:
 # upgrade is opt-in.
 
 
-def hello_line(codecs: Iterable[str] = CODEC_NAMES) -> str:
-    """The client's opening JSONL line offering its codecs, best first."""
-    return json.dumps({"hello": {"codecs": list(codecs)}}, sort_keys=True)
+def hello_line(
+    codecs: Iterable[str] = CODEC_NAMES, *, tenant: str | None = None
+) -> str:
+    """The client's opening JSONL line offering its codecs, best first.
+
+    ``tenant`` optionally names the tenant namespace the connection's
+    events belong to (:mod:`repro.serve.tenancy`); servers that predate
+    the field ignore unknown hello keys, so the handshake stays
+    version 0 compatible.
+    """
+    hello: dict[str, Any] = {"codecs": list(codecs)}
+    if tenant is not None:
+        hello["tenant"] = tenant
+    return json.dumps({"hello": hello}, sort_keys=True)
 
 
 def hello_ack_line(codec: Codec) -> str:
@@ -908,6 +919,17 @@ def parse_hello(data: Mapping[str, Any]) -> list[str] | None:
     if not isinstance(codecs, (list, tuple)):
         return None
     return [str(name) for name in codecs]
+
+
+def parse_hello_tenant(data: Mapping[str, Any]) -> str | None:
+    """The tenant id a client hello scopes its stream to, if any."""
+    hello = data.get("hello")
+    if not isinstance(hello, Mapping):
+        return None
+    tenant = hello.get("tenant")
+    if isinstance(tenant, str) and tenant:
+        return tenant
+    return None
 
 
 def choose_codec(mode: str, offered: Iterable[str]) -> Codec:

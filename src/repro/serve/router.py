@@ -61,16 +61,33 @@ class EventRouter:
         self.salt = salt
         self.epoch = epoch
         self.assignments: dict[str, int] = {}
+        self._salts: dict[str, int] = {}
         self._subscriptions: dict[str, tuple[int, ...]] = {}
 
-    def assign(self, rule_name: str) -> int:
-        """Place one rule; idempotent, returns its owning shard index."""
+    def assign(self, rule_name: str, *, salt: int | None = None) -> int:
+        """Place one rule; idempotent, returns its owning shard index.
+
+        ``salt`` overrides the router salt for this rule only — the
+        multi-tenant tier hashes each tenant's rules under the
+        tenant-folded salt (:func:`repro.serve.tenancy.tenant_salt`) so
+        tenants spread across the shards independently.  The override
+        is remembered: :meth:`rehash` re-places the rule under the same
+        effective salt on the successor.
+        """
         existing = self.assignments.get(rule_name)
         if existing is not None:
             return existing
-        shard = shard_of(rule_name, self.shards, self.salt)
+        if salt is not None:
+            self._salts[rule_name] = salt
+        shard = shard_of(
+            rule_name, self.shards, self.salt if salt is None else salt
+        )
         self.assignments[rule_name] = shard
         return shard
+
+    def salt_of(self, rule_name: str) -> int:
+        """The effective salt ``rule_name`` hashes under."""
+        return self._salts.get(rule_name, self.salt)
 
     def bind(self, subscriptions: Mapping[int, Iterable[str]]) -> None:
         """Install the subscription map: shard index -> subscribed types.
@@ -119,5 +136,5 @@ class EventRouter:
             epoch=self.epoch + 1,
         )
         for name in sorted(self.assignments):
-            successor.assign(name)
+            successor.assign(name, salt=self._salts.get(name))
         return successor

@@ -243,7 +243,7 @@ class ServingRuntime:
         index = self.router.assignments.get(name)
         if index is None:
             raise ReproError(f"no rule named {name!r} is registered")
-        return self.shards[index].detector.detections_of(name)
+        return self.shards[index].detections_of(name)
 
     def depths(self) -> list[int]:
         """Current queue depth per shard (an obs gauge, not a guarantee)."""

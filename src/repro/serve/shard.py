@@ -122,6 +122,10 @@ class DetectionShard:
         """The rules registered on this shard, sorted."""
         return sorted(self.detector.graph.roots)
 
+    def detections_of(self, name: str) -> list:
+        """Occurrences of one rule registered on this shard."""
+        return self.detector.detections_of(name)
+
     # --- ingest side ------------------------------------------------------
 
     @property

@@ -241,6 +241,16 @@ class ShardWAL:
     def __iter__(self) -> Iterator[WalEntry]:
         return iter(self._entries)
 
+    def events(self) -> Iterator[ServeEvent]:
+        """The logged events in append order (clock advances skipped).
+
+        The envelope store's lanes hold nothing but events, so this is
+        the whole chronology a point-in-time replay consumes.
+        """
+        for entry in self._entries:
+            if entry.kind == KIND_EVENT:
+                yield entry.event
+
     def tail(self, after_seq: int) -> list[WalEntry]:
         """Entries with ``seq > after_seq`` — the failover replay set."""
         return [entry for entry in self._entries if entry.seq > after_seq]

@@ -1,4 +1,4 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and helpers for the test suite."""
 
 from __future__ import annotations
 
@@ -6,6 +6,7 @@ import random
 
 import pytest
 
+from repro.serve.protocol import ServeEvent
 from repro.time.composite import CompositeTimestamp
 from repro.time.ticks import TimeModel
 from repro.time.timestamps import PrimitiveTimestamp
@@ -33,6 +34,50 @@ def ts(site: str, global_time: int, local: int | None = None) -> PrimitiveTimest
 def cts(*triples: tuple[str, int, int]) -> CompositeTimestamp:
     """Shorthand composite stamp from raw triples."""
     return CompositeTimestamp.from_triples(triples)
+
+
+def serve_stream(
+    count: int = 40,
+    types: tuple[str, ...] = ("buy", "sell", "cancel"),
+    sites: int = 2,
+    per_granule: int = 4,
+) -> list[ServeEvent]:
+    """A deterministic stamped event stream for the serving tests.
+
+    ``per_granule`` consecutive events share each global granule, the
+    types cycle, and the local tick is the event's index — the fixture
+    every serve/cluster/tenancy test drives its runtimes with.
+    """
+    return [
+        ServeEvent(
+            event_type=types[i % len(types)],
+            site=f"s{i % sites}",
+            global_time=i // per_granule,
+            local=i,
+            parameters={"i": i},
+        )
+        for i in range(count)
+    ]
+
+
+def occurrence_multiset(occurrences) -> list[str]:
+    """Canonical detection multiset from occurrences.
+
+    Each occurrence becomes the repr of its sorted stamp reprs, and the
+    rows are sorted — two detection sets are multiset-equal iff these
+    lists are equal, regardless of arrival order.
+    """
+    return sorted(
+        repr(sorted(repr(t) for t in occurrence.timestamp))
+        for occurrence in occurrences
+    )
+
+
+def stamp_multiset(stamp_rows) -> list[str]:
+    """:func:`occurrence_multiset` over raw timestamp rows (ledgers)."""
+    return sorted(
+        repr(sorted(repr(t) for t in stamps)) for stamps in stamp_rows
+    )
 
 
 @pytest.fixture

@@ -657,6 +657,9 @@ class TestServeConfig:
             "transport",
             "workers",
             "rebalance_grace",
+            "tenants",
+            "quota_rate",
+            "quota_burst",
         )
 
 

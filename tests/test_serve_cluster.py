@@ -7,7 +7,7 @@ import json
 import pytest
 
 from repro.errors import ReproError
-from repro.serve import ServeConfig, ServeEvent
+from repro.serve import ServeConfig
 from repro.serve.cluster import (
     CheckpointStore,
     ClusterSupervisor,
@@ -22,32 +22,14 @@ from repro.serve.cluster import (
 )
 from repro.serve.heartbeat import Backoff, HeartbeatMonitor
 from repro.serve.wal import ShardWAL, WalEntry
+from tests.conftest import occurrence_multiset as multiset
+from tests.conftest import serve_stream as stream
 
 RULES = {
     "rt": "buy ; sell",
     "pair": "buy and sell",
     "either": "buy or sell",
 }
-
-
-def stream(count=40, types=("buy", "sell", "cancel"), sites=2, per_granule=4):
-    return [
-        ServeEvent(
-            event_type=types[i % len(types)],
-            site=f"s{i % sites}",
-            global_time=i // per_granule,
-            local=i,
-            parameters={"i": i},
-        )
-        for i in range(count)
-    ]
-
-
-def multiset(occurrences):
-    return sorted(
-        repr(sorted(repr(t) for t in occurrence.timestamp))
-        for occurrence in occurrences
-    )
 
 
 class TestShardWAL:
@@ -584,6 +566,7 @@ class TestDeliverReplayOverlap:
         asyncio.run(scenario())
 
 
+@pytest.mark.slow
 class TestClusterSupervisor:
     """Real worker subprocesses — the full failover integration path."""
 

@@ -32,6 +32,8 @@ from repro.serve.cluster import (
 from repro.serve.heartbeat import HeartbeatMonitor
 from repro.serve.router import EventRouter, shard_of
 from repro.serve.transport import resolve_transport
+from tests.conftest import serve_stream as stream
+from tests.conftest import stamp_multiset as tsmultiset
 
 RULES = {
     "rt": "buy ; sell",
@@ -41,26 +43,6 @@ RULES = {
 }
 
 TIMER_RATIO = 10
-
-
-def stream(count=60, types=("buy", "sell", "cancel"), sites=2, per_granule=4):
-    return [
-        ServeEvent(
-            event_type=types[i % len(types)],
-            site=f"s{i % sites}",
-            global_time=i // per_granule,
-            local=i,
-            parameters={"i": i},
-        )
-        for i in range(count)
-    ]
-
-
-def tsmultiset(stamp_rows):
-    """Canonical multiset: every row one sorted tuple of stamp reprs."""
-    return sorted(
-        repr(sorted(repr(t) for t in stamps)) for stamps in stamp_rows
-    )
 
 
 def baseline_multisets(events, horizon, rules=RULES):
@@ -295,6 +277,7 @@ def test_property_rehash_is_a_clean_successor(names, before, after, salt):
     assert successor.route("anything") == ()
 
 
+@pytest.mark.slow
 class TestSupervisorElastic:
     """ClusterSupervisor over real subprocess workers."""
 
@@ -394,6 +377,7 @@ class TestSupervisorElastic:
             assert supervisor.unavailable_shards() == {}
 
 
+@pytest.mark.slow
 class TestTcpTransportIntegration:
     """The supervisor over live TCP worker listeners."""
 

@@ -1,0 +1,548 @@
+"""Tests for multi-tenant serving (``repro.serve.tenancy``).
+
+Three properties anchor the suite:
+
+- **Isolation**: an interleaved multi-tenant stream produces, per
+  tenant, exactly the detections that tenant would see running alone.
+- **Quota soundness**: the token bucket never admits past its budget in
+  any window, and parking defers — never drops — so throttling cannot
+  change a multiset; a noisy tenant cannot raise a quiet tenant's
+  dispatch latency (the regression test at the bottom).
+- **Replayability**: the envelope lane plus the manifest rebuild any
+  tenant's detection multiset at any granule boundary, byte for byte,
+  kills and re-balances included.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.contexts.policies import Context
+from repro.errors import ReproError
+from repro.events.parser import parse_expression
+from repro.serve import (
+    EnvelopeStore,
+    MultiTenantCluster,
+    ServeEvent,
+    TenantQuota,
+    TokenBucket,
+    namespace_event,
+    namespace_expression,
+    namespaced_type,
+    qualified_rule,
+    replay_store,
+    replay_tenant,
+    serve_events,
+    serve_tenants,
+    split_rule,
+    tenant_salt,
+    validate_tenant,
+)
+from repro.serve.cluster import FaultPlan
+from repro.serve.router import EventRouter
+from repro.serve.tenancy import percentile
+from tests.conftest import serve_stream
+
+RULES = {
+    "rt": "buy ; sell",
+    "pair": "buy and sell",
+    "per": "P(buy, 2, cancel)",
+}
+
+TIMER_RATIO = 10
+
+
+def ts_multiset(occurrences):
+    """The manifest's canonical multiset: sorted timestamp strings."""
+    return sorted(str(o.timestamp) for o in occurrences)
+
+
+def solo_multisets(events, horizon, rules=RULES):
+    runtime = serve_events(
+        rules, events, shards=1, timer_ratio=TIMER_RATIO, horizon=horizon
+    )
+    return {
+        name: ts_multiset(runtime.detections_of(name)) for name in rules
+    }
+
+
+def interleave(events, tenants):
+    return [
+        (tenants[i % len(tenants)], event) for i, event in enumerate(events)
+    ]
+
+
+class TestNamespacing:
+    def test_validate_tenant_accepts_and_rejects(self):
+        for good in ("acme", "t0", "a.b-c_d", "123"):
+            assert validate_tenant(good) == good
+        for bad in ("", "a/b", "a b", "a\n", None, 7):
+            with pytest.raises(ReproError):
+                validate_tenant(bad)
+
+    def test_qualified_split_round_trip(self):
+        assert qualified_rule("acme", "rt") == "acme/rt"
+        assert split_rule("acme/rt") == ("acme", "rt")
+        # Rule names may themselves contain the separator.
+        assert split_rule("acme/a/b") == ("acme", "a/b")
+        with pytest.raises(ReproError):
+            split_rule("unqualified")
+        with pytest.raises(ReproError):
+            qualified_rule("acme", "")
+
+    def test_tenant_salt_is_stable_and_spreads(self):
+        assert tenant_salt(7, "acme") == tenant_salt(7, "acme")
+        assert tenant_salt(7, "acme") != tenant_salt(7, "globex")
+        assert tenant_salt(7, "acme") != tenant_salt(8, "acme")
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "buy",
+            "buy ; sell",
+            "(buy or sell) ; cancel",
+            "buy and sell",
+            "P(buy, 2, cancel)",
+            "(buy ; sell) + 3",
+            "A(buy, sell, cancel)",
+        ],
+    )
+    def test_namespace_expression_prefixes_every_leaf(self, source):
+        original = parse_expression(source)
+        scoped = namespace_expression(source, "acme")
+        assert scoped.primitive_types() == {
+            namespaced_type("acme", t) for t in original.primitive_types()
+        }
+        # Structure is preserved: same operator tree, same depth.
+        assert type(scoped) is type(original)
+        assert scoped.depth() == original.depth()
+
+    def test_namespace_event_keeps_the_stamp(self):
+        event = ServeEvent("buy", "s1", 5, 51, {"qty": 2})
+        scoped = namespace_event("acme", event)
+        assert scoped.event_type == "acme/buy"
+        assert (scoped.site, scoped.global_time, scoped.local) == (
+            "s1", 5, 51,
+        )
+        assert scoped.parameters == {"qty": 2}
+
+
+class TestRouterSaltOverride:
+    def test_override_survives_rehash(self):
+        router = EventRouter(4, salt=3)
+        salts = {t: tenant_salt(3, t) for t in ("acme", "globex")}
+        for tenant, salt in salts.items():
+            router.assign(f"{tenant}/rt", salt=salt)
+        router.assign("unsalted")
+        successor = router.rehash(3)
+        for tenant, salt in salts.items():
+            assert successor.salt_of(f"{tenant}/rt") == salt
+        assert successor.salt_of("unsalted") == 3
+        # Re-hashing back to the original count restores the original
+        # placement — assignment is a pure function of (name, salt, n).
+        again = successor.rehash(4)
+        assert again.assignments == router.assignments
+
+
+class TestTokenBucket:
+    def test_quota_validation(self):
+        with pytest.raises(ReproError):
+            TenantQuota(rate=0)
+        with pytest.raises(ReproError):
+            TenantQuota(burst=0.5)
+
+    def test_burst_then_refill(self):
+        clock = [0]
+        bucket = TokenBucket(
+            TenantQuota(rate=2, burst=3), clock=lambda: clock[0]
+        )
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+        clock[0] = 1  # one granule elapses -> rate tokens back
+        assert [bucket.try_acquire() for _ in range(3)] == [
+            True, True, False,
+        ]
+        assert bucket.admitted == 5
+        assert bucket.throttled == 2
+
+    def test_refill_caps_at_burst(self):
+        clock = [0]
+        bucket = TokenBucket(
+            TenantQuota(rate=2, burst=3), clock=lambda: clock[0]
+        )
+        clock[0] = 1000
+        assert bucket.tokens == 3.0
+
+    @given(
+        steps=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 6)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_never_admits_past_budget_in_any_window(self, steps):
+        """In every window the admissions are <= burst + rate*elapsed."""
+        quota = TenantQuota(rate=2, burst=4)
+        clock = [0]
+        bucket = TokenBucket(quota, clock=lambda: clock[0])
+        start = 0
+        admitted = 0
+        for advance, tries in steps:
+            clock[0] += advance
+            for _ in range(tries):
+                admitted += bucket.try_acquire()
+            elapsed = clock[0] - start
+            assert admitted <= quota.burst + quota.rate * elapsed
+        assert bucket.tokens >= 0
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [4, 1, 3, 2]
+        assert percentile(values, 25) == 1
+        assert percentile(values, 50) == 2
+        assert percentile(values, 99) == 4
+        assert percentile(values, 100) == 4
+        assert percentile([], 99) == 0.0
+        with pytest.raises(ReproError):
+            percentile(values, 0)
+        with pytest.raises(ReproError):
+            percentile(values, 101)
+
+
+class TestIsolation:
+    def test_interleaved_equals_solo_per_tenant(self):
+        tenants = ("acme", "globex", "initech")
+        # A period-5 type cycle against the 3-way tenant stripe, so each
+        # tenant's sub-stream keeps the full buy/sell/cancel mix.
+        events = serve_stream(
+            count=90,
+            per_granule=5,
+            types=("buy", "sell", "cancel", "buy", "sell"),
+        )
+        horizon = events[-1].granule + 4
+        stream = interleave(events, tenants)
+        cluster = serve_tenants(
+            {t: RULES for t in tenants},
+            stream,
+            shards=3,
+            salt=5,
+            timer_ratio=TIMER_RATIO,
+            horizon=horizon,
+        )
+        for tenant in tenants:
+            solo = solo_multisets(
+                [e for owner, e in stream if owner == tenant], horizon
+            )
+            for name in RULES:
+                live = ts_multiset(cluster.detections_of(tenant, name))
+                assert live == solo[name], (tenant, name)
+        # The per-tenant streams genuinely detect something — the
+        # comparison is not vacuous.
+        assert any(
+            cluster.detections_of(t, "rt") for t in tenants
+        )
+
+    def test_detections_of_unknown_rule_raises(self):
+        cluster = MultiTenantCluster(2)
+        cluster.register("acme", "buy ; sell", "rt")
+        with pytest.raises(ReproError):
+            cluster.detections_of("acme", "nope")
+        with pytest.raises(ReproError):
+            cluster.detections_of("globex", "rt")
+
+    def test_quota_parks_but_never_changes_multisets(self):
+        tenants = ("acme", "globex")
+        events = serve_stream(count=80, per_granule=8)
+        horizon = events[-1].granule + 4
+        stream = interleave(events, tenants)
+        cluster = serve_tenants(
+            {t: RULES for t in tenants},
+            stream,
+            shards=2,
+            timer_ratio=TIMER_RATIO,
+            quota=TenantQuota(rate=1, burst=2),
+            horizon=horizon,
+        )
+        status = cluster.status()
+        assert all(
+            status.tenants[t]["throttled"] > 0 for t in tenants
+        )
+        assert all(status.tenants[t]["parked"] == 0 for t in tenants)
+        for tenant in tenants:
+            solo = solo_multisets(
+                [e for owner, e in stream if owner == tenant], horizon
+            )
+            for name in RULES:
+                assert ts_multiset(
+                    cluster.detections_of(tenant, name)
+                ) == solo[name]
+
+    def test_status_surfaces_per_tenant_admission(self):
+        tenants = ("acme", "globex")
+        events = serve_stream(count=40)
+        cluster = serve_tenants(
+            {t: RULES for t in tenants},
+            interleave(events, tenants),
+            timer_ratio=TIMER_RATIO,
+            quota=TenantQuota(rate=1, burst=2),
+            horizon=events[-1].granule + 2,
+        )
+        status = cluster.status()
+        for tenant in tenants:
+            info = status.tenants[tenant]
+            assert info["rules"] == len(RULES)
+            assert info["events"] == 20
+            assert info["admitted"] + info["throttled"] == 20
+            assert info["deferred"] == info["throttled"]
+        assert status.to_dict()["tenants"] == status.tenants
+
+
+class TestEnvelopeStore:
+    def test_append_assigns_monotone_ids_and_filters_by_granule(self):
+        store = EnvelopeStore()
+        events = serve_stream(count=12, per_granule=4)
+        for event in events:
+            store.append("acme", event)
+        envelopes = store.envelopes("acme")
+        assert [e.event_id for e in envelopes] == list(range(1, 13))
+        assert envelopes[0].aggregate_id == events[0].site
+        assert envelopes[0].clock == (
+            events[0].site, events[0].global_time, events[0].local,
+        )
+        assert envelopes[0].payload == {"i": 0}
+        below = store.envelopes("acme", upto=2)
+        assert all(e.granule < 2 for e in below)
+        assert len(below) == 8
+        assert store.events("acme", upto=2) == [e.event for e in below]
+        assert store.tenants() == ["acme"]
+
+    def test_disk_round_trip_rediscovers_lanes(self, tmp_path):
+        state_dir = str(tmp_path / "store")
+        events = serve_stream(count=10)
+        with EnvelopeStore(state_dir) as store:
+            for i, event in enumerate(events):
+                store.append("acme" if i % 2 else "globex", event)
+            store.save_manifest({"horizon": 9})
+        with EnvelopeStore(state_dir) as reopened:
+            assert reopened.tenants() == ["acme", "globex"]
+            assert len(reopened.envelopes("acme")) == 5
+            assert reopened.load_manifest() == {"horizon": 9}
+
+    def test_envelope_to_dict_shape(self):
+        store = EnvelopeStore()
+        envelope = store.append("acme", ServeEvent("buy", "s1", 5, 51, {}))
+        assert envelope.to_dict() == {
+            "event_id": 1,
+            "tenant": "acme",
+            "aggregate_id": "s1",
+            "clock": ["s1", 5, 51],
+            "type": "buy",
+            "payload": {},
+        }
+
+
+class TestReplay:
+    def kill_plan(self):
+        # Kill shard 0 strictly mid-stream, after its 5th applied event.
+        return FaultPlan(kills=((0, 5),))
+
+    def test_replay_matches_live_after_kill(self, tmp_path):
+        tenants = ("acme", "globex")
+        events = serve_stream(count=60, per_granule=5)
+        horizon = events[-1].granule + 4
+        stream = interleave(events, tenants)
+        cluster = serve_tenants(
+            {t: RULES for t in tenants},
+            stream,
+            shards=2,
+            timer_ratio=TIMER_RATIO,
+            fault_plan=self.kill_plan(),
+            state_dir=str(tmp_path / "store"),
+            horizon=horizon,
+        )
+        assert cluster.status().restarts > 0
+        for tenant in tenants:
+            rebuilt = cluster.replay(tenant)
+            for name in RULES:
+                assert ts_multiset(rebuilt[name]) == ts_multiset(
+                    cluster.detections_of(tenant, name)
+                )
+        cluster.close()
+
+    def test_replay_store_verifies_against_manifest(self, tmp_path):
+        state_dir = str(tmp_path / "store")
+        tenants = ("acme", "globex")
+        events = serve_stream(count=60, per_granule=5)
+        horizon = events[-1].granule + 4
+        cluster = serve_tenants(
+            {t: RULES for t in tenants},
+            interleave(events, tenants),
+            shards=2,
+            timer_ratio=TIMER_RATIO,
+            fault_plan=self.kill_plan(),
+            state_dir=state_dir,
+            horizon=horizon,
+        )
+        cluster.close()
+        # A fresh process: only the directory is shared.
+        for tenant in tenants:
+            detections, manifest = replay_store(state_dir, tenant)
+            recorded = manifest["detections"][tenant]
+            for name in RULES:
+                assert ts_multiset(detections[name]) == recorded[name]
+
+    def test_replay_store_unknown_tenant_or_missing_manifest(self, tmp_path):
+        with pytest.raises(ReproError):
+            replay_store(str(tmp_path / "empty"), "acme")
+        state_dir = str(tmp_path / "store")
+        cluster = serve_tenants(
+            {"acme": RULES},
+            interleave(serve_stream(count=10), ("acme",)),
+            state_dir=state_dir,
+            timer_ratio=TIMER_RATIO,
+            horizon=5,
+        )
+        cluster.close()
+        with pytest.raises(ReproError):
+            replay_store(state_dir, "globex")
+
+    def test_replay_tenant_without_rules_raises(self):
+        cluster = MultiTenantCluster(2)
+        with pytest.raises(ReproError):
+            cluster.replay("acme")
+
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.integers(0, 1),  # granule increment
+                st.integers(0, 2),  # event type index
+                st.integers(0, 1),  # tenant index
+            ),
+            min_size=8,
+            max_size=48,
+        ),
+        kill_after=st.integers(2, 20),
+        boundary_seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_replay_to_any_boundary_equals_truncated_run(
+        self, data, kill_after, boundary_seed
+    ):
+        """``replay(tenant, upto=g)`` == a solo run over the events
+        below ``g`` — for any boundary, with a mid-stream kill."""
+        tenants = ("acme", "globex")
+        types = ("buy", "sell", "cancel")
+        events = []
+        stream = []
+        granule = 0
+        for i, (inc, type_index, tenant_index) in enumerate(data):
+            granule += inc
+            event = ServeEvent(
+                types[type_index], f"s{i % 2}", granule,
+                granule * TIMER_RATIO + (i % TIMER_RATIO), {"i": i},
+            )
+            events.append(event)
+            stream.append((tenants[tenant_index], event))
+        horizon = granule + 3
+        rules = {"rt": "buy ; sell", "pair": "buy and sell"}
+        cluster = serve_tenants(
+            {t: rules for t in tenants},
+            stream,
+            shards=2,
+            timer_ratio=TIMER_RATIO,
+            fault_plan=FaultPlan(kills=((0, kill_after),)),
+            horizon=horizon,
+        )
+        boundary = boundary_seed % (horizon + 1)
+        for tenant in tenants:
+            rebuilt = cluster.replay(tenant, upto=boundary)
+            solo = serve_events(
+                rules,
+                [
+                    e
+                    for owner, e in stream
+                    if owner == tenant and e.granule < boundary
+                ],
+                shards=1,
+                timer_ratio=TIMER_RATIO,
+                horizon=boundary,
+            )
+            for name in rules:
+                assert ts_multiset(rebuilt[name]) == ts_multiset(
+                    solo.detections_of(name)
+                ), (tenant, name, boundary)
+
+
+class TestReplayTenantUnit:
+    def test_replay_tenant_feeds_below_boundary_only(self):
+        events = serve_stream(count=20, per_granule=4)
+        rules = {"rt": ("buy ; sell", Context.UNRESTRICTED)}
+        full = replay_tenant(
+            events, rules, upto=10, timer_ratio=TIMER_RATIO
+        )
+        truncated = replay_tenant(
+            events, rules, upto=2, timer_ratio=TIMER_RATIO
+        )
+        assert len(truncated["rt"]) <= len(full["rt"])
+        solo = serve_events(
+            {"rt": "buy ; sell"},
+            [e for e in events if e.granule < 2],
+            shards=1,
+            timer_ratio=TIMER_RATIO,
+            horizon=2,
+        )
+        assert ts_multiset(truncated["rt"]) == ts_multiset(
+            solo.detections_of("rt")
+        )
+
+
+class TestNoisyNeighbourLatency:
+    """The satellite regression gate: a saturating tenant must not move
+    a quiet tenant's p99 dispatch latency off its solo baseline."""
+
+    def build_stream(self):
+        # Per granule: 1 quiet event (within quota), 7 noisy ones (way
+        # past rate=2/burst=3).  Deterministic fake clock = the granule
+        # counter itself, so the latency distribution is exact.
+        stream = []
+        events = serve_stream(count=80, per_granule=8, sites=2)
+        for i, event in enumerate(events):
+            owner = "quiet" if i % 8 == 0 else "noisy"
+            stream.append((owner, event))
+        return stream, events[-1].granule + 4
+
+    def run(self, stream, horizon, quota):
+        return serve_tenants(
+            {t: RULES for t in ("quiet", "noisy")},
+            stream,
+            shards=2,
+            timer_ratio=TIMER_RATIO,
+            quota=quota,
+            horizon=horizon,
+        )
+
+    def test_quiet_tenant_p99_unmoved_by_noisy_saturation(self):
+        stream, horizon = self.build_stream()
+        quota = TenantQuota(rate=2, burst=3)
+        cluster = self.run(stream, horizon, quota)
+        status = cluster.status()
+        # The noisy tenant really saturated (parked latency > 0)...
+        assert status.tenants["noisy"]["throttled"] > 0
+        assert percentile(cluster.dispatch_latencies("noisy"), 99) > 0
+        # ...while the quiet tenant stayed at the solo baseline: every
+        # event admitted on arrival, p99 latency 0 ingest steps.
+        solo = self.run(
+            [(t, e) for t, e in stream if t == "quiet"], horizon, quota
+        )
+        baseline = percentile(solo.dispatch_latencies("quiet"), 99)
+        assert status.tenants["quiet"]["throttled"] == 0
+        assert (
+            percentile(cluster.dispatch_latencies("quiet"), 99)
+            == baseline
+            == 0.0
+        )
