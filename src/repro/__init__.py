@@ -38,6 +38,11 @@ from repro.conformance import (
     shrink,
 )
 from repro.contexts.policies import Context
+from repro.detection.approximate import (
+    ApproximateStabilizer,
+    Verdict,
+    VerdictDetection,
+)
 from repro.detection.coordinator import DistributedDetector, PlacementPolicy
 from repro.detection.detector import Detection, Detector
 from repro.events.expressions import (
@@ -98,6 +103,7 @@ __all__ = [
     "And",
     "Aperiodic",
     "AperiodicStar",
+    "ApproximateStabilizer",
     "ClockEnsemble",
     "ClosedInterval",
     "CompositeRelation",
@@ -150,6 +156,8 @@ __all__ = [
     "TimeModel",
     "TruncMode",
     "TypeRegistry",
+    "Verdict",
+    "VerdictDetection",
     "composite_relation",
     "evaluate",
     "fuzz",

@@ -333,6 +333,7 @@ def _serve_config(args: argparse.Namespace, **overrides):
         tenants=getattr(args, "tenants", None),
         quota_rate=getattr(args, "quota_rate", None),
         quota_burst=getattr(args, "quota_burst", None),
+        approximate=getattr(args, "approximate", False),
     )
     fields.update(overrides)
     return ServeConfig(**fields)
@@ -623,6 +624,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     rules = _serve_rules(args)
 
+    if args.approximate and (
+        args.procs is not None
+        or args.workers is not None
+        or args.tenants is not None
+    ):
+        raise ReproError(
+            "--approximate serves in-process only; it cannot combine "
+            "with --procs/--workers/--tenants"
+        )
+
     if args.tenants is not None:
         if args.procs is not None or args.workers is not None:
             raise ReproError(
@@ -640,8 +651,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     if args.selftest:
         # The serve-smoke gate: the sharded runtime must produce the
-        # identical multiset of detections as a single-shard run over
-        # the standard generated workload.
+        # identical multiset of detections as a single-shard exact run
+        # over the standard generated workload.  With --approximate the
+        # left side is the anytime runtime, so the comparison asserts
+        # the soundness contract: CONFIRMED == the exact multiset.
         workload = ServingWorkload.standard(
             seed=args.seed, events=args.events
         )
@@ -658,7 +671,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             rules,
             workload,
             config=_serve_config(
-                args, shards=1, timer_ratio=workload.timer_ratio
+                args, shards=1, timer_ratio=workload.timer_ratio,
+                approximate=False,
             ),
             horizon=horizon,
         )
@@ -679,8 +693,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 f"[{marker}] {name}: shards={args.shards} -> {len(left)} "
                 f"detections, shards=1 -> {len(right)}"
             )
+        if args.approximate:
+            from repro.detection.approximate import Verdict
+
+            unresolved = sharded.unresolved()
+            counts = {verdict: 0 for verdict in Verdict}
+            for _, verdict_detection in sharded.verdicts():
+                counts[verdict_detection.verdict] += 1
+            marker = "ok " if unresolved == 0 else "FAIL"
+            failures += unresolved != 0
+            print(
+                f"[{marker}] verdicts: "
+                f"{counts[Verdict.TENTATIVE]} tentative, "
+                f"{counts[Verdict.CONFIRMED]} confirmed, "
+                f"{counts[Verdict.RETRACTED]} retracted, "
+                f"{unresolved} unresolved"
+            )
         print(
-            f"selftest over {len(workload)} events: "
+            f"selftest over {len(workload)} events"
+            f"{' (approximate)' if args.approximate else ''}: "
             f"{'FAILED' if failures else 'passed'}"
         )
         return 1 if failures else 0
@@ -925,7 +956,24 @@ def build_parser() -> argparse.ArgumentParser:
     grid_command.set_defaults(handler=cmd_grid)
 
     replay_command = commands.add_parser(
-        "replay", help="replay a trace against an expression"
+        "replay", help="replay a trace against an expression",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "modes:\n"
+            "  repro replay TRACE EXPR           stamped trace file vs one "
+            "expression\n"
+            "  repro replay --seed N             generated workload when no "
+            "trace is given\n"
+            "  repro replay --store DIR --tenant NAME\n"
+            "                                    rebuild one tenant from a "
+            "persisted envelope\n"
+            "                                    store (the state dir of "
+            "'serve --tenants');\n"
+            "                                    --upto bounds the granule, "
+            "--check verifies the\n"
+            "                                    rebuilt multisets against "
+            "the manifest"
+        ),
     )
     replay_command.add_argument("trace", nargs="?", default=None)
     replay_command.add_argument("expression", nargs="?", default=None)
@@ -1042,7 +1090,30 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_command.set_defaults(handler=cmd_fuzz)
 
     serve_command = commands.add_parser(
-        "serve", help="run the sharded async serving runtime"
+        "serve", help="run the sharded async serving runtime",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "modes:\n"
+            "  (default)                  in-process sharded runtime on "
+            "stdin or --port\n"
+            "  --approximate              anytime verdict streaming "
+            "(TENTATIVE/CONFIRMED/\n"
+            "                             RETRACTED rows; in-process only)\n"
+            "  --procs N                  supervised worker processes with "
+            "WAL + heartbeat\n"
+            "                             failover (--state-dir, "
+            "--fault-plan, --transport,\n"
+            "                             --checkpoint-every, "
+            "--rebalance-grace)\n"
+            "  --workers HOST:PORT,...    remote TCP shard workers (implies "
+            "cluster mode)\n"
+            "  --tenants N --selftest     multi-tenant gate: namespaces, "
+            "quotas (--quota-rate,\n"
+            "                             --quota-burst), envelope-log "
+            "replay\n"
+            "  --selftest                 serve-smoke gate vs the unsharded "
+            "exact baseline"
+        ),
     )
     serve_command.add_argument(
         "--shards", type=int, default=1, help="number of detection shards"
@@ -1080,9 +1151,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="listen for JSONL events on a TCP port instead of stdin",
     )
     serve_command.add_argument(
+        "--approximate", action="store_true",
+        help="anytime detection: stream TENTATIVE verdicts immediately "
+        "and CONFIRMED/RETRACTED resolutions once the stabilization "
+        "window closes (in-process modes only)",
+    )
+    serve_command.add_argument(
         "--selftest", action="store_true",
         help="run the generated workload and assert the sharded "
-        "detections match an unsharded baseline",
+        "detections match an unsharded baseline (with --approximate: "
+        "that CONFIRMED verdicts match the exact baseline)",
     )
     serve_command.add_argument(
         "--seed", type=int, default=0, help="workload seed for --selftest"
@@ -1179,6 +1257,15 @@ def build_parser() -> argparse.ArgumentParser:
         "scale",
         help="elastic re-balancing selftest: scale a live cluster "
         "mid-stream and compare against the single-process baseline",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "drives --start workers through the --steps shard counts at "
+            "granule\nboundaries, migrating detector state through "
+            "checkpoint handoffs.\n--transport tcp spawns --listeners "
+            "'serve-worker --listen' hosts;\n--fault-plan injects "
+            "deterministic kills and --rebalance-grace re-homes\nfailed "
+            "shards onto survivors instead of parking them"
+        ),
     )
     scale_command.add_argument(
         "--transport", choices=("subprocess", "tcp"), default="subprocess",

@@ -43,6 +43,17 @@ differential check that is *sound* for the case:
     multisets must match.  Sound for every operator class, like
     ``sharding``.
 
+``approx``
+    Anytime soundness of :class:`~repro.detection.approximate.
+    ApproximateStabilizer`: drive the stamped history through a plain
+    :class:`~repro.detection.stabilizer.Stabilizer` (the exact
+    reference) and an approximate one over the *identical*
+    FIFO-preserving adversarial delivery and clock-advance schedule.
+    The CONFIRMED multiset must equal the exact multiset, every
+    TENTATIVE must resolve (confirm or retract — never dangle), and no
+    tentative may be referenced twice.  Sound for every operator class
+    and context: both engines are deterministic given the delivery.
+
 ``reorder``
     Deliver the cross-site messages of a zero-latency
     :class:`~repro.detection.coordinator.DistributedDetector` in a
@@ -66,9 +77,11 @@ from typing import Sequence
 from repro.analysis.metrics import multiset_diff
 from repro.errors import ReproError
 from repro.contexts.policies import Context
+from repro.detection.approximate import ApproximateStabilizer
 from repro.detection.checkpoint import restore, snapshot
 from repro.detection.coordinator import DistributedDetector
 from repro.detection.detector import Detector
+from repro.detection.stabilizer import Stabilizer
 from repro.events.expressions import (
     Aperiodic,
     AperiodicStar,
@@ -807,6 +820,108 @@ def _check_reorder(
     )
 
 
+def _check_approx(
+    case: FuzzCase, expression: EventExpression, history: History
+) -> CheckResult:
+    def build(approximate: bool) -> Stabilizer:
+        detector = Detector()
+        detector.register(
+            expression, name=CASE_NAME, context=Context(case.context)
+        )
+        if approximate:
+            return ApproximateStabilizer(detector, sites=list(case.sites))
+        return Stabilizer(detector, sites=list(case.sites))
+
+    # FIFO-preserving adversarial interleaving: per-site order kept (the
+    # stabilizer's premise), cross-site order scrambled by the seed.
+    by_site: dict[str, list[EventOccurrence]] = {}
+    for occurrence in history:
+        by_site.setdefault(occurrence.site(), []).append(
+            EventOccurrence.primitive(
+                occurrence.event_type,
+                next(iter(occurrence.timestamp)),
+                occurrence.parameters,
+            )
+        )
+    for queue in by_site.values():
+        queue.sort(key=lambda o: min(t.local for t in o.timestamp))
+    rng = random.Random(case.seed * 131 + 17)
+    delivery: list[EventOccurrence] = []
+    queues = [queue for queue in by_site.values() if queue]
+    while queues:
+        delivery.append(rng.choice(queues).pop(0))
+        queues = [queue for queue in queues if queue]
+    horizon = max(
+        (o.timestamp.global_span()[1] for o in delivery), default=0
+    ) + _temporal_pad(expression)
+
+    reference = build(approximate=False)
+    approx = build(approximate=True)
+    for occurrence in delivery:
+        granule = occurrence.timestamp.global_span()[1]
+        approx.advance_shadow(granule)
+        approx.offer(occurrence)
+        approx.advance_exact()
+        reference.offer(occurrence)
+        frontier = reference.frontier()
+        if frontier > reference.detector.now_global:
+            reference.detector.advance_time(frontier)
+    approx.advance_shadow(horizon)
+    approx.announce_all(horizon)
+    approx.advance_exact()
+    approx.flush(advance_to=horizon)
+    for site in sorted(reference.watermarks):
+        reference.announce(site, horizon)
+    frontier = reference.frontier()
+    if frontier > reference.detector.now_global:
+        reference.detector.advance_time(frontier)
+    reference.flush()
+    if horizon > reference.detector.now_global:
+        reference.detector.advance_time(horizon)
+
+    expected = timestamps_multiset(
+        reference.detector.detections_of(CASE_NAME)
+    )
+    confirmed = timestamps_multiset(approx.confirmed_of(CASE_NAME))
+    missing, extra = multiset_diff(expected, confirmed)
+    if missing or extra:
+        return CheckResult(
+            "approx",
+            False,
+            f"CONFIRMED != exact: missing={missing[:3]} extra={extra[:3]} "
+            f"(exact {len(expected)}, confirmed {len(confirmed)})",
+        )
+    if approx.unresolved():
+        return CheckResult(
+            "approx",
+            False,
+            f"{approx.unresolved()} tentative(s) unresolved after flush",
+        )
+    tentatives = {v.seq for v in approx.tentative()}
+    refs = [
+        v.ref
+        for v in approx.verdicts
+        if v.verdict.resolved and v.ref is not None
+    ]
+    if len(refs) != len(set(refs)) or not set(refs) <= tentatives:
+        return CheckResult(
+            "approx", False, "dangling or double-referenced tentative(s)"
+        )
+    if set(refs) != tentatives:
+        return CheckResult(
+            "approx",
+            False,
+            f"{len(tentatives - set(refs))} tentative(s) never resolved",
+        )
+    anticipated = sum(1 for v in approx.confirmed() if v.ref is not None)
+    return CheckResult(
+        "approx",
+        True,
+        f"{len(confirmed)} confirmed == exact ({anticipated} anticipated "
+        f"eagerly, {len(approx.retracted())} retracted)",
+    )
+
+
 # --- the driver ---------------------------------------------------------------
 
 
@@ -819,6 +934,7 @@ CHECK_NAMES = (
     "sharding",
     "failover",
     "tenancy",
+    "approx",
     "reorder",
 )
 
@@ -836,7 +952,7 @@ def run_case(case: FuzzCase, checks: Sequence[str] | None = None) -> CaseResult:
         if unknown:
             raise ReproError(
                 f"unknown conformance check(s) {unknown}; "
-                f"valid: {', '.join(CHECK_NAMES)}"
+                f"valid: {', '.join(sorted(CHECK_NAMES))}"
             )
 
     def wanted(name: str) -> bool:
@@ -914,6 +1030,14 @@ def run_case(case: FuzzCase, checks: Sequence[str] | None = None) -> CaseResult:
             )
         except Exception as error:  # noqa: BLE001
             result.checks.append(_failure("tenancy", error))
+
+    if wanted("approx"):
+        try:
+            result.checks.append(
+                _check_approx(case, expression, system.history)
+            )
+        except Exception as error:  # noqa: BLE001
+            result.checks.append(_failure("approx", error))
 
     if not wanted("reorder"):
         pass

@@ -9,17 +9,31 @@
   primitive occurrences, advance the clock, collect detections.
 * :mod:`repro.detection.coordinator` — the distributed engine: operator
   placement across sites and cross-site event propagation.
+* :mod:`repro.detection.stabilizer` — watermark parking for exact
+  in-order evaluation of out-of-order streams.
+* :mod:`repro.detection.approximate` — the anytime layer: eager
+  detections with TENTATIVE/CONFIRMED/RETRACTED verdicts.
 """
 
+from repro.detection.approximate import (
+    ApproximateStabilizer,
+    Verdict,
+    VerdictDetection,
+)
 from repro.detection.detector import Detector, Detection
 from repro.detection.graph import EventGraph, build_graph
 from repro.detection.coordinator import DistributedDetector, PlacementPolicy
+from repro.detection.stabilizer import Stabilizer
 
 __all__ = [
+    "ApproximateStabilizer",
     "Detection",
     "Detector",
     "DistributedDetector",
     "EventGraph",
     "PlacementPolicy",
+    "Stabilizer",
+    "Verdict",
+    "VerdictDetection",
     "build_graph",
 ]

@@ -37,7 +37,7 @@ from repro.events.expressions import EventExpression, Primitive
 from repro.events.occurrences import EventOccurrence
 from repro.events.parser import parse_expression
 from repro.obs.instrument import Instrumentation, resolve
-from repro.detection.detector import Detection
+from repro.detection.detector import Detection, Detector
 from repro.detection.graph import EventGraph
 from repro.detection.nodes import (
     Node,
@@ -139,6 +139,7 @@ class DistributedDetector:
         self._pending_timers = 0
         self._now_global: dict[str, int] = {site: 0 for site in self.sites}
         self._timer_site_binding: dict[Node, str] = {}
+        self._registrations: list[tuple[EventExpression, str, Context]] = []
 
     # --- registration -----------------------------------------------------
 
@@ -175,6 +176,7 @@ class DistributedDetector:
         )
         self._placement_policy = placement
         self._place_new_nodes(expression)
+        self._registrations.append((expression, root.name, context))
         if callback is not None:
             self._callbacks.setdefault(root.name, []).append(callback)
         if self.obs.enabled:
@@ -187,6 +189,22 @@ class DistributedDetector:
                 **self.graph.stats(),
             )
         return root
+
+    def local_clone(self, site: str = "local") -> Detector:
+        """A single-site :class:`Detector` with the same registrations.
+
+        The confirmation pass of the approximate mode
+        (:meth:`~repro.sim.cluster.DistributedSystem.confirm`) replays
+        the stamped history through one of these behind a stabilizer to
+        obtain the exact in-order multiset.  Timer stamps carry the
+        clone's site label instead of the placed site's, so comparisons
+        must canonicalize timer sites
+        (:func:`~repro.detection.approximate.detection_key`).
+        """
+        twin = Detector(site, self.timer_ratio)
+        for expression, name, context in self._registrations:
+            twin.register(expression, name=name, context=context)
+        return twin
 
     def _place_new_nodes(self, expression: EventExpression) -> None:
         for node in self.graph.nodes():

@@ -86,6 +86,7 @@ class Detector:
         self._callbacks: dict[str, list[Callable[[Detection], None]]] = {}
         self._timer_heap: list[tuple[int, int, Node, Any]] = []
         self._timer_seq = itertools.count()
+        self._registrations: list[tuple[EventExpression, str, Context]] = []
 
     # --- registration ---------------------------------------------------
 
@@ -119,6 +120,7 @@ class Detector:
             timer_ratio=self.timer_ratio,
         )
         self._bind_timers()
+        self._registrations.append((expression, root.name, context))
         if callback is not None:
             self._callbacks.setdefault(root.name, []).append(callback)
         if self.obs.enabled:
@@ -291,6 +293,32 @@ class Detector:
         for callback in self._callbacks.get(node.name, []):
             callback(detection)
         return [detection]
+
+    # --- cloning ----------------------------------------------------------
+
+    def clone(
+        self,
+        *,
+        site: str | None = None,
+        instrumentation: Instrumentation | None = None,
+    ) -> "Detector":
+        """A fresh detector with the same registrations and no state.
+
+        The twin shares expressions, names, contexts, site label, and
+        timer ratio, but none of the buffered occurrences, detections,
+        or callbacks — the anytime layer
+        (:class:`~repro.detection.approximate.ApproximateStabilizer`)
+        uses one as the eagerly-fed shadow engine.  Registrations made
+        on either detector after cloning are not reflected in the other.
+        """
+        twin = Detector(
+            site if site is not None else self.site,
+            self.timer_ratio,
+            instrumentation=instrumentation,
+        )
+        for expression, name, context in self._registrations:
+            twin.register(expression, name=name, context=context)
+        return twin
 
     # --- introspection ----------------------------------------------------
 

@@ -65,11 +65,13 @@ class Stabilizer:
         detector: Detector,
         sites: list[str],
         *,
+        auto_sites: bool = False,
         instrumentation: Instrumentation | None = None,
     ) -> None:
-        if not sites:
+        if not sites and not auto_sites:
             raise DetectionError("a stabilizer needs at least one site")
         self.detector = detector
+        self.auto_sites = auto_sites
         self.watermarks: dict[str, int] = {site: -1 for site in sites}
         self.stats = StabilizerStats()
         self.obs = resolve(instrumentation)
@@ -93,6 +95,14 @@ class Stabilizer:
         :class:`DetectionError` rather than silently mis-evaluating.
         """
         site = occurrence.site()
+        if site is not None and site not in self.watermarks and self.auto_sites:
+            # Open-world intake (the serving shards): a site joins the
+            # watermark set on first contact.  Until every site has been
+            # seen the frontier stays conservative at -2, so nothing
+            # releases prematurely; a site first seen *after* the
+            # frontier passed its early granules is the approximate
+            # mode's retraction trigger rather than a protocol error.
+            self.watermarks[site] = -1
         if site is not None and site in self.watermarks:
             granule = occurrence.timestamp.global_span()[1]
             if granule < self.watermarks[site]:
@@ -119,7 +129,9 @@ class Stabilizer:
         """A heartbeat: ``site`` promises no more events at or below
         ``global_time``; returns detections released by the new watermark."""
         if site not in self.watermarks:
-            raise UnknownSiteError(f"{site!r} is not a stabilized site")
+            if not self.auto_sites:
+                raise UnknownSiteError(f"{site!r} is not a stabilized site")
+            self.watermarks[site] = -1
         self.stats.heartbeats += 1
         if self.obs.enabled:
             self.obs.counter("stabilizer.heartbeats", site=site).inc()
@@ -139,6 +151,8 @@ class Stabilizer:
         one granule below every site's watermark — within one granule it
         could still be concurrent with an event yet to arrive.
         """
+        if not self.watermarks:
+            return -2
         return min(self.watermarks.values()) - 1
 
     def _release(self) -> list[Detection]:

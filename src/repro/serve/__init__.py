@@ -33,6 +33,13 @@ state through checkpoint handoffs.  The
 ``revive`` / ``drain`` / ``status``) is shared by the supervisor, the
 in-process :class:`~repro.serve.cluster.LocalFailoverCluster`, and the
 CLI.
+
+Detection itself has two modes: exact (the default — detections are
+signalled only once stabilization evidence is complete) and
+*approximate* anytime detection (``ServeConfig(approximate=True)`` /
+``repro serve --approximate``), where each shard runs an
+:class:`~repro.detection.approximate.ApproximateStabilizer` and streams
+TENTATIVE / CONFIRMED / RETRACTED verdicts; see ``docs/approximate.md``.
 """
 
 from repro.serve.admin import ClusterAdmin, ClusterStatus
@@ -45,6 +52,7 @@ from repro.serve.cluster import (
     LocalFailoverCluster,
     ShardReplica,
     ShardUnavailable,
+    TaggedDetection,
     cluster_serve_stdin,
     replay_with_failover,
     run_worker,
@@ -150,6 +158,7 @@ __all__ = [
     "StreamDecoder",
     "StreamUnit",
     "SubprocessTransport",
+    "TaggedDetection",
     "TcpTransport",
     "TenantQuota",
     "TokenBucket",

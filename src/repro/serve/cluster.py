@@ -62,6 +62,11 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, IO, Mapping
 
 from repro.contexts.policies import Context
+from repro.detection.approximate import (
+    ApproximateStabilizer,
+    Verdict,
+    VerdictDetection,
+)
 from repro.detection.checkpoint import restore as restore_detector
 from repro.detection.checkpoint import snapshot as snapshot_detector
 from repro.detection.detector import Detection, Detector
@@ -329,11 +334,19 @@ class CheckpointStore:
 
 @dataclass(frozen=True, slots=True)
 class TaggedDetection:
-    """A detection plus its deterministic replay tag ``(seq, k)``."""
+    """A detection plus its deterministic replay tag ``(seq, k)``.
+
+    On an approximate replica every *verdict emission* — tentative,
+    confirmed, or retracted — is one tagged unit (``verdict`` carries
+    the full :class:`~repro.detection.approximate.VerdictDetection`),
+    so retractions replay through the WAL with the same exactly-once
+    ``(seq, k)`` discipline as detections.
+    """
 
     seq: int
     k: int
     detection: Detection
+    verdict: VerdictDetection | None = None
 
 
 class ShardReplica:
@@ -352,6 +365,7 @@ class ShardReplica:
         index: int,
         *,
         timer_ratio: int = 1,
+        approximate: bool = False,
         instrumentation: Instrumentation | None = None,
     ) -> None:
         self.index = index
@@ -362,6 +376,17 @@ class ShardReplica:
             site="shard",
             timer_ratio=timer_ratio,
             instrumentation=instrumentation,
+        )
+        self.approximate = approximate
+        self.stabilizer: ApproximateStabilizer | None = (
+            ApproximateStabilizer(
+                self.detector,
+                sites=[],
+                auto_sites=True,
+                instrumentation=instrumentation,
+            )
+            if approximate
+            else None
         )
         self.applied_seq = 0
 
@@ -374,7 +399,33 @@ class ShardReplica:
         self.detector.register(expression, name=name, context=context)
 
     def apply(self, entry: WalEntry) -> list[TaggedDetection]:
-        """Apply one WAL entry; returns the tagged detections it fired."""
+        """Apply one WAL entry; returns the tagged detections it fired.
+
+        An approximate replica applies the same entries through its
+        stabilizer: events feed the shadow engine eagerly (tentatives)
+        and advance-entries are the drain-horizon promise that closes
+        the watermark frontier (confirmations and retractions).  The
+        verdict stream is a pure function of the entry sequence, so
+        replay after a crash re-emits the identical tagged verdicts —
+        including retractions — and the ledger's ``(seq, k)`` marks
+        deduplicate them.
+        """
+        stabilizer = self.stabilizer
+        if stabilizer is not None:
+            verdicts: list[VerdictDetection] = []
+            if entry.kind == KIND_EVENT:
+                event = entry.event
+                verdicts.extend(stabilizer.advance_shadow(event.granule))
+                verdicts.extend(stabilizer.offer(event.occurrence()))
+            else:
+                verdicts.extend(stabilizer.advance_shadow(entry.granule))
+                verdicts.extend(stabilizer.announce_all(entry.granule))
+            verdicts.extend(stabilizer.advance_exact())
+            self.applied_seq = entry.seq
+            return [
+                TaggedDetection(entry.seq, k, verdict.detection, verdict)
+                for k, verdict in enumerate(verdicts)
+            ]
         detector = self.detector
         detections: list[Detection] = []
         if entry.kind == KIND_EVENT:
@@ -393,6 +444,12 @@ class ShardReplica:
 
     def snapshot(self) -> dict[str, Any]:
         """Checkpoint: the applied watermark plus the detector state."""
+        if self.approximate:
+            raise ReproError(
+                "approximate replicas do not checkpoint: recovery is a "
+                "full-WAL replay (verdict emission is deterministic and "
+                "the ledger deduplicates)"
+            )
         return {
             "seq": self.applied_seq,
             "index": self.index,
@@ -400,6 +457,11 @@ class ShardReplica:
         }
 
     def restore(self, state: Mapping[str, Any]) -> None:
+        if self.approximate:
+            raise ReproError(
+                "approximate replicas rebuild from the WAL, not from "
+                "checkpoints"
+            )
         if int(state.get("index", self.index)) != self.index:
             raise ReproError(
                 f"checkpoint belongs to shard {state['index']}, "
@@ -464,6 +526,7 @@ class LocalFailoverCluster(ClusterAdmin):
         checkpoint_every: int = 8,
         fault_plan: FaultPlan | None = None,
         codec: str | None = None,
+        approximate: bool = False,
         instrumentation: Instrumentation | None = None,
     ) -> None:
         if checkpoint_every <= 0:
@@ -472,6 +535,7 @@ class LocalFailoverCluster(ClusterAdmin):
             )
         self.router = EventRouter(shards, salt=salt)
         self.timer_ratio = timer_ratio
+        self.approximate = approximate
         self.checkpoint_every = checkpoint_every
         self.faults = FaultInjector(fault_plan)
         self.obs = resolve(instrumentation)
@@ -489,6 +553,9 @@ class LocalFailoverCluster(ClusterAdmin):
         self._replicas: dict[int, ShardReplica] = {}
         self.ledger = DetectionLedger()
         self._detections: dict[str, list[Any]] = {}
+        #: Approximate mode: every ledger-accepted verdict emission, in
+        #: acceptance order (replayed duplicates excluded).
+        self._verdicts: list[TaggedDetection] = []
         self._codec = codec
         self._last_granule: int | None = None
         #: granule -> shard-map epochs its events routed under.  The
@@ -539,6 +606,7 @@ class LocalFailoverCluster(ClusterAdmin):
             replica = ShardReplica(
                 index,
                 timer_ratio=self.timer_ratio,
+                approximate=self.approximate,
                 instrumentation=self._instrumentation,
             )
             for name in self.router.rules_of(index):
@@ -580,11 +648,25 @@ class LocalFailoverCluster(ClusterAdmin):
     def _apply(self, index: int, entry: WalEntry) -> None:
         for tagged in self._replica(index).apply(entry):
             if self.ledger.offer(index, tagged.seq, tagged.k):
-                self._detections.setdefault(
-                    tagged.detection.name, []
-                ).append(tagged.detection.occurrence)
+                if tagged.verdict is not None:
+                    self._verdicts.append(tagged)
+                if (
+                    tagged.verdict is None
+                    or tagged.verdict.verdict is Verdict.CONFIRMED
+                ):
+                    # detections_of stays the exact multiset in both
+                    # modes: plain detections, or confirmed verdicts.
+                    self._detections.setdefault(
+                        tagged.detection.name, []
+                    ).append(tagged.detection.occurrence)
 
     def _checkpoint(self, index: int) -> None:
+        if self.approximate:
+            # No snapshot format covers the stabilizer's held
+            # occurrences and pending tentatives; approximate recovery
+            # replays the full WAL instead (see ShardReplica.apply), so
+            # the WAL is never truncated here.
+            return
         store = self._stores[index]
         store.save(
             self._replica(index).snapshot(),
@@ -641,6 +723,12 @@ class LocalFailoverCluster(ClusterAdmin):
         """
         if shards <= 0:
             raise ReproError(f"shard count must be positive, got {shards}")
+        if self.approximate:
+            raise ReproError(
+                "approximate clusters cannot re-balance: stabilizer "
+                "state (held occurrences, pending tentatives) has no "
+                "migration path yet"
+            )
         boundary = self._last_granule
         if boundary is not None:
             self.advance(boundary)
@@ -743,10 +831,30 @@ class LocalFailoverCluster(ClusterAdmin):
     # --- results ---------------------------------------------------------
 
     def detections_of(self, name: str):
-        """Collected occurrences of one rule (exactly-once)."""
+        """Collected occurrences of one rule (exactly-once).
+
+        In approximate mode this is the CONFIRMED multiset — the same
+        exact-multiset contract as everywhere else.
+        """
         if name not in self._rules:
             raise ReproError(f"no rule named {name!r} is registered")
         return list(self._detections.get(name, ()))
+
+    def verdicts_of(self, name: str) -> list[VerdictDetection]:
+        """One rule's ledger-accepted verdict stream (approximate mode).
+
+        Exactly-once across crash/replay: a replayed emission carries
+        the same ``(seq, k)`` tag, so the ledger filters it before it
+        reaches this list.
+        """
+        if name not in self._rules:
+            raise ReproError(f"no rule named {name!r} is registered")
+        return [
+            tagged.verdict
+            for tagged in self._verdicts
+            if tagged.verdict is not None
+            and tagged.verdict.name == name
+        ]
 
 
 def replay_with_failover(
@@ -761,6 +869,7 @@ def replay_with_failover(
     checkpoint_every: int = 8,
     fault_plan: FaultPlan | None = None,
     codec: str | None = None,
+    approximate: bool = False,
     scale_plan: tuple[tuple[int, int], ...] = (),
     lose: tuple[tuple[int, int], ...] = (),
 ) -> LocalFailoverCluster:
@@ -770,7 +879,9 @@ def replay_with_failover(
     for the failover harness — registers, ingests, advances to
     ``horizon``, returns the cluster for inspection.  ``codec`` selects
     the WAL storage encoding (``"binary"`` replays through the binary
-    wire format).
+    wire format); ``approximate`` runs every replica in anytime mode,
+    with verdict emissions — retractions included — riding the same
+    ``(seq, k)`` exactly-once replay discipline as detections.
 
     ``scale_plan`` is a schedule of ``(after_count, shards)`` pairs:
     once ``after_count`` events have been ingested the cluster
@@ -788,6 +899,7 @@ def replay_with_failover(
         checkpoint_every=checkpoint_every,
         fault_plan=fault_plan,
         codec=codec,
+        approximate=approximate,
     )
     for name, expression in rules.items():
         cluster.register(expression, name, context)

@@ -45,7 +45,11 @@ class ServeConfig:
     (:mod:`repro.serve.tenancy`): ``tenants`` (the synthetic tenant
     count ``repro serve --tenants`` interleaves its selftest workload
     across), ``quota_rate``/``quota_burst`` (the per-tenant token
-    bucket: tokens per global granule and bucket capacity).
+    bucket: tokens per global granule and bucket capacity).  Detection
+    mode: ``approximate`` turns on anytime detection — every shard runs
+    an :class:`~repro.detection.approximate.ApproximateStabilizer` and
+    emits TENTATIVE/CONFIRMED/RETRACTED verdicts instead of bare
+    detections (in-process transports only; see ``docs/approximate.md``).
     """
 
     shards: int = 1
@@ -68,6 +72,7 @@ class ServeConfig:
     tenants: int | None = None
     quota_rate: float | None = None
     quota_burst: float | None = None
+    approximate: bool = False
 
     def __post_init__(self) -> None:
         # workers= (remote TCP endpoints) and procs= (local subprocess
@@ -162,6 +167,18 @@ class ServeConfig:
         if self.quota_burst is not None and self.quota_burst < 1:
             raise ValueError(
                 f"quota_burst must be >= 1, got {self.quota_burst}"
+            )
+        if self.approximate and (
+            self.procs is not None
+            or self.workers is not None
+            or self.tenants is not None
+        ):
+            # Verdict streams have no control-frame encoding yet, so the
+            # multi-process / remote / multi-tenant deployments cannot
+            # relay them; failing here beats silently serving exact.
+            raise ValueError(
+                "approximate mode serves in-process only (not with "
+                "procs=, workers=, or tenants=)"
             )
 
     @property

@@ -235,10 +235,24 @@ def parse_frame(line: str) -> dict[str, Any]:
     return data
 
 
-def detection_to_json(shard: int, detection: Detection) -> dict[str, Any]:
-    """The JSON row emitted for one detection."""
+def detection_to_json(
+    shard: int,
+    detection: Detection,
+    *,
+    verdict: str | None = None,
+    seq: int | None = None,
+    ref: int | None = None,
+) -> dict[str, Any]:
+    """The JSON row emitted for one detection.
+
+    Exact-mode rows carry no verdict keys at all, so version-0 readers
+    are unaffected; an approximate-mode row adds ``verdict``
+    (``"tentative"`` / ``"confirmed"`` / ``"retracted"``), its emission
+    ``seq``, and — on resolutions — the ``ref`` of the tentative row it
+    confirms or cancels.
+    """
     occurrence = detection.occurrence
-    return {
+    row = {
         "detection": detection.name,
         "shard": shard,
         "timestamp": [list(t.as_triple()) for t in occurrence.timestamp],
@@ -248,6 +262,12 @@ def detection_to_json(shard: int, detection: Detection) -> dict[str, Any]:
             if isinstance(value, (str, int, float, bool, type(None)))
         },
     }
+    if verdict is not None:
+        row["verdict"] = verdict
+        row["seq"] = seq
+        if ref is not None:
+            row["ref"] = ref
+    return row
 
 
 def _detection_row_text(row: Mapping[str, Any]) -> str:

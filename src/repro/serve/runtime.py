@@ -33,6 +33,7 @@ import asyncio
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.contexts.policies import Context
+from repro.detection.approximate import Verdict, VerdictDetection
 from repro.detection.detector import Detection
 from repro.errors import ReproError
 from repro.events.expressions import EventExpression
@@ -90,6 +91,7 @@ class ServingRuntime:
                 capacity=config.capacity,
                 high_water=config.high_water,
                 timer_ratio=config.timer_ratio,
+                approximate=config.approximate,
                 instrumentation=instrumentation,
             )
             for index in range(config.shards)
@@ -248,6 +250,50 @@ class ServingRuntime:
     def depths(self) -> list[int]:
         """Current queue depth per shard (an obs gauge, not a guarantee)."""
         return [shard.depth for shard in self.shards]
+
+    # --- approximate-mode results -----------------------------------------
+
+    def verdicts(self) -> list[tuple[int, VerdictDetection]]:
+        """All ``(shard index, verdict)`` pairs in per-shard order.
+
+        Empty unless the runtime was configured with
+        ``ServeConfig(approximate=True)`` — exact shards emit plain
+        detections, not verdicts.
+        """
+        merged: list[tuple[int, VerdictDetection]] = []
+        for shard in self.shards:
+            merged.extend(shard.verdicts)
+        return merged
+
+    def verdicts_of(self, name: str) -> list[VerdictDetection]:
+        """One rule's verdict stream, in emission order."""
+        index = self.router.assignments.get(name)
+        if index is None:
+            raise ReproError(f"no rule named {name!r} is registered")
+        return [
+            verdict
+            for _, verdict in self.shards[index].verdicts
+            if verdict.name == name
+        ]
+
+    def tentative_of(self, name: str) -> list[VerdictDetection]:
+        """One rule's eager (anytime) emissions."""
+        return [
+            v for v in self.verdicts_of(name)
+            if v.verdict is Verdict.TENTATIVE
+        ]
+
+    def unresolved(self) -> int:
+        """Tentatives not yet confirmed or retracted, across all shards.
+
+        Zero after a clean ``stop()`` — the shutdown flush resolves
+        every straggler.
+        """
+        return sum(
+            shard.stabilizer.unresolved()
+            for shard in self.shards
+            if shard.stabilizer is not None
+        )
 
     # --- crash recovery ---------------------------------------------------
 

@@ -106,7 +106,27 @@ def wire_rules(
 
     The callback closes over the rule's shard index so emitted rows
     carry detection provenance without a lookup on the hot path.
+
+    On an approximate runtime the per-rule callbacks (which would fire
+    only on the exact engine, i.e. at confirmation) are replaced by a
+    per-shard verdict sink: every TENTATIVE / CONFIRMED / RETRACTED
+    emission becomes one row tagged with its verdict (see
+    :func:`~repro.serve.protocol.detection_to_json`).
     """
+    if runtime.config.approximate:
+        for name, expression in rules:
+            runtime.register(expression, name=name)
+        for shard in runtime.shards:
+            shard.verdict_sink = lambda index, v: broadcast.emit(
+                detection_to_json(
+                    index,
+                    v.detection,
+                    verdict=v.verdict.value,
+                    seq=v.seq,
+                    ref=v.ref,
+                )
+            )
+        return
     for name, expression in rules:
         index = runtime.router.assign(name)
 

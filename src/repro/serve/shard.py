@@ -33,6 +33,7 @@ import time
 from typing import Any, Callable, Mapping
 
 from repro.contexts.policies import Context
+from repro.detection.approximate import ApproximateStabilizer, VerdictDetection
 from repro.detection.checkpoint import restore, snapshot
 from repro.detection.detector import Detection, Detector
 from repro.errors import ReproError
@@ -57,6 +58,14 @@ class DetectionShard:
         (defaults to three quarters of ``capacity``).
     timer_ratio:
         Local ticks per global granule for temporal-operator timers.
+    approximate:
+        Anytime mode: intake runs through an
+        :class:`~repro.detection.approximate.ApproximateStabilizer`
+        (open-world: sites join its watermark set on first contact), so
+        the shard emits TENTATIVE verdicts immediately and CONFIRMED /
+        RETRACTED verdicts as the watermark frontier closes.  The
+        shard's detector becomes the stabilizer's *exact* engine, so
+        :meth:`detections_of` still reports the exact multiset.
     instrumentation:
         Optional :class:`~repro.obs.instrument.Instrumentation` hub.
     """
@@ -68,6 +77,7 @@ class DetectionShard:
         capacity: int = 1024,
         high_water: int | None = None,
         timer_ratio: int = 1,
+        approximate: bool = False,
         instrumentation: Instrumentation | None = None,
     ) -> None:
         if capacity <= 0:
@@ -92,6 +102,22 @@ class DetectionShard:
             timer_ratio=timer_ratio,
             instrumentation=instrumentation,
         )
+        self.approximate = approximate
+        self.stabilizer: ApproximateStabilizer | None = (
+            ApproximateStabilizer(
+                self.detector,
+                sites=[],
+                auto_sites=True,
+                instrumentation=instrumentation,
+            )
+            if approximate
+            else None
+        )
+        self.verdicts: list[tuple[int, VerdictDetection]] = []
+        #: Streaming hook: called with ``(shard index, verdict)`` for
+        #: every verdict emission (the approximate-mode analogue of the
+        #: per-rule detection callbacks).
+        self.verdict_sink: Callable[[int, VerdictDetection], None] | None = None
         self.queue: asyncio.Queue[Any] = asyncio.Queue(maxsize=capacity)
         self.events_processed = 0
         self.batches_flushed = 0
@@ -201,15 +227,28 @@ class DetectionShard:
         self._batch_granule = None
         started = time.perf_counter_ns()
         detector = self.detector
-        if granule is not None and granule > detector.now_global:
-            self._record(detector.advance_time(granule))
-        # One stamping pass for the whole batch (kernels.batch_stamps)
-        # instead of N constructor calls — the ingest-side half of the
-        # granule-batch amortization.
-        feed = detector.feed
-        record = self._record
-        for occurrence in batch_occurrences(batch):
-            record(feed(occurrence))
+        stabilizer = self.stabilizer
+        if stabilizer is not None:
+            # Anytime path: the shadow engine's clock follows the raw
+            # stream (tentative timer fires), the exact engine's clock
+            # trails the watermark frontier (confirmations in
+            # stabilized order).
+            record_verdicts = self._record_verdicts
+            if granule is not None:
+                record_verdicts(stabilizer.advance_shadow(granule))
+            for occurrence in batch_occurrences(batch):
+                record_verdicts(stabilizer.offer(occurrence))
+            record_verdicts(stabilizer.advance_exact())
+        else:
+            if granule is not None and granule > detector.now_global:
+                self._record(detector.advance_time(granule))
+            # One stamping pass for the whole batch (kernels.batch_stamps)
+            # instead of N constructor calls — the ingest-side half of
+            # the granule-batch amortization.
+            feed = detector.feed
+            record = self._record
+            for occurrence in batch_occurrences(batch):
+                record(feed(occurrence))
         self.events_processed += len(batch)
         self.batches_flushed += 1
         if self.obs.enabled:
@@ -229,14 +268,34 @@ class DetectionShard:
                 len(detections)
             )
 
+    def _record_verdicts(self, verdicts: list[VerdictDetection]) -> None:
+        sink = self.verdict_sink
+        for verdict in verdicts:
+            self.verdicts.append((self.index, verdict))
+            if sink is not None:
+                sink(self.index, verdict)
+        if verdicts and self.obs.enabled:
+            self.obs.counter("serve.verdicts", shard=self.index).inc(
+                len(verdicts)
+            )
+
     def advance_time(self, granule: int) -> None:
         """Advance the engine clock (fires due timers); call only idle.
 
         The runtime invokes this from :meth:`~repro.serve.runtime.
         ServingRuntime.drain` after the queue has joined, so the worker
-        is parked in ``queue.get`` and cannot race the detector.
+        is parked in ``queue.get`` and cannot race the detector.  In
+        approximate mode this is also the drain-horizon promise — every
+        known site's watermark is announced at ``granule``, so pending
+        tentatives below it resolve.
         """
         self._flush()
+        stabilizer = self.stabilizer
+        if stabilizer is not None:
+            self._record_verdicts(stabilizer.advance_shadow(granule))
+            self._record_verdicts(stabilizer.announce_all(granule))
+            self._record_verdicts(stabilizer.advance_exact())
+            return
         if granule > self.detector.now_global:
             self._record(self.detector.advance_time(granule))
 
@@ -253,10 +312,19 @@ class DetectionShard:
         """Flush, then terminate the worker (graceful shutdown)."""
         if self._task is None:
             self._flush()
-            return
-        await self.queue.put(_STOP)
-        await self._task
-        self._task = None
+        else:
+            await self.queue.put(_STOP)
+            await self._task
+            self._task = None
+        if self.stabilizer is not None:
+            # End of stream: release everything still held, fire exact
+            # timers up to where the shadow clock reached, and resolve
+            # every remaining tentative one way or the other.
+            self._record_verdicts(
+                self.stabilizer.flush(
+                    advance_to=self.stabilizer.shadow.now_global
+                )
+            )
 
     # --- crash recovery ---------------------------------------------------
 
@@ -267,6 +335,12 @@ class DetectionShard:
         resumes with zero loss — the serving analogue of the simulator's
         in-flight message snapshot.
         """
+        if self.approximate:
+            raise ReproError(
+                "approximate shards do not checkpoint: the stabilizer's "
+                "held occurrences and pending tentatives are not part "
+                "of the snapshot format"
+            )
         pending = [event.to_dict() for event in self._batch]
         # Queue internals are stable under asyncio's single thread; the
         # snapshot must be taken while the worker is idle (post-drain or
@@ -287,6 +361,11 @@ class DetectionShard:
 
     def restore(self, state: Mapping[str, Any]) -> None:
         """Load a checkpoint into this identically-registered shard."""
+        if self.approximate:
+            raise ReproError(
+                "approximate shards do not restore checkpoints; replay "
+                "the stream instead (verdict emission is deterministic)"
+            )
         if int(state["index"]) != self.index:
             raise ReproError(
                 f"checkpoint belongs to shard {state['index']}, "

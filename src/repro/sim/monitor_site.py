@@ -27,6 +27,11 @@ from fractions import Fraction
 from typing import Iterable
 
 from repro.contexts.policies import Context
+from repro.detection.approximate import (
+    ApproximateStabilizer,
+    Verdict,
+    VerdictDetection,
+)
 from repro.detection.detector import Detection, Detector
 from repro.detection.stabilizer import Stabilizer
 from repro.errors import SimulationError, UnknownSiteError
@@ -42,11 +47,20 @@ from repro.time.ticks import TimeModel
 
 @dataclass(frozen=True)
 class MonitorDetection:
-    """A detection with the true time the monitor signalled it."""
+    """A detection with the true time the monitor signalled it.
+
+    ``verdict`` is ``None`` in exact mode; in approximate mode every
+    record carries the anytime verdict it was emitted with (a TENTATIVE
+    record is *not* removed when later confirmed or retracted — the
+    resolution is a separate record referencing it via ``ref``).
+    """
 
     detection: Detection
     true_time: Fraction
     latest_injection: Fraction
+    verdict: Verdict | None = None
+    seq: int | None = None
+    ref: int | None = None
 
     @property
     def latency(self) -> Fraction:
@@ -69,6 +83,7 @@ class StabilizedMonitor:
         heartbeat_granules: int = 5,
         monitor_site: str = "__monitor__",
         *,
+        approximate: bool = False,
         instrumentation: Instrumentation | None = None,
     ) -> None:
         if heartbeat_granules <= 0:
@@ -95,7 +110,9 @@ class StabilizedMonitor:
             timer_ratio=self.model.ratio,
             instrumentation=instrumentation,
         )
-        self.stabilizer = Stabilizer(
+        self.approximate = approximate
+        stabilizer_class = ApproximateStabilizer if approximate else Stabilizer
+        self.stabilizer = stabilizer_class(
             self.detector, sites=self.sites, instrumentation=instrumentation
         )
         self.history = History()
@@ -189,7 +206,11 @@ class StabilizedMonitor:
         for detection in self.stabilizer.announce(site, granule):
             self._record(detection)
 
-    def _record(self, detection: Detection) -> None:
+    def _record(self, detection: Detection | VerdictDetection) -> None:
+        verdict = seq = ref = None
+        if isinstance(detection, VerdictDetection):
+            verdict, seq, ref = detection.verdict, detection.seq, detection.ref
+            detection = detection.detection
         leaves = detection.occurrence.primitive_leaves()
         times = [
             self._injection_times[leaf.uid]
@@ -200,6 +221,9 @@ class StabilizedMonitor:
             detection=detection,
             true_time=self.engine.now,
             latest_injection=max(times) if times else self.engine.now,
+            verdict=verdict,
+            seq=seq,
+            ref=ref,
         )
         self.records.append(record)
         if self.obs.enabled:
@@ -224,8 +248,43 @@ class StabilizedMonitor:
         return self.engine.run()
 
     def detections_of(self, name: str) -> list[MonitorDetection]:
-        """Detections of one registered composite event."""
+        """Detections of one registered composite event.
+
+        In approximate mode this includes every verdict record; filter
+        with :meth:`tentative_of` / :meth:`confirmed_of` for the
+        anytime and exact views.
+        """
         return [r for r in self.records if r.detection.name == name]
+
+    def tentative_of(self, name: str) -> list[MonitorDetection]:
+        """Approximate mode: the eager (anytime) emissions of a rule."""
+        return [
+            r
+            for r in self.records
+            if r.detection.name == name and r.verdict is Verdict.TENTATIVE
+        ]
+
+    def confirmed_of(self, name: str) -> list[MonitorDetection]:
+        """Approximate mode: the CONFIRMED records — the exact multiset."""
+        return [
+            r
+            for r in self.records
+            if r.detection.name == name and r.verdict is Verdict.CONFIRMED
+        ]
+
+    def drain(self) -> list[MonitorDetection]:
+        """Approximate mode: flush the stabilizer, resolving stragglers.
+
+        End-of-run closure for tentatives whose stabilization window
+        never closed inside the heartbeat horizon; exact mode has
+        nothing to resolve and returns ``[]``.
+        """
+        if not self.approximate:
+            return []
+        before = len(self.records)
+        for verdict in self.stabilizer.flush():
+            self._record(verdict)
+        return self.records[before:]
 
     def held_count(self) -> int:
         """Occurrences still awaiting stabilization."""

@@ -293,6 +293,7 @@ class TestSimConfig:
             "retransmit",
             "max_retries",
             "retry_timeout",
+            "approximate",
             "instrumentation",
         )
 

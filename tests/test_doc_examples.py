@@ -7,12 +7,13 @@ examples cannot rot.
 """
 
 import doctest
+import re
 from pathlib import Path
 
 import pytest
 
 DOCS = Path(__file__).resolve().parent.parent / "docs"
-EXECUTABLE_PAGES = ["quickstart.md", "serving.md"]
+EXECUTABLE_PAGES = ["quickstart.md", "serving.md", "approximate.md"]
 
 
 @pytest.mark.parametrize("page", EXECUTABLE_PAGES)
@@ -40,6 +41,41 @@ def test_every_doc_page_reachable_from_index():
     pages = sorted(p.name for p in DOCS.glob("*.md") if p.name != "index.md")
     missing = [page for page in pages if f"({page})" not in index]
     assert not missing, f"pages unreachable from docs/index.md: {missing}"
+
+
+def _heading_slugs(text):
+    """GitHub-style anchor slugs for every markdown heading in *text*."""
+    slugs = set()
+    in_fence = False
+    for line in text.splitlines():
+        if line.startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence or not line.startswith("#"):
+            continue
+        title = line.lstrip("#").strip().lower()
+        title = re.sub(r"[^a-z0-9 _-]", "", title)
+        slugs.add(title.replace(" ", "-"))
+    return slugs
+
+
+def test_no_dead_links_in_docs():
+    """Every relative markdown link (and anchor) must resolve."""
+    link = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+    broken = []
+    for path in [DOCS.parent / "README.md", *DOCS.glob("*.md")]:
+        for target in link.findall(path.read_text(encoding="utf-8")):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            name, _, anchor = target.partition("#")
+            resolved = (path.parent / name).resolve() if name else path
+            if not resolved.exists():
+                broken.append(f"{path.name}: {target} (missing file)")
+            elif anchor and resolved.suffix == ".md":
+                text = resolved.read_text(encoding="utf-8")
+                if anchor not in _heading_slugs(text):
+                    broken.append(f"{path.name}: {target} (missing anchor)")
+    assert not broken, f"dead links in docs: {broken}"
 
 
 def test_no_deprecated_api_names_in_docs():

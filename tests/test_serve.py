@@ -660,6 +660,7 @@ class TestServeConfig:
             "tenants",
             "quota_rate",
             "quota_burst",
+            "approximate",
         )
 
 
