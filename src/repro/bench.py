@@ -348,6 +348,40 @@ def _setup_serve_failover(quick: bool):
     return kernel, count
 
 
+def _setup_serve_netfault(quick: bool):
+    """Partition-tolerance overhead: the session harness under faults.
+
+    The standard workload through the sans-IO netfault harness with a
+    seeded plan of drops, duplicates, resets, and stalls on every
+    shard's link — so the number prices the resumable-session protocol
+    (frame numbering, ack bookkeeping, codec round-trips) plus the
+    scripted resume handshakes and replay storms, on top of raw shard
+    detection.
+    """
+    from repro.serve.netfault import NetFaultPlan, replay_with_netfault
+    from repro.sim.serving import ServingWorkload
+
+    workload = ServingWorkload.standard(seed=43, events=300 if quick else 1_200)
+    count = len(workload)
+    plan = NetFaultPlan.from_seed(
+        43, frames=count * 2, drops=4, dups=4, resets=2, stalls=0
+    )
+
+    def kernel() -> int:
+        report = replay_with_netfault(
+            workload.rules,
+            list(workload),
+            shards=3,
+            timer_ratio=workload.timer_ratio,
+            horizon=workload.horizon(),
+            plan=plan,
+            codec="binary",
+        )
+        return len(report.rows)
+
+    return kernel, count
+
+
 def _setup_serve_rebalance(quick: bool):
     """Elastic re-balancing overhead: scale 2 -> 4 -> 3 mid-stream.
 
@@ -553,6 +587,13 @@ BENCHMARKS: dict[str, Bench] = {
             name="bench_serve_failover",
             title="failover cluster: WAL + checkpoints + 3 shard kills",
             setup=_setup_serve_failover,
+            rounds=3,
+            quick_rounds=2,
+        ),
+        Bench(
+            name="bench_serve_netfault",
+            title="partitioned links: resumable sessions under a fault plan",
+            setup=_setup_serve_netfault,
             rounds=3,
             quick_rounds=2,
         ),

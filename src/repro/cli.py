@@ -301,6 +301,38 @@ def _load_fault_plan(text: str | None):
     return FaultPlan.from_json(stripped)
 
 
+def _load_net_fault_plan(text: str | None):
+    """``--net-fault-plan``: inline JSON or a path to a JSON file."""
+    from repro.serve.netfault import NetFaultPlan
+
+    if not text:
+        return None
+    stripped = text.strip()
+    if not stripped.startswith("{"):
+        with open(stripped, "r", encoding="utf-8") as handle:
+            stripped = handle.read()
+    return NetFaultPlan.from_json(stripped)
+
+
+def _load_retry_policy(text: str | None):
+    """``--retry-policy``: inline JSON or a path to a JSON file."""
+    import json
+
+    from repro.serve.session import RetryPolicy
+
+    if not text:
+        return None
+    stripped = text.strip()
+    if not stripped.startswith("{"):
+        with open(stripped, "r", encoding="utf-8") as handle:
+            stripped = handle.read()
+    try:
+        data = json.loads(stripped)
+    except json.JSONDecodeError as error:
+        raise ReproError(f"malformed --retry-policy JSON: {error}") from None
+    return RetryPolicy.from_dict(data)
+
+
 def _serve_config(args: argparse.Namespace, **overrides):
     """One :class:`~repro.serve.config.ServeConfig` from the CLI flags.
 
@@ -329,6 +361,8 @@ def _serve_config(args: argparse.Namespace, **overrides):
         seed=args.seed,
         transport=getattr(args, "transport", "auto"),
         workers=workers,
+        retry_policy=_load_retry_policy(getattr(args, "retry_policy", None)),
+        session_grace=getattr(args, "session_grace", None),
         rebalance_grace=getattr(args, "rebalance_grace", None),
         tenants=getattr(args, "tenants", None),
         quota_rate=getattr(args, "quota_rate", None),
@@ -356,6 +390,9 @@ def _cmd_serve_cluster(args: argparse.Namespace, rules: dict[str, str]) -> int:
     with tempfile.TemporaryDirectory(prefix="repro-serve-") as scratch:
         state_dir = args.state_dir or scratch
         fault_plan = _load_fault_plan(args.fault_plan)
+        net_fault_plan = _load_net_fault_plan(
+            getattr(args, "net_fault_plan", None)
+        )
 
         if not args.selftest:
             supervisor = ClusterSupervisor(
@@ -363,6 +400,7 @@ def _cmd_serve_cluster(args: argparse.Namespace, rules: dict[str, str]) -> int:
                     args, shards=args.procs, state_dir=state_dir
                 ),
                 fault_plan=fault_plan,
+                net_fault_plan=net_fault_plan,
             )
             for name, expression in sorted(rules.items()):
                 supervisor.register(expression, name)
@@ -371,6 +409,7 @@ def _cmd_serve_cluster(args: argparse.Namespace, rules: dict[str, str]) -> int:
                 f"served {count} event(s) on {args.procs} worker process(es): "
                 f"{supervisor.ledger.accepted} detection(s), "
                 f"{supervisor.restarts} restart(s), "
+                f"{supervisor.resumes} resume(s), "
                 f"{supervisor.replayed} replayed, "
                 f"{supervisor.parked} parked",
                 file=sys.stderr,
@@ -401,6 +440,7 @@ def _cmd_serve_cluster(args: argparse.Namespace, rules: dict[str, str]) -> int:
                     state_dir=state_dir,
                 ),
                 fault_plan=fault_plan,
+                net_fault_plan=net_fault_plan,
             )
             for name, expression in sorted(rules.items()):
                 supervisor.register(expression, name)
@@ -438,8 +478,9 @@ def _cmd_serve_cluster(args: argparse.Namespace, rules: dict[str, str]) -> int:
             )
         print(
             f"cluster selftest over {len(workload)} events: "
-            f"{supervisor.restarts} restart(s), {supervisor.replayed} "
-            f"replayed, {supervisor.checkpoints} checkpoint(s), "
+            f"{supervisor.restarts} restart(s), {supervisor.resumes} "
+            f"resume(s), {supervisor.replayed} replayed, "
+            f"{supervisor.checkpoints} checkpoint(s), "
             f"{supervisor.ledger.duplicates} duplicate(s) dropped: "
             f"{'FAILED' if failures else 'passed'}"
         )
@@ -598,9 +639,66 @@ def _serve_worker_listen(args: argparse.Namespace) -> int:
             heartbeat_interval=args.heartbeat_interval,
             codec=args.codec,
             announce=announce,
+            session_grace=getattr(args, "session_grace", None),
         )
         async with server:
             await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return 0
+
+
+def cmd_netfault_proxy(args: argparse.Namespace) -> int:
+    """``repro netfault-proxy``: a severable TCP relay for partition drills.
+
+    Relays ``--listen`` to ``--target`` byte-for-byte, announcing the
+    bound address as a ``{"listening": "host:port"}`` JSON line (so
+    scripts can pass port 0).  ``--sever-at``/``--heal-at`` schedule
+    partitions relative to startup: a sever aborts live pipes and
+    refuses new connections until the next heal, exercising the
+    resumable session layer of any supervisor dialing through the
+    proxy.  Serves until killed.
+    """
+    import asyncio
+    import json
+
+    from repro.serve.netfault import TcpFaultProxy
+
+    host, _, port = args.listen.rpartition(":")
+    if not host or not port.isdigit():
+        raise ReproError(f"--listen {args.listen!r} is not HOST:PORT")
+    schedule = sorted(
+        [(float(at), "sever") for at in args.sever_at or ()]
+        + [(float(at), "heal") for at in args.heal_at or ()]
+    )
+
+    async def run() -> None:
+        proxy = TcpFaultProxy(args.target, host=host, port=int(port))
+        await proxy.start()
+        print(json.dumps({"listening": proxy.bound}), flush=True)
+
+        async def drive() -> None:
+            start = asyncio.get_running_loop().time()
+            for at, action in schedule:
+                delay = start + at - asyncio.get_running_loop().time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                proxy.sever() if action == "sever" else proxy.heal()
+                print(
+                    json.dumps({action: round(at, 6)}),
+                    file=sys.stderr,
+                    flush=True,
+                )
+
+        driver = asyncio.ensure_future(drive())
+        try:
+            await proxy.serve_forever()
+        finally:
+            driver.cancel()
+            await proxy.close()
 
     try:
         asyncio.run(run())
@@ -1185,6 +1283,23 @@ def build_parser() -> argparse.ArgumentParser:
         "(--procs mode chaos testing)",
     )
     serve_command.add_argument(
+        "--net-fault-plan", default=None, metavar="JSON|FILE",
+        help="deterministic NetFaultPlan as inline JSON or a file path: "
+        "inject seeded drops/dups/resets/stalls into the supervisor-to-"
+        "worker links (cluster mode partition testing)",
+    )
+    serve_command.add_argument(
+        "--retry-policy", default=None, metavar="JSON|FILE",
+        help="reconnect RetryPolicy as inline JSON or a file path, e.g. "
+        '\'{"base": 0.05, "cap": 2.0, "attempt_timeout": 5.0, '
+        '"deadline": 15.0}\' (TCP transport)',
+    )
+    serve_command.add_argument(
+        "--session-grace", type=float, default=None, metavar="SECONDS",
+        help="how long workers hold a dropped link's session state for "
+        "resume before declaring it dead (TCP transport; default 30)",
+    )
+    serve_command.add_argument(
         "--heartbeat-interval", type=float, default=0.25,
         help="seconds between worker heartbeats (--procs mode)",
     )
@@ -1251,7 +1366,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--codec", choices=("jsonl", "binary", "auto"), default="auto",
         help="codec mode offered to connecting supervisors (--listen)",
     )
+    worker_command.add_argument(
+        "--session-grace", type=float, default=None, metavar="SECONDS",
+        help="hold a dropped supervisor link's session for resume this "
+        "many seconds before discarding it (--listen; default 30)",
+    )
     worker_command.set_defaults(handler=cmd_serve_worker)
+
+    proxy_command = commands.add_parser(
+        "netfault-proxy",
+        help="severable TCP relay for partition drills: pipe --listen to "
+        "--target, sever/heal on a schedule (the CI chaos partition leg)",
+    )
+    proxy_command.add_argument(
+        "--listen", required=True, metavar="HOST:PORT",
+        help="address to accept supervisor connections on (port 0 picks "
+        "a free port; the bound address is announced as a JSON line)",
+    )
+    proxy_command.add_argument(
+        "--target", required=True, metavar="HOST:PORT",
+        help="the real 'serve-worker --listen' endpoint to relay to",
+    )
+    proxy_command.add_argument(
+        "--sever-at", action="append", type=float, default=None,
+        metavar="SECONDS",
+        help="partition the link this many seconds after startup "
+        "(repeatable; in-flight pipes are aborted, new connects refused)",
+    )
+    proxy_command.add_argument(
+        "--heal-at", action="append", type=float, default=None,
+        metavar="SECONDS",
+        help="end the partition this many seconds after startup "
+        "(repeatable)",
+    )
+    proxy_command.set_defaults(handler=cmd_netfault_proxy)
 
     scale_command = commands.add_parser(
         "scale",

@@ -67,6 +67,7 @@ restricts a run to the named checks (the CLI's ``fuzz --check`` filter).
 
 from __future__ import annotations
 
+import json
 import random
 import re
 import traceback
@@ -820,6 +821,110 @@ def _check_reorder(
     )
 
 
+def _check_netfault(
+    case: FuzzCase, expression: EventExpression, history: History
+) -> CheckResult:
+    """Partition invariance: faulty links never change what is detected.
+
+    The mirror of ``failover`` for the *network* axis: the same stamped
+    stream runs through the sans-IO session harness of
+    :mod:`repro.serve.netfault` twice — fault-free, and under a
+    seed-derived :class:`~repro.serve.netfault.NetFaultPlan` injecting
+    one-way frame drops, duplicated frames, and connection resets that
+    run the real resume handshake (each side replaying its
+    unacknowledged session buffer).  No replica ever crashes, so any
+    discrepancy is a defect in the resumable-session protocol itself —
+    a lost, duplicated, or reordered frame the
+    :class:`~repro.serve.session.SessionHalf` ledgers failed to repair.
+    The faulted leg runs under both wire codecs (every frame is
+    round-tripped per hop), proving resume replay is codec-invariant.
+    Sound for every operator class and fault schedule: both runs are
+    deterministic replays of the same arrival order, and the session
+    layer's in-order exactly-once delivery makes the faulted run's
+    per-replica input stream identical to the fault-free run's.
+    """
+    from repro.serve import ServeEvent
+    from repro.serve.netfault import NetFaultPlan, replay_with_netfault
+
+    occurrences = list(history)
+    if not occurrences:
+        return _skip("netfault", "no events")
+    events = []
+    for occurrence in occurrences:
+        stamp = next(iter(occurrence.timestamp))
+        events.append(
+            ServeEvent(
+                event_type=occurrence.event_type,
+                site=stamp.site,
+                global_time=stamp.global_time,
+                local=stamp.local,
+                parameters=dict(occurrence.parameters),
+            )
+        )
+    horizon = max(event.granule for event in events) + _temporal_pad(
+        expression
+    )
+    rules = {f"{CASE_NAME}_{i}": expression for i in range(3)}
+    context = Context(case.context)
+    salt = case.seed % 97
+
+    def run(plan: "NetFaultPlan | None", codec: str):
+        return replay_with_netfault(
+            rules,
+            events,
+            shards=3,
+            salt=salt,
+            timer_ratio=10,  # example 5.1 model, as elsewhere in this runner
+            context=context,
+            horizon=horizon,
+            plan=plan,
+            codec=codec,
+        )
+
+    def rule_multiset(report, name: str) -> list[str]:
+        return sorted(
+            json.dumps(stamps) for stamps in report.timestamps_of(name)
+        )
+
+    baseline = run(None, "jsonl")
+    count = len(events)
+    plan = NetFaultPlan.from_seed(
+        case.seed,
+        # Per-direction frame budget ~ registers + events + responses;
+        # scaling with the stream keeps faults landing mid-traffic.
+        frames=max(12, count * 2),
+        drops=3,
+        dups=3,
+        resets=2,
+    )
+    legs = (
+        ("jsonl", run(plan, "jsonl")),
+        ("binary", run(plan, "binary")),
+    )
+    for label, faulted in legs:
+        for name in rules:
+            missing, extra = multiset_diff(
+                rule_multiset(baseline, name), rule_multiset(faulted, name)
+            )
+            if missing or extra:
+                return CheckResult(
+                    "netfault",
+                    False,
+                    f"{name} [{label}] after {faulted.resumes} resume(s), "
+                    f"{faulted.drops} dropped frame(s): "
+                    f"missing={missing[:3]} extra={extra[:3]}",
+                )
+    resumes = sum(report.resumes for _, report in legs)
+    drops = sum(report.drops for _, report in legs)
+    return CheckResult(
+        "netfault",
+        True,
+        f"{len(baseline.rows)} detections preserved over {resumes} "
+        f"resume(s), {drops} dropped and "
+        f"{sum(r.dups for _, r in legs)} duplicated frame(s)",
+    )
+
+
 def _check_approx(
     case: FuzzCase, expression: EventExpression, history: History
 ) -> CheckResult:
@@ -933,6 +1038,7 @@ CHECK_NAMES = (
     "checkpoint",
     "sharding",
     "failover",
+    "netfault",
     "tenancy",
     "approx",
     "reorder",
@@ -1022,6 +1128,14 @@ def run_case(case: FuzzCase, checks: Sequence[str] | None = None) -> CaseResult:
             )
         except Exception as error:  # noqa: BLE001
             result.checks.append(_failure("failover", error))
+
+    if wanted("netfault"):
+        try:
+            result.checks.append(
+                _check_netfault(case, expression, system.history)
+            )
+        except Exception as error:  # noqa: BLE001
+            result.checks.append(_failure("netfault", error))
 
     if wanted("tenancy"):
         try:

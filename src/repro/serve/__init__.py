@@ -59,8 +59,22 @@ from repro.serve.cluster import (
     serve_worker_listener,
 )
 from repro.serve.config import ServeConfig
+from repro.serve.netfault import (
+    FaultyLink,
+    NetFaultPlan,
+    NetFaultReport,
+    TcpFaultProxy,
+    install_fault_filter,
+    replay_with_netfault,
+)
 from repro.serve.rebalance import ScaleReport, graft_detector
 from repro.serve.heartbeat import Backoff, HeartbeatMonitor
+from repro.serve.session import (
+    DEFAULT_SESSION_GRACE,
+    RetryPolicy,
+    SessionHalf,
+    new_session_id,
+)
 from repro.serve.protocol import (
     BINARY_VERSION,
     CODEC_NAMES,
@@ -114,6 +128,7 @@ from repro.serve.server import (
 )
 from repro.serve.shard import DetectionShard
 from repro.serve.transport import (
+    ResumableTcpLink,
     SubprocessTransport,
     TcpTransport,
     WorkerLink,
@@ -133,6 +148,7 @@ __all__ = [
     "ClusterAdmin",
     "ClusterStatus",
     "ClusterSupervisor",
+    "DEFAULT_SESSION_GRACE",
     "DetectionBroadcast",
     "DetectionLedger",
     "DetectionShard",
@@ -141,6 +157,7 @@ __all__ = [
     "EventRouter",
     "FaultInjector",
     "FaultPlan",
+    "FaultyLink",
     "HeartbeatMonitor",
     "JsonlCodec",
     "KIND_ADVANCE",
@@ -148,8 +165,13 @@ __all__ = [
     "LocalFailoverCluster",
     "MAX_LINE_BYTES",
     "MultiTenantCluster",
+    "NetFaultPlan",
+    "NetFaultReport",
+    "ResumableTcpLink",
+    "RetryPolicy",
     "ScaleReport",
     "ServeConfig",
+    "SessionHalf",
     "ServeEvent",
     "ServingRuntime",
     "ShardReplica",
@@ -159,6 +181,7 @@ __all__ = [
     "StreamUnit",
     "SubprocessTransport",
     "TaggedDetection",
+    "TcpFaultProxy",
     "TcpTransport",
     "TenantQuota",
     "TokenBucket",
@@ -176,9 +199,11 @@ __all__ = [
     "graft_detector",
     "hello_ack_line",
     "hello_line",
+    "install_fault_filter",
     "namespace_event",
     "namespace_expression",
     "namespaced_type",
+    "new_session_id",
     "parse_event_line",
     "parse_frame",
     "parse_hello",
@@ -187,6 +212,7 @@ __all__ = [
     "replay_store",
     "replay_tenant",
     "replay_with_failover",
+    "replay_with_netfault",
     "resolve_codec",
     "resolve_transport",
     "run_worker",

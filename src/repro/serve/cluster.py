@@ -51,6 +51,7 @@ supervised cluster:
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
 import os
 import sys
@@ -1074,6 +1075,29 @@ def run_worker(
     return 0
 
 
+class _HeldSession:
+    """A listener-side resumable session: replica + frame ledger.
+
+    Lives in the listener's session table across connections.  While a
+    connection is attached, ``owner`` is that connection's id; after a
+    disconnect the session survives until ``expires_at`` (the grace
+    window), within which a resume ``hello`` re-attaches it.
+    """
+
+    __slots__ = ("session", "half", "owner", "expires_at", "grace")
+
+    def __init__(
+        self, session: _ShardSession, grace: float
+    ) -> None:
+        from repro.serve.session import SessionHalf
+
+        self.session = session
+        self.half = SessionHalf()
+        self.owner: int | None = None
+        self.expires_at: float | None = None
+        self.grace = grace
+
+
 async def serve_worker_listener(
     host: str,
     port: int,
@@ -1082,18 +1106,30 @@ async def serve_worker_listener(
     heartbeat_interval: float = 0.25,
     codec: str = "auto",
     announce: Callable[[str], None] | None = None,
+    session_grace: float | None = None,
 ) -> "asyncio.Server":
     """A TCP worker host: ``repro serve-worker --listen HOST:PORT``.
 
-    Each accepted connection is one worker *incarnation*: the first
-    inbound frame must be a JSONL ``hello`` naming the shard index and
-    offering codecs (plus ``timer_ratio``/``heartbeat_interval``
-    overrides), answered by a JSONL ``hello_ack`` naming the codec this
-    listener chose — after which both directions speak the negotiated
-    codec.  The connection then runs the exact :class:`_ShardSession`
-    loop the subprocess worker runs, with periodic beats.  Dropping the
-    connection discards the replica, so a supervisor-side kill +
-    reconnect is semantically a respawn (register, restore, replay).
+    Each accepted connection opens with a JSONL ``hello`` naming the
+    shard index and offering codecs (plus ``timer_ratio``/
+    ``heartbeat_interval`` overrides), answered by a JSONL
+    ``hello_ack`` naming the codec this listener chose — after which
+    both directions speak the negotiated codec.  The connection then
+    runs the exact :class:`_ShardSession` loop the subprocess worker
+    runs, with periodic beats.
+
+    A hello that carries a ``session`` id makes the incarnation
+    *resumable*: frames run through a
+    :class:`~repro.serve.session.SessionHalf` ledger, and when the
+    connection drops the replica is held for a grace window
+    (``session_grace``, overridable per hello) instead of being
+    discarded.  A reconnect hello with ``resume: true`` and the same id
+    re-attaches the live replica — the ``hello_ack`` answers
+    ``resumed: true`` plus the worker's ``recv`` watermark and both
+    sides replay their unacknowledged buffers, so a severed-and-healed
+    link is invisible to detection.  Without a session id (legacy
+    supervisors), dropping the connection discards the replica exactly
+    as before, and a kill + reconnect is semantically a respawn.
 
     One listener hosts any number of shards (one per connection), which
     is what lets ``scale(n)`` grow a cluster without new machines.
@@ -1104,8 +1140,22 @@ async def serve_worker_listener(
     the CLI prints it as a JSON line so scripts can use port 0.
     """
     from repro.serve.protocol import choose_codec, get_codec
+    from repro.serve.session import DEFAULT_SESSION_GRACE
 
     binary = get_codec("binary")
+    default_grace = (
+        session_grace if session_grace is not None else DEFAULT_SESSION_GRACE
+    )
+    sessions: dict[str, _HeldSession] = {}
+    connection_counter = itertools.count(1)
+
+    def sweep(now: float) -> None:
+        for sid in [
+            sid
+            for sid, held in sessions.items()
+            if held.expires_at is not None and now > held.expires_at
+        ]:
+            del sessions[sid]
 
     async def on_connection(
         reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -1116,23 +1166,42 @@ async def serve_worker_listener(
             max_line_bytes=_WORKER_FRAME_LIMIT,
             max_frame_bytes=_WORKER_FRAME_LIMIT,
         )
+        conn_id = next(connection_counter)
         session: _ShardSession | None = None
+        held: _HeldSession | None = None
         chosen = "jsonl"
+        stopped = False
+
+        def write_wire(frame: dict[str, Any]) -> None:
+            # A severed transport drops everything anyway; skipping the
+            # write spares asyncio's per-call connection-lost warning.
+            # Session-stamped frames are already buffered in the session
+            # half, so they replay on resume; the rest dies with the link.
+            if writer.transport.is_closing():
+                return
+            if chosen == "binary":
+                writer.write(binary.encode_control(frame))
+            else:
+                writer.write(
+                    (json.dumps(frame, sort_keys=True) + "\n").encode("utf-8")
+                )
 
         def emit(op: str, **fields: Any) -> None:
             if op == "beat":
                 fields.setdefault("t", time.monotonic())
             frame = {"op": op, **fields}
-            if chosen == "binary":
-                writer.write(binary.encode_control(frame))
-            else:
-                writer.write((frame_to_line(op, **fields) + "\n").encode("utf-8"))
+            if held is not None:
+                frame = held.half.stamp(frame)
+            write_wire(frame)
 
         async def beat_loop(interval: float) -> None:
-            while True:
-                await asyncio.sleep(interval)
-                emit("beat", seq=session.replica.applied_seq)
-                await writer.drain()
+            try:
+                while True:
+                    await asyncio.sleep(interval)
+                    emit("beat", seq=session.replica.applied_seq)
+                    await writer.drain()
+            except (OSError, ConnectionError):
+                pass  # link died between beats; the read loop holds the session
 
         beats: asyncio.Task | None = None
         try:
@@ -1167,12 +1236,53 @@ async def serve_worker_listener(
                         chosen = choose_codec(
                             codec, [str(c) for c in frame.get("codecs", [])]
                         ).name
-                        session = _ShardSession(
-                            int(frame.get("shard", 0)),
-                            timer_ratio=int(
-                                frame.get("timer_ratio", timer_ratio)
-                            ),
-                        )
+                        now = time.monotonic()
+                        sweep(now)
+                        sid = frame.get("session")
+                        resumed = False
+                        if sid is not None and frame.get("resume"):
+                            candidate = sessions.get(str(sid))
+                            if candidate is None:
+                                # Grace expired (or the listener itself
+                                # restarted): the replica is gone, and
+                                # the supervisor must fall back to a
+                                # full respawn.
+                                writer.write(
+                                    (
+                                        frame_to_line(
+                                            "hello_ack",
+                                            codec=chosen,
+                                            version=1,
+                                            resumed=False,
+                                        )
+                                        + "\n"
+                                    ).encode("utf-8")
+                                )
+                                running = False
+                                break
+                            held = candidate
+                            held.owner = conn_id
+                            held.expires_at = None
+                            session = held.session
+                            resumed = True
+                        else:
+                            session = _ShardSession(
+                                int(frame.get("shard", 0)),
+                                timer_ratio=int(
+                                    frame.get("timer_ratio", timer_ratio)
+                                ),
+                            )
+                            if sid is not None:
+                                held = _HeldSession(
+                                    session,
+                                    float(
+                                        frame.get(
+                                            "session_grace", default_grace
+                                        )
+                                    ),
+                                )
+                                held.owner = conn_id
+                                sessions[str(sid)] = held
                         interval = float(
                             frame.get(
                                 "heartbeat_interval", heartbeat_interval
@@ -1180,19 +1290,43 @@ async def serve_worker_listener(
                         )
                         # The ack itself is always a JSONL line (readable
                         # before negotiation); the switch happens after.
+                        ack_fields: dict[str, Any] = {
+                            "codec": chosen, "version": 1,
+                        }
+                        if held is not None:
+                            ack_fields["resumed"] = resumed
+                            ack_fields["recv"] = held.half.recv_n
                         writer.write(
                             (
-                                frame_to_line(
-                                    "hello_ack", codec=chosen, version=1
-                                )
+                                frame_to_line("hello_ack", **ack_fields)
                                 + "\n"
                             ).encode("utf-8")
                         )
-                        emit("beat", seq=0)
+                        if resumed:
+                            # Replay everything the supervisor never
+                            # saw (already numbered — not re-stamped).
+                            for replay in held.half.replay_after(
+                                int(frame.get("recv", 0))
+                            ):
+                                write_wire(replay)
+                        emit("beat", seq=session.replica.applied_seq)
                         beats = asyncio.get_running_loop().create_task(
                             beat_loop(interval)
                         )
                         continue
+                    if held is not None:
+                        verdict = held.half.receive(frame)
+                        if verdict == "duplicate":
+                            continue
+                        if verdict == "gap":
+                            write_wire(held.half.rewind_frame())
+                            continue
+                        if frame.get("op") == "rewind":
+                            for replay in held.half.replay_after(
+                                int(frame["have"])
+                            ):
+                                write_wire(replay)
+                            continue
                     try:
                         running = session.handle(frame, emit)
                     except ReproError as error:
@@ -1200,6 +1334,7 @@ async def serve_worker_listener(
                     except Exception as error:  # noqa: BLE001 - keep alive
                         emit("error", message=f"{type(error).__name__}: {error}")
                     if not running:
+                        stopped = True
                         break
                 await writer.drain()
         except (OSError, ConnectionError):  # peer went away mid-write
@@ -1207,6 +1342,16 @@ async def serve_worker_listener(
         finally:
             if beats is not None:
                 beats.cancel()
+            if held is not None and held.owner == conn_id:
+                if stopped:
+                    # Clean shutdown: the session is finished, not lost.
+                    for key in [k for k, h in sessions.items() if h is held]:
+                        del sessions[key]
+                else:
+                    # Hold the replica for the grace window: a resuming
+                    # supervisor reclaims it, everyone else times out.
+                    held.owner = None
+                    held.expires_at = time.monotonic() + held.grace
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -1319,6 +1464,7 @@ class ClusterSupervisor(ClusterAdmin):
         seed: int = _UNSET,
         config: "ServeConfig | None" = None,
         fault_plan: FaultPlan | None = None,
+        net_fault_plan: "NetFaultPlan | None" = None,
         instrumentation: Instrumentation | None = None,
         on_detection: Callable[[dict[str, Any]], None] | None = None,
     ) -> None:
@@ -1391,8 +1537,20 @@ class ClusterSupervisor(ClusterAdmin):
                 )
             )
         self.transport = resolve_transport(
-            config.transport, config.workers, codec=config.codec
+            config.transport,
+            config.workers,
+            codec=config.codec,
+            retry_policy=config.retry_policy,
+            session_grace=config.session_grace,
+            seed=config.seed,
         )
+        if net_fault_plan is not None:
+            from repro.serve.netfault import install_fault_filter
+
+            install_fault_filter(self.transport, net_fault_plan)
+        torn = sum(wal.torn_tails for wal in self._wals.values())
+        if torn:
+            self.obs.counter("serve.failover.wal_torn_tail").inc(torn)
         self.rebalance_grace = config.rebalance_grace
         self._workers: dict[int, _Worker] = {}
         self._locks: dict[int, asyncio.Lock] = {}
@@ -1416,6 +1574,7 @@ class ClusterSupervisor(ClusterAdmin):
         self._rehome_pending: set[int] = set()
         self._rehome_at = 0.0
         self.restarts = 0
+        self.resumes = 0
         self.replayed = 0
         self.parked = 0
         self.checkpoints = 0
@@ -1785,6 +1944,16 @@ class ClusterSupervisor(ClusterAdmin):
             heartbeat_interval=self.monitor.interval,
             frame_limit=_WORKER_FRAME_LIMIT,
         )
+        if hasattr(link, "on_resume"):
+            # A severed-and-healed link resumes instead of respawning;
+            # count it and reset the heartbeat baseline so a partition
+            # that just healed is not instantly re-suspected.
+            def resumed(shard: int = index) -> None:
+                self.resumes += 1
+                self.obs.counter("serve.failover.resumes").inc()
+                self.monitor.mark(shard)
+
+            link.on_resume = resumed
         worker = _Worker(link)
         worker.reader = asyncio.get_running_loop().create_task(
             self._read_loop(index, worker),
@@ -1951,6 +2120,7 @@ class ClusterSupervisor(ClusterAdmin):
                     boundary_entries[index] = self._wals[
                         index
                     ].append_advance(boundary)
+            handoff_fallbacks = 0
             for index in range(old_shards):
                 state = await self._collect_handoff(
                     index, boundary_entries.get(index)
@@ -1965,6 +2135,7 @@ class ClusterSupervisor(ClusterAdmin):
                     replica.restore(state)
                     sources[index] = replica.detector
                 else:
+                    handoff_fallbacks += 1
                     sources[index] = self._rebuild_replica(index).detector
             global_seq = max(
                 (wal.last_seq for wal in self._wals.values()), default=0
@@ -2024,6 +2195,10 @@ class ClusterSupervisor(ClusterAdmin):
         self.rebalances += 1
         if self.obs.enabled:
             self.obs.counter("serve.rebalance.scales").inc()
+        if handoff_fallbacks:
+            self.obs.counter(
+                "serve.rebalance.handoff_fallbacks"
+            ).inc(handoff_fallbacks)
         return ScaleReport(
             from_shards=old_shards,
             to_shards=shards,
@@ -2035,6 +2210,7 @@ class ClusterSupervisor(ClusterAdmin):
                 for name, home in successor.assignments.items()
                 if old_router.assignments.get(name) != home
             },
+            handoff_fallbacks=handoff_fallbacks,
         )
 
     async def _maybe_rehome(self) -> None:

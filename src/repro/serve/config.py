@@ -21,6 +21,7 @@ from dataclasses import dataclass, fields
 from typing import Any
 
 from repro.errors import ReproError
+from repro.serve.session import RetryPolicy
 
 #: Sentinel distinguishing "keyword not passed" from any real value in
 #: the legacy-keyword migration shims.
@@ -41,7 +42,11 @@ class ServeConfig:
     fields: ``max_line_bytes``, ``codec``, ``transport`` (``"auto"``
     picks ``"tcp"`` when ``workers`` endpoints are given, else local
     ``"subprocess"`` workers), ``workers`` (remote ``host:port`` shard
-    endpoints; mutually exclusive with ``procs``).  Multi-tenant fields
+    endpoints; mutually exclusive with ``procs``), ``retry_policy`` (the
+    :class:`~repro.serve.session.RetryPolicy` a dropped TCP link
+    reconnects under; ``None`` uses the default policy) and
+    ``session_grace`` (seconds a worker holds a disconnected session's
+    replica for resume before discarding it).  Multi-tenant fields
     (:mod:`repro.serve.tenancy`): ``tenants`` (the synthetic tenant
     count ``repro serve --tenants`` interleaves its selftest workload
     across), ``quota_rate``/``quota_burst`` (the per-tenant token
@@ -68,6 +73,8 @@ class ServeConfig:
     seed: int = 0
     transport: str = "auto"
     workers: tuple[str, ...] | None = None
+    retry_policy: "RetryPolicy | None" = None
+    session_grace: float | None = None
     rebalance_grace: float | None = None
     tenants: int | None = None
     quota_rate: float | None = None
@@ -109,6 +116,18 @@ class ServeConfig:
             raise ValueError(
                 "workers= endpoints are meaningless with "
                 "transport='subprocess'"
+            )
+        if self.retry_policy is not None and not isinstance(
+            self.retry_policy, RetryPolicy
+        ):
+            raise ValueError(
+                "retry_policy must be a repro.serve.session.RetryPolicy, "
+                f"got {self.retry_policy!r}"
+            )
+        if self.session_grace is not None and self.session_grace < 0:
+            raise ValueError(
+                "session_grace must be non-negative (or None for the "
+                f"default), got {self.session_grace}"
             )
         if self.rebalance_grace is not None and self.rebalance_grace < 0:
             raise ValueError(

@@ -69,6 +69,7 @@ class HeartbeatMonitor:
         self._last_beat: dict[int, float] = {}
         self._min_offset: dict[int, float] = {}
         self._allowance: dict[int, float] = {}
+        self._suspected: set[int] = set()
         self.beats: dict[int, int] = {}
 
     def mark(self, shard: int) -> None:
@@ -81,6 +82,7 @@ class HeartbeatMonitor:
         self._last_beat[shard] = self.clock()
         self._min_offset.pop(shard, None)
         self._allowance.pop(shard, None)
+        self._suspected.discard(shard)
 
     def beat(self, shard: int, sent_at: float | None = None) -> None:
         """Record one received beat (or any sign of life) from a shard.
@@ -97,6 +99,14 @@ class HeartbeatMonitor:
         receipt-time behavior.
         """
         now = self.clock()
+        if shard in self._suspected:
+            # First sign of life after a suspicion episode (revive or a
+            # healed partition): the old offset baseline and jitter
+            # allowance describe the dead link, not this one — start
+            # the estimator over instead of crediting stale delay.
+            self._min_offset.pop(shard, None)
+            self._allowance.pop(shard, None)
+            self._suspected.discard(shard)
         self._last_beat[shard] = now
         self.beats[shard] = self.beats.get(shard, 0) + 1
         if sent_at is None:
@@ -126,14 +136,23 @@ class HeartbeatMonitor:
         return int(elapsed / self.interval)
 
     def suspect(self, shard: int) -> bool:
-        """Whether the shard has missed ``miss_threshold`` intervals."""
-        return self.missed(shard) >= self.miss_threshold
+        """Whether the shard has missed ``miss_threshold`` intervals.
+
+        A positive answer is remembered: the next :meth:`beat` from
+        that shard resets the offset estimator and miss window instead
+        of carrying pre-suspicion state across the outage.
+        """
+        if self.missed(shard) >= self.miss_threshold:
+            self._suspected.add(shard)
+            return True
+        return False
 
     def forget(self, shard: int) -> None:
         """Stop tracking a shard (it was marked unavailable)."""
         self._last_beat.pop(shard, None)
         self._min_offset.pop(shard, None)
         self._allowance.pop(shard, None)
+        self._suspected.add(shard)
 
 
 class Backoff:

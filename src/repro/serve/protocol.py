@@ -199,6 +199,11 @@ CONTROL_OPS = frozenset(
         "scale",
         # worker -> supervisor
         "hello_ack", "beat", "ack", "detection", "checkpoint_state", "error",
+        # either direction: session-layer retransmission request — the
+        # receiver saw a numbered frame past a gap and asks the sender
+        # to resend everything after the ``have`` watermark (see
+        # repro.serve.session).
+        "rewind",
     }
 )
 

@@ -45,6 +45,11 @@ class ScaleReport:
     boundary: int | None
     seq: int
     moved_rules: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: Shards whose live checkpoint handoff failed mid-migration (dead,
+    #: parked, or timed out) and were rebuilt from durable WAL +
+    #: checkpoint state instead — nonzero means the migration survived
+    #: a fault, not that anything was lost.
+    handoff_fallbacks: int = 0
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -56,6 +61,7 @@ class ScaleReport:
             "moved_rules": {
                 name: list(homes) for name, homes in self.moved_rules.items()
             },
+            "handoff_fallbacks": self.handoff_fallbacks,
         }
 
 

@@ -78,6 +78,10 @@ class DetectionBroadcast:
     def __init__(self) -> None:
         self._sinks: list[Callable[[dict[str, Any]], None]] = []
         self.emitted = 0
+        #: Sinks evicted because delivery raised (e.g. a TCP client
+        #: that reset abruptly) — their undeliverable row is counted
+        #: once; detection fan-out to the surviving sinks continues.
+        self.evicted = 0
 
     def attach(
         self, sink: Callable[[dict[str, Any]], None]
@@ -94,7 +98,15 @@ class DetectionBroadcast:
     def emit(self, row: dict[str, Any]) -> None:
         self.emitted += 1
         for sink in list(self._sinks):
-            sink(row)
+            try:
+                sink(row)
+            except (OSError, ConnectionError):
+                # A dead transport must not poison the emitting shard's
+                # callback path (one reset client would otherwise stop
+                # detection delivery for every other consumer).
+                if sink in self._sinks:
+                    self._sinks.remove(sink)
+                self.evicted += 1
 
 
 def wire_rules(
@@ -355,6 +367,11 @@ async def serve_tcp(
             # other clients may still be behind).
             await runtime.drain()
             await writer.drain()
+        except (ConnectionError, OSError):
+            # Abrupt client reset mid-stream: everything already
+            # ingested stays ingested and time still advances for it;
+            # only this connection dies.
+            await runtime.drain()
         finally:
             detach()
             writer.close()

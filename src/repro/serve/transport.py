@@ -14,10 +14,19 @@ carrier interface:
   ``repro serve-worker --listen HOST:PORT``.  Each (re)connection opens
   with a JSONL ``hello`` control frame naming the shard and offering
   codecs; the worker answers ``hello_ack`` and both sides switch to the
-  negotiated codec (binary control frames when both speak v1).  A
-  connection is a worker *incarnation*: the listener binds a fresh
-  replica per connection, so supervisor-side ``kill`` + reconnect is
-  exactly the subprocess respawn — register, restore, replay.
+  negotiated codec (binary control frames when both speak v1).
+
+A TCP connection used to be a worker *incarnation* — any drop meant a
+full respawn.  With sessions (the default), the hello carries a session
+id and a resume watermark, the worker keeps the replica alive for a
+grace window after a disconnect, and :class:`ResumableTcpLink`
+reconnects under a :class:`~repro.serve.session.RetryPolicy` and
+resumes mid-stream: both directions replay their unacknowledged frame
+buffers (:class:`~repro.serve.session.SessionHalf`), so a severed and
+healed link loses nothing and duplicates nothing.  Only when the
+deadline expires, the worker already discarded the session, or the
+supervisor itself killed the link does the link report dead — at which
+point the existing respawn path (register, restore, replay) takes over.
 
 Shard ``k`` connects to ``endpoints[k % len(endpoints)]``, so one
 listener hosts many shards and ``scale(n)`` needs no new machines.  A
@@ -31,9 +40,10 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 import time
 from abc import ABC, abstractmethod
-from typing import Any
+from typing import Any, Callable
 
 from repro.errors import ReproError
 from repro.serve.protocol import (
@@ -41,6 +51,12 @@ from repro.serve.protocol import (
     StreamDecoder,
     get_codec,
     parse_frame,
+)
+from repro.serve.session import (
+    DEFAULT_SESSION_GRACE,
+    RetryPolicy,
+    SessionHalf,
+    new_session_id,
 )
 
 #: Seconds a TCP connect + hello exchange gets before counting as a
@@ -271,11 +287,30 @@ class TcpTransport(WorkerTransport):
 
     name = "tcp"
 
-    def __init__(self, endpoints: tuple[str, ...], *, codec: str = "auto") -> None:
+    def __init__(
+        self,
+        endpoints: tuple[str, ...],
+        *,
+        codec: str = "auto",
+        retry_policy: RetryPolicy | None = None,
+        session_grace: float | None = None,
+        resume: bool = True,
+        seed: int = 0,
+        link_filter: "Callable[[WorkerLink, int], WorkerLink] | None" = None,
+    ) -> None:
         if not endpoints:
             raise ReproError("TcpTransport needs at least one endpoint")
         self.endpoints = tuple(endpoints)
         self.codec = codec
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.session_grace = (
+            session_grace if session_grace is not None else DEFAULT_SESSION_GRACE
+        )
+        self.resume = resume
+        self.seed = seed
+        #: Optional in-path fault injector: wraps every raw connection
+        #: *below* the session layer (repro.serve.netfault sets this).
+        self.link_filter = link_filter
         self.connects = 0
         self.endpoint_failures = 0
 
@@ -294,16 +329,55 @@ class TcpTransport(WorkerTransport):
         heartbeat_interval: float,
         frame_limit: int,
     ) -> WorkerLink:
+        if not self.resume:
+            link, _ack = await self.open_link(
+                shard,
+                timer_ratio=timer_ratio,
+                heartbeat_interval=heartbeat_interval,
+                frame_limit=frame_limit,
+            )
+            return link
+        link = ResumableTcpLink(
+            self,
+            shard,
+            timer_ratio=timer_ratio,
+            heartbeat_interval=heartbeat_interval,
+            frame_limit=frame_limit,
+            policy=self.retry_policy,
+            session_grace=self.session_grace,
+            rng=random.Random(self.seed * 1_000_003 + shard),
+        )
+        await link.establish()
+        return link
+
+    async def open_link(
+        self,
+        shard: int,
+        *,
+        timer_ratio: int,
+        heartbeat_interval: float,
+        frame_limit: int,
+        hello_extra: dict[str, Any] | None = None,
+        timeout: float | None = None,
+    ) -> tuple[WorkerLink, dict[str, Any]]:
+        """One connection attempt round-robin over the endpoints.
+
+        Bounded per endpoint by ``timeout`` (default
+        :data:`CONNECT_TIMEOUT`); a total failure raises a
+        :class:`~repro.errors.ReproError` naming every unreachable
+        address with its specific failure — startup against a down
+        listener fails fast and legibly instead of hanging.
+        """
         preferred = shard % len(self.endpoints)
         order = [
             self.endpoints[(preferred + step) % len(self.endpoints)]
             for step in range(len(self.endpoints))
         ]
-        failure: Exception | None = None
+        failures: list[str] = []
         for endpoint in order:
             host, port = self._split(endpoint)
             try:
-                return await asyncio.wait_for(
+                link, ack = await asyncio.wait_for(
                     self._handshake(
                         host,
                         port,
@@ -311,16 +385,23 @@ class TcpTransport(WorkerTransport):
                         timer_ratio=timer_ratio,
                         heartbeat_interval=heartbeat_interval,
                         frame_limit=frame_limit,
+                        hello_extra=hello_extra,
                     ),
-                    timeout=CONNECT_TIMEOUT,
+                    timeout=timeout if timeout is not None else CONNECT_TIMEOUT,
                 )
-            except (OSError, ConnectionError, asyncio.TimeoutError,
-                    ReproError) as error:
-                failure = error
+            except asyncio.TimeoutError:
+                failures.append(f"{endpoint} (connect timed out)")
                 self.endpoint_failures += 1
+            except (OSError, ConnectionError, ReproError) as error:
+                failures.append(f"{endpoint} ({error})")
+                self.endpoint_failures += 1
+            else:
+                if self.link_filter is not None:
+                    link = self.link_filter(link, shard)
+                return link, ack
         raise ReproError(
-            f"no worker endpoint reachable for shard {shard} "
-            f"(tried {', '.join(order)}): {failure}"
+            f"no worker endpoint reachable for shard {shard}: "
+            + "; ".join(failures)
         )
 
     async def _handshake(
@@ -332,7 +413,8 @@ class TcpTransport(WorkerTransport):
         timer_ratio: int,
         heartbeat_interval: float,
         frame_limit: int,
-    ) -> TcpLink:
+        hello_extra: dict[str, Any] | None = None,
+    ) -> tuple[TcpLink, dict[str, Any]]:
         reader, writer = await asyncio.open_connection(host, port)
         offered = (
             ["jsonl"] if self.codec == "jsonl" else ["binary", "jsonl"]
@@ -345,6 +427,8 @@ class TcpTransport(WorkerTransport):
             "heartbeat_interval": heartbeat_interval,
             "t": time.monotonic(),
         }
+        if hello_extra:
+            hello.update(hello_extra)
         writer.write((json.dumps(hello, sort_keys=True) + "\n").encode("utf-8"))
         await writer.drain()
         # The ack is always a JSONL line, so a v0-only worker can answer.
@@ -369,7 +453,219 @@ class TcpTransport(WorkerTransport):
                 f"{codec_name!r}"
             )
         self.connects += 1
-        return TcpLink(reader, writer, codec_name, frame_limit)
+        return TcpLink(reader, writer, codec_name, frame_limit), ack
+
+
+class _SessionLost(Exception):
+    """The worker no longer holds our session (grace expired/restarted)."""
+
+
+class ResumableTcpLink(WorkerLink):
+    """A TCP worker link that survives drops by resuming its session.
+
+    Wraps one live :class:`TcpLink` at a time.  Every outbound frame is
+    numbered and buffered by a :class:`~repro.serve.session.SessionHalf`
+    and every inbound frame deduplicated by it, so a reconnect replays
+    exactly the frames the other side never saw.  On an I/O failure
+    both :meth:`send` and :meth:`read` run the same reconnect loop
+    under the link's :class:`~repro.serve.session.RetryPolicy` —
+    exponential backoff with deterministic jitter, a per-attempt
+    timeout, and an overall deadline.  The link reports dead (``read``
+    returns ``None`` / ``send`` raises) only when the deadline expires,
+    the worker answered ``resumed: false``, or :meth:`kill` was called
+    — at which point the supervisor's ordinary respawn path takes over.
+
+    ``on_resume`` (set by the supervisor) fires after each successful
+    resume so the heartbeat monitor's liveness window can be re-armed —
+    a link that was severed for most of a suspicion window must not
+    come back one miss from suspicion.
+    """
+
+    def __init__(
+        self,
+        transport: TcpTransport,
+        shard: int,
+        *,
+        timer_ratio: int,
+        heartbeat_interval: float,
+        frame_limit: int,
+        policy: RetryPolicy,
+        session_grace: float,
+        rng: random.Random,
+    ) -> None:
+        self.transport = transport
+        self.shard = shard
+        self.timer_ratio = timer_ratio
+        self.heartbeat_interval = heartbeat_interval
+        self.frame_limit = frame_limit
+        self.policy = policy
+        self.session_grace = session_grace
+        self.rng = rng
+        self.session = SessionHalf()
+        self.session_id = new_session_id()
+        self.on_resume: Callable[[], None] | None = None
+        self.resumes = 0
+        self.frames_dropped = 0
+        self._inner: WorkerLink | None = None
+        self._inner_dropped = 0
+        self._generation = 0
+        self._closed = False
+        self._finishing = False
+        self._lock = asyncio.Lock()
+
+    @property
+    def codec_name(self) -> str:
+        """The live connection's negotiated codec (jsonl when down)."""
+        inner = self._inner
+        return getattr(inner, "codec_name", "jsonl") if inner else "jsonl"
+
+    async def establish(self) -> None:
+        """Open the first connection and register the session id."""
+        self._inner, _ack = await self.transport.open_link(
+            self.shard,
+            timer_ratio=self.timer_ratio,
+            heartbeat_interval=self.heartbeat_interval,
+            frame_limit=self.frame_limit,
+            hello_extra={
+                "session": self.session_id,
+                "session_grace": self.session_grace,
+            },
+        )
+        self._inner_dropped = 0
+
+    async def _resume_once(self) -> WorkerLink:
+        """One reconnect + resume attempt (no retries, no timeout)."""
+        link, ack = await self.transport.open_link(
+            self.shard,
+            timer_ratio=self.timer_ratio,
+            heartbeat_interval=self.heartbeat_interval,
+            frame_limit=self.frame_limit,
+            hello_extra={
+                "session": self.session_id,
+                "session_grace": self.session_grace,
+                "resume": True,
+                "recv": self.session.recv_n,
+            },
+            timeout=self.policy.attempt_timeout,
+        )
+        if not ack.get("resumed"):
+            link.kill()
+            raise _SessionLost()
+        # Replay everything the worker never delivered; its own replay
+        # of the frames we never saw is already in flight.
+        for frame in self.session.replay_after(int(ack.get("recv", 0))):
+            await link.send(frame)
+        return link
+
+    async def _reconnect(self, generation: int) -> bool:
+        """Re-establish the session; False means the link is dead."""
+        async with self._lock:
+            if self._closed:
+                return False
+            if self._generation != generation:
+                # Another coroutine already ran the reconnect episode.
+                return self._inner is not None
+            if self._inner is not None:
+                self._inner.kill()
+                self._inner = None
+            self._generation += 1
+            if self._finishing:
+                return False
+            deadline = time.monotonic() + self.policy.deadline
+            attempt = 0
+            while not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    link = await asyncio.wait_for(
+                        self._resume_once(), timeout=remaining
+                    )
+                except _SessionLost:
+                    break
+                except (OSError, ConnectionError, asyncio.TimeoutError,
+                        ReproError):
+                    delay = min(
+                        self.policy.delay(attempt, self.rng),
+                        max(0.0, deadline - time.monotonic()),
+                    )
+                    attempt += 1
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                    continue
+                self._inner = link
+                self._inner_dropped = 0
+                self.resumes += 1
+                if self.on_resume is not None:
+                    self.on_resume()
+                return True
+            return False
+
+    async def send(self, frame: dict[str, Any]) -> None:
+        wire = self.session.stamp(frame)
+        while True:
+            link, generation = self._inner, self._generation
+            if link is None or self._closed:
+                raise ConnectionResetError(
+                    f"worker link for shard {self.shard} is down"
+                )
+            try:
+                await link.send(wire)
+                return
+            except (OSError, ConnectionError):
+                if not await self._reconnect(generation):
+                    raise
+                # A successful resume already replayed the buffer (this
+                # frame included); the loop re-sends it only so a frame
+                # stamped *after* the resume replay is never skipped —
+                # the receiver drops the duplicate by its number.
+
+    async def read(self) -> dict[str, Any] | None:
+        while True:
+            link, generation = self._inner, self._generation
+            if link is None or self._closed:
+                return None
+            frame = await link.read()
+            if link.frames_dropped != self._inner_dropped:
+                self.frames_dropped += link.frames_dropped - self._inner_dropped
+                self._inner_dropped = link.frames_dropped
+            if frame is None:
+                if self._closed or self._finishing:
+                    return None
+                if not await self._reconnect(generation):
+                    return None
+                continue
+            verdict = self.session.receive(frame)
+            if verdict == "duplicate":
+                continue
+            if verdict == "gap":
+                try:
+                    await link.send(self.session.rewind_frame())
+                except (OSError, ConnectionError):
+                    pass  # the reconnect path will replay instead
+                continue
+            if frame.get("op") == "rewind":
+                for replay in self.session.replay_after(int(frame["have"])):
+                    try:
+                        await link.send(replay)
+                    except (OSError, ConnectionError):
+                        break
+                continue
+            return frame
+
+    def kill(self) -> None:
+        self._closed = True
+        if self._inner is not None:
+            self._inner.kill()
+
+    def close_input(self) -> None:
+        self._finishing = True
+        if self._inner is not None:
+            self._inner.close_input()
+
+    async def wait(self, timeout: float = 10.0) -> None:
+        if self._inner is not None:
+            await self._inner.wait(timeout=timeout)
 
 
 def resolve_transport(
@@ -377,6 +673,9 @@ def resolve_transport(
     workers: tuple[str, ...] | None = None,
     *,
     codec: str = "auto",
+    retry_policy: RetryPolicy | None = None,
+    session_grace: float | None = None,
+    seed: int = 0,
 ) -> WorkerTransport:
     """Normalize a transport argument (name, instance, or ``"auto"``)."""
     if isinstance(transport, WorkerTransport):
@@ -390,7 +689,13 @@ def resolve_transport(
             raise ReproError(
                 "tcp transport needs workers=('host:port', ...) endpoints"
             )
-        return TcpTransport(tuple(workers), codec=codec)
+        return TcpTransport(
+            tuple(workers),
+            codec=codec,
+            retry_policy=retry_policy,
+            session_grace=session_grace,
+            seed=seed,
+        )
     raise ReproError(
         f"unknown transport {transport!r}; expected subprocess, tcp, or auto"
     )

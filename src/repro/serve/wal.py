@@ -141,6 +141,10 @@ class ShardWAL:
         self._entries: list[WalEntry] = []
         self._next_seq = 1
         self._handle = None
+        #: Torn tails healed on load — a final entry truncated mid-write
+        #: by a crash was cut off and the log continued (the entry was
+        #: never considered logged, so nothing durable is lost).
+        self.torn_tails = 0
         if path is not None:
             if os.path.exists(path):
                 self._load(path)
@@ -149,13 +153,26 @@ class ShardWAL:
             self._handle = open(path, mode, **kwargs)
 
     def _load(self, path: str) -> None:
+        torn: str | None = None
         if self.codec is None:
             with open(path, "r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    self._entries.append(WalEntry.from_dict(json.loads(line)))
+                lines = [
+                    line.strip() for line in handle.read().splitlines()
+                ]
+            lines = [line for line in lines if line]
+            for position, line in enumerate(lines):
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError as error:
+                    if position == len(lines) - 1:
+                        # A crash mid-append leaves a partial final
+                        # line; everything before it is intact.
+                        torn = str(error)
+                        break
+                    raise ReproError(
+                        f"corrupt WAL file {path!r}: {error}"
+                    ) from None
+                self._entries.append(WalEntry.from_dict(data))
         else:
             splitter = StreamDecoder()
             units = []
@@ -163,8 +180,15 @@ class ShardWAL:
                 while chunk := handle.read(1 << 16):
                     units.extend(splitter.feed(chunk))
             units.extend(splitter.finish())
-            for unit in units:
+            for position, unit in enumerate(units):
+                final = position == len(units) - 1
                 if unit.kind == "error":
+                    # Only the stream's very tail may legitimately be
+                    # incomplete (a crash mid-append); an error earlier
+                    # in the file is real corruption.
+                    if final:
+                        torn = unit.message
+                        break
                     raise ReproError(
                         f"corrupt WAL file {path!r}: {unit.message}"
                     )
@@ -178,11 +202,31 @@ class ShardWAL:
                         WalEntry.decode(by_framing, unit.payload)
                     )
                 except CodecError as error:
+                    if final:
+                        torn = str(error)
+                        break
                     raise ReproError(
                         f"corrupt WAL file {path!r}: {error}"
                     ) from None
+        if torn is not None:
+            self.torn_tails += 1
+            self._rewrite(path)
         if self._entries:
             self._next_seq = self._entries[-1].seq + 1
+
+    def _rewrite(self, path: str) -> None:
+        """Atomically replace the file with the intact entries only."""
+        tmp = f"{path}.tmp"
+        if self.codec is None:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for entry in self._entries:
+                    handle.write(json.dumps(entry.to_dict(), sort_keys=True))
+                    handle.write("\n")
+        else:
+            with open(tmp, "wb") as handle:
+                for entry in self._entries:
+                    handle.write(entry.encode(self.codec))
+        os.replace(tmp, path)
 
     # --- append side -----------------------------------------------------
 

@@ -656,6 +656,8 @@ class TestServeConfig:
             "seed",
             "transport",
             "workers",
+            "retry_policy",
+            "session_grace",
             "rebalance_grace",
             "tenants",
             "quota_rate",

@@ -155,6 +155,46 @@ class TestShardWAL:
             kinds = [entry.kind for entry in reopened]
             assert kinds == ["event"] * 4 + ["advance"]
 
+    @pytest.mark.parametrize("codec", [None, "binary"])
+    def test_torn_tail_is_healed_on_load(self, tmp_path, codec):
+        # A hard kill mid-append leaves a partial final unit; reopening
+        # tolerates exactly that, truncates it, and keeps appending.
+        path = str(tmp_path / "shard0.wal")
+        with ShardWAL(path, codec=codec) as wal:
+            for event in stream(3):
+                wal.append_event(event)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[:-7])
+        with ShardWAL(path, codec=codec) as healed:
+            assert healed.torn_tails == 1
+            assert [entry.seq for entry in healed] == [1, 2]
+            assert healed.append_advance(5).seq == 3
+        # The rewrite healed the file: a further reopen is clean.
+        with ShardWAL(path, codec=codec) as clean:
+            assert clean.torn_tails == 0
+            assert [entry.seq for entry in clean] == [1, 2, 3]
+
+    @pytest.mark.parametrize("codec", [None, "binary"])
+    def test_mid_file_corruption_still_raises(self, tmp_path, codec):
+        # Torn-tail tolerance is for the *final* unit only; damage in
+        # the middle of the log is real corruption and must refuse.
+        path = str(tmp_path / "shard0.wal")
+        with ShardWAL(path, codec=codec) as wal:
+            for event in stream(3):
+                wal.append_event(event)
+        if codec is None:
+            lines = open(path, "rb").read().splitlines()
+            lines[1] = b'{"torn'
+            blob = b"\n".join(lines) + b"\n"
+        else:
+            blob = bytearray(open(path, "rb").read())
+            blob[len(blob) // 3] ^= 0xFF  # CRC mismatch mid-stream
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob))
+        with pytest.raises(ReproError, match="corrupt WAL file"):
+            ShardWAL(path, codec=codec)
+
 
 class TestHeartbeat:
     def test_monitor_suspects_after_missed_intervals(self):
@@ -177,6 +217,36 @@ class TestHeartbeat:
             HeartbeatMonitor(0)
         with pytest.raises(ReproError):
             HeartbeatMonitor(0.25, 0)
+
+    def test_first_beat_after_suspicion_resets_the_baseline(self):
+        # A worker that reconnects after a long sever must get a fresh
+        # liveness window: the old min-offset baseline describes the
+        # dead link, and keeping it would leave the revived worker one
+        # miss from suspicion (or permanently suspect).
+        now = [0.0]
+        monitor = HeartbeatMonitor(0.5, 3, clock=lambda: now[0])
+        monitor.mark(0)
+        now[0] = 10.0
+        assert monitor.suspect(0)
+        monitor.beat(0)
+        assert monitor.missed(0) == 0
+        assert not monitor.suspect(0)
+        now[0] = 10.4
+        monitor.beat(0)
+        now[0] = 11.0
+        assert monitor.missed(0) <= 2
+        assert not monitor.suspect(0)
+
+    def test_mark_after_forget_also_resets(self):
+        now = [0.0]
+        monitor = HeartbeatMonitor(0.5, 3, clock=lambda: now[0])
+        monitor.mark(0)
+        now[0] = 9.0
+        assert monitor.suspect(0)
+        monitor.forget(0)
+        monitor.mark(0)
+        monitor.beat(0)
+        assert not monitor.suspect(0)
 
     def test_backoff_is_bounded_jittered_and_deterministic(self):
         first = [Backoff(base=0.05, cap=0.4, seed=3).delay(n) for n in range(6)]

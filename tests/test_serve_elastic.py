@@ -293,18 +293,23 @@ class TestSupervisorElastic:
         return ServeConfig(**fields)
 
     def drive(self, supervisor, events, horizon, scale_at=()):
+        reports = []
+
         async def scenario():
             pending = sorted(scale_at)
             async with supervisor:
                 for count, event in enumerate(events):
                     while pending and pending[0][0] <= count:
-                        await supervisor.scale(pending.pop(0)[1])
+                        reports.append(
+                            await supervisor.scale(pending.pop(0)[1])
+                        )
                     assert await supervisor.ingest(event) == []
                 for _, shards in pending:
-                    await supervisor.scale(shards)
+                    reports.append(await supervisor.scale(shards))
                 assert await supervisor.drain(horizon) == []
 
         asyncio.run(scenario())
+        return reports
 
     def test_mid_stream_scale_preserves_multisets(self, tmp_path):
         events = stream(60)
@@ -337,7 +342,37 @@ class TestSupervisorElastic:
         )
         for name, expression in sorted(RULES.items()):
             supervisor.register(expression, name)
-        self.drive(supervisor, events, horizon, scale_at=[(30, 3)])
+        reports = self.drive(supervisor, events, horizon, scale_at=[(30, 3)])
+        assert supervisor.rebalances == 1
+        # The kill races the in-flight handoff reply: either the state
+        # frame escaped first (no fallback) or the rebuild path ran.
+        assert reports[0].handoff_fallbacks in (0, 1)
+        assert supervisor_multisets(supervisor) == expected
+
+    def test_dead_worker_scale_counts_handoff_fallback(self, tmp_path):
+        """Scaling over an already-dead worker rebuilds its state from
+        checkpoint + WAL and reports the fallback on the ScaleReport."""
+        events = stream(48)
+        horizon = events[-1].granule + 8
+        expected = baseline_multisets(events, horizon)
+        supervisor = ClusterSupervisor(config=self.config(tmp_path))
+        for name, expression in sorted(RULES.items()):
+            supervisor.register(expression, name)
+
+        async def scenario():
+            async with supervisor:
+                for count, event in enumerate(events):
+                    if count == 24:
+                        worker = supervisor._workers[1]
+                        worker.link.kill()
+                        worker.dead = True
+                        report = await supervisor.scale(3)
+                        assert report.handoff_fallbacks == 1
+                        assert report.to_dict()["handoff_fallbacks"] == 1
+                    assert await supervisor.ingest(event) == []
+                assert await supervisor.drain(horizon) == []
+
+        asyncio.run(scenario())
         assert supervisor.rebalances == 1
         assert supervisor_multisets(supervisor) == expected
 
